@@ -1,0 +1,35 @@
+//! Criterion micro-benchmark backing Tables 8 and 9: construction cost of
+//! all six indexes on a BOOKS-shaped clone (sizes are printed by the
+//! harness; criterion measures the build times precisely).
+
+use bench::datasets;
+use bench::RunConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::realistic::RealDataset;
+
+fn bench_construction(c: &mut Criterion) {
+    let cfg = RunConfig { scale_mul: 16, ..RunConfig::default() };
+    let ds = datasets::real(RealDataset::Books, &cfg);
+    let data = &ds.data;
+
+    let mut group = c.benchmark_group("table9_build_books");
+    group.sample_size(10);
+    group.bench_function("interval_tree", |b| {
+        b.iter(|| interval_tree::IntervalTree::build(data))
+    });
+    group.bench_function("period_index", |b| {
+        b.iter(|| period_index::PeriodIndex::build(data, 100, 4))
+    });
+    group.bench_function("timeline_index", |b| {
+        b.iter(|| timeline_index::TimelineIndex::build_with_spacing(data, 64))
+    });
+    group.bench_function("grid1d", |b| b.iter(|| grid1d::Grid1D::build(data, 500)));
+    group.bench_function("hint_cf_sparse", |b| {
+        b.iter(|| hint_core::HintCf::build(data, 20, hint_core::CfLayout::Sparse))
+    });
+    group.bench_function("hint_m_opt", |b| b.iter(|| hint_core::Hint::build(data, 10)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

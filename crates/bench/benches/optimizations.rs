@@ -1,0 +1,114 @@
+//! Criterion micro-benchmark backing Figures 10-12 and Table 6: the
+//! HINT/HINT^m optimization lattice measured head-to-head at a fixed `m`.
+
+use bench::datasets;
+use bench::RunConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hint_core::{
+    CfLayout, Eval, Hint, HintCf, HintMBase, HintMSubs, HintOptions, IntervalId, SubsConfig,
+};
+use workloads::queries::QueryWorkload;
+use workloads::realistic::RealDataset;
+
+fn bench_optimizations(c: &mut Criterion) {
+    let cfg = RunConfig { scale_mul: 8, ..RunConfig::default() };
+    let ds = datasets::real(RealDataset::Books, &cfg);
+    let m = 10;
+    let extent = (ds.domain as f64 * 0.001) as u64;
+    let workload = QueryWorkload::uniform(0, ds.domain - 1, extent, 256, cfg.seed);
+    let run = |idx: &dyn hint_core::IntervalIndex, q_i: &mut usize, out: &mut Vec<IntervalId>| {
+        let q = workload.queries()[*q_i % workload.len()];
+        *q_i += 1;
+        out.clear();
+        idx.query(q, out);
+        out.len()
+    };
+
+    // Figure 10: base HINT^m, top-down vs bottom-up
+    {
+        let idx = HintMBase::build(&ds.data, m);
+        let mut group = c.benchmark_group("fig10_eval_strategy");
+        for eval in [Eval::TopDown, Eval::BottomUp] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{eval:?}")),
+                &eval,
+                |b, &eval| {
+                    let mut out = Vec::with_capacity(4096);
+                    let mut i = 0;
+                    b.iter(|| {
+                        let q = workload.queries()[i % workload.len()];
+                        i += 1;
+                        out.clear();
+                        idx.query_with(q, eval, &mut out);
+                        out.len()
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+
+    // Figure 11: subdivision/sort/sopt lattice
+    {
+        let mut group = c.benchmark_group("fig11_subdivisions");
+        let base = HintMBase::build(&ds.data, m);
+        group.bench_function("base", |b| {
+            let mut out = Vec::with_capacity(4096);
+            let mut i = 0;
+            b.iter(|| run(&base, &mut i, &mut out));
+        });
+        for (name, sc) in [
+            ("subs+sort", SubsConfig { sort: true, sopt: false }),
+            ("subs+sopt", SubsConfig { sort: false, sopt: true }),
+            ("subs+sort+sopt", SubsConfig { sort: true, sopt: true }),
+        ] {
+            let idx = HintMSubs::build(&ds.data, m, sc);
+            group.bench_function(name, |b| {
+                let mut out = Vec::with_capacity(4096);
+                let mut i = 0;
+                b.iter(|| run(&idx, &mut i, &mut out));
+            });
+        }
+        group.finish();
+    }
+
+    // Figure 12: sparse/columnar lattice
+    {
+        let mut group = c.benchmark_group("fig12_storage");
+        for (name, opts) in [
+            ("skew_sparsity", HintOptions { sparse: true, columnar: false }),
+            ("cache_misses", HintOptions { sparse: false, columnar: true }),
+            ("all", HintOptions { sparse: true, columnar: true }),
+        ] {
+            let idx = Hint::build_with_options(&ds.data, m, opts);
+            group.bench_function(name, |b| {
+                let mut out = Vec::with_capacity(4096);
+                let mut i = 0;
+                b.iter(|| run(&idx, &mut i, &mut out));
+            });
+        }
+        group.finish();
+    }
+
+    // Table 6: comparison-free HINT, dense vs sparse
+    {
+        let bits = (64 - (ds.domain - 1).leading_zeros()).min(21);
+        let mut group = c.benchmark_group("table6_hint_cf");
+        for (name, layout) in [("dense", CfLayout::Dense), ("sparse", CfLayout::Sparse)] {
+            let idx = HintCf::build(&ds.data, bits, layout);
+            group.bench_function(name, |b| {
+                let mut out = Vec::with_capacity(4096);
+                let mut i = 0;
+                b.iter(|| run(&idx, &mut i, &mut out));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_optimizations
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmark backing Figure 13: range-query latency of
+//! all six indexes on a BOOKS-shaped clone, at the default 0.1% extent
+//! and at stabbing extent.
+
+use bench::datasets;
+use bench::experiments::build_all;
+use bench::RunConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hint_core::IntervalId;
+use workloads::queries::QueryWorkload;
+use workloads::realistic::RealDataset;
+
+fn bench_queries(c: &mut Criterion) {
+    let cfg = RunConfig { scale_mul: 8, queries: 256, ..RunConfig::default() };
+    let ds = datasets::real(RealDataset::Books, &cfg);
+    let indexes = build_all(&ds, &cfg);
+
+    for (frac, label) in [(0.0, "stab"), (0.001, "extent_0.1pct")] {
+        let extent = (ds.domain as f64 * frac) as u64;
+        let workload = QueryWorkload::uniform(0, ds.domain - 1, extent, cfg.queries, cfg.seed);
+        let mut group = c.benchmark_group(format!("fig13_books/{label}"));
+        for (name, _, idx) in &indexes {
+            group.bench_with_input(BenchmarkId::from_parameter(name), idx, |b, idx| {
+                let mut out: Vec<IntervalId> = Vec::with_capacity(4096);
+                let mut i = 0;
+                b.iter(|| {
+                    let q = workload.queries()[i % workload.len()];
+                    i += 1;
+                    out.clear();
+                    idx.query(q, &mut out);
+                    out.len()
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_queries
+}
+criterion_main!(benches);

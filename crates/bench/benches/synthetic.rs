@@ -1,0 +1,71 @@
+//! Criterion micro-benchmark backing Figure 14: HINT^m vs the strongest
+//! competitors on synthetic data, sweeping the Zipf length exponent `α`
+//! and the query extent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hint_core::IntervalId;
+use workloads::queries::{QueryGen, QueryWorkload};
+use workloads::synthetic::SyntheticConfig;
+
+fn bench_synthetic(c: &mut Criterion) {
+    let base = SyntheticConfig { cardinality: 200_000, ..SyntheticConfig::default() };
+
+    let mut group = c.benchmark_group("fig14_alpha");
+    for alpha in [1.01, 1.2, 1.8] {
+        let data = SyntheticConfig { alpha, ..base }.generate();
+        let workload =
+            QueryWorkload::with_extent_fraction(QueryGen::DataFollowing, &data, 0.001, 256, 42);
+        let hint = hint_core::Hint::build(&data, 14);
+        let tree = interval_tree::IntervalTree::build(&data);
+        group.bench_with_input(BenchmarkId::new("hint_m", alpha), &(), |b, ()| {
+            let mut out: Vec<IntervalId> = Vec::with_capacity(4096);
+            let mut i = 0;
+            b.iter(|| {
+                let q = workload.queries()[i % workload.len()];
+                i += 1;
+                out.clear();
+                hint.query(q, &mut out);
+                out.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("interval_tree", alpha), &(), |b, ()| {
+            let mut out: Vec<IntervalId> = Vec::with_capacity(4096);
+            let mut i = 0;
+            b.iter(|| {
+                let q = workload.queries()[i % workload.len()];
+                i += 1;
+                out.clear();
+                tree.query(q, &mut out);
+                out.len()
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig14_extent");
+    let data = base.generate();
+    let hint = hint_core::Hint::build(&data, 14);
+    for extent in [0.0001, 0.001, 0.01] {
+        let workload =
+            QueryWorkload::with_extent_fraction(QueryGen::DataFollowing, &data, extent, 256, 42);
+        group.bench_with_input(BenchmarkId::new("hint_m", extent), &(), |b, ()| {
+            let mut out: Vec<IntervalId> = Vec::with_capacity(4096);
+            let mut i = 0;
+            b.iter(|| {
+                let q = workload.queries()[i % workload.len()];
+                i += 1;
+                out.clear();
+                hint.query(q, &mut out);
+                out.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_synthetic
+}
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Criterion micro-benchmark backing Table 10: insertion and deletion
+//! cost of the updatable indexes (interval tree, period index, 1D-grid,
+//! update-friendly HINT^m, hybrid HINT^m).
+
+use bench::datasets;
+use bench::RunConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hint_core::Interval;
+use workloads::realistic::RealDataset;
+
+fn bench_updates(c: &mut Criterion) {
+    let cfg = RunConfig { scale_mul: 32, ..RunConfig::default() };
+    let ds = datasets::real(RealDataset::Books, &cfg);
+    let split = ds.data.len() * 9 / 10;
+    let (old, new) = ds.data.split_at(split);
+    let domain_max = ds.domain - 1;
+
+    let mut group = c.benchmark_group("table10_inserts_books");
+    group.sample_size(10);
+    group.bench_function("interval_tree", |b| {
+        b.iter_batched(
+            || {
+                let mut t = interval_tree::IntervalTree::with_domain(0, domain_max);
+                for &s in old.iter().take(20_000) {
+                    t.insert(s);
+                }
+                t
+            },
+            |mut t| {
+                for &s in new.iter().take(1_000) {
+                    t.insert(s);
+                }
+                t.len()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("grid1d", |b| {
+        b.iter_batched(
+            || {
+                let mut g = grid1d::Grid1D::with_domain(0, domain_max, 500);
+                for &s in old.iter().take(20_000) {
+                    g.insert(s);
+                }
+                g
+            },
+            |mut g| {
+                for &s in new.iter().take(1_000) {
+                    g.insert(s);
+                }
+                g.len()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("subs_sopt_hintm", |b| {
+        b.iter_batched(
+            || {
+                let domain = hint_core::Domain::new(0, domain_max, 10);
+                hint_core::HintMSubs::build_with_domain(
+                    &old[..20_000.min(old.len())],
+                    domain,
+                    hint_core::SubsConfig::update_friendly(),
+                )
+            },
+            |mut h| {
+                for &s in new.iter().take(1_000) {
+                    h.insert(s);
+                }
+                h.len()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("hybrid_hintm", |b| {
+        b.iter_batched(
+            || hint_core::HybridHint::new(&old[..20_000.min(old.len())], 0, domain_max, 10),
+            |mut h| {
+                for &s in new.iter().take(1_000) {
+                    h.insert(s);
+                }
+                h.len()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("table10_deletes_books");
+    group.sample_size(10);
+    let victims: Vec<Interval> = old.iter().copied().take(500).collect();
+    group.bench_function("subs_sopt_hintm", |b| {
+        b.iter_batched(
+            || {
+                let domain = hint_core::Domain::new(0, domain_max, 10);
+                hint_core::HintMSubs::build_with_domain(
+                    &old[..20_000.min(old.len())],
+                    domain,
+                    hint_core::SubsConfig::update_friendly(),
+                )
+            },
+            |mut h| {
+                for s in &victims {
+                    h.delete(s);
+                }
+                h.len()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("grid1d", |b| {
+        b.iter_batched(
+            || {
+                let mut g = grid1d::Grid1D::with_domain(0, domain_max, 500);
+                for &s in old.iter().take(20_000) {
+                    g.insert(s);
+                }
+                g
+            },
+            |mut g| {
+                for s in &victims {
+                    g.delete(s);
+                }
+                g.len()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Dataset registry for the experiments: realistic Table-4 clones at the
+//! harness run scale, plus the Table-5 synthetic generator defaults.
+
+use crate::RunConfig;
+use hint_core::Interval;
+use workloads::realistic::{RealDataset, RealisticConfig};
+
+/// A generated dataset plus the bookkeeping the experiments need.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Paper name (BOOKS, WEBKIT, ...).
+    pub name: &'static str,
+    /// The intervals.
+    pub data: Vec<Interval>,
+    /// Domain length used by the generator.
+    pub domain: u64,
+    /// Scale divisor relative to the paper's dataset.
+    pub scale: u64,
+}
+
+/// Generates the clone of one real dataset under the run configuration.
+pub fn real(ds: RealDataset, cfg: &RunConfig) -> Dataset {
+    let scale = ds.default_scale() * cfg.scale_mul;
+    let rc = RealisticConfig::new(ds).with_scale(scale).with_seed(cfg.seed);
+    Dataset { name: ds.name(), data: rc.generate(), domain: rc.domain(), scale }
+}
+
+/// Generates all four real-dataset clones.
+pub fn all_real(cfg: &RunConfig) -> Vec<Dataset> {
+    RealDataset::ALL.iter().map(|&ds| real(ds, cfg)).collect()
+}
+
+/// The two datasets the paper uses for the optimization studies
+/// (Figures 10-12: BOOKS for long intervals, TAXIS for short ones).
+pub fn opt_study(cfg: &RunConfig) -> Vec<Dataset> {
+    vec![real(RealDataset::Books, cfg), real(RealDataset::Taxis, cfg)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_generates_all_clones() {
+        let cfg = RunConfig { scale_mul: 64, ..RunConfig::quick() };
+        let all = all_real(&cfg);
+        assert_eq!(all.len(), 4);
+        for d in &all {
+            assert!(!d.data.is_empty(), "{}", d.name);
+        }
+        assert_eq!(all[0].name, "BOOKS");
+    }
+}

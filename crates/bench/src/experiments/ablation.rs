@@ -1,0 +1,47 @@
+//! Extra ablation (beyond the paper's figures): how many endpoint
+//! comparisons and compared-partitions each design ingredient removes.
+//!
+//! Uses the instrumented query path of the flagship index to report, per
+//! `m`: average partitions compared, average comparisons, and average
+//! results per query — empirically validating Lemma 4 (≈ 4 compared
+//! partitions, independent of extent) and Theorem 2 (`O(n / 2^m)`
+//! comparisons).
+
+use crate::datasets;
+use crate::experiments::{rule, uniform_queries};
+use crate::RunConfig;
+use hint_core::{Hint, WorkloadStats};
+
+/// Runs the ablation.
+pub fn run(cfg: &RunConfig) {
+    println!("== Ablation: comparisons vs m and query extent (Lemma 4 / Theorem 2) ==");
+    for ds in datasets::opt_study(cfg) {
+        println!("\n[{} | n={} domain={}]", ds.name, ds.data.len(), ds.domain);
+        println!(
+            "{:>4} {:>10} {:>18} {:>16} {:>14}",
+            "m", "extent", "avg comp. parts", "avg comparisons", "avg results"
+        );
+        rule(68);
+        let mut m = 7;
+        while m <= cfg.max_m {
+            let idx = Hint::build(&ds.data, m);
+            for extent in [0.0, 0.001, 0.01] {
+                let queries = uniform_queries(&ds, extent, cfg);
+                let mut ws = WorkloadStats::default();
+                let mut out = Vec::new();
+                for &q in queries.queries().iter().take(2000) {
+                    out.clear();
+                    ws.push(idx.query_stats(q, &mut out));
+                }
+                println!(
+                    "{m:>4} {:>9.2}% {:>18.3} {:>16.1} {:>14.1}",
+                    extent * 100.0,
+                    ws.avg_partitions_compared(),
+                    ws.avg_comparisons(),
+                    ws.avg_results()
+                );
+            }
+            m += 4;
+        }
+    }
+}

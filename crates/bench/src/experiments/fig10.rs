@@ -1,0 +1,40 @@
+//! Figure 10: top-down vs bottom-up query evaluation on HINT^m, varying
+//! `m` (BOOKS and TAXIS clones).
+//!
+//! Expected shape (paper §5.2.1): bottom-up clearly ahead on BOOKS (long
+//! intervals live high in the hierarchy, so the Lemma-2 flag clearing
+//! saves real comparisons); near-parity on TAXIS (short intervals sit at
+//! the bottom level, higher levels are empty either way).
+
+use crate::datasets;
+use crate::experiments::{uniform_queries, DEFAULT_EXTENT};
+use crate::measure::query_throughput;
+use crate::RunConfig;
+use hint_core::hintm::base::{Eval, HintMBase};
+
+/// Runs the experiment and prints one block per dataset.
+pub fn run(cfg: &RunConfig) {
+    println!("== Figure 10: HINT^m query evaluation, top-down vs bottom-up ==");
+    for ds in datasets::opt_study(cfg) {
+        let queries = uniform_queries(&ds, DEFAULT_EXTENT, cfg);
+        println!("\n[{} | n={} domain={}]", ds.name, ds.data.len(), ds.domain);
+        println!("{:>4} {:>18} {:>18}", "m", "top-down [q/s]", "bottom-up [q/s]");
+        let mut m = 5;
+        while m <= cfg.max_m {
+            let idx = HintMBase::build(&ds.data, m);
+            let mut out = Vec::new();
+            let td = {
+                let t0 = std::time::Instant::now();
+                for &q in queries.queries() {
+                    out.clear();
+                    idx.query_with(q, Eval::TopDown, &mut out);
+                }
+                queries.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+            };
+            let bu = query_throughput(&idx, queries.queries()).qps;
+            let _ = idx.len();
+            println!("{m:>4} {td:>18.0} {bu:>18.0}");
+            m += 2;
+        }
+    }
+}

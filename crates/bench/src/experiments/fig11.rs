@@ -1,0 +1,62 @@
+//! Figure 11: effect of the §4.1 subdivisions + sorting + storage
+//! optimizations on HINT^m (index size, build time, query throughput as a
+//! function of `m`; BOOKS and TAXIS clones).
+//!
+//! Expected shape (paper §5.2.2): `subs+sort+sopt` dominates throughput
+//! at every `m`; `subs+sopt` yields the small index, `sort` helps at
+//! small `m` where boundary partitions are large.
+
+use crate::datasets;
+use crate::experiments::{rule, uniform_queries, DEFAULT_EXTENT};
+use crate::measure::{mb, query_throughput, time};
+use crate::RunConfig;
+use hint_core::{HintMBase, HintMSubs, SubsConfig};
+
+struct Variant {
+    name: &'static str,
+    cfg: Option<SubsConfig>, // None = base HINT^m
+}
+
+const VARIANTS: [Variant; 4] = [
+    Variant { name: "base", cfg: None },
+    Variant { name: "subs+sort", cfg: Some(SubsConfig { sort: true, sopt: false }) },
+    Variant { name: "subs+sopt", cfg: Some(SubsConfig { sort: false, sopt: true }) },
+    Variant { name: "subs+sort+sopt", cfg: Some(SubsConfig { sort: true, sopt: true }) },
+];
+
+/// Runs the experiment and prints one block per dataset.
+pub fn run(cfg: &RunConfig) {
+    println!("== Figure 11: HINT^m subdivisions & space decomposition ==");
+    for ds in datasets::opt_study(cfg) {
+        let queries = uniform_queries(&ds, DEFAULT_EXTENT, cfg);
+        println!("\n[{} | n={} domain={}]", ds.name, ds.data.len(), ds.domain);
+        println!(
+            "{:>4} {:>16} {:>12} {:>12} {:>16}",
+            "m", "variant", "size [MB]", "build [s]", "queries/s"
+        );
+        rule(66);
+        let mut m = 5;
+        while m <= cfg.max_m {
+            for v in &VARIANTS {
+                let (size, build, qps) = match v.cfg {
+                    None => {
+                        let (t, idx) = time(|| HintMBase::build(&ds.data, m));
+                        (idx.size_bytes(), t, query_throughput(&idx, queries.queries()).qps)
+                    }
+                    Some(sc) => {
+                        let (t, idx) = time(|| HintMSubs::build(&ds.data, m, sc));
+                        (idx.size_bytes(), t, query_throughput(&idx, queries.queries()).qps)
+                    }
+                };
+                println!(
+                    "{m:>4} {:>16} {:>12.1} {:>12.3} {:>16.0}",
+                    v.name,
+                    mb(size),
+                    build,
+                    qps
+                );
+            }
+            m += 4;
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 12: effect of the §4.2 skew/sparsity handling and the §4.3
+//! cache-miss reduction on HINT^m (size, build time, throughput vs `m`).
+//!
+//! Expected shape (paper §5.2.3): the version with both optimizations is
+//! superior everywhere; skew/sparsity cuts space at large `m` (many empty
+//! bottom partitions), the columnar ids array cuts misses on the
+//! comparison-free path.
+
+use crate::datasets;
+use crate::experiments::{rule, uniform_queries, DEFAULT_EXTENT};
+use crate::measure::{mb, query_throughput, time};
+use crate::RunConfig;
+use hint_core::{Hint, HintMSubs, HintOptions, SubsConfig};
+
+/// Runs the experiment and prints one block per dataset.
+pub fn run(cfg: &RunConfig) {
+    println!("== Figure 12: skewness & sparsity + cache-miss optimizations ==");
+    for ds in datasets::opt_study(cfg) {
+        let queries = uniform_queries(&ds, DEFAULT_EXTENT, cfg);
+        println!("\n[{} | n={} domain={}]", ds.name, ds.data.len(), ds.domain);
+        println!(
+            "{:>4} {:>22} {:>12} {:>12} {:>16}",
+            "m", "variant", "size [MB]", "build [s]", "queries/s"
+        );
+        rule(72);
+        let mut m = 5;
+        while m <= cfg.max_m {
+            // baseline: subs+sort+sopt, per-partition storage
+            {
+                let (t, idx) = time(|| HintMSubs::build(&ds.data, m, SubsConfig::full()));
+                let qps = query_throughput(&idx, queries.queries()).qps;
+                println!(
+                    "{m:>4} {:>22} {:>12.1} {:>12.3} {qps:>16.0}",
+                    "subs+sort+sopt",
+                    mb(idx.size_bytes()),
+                    t
+                );
+            }
+            for (name, opts) in [
+                ("skewness & sparsity", HintOptions { sparse: true, columnar: false }),
+                ("cache misses", HintOptions { sparse: false, columnar: true }),
+                ("all optimizations", HintOptions { sparse: true, columnar: true }),
+            ] {
+                let (t, idx) = time(|| Hint::build_with_options(&ds.data, m, opts));
+                let qps = query_throughput(&idx, queries.queries()).qps;
+                println!(
+                    "{m:>4} {name:>22} {:>12.1} {:>12.3} {qps:>16.0}",
+                    mb(idx.size_bytes()),
+                    t
+                );
+            }
+            m += 4;
+        }
+    }
+}

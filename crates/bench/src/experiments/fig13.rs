@@ -1,0 +1,46 @@
+//! Figure 13: query throughput of all six indexes vs query extent
+//! (stabbing, 0.01%, 0.05%, 0.1%, 0.5%, 1% of the domain) on the four
+//! dataset clones.
+//!
+//! Expected shape: HINT and HINT^m lead by roughly an order of magnitude
+//! across the board; 1D-grid closes in only on GREEND (near-point
+//! intervals); throughput of every index decays with extent.
+
+use crate::datasets;
+use crate::experiments::{build_all, rule, uniform_queries};
+use crate::measure::query_throughput;
+use crate::RunConfig;
+
+/// The paper's extent grid (fraction of the domain; 0 = stabbing).
+pub const EXTENTS: [(f64, &str); 6] = [
+    (0.0, "stab"),
+    (0.0001, "0.01%"),
+    (0.0005, "0.05%"),
+    (0.001, "0.1%"),
+    (0.005, "0.5%"),
+    (0.01, "1%"),
+];
+
+/// Runs the experiment.
+pub fn run(cfg: &RunConfig) {
+    println!("== Figure 13: throughput [queries/s] vs query extent ==");
+    for ds in datasets::all_real(cfg) {
+        println!("\n[{} | n={} domain={}]", ds.name, ds.data.len(), ds.domain);
+        let indexes = build_all(&ds, cfg);
+        print!("{:>14}", "index");
+        for (_, label) in EXTENTS {
+            print!(" {label:>10}");
+        }
+        println!();
+        rule(14 + EXTENTS.len() * 11);
+        for (name, _, idx) in &indexes {
+            print!("{name:>14}");
+            for (frac, _) in EXTENTS {
+                let queries = uniform_queries(&ds, frac, cfg);
+                let t = query_throughput(idx.as_ref(), queries.queries());
+                print!(" {:>10.0}", t.qps);
+            }
+            println!();
+        }
+    }
+}

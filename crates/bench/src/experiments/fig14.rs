@@ -1,0 +1,136 @@
+//! Figure 14: throughput of all six indexes on synthetic datasets,
+//! sweeping one Table-5 parameter at a time (domain size, cardinality,
+//! Zipf `α` for lengths, Gaussian `σ` for positions, query extent).
+//!
+//! Parameter grids follow Table 5 scaled 1/100 for laptop runs (the
+//! defaults bolded in the paper become: domain 1.28M, n 1M, α 1.2,
+//! σ 10K, extent 0.1%). Queries are data-following, as in the paper.
+//!
+//! Expected shape: HINT/HINT^m always lead; 1D-grid trails the other
+//! competitors under skew; throughput falls with domain, cardinality and
+//! extent, and rises with `α` (shorter intervals) and `σ` (more spread).
+
+use crate::experiments::rule;
+use crate::measure::{query_throughput, time};
+use crate::RunConfig;
+use hint_core::IntervalIndex;
+use workloads::queries::{QueryGen, QueryWorkload};
+use workloads::synthetic::SyntheticConfig;
+
+fn build_all_synth(data: &[hint_core::Interval], cfg: &RunConfig) -> Vec<(&'static str, Box<dyn IntervalIndex>)> {
+    let n = data.len();
+    let mut out: Vec<(&'static str, Box<dyn IntervalIndex>)> = Vec::new();
+    let (_, idx) = time(|| interval_tree::IntervalTree::build(data));
+    out.push(("Interval tree", Box::new(idx)));
+    let (_, idx) = time(|| period_index::PeriodIndex::build(data, 100, 4));
+    out.push(("Period", Box::new(idx)));
+    // synthetic positions are Gaussian-concentrated, so checkpoint active
+    // sets are huge; cap the checkpoint count to keep the timeline index
+    // within laptop memory (the paper's server had 384 GB)
+    let (_, idx) = time(|| timeline_index::TimelineIndex::build_with_spacing(data, (2 * n / 500).max(64)));
+    out.push(("Timeline", Box::new(idx)));
+    let (_, idx) = time(|| grid1d::Grid1D::build(data, 1000));
+    out.push(("1D-grid", Box::new(idx)));
+    let (_, idx) = time(|| hint_core::HintCf::build(data, 24, hint_core::CfLayout::Sparse));
+    out.push(("HINT", Box::new(idx)));
+    let m = cfg.max_m.min(16);
+    let (_, idx) = time(|| hint_core::Hint::build(data, m));
+    out.push(("HINT^m", Box::new(idx)));
+    out
+}
+
+fn sweep(
+    title: &str,
+    cfg: &RunConfig,
+    configs: Vec<(String, SyntheticConfig, f64)>, // (label, data config, extent)
+) {
+    println!("\n-- {title} --");
+    let labels: Vec<&String> = configs.iter().map(|(l, _, _)| l).collect();
+    print!("{:>14}", "index");
+    for l in &labels {
+        print!(" {l:>10}");
+    }
+    println!();
+    rule(14 + labels.len() * 11);
+    // generate all datasets and indexes column by column, then transpose
+    let mut cols: Vec<Vec<(String, f64)>> = Vec::new();
+    for (_, sc, extent) in &configs {
+        let data = sc.generate();
+        let queries = QueryWorkload::with_extent_fraction(
+            QueryGen::DataFollowing,
+            &data,
+            *extent,
+            cfg.queries,
+            cfg.seed,
+        );
+        let col = build_all_synth(&data, cfg)
+            .into_iter()
+            .map(|(name, idx)| {
+                (name.to_string(), query_throughput(idx.as_ref(), queries.queries()).qps)
+            })
+            .collect();
+        cols.push(col);
+    }
+    for row in 0..cols[0].len() {
+        print!("{:>14}", cols[0][row].0);
+        for col in &cols {
+            print!(" {:>10.0}", col[row].1);
+        }
+        println!();
+    }
+}
+
+/// Runs all five sweeps.
+pub fn run(cfg: &RunConfig) {
+    println!("== Figure 14: synthetic parameter sweeps (Table 5 / 100) ==");
+    let base = SyntheticConfig {
+        cardinality: (1_000_000 / cfg.scale_mul as usize).max(50_000),
+        ..SyntheticConfig::default()
+    };
+
+    sweep(
+        "domain size",
+        cfg,
+        [320_000u64, 640_000, 1_280_000, 2_560_000, 5_120_000]
+            .iter()
+            .map(|&d| {
+                (format!("{}K", d / 1000), SyntheticConfig { domain: d, ..base }, 0.001)
+            })
+            .collect(),
+    );
+    sweep(
+        "cardinality",
+        cfg,
+        [100_000usize, 250_000, 500_000, 1_000_000]
+            .iter()
+            .map(|&n| {
+                let n = (n / cfg.scale_mul as usize).max(10_000);
+                (format!("{}K", n / 1000), SyntheticConfig { cardinality: n, ..base }, 0.001)
+            })
+            .collect(),
+    );
+    sweep(
+        "alpha (interval length)",
+        cfg,
+        [1.01, 1.1, 1.2, 1.4, 1.8]
+            .iter()
+            .map(|&a| (format!("{a}"), SyntheticConfig { alpha: a, ..base }, 0.001))
+            .collect(),
+    );
+    sweep(
+        "sigma (interval position)",
+        cfg,
+        [100.0, 1_000.0, 10_000.0, 50_000.0, 100_000.0]
+            .iter()
+            .map(|&s| (format!("{}", s as u64), SyntheticConfig { sigma: s, ..base }, 0.001))
+            .collect(),
+    );
+    sweep(
+        "query extent",
+        cfg,
+        [0.0001, 0.0005, 0.001, 0.005, 0.01]
+            .iter()
+            .map(|&e| (format!("{}%", e * 100.0), base, e))
+            .collect(),
+    );
+}

@@ -1,0 +1,171 @@
+//! Table 10: mixed query/update workload — 10K range queries (0.1%
+//! extent), 5K insertions, 1K deletions over an index pre-filled with 90%
+//! of the dataset (BOOKS and TAXIS clones).
+//!
+//! Competitors: interval tree, period index, 1D-grid, the update-friendly
+//! `subs+sopt` HINT^m, and the hybrid HINT^m (optimized main + delta,
+//! §4.4). Expected shape: both HINT^m variants lead queries by ~4-10x and
+//! keep insert/delete throughput competitive; the interval tree pays for
+//! sorted-list maintenance; the hybrid setting wins the total cost.
+
+use crate::datasets;
+use crate::experiments::{competitor_params, model_m, rule, DEFAULT_EXTENT};
+use crate::RunConfig;
+use hint_core::{Interval, IntervalId, RangeQuery};
+use std::time::Instant;
+use workloads::queries::QueryWorkload;
+use workloads::realistic::RealDataset;
+
+/// Per-index outcome of the mixed workload.
+struct Row {
+    name: &'static str,
+    queries_ps: f64,
+    inserts_ps: f64,
+    deletes_ps: f64,
+    total_s: f64,
+}
+
+/// Abstracts the five updatable competitors.
+trait Updatable {
+    fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>);
+    fn insert(&mut self, s: Interval);
+    fn delete(&mut self, s: &Interval) -> bool;
+}
+
+macro_rules! impl_updatable {
+    ($ty:ty) => {
+        impl Updatable for $ty {
+            fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+                <$ty>::query(self, q, out)
+            }
+            fn insert(&mut self, s: Interval) {
+                <$ty>::insert(self, s)
+            }
+            fn delete(&mut self, s: &Interval) -> bool {
+                <$ty>::delete(self, s)
+            }
+        }
+    };
+}
+
+impl_updatable!(interval_tree::IntervalTree);
+impl_updatable!(period_index::PeriodIndex);
+impl_updatable!(grid1d::Grid1D);
+impl_updatable!(hint_core::HintMSubs);
+impl_updatable!(hint_core::HybridHint);
+
+fn run_mixed(
+    idx: &mut dyn Updatable,
+    name: &'static str,
+    queries: &QueryWorkload,
+    inserts: &[Interval],
+    deletes: &[Interval],
+) -> Row {
+    let mut out = Vec::new();
+    let t0 = Instant::now();
+    for &q in queries.queries() {
+        out.clear();
+        idx.query(q, &mut out);
+    }
+    let tq = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    for &s in inserts {
+        idx.insert(s);
+    }
+    let ti = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    for s in deletes {
+        idx.delete(s);
+    }
+    let td = t0.elapsed().as_secs_f64();
+
+    Row {
+        name,
+        queries_ps: queries.len() as f64 / tq.max(1e-9),
+        inserts_ps: inserts.len() as f64 / ti.max(1e-9),
+        deletes_ps: deletes.len() as f64 / td.max(1e-9),
+        total_s: tq + ti + td,
+    }
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &RunConfig) {
+    println!("== Table 10: mixed workload (queries + inserts + deletes) ==");
+    for ds_kind in [RealDataset::Books, RealDataset::Taxis] {
+        let ds = datasets::real(ds_kind, cfg);
+        let n = ds.data.len();
+        let split = n * 9 / 10;
+        let (old, new) = ds.data.split_at(split);
+        let inserts: Vec<Interval> = new.iter().copied().take(cfg.queries / 2).collect();
+        let deletes: Vec<Interval> = old.iter().copied().take(cfg.queries / 10).collect();
+        let queries = {
+            let extent = (ds.domain as f64 * DEFAULT_EXTENT) as u64;
+            QueryWorkload::uniform(0, ds.domain - 1, extent, cfg.queries, cfg.seed)
+        };
+        let params = competitor_params(ds.name, n);
+        let m = model_m(&ds, DEFAULT_EXTENT, cfg.max_m);
+
+        println!(
+            "\n[{} | prefill={} inserts={} deletes={} queries={}]",
+            ds.name,
+            split,
+            inserts.len(),
+            deletes.len(),
+            queries.len()
+        );
+        println!(
+            "{:>18} {:>12} {:>14} {:>14} {:>12}",
+            "index", "queries/s", "inserts/s", "deletes/s", "total [s]"
+        );
+        rule(74);
+
+        let mut rows = Vec::new();
+        {
+            let mut idx = interval_tree::IntervalTree::with_domain(0, ds.domain - 1);
+            for &s in old {
+                idx.insert(s);
+            }
+            rows.push(run_mixed(&mut idx, "Interval tree", &queries, &inserts, &deletes));
+        }
+        {
+            let mut idx = period_index::PeriodIndex::with_domain(
+                0,
+                ds.domain - 1,
+                params.period_p,
+                params.period_levels,
+            );
+            for &s in old {
+                idx.insert(s);
+            }
+            rows.push(run_mixed(&mut idx, "Period", &queries, &inserts, &deletes));
+        }
+        {
+            let mut idx = grid1d::Grid1D::with_domain(0, ds.domain - 1, params.grid_p);
+            for &s in old {
+                idx.insert(s);
+            }
+            rows.push(run_mixed(&mut idx, "1D-grid", &queries, &inserts, &deletes));
+        }
+        {
+            let domain = hint_core::Domain::new(0, ds.domain - 1, m);
+            let mut idx = hint_core::HintMSubs::build_with_domain(
+                old,
+                domain,
+                hint_core::SubsConfig::update_friendly(),
+            );
+            rows.push(run_mixed(&mut idx, "subs+sopt HINT^m", &queries, &inserts, &deletes));
+        }
+        {
+            let mut idx = hint_core::HybridHint::new(old, 0, ds.domain - 1, m);
+            rows.push(run_mixed(&mut idx, "HINT^m (hybrid)", &queries, &inserts, &deletes));
+        }
+        for r in rows {
+            println!(
+                "{:>18} {:>12.0} {:>14.0} {:>14.0} {:>12.2}",
+                r.name, r.queries_ps, r.inserts_ps, r.deletes_ps, r.total_s
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Table 7: statistics and parameter setting — the §3.3 model's `m_opt`
+//! vs the experimentally best `m`, the Theorem-1 replication factor `k`
+//! (model vs measured), and the average number of partitions requiring
+//! comparisons per query (Lemma 4 predicts < 4).
+
+use crate::datasets;
+use crate::experiments::{rule, uniform_queries, DEFAULT_EXTENT};
+use crate::measure::query_throughput;
+use crate::RunConfig;
+use hint_core::cost_model::{self, ModelInput};
+use hint_core::{measure_betas, Hint, WorkloadStats};
+
+/// Runs the experiment.
+pub fn run(cfg: &RunConfig) {
+    println!("== Table 7: statistics and parameter setting ==");
+    let betas = measure_betas();
+    println!(
+        "(measured betas: cmp = {:.2e} s, acc = {:.2e} s)",
+        betas.cmp, betas.acc
+    );
+    println!(
+        "{:>8} | {:>12} {:>12} | {:>10} {:>10} | {:>16}",
+        "dataset", "m_opt model", "m_opt exps", "k model", "k exps", "avg comp. part."
+    );
+    rule(84);
+    for ds in datasets::all_real(cfg) {
+        let queries = uniform_queries(&ds, DEFAULT_EXTENT, cfg);
+        let lambda_q = ds.domain as f64 * DEFAULT_EXTENT;
+        let input = ModelInput::from_data(&ds.data, lambda_q);
+        let m_model = cost_model::m_opt(&input, &betas, 0.03);
+
+        // experimental m_opt: best throughput over the sweep
+        let mut best = (0u32, 0.0f64);
+        let mut best_idx: Option<Hint> = None;
+        let mut m = 5;
+        while m <= cfg.max_m {
+            let idx = Hint::build(&ds.data, m);
+            let qps = query_throughput(&idx, queries.queries()).qps;
+            if qps > best.1 {
+                best = (m, qps);
+                best_idx = Some(idx);
+            }
+            m += 1;
+        }
+        let idx = best_idx.expect("at least one m in sweep");
+        let k_model = cost_model::replication_factor(&input, best.0);
+        let k_exp = idx.entries() as f64 / idx.len() as f64;
+
+        // avg partitions compared, on a sample of the workload
+        let mut ws = WorkloadStats::default();
+        let mut out = Vec::new();
+        for &q in queries.queries().iter().take(2000) {
+            out.clear();
+            ws.push(idx.query_stats(q, &mut out));
+        }
+        println!(
+            "{:>8} | {:>12} {:>12} | {:>10.2} {:>10.2} | {:>16.3}",
+            ds.name,
+            m_model,
+            best.0,
+            k_model,
+            k_exp,
+            ws.avg_partitions_compared()
+        );
+    }
+    println!("(Lemma 4: avg comp. part. expected < 4 on every dataset)");
+}

@@ -1,0 +1,40 @@
+//! Table 8: index size \[MB\] of all six indexes on the four dataset
+//! clones.
+//!
+//! Expected shape: HINT^m smallest (or tied) on long-interval datasets;
+//! comparison-free HINT pays heavy replication on TAXIS/GREEND; the
+//! timeline index pays for its checkpoints.
+
+use crate::datasets;
+use crate::experiments::{build_all, rule};
+use crate::measure::mb;
+use crate::RunConfig;
+
+/// Runs the experiment.
+pub fn run(cfg: &RunConfig) {
+    println!("== Table 8: index size [MB] ==");
+    let all = datasets::all_real(cfg);
+    print!("{:>14}", "index");
+    for ds in &all {
+        print!(" {:>10}", ds.name);
+    }
+    println!();
+    rule(14 + all.len() * 11);
+    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); 6];
+    let mut names = Vec::new();
+    for ds in &all {
+        for (i, (name, _, idx)) in build_all(ds, cfg).into_iter().enumerate() {
+            if names.len() < 6 {
+                names.push(name);
+            }
+            rows[i].push(mb(idx.size_bytes()));
+        }
+    }
+    for (name, row) in names.iter().zip(&rows) {
+        print!("{name:>14}");
+        for v in row {
+            print!(" {v:>10.1}");
+        }
+        println!();
+    }
+}

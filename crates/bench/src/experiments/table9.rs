@@ -1,0 +1,39 @@
+//! Table 9: index construction time \[s\] of all six indexes on the four
+//! dataset clones.
+//!
+//! Expected shape: 1D-grid fastest; HINT^m the runner-up on the large
+//! inputs; the timeline index slowest on the small long-interval sets
+//! (sorting + checkpoint materialization).
+
+use crate::datasets;
+use crate::experiments::{build_all, rule};
+use crate::RunConfig;
+
+/// Runs the experiment.
+pub fn run(cfg: &RunConfig) {
+    println!("== Table 9: index build time [s] ==");
+    let all = datasets::all_real(cfg);
+    print!("{:>14}", "index");
+    for ds in &all {
+        print!(" {:>10}", ds.name);
+    }
+    println!();
+    rule(14 + all.len() * 11);
+    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); 6];
+    let mut names = Vec::new();
+    for ds in &all {
+        for (i, (name, secs, _)) in build_all(ds, cfg).into_iter().enumerate() {
+            if names.len() < 6 {
+                names.push(name);
+            }
+            rows[i].push(secs);
+        }
+    }
+    for (name, row) in names.iter().zip(&rows) {
+        print!("{name:>14}");
+        for v in row {
+            print!(" {v:>10.3}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,42 @@
+//! Benchmark harness for the HINT reproduction.
+//!
+//! The [`experiments`] module contains one generator per table and figure
+//! of the paper's evaluation (§5); the `harness` binary exposes them as
+//! subcommands and prints paper-style rows. [`measure`] holds the shared
+//! timing utilities and [`datasets`] the dataset registry.
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod measure;
+
+/// Runtime options shared by all experiments (set from harness CLI flags).
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Extra divisor applied on top of each dataset's default scale
+    /// (>1 = smaller/faster, e.g. for smoke tests).
+    pub scale_mul: u64,
+    /// Number of queries per throughput measurement.
+    pub queries: usize,
+    /// Largest `m` in the `m`-sweeps (Figures 10-12).
+    pub max_m: u32,
+    /// RNG seed for workloads.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self { scale_mul: 1, queries: 10_000, max_m: 17, seed: 42 }
+    }
+}
+
+impl RunConfig {
+    /// A fast configuration for smoke tests / CI.
+    pub fn quick() -> Self {
+        Self { scale_mul: 8, queries: 1_000, max_m: 13, seed: 42 }
+    }
+}

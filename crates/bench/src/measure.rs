@@ -1,0 +1,65 @@
+//! Timing utilities: build-time and query-throughput measurement in the
+//! paper's units (seconds to build, queries/second to search).
+
+use hint_core::{IntervalId, IntervalIndex, RangeQuery};
+use std::time::Instant;
+
+/// Result of a throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Queries per second.
+    pub qps: f64,
+    /// Total results reported (sanity check between indexes).
+    pub results: u64,
+}
+
+/// Runs the full query batch against `index` and reports throughput.
+/// The result buffer is reused across queries, as in the paper's setup
+/// (throughput measurement over 10K random queries).
+pub fn query_throughput<I: IntervalIndex + ?Sized>(index: &I, queries: &[RangeQuery]) -> Throughput {
+    let mut out: Vec<IntervalId> = Vec::with_capacity(1024);
+    let mut results = 0u64;
+    let t0 = Instant::now();
+    for &q in queries {
+        out.clear();
+        index.query(q, &mut out);
+        results += out.len() as u64;
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    Throughput { qps: queries.len() as f64 / secs, results }
+}
+
+/// Times a closure (e.g. an index build), returning (seconds, value).
+pub fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let v = f();
+    (t0.elapsed().as_secs_f64(), v)
+}
+
+/// Formats a byte count as MB with two decimals (Table 8 units).
+pub fn mb(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hint_core::{Hint, Interval};
+
+    #[test]
+    fn throughput_counts_results() {
+        let data: Vec<Interval> = (0..100).map(|i| Interval::new(i, i * 10, i * 10 + 5)).collect();
+        let idx = Hint::build(&data, 8);
+        let queries = vec![RangeQuery::new(0, 995); 10];
+        let t = query_throughput(&idx, &queries);
+        assert_eq!(t.results, 1000);
+        assert!(t.qps > 0.0);
+    }
+
+    #[test]
+    fn time_measures_nonnegative() {
+        let (secs, v) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,314 @@
+//! A uniform 1D-grid over the interval domain, with reference-value
+//! duplicate elimination \[15\] — the simple, practical baseline of §2 /
+//! Figure 3 of the HINT paper.
+//!
+//! The domain is split into `p` equal-width, pairwise-disjoint partitions;
+//! every interval is stored in **all** partitions it overlaps (replication
+//! grows with interval length — the paper's space criticism). A range query
+//! visits each overlapping partition and reports an interval `s` iff the
+//! *reference value* `v = max(s.st, q.st)` falls inside that partition, so
+//! each result is emitted exactly once without a dedup table.
+//!
+//! Updates are fast (Table 1): inserts append to the relevant partitions,
+//! deletes tombstone them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hint_core::{Interval, IntervalId, IntervalIndex, RangeQuery, Time, TOMBSTONE};
+
+/// Uniform 1D-grid interval index.
+#[derive(Debug, Clone)]
+pub struct Grid1D {
+    /// Partition boundaries: partition `i` spans
+    /// `[bounds[i], bounds[i + 1] - 1]` (the last one is inclusive of max).
+    min: Time,
+    max: Time,
+    width: Time,
+    parts: Vec<Vec<Interval>>,
+    live: usize,
+    tombstones: usize,
+}
+
+/// Default number of grid partitions.
+pub const DEFAULT_PARTITIONS: usize = 1000;
+
+impl Grid1D {
+    /// Builds a grid with `p` partitions over the dataset's endpoint range.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or `p == 0` (use
+    /// [`Grid1D::with_domain`] for an empty, insert-ready grid).
+    pub fn build(data: &[Interval], p: usize) -> Self {
+        assert!(!data.is_empty(), "use with_domain() for an empty grid");
+        let mut min = Time::MAX;
+        let mut max = 0;
+        for s in data {
+            min = min.min(s.st);
+            max = max.max(s.end);
+        }
+        let mut grid = Self::with_domain(min, max, p);
+        for &s in data {
+            grid.insert(s);
+        }
+        grid
+    }
+
+    /// Creates an empty grid with `p` partitions over `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if `min > max` or `p == 0`.
+    pub fn with_domain(min: Time, max: Time, p: usize) -> Self {
+        assert!(min <= max && p > 0);
+        let span = max - min + 1;
+        let width = span.div_ceil(p as u64).max(1);
+        let actual_p = span.div_ceil(width) as usize;
+        Self { min, max, width, parts: vec![Vec::new(); actual_p], live: 0, tombstones: 0 }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of live intervals.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live intervals remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Partition index containing domain value `x` (clamped).
+    #[inline]
+    fn part_of(&self, x: Time) -> usize {
+        let x = x.clamp(self.min, self.max);
+        (((x - self.min) / self.width) as usize).min(self.parts.len() - 1)
+    }
+
+    /// First domain value of partition `i`.
+    #[inline]
+    fn part_start(&self, i: usize) -> Time {
+        self.min + i as Time * self.width
+    }
+
+    /// Evaluates a range query with reference-value deduplication.
+    pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        if q.end < self.min || q.st > self.max {
+            return;
+        }
+        let first = self.part_of(q.st);
+        let last = self.part_of(q.end);
+        // First partition: the reference value max(s.st, q.st) of every
+        // overlapping interval lies here, so a plain overlap test suffices.
+        for s in &self.parts[first] {
+            if s.overlaps(&q) {
+                push(s.id, out);
+            }
+        }
+        // Later partitions: report s iff it *starts* here (reference value
+        // = s.st > q.st) and still overlaps q (s.st <= q.end; the end
+        // condition is automatic because s starts after q.st).
+        for (i, part) in self.parts.iter().enumerate().take(last + 1).skip(first + 1) {
+            let pstart = self.part_start(i);
+            for s in part {
+                if s.st >= pstart && s.st <= q.end {
+                    push(s.id, out);
+                }
+            }
+        }
+    }
+
+    /// Convenience: stabbing query.
+    pub fn stab(&self, t: Time, out: &mut Vec<IntervalId>) {
+        self.query(RangeQuery::stab(t), out)
+    }
+
+    /// Inserts an interval into every partition it overlaps (fast append).
+    ///
+    /// # Panics
+    /// Panics if the endpoints fall outside the grid domain.
+    pub fn insert(&mut self, s: Interval) {
+        assert!(s.st >= self.min && s.end <= self.max, "interval outside grid domain");
+        let first = self.part_of(s.st);
+        let last = self.part_of(s.end);
+        for part in &mut self.parts[first..=last] {
+            part.push(s);
+        }
+        self.live += 1;
+    }
+
+    /// Logically deletes an interval from every partition holding it.
+    /// Returns true if found.
+    pub fn delete(&mut self, s: &Interval) -> bool {
+        let first = self.part_of(s.st);
+        let last = self.part_of(s.end);
+        let mut found = false;
+        for part in &mut self.parts[first..=last] {
+            for slot in part.iter_mut() {
+                if slot.id == s.id {
+                    slot.id = TOMBSTONE;
+                    found = true;
+                    break;
+                }
+            }
+        }
+        if found {
+            self.live -= 1;
+            self.tombstones += 1;
+        }
+        found
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.parts.len() * std::mem::size_of::<Vec<Interval>>()
+            + self.entries() * std::mem::size_of::<Interval>()
+    }
+
+    /// Total stored entries (replication included).
+    pub fn entries(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+}
+
+impl IntervalIndex for Grid1D {
+    fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        Grid1D::query(self, q, out)
+    }
+    fn size_bytes(&self) -> usize {
+        Grid1D::size_bytes(self)
+    }
+    fn len(&self) -> usize {
+        Grid1D::len(self)
+    }
+}
+
+#[inline]
+fn push(id: IntervalId, out: &mut Vec<IntervalId>) {
+    if id != TOMBSTONE {
+        out.push(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hint_core::ScanOracle;
+
+    fn sorted(mut v: Vec<IntervalId>) -> Vec<IntervalId> {
+        v.sort_unstable();
+        v
+    }
+
+    fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 11
+        };
+        (0..n)
+            .map(|i| {
+                let st = next() % dom;
+                let len = next() % max_len;
+                Interval::new(i, st, (st + len).min(dom - 1).max(st))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exhaustive_small_domain_various_p() {
+        let data = lcg_data(150, 64, 25, 3);
+        for p in [1, 3, 7, 16, 64, 200] {
+            let grid = Grid1D::build(&data, p);
+            let oracle = ScanOracle::new(&data);
+            for st in 0..64u64 {
+                for end in st..64 {
+                    let q = RangeQuery::new(st, end);
+                    let mut got = Vec::new();
+                    grid.query(q, &mut got);
+                    assert_eq!(sorted(got), oracle.query_sorted(q), "p={p} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_large_domain() {
+        let data = lcg_data(700, 1_000_000, 80_000, 7);
+        let grid = Grid1D::build(&data, 500);
+        let oracle = ScanOracle::new(&data);
+        let mut x = 1u64;
+        for _ in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let st = (x >> 17) % 1_000_000;
+            let end = (st + (x >> 5) % 90_000).min(999_999);
+            let q = RangeQuery::new(st, end);
+            let mut got = Vec::new();
+            grid.query(q, &mut got);
+            assert_eq!(sorted(got), oracle.query_sorted(q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn no_duplicates_despite_replication() {
+        let data = lcg_data(300, 10_000, 5_000, 13); // long intervals
+        let grid = Grid1D::build(&data, 100);
+        assert!(grid.entries() > data.len(), "long intervals must replicate");
+        for st in (0..10_000u64).step_by(111) {
+            let q = RangeQuery::new(st, (st + 6000).min(9999));
+            let mut got = Vec::new();
+            grid.query(q, &mut got);
+            let n = got.len();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(n, got.len(), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn updates_match_oracle() {
+        let data = lcg_data(200, 2048, 150, 5);
+        let mut grid = Grid1D::with_domain(0, 2047, 64);
+        let mut oracle = ScanOracle::new(&[]);
+        for &s in &data {
+            grid.insert(s);
+            oracle.insert(s);
+        }
+        for s in data.iter().filter(|s| s.id % 3 == 0) {
+            assert_eq!(grid.delete(s), oracle.delete(s.id));
+        }
+        for st in (0..2048u64).step_by(29) {
+            let q = RangeQuery::new(st, (st + 100).min(2047));
+            let mut got = Vec::new();
+            grid.query(q, &mut got);
+            assert_eq!(sorted(got), oracle.query_sorted(q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn stabbing() {
+        let data = lcg_data(300, 4096, 600, 11);
+        let grid = Grid1D::build(&data, 128);
+        let oracle = ScanOracle::new(&data);
+        for t in (0..4096).step_by(13) {
+            let mut got = Vec::new();
+            grid.stab(t, &mut got);
+            assert_eq!(sorted(got), oracle.query_sorted(RangeQuery::stab(t)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn single_partition_grid_degenerates_to_scan() {
+        let data = lcg_data(50, 1000, 100, 17);
+        let grid = Grid1D::build(&data, 1);
+        assert_eq!(grid.partitions(), 1);
+        let oracle = ScanOracle::new(&data);
+        let q = RangeQuery::new(100, 500);
+        let mut got = Vec::new();
+        grid.query(q, &mut got);
+        assert_eq!(sorted(got), oracle.query_sorted(q));
+    }
+}

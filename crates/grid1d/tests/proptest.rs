@@ -1,0 +1,49 @@
+//! Property-based validation of the 1D-grid: the reference-value method
+//! must eliminate all duplicates for any partition count.
+
+use grid1d::Grid1D;
+use hint_core::{Interval, RangeQuery, ScanOracle};
+use proptest::prelude::*;
+
+fn intervals(max_val: u64) -> impl Strategy<Value = Vec<Interval>> {
+    prop::collection::vec((0..max_val, 0..max_val), 1..100).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b))| Interval::new(i as u64, a.min(b), a.max(b)))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matches_oracle_any_partition_count(
+        data in intervals(4_000),
+        qa in 0u64..4_000,
+        qb in 0u64..4_000,
+        p in 1usize..300,
+    ) {
+        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
+        let oracle = ScanOracle::new(&data);
+        let grid = Grid1D::build(&data, p);
+        let mut got = Vec::new();
+        grid.query(q, &mut got);
+        let n = got.len();
+        got.sort_unstable();
+        got.dedup();
+        prop_assert_eq!(n, got.len(), "reference-value dedup failed");
+        prop_assert_eq!(got, oracle.query_sorted(q));
+    }
+
+    #[test]
+    fn replication_grows_with_partitions_for_long_intervals(
+        data in intervals(1_000),
+    ) {
+        let coarse = Grid1D::build(&data, 2);
+        let fine = Grid1D::build(&data, 200);
+        prop_assert!(fine.entries() >= coarse.entries());
+        prop_assert!(coarse.entries() >= data.len());
+    }
+}

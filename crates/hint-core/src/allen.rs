@@ -1,0 +1,298 @@
+//! Allen-algebra selection queries on top of HINT^m (§6 future work).
+//!
+//! Each of Allen's thirteen interval relations \[1\] is evaluated as a
+//! *minimal-superset range probe* on the underlying [`Hint`] followed by an
+//! exact refinement against the record table. The probe is chosen so that
+//! every qualifying interval must overlap the probed range — e.g. any `s`
+//! that `CONTAINS q` must overlap the stabbing point `q.st` — so the
+//! refinement only filters, never misses.
+
+use crate::hintm::opt::Hint;
+use crate::interval::{Interval, IntervalId, RangeQuery, Time};
+
+/// Allen's thirteen relations, stated for a stored interval `s` relative
+/// to the query interval `q`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllenRelation {
+    /// `s.end < q.st`
+    Before,
+    /// `s.st > q.end`
+    After,
+    /// `s.end == q.st` (and `s.st < q.st`: the intervals only touch)
+    Meets,
+    /// `s.st == q.end` (and `s.end > q.end`)
+    MetBy,
+    /// `s.st < q.st && q.st < s.end && s.end < q.end` — strict overlap
+    /// from the left (`s.end == q.st` is `Meets`, not `Overlaps`)
+    Overlaps,
+    /// mirror of [`AllenRelation::Overlaps`]
+    OverlappedBy,
+    /// `q.st < s.st && s.end < q.end`
+    During,
+    /// `s.st < q.st && q.end < s.end`
+    Contains,
+    /// `s.st == q.st && s.end < q.end`
+    Starts,
+    /// `s.st == q.st && s.end > q.end`
+    StartedBy,
+    /// `s.end == q.end && s.st > q.st`
+    Finishes,
+    /// `s.end == q.end && s.st < q.st`
+    FinishedBy,
+    /// `s.st == q.st && s.end == q.end`
+    Equals,
+}
+
+impl AllenRelation {
+    /// All thirteen relations.
+    pub const ALL: [AllenRelation; 13] = [
+        AllenRelation::Before,
+        AllenRelation::After,
+        AllenRelation::Meets,
+        AllenRelation::MetBy,
+        AllenRelation::Overlaps,
+        AllenRelation::OverlappedBy,
+        AllenRelation::During,
+        AllenRelation::Contains,
+        AllenRelation::Starts,
+        AllenRelation::StartedBy,
+        AllenRelation::Finishes,
+        AllenRelation::FinishedBy,
+        AllenRelation::Equals,
+    ];
+
+    /// The exact predicate of this relation for `s` against `q`.
+    pub fn matches(self, s: &Interval, q: &RangeQuery) -> bool {
+        match self {
+            AllenRelation::Before => s.end < q.st,
+            AllenRelation::After => s.st > q.end,
+            AllenRelation::Meets => s.end == q.st && s.st < q.st,
+            AllenRelation::MetBy => s.st == q.end && s.end > q.end,
+            AllenRelation::Overlaps => s.st < q.st && s.end > q.st && s.end < q.end,
+            AllenRelation::OverlappedBy => s.st > q.st && s.st < q.end && s.end > q.end,
+            AllenRelation::During => s.st > q.st && s.end < q.end,
+            AllenRelation::Contains => s.st < q.st && s.end > q.end,
+            AllenRelation::Starts => s.st == q.st && s.end < q.end,
+            AllenRelation::StartedBy => s.st == q.st && s.end > q.end,
+            AllenRelation::Finishes => s.end == q.end && s.st > q.st,
+            AllenRelation::FinishedBy => s.end == q.end && s.st < q.st,
+            AllenRelation::Equals => s.st == q.st && s.end == q.end,
+        }
+    }
+}
+
+/// A [`Hint`] paired with an id-sorted record table, supporting Allen
+/// selections and duration-constrained range queries.
+#[derive(Debug, Clone)]
+pub struct AllenIndex {
+    hint: Hint,
+    /// Records sorted by id for refinement lookups.
+    records: Vec<Interval>,
+    /// Domain bounds for the `Before`/`After` complement probes.
+    min: Time,
+    max: Time,
+}
+
+impl AllenIndex {
+    /// Builds the index over `data` with `m + 1` HINT^m levels.
+    pub fn build(data: &[Interval], m: u32) -> Self {
+        let hint = Hint::build(data, m);
+        let mut records = data.to_vec();
+        records.sort_unstable_by_key(|s| s.id);
+        let min = hint.domain().min();
+        let max = hint.domain().max();
+        Self { hint, records, min, max }
+    }
+
+    /// Access to the underlying range index.
+    pub fn hint(&self) -> &Hint {
+        &self.hint
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Looks up a record by id (binary search over the id-sorted table).
+    pub fn record(&self, id: IntervalId) -> Option<&Interval> {
+        self.records
+            .binary_search_by_key(&id, |s| s.id)
+            .ok()
+            .map(|i| &self.records[i])
+    }
+
+    /// Plain interval-overlap range query (delegates to HINT^m).
+    pub fn range(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        self.hint.query(q, out);
+    }
+
+    /// Selection by an Allen relation: ids of all `s` with `rel(s, q)`.
+    pub fn select(&self, rel: AllenRelation, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        let probe = match rel {
+            AllenRelation::Before => {
+                if q.st == 0 || q.st <= self.min {
+                    return;
+                }
+                RangeQuery::new(self.min.min(q.st - 1), q.st - 1)
+            }
+            AllenRelation::After => {
+                if q.end >= self.max {
+                    return;
+                }
+                RangeQuery::new(q.end + 1, self.max)
+            }
+            AllenRelation::Meets | AllenRelation::Overlaps => RangeQuery::stab(q.st),
+            AllenRelation::MetBy | AllenRelation::OverlappedBy => RangeQuery::stab(q.end),
+            AllenRelation::During => q,
+            AllenRelation::Contains
+            | AllenRelation::Starts
+            | AllenRelation::StartedBy
+            | AllenRelation::Equals => RangeQuery::stab(q.st),
+            AllenRelation::Finishes | AllenRelation::FinishedBy => RangeQuery::stab(q.end),
+        };
+        let mut candidates = Vec::new();
+        self.hint.query(probe, &mut candidates);
+        for id in candidates {
+            if let Some(s) = self.record(id) {
+                if rel.matches(s, &q) {
+                    out.push(id);
+                }
+            }
+        }
+    }
+
+    /// Range query with a duration predicate (§6: combined temporal +
+    /// duration selections, as supported by the period index \[4\]): reports
+    /// intervals overlapping `q` whose length lies in
+    /// `[min_duration, max_duration]`.
+    pub fn range_with_duration(
+        &self,
+        q: RangeQuery,
+        min_duration: Time,
+        max_duration: Time,
+        out: &mut Vec<IntervalId>,
+    ) {
+        let mut candidates = Vec::new();
+        self.hint.query(q, &mut candidates);
+        for id in candidates {
+            if let Some(s) = self.record(id) {
+                let d = s.duration();
+                if d >= min_duration && d <= max_duration {
+                    out.push(id);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Vec<Interval> {
+        vec![
+            Interval::new(1, 0, 4),    // before q / meets at 5? no: end 4 < 5
+            Interval::new(2, 2, 5),    // meets q = [5, 10]
+            Interval::new(3, 3, 7),    // overlaps
+            Interval::new(4, 5, 8),    // starts
+            Interval::new(5, 5, 10),   // equals
+            Interval::new(6, 5, 12),   // started-by
+            Interval::new(7, 6, 9),    // during
+            Interval::new(8, 6, 10),   // finishes
+            Interval::new(9, 2, 10),   // finished-by
+            Interval::new(10, 4, 12),  // contains
+            Interval::new(11, 8, 14),  // overlapped-by
+            Interval::new(12, 10, 15), // met-by
+            Interval::new(13, 11, 20), // after
+        ]
+    }
+
+    fn select_sorted(idx: &AllenIndex, rel: AllenRelation, q: RangeQuery) -> Vec<IntervalId> {
+        let mut out = Vec::new();
+        idx.select(rel, q, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn thirteen_relations_partition_the_data() {
+        let data = data();
+        let idx = AllenIndex::build(&data, 5);
+        let q = RangeQuery::new(5, 10);
+        let mut seen = Vec::new();
+        for rel in AllenRelation::ALL {
+            seen.extend(select_sorted(&idx, rel, q));
+        }
+        seen.sort_unstable();
+        let all: Vec<IntervalId> = (1..=13).collect();
+        // Allen's relations are mutually exclusive and jointly exhaustive
+        assert_eq!(seen, all);
+    }
+
+    #[test]
+    fn each_relation_picks_its_witness() {
+        let data = data();
+        let idx = AllenIndex::build(&data, 5);
+        let q = RangeQuery::new(5, 10);
+        assert_eq!(select_sorted(&idx, AllenRelation::Before, q), vec![1]);
+        assert_eq!(select_sorted(&idx, AllenRelation::Meets, q), vec![2]);
+        assert_eq!(select_sorted(&idx, AllenRelation::Overlaps, q), vec![3]);
+        assert_eq!(select_sorted(&idx, AllenRelation::Starts, q), vec![4]);
+        assert_eq!(select_sorted(&idx, AllenRelation::Equals, q), vec![5]);
+        assert_eq!(select_sorted(&idx, AllenRelation::StartedBy, q), vec![6]);
+        assert_eq!(select_sorted(&idx, AllenRelation::During, q), vec![7]);
+        assert_eq!(select_sorted(&idx, AllenRelation::Finishes, q), vec![8]);
+        assert_eq!(select_sorted(&idx, AllenRelation::FinishedBy, q), vec![9]);
+        assert_eq!(select_sorted(&idx, AllenRelation::Contains, q), vec![10]);
+        assert_eq!(select_sorted(&idx, AllenRelation::OverlappedBy, q), vec![11]);
+        assert_eq!(select_sorted(&idx, AllenRelation::MetBy, q), vec![12]);
+        assert_eq!(select_sorted(&idx, AllenRelation::After, q), vec![13]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        let mut x = 12345u64;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let data: Vec<Interval> = (0..200)
+            .map(|i| {
+                let st = next() % 500;
+                Interval::new(i, st, st + next() % 60)
+            })
+            .collect();
+        let idx = AllenIndex::build(&data, 9);
+        for qs in (0..500u64).step_by(23) {
+            let q = RangeQuery::new(qs, qs + 40);
+            for rel in AllenRelation::ALL {
+                let got = select_sorted(&idx, rel, q);
+                let mut want: Vec<IntervalId> = data
+                    .iter()
+                    .filter(|s| rel.matches(s, &q))
+                    .map(|s| s.id)
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "{rel:?} {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn duration_constrained_range() {
+        let data = data();
+        let idx = AllenIndex::build(&data, 5);
+        let q = RangeQuery::new(5, 10);
+        let mut out = Vec::new();
+        idx.range_with_duration(q, 3, 4, &mut out);
+        out.sort_unstable();
+        // overlapping q with length in [3,4]: ids 2(3),3(4),4(3),7(3),8(4)
+        assert_eq!(out, vec![2, 3, 4, 7, 8]);
+    }
+}

@@ -1,0 +1,158 @@
+//! A thread-safe façade over the hybrid index (§6 future work:
+//! parallelization): many concurrent readers, exclusive writers.
+//!
+//! HINT queries are read-only over immutable level tables, so a
+//! `parking_lot::RwLock` around [`HybridHint`] gives linearizable mixed
+//! workloads with uncontended read paths. Batch merges (§4.4) take the
+//! write lock once instead of blocking readers per insert.
+
+use crate::hintm::delta::HybridHint;
+use crate::interval::{Interval, IntervalId, RangeQuery, Time};
+use parking_lot::RwLock;
+
+/// Shareable (`Sync`) interval index: `&ConcurrentHint` can be used from
+/// any number of threads.
+#[derive(Debug)]
+pub struct ConcurrentHint {
+    inner: RwLock<HybridHint>,
+}
+
+impl ConcurrentHint {
+    /// Builds the index over `data` for raw domain `[min, max]` with
+    /// `m + 1` levels (see [`HybridHint::new`]).
+    pub fn new(data: &[Interval], min: Time, max: Time, m: u32) -> Self {
+        Self { inner: RwLock::new(HybridHint::new(data, min, max, m)) }
+    }
+
+    /// Sets the delta-merge threshold (see
+    /// [`HybridHint::with_merge_threshold`]).
+    pub fn with_merge_threshold(self, threshold: usize) -> Self {
+        Self { inner: RwLock::new(self.inner.into_inner().with_merge_threshold(threshold)) }
+    }
+
+    /// Range query under a shared read lock.
+    pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        self.inner.read().query(q, out);
+    }
+
+    /// Stabbing query under a shared read lock.
+    pub fn stab(&self, t: Time, out: &mut Vec<IntervalId>) {
+        self.inner.read().stab(t, out);
+    }
+
+    /// Inserts an interval under the write lock.
+    pub fn insert(&self, s: Interval) {
+        self.inner.write().insert(s);
+    }
+
+    /// Logically deletes an interval under the write lock.
+    pub fn delete(&self, s: &Interval) -> bool {
+        self.inner.write().delete(s)
+    }
+
+    /// Forces a delta merge under the write lock.
+    pub fn merge(&self) {
+        self.inner.write().merge();
+    }
+
+    /// Number of live intervals.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True if no live intervals remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.inner.read().size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ScanOracle;
+
+    fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 11
+        };
+        (0..n)
+            .map(|i| {
+                let st = next() % dom;
+                let len = next() % max_len;
+                Interval::new(i, st, (st + len).min(dom - 1).max(st))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let data = lcg_data(2_000, 1 << 16, 2_000, 9);
+        let idx = ConcurrentHint::new(&data, 0, (1 << 16) - 1, 12).with_merge_threshold(256);
+        let writers = 4u64;
+        let per_writer = 250u64;
+        crossbeam::thread::scope(|s| {
+            // writers insert disjoint id ranges
+            for w in 0..writers {
+                let idx = &idx;
+                s.spawn(move |_| {
+                    for i in 0..per_writer {
+                        let id = 1_000_000 + w * per_writer + i;
+                        let st = (id * 37) % 60_000;
+                        idx.insert(Interval::new(id, st, st + 100));
+                    }
+                });
+            }
+            // readers hammer queries concurrently; result sets must always
+            // be duplicate-free and contain only known ids
+            for r in 0..4u64 {
+                let idx = &idx;
+                s.spawn(move |_| {
+                    let mut out = Vec::new();
+                    for i in 0..500u64 {
+                        let st = ((i + r) * 131) % 60_000;
+                        out.clear();
+                        idx.query(RangeQuery::new(st, st + 500), &mut out);
+                        let n = out.len();
+                        out.sort_unstable();
+                        out.dedup();
+                        assert_eq!(n, out.len(), "duplicate under concurrency");
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(idx.len(), data.len() + (writers * per_writer) as usize);
+
+        // final state matches an oracle built from the same operations
+        let mut oracle = ScanOracle::new(&data);
+        for w in 0..writers {
+            for i in 0..per_writer {
+                let id = 1_000_000 + w * per_writer + i;
+                let st = (id * 37) % 60_000;
+                oracle.insert(Interval::new(id, st, st + 100));
+            }
+        }
+        let mut got = Vec::new();
+        idx.query(RangeQuery::new(0, (1 << 16) - 1), &mut got);
+        got.sort_unstable();
+        assert_eq!(got, oracle.query_sorted(RangeQuery::new(0, (1 << 16) - 1)));
+    }
+
+    #[test]
+    fn delete_and_merge_under_lock() {
+        let data = lcg_data(500, 4_096, 100, 3);
+        let idx = ConcurrentHint::new(&data, 0, 4_095, 10);
+        assert!(idx.delete(&data[0]));
+        assert!(!idx.delete(&data[0]));
+        idx.merge();
+        assert_eq!(idx.len(), 499);
+        assert!(idx.size_bytes() > 0);
+    }
+}

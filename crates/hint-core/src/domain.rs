@@ -1,0 +1,247 @@
+//! Domain mapping from raw interval endpoints onto the `[0, 2^m - 1]`
+//! hierarchical domain of HINT^m (§3.2).
+//!
+//! The paper defines the mapping
+//! `f(x) = ⌊ (x - min) / (max - min) · (2^m - 1) ⌋`.
+//! We implement the equivalent (and branch-cheaper) *prefix* formulation for
+//! integer domains: shift the normalized value right by `m' - m` bits, where
+//! `m'` is the number of bits needed for the raw span. The two coincide when
+//! the raw span is a power of two; otherwise the prefix form keeps partition
+//! widths exactly uniform in raw space, which is what the hierarchical
+//! decomposition needs for Lemma 2 to stay exact.
+//!
+//! # Exactness
+//!
+//! `map` is monotone non-decreasing, therefore
+//!
+//! * `map(x) < map(y)  ⇒  x < y`, and
+//! * `x ≤ y  ⇒  map(x) ≤ map(y)`.
+//!
+//! All comparison-free reporting paths in HINT^m rely only on *strict*
+//! bucket-level inequalities (see the module docs of [`crate::hintm`]), so
+//! partitioning by mapped values while comparing raw endpoints yields exact
+//! results — no approximate search is needed even for very large domains.
+
+use crate::interval::{Interval, RangeQuery, Time};
+
+/// Describes the hierarchical domain of a HINT^m index: the raw value range
+/// covered and the number of index levels `m + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Domain {
+    /// Smallest raw endpoint covered (inclusive).
+    min: Time,
+    /// Largest raw endpoint covered (inclusive).
+    max: Time,
+    /// Number of bottom-level bits: the bottom level has `2^m` partitions.
+    m: u32,
+    /// Right-shift applied to normalized raw values: `m' - m` where
+    /// `2^{m'}` is the smallest power of two covering the raw span.
+    shift: u32,
+}
+
+impl Domain {
+    /// Builds a domain for raw values in `[min, max]` with `m + 1` levels.
+    ///
+    /// # Panics
+    /// Panics if `min > max` or `m > 63`.
+    pub fn new(min: Time, max: Time, m: u32) -> Self {
+        assert!(min <= max, "domain min ({min}) must be <= max ({max})");
+        assert!(m <= 63, "m ({m}) must be <= 63");
+        let span_bits = Self::span_bits(min, max);
+        let shift = span_bits.saturating_sub(m);
+        // If m exceeds the bits actually needed, clamp m down: extra levels
+        // below single-value granularity can never receive intervals.
+        let m = m.min(span_bits);
+        Self { min, max, m, shift }
+    }
+
+    /// Builds a domain that covers a dataset, scanning for min/max endpoints.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    pub fn from_data(data: &[Interval], m: u32) -> Self {
+        assert!(!data.is_empty(), "cannot infer a domain from an empty dataset");
+        let mut min = Time::MAX;
+        let mut max = 0;
+        for s in data {
+            min = min.min(s.st);
+            max = max.max(s.end);
+        }
+        Self::new(min, max, m)
+    }
+
+    /// Number of bits `m'` needed so that `2^{m'}` covers the raw span
+    /// `max - min + 1`.
+    fn span_bits(min: Time, max: Time) -> u32 {
+        let span = max - min; // span+1 values; need bits for value `span`
+        if span == 0 {
+            0
+        } else {
+            64 - span.leading_zeros()
+        }
+    }
+
+    /// The number of bottom-level bits (`m`): the index has `m + 1` levels
+    /// and `2^m` bottom partitions.
+    #[inline]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Smallest raw value covered.
+    #[inline]
+    pub fn min(&self) -> Time {
+        self.min
+    }
+
+    /// Largest raw value covered.
+    #[inline]
+    pub fn max(&self) -> Time {
+        self.max
+    }
+
+    /// True when the mapping is lossless (every mapped bucket holds exactly
+    /// one raw value). In that case the comparison-free HINT of §3.1 is exact.
+    #[inline]
+    pub fn is_lossless(&self) -> bool {
+        self.shift == 0
+    }
+
+    /// Maps a raw value into the `[0, 2^m - 1]` mapped domain, clamping
+    /// values outside `[min, max]` (queries may exceed the data range).
+    #[inline]
+    pub fn map(&self, x: Time) -> Time {
+        let x = x.clamp(self.min, self.max);
+        (x - self.min) >> self.shift
+    }
+
+    /// Maps a raw interval to its mapped endpoints `[map(st), map(end)]`.
+    #[inline]
+    pub fn map_interval(&self, s: &Interval) -> (Time, Time) {
+        (self.map(s.st), self.map(s.end))
+    }
+
+    /// Maps a raw query to mapped endpoints, clamping to the domain.
+    #[inline]
+    pub fn map_query(&self, q: &RangeQuery) -> (Time, Time) {
+        (self.map(q.st), self.map(q.end))
+    }
+
+    /// `prefix(l, x)`: the `l`-bit prefix of an `m`-bit mapped value — i.e.
+    /// the offset of the level-`l` partition containing mapped value `x`
+    /// (Table 2 in the paper).
+    #[inline]
+    pub fn prefix(&self, level: u32, mapped: Time) -> u64 {
+        debug_assert!(level <= self.m);
+        mapped >> (self.m - level)
+    }
+
+    /// Number of partitions at `level`: `2^level`.
+    #[inline]
+    pub fn partitions_at(&self, level: u32) -> u64 {
+        1u64 << level
+    }
+
+    /// True if a raw query, after clamping, still intersects the domain at
+    /// all (queries entirely outside `[min, max]` have no results).
+    #[inline]
+    pub fn intersects(&self, q: &RangeQuery) -> bool {
+        q.end >= self.min && q.st <= self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_mapping_when_span_fits() {
+        let d = Domain::new(0, 15, 4);
+        assert!(d.is_lossless());
+        for x in 0..=15 {
+            assert_eq!(d.map(x), x);
+        }
+        assert_eq!(d.m(), 4);
+    }
+
+    #[test]
+    fn m_is_clamped_to_span_bits() {
+        // span of 16 values needs 4 bits; asking for m=10 must clamp to 4
+        let d = Domain::new(100, 115, 10);
+        assert_eq!(d.m(), 4);
+        assert!(d.is_lossless());
+        assert_eq!(d.map(100), 0);
+        assert_eq!(d.map(115), 15);
+    }
+
+    #[test]
+    fn lossy_mapping_shifts_out_low_bits() {
+        // raw span [0, 63] (6 bits), m = 4 => shift 2, buckets of width 4
+        let d = Domain::new(0, 63, 4);
+        assert!(!d.is_lossless());
+        assert_eq!(d.map(0), 0);
+        assert_eq!(d.map(3), 0);
+        assert_eq!(d.map(4), 1);
+        assert_eq!(d.map(63), 15);
+        // the paper's running example: [21, 38] maps to [5, 9] with m=4,m'=6
+        assert_eq!(d.map(21), 5);
+        assert_eq!(d.map(38), 9);
+    }
+
+    #[test]
+    fn mapping_is_monotone() {
+        let d = Domain::new(17, 90000, 8);
+        let mut prev = 0;
+        for x in (17..90000).step_by(37) {
+            let y = d.map(x);
+            assert!(y >= prev, "map must be monotone");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn clamping_out_of_range_values() {
+        let d = Domain::new(100, 200, 5);
+        assert_eq!(d.map(0), d.map(100));
+        assert_eq!(d.map(999), d.map(200));
+        assert!(!d.intersects(&RangeQuery::new(0, 99)));
+        assert!(!d.intersects(&RangeQuery::new(201, 500)));
+        assert!(d.intersects(&RangeQuery::new(0, 100)));
+        assert!(d.intersects(&RangeQuery::new(150, 160)));
+    }
+
+    #[test]
+    fn prefix_matches_partition_offsets() {
+        let d = Domain::new(0, 15, 4);
+        // figure 5: value 5 = 0b0101
+        assert_eq!(d.prefix(4, 5), 5);
+        assert_eq!(d.prefix(3, 5), 2);
+        assert_eq!(d.prefix(2, 5), 1);
+        assert_eq!(d.prefix(1, 5), 0);
+        assert_eq!(d.prefix(0, 5), 0);
+        // value 9 = 0b1001
+        assert_eq!(d.prefix(3, 9), 4);
+        assert_eq!(d.prefix(2, 9), 2);
+        assert_eq!(d.prefix(1, 9), 1);
+    }
+
+    #[test]
+    fn from_data_infers_bounds() {
+        let data = vec![
+            Interval::new(0, 5, 9),
+            Interval::new(1, 2, 3),
+            Interval::new(2, 7, 30),
+        ];
+        let d = Domain::from_data(&data, 8);
+        assert_eq!(d.min(), 2);
+        assert_eq!(d.max(), 30);
+    }
+
+    #[test]
+    fn degenerate_single_point_domain() {
+        let d = Domain::new(42, 42, 4);
+        assert_eq!(d.m(), 0);
+        assert_eq!(d.map(42), 0);
+        assert_eq!(d.partitions_at(0), 1);
+    }
+}

@@ -1,0 +1,615 @@
+//! The comparison-free HINT of §3.1.
+//!
+//! Appropriate for discrete, not-too-large domains: with `m` chosen so that
+//! every raw value maps to its own bucket ([`Domain::is_lossless`]), range
+//! queries are answered **without a single endpoint comparison** — each
+//! level contributes the originals of all relevant partitions plus the
+//! replicas of the first relevant partition (Algorithm 2).
+//!
+//! Two storage layouts are provided, matching the paper's Table 6:
+//!
+//! * [`CfLayout::Dense`]: one `Vec` per partition (the "original" rows),
+//!   simple but wasteful under sparsity — empty partitions still cost
+//!   pointer-sized headers and pollute the cache during level scans.
+//! * [`CfLayout::Sparse`]: per level, all originals live in one merged id
+//!   table `T^O_l` with a sorted directory of non-empty partitions (§4.2),
+//!   and likewise for replicas. Relevant partitions are then read as one
+//!   contiguous id run.
+//!
+//! If the domain is lossy (`2^m` smaller than the raw span), the index
+//! degrades to the paper's *approximate search on discretized data*: query
+//! results are a superset computed at bucket granularity. [`HintCf::is_exact`]
+//! reports which regime the index is in; the exact general-purpose index is
+//! [`crate::Hint`].
+
+use crate::assign::for_each_assignment;
+use crate::domain::Domain;
+use crate::interval::{Interval, IntervalId, RangeQuery, TOMBSTONE};
+
+/// Storage layout selector for [`HintCf`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CfLayout {
+    /// Dense per-partition vectors ("original" in Table 6).
+    Dense,
+    /// Merged per-level tables with a sparse directory ("optimized").
+    Sparse,
+}
+
+/// Upper bound on `m` for the dense layout: `2^{m+1}` partition headers
+/// must stay affordable.
+const DENSE_MAX_M: u32 = 26;
+
+#[derive(Debug, Clone, Default)]
+struct DenseLevel {
+    originals: Vec<Vec<IntervalId>>,
+    replicas: Vec<Vec<IntervalId>>,
+}
+
+/// One subdivision group of a level in the sparse layout: a sorted
+/// directory of `(partition offset, begin)` into a merged id table.
+#[derive(Debug, Clone, Default)]
+struct SparseGroup {
+    /// Sorted by partition offset; `begin` indexes into `ids`.
+    dir: Vec<(u64, u32)>,
+    ids: Vec<IntervalId>,
+}
+
+impl SparseGroup {
+    fn from_pairs(mut pairs: Vec<(u64, IntervalId)>) -> Self {
+        pairs.sort_unstable_by_key(|&(off, _)| off);
+        let mut dir = Vec::new();
+        let mut ids = Vec::with_capacity(pairs.len());
+        for (off, id) in pairs {
+            if dir.last().map(|&(o, _)| o) != Some(off) {
+                dir.push((off, ids.len() as u32));
+            }
+            ids.push(id);
+        }
+        Self { dir, ids }
+    }
+
+    /// End of the id run of directory entry `i`.
+    #[inline]
+    fn run_end(&self, i: usize) -> usize {
+        self.dir.get(i + 1).map_or(self.ids.len(), |&(_, b)| b as usize)
+    }
+
+    /// Index of the first directory entry with offset >= `off`.
+    #[inline]
+    fn lower_bound(&self, off: u64) -> usize {
+        self.dir.partition_point(|&(o, _)| o < off)
+    }
+
+    /// Reports ids of all partitions with offsets in `[f, l]`.
+    fn report_range(&self, f: u64, l: u64, skip_tombstones: bool, out: &mut Vec<IntervalId>) {
+        let first = self.lower_bound(f);
+        if first == self.dir.len() {
+            return;
+        }
+        let mut last = first;
+        while last < self.dir.len() && self.dir[last].0 <= l {
+            last += 1;
+        }
+        if last == first {
+            return;
+        }
+        let begin = self.dir[first].1 as usize;
+        let end = self.run_end(last - 1);
+        push_ids(&self.ids[begin..end], skip_tombstones, out);
+    }
+
+    /// Reports ids of the single partition at `off`, if non-empty.
+    fn report_one(&self, off: u64, skip_tombstones: bool, out: &mut Vec<IntervalId>) {
+        let i = self.lower_bound(off);
+        if i < self.dir.len() && self.dir[i].0 == off {
+            let begin = self.dir[i].1 as usize;
+            let end = self.run_end(i);
+            push_ids(&self.ids[begin..end], skip_tombstones, out);
+        }
+    }
+
+    /// Inserts an id into partition `off`, splicing the merged table.
+    /// `O(level size)` — the sparse layout is read-optimized (§4.4).
+    fn insert(&mut self, off: u64, id: IntervalId) {
+        let i = self.lower_bound(off);
+        if i < self.dir.len() && self.dir[i].0 == off {
+            let pos = self.run_end(i);
+            self.ids.insert(pos, id);
+            for e in &mut self.dir[i + 1..] {
+                e.1 += 1;
+            }
+        } else {
+            let pos = if i < self.dir.len() { self.dir[i].1 as usize } else { self.ids.len() };
+            self.ids.insert(pos, id);
+            self.dir.insert(i, (off, pos as u32));
+            for e in &mut self.dir[i + 1..] {
+                e.1 += 1;
+            }
+        }
+    }
+
+    /// Tombstones the first occurrence of `id` in partition `off`.
+    fn tombstone(&mut self, off: u64, id: IntervalId) -> bool {
+        let i = self.lower_bound(off);
+        if i < self.dir.len() && self.dir[i].0 == off {
+            let begin = self.dir[i].1 as usize;
+            let end = self.run_end(i);
+            for slot in &mut self.ids[begin..end] {
+                if *slot == id {
+                    *slot = TOMBSTONE;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.dir.len() * std::mem::size_of::<(u64, u32)>()
+            + self.ids.len() * std::mem::size_of::<IntervalId>()
+    }
+}
+
+#[inline]
+fn push_ids(ids: &[IntervalId], skip_tombstones: bool, out: &mut Vec<IntervalId>) {
+    if skip_tombstones {
+        out.extend(ids.iter().copied().filter(|&id| id != TOMBSTONE));
+    } else {
+        out.extend_from_slice(ids);
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct SparseLevel {
+    originals: SparseGroup,
+    replicas: SparseGroup,
+}
+
+#[derive(Debug, Clone)]
+enum CfStorage {
+    Dense(Vec<DenseLevel>),
+    Sparse(Vec<SparseLevel>),
+}
+
+/// The comparison-free HINT index (§3.1).
+#[derive(Debug, Clone)]
+pub struct HintCf {
+    domain: Domain,
+    storage: CfStorage,
+    live: usize,
+    tombstones: usize,
+}
+
+impl HintCf {
+    /// Builds the index over `data` with the given layout. `m` is the
+    /// number of bottom-level bits; pass the domain's full bit width for
+    /// exact (comparison-free *and* false-positive-free) behaviour.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty, or if `layout` is dense and the clamped
+    /// `m` exceeds 26 (2^27 partition headers — use the sparse layout).
+    pub fn build(data: &[Interval], m: u32, layout: CfLayout) -> Self {
+        let domain = Domain::from_data(data, m);
+        Self::build_with_domain(data, domain, layout)
+    }
+
+    /// Builds with `m` set to the full raw span (lossless ⇒ exact).
+    pub fn build_exact(data: &[Interval], layout: CfLayout) -> Self {
+        Self::build(data, 63, layout)
+    }
+
+    /// Builds the index with an explicit domain (used when the caller wants
+    /// to pre-reserve space for values outside the current dataset).
+    pub fn build_with_domain(data: &[Interval], domain: Domain, layout: CfLayout) -> Self {
+        let m = domain.m();
+        let storage = match layout {
+            CfLayout::Dense => {
+                assert!(
+                    m <= DENSE_MAX_M,
+                    "dense layout limited to m <= {DENSE_MAX_M} (got {m}); use CfLayout::Sparse"
+                );
+                let mut levels: Vec<DenseLevel> = (0..=m)
+                    .map(|l| DenseLevel {
+                        originals: vec![Vec::new(); 1 << l],
+                        replicas: vec![Vec::new(); 1 << l],
+                    })
+                    .collect();
+                for s in data {
+                    let (a, b) = domain.map_interval(s);
+                    for_each_assignment(m, a, b, |asg| {
+                        let lvl = &mut levels[asg.level as usize];
+                        let group = if asg.kind.is_original() {
+                            &mut lvl.originals
+                        } else {
+                            &mut lvl.replicas
+                        };
+                        group[asg.offset as usize].push(s.id);
+                    });
+                }
+                CfStorage::Dense(levels)
+            }
+            CfLayout::Sparse => {
+                let mut o_pairs: Vec<Vec<(u64, IntervalId)>> = vec![Vec::new(); m as usize + 1];
+                let mut r_pairs: Vec<Vec<(u64, IntervalId)>> = vec![Vec::new(); m as usize + 1];
+                for s in data {
+                    let (a, b) = domain.map_interval(s);
+                    for_each_assignment(m, a, b, |asg| {
+                        let pairs = if asg.kind.is_original() {
+                            &mut o_pairs[asg.level as usize]
+                        } else {
+                            &mut r_pairs[asg.level as usize]
+                        };
+                        pairs.push((asg.offset, s.id));
+                    });
+                }
+                let levels = o_pairs
+                    .into_iter()
+                    .zip(r_pairs)
+                    .map(|(o, r)| SparseLevel {
+                        originals: SparseGroup::from_pairs(o),
+                        replicas: SparseGroup::from_pairs(r),
+                    })
+                    .collect();
+                CfStorage::Sparse(levels)
+            }
+        };
+        Self { domain, storage, live: data.len(), tombstones: 0 }
+    }
+
+    /// The domain the index was built over.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// True when query results are exact (lossless domain mapping). When
+    /// false, [`Self::query`] returns a bucket-granularity superset.
+    pub fn is_exact(&self) -> bool {
+        self.domain.is_lossless()
+    }
+
+    /// Number of live (non-deleted) intervals.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live intervals remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Evaluates a range query (Algorithm 2), pushing result ids into
+    /// `out`. No endpoint comparisons are performed.
+    pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        if !self.domain.intersects(&q) {
+            return;
+        }
+        let (qst, qend) = self.domain.map_query(&q);
+        let m = self.domain.m();
+        let skip = self.tombstones > 0;
+        match &self.storage {
+            CfStorage::Dense(levels) => {
+                for l in (0..=m).rev() {
+                    let f = self.domain.prefix(l, qst);
+                    let last = self.domain.prefix(l, qend);
+                    let lvl = &levels[l as usize];
+                    push_ids(&lvl.replicas[f as usize], skip, out);
+                    for off in f..=last {
+                        push_ids(&lvl.originals[off as usize], skip, out);
+                    }
+                }
+            }
+            CfStorage::Sparse(levels) => {
+                for l in (0..=m).rev() {
+                    let f = self.domain.prefix(l, qst);
+                    let last = self.domain.prefix(l, qend);
+                    let lvl = &levels[l as usize];
+                    lvl.replicas.report_one(f, skip, out);
+                    lvl.originals.report_range(f, last, skip, out);
+                }
+            }
+        }
+    }
+
+    /// Convenience: stabbing query at point `t`.
+    pub fn stab(&self, t: crate::interval::Time, out: &mut Vec<IntervalId>) {
+        self.query(RangeQuery::stab(t), out)
+    }
+
+    /// Inserts a new interval (Algorithm 1). The interval's endpoints must
+    /// lie inside the index domain (the hierarchical decomposition is fixed
+    /// at build time).
+    ///
+    /// # Panics
+    /// Panics if the endpoints fall outside the domain.
+    pub fn insert(&mut self, s: Interval) {
+        assert!(
+            s.st >= self.domain.min() && s.end <= self.domain.max(),
+            "interval [{}, {}] outside index domain [{}, {}]",
+            s.st,
+            s.end,
+            self.domain.min(),
+            self.domain.max()
+        );
+        let (a, b) = self.domain.map_interval(&s);
+        let m = self.domain.m();
+        match &mut self.storage {
+            CfStorage::Dense(levels) => {
+                for_each_assignment(m, a, b, |asg| {
+                    let lvl = &mut levels[asg.level as usize];
+                    let group = if asg.kind.is_original() {
+                        &mut lvl.originals
+                    } else {
+                        &mut lvl.replicas
+                    };
+                    group[asg.offset as usize].push(s.id);
+                });
+            }
+            CfStorage::Sparse(levels) => {
+                for_each_assignment(m, a, b, |asg| {
+                    let lvl = &mut levels[asg.level as usize];
+                    let group = if asg.kind.is_original() {
+                        &mut lvl.originals
+                    } else {
+                        &mut lvl.replicas
+                    };
+                    group.insert(asg.offset, s.id);
+                });
+            }
+        }
+        self.live += 1;
+    }
+
+    /// Logically deletes an interval: its id is replaced by a tombstone in
+    /// every partition it was assigned to (§3.4). The caller must pass the
+    /// same endpoints the interval was inserted with.
+    ///
+    /// Returns true if at least one copy was found.
+    pub fn delete(&mut self, s: &Interval) -> bool {
+        let (a, b) = self.domain.map_interval(s);
+        let m = self.domain.m();
+        let mut found = false;
+        match &mut self.storage {
+            CfStorage::Dense(levels) => {
+                for_each_assignment(m, a, b, |asg| {
+                    let lvl = &mut levels[asg.level as usize];
+                    let group = if asg.kind.is_original() {
+                        &mut lvl.originals
+                    } else {
+                        &mut lvl.replicas
+                    };
+                    for slot in &mut group[asg.offset as usize] {
+                        if *slot == s.id {
+                            *slot = TOMBSTONE;
+                            found = true;
+                            break;
+                        }
+                    }
+                });
+            }
+            CfStorage::Sparse(levels) => {
+                for_each_assignment(m, a, b, |asg| {
+                    let lvl = &mut levels[asg.level as usize];
+                    let group = if asg.kind.is_original() {
+                        &mut lvl.originals
+                    } else {
+                        &mut lvl.replicas
+                    };
+                    if group.tombstone(asg.offset, s.id) {
+                        found = true;
+                    }
+                });
+            }
+        }
+        if found {
+            self.live -= 1;
+            self.tombstones += 1;
+        }
+        found
+    }
+
+    /// Approximate heap footprint of the index in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match &self.storage {
+            CfStorage::Dense(levels) => levels
+                .iter()
+                .map(|lvl| {
+                    let vecs = lvl.originals.len() + lvl.replicas.len();
+                    let ids: usize = lvl
+                        .originals
+                        .iter()
+                        .chain(lvl.replicas.iter())
+                        .map(|v| v.len())
+                        .sum();
+                    vecs * std::mem::size_of::<Vec<IntervalId>>()
+                        + ids * std::mem::size_of::<IntervalId>()
+                })
+                .sum(),
+            CfStorage::Sparse(levels) => levels
+                .iter()
+                .map(|lvl| lvl.originals.size_bytes() + lvl.replicas.size_bytes())
+                .sum(),
+        }
+    }
+
+    /// Total number of stored entries (interval copies across all
+    /// partitions); `entries / len` is the replication factor `k` (§5.2.4).
+    pub fn entries(&self) -> usize {
+        match &self.storage {
+            CfStorage::Dense(levels) => levels
+                .iter()
+                .map(|lvl| {
+                    lvl.originals
+                        .iter()
+                        .chain(lvl.replicas.iter())
+                        .map(|v| v.len())
+                        .sum::<usize>()
+                })
+                .sum(),
+            CfStorage::Sparse(levels) => levels
+                .iter()
+                .map(|lvl| lvl.originals.ids.len() + lvl.replicas.ids.len())
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ScanOracle;
+
+    fn sorted(mut v: Vec<IntervalId>) -> Vec<IntervalId> {
+        v.sort_unstable();
+        v
+    }
+
+    fn figure5_data() -> Vec<Interval> {
+        vec![
+            Interval::new(1, 5, 9),
+            Interval::new(2, 0, 15),
+            Interval::new(3, 3, 3),
+            Interval::new(4, 8, 12),
+            Interval::new(5, 14, 15),
+        ]
+    }
+
+    #[test]
+    fn matches_oracle_on_figure5_domain() {
+        for layout in [CfLayout::Dense, CfLayout::Sparse] {
+            let data = figure5_data();
+            let idx = HintCf::build_exact(&data, layout);
+            assert!(idx.is_exact());
+            let oracle = ScanOracle::new(&data);
+            for st in 0..16u64 {
+                for end in st..16 {
+                    let q = RangeQuery::new(st, end);
+                    let mut got = Vec::new();
+                    idx.query(q, &mut got);
+                    assert_eq!(sorted(got), oracle.query_sorted(q), "{layout:?} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates_ever() {
+        let data = figure5_data();
+        let idx = HintCf::build_exact(&data, CfLayout::Sparse);
+        for st in 0..16u64 {
+            for end in st..16 {
+                let mut got = Vec::new();
+                idx.query(RangeQuery::new(st, end), &mut got);
+                let n = got.len();
+                got.sort_unstable();
+                got.dedup();
+                assert_eq!(n, got.len(), "duplicates for [{st},{end}]");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_then_query() {
+        for layout in [CfLayout::Dense, CfLayout::Sparse] {
+            let mut data = figure5_data();
+            let mut idx = HintCf::build_exact(&data, layout);
+            idx.insert(Interval::new(10, 2, 6));
+            data.push(Interval::new(10, 2, 6));
+            let oracle = ScanOracle::new(&data);
+            for st in 0..16u64 {
+                for end in st..16 {
+                    let q = RangeQuery::new(st, end);
+                    let mut got = Vec::new();
+                    idx.query(q, &mut got);
+                    assert_eq!(sorted(got), oracle.query_sorted(q), "{layout:?} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delete_removes_from_all_partitions() {
+        for layout in [CfLayout::Dense, CfLayout::Sparse] {
+            let data = figure5_data();
+            let mut idx = HintCf::build_exact(&data, layout);
+            let victim = Interval::new(2, 0, 15); // spans many partitions
+            assert!(idx.delete(&victim));
+            assert_eq!(idx.len(), 4);
+            let mut rest = data.clone();
+            rest.retain(|s| s.id != 2);
+            let oracle = ScanOracle::new(&rest);
+            for st in 0..16u64 {
+                for end in st..16 {
+                    let q = RangeQuery::new(st, end);
+                    let mut got = Vec::new();
+                    idx.query(q, &mut got);
+                    assert_eq!(sorted(got), oracle.query_sorted(q), "{layout:?} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_domain_yields_superset() {
+        let data = figure5_data();
+        // m=2: buckets of width 4
+        let idx = HintCf::build(&data, 2, CfLayout::Sparse);
+        assert!(!idx.is_exact());
+        let oracle = ScanOracle::new(&data);
+        for st in 0..16u64 {
+            for end in st..16 {
+                let q = RangeQuery::new(st, end);
+                let mut got = Vec::new();
+                idx.query(q, &mut got);
+                let got = sorted(got);
+                for id in oracle.query_sorted(q) {
+                    assert!(got.contains(&id), "missing {id} for {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queries_outside_domain_are_empty() {
+        let data = vec![Interval::new(1, 100, 200)];
+        let idx = HintCf::build_exact(&data, CfLayout::Sparse);
+        let mut out = Vec::new();
+        idx.query(RangeQuery::new(0, 99), &mut out);
+        assert!(out.is_empty());
+        idx.query(RangeQuery::new(201, 999), &mut out);
+        assert!(out.is_empty());
+        idx.query(RangeQuery::new(0, 100), &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn sparse_and_dense_report_identical_sets() {
+        let data = figure5_data();
+        let d = HintCf::build_exact(&data, CfLayout::Dense);
+        let s = HintCf::build_exact(&data, CfLayout::Sparse);
+        assert_eq!(d.entries(), s.entries());
+        for st in 0..16u64 {
+            for end in st..16 {
+                let q = RangeQuery::new(st, end);
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                d.query(q, &mut a);
+                s.query(q, &mut b);
+                assert_eq!(sorted(a), sorted(b), "{q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_is_smaller_under_sparsity() {
+        // a handful of short intervals over a wide domain
+        let data: Vec<Interval> =
+            (0..50).map(|i| Interval::new(i, i * 1000, i * 1000 + 3)).collect();
+        let d = HintCf::build(&data, 16, CfLayout::Dense);
+        let s = HintCf::build(&data, 16, CfLayout::Sparse);
+        assert!(
+            s.size_bytes() < d.size_bytes() / 10,
+            "sparse {} vs dense {}",
+            s.size_bytes(),
+            d.size_bytes()
+        );
+    }
+}

@@ -1,0 +1,429 @@
+//! The base HINT^m of §3.2: each partition is divided into originals and
+//! replicas, stored as full `(id, st, end)` triplets in dense per-partition
+//! vectors. No subdivisions, no sorting, no storage/sparsity/cache
+//! optimizations — this is the "base" line of Figure 11 and the vehicle for
+//! the Figure 10 comparison of query-evaluation strategies.
+
+use crate::assign::for_each_assignment;
+use crate::domain::Domain;
+use crate::hintm::CompFlags;
+use crate::interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
+
+/// Query evaluation strategy for [`HintMBase`] (Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Eval {
+    /// Uses only Lemma 1: comparisons are performed at the first and last
+    /// relevant partition of **every** level.
+    TopDown,
+    /// Algorithm 3: additionally applies Lemma 2, clearing the
+    /// first/last comparison flags while ascending the hierarchy.
+    BottomUp,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Part {
+    originals: Vec<Interval>,
+    replicas: Vec<Interval>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Level {
+    parts: Vec<Part>,
+}
+
+/// Base HINT^m index (§3.2).
+#[derive(Debug, Clone)]
+pub struct HintMBase {
+    domain: Domain,
+    levels: Vec<Level>,
+    live: usize,
+    tombstones: usize,
+}
+
+impl HintMBase {
+    /// Builds the index with `m + 1` levels over `data`.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or the clamped `m` exceeds 26 (dense
+    /// per-partition storage).
+    pub fn build(data: &[Interval], m: u32) -> Self {
+        let domain = Domain::from_data(data, m);
+        Self::build_with_domain(data, domain)
+    }
+
+    /// Builds the index over an explicit domain.
+    pub fn build_with_domain(data: &[Interval], domain: Domain) -> Self {
+        let m = domain.m();
+        assert!(m <= 26, "dense base layout limited to m <= 26 (got {m})");
+        let mut levels: Vec<Level> = (0..=m)
+            .map(|l| Level { parts: vec![Part::default(); 1usize << l] })
+            .collect();
+        for s in data {
+            let (a, b) = domain.map_interval(s);
+            for_each_assignment(m, a, b, |asg| {
+                let part = &mut levels[asg.level as usize].parts[asg.offset as usize];
+                if asg.kind.is_original() {
+                    part.originals.push(*s);
+                } else {
+                    part.replicas.push(*s);
+                }
+            });
+        }
+        Self { domain, levels, live: data.len(), tombstones: 0 }
+    }
+
+    /// The index domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Number of live intervals.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live intervals remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Evaluates `q` with the chosen strategy, pushing result ids into `out`.
+    pub fn query_with(&self, q: RangeQuery, eval: Eval, out: &mut Vec<IntervalId>) {
+        if !self.domain.intersects(&q) {
+            return;
+        }
+        let (qst, qend) = self.domain.map_query(&q);
+        let m = self.domain.m();
+        let mut flags = CompFlags::new();
+        // Both strategies visit the same partitions and produce the same
+        // result set; TopDown simply never clears the comparison flags.
+        for l in (0..=m).rev() {
+            let f = self.domain.prefix(l, qst);
+            let last = self.domain.prefix(l, qend);
+            let level = &self.levels[l as usize];
+            if f == last {
+                let part = &level.parts[f as usize];
+                self.report_single(part, &q, flags, out);
+            } else {
+                let first_part = &level.parts[f as usize];
+                self.report_first(first_part, &q, flags, out);
+                for off in f + 1..last {
+                    self.report_middle(&level.parts[off as usize], out);
+                }
+                let last_part = &level.parts[last as usize];
+                self.report_last(last_part, &q, flags, out);
+            }
+            if eval == Eval::BottomUp {
+                flags.update(f, last);
+            }
+        }
+    }
+
+    /// Evaluates `q` with the default (bottom-up, Algorithm 3) strategy.
+    pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        self.query_with(q, Eval::BottomUp, out)
+    }
+
+    /// Case `f == l`: the query overlaps a single partition at this level.
+    #[inline]
+    fn report_single(&self, part: &Part, q: &RangeQuery, flags: CompFlags, out: &mut Vec<IntervalId>) {
+        match (flags.first, flags.last) {
+            (true, true) => {
+                // originals need the full overlap test, replicas only
+                // `q.st <= s.end` (Lemma 1: they start before the partition
+                // and hence before q).
+                for s in &part.originals {
+                    if q.st <= s.end && s.st <= q.end {
+                        push(s.id, out);
+                    }
+                }
+                for s in &part.replicas {
+                    if q.st <= s.end {
+                        push(s.id, out);
+                    }
+                }
+            }
+            (false, true) => {
+                // `s.end >= q.st` is guaranteed (Lemma 2); originals still
+                // need `s.st <= q.end`, replicas start before q and qualify.
+                for s in &part.originals {
+                    if s.st <= q.end {
+                        push(s.id, out);
+                    }
+                }
+                report_all(&part.replicas, out);
+            }
+            (true, false) => {
+                // `s.st <= q.end` guaranteed; test only `q.st <= s.end`.
+                for s in part.originals.iter().chain(&part.replicas) {
+                    if q.st <= s.end {
+                        push(s.id, out);
+                    }
+                }
+            }
+            (false, false) => {
+                report_all(&part.originals, out);
+                report_all(&part.replicas, out);
+            }
+        }
+    }
+
+    /// First relevant partition when `f < l`: `s.st <= q.end` holds for all
+    /// stored intervals (they start in or before block `f`, strictly before
+    /// block `l` where `q.end` lies), so only `q.st <= s.end` may be needed.
+    #[inline]
+    fn report_first(&self, part: &Part, q: &RangeQuery, flags: CompFlags, out: &mut Vec<IntervalId>) {
+        if flags.first {
+            for s in part.originals.iter().chain(&part.replicas) {
+                if q.st <= s.end {
+                    push(s.id, out);
+                }
+            }
+        } else {
+            report_all(&part.originals, out);
+            report_all(&part.replicas, out);
+        }
+    }
+
+    /// In-between partitions: all originals qualify, replicas are skipped
+    /// (they are originals of an earlier partition or replicas of the first).
+    #[inline]
+    fn report_middle(&self, part: &Part, out: &mut Vec<IntervalId>) {
+        report_all(&part.originals, out);
+    }
+
+    /// Last relevant partition when `l > f`: only originals are examined
+    /// and only `s.st <= q.end` may be needed (Lemma 1).
+    #[inline]
+    fn report_last(&self, part: &Part, q: &RangeQuery, flags: CompFlags, out: &mut Vec<IntervalId>) {
+        if flags.last {
+            for s in &part.originals {
+                if s.st <= q.end {
+                    push(s.id, out);
+                }
+            }
+        } else {
+            report_all(&part.originals, out);
+        }
+    }
+
+    /// Inserts an interval (Algorithm 1, §3.4).
+    ///
+    /// # Panics
+    /// Panics if the endpoints fall outside the fixed index domain.
+    pub fn insert(&mut self, s: Interval) {
+        assert!(
+            s.st >= self.domain.min() && s.end <= self.domain.max(),
+            "interval outside index domain"
+        );
+        let (a, b) = self.domain.map_interval(&s);
+        let m = self.domain.m();
+        let levels = &mut self.levels;
+        for_each_assignment(m, a, b, |asg| {
+            let part = &mut levels[asg.level as usize].parts[asg.offset as usize];
+            if asg.kind.is_original() {
+                part.originals.push(s);
+            } else {
+                part.replicas.push(s);
+            }
+        });
+        self.live += 1;
+    }
+
+    /// Logically deletes an interval via tombstones (§3.4). Returns true if
+    /// at least one copy was found.
+    pub fn delete(&mut self, s: &Interval) -> bool {
+        let (a, b) = self.domain.map_interval(s);
+        let m = self.domain.m();
+        let mut found = false;
+        let levels = &mut self.levels;
+        for_each_assignment(m, a, b, |asg| {
+            let part = &mut levels[asg.level as usize].parts[asg.offset as usize];
+            let group =
+                if asg.kind.is_original() { &mut part.originals } else { &mut part.replicas };
+            for slot in group.iter_mut() {
+                if slot.id == s.id && slot.st == s.st && slot.end == s.end {
+                    slot.id = TOMBSTONE;
+                    found = true;
+                    break;
+                }
+            }
+        });
+        if found {
+            self.live -= 1;
+            self.tombstones += 1;
+        }
+        found
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        let mut total = 0;
+        for level in &self.levels {
+            total += level.parts.len() * std::mem::size_of::<Part>();
+            for part in &level.parts {
+                total += (part.originals.len() + part.replicas.len())
+                    * std::mem::size_of::<Interval>();
+            }
+        }
+        total
+    }
+
+    /// Total stored entries (for the replication factor `k`).
+    pub fn entries(&self) -> usize {
+        self.levels
+            .iter()
+            .flat_map(|l| &l.parts)
+            .map(|p| p.originals.len() + p.replicas.len())
+            .sum()
+    }
+
+    /// Convenience: stabbing query.
+    pub fn stab(&self, t: Time, out: &mut Vec<IntervalId>) {
+        self.query(RangeQuery::stab(t), out)
+    }
+}
+
+#[inline]
+fn push(id: IntervalId, out: &mut Vec<IntervalId>) {
+    if id != TOMBSTONE {
+        out.push(id);
+    }
+}
+
+#[inline]
+fn report_all(group: &[Interval], out: &mut Vec<IntervalId>) {
+    for s in group {
+        push(s.id, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ScanOracle;
+
+    fn sorted(mut v: Vec<IntervalId>) -> Vec<IntervalId> {
+        v.sort_unstable();
+        v
+    }
+
+    /// Deterministic pseudo-random dataset without external crates.
+    fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 11
+        };
+        (0..n)
+            .map(|i| {
+                let st = next() % dom;
+                let len = next() % max_len;
+                Interval::new(i, st, (st + len).min(dom - 1).max(st))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn both_evals_match_oracle_lossless() {
+        let data = lcg_data(300, 256, 40, 7);
+        let idx = HintMBase::build(&data, 8);
+        let oracle = ScanOracle::new(&data);
+        for st in (0..256u64).step_by(3) {
+            for len in [0u64, 1, 5, 17, 100, 255] {
+                let end = (st + len).min(255);
+                let q = RangeQuery::new(st, end);
+                for eval in [Eval::TopDown, Eval::BottomUp] {
+                    let mut got = Vec::new();
+                    idx.query_with(q, eval, &mut got);
+                    assert_eq!(sorted(got), oracle.query_sorted(q), "{eval:?} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_even_when_domain_mapping_is_lossy() {
+        // raw domain far larger than 2^m buckets: comparisons on raw
+        // endpoints must keep results exact.
+        let data = lcg_data(500, 1_000_000, 120_000, 42);
+        for m in [4, 6, 10] {
+            let idx = HintMBase::build(&data, m);
+            let oracle = ScanOracle::new(&data);
+            let mut x = 99u64;
+            for _ in 0..200 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(97);
+                let st = (x >> 13) % 1_000_000;
+                let end = (st + (x >> 7) % 50_000).min(999_999);
+                let q = RangeQuery::new(st, end);
+                for eval in [Eval::TopDown, Eval::BottomUp] {
+                    let mut got = Vec::new();
+                    idx.query_with(q, eval, &mut got);
+                    assert_eq!(sorted(got), oracle.query_sorted(q), "m={m} {eval:?} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stabbing_queries() {
+        let data = lcg_data(200, 1024, 64, 3);
+        let idx = HintMBase::build(&data, 6);
+        let oracle = ScanOracle::new(&data);
+        for t in (0..1024).step_by(11) {
+            let mut got = Vec::new();
+            idx.stab(t, &mut got);
+            assert_eq!(sorted(got), oracle.query_sorted(RangeQuery::stab(t)));
+        }
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let data = lcg_data(400, 512, 200, 5);
+        let idx = HintMBase::build(&data, 9);
+        for st in (0..512u64).step_by(7) {
+            let q = RangeQuery::new(st, (st + 100).min(511));
+            let mut got = Vec::new();
+            idx.query(q, &mut got);
+            let n = got.len();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(n, got.len(), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn updates_match_oracle() {
+        let mut data = lcg_data(100, 256, 30, 11);
+        let mut idx =
+            HintMBase::build_with_domain(&data, crate::domain::Domain::new(0, 255, 8));
+        let mut oracle = ScanOracle::new(&data);
+
+        // insert
+        for i in 0..50u64 {
+            let s = Interval::new(1000 + i, (i * 5) % 250, ((i * 5) % 250) + 5);
+            idx.insert(s);
+            oracle.insert(s);
+            data.push(s);
+        }
+        // delete every 3rd original interval
+        for s in data.iter().filter(|s| s.id % 3 == 0) {
+            assert_eq!(idx.delete(s), oracle.delete(s.id), "{s:?}");
+        }
+        for st in (0..256u64).step_by(5) {
+            let q = RangeQuery::new(st, (st + 20).min(255));
+            let mut got = Vec::new();
+            idx.query(q, &mut got);
+            assert_eq!(sorted(got), oracle.query_sorted(q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn replication_factor_reasonable() {
+        let data = lcg_data(1000, 65536, 1000, 13);
+        let idx = HintMBase::build(&data, 10);
+        let k = idx.entries() as f64 / idx.len() as f64;
+        // each interval lands in >= 1 and on average only a few partitions
+        assert!((1.0..8.0).contains(&k), "k = {k}");
+    }
+}

@@ -1,0 +1,267 @@
+//! The hybrid update setting of §4.4: a fully optimized, read-only-ish
+//! [`Hint`] main index holding older data, plus an update-friendly
+//! [`HintMSubs`] (`subs+sopt` configuration) *delta* index digesting the
+//! latest insertions. Deletions are tombstoned in whichever index holds the
+//! interval. Queries probe both indexes; a batch [`HybridHint::merge`]
+//! periodically folds the delta into a rebuilt main index.
+
+use crate::domain::Domain;
+use crate::hintm::opt::{Hint, HintOptions};
+use crate::hintm::subs::{HintMSubs, SubsConfig};
+use crate::interval::{Interval, IntervalId, RangeQuery, Time};
+
+/// Hybrid HINT^m for mixed query/update workloads (§4.4).
+#[derive(Debug, Clone)]
+pub struct HybridHint {
+    domain: Domain,
+    main: Hint,
+    /// Raw records of the main index (needed for rebuilds; deletions mark
+    /// them dead lazily via `main_deleted`).
+    main_data: Vec<Interval>,
+    main_deleted: usize,
+    delta: Option<HintMSubs>,
+    delta_data: Vec<Interval>,
+    delta_deleted: usize,
+    /// Delta size (live inserts) that triggers an automatic merge.
+    merge_threshold: usize,
+}
+
+/// Default number of buffered inserts before an automatic merge.
+pub const DEFAULT_MERGE_THRESHOLD: usize = 1 << 20;
+
+impl HybridHint {
+    /// Builds the hybrid index: main part from `data`, empty delta.
+    ///
+    /// The domain must be declared up front (updates may exceed the current
+    /// data range): pass the raw `[min, max]` values the application will
+    /// ever use.
+    pub fn new(data: &[Interval], min: Time, max: Time, m: u32) -> Self {
+        let domain = Domain::new(min, max, m);
+        let main = Hint::build_with_domain(data, domain, HintOptions::default());
+        Self {
+            domain,
+            main,
+            main_data: data.to_vec(),
+            main_deleted: 0,
+            delta: None,
+            delta_data: Vec::new(),
+            delta_deleted: 0,
+            merge_threshold: DEFAULT_MERGE_THRESHOLD,
+        }
+    }
+
+    /// Sets the automatic merge threshold (number of buffered inserts).
+    pub fn with_merge_threshold(mut self, threshold: usize) -> Self {
+        self.merge_threshold = threshold.max(1);
+        self
+    }
+
+    /// The shared domain of both component indexes.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Number of live intervals across main + delta.
+    pub fn len(&self) -> usize {
+        self.main.len() + self.delta.as_ref().map_or(0, |d| d.len())
+    }
+
+    /// True if no live intervals remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of buffered (live) delta inserts.
+    pub fn delta_len(&self) -> usize {
+        self.delta.as_ref().map_or(0, |d| d.len())
+    }
+
+    /// Evaluates a range query against both component indexes.
+    pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        self.main.query(q, out);
+        if let Some(delta) = &self.delta {
+            delta.query(q, out);
+        }
+    }
+
+    /// Convenience: stabbing query.
+    pub fn stab(&self, t: Time, out: &mut Vec<IntervalId>) {
+        self.query(RangeQuery::stab(t), out)
+    }
+
+    /// Inserts a new interval into the delta index; triggers a merge when
+    /// the delta exceeds the configured threshold.
+    ///
+    /// # Panics
+    /// Panics if the endpoints fall outside the declared domain.
+    pub fn insert(&mut self, s: Interval) {
+        let delta = self.delta.get_or_insert_with(|| {
+            HintMSubs::build_with_domain(&[], self.domain, SubsConfig::update_friendly())
+        });
+        delta.insert(s);
+        self.delta_data.push(s);
+        if delta.len() >= self.merge_threshold {
+            self.merge();
+        }
+    }
+
+    /// Logically deletes an interval, tombstoning it in whichever
+    /// component index holds it. Returns true if found.
+    pub fn delete(&mut self, s: &Interval) -> bool {
+        if let Some(delta) = &mut self.delta {
+            if delta.delete(s) {
+                self.delta_deleted += 1;
+                return true;
+            }
+        }
+        if self.main.delete(s) {
+            self.main_deleted += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Batch-merges the delta into a rebuilt, fully optimized main index
+    /// and clears all tombstones.
+    pub fn merge(&mut self) {
+        if self.delta.is_none() && self.main_deleted == 0 {
+            return;
+        }
+        // Collect live records: tombstoned ids are discovered by re-probing
+        // the component indexes is unnecessary — we track deletions by
+        // filtering against the live count per id.
+        let mut live = Vec::with_capacity(self.main_data.len() + self.delta_data.len());
+        if self.main_deleted == 0 && self.delta_deleted == 0 {
+            live.extend_from_slice(&self.main_data);
+            live.extend_from_slice(&self.delta_data);
+        } else {
+            // A record is live iff a stab query at its start still returns
+            // its id. Deleted ids were tombstoned in the indexes.
+            let mut probe = Vec::new();
+            for &s in self.main_data.iter().chain(&self.delta_data) {
+                probe.clear();
+                self.query(RangeQuery::stab(s.st), &mut probe);
+                if probe.contains(&s.id) {
+                    live.push(s);
+                }
+            }
+        }
+        self.main = Hint::build_with_domain(&live, self.domain, HintOptions::default());
+        self.main_data = live;
+        self.main_deleted = 0;
+        self.delta = None;
+        self.delta_data.clear();
+        self.delta_deleted = 0;
+    }
+
+    /// Approximate heap footprint in bytes (main + delta + rebuild buffer).
+    pub fn size_bytes(&self) -> usize {
+        self.main.size_bytes()
+            + self.delta.as_ref().map_or(0, |d| d.size_bytes())
+            + (self.main_data.len() + self.delta_data.len()) * std::mem::size_of::<Interval>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ScanOracle;
+
+    fn sorted(mut v: Vec<IntervalId>) -> Vec<IntervalId> {
+        v.sort_unstable();
+        v
+    }
+
+    fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 11
+        };
+        (0..n)
+            .map(|i| {
+                let st = next() % dom;
+                let len = next() % max_len;
+                Interval::new(i, st, (st + len).min(dom - 1).max(st))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mixed_workload_matches_oracle() {
+        let data = lcg_data(200, 4096, 300, 1);
+        let mut idx = HybridHint::new(&data, 0, 4095, 10);
+        let mut oracle = ScanOracle::new(&data);
+
+        for i in 0..100u64 {
+            let st = (i * 37) % 4000;
+            let s = Interval::new(10_000 + i, st, st + (i % 64));
+            idx.insert(s);
+            oracle.insert(s);
+        }
+        // delete a mix of old (main) and new (delta) records
+        for s in data.iter().filter(|s| s.id % 5 == 0) {
+            assert!(idx.delete(s));
+            assert!(oracle.delete(s.id));
+        }
+        for i in (0..100u64).filter(|i| i % 3 == 0) {
+            let st = (i * 37) % 4000;
+            let s = Interval::new(10_000 + i, st, st + (i % 64));
+            assert!(idx.delete(&s));
+            assert!(oracle.delete(s.id));
+        }
+        assert_eq!(idx.len(), oracle.len());
+        for st in (0..4096u64).step_by(61) {
+            let q = RangeQuery::new(st, (st + 120).min(4095));
+            let mut got = Vec::new();
+            idx.query(q, &mut got);
+            assert_eq!(sorted(got), oracle.query_sorted(q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn merge_preserves_results_and_clears_delta() {
+        let data = lcg_data(150, 2048, 200, 3);
+        let mut idx = HybridHint::new(&data, 0, 2047, 9);
+        let mut oracle = ScanOracle::new(&data);
+        for i in 0..50u64 {
+            let s = Interval::new(999_000 + i, i * 7, i * 7 + 10);
+            idx.insert(s);
+            oracle.insert(s);
+        }
+        for s in data.iter().take(30) {
+            idx.delete(s);
+            oracle.delete(s.id);
+        }
+        idx.merge();
+        assert_eq!(idx.delta_len(), 0);
+        assert_eq!(idx.len(), oracle.len());
+        for st in (0..2048u64).step_by(37) {
+            let q = RangeQuery::new(st, (st + 64).min(2047));
+            let mut got = Vec::new();
+            idx.query(q, &mut got);
+            assert_eq!(sorted(got), oracle.query_sorted(q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn automatic_merge_at_threshold() {
+        let data = lcg_data(50, 1024, 50, 5);
+        let mut idx = HybridHint::new(&data, 0, 1023, 8).with_merge_threshold(16);
+        for i in 0..40u64 {
+            idx.insert(Interval::new(500 + i, i * 20, i * 20 + 5));
+        }
+        // merges fired at every 16 inserts; delta holds the remainder
+        assert!(idx.delta_len() < 16);
+        assert_eq!(idx.len(), 90);
+    }
+
+    #[test]
+    fn double_delete_returns_false() {
+        let data = lcg_data(20, 256, 30, 7);
+        let mut idx = HybridHint::new(&data, 0, 255, 8);
+        let victim = data[3];
+        assert!(idx.delete(&victim));
+        assert!(!idx.delete(&victim));
+    }
+}

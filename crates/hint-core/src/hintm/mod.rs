@@ -1,0 +1,78 @@
+//! HINT^m: the generalized HINT for intervals in arbitrary domains (§3.2),
+//! plus the §4 optimizations, organized as the paper's ablation lattice:
+//!
+//! * [`base::HintMBase`] — originals/replicas divisions only, full
+//!   `(id, st, end)` triplets per partition; supports both the *top-down*
+//!   (Lemma 1 only) and *bottom-up* (Algorithm 3, Lemmas 1+2) evaluation,
+//!   reproducing Figure 10.
+//! * [`subs::HintMSubs`] — §4.1 subdivisions (`Oin/Oaft/Rin/Raft`) with
+//!   optional sorting (§4.1.1) and the storage optimization (§4.1.2,
+//!   Table 3), reproducing Figure 11. This configuration (`subs+sopt`) is
+//!   also the paper's *update-friendly* HINT^m (§3.4, Table 10).
+//! * [`opt::Hint`] — the flagship index: subdivisions + sorting + storage
+//!   optimization, plus §4.2 skew/sparsity handling (merged per-level
+//!   tables, sparse directories, inter-level links) and §4.3 cache-miss
+//!   reduction (columnar id/endpoint decomposition), reproducing Figure 12
+//!   and used in all cross-index comparisons (Figures 13–14, Tables 8–10).
+//! * [`delta::HybridHint`] — §4.4: a read-optimized [`opt::Hint`] main
+//!   index plus an update-friendly [`subs::HintMSubs`] delta, merged in
+//!   batches.
+//!
+//! # Exactness of comparison skipping under a lossy domain mapping
+//!
+//! All variants partition by *mapped* endpoints (monotone bucketing, see
+//! [`crate::domain::Domain`]) but store and compare *raw* endpoints. The
+//! paper's comparison-free reporting paths remain exact because each relies
+//! on a **strict** bucket inequality, and `bucket(x) < bucket(y) ⇒ x < y`:
+//!
+//! * *middle partitions* (`f < i < l`): originals start in bucket-block
+//!   `i > f ⇒ s.st > q.st`, and `i < l ⇒ s.st < q.end`; with `s.end ≥ s.st`
+//!   both overlap conditions follow.
+//! * *first partition, `f < l`*: every original/`aft`-replica ends at or
+//!   after the block end which is `≥ bucket(q.st)`... and for the `aft`
+//!   subdivisions strictly after, giving `s.end > q.st`; the `in`
+//!   subdivisions are the ones compared.
+//! * *Lemma 2 flags*: when the first relevant partition at level `l+1` has
+//!   an even offset, Algorithm 1 guarantees that any interval stored at
+//!   level `l` (first partition) ends **strictly** after that block —
+//!   an interval ending exactly at the block end would have been assigned
+//!   to level `l+1` instead (its `b`-branch bit is 0). Hence
+//!   `bucket(s.end) > bucket(q.st)` and the raw comparison can be skipped
+//!   exactly. The symmetric argument covers `comp_last`.
+
+pub mod base;
+pub mod delta;
+pub mod opt;
+pub mod subs;
+
+/// The two flag bits of Algorithm 3 (Lemma 2): whether endpoint comparisons
+/// are still required in the first / last relevant partition at the current
+/// level. Cleared bottom-up as partition boundaries align with the query.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompFlags {
+    pub first: bool,
+    pub last: bool,
+}
+
+impl CompFlags {
+    /// Flags for the bottom level: comparisons needed on both ends.
+    #[inline]
+    pub fn new() -> Self {
+        Self { first: true, last: true }
+    }
+
+    /// Lemma-2 update after processing a level whose first/last relevant
+    /// partition offsets are `f` and `l`: an even `f` means the first
+    /// partition above starts at the same domain value (clear `first`); an
+    /// odd `l` means the last partition above ends at the same value
+    /// (clear `last`).
+    #[inline]
+    pub fn update(&mut self, f: u64, l: u64) {
+        if f & 1 == 0 {
+            self.first = false;
+        }
+        if l & 1 == 1 {
+            self.last = false;
+        }
+    }
+}

@@ -1,0 +1,1287 @@
+//! The fully optimized HINT^m — the paper's flagship configuration.
+//!
+//! On top of the §4.1 subdivisions + sorting + storage optimization, this
+//! index adds:
+//!
+//! * **§4.2 skew & sparsity handling** ([`HintOptions::sparse`]): all
+//!   partitions of one subdivision kind at one level are merged into a
+//!   single table `T^{kind}_l`, ordered by partition offset, with a sorted
+//!   *sparse directory* of non-empty partitions. Relevant partitions are
+//!   then one contiguous run — empty partitions cost nothing and cause no
+//!   cache misses.
+//! * **§4.3 cache-miss reduction** ([`HintOptions::columnar`]): each merged
+//!   table is decomposed into a dedicated *ids column* plus separate
+//!   endpoint columns. Comparison-free runs touch only the ids column.
+//!
+//! Both options default to **on**; Figure 12's ablation builds the index
+//! with one of them off. With `sparse` off the directory is dense (one slot
+//! per possible partition), with `columnar` off the merged tables store
+//! row-wise entries.
+//!
+//! The flagship index is read-optimized: point inserts splice the merged
+//! tables (`O(level)`); use [`crate::HybridHint`] for mixed workloads
+//! (§4.4).
+
+use crate::assign::{for_each_assignment, SubKind};
+use crate::domain::Domain;
+use crate::hintm::CompFlags;
+use crate::interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
+use crate::stats::QueryStats;
+
+/// Storage options of the optimized index (Figure 12 ablation axes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HintOptions {
+    /// §4.2: sparse directory of non-empty partitions (vs a dense slot per
+    /// possible partition offset).
+    pub sparse: bool,
+    /// §4.3: columnar id/endpoint decomposition (vs row-wise entries).
+    pub columnar: bool,
+}
+
+impl Default for HintOptions {
+    fn default() -> Self {
+        Self { sparse: true, columnar: true }
+    }
+}
+
+/// Directory over a merged per-level table: maps partition offsets to runs
+/// of the data arrays.
+#[derive(Debug, Clone)]
+enum Dir {
+    /// One slot per possible partition: `begins.len() == 2^level + 1`.
+    Dense { begins: Vec<u32> },
+    /// Sorted non-empty offsets; `begins.len() == offs.len() + 1`.
+    /// `up` holds the §4.2 inter-level links: `up[i]` is the directory
+    /// index, at the level above, of the first non-empty partition with
+    /// offset `>= offs[i] / 2` (`NO_LINK` when absent). Links are *hints*:
+    /// lookups self-correct, so stale links after point inserts only cost
+    /// a few extra steps.
+    Sparse { offs: Vec<u64>, begins: Vec<u32>, up: Vec<u32> },
+}
+
+/// Sentinel for a missing/unknown inter-level link.
+const NO_LINK: usize = usize::MAX;
+
+impl Dir {
+    /// Directory-entry index range `[i0, i1)` covering partition offsets in
+    /// `[f, l]`. `hint` is an inter-level link guess for `i0` (§4.2): the
+    /// lookup walks backwards/forwards from it instead of binary searching.
+    #[inline]
+    fn entry_range(&self, f: u64, l: u64, hint: usize) -> (usize, usize) {
+        match self {
+            Dir::Dense { begins } => {
+                let n = begins.len() - 1;
+                ((f as usize).min(n), ((l + 1) as usize).min(n))
+            }
+            Dir::Sparse { offs, .. } => {
+                let i0 = if hint == NO_LINK {
+                    offs.partition_point(|&o| o < f)
+                } else {
+                    // self-correcting hinted scan: lands exactly on the
+                    // first entry with offset >= f for any starting hint
+                    let mut i = hint.min(offs.len());
+                    while i > 0 && offs[i - 1] >= f {
+                        i -= 1;
+                    }
+                    while i < offs.len() && offs[i] < f {
+                        i += 1;
+                    }
+                    i
+                };
+                let i1 = i0 + offs[i0..].partition_point(|&o| o <= l);
+                (i0, i1)
+            }
+        }
+    }
+
+    /// The §4.2 link stored at entry `i`: a starting hint for the lookup
+    /// at the level above.
+    #[inline]
+    fn up_of(&self, i: usize) -> usize {
+        match self {
+            Dir::Dense { .. } => NO_LINK,
+            Dir::Sparse { up, .. } => {
+                if i < up.len() && up[i] != u32::MAX {
+                    up[i] as usize
+                } else {
+                    NO_LINK
+                }
+            }
+        }
+    }
+
+    /// Partition offset of directory entry `i`.
+    #[inline]
+    fn offset_of(&self, i: usize) -> u64 {
+        match self {
+            Dir::Dense { .. } => i as u64,
+            Dir::Sparse { offs, .. } => offs[i],
+        }
+    }
+
+    /// Data range `[lo, hi)` spanned by directory entries `[i0, i1)`.
+    #[inline]
+    fn data_range(&self, i0: usize, i1: usize) -> (usize, usize) {
+        let begins = match self {
+            Dir::Dense { begins } => begins,
+            Dir::Sparse { begins, .. } => begins,
+        };
+        (begins[i0] as usize, begins[i1] as usize)
+    }
+
+    /// Inserts `count` slots at data position `pos` inside the run of
+    /// partition `off`, creating the directory entry if missing. Returns
+    /// the data index where the new entry should be placed; all later
+    /// begins are shifted.
+    fn splice(&mut self, off: u64) -> SpliceRun {
+        match self {
+            Dir::Dense { begins } => {
+                let i = off as usize;
+                SpliceRun { entry: i, lo: begins[i] as usize, hi: begins[i + 1] as usize }
+            }
+            Dir::Sparse { offs, begins, up } => {
+                let i = offs.partition_point(|&o| o < off);
+                if i == offs.len() || offs[i] != off {
+                    let at = begins[i];
+                    offs.insert(i, off);
+                    begins.insert(i, at);
+                    // new entry gets no link; neighbours' links stay valid
+                    // as hints (lookups self-correct)
+                    up.insert(i, u32::MAX);
+                }
+                SpliceRun { entry: i, lo: begins[i] as usize, hi: begins[i + 1] as usize }
+            }
+        }
+    }
+
+    /// Shifts every `begins` entry after directory entry `entry` by one
+    /// (after a data insertion inside that entry's run).
+    fn shift_after(&mut self, entry: usize) {
+        let begins = match self {
+            Dir::Dense { begins } => begins,
+            Dir::Sparse { begins, .. } => begins,
+        };
+        for b in &mut begins[entry + 1..] {
+            *b += 1;
+        }
+    }
+
+    /// Rebuilds the §4.2 links of this directory so each entry points at
+    /// the first entry of `above` (the directory one level up) with offset
+    /// `>= offset / 2`.
+    fn link_to(&mut self, above: &Dir) {
+        if let Dir::Sparse { offs, up, .. } = self {
+            up.clear();
+            if let Dir::Sparse { offs: above_offs, .. } = above {
+                up.extend(offs.iter().map(|&o| {
+                    let target = above_offs.partition_point(|&a| a < (o >> 1));
+                    if target < above_offs.len() {
+                        target as u32
+                    } else {
+                        u32::MAX
+                    }
+                }));
+            } else {
+                up.resize(offs.len(), u32::MAX);
+            }
+        }
+    }
+
+    /// Looks up the run of partition `off`, if non-empty/present.
+    #[inline]
+    fn run_of(&self, off: u64) -> Option<(usize, usize)> {
+        match self {
+            Dir::Dense { begins } => {
+                let i = off as usize;
+                if i + 1 >= begins.len() {
+                    return None;
+                }
+                let (lo, hi) = (begins[i] as usize, begins[i + 1] as usize);
+                (lo < hi).then_some((lo, hi))
+            }
+            Dir::Sparse { offs, begins, .. } => {
+                let i = offs.partition_point(|&o| o < off);
+                if i < offs.len() && offs[i] == off {
+                    Some((begins[i] as usize, begins[i + 1] as usize))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            Dir::Dense { begins } => begins.len() * 4,
+            Dir::Sparse { offs, begins, up } => offs.len() * 8 + begins.len() * 4 + up.len() * 4,
+        }
+    }
+}
+
+/// Result of a directory splice: directory entry index plus its data run.
+struct SpliceRun {
+    entry: usize,
+    lo: usize,
+    #[allow(dead_code)]
+    hi: usize,
+}
+
+/// Merged `Oin` table: full triplets, sorted by `(partition, st)`.
+#[derive(Debug, Clone)]
+enum OinData {
+    Rows(Vec<Interval>),
+    Cols { ids: Vec<IntervalId>, st: Vec<Time>, end: Vec<Time> },
+}
+
+/// Merged `Oaft` table: `(id, st)`, sorted by `(partition, st)`.
+#[derive(Debug, Clone)]
+enum OaftData {
+    Rows(Vec<(IntervalId, Time)>),
+    Cols { ids: Vec<IntervalId>, st: Vec<Time> },
+}
+
+/// Merged `Rin` table: `(id, end)`, sorted by `(partition, end)`.
+#[derive(Debug, Clone)]
+enum RinData {
+    Rows(Vec<(IntervalId, Time)>),
+    Cols { ids: Vec<IntervalId>, end: Vec<Time> },
+}
+
+#[inline]
+fn push_id(id: IntervalId, skip: bool, out: &mut Vec<IntervalId>) {
+    if !skip || id != TOMBSTONE {
+        out.push(id);
+    }
+}
+
+#[inline]
+fn extend_ids(ids: &[IntervalId], skip: bool, out: &mut Vec<IntervalId>) {
+    if skip {
+        out.extend(ids.iter().copied().filter(|&id| id != TOMBSTONE));
+    } else {
+        out.extend_from_slice(ids);
+    }
+}
+
+impl OinData {
+    /// Blind-reports ids in data range `[lo, hi)` (the §4.3 fast path:
+    /// only the ids column is touched).
+    #[inline]
+    fn blind(&self, lo: usize, hi: usize, skip: bool, out: &mut Vec<IntervalId>) {
+        match self {
+            OinData::Rows(rows) => {
+                for r in &rows[lo..hi] {
+                    push_id(r.id, skip, out);
+                }
+            }
+            OinData::Cols { ids, .. } => extend_ids(&ids[lo..hi], skip, out),
+        }
+    }
+
+    /// Reports the run prefix with `st <= bound` (run sorted by `st`).
+    /// Returns the number of comparisons (binary-search probes).
+    #[inline]
+    fn st_prefix(&self, lo: usize, hi: usize, bound: Time, skip: bool, out: &mut Vec<IntervalId>) -> usize {
+        match self {
+            OinData::Rows(rows) => {
+                let run = &rows[lo..hi];
+                let ub = run.partition_point(|r| r.st <= bound);
+                for r in &run[..ub] {
+                    push_id(r.id, skip, out);
+                }
+                bsearch_cost(run.len())
+            }
+            OinData::Cols { ids, st, .. } => {
+                let run = &st[lo..hi];
+                let ub = run.partition_point(|&x| x <= bound);
+                extend_ids(&ids[lo..lo + ub], skip, out);
+                bsearch_cost(run.len())
+            }
+        }
+    }
+
+    /// Linear scan of the run reporting entries with `end >= bound`
+    /// (the run is sorted by `st`, so no binary search applies).
+    #[inline]
+    fn end_ge_scan(&self, lo: usize, hi: usize, bound: Time, skip: bool, out: &mut Vec<IntervalId>) -> usize {
+        match self {
+            OinData::Rows(rows) => {
+                for r in &rows[lo..hi] {
+                    if r.end >= bound {
+                        push_id(r.id, skip, out);
+                    }
+                }
+            }
+            OinData::Cols { ids, end, .. } => {
+                for (k, &e) in end[lo..hi].iter().enumerate() {
+                    if e >= bound {
+                        push_id(ids[lo + k], skip, out);
+                    }
+                }
+            }
+        }
+        hi - lo
+    }
+
+    /// Both tests (single-partition case with both flags set): binary
+    /// search the `st <= q.end` prefix, then filter by `end >= q.st`.
+    #[inline]
+    fn both(&self, lo: usize, hi: usize, qst: Time, qend: Time, skip: bool, out: &mut Vec<IntervalId>) -> usize {
+        match self {
+            OinData::Rows(rows) => {
+                let run = &rows[lo..hi];
+                let ub = run.partition_point(|r| r.st <= qend);
+                for r in &run[..ub] {
+                    if r.end >= qst {
+                        push_id(r.id, skip, out);
+                    }
+                }
+                bsearch_cost(run.len()) + ub
+            }
+            OinData::Cols { ids, st, end } => {
+                let run = &st[lo..hi];
+                let ub = run.partition_point(|&x| x <= qend);
+                for k in 0..ub {
+                    if end[lo + k] >= qst {
+                        push_id(ids[lo + k], skip, out);
+                    }
+                }
+                bsearch_cost(run.len()) + ub
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            OinData::Rows(r) => r.len(),
+            OinData::Cols { ids, .. } => ids.len(),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            OinData::Rows(r) => r.len() * std::mem::size_of::<Interval>(),
+            OinData::Cols { ids, st, end } => (ids.len() + st.len() + end.len()) * 8,
+        }
+    }
+
+    fn tombstone_in(&mut self, lo: usize, hi: usize, id: IntervalId) -> bool {
+        match self {
+            OinData::Rows(rows) => {
+                for r in &mut rows[lo..hi] {
+                    if r.id == id {
+                        r.id = TOMBSTONE;
+                        return true;
+                    }
+                }
+                false
+            }
+            OinData::Cols { ids, .. } => {
+                for slot in &mut ids[lo..hi] {
+                    if *slot == id {
+                        *slot = TOMBSTONE;
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn insert_at(&mut self, lo: usize, hi: usize, s: Interval) {
+        match self {
+            OinData::Rows(rows) => {
+                let pos = lo + rows[lo..hi].partition_point(|r| r.st <= s.st);
+                rows.insert(pos, s);
+            }
+            OinData::Cols { ids, st, end } => {
+                let pos = lo + st[lo..hi].partition_point(|&x| x <= s.st);
+                ids.insert(pos, s.id);
+                st.insert(pos, s.st);
+                end.insert(pos, s.end);
+            }
+        }
+    }
+}
+
+impl OaftData {
+    #[inline]
+    fn blind(&self, lo: usize, hi: usize, skip: bool, out: &mut Vec<IntervalId>) {
+        match self {
+            OaftData::Rows(rows) => {
+                for &(id, _) in &rows[lo..hi] {
+                    push_id(id, skip, out);
+                }
+            }
+            OaftData::Cols { ids, .. } => extend_ids(&ids[lo..hi], skip, out),
+        }
+    }
+
+    #[inline]
+    fn st_prefix(&self, lo: usize, hi: usize, bound: Time, skip: bool, out: &mut Vec<IntervalId>) -> usize {
+        match self {
+            OaftData::Rows(rows) => {
+                let run = &rows[lo..hi];
+                let ub = run.partition_point(|&(_, st)| st <= bound);
+                for &(id, _) in &run[..ub] {
+                    push_id(id, skip, out);
+                }
+                bsearch_cost(run.len())
+            }
+            OaftData::Cols { ids, st } => {
+                let run = &st[lo..hi];
+                let ub = run.partition_point(|&x| x <= bound);
+                extend_ids(&ids[lo..lo + ub], skip, out);
+                bsearch_cost(run.len())
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            OaftData::Rows(r) => r.len(),
+            OaftData::Cols { ids, .. } => ids.len(),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            OaftData::Rows(r) => r.len() * 16,
+            OaftData::Cols { ids, st } => (ids.len() + st.len()) * 8,
+        }
+    }
+
+    fn tombstone_in(&mut self, lo: usize, hi: usize, id: IntervalId) -> bool {
+        match self {
+            OaftData::Rows(rows) => {
+                for r in &mut rows[lo..hi] {
+                    if r.0 == id {
+                        r.0 = TOMBSTONE;
+                        return true;
+                    }
+                }
+                false
+            }
+            OaftData::Cols { ids, .. } => {
+                for slot in &mut ids[lo..hi] {
+                    if *slot == id {
+                        *slot = TOMBSTONE;
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn insert_at(&mut self, lo: usize, hi: usize, s: Interval) {
+        match self {
+            OaftData::Rows(rows) => {
+                let pos = lo + rows[lo..hi].partition_point(|&(_, st)| st <= s.st);
+                rows.insert(pos, (s.id, s.st));
+            }
+            OaftData::Cols { ids, st } => {
+                let pos = lo + st[lo..hi].partition_point(|&x| x <= s.st);
+                ids.insert(pos, s.id);
+                st.insert(pos, s.st);
+            }
+        }
+    }
+}
+
+impl RinData {
+    #[inline]
+    fn blind(&self, lo: usize, hi: usize, skip: bool, out: &mut Vec<IntervalId>) {
+        match self {
+            RinData::Rows(rows) => {
+                for &(id, _) in &rows[lo..hi] {
+                    push_id(id, skip, out);
+                }
+            }
+            RinData::Cols { ids, .. } => extend_ids(&ids[lo..hi], skip, out),
+        }
+    }
+
+    /// Reports the run suffix with `end >= bound` (run sorted by `end`).
+    #[inline]
+    fn end_suffix(&self, lo: usize, hi: usize, bound: Time, skip: bool, out: &mut Vec<IntervalId>) -> usize {
+        match self {
+            RinData::Rows(rows) => {
+                let run = &rows[lo..hi];
+                let lb = run.partition_point(|&(_, end)| end < bound);
+                for &(id, _) in &run[lb..] {
+                    push_id(id, skip, out);
+                }
+                bsearch_cost(run.len())
+            }
+            RinData::Cols { ids, end } => {
+                let run = &end[lo..hi];
+                let lb = run.partition_point(|&x| x < bound);
+                extend_ids(&ids[lo + lb..hi], skip, out);
+                bsearch_cost(run.len())
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            RinData::Rows(r) => r.len(),
+            RinData::Cols { ids, .. } => ids.len(),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            RinData::Rows(r) => r.len() * 16,
+            RinData::Cols { ids, end } => (ids.len() + end.len()) * 8,
+        }
+    }
+
+    fn tombstone_in(&mut self, lo: usize, hi: usize, id: IntervalId) -> bool {
+        match self {
+            RinData::Rows(rows) => {
+                for r in &mut rows[lo..hi] {
+                    if r.0 == id {
+                        r.0 = TOMBSTONE;
+                        return true;
+                    }
+                }
+                false
+            }
+            RinData::Cols { ids, .. } => {
+                for slot in &mut ids[lo..hi] {
+                    if *slot == id {
+                        *slot = TOMBSTONE;
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn insert_at(&mut self, lo: usize, hi: usize, s: Interval) {
+        match self {
+            RinData::Rows(rows) => {
+                let pos = lo + rows[lo..hi].partition_point(|&(_, end)| end <= s.end);
+                rows.insert(pos, (s.id, s.end));
+            }
+            RinData::Cols { ids, end } => {
+                let pos = lo + end[lo..hi].partition_point(|&x| x <= s.end);
+                ids.insert(pos, s.id);
+                end.insert(pos, s.end);
+            }
+        }
+    }
+}
+
+/// Approximate comparison count of one binary search over `n` entries.
+#[inline]
+fn bsearch_cost(n: usize) -> usize {
+    (usize::BITS - n.leading_zeros()) as usize
+}
+
+/// One subdivision-kind group at one level: directory + merged table.
+#[derive(Debug, Clone)]
+struct Group<D> {
+    dir: Dir,
+    data: D,
+}
+
+#[derive(Debug, Clone)]
+struct Level {
+    oin: Group<OinData>,
+    oaft: Group<OaftData>,
+    rin: Group<RinData>,
+    raft: Group<Vec<IntervalId>>,
+}
+
+/// The fully optimized HINT^m index (§4).
+#[derive(Debug, Clone)]
+pub struct Hint {
+    domain: Domain,
+    opts: HintOptions,
+    levels: Vec<Level>,
+    live: usize,
+    tombstones: usize,
+}
+
+/// Per-level build buffers (assignment output before dir construction).
+#[derive(Default)]
+struct BuildLevel {
+    oin: Vec<(u64, Interval)>,
+    oaft: Vec<(u64, IntervalId, Time)>,
+    rin: Vec<(u64, IntervalId, Time)>,
+    raft: Vec<(u64, IntervalId)>,
+}
+
+impl Hint {
+    /// Builds the index with all optimizations (sparse + columnar).
+    pub fn build(data: &[Interval], m: u32) -> Self {
+        Self::build_with_options(data, m, HintOptions::default())
+    }
+
+    /// Builds with explicit §4.2/§4.3 options (Figure 12 ablation).
+    pub fn build_with_options(data: &[Interval], m: u32, opts: HintOptions) -> Self {
+        let domain = Domain::from_data(data, m);
+        Self::build_with_domain(data, domain, opts)
+    }
+
+    /// Builds over an explicit domain.
+    pub fn build_with_domain(data: &[Interval], domain: Domain, opts: HintOptions) -> Self {
+        let m = domain.m();
+        if !opts.sparse {
+            assert!(m <= 26, "dense directories limited to m <= 26 (got {m})");
+        }
+        let mut buf: Vec<BuildLevel> = (0..=m).map(|_| BuildLevel::default()).collect();
+        for s in data {
+            let (a, b) = domain.map_interval(s);
+            for_each_assignment(m, a, b, |asg| {
+                let lvl = &mut buf[asg.level as usize];
+                match asg.kind {
+                    SubKind::OriginalIn => lvl.oin.push((asg.offset, *s)),
+                    SubKind::OriginalAft => lvl.oaft.push((asg.offset, s.id, s.st)),
+                    SubKind::ReplicaIn => lvl.rin.push((asg.offset, s.id, s.end)),
+                    SubKind::ReplicaAft => lvl.raft.push((asg.offset, s.id)),
+                }
+            });
+        }
+        let levels: Vec<Level> =
+            buf.into_iter().enumerate().map(|(l, b)| build_level(l, b, opts)).collect();
+        let levels = link_levels(levels);
+        Self { domain, opts, levels, live: data.len(), tombstones: 0 }
+    }
+
+    /// Parallel bulk construction (§6 future work: "effective
+    /// parallelization techniques, taking advantage of the fact that HINT
+    /// partitions are independent").
+    ///
+    /// The assignment pass fans out over `threads` data chunks (each thread
+    /// fills private per-level buffers), then every level's merged tables
+    /// are sorted and columnarized concurrently — levels are fully
+    /// independent. Produces an index identical to [`Hint::build_with_options`].
+    pub fn build_parallel(data: &[Interval], m: u32, opts: HintOptions, threads: usize) -> Self {
+        let domain = Domain::from_data(data, m);
+        Self::build_parallel_with_domain(data, domain, opts, threads)
+    }
+
+    /// Parallel build over an explicit domain (see [`Hint::build_parallel`]).
+    pub fn build_parallel_with_domain(
+        data: &[Interval],
+        domain: Domain,
+        opts: HintOptions,
+        threads: usize,
+    ) -> Self {
+        let m = domain.m();
+        if !opts.sparse {
+            assert!(m <= 26, "dense directories limited to m <= 26 (got {m})");
+        }
+        let threads = threads.clamp(1, data.len().max(1));
+        let chunk = data.len().div_ceil(threads).max(1);
+
+        // phase 1: parallel assignment into per-thread level buffers
+        let partials: Vec<Vec<BuildLevel>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(chunk)
+                .map(|c| {
+                    scope.spawn(move |_| {
+                        let mut buf: Vec<BuildLevel> =
+                            (0..=m).map(|_| BuildLevel::default()).collect();
+                        for s in c {
+                            let (a, b) = domain.map_interval(s);
+                            for_each_assignment(m, a, b, |asg| {
+                                let lvl = &mut buf[asg.level as usize];
+                                match asg.kind {
+                                    SubKind::OriginalIn => lvl.oin.push((asg.offset, *s)),
+                                    SubKind::OriginalAft => {
+                                        lvl.oaft.push((asg.offset, s.id, s.st))
+                                    }
+                                    SubKind::ReplicaIn => lvl.rin.push((asg.offset, s.id, s.end)),
+                                    SubKind::ReplicaAft => lvl.raft.push((asg.offset, s.id)),
+                                }
+                            });
+                        }
+                        buf
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("assignment worker")).collect()
+        })
+        .expect("assignment scope");
+
+        // phase 2: merge chunk buffers per level, then build levels in
+        // parallel (sorting dominates; each level is independent)
+        let mut merged: Vec<BuildLevel> = (0..=m).map(|_| BuildLevel::default()).collect();
+        for part in partials {
+            for (dst, src) in merged.iter_mut().zip(part) {
+                dst.oin.extend(src.oin);
+                dst.oaft.extend(src.oaft);
+                dst.rin.extend(src.rin);
+                dst.raft.extend(src.raft);
+            }
+        }
+        let levels: Vec<Level> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = merged
+                .into_iter()
+                .enumerate()
+                .map(|(l, b)| scope.spawn(move |_| build_level(l, b, opts)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("level worker")).collect()
+        })
+        .expect("level scope");
+        let levels = link_levels(levels);
+        Self { domain, opts, levels, live: data.len(), tombstones: 0 }
+    }
+
+    /// The index domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The storage options the index was built with.
+    pub fn options(&self) -> HintOptions {
+        self.opts
+    }
+
+    /// Number of live intervals.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live intervals remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Evaluates a range query (Algorithm 3 with all §4 optimizations),
+    /// pushing result ids into `out`.
+    pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        self.query_inner(q, out, None);
+    }
+
+    /// Instrumented query: returns the §5.2.4 counters alongside results.
+    pub fn query_stats(&self, q: RangeQuery, out: &mut Vec<IntervalId>) -> QueryStats {
+        let mut stats = QueryStats::default();
+        let before = out.len();
+        self.query_inner(q, out, Some(&mut stats));
+        stats.results = out.len() - before;
+        stats
+    }
+
+    /// Convenience: stabbing query.
+    pub fn stab(&self, t: Time, out: &mut Vec<IntervalId>) {
+        self.query(RangeQuery::stab(t), out)
+    }
+
+    fn query_inner(&self, q: RangeQuery, out: &mut Vec<IntervalId>, mut stats: Option<&mut QueryStats>) {
+        if !self.domain.intersects(&q) {
+            return;
+        }
+        let (qst, qend) = self.domain.map_query(&q);
+        let m = self.domain.m();
+        let skip = self.tombstones > 0;
+        let mut flags = CompFlags::new();
+        let mut oin_hint = NO_LINK;
+        let mut oaft_hint = NO_LINK;
+        for l in (0..=m).rev() {
+            let f = self.domain.prefix(l, qst);
+            let last = self.domain.prefix(l, qend);
+            let level = &self.levels[l as usize];
+            // distinct-partition comparison tracking for Table 7: did the
+            // first / last relevant partition incur any comparison at this
+            // level (across all four subdivision groups)?
+            let mut cmp_at_first = false;
+            let mut cmp_at_last = false;
+
+            // ---- Oin: runs for partitions f..=l; first and last runs may
+            // need comparisons, everything in between is a blind slice.
+            {
+                let (i0, i1) = level.oin.dir.entry_range(f, last, oin_hint);
+                oin_hint = level.oin.dir.up_of(i0);
+                if i0 < i1 {
+                    let mut blind_lo = i0;
+                    let mut blind_hi = i1;
+                    let first_is_f = level.oin.dir.offset_of(i0) == f;
+                    let last_is_l = level.oin.dir.offset_of(i1 - 1) == last;
+                    if f == last {
+                        // single relevant partition
+                        debug_assert!(i1 - i0 <= 1);
+                        if first_is_f {
+                            let (lo, hi) = level.oin.dir.data_range(i0, i1);
+                            let cmps = match (flags.first, flags.last) {
+                                (true, true) => level.oin.data.both(lo, hi, q.st, q.end, skip, out),
+                                (false, true) => level.oin.data.st_prefix(lo, hi, q.end, skip, out),
+                                (true, false) => level.oin.data.end_ge_scan(lo, hi, q.st, skip, out),
+                                (false, false) => {
+                                    level.oin.data.blind(lo, hi, skip, out);
+                                    0
+                                }
+                            };
+                            record(&mut stats, 1, cmps);
+                            cmp_at_first |= cmps > 0;
+                            blind_lo = i1; // consumed
+                        }
+                    } else {
+                        if first_is_f && flags.first {
+                            let (lo, hi) = level.oin.dir.data_range(i0, i0 + 1);
+                            let cmps = level.oin.data.end_ge_scan(lo, hi, q.st, skip, out);
+                            record(&mut stats, 1, cmps);
+                            cmp_at_first |= cmps > 0;
+                            blind_lo = i0 + 1;
+                        }
+                        if last_is_l && flags.last && blind_lo < i1 {
+                            let (lo, hi) = level.oin.dir.data_range(i1 - 1, i1);
+                            let cmps = level.oin.data.st_prefix(lo, hi, q.end, skip, out);
+                            record(&mut stats, 1, cmps);
+                            cmp_at_last |= cmps > 0;
+                            blind_hi = i1 - 1;
+                        }
+                    }
+                    if blind_lo < blind_hi {
+                        let (lo, hi) = level.oin.dir.data_range(blind_lo, blind_hi);
+                        level.oin.data.blind(lo, hi, skip, out);
+                        record(&mut stats, blind_hi - blind_lo, 0);
+                    }
+                }
+            }
+
+            // ---- Oaft: runs f..=l; only the run at `l` may need the
+            // `st <= q.end` test (Lemma 5/6), and only while `comp_last`.
+            {
+                let (i0, i1) = level.oaft.dir.entry_range(f, last, oaft_hint);
+                oaft_hint = level.oaft.dir.up_of(i0);
+                if i0 < i1 {
+                    let mut blind_hi = i1;
+                    let last_is_l = level.oaft.dir.offset_of(i1 - 1) == last;
+                    if last_is_l && flags.last {
+                        let (lo, hi) = level.oaft.dir.data_range(i1 - 1, i1);
+                        let cmps = level.oaft.data.st_prefix(lo, hi, q.end, skip, out);
+                        record(&mut stats, 1, cmps);
+                        if f == last {
+                            cmp_at_first |= cmps > 0;
+                        } else {
+                            cmp_at_last |= cmps > 0;
+                        }
+                        blind_hi = i1 - 1;
+                    }
+                    if i0 < blind_hi {
+                        let (lo, hi) = level.oaft.dir.data_range(i0, blind_hi);
+                        level.oaft.data.blind(lo, hi, skip, out);
+                        record(&mut stats, blind_hi - i0, 0);
+                    }
+                }
+            }
+
+            // ---- Rin: only the first partition's run; `end >= q.st`
+            // while `comp_first`, blind afterwards.
+            if let Some((lo, hi)) = level.rin.dir.run_of(f) {
+                if flags.first {
+                    let cmps = level.rin.data.end_suffix(lo, hi, q.st, skip, out);
+                    record(&mut stats, 1, cmps);
+                    cmp_at_first |= cmps > 0;
+                } else {
+                    level.rin.data.blind(lo, hi, skip, out);
+                    record(&mut stats, 1, 0);
+                }
+            }
+
+            // ---- Raft: only the first partition's run; never compared.
+            if let Some((lo, hi)) = level.raft.dir.run_of(f) {
+                extend_ids(&level.raft.data[lo..hi], skip, out);
+                record(&mut stats, 1, 0);
+            }
+
+            if let Some(st) = stats.as_deref_mut() {
+                st.partitions_compared += if f == last {
+                    usize::from(cmp_at_first || cmp_at_last)
+                } else {
+                    usize::from(cmp_at_first) + usize::from(cmp_at_last)
+                };
+            }
+            flags.update(f, last);
+        }
+    }
+
+    /// Inserts an interval by splicing the merged tables. Correct but
+    /// `O(level size)` per affected level — prefer [`crate::HybridHint`]
+    /// for update-heavy workloads (§4.4).
+    ///
+    /// # Panics
+    /// Panics if the endpoints fall outside the fixed index domain.
+    pub fn insert(&mut self, s: Interval) {
+        assert!(
+            s.st >= self.domain.min() && s.end <= self.domain.max(),
+            "interval outside index domain"
+        );
+        let (a, b) = self.domain.map_interval(&s);
+        let m = self.domain.m();
+        let levels = &mut self.levels;
+        for_each_assignment(m, a, b, |asg| {
+            let level = &mut levels[asg.level as usize];
+            match asg.kind {
+                SubKind::OriginalIn => {
+                    let run = level.oin.dir.splice(asg.offset);
+                    let hi = level.oin.dir.data_range(run.entry, run.entry + 1).1;
+                    level.oin.data.insert_at(run.lo, hi, s);
+                    level.oin.dir.shift_after(run.entry);
+                }
+                SubKind::OriginalAft => {
+                    let run = level.oaft.dir.splice(asg.offset);
+                    let hi = level.oaft.dir.data_range(run.entry, run.entry + 1).1;
+                    level.oaft.data.insert_at(run.lo, hi, s);
+                    level.oaft.dir.shift_after(run.entry);
+                }
+                SubKind::ReplicaIn => {
+                    let run = level.rin.dir.splice(asg.offset);
+                    let hi = level.rin.dir.data_range(run.entry, run.entry + 1).1;
+                    level.rin.data.insert_at(run.lo, hi, s);
+                    level.rin.dir.shift_after(run.entry);
+                }
+                SubKind::ReplicaAft => {
+                    let run = level.raft.dir.splice(asg.offset);
+                    level.raft.data.insert(run.lo, s.id);
+                    level.raft.dir.shift_after(run.entry);
+                }
+            }
+        });
+        self.live += 1;
+    }
+
+    /// Logically deletes an interval via tombstones (§3.4/§4.4). The
+    /// caller passes the endpoints the interval was inserted with.
+    /// Returns true if at least one copy was found.
+    pub fn delete(&mut self, s: &Interval) -> bool {
+        let (a, b) = self.domain.map_interval(s);
+        let m = self.domain.m();
+        let mut found = false;
+        let levels = &mut self.levels;
+        for_each_assignment(m, a, b, |asg| {
+            let level = &mut levels[asg.level as usize];
+            let hit = match asg.kind {
+                SubKind::OriginalIn => level
+                    .oin
+                    .dir
+                    .run_of(asg.offset)
+                    .is_some_and(|(lo, hi)| level.oin.data.tombstone_in(lo, hi, s.id)),
+                SubKind::OriginalAft => level
+                    .oaft
+                    .dir
+                    .run_of(asg.offset)
+                    .is_some_and(|(lo, hi)| level.oaft.data.tombstone_in(lo, hi, s.id)),
+                SubKind::ReplicaIn => level
+                    .rin
+                    .dir
+                    .run_of(asg.offset)
+                    .is_some_and(|(lo, hi)| level.rin.data.tombstone_in(lo, hi, s.id)),
+                SubKind::ReplicaAft => {
+                    level.raft.dir.run_of(asg.offset).is_some_and(|(lo, hi)| {
+                        for slot in &mut level.raft.data[lo..hi] {
+                            if *slot == s.id {
+                                *slot = TOMBSTONE;
+                                return true;
+                            }
+                        }
+                        false
+                    })
+                }
+            };
+            found |= hit;
+        });
+        if found {
+            self.live -= 1;
+            self.tombstones += 1;
+        }
+        found
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| {
+                l.oin.dir.size_bytes()
+                    + l.oin.data.size_bytes()
+                    + l.oaft.dir.size_bytes()
+                    + l.oaft.data.size_bytes()
+                    + l.rin.dir.size_bytes()
+                    + l.rin.data.size_bytes()
+                    + l.raft.dir.size_bytes()
+                    + l.raft.data.len() * 8
+            })
+            .sum()
+    }
+
+    /// Total stored entries (for the replication factor `k`, Table 7).
+    pub fn entries(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| l.oin.data.len() + l.oaft.data.len() + l.rin.data.len() + l.raft.data.len())
+            .sum()
+    }
+}
+
+#[inline]
+fn record(stats: &mut Option<&mut QueryStats>, parts: usize, cmps: usize) {
+    if let Some(s) = stats.as_deref_mut() {
+        s.partitions_accessed += parts;
+        s.comparisons += cmps;
+    }
+}
+
+/// Sorts one level's build buffers and materializes its four merged
+/// tables + directories (shared by the serial and parallel builders).
+fn build_level(l: usize, mut b: BuildLevel, opts: HintOptions) -> Level {
+    let slots = 1usize << l;
+    b.oin.sort_unstable_by_key(|&(off, s)| (off, s.st));
+    b.oaft.sort_unstable_by_key(|&(off, _, st)| (off, st));
+    b.rin.sort_unstable_by_key(|&(off, _, end)| (off, end));
+    b.raft.sort_unstable_by_key(|&(off, _)| off);
+    Level {
+        oin: Group {
+            dir: build_dir(opts.sparse, slots, b.oin.iter().map(|&(o, _)| o)),
+            data: if opts.columnar {
+                OinData::Cols {
+                    ids: b.oin.iter().map(|&(_, s)| s.id).collect(),
+                    st: b.oin.iter().map(|&(_, s)| s.st).collect(),
+                    end: b.oin.iter().map(|&(_, s)| s.end).collect(),
+                }
+            } else {
+                OinData::Rows(b.oin.iter().map(|&(_, s)| s).collect())
+            },
+        },
+        oaft: Group {
+            dir: build_dir(opts.sparse, slots, b.oaft.iter().map(|&(o, _, _)| o)),
+            data: if opts.columnar {
+                OaftData::Cols {
+                    ids: b.oaft.iter().map(|&(_, id, _)| id).collect(),
+                    st: b.oaft.iter().map(|&(_, _, st)| st).collect(),
+                }
+            } else {
+                OaftData::Rows(b.oaft.iter().map(|&(_, id, st)| (id, st)).collect())
+            },
+        },
+        rin: Group {
+            dir: build_dir(opts.sparse, slots, b.rin.iter().map(|&(o, _, _)| o)),
+            data: if opts.columnar {
+                RinData::Cols {
+                    ids: b.rin.iter().map(|&(_, id, _)| id).collect(),
+                    end: b.rin.iter().map(|&(_, _, end)| end).collect(),
+                }
+            } else {
+                RinData::Rows(b.rin.iter().map(|&(_, id, end)| (id, end)).collect())
+            },
+        },
+        raft: Group {
+            dir: build_dir(opts.sparse, slots, b.raft.iter().map(|&(o, _)| o)),
+            data: b.raft.iter().map(|&(_, id)| id).collect(),
+        },
+    }
+}
+
+/// Installs the §4.2 inter-level links: each level's O-table directories
+/// point at the first candidate entry one level up, replacing the
+/// per-level binary search during queries.
+fn link_levels(mut levels: Vec<Level>) -> Vec<Level> {
+    for l in (1..levels.len()).rev() {
+        let (above, below) = levels.split_at_mut(l);
+        below[0].oin.dir.link_to(&above[l - 1].oin.dir);
+        below[0].oaft.dir.link_to(&above[l - 1].oaft.dir);
+    }
+    levels
+}
+
+/// Builds a directory over partition offsets sorted ascending (repeats
+/// mark multiple entries in the same partition).
+fn build_dir(sparse: bool, slots: usize, offsets: impl Iterator<Item = u64>) -> Dir {
+    if sparse {
+        let mut offs = Vec::new();
+        let mut begins = Vec::new();
+        let mut n = 0u32;
+        for off in offsets {
+            if offs.last() != Some(&off) {
+                offs.push(off);
+                begins.push(n);
+            }
+            n += 1;
+        }
+        begins.push(n); // sentinel: one past the last data entry
+        let up = vec![u32::MAX; offs.len()];
+        Dir::Sparse { offs, begins, up }
+    } else {
+        let mut begins = vec![0u32; slots + 1];
+        for off in offsets {
+            begins[off as usize + 1] += 1;
+        }
+        for i in 1..begins.len() {
+            begins[i] += begins[i - 1];
+        }
+        Dir::Dense { begins }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ScanOracle;
+
+    fn sorted(mut v: Vec<IntervalId>) -> Vec<IntervalId> {
+        v.sort_unstable();
+        v
+    }
+
+    fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 11
+        };
+        (0..n)
+            .map(|i| {
+                let st = next() % dom;
+                let len = next() % max_len;
+                Interval::new(i, st, (st + len).min(dom - 1).max(st))
+            })
+            .collect()
+    }
+
+    fn all_options() -> [HintOptions; 4] {
+        [
+            HintOptions { sparse: false, columnar: false },
+            HintOptions { sparse: true, columnar: false },
+            HintOptions { sparse: false, columnar: true },
+            HintOptions { sparse: true, columnar: true },
+        ]
+    }
+
+    #[test]
+    fn all_options_match_oracle() {
+        let data = lcg_data(400, 100_000, 9_000, 101);
+        let oracle = ScanOracle::new(&data);
+        for opts in all_options() {
+            for m in [4, 8, 12] {
+                let idx = Hint::build_with_options(&data, m, opts);
+                let mut x = 5u64;
+                for _ in 0..300 {
+                    x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                    let st = (x >> 17) % 100_000;
+                    let end = (st + (x >> 9) % 12_000).min(99_999);
+                    let q = RangeQuery::new(st, end);
+                    let mut got = Vec::new();
+                    idx.query(q, &mut got);
+                    assert_eq!(sorted(got), oracle.query_sorted(q), "{opts:?} m={m} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_domain() {
+        let data = lcg_data(120, 64, 20, 9);
+        let oracle = ScanOracle::new(&data);
+        for opts in all_options() {
+            let idx = Hint::build_with_options(&data, 6, opts);
+            for st in 0..64u64 {
+                for end in st..64 {
+                    let q = RangeQuery::new(st, end);
+                    let mut got = Vec::new();
+                    idx.query(q, &mut got);
+                    assert_eq!(sorted(got), oracle.query_sorted(q), "{opts:?} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_partitions_compared_is_small() {
+        let data = lcg_data(5000, 1 << 20, 1 << 14, 3);
+        let idx = Hint::build(&data, 12);
+        let mut x = 7u64;
+        let mut total = 0.0;
+        let n = 500;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
+            let st = (x >> 20) % (1 << 20);
+            let end = (st + (1 << 14)).min((1 << 20) - 1);
+            let mut out = Vec::new();
+            let s = idx.query_stats(RangeQuery::new(st, end), &mut out);
+            total += s.partitions_compared as f64;
+        }
+        let avg = total / n as f64;
+        // Lemma 4: expected number of compared partitions is <= 4.
+        assert!(avg <= 4.5, "avg partitions compared = {avg}");
+    }
+
+    #[test]
+    fn updates_match_oracle() {
+        let data = lcg_data(150, 2048, 100, 29);
+        for opts in all_options() {
+            let mut idx =
+                Hint::build_with_domain(&data, crate::domain::Domain::new(0, 2047, 8), opts);
+            let mut oracle = ScanOracle::new(&data);
+            for i in 0..60u64 {
+                let st = (i * 31) % 2000;
+                let s = Interval::new(5000 + i, st, st + (i % 40));
+                idx.insert(s);
+                oracle.insert(s);
+            }
+            for s in data.iter().filter(|s| s.id % 4 == 0) {
+                assert_eq!(idx.delete(s), oracle.delete(s.id), "{opts:?} {s:?}");
+            }
+            for st in (0..2048u64).step_by(41) {
+                let q = RangeQuery::new(st, (st + 90).min(2047));
+                let mut got = Vec::new();
+                idx.query(q, &mut got);
+                assert_eq!(sorted(got), oracle.query_sorted(q), "{opts:?} {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_shrinks_directories_under_sparsity() {
+        let data: Vec<Interval> =
+            (0..100).map(|i| Interval::new(i, i * 10_000, i * 10_000 + 5)).collect();
+        let dense = Hint::build_with_options(&data, 16, HintOptions { sparse: false, columnar: true });
+        let sparse = Hint::build_with_options(&data, 16, HintOptions { sparse: true, columnar: true });
+        assert!(sparse.size_bytes() < dense.size_bytes() / 4);
+    }
+
+    #[test]
+    fn parallel_build_equals_serial_build(){
+        let data = lcg_data(4000, 1 << 18, 20_000, 77);
+        let serial = Hint::build(&data, 12);
+        for threads in [1, 2, 7] {
+            let par = Hint::build_parallel(&data, 12, HintOptions::default(), threads);
+            assert_eq!(par.len(), serial.len());
+            assert_eq!(par.entries(), serial.entries());
+            assert_eq!(par.size_bytes(), serial.size_bytes());
+            let mut x = 3u64;
+            for _ in 0..200 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(5);
+                let st = (x >> 15) % (1 << 18);
+                let end = (st + (x >> 40) % 30_000).min((1 << 18) - 1);
+                let q = RangeQuery::new(st, end);
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                serial.query(q, &mut a);
+                par.query(q, &mut b);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "threads={threads} {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let data = lcg_data(800, 1 << 16, 9000, 55);
+        let idx = Hint::build(&data, 11);
+        for st in (0..(1u64 << 16)).step_by(997) {
+            let q = RangeQuery::new(st, (st + 20_000).min((1 << 16) - 1));
+            let mut got = Vec::new();
+            idx.query(q, &mut got);
+            let n = got.len();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(n, got.len(), "{q:?}");
+        }
+    }
+}

@@ -1,0 +1,808 @@
+//! HINT^m with the §4.1 partition subdivisions.
+//!
+//! Every partition `P_{l,i}` is divided into four groups (Table 2):
+//! `P^{Oin}` (originals ending inside), `P^{Oaft}` (originals ending after),
+//! `P^{Rin}` (replicas ending inside), `P^{Raft}` (replicas ending after).
+//! Lemmas 5 and 6 then reduce the overlap test to **at most one comparison
+//! per interval**, and the `Raft` group never needs any comparison.
+//!
+//! Two further §4.1 options are configurable to reproduce Figure 11:
+//!
+//! * **sorting** (§4.1.1, [`SubsConfig::sort`]): `Oin` and `Oaft` are kept
+//!   sorted by start point and `Rin` by end point, turning comparison scans
+//!   into binary-searched prefix/suffix runs;
+//! * **storage optimization** (§4.1.2, [`SubsConfig::sopt`]): each group
+//!   stores only the fields that can ever be compared (Table 3):
+//!   `Oin: (id, st, end)`, `Oaft: (id, st)`, `Rin: (id, end)`, `Raft: id`.
+//!
+//! With `sopt` enabled and `sort` disabled this is the paper's
+//! *update-friendly* HINT^m used as the delta index of the hybrid setting
+//! (§4.4) and in the Table 10 update experiments.
+
+use crate::assign::{for_each_assignment, SubKind};
+use crate::domain::Domain;
+use crate::hintm::CompFlags;
+use crate::interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
+
+/// Configuration of the §4.1 options (Figure 11's ablation axes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubsConfig {
+    /// Keep subdivisions sorted (§4.1.1).
+    pub sort: bool,
+    /// Store only the necessary endpoint fields per subdivision (§4.1.2).
+    pub sopt: bool,
+}
+
+impl SubsConfig {
+    /// All §4.1 optimizations on (the `subs+sort+sopt` line of Figure 11).
+    pub fn full() -> Self {
+        Self { sort: true, sopt: true }
+    }
+
+    /// The update-friendly configuration (`subs+sopt`, §4.4 delta index).
+    pub fn update_friendly() -> Self {
+        Self { sort: false, sopt: true }
+    }
+}
+
+impl Default for SubsConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// `Oaft` entry under the storage optimization: end point never needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IdSt {
+    id: IntervalId,
+    st: Time,
+}
+
+/// `Rin` entry under the storage optimization: start point never needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IdEnd {
+    id: IntervalId,
+    end: Time,
+}
+
+#[derive(Debug, Clone, Default)]
+struct PartFull {
+    oin: Vec<Interval>,
+    oaft: Vec<Interval>,
+    rin: Vec<Interval>,
+    raft: Vec<Interval>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct PartOpt {
+    oin: Vec<Interval>,
+    oaft: Vec<IdSt>,
+    rin: Vec<IdEnd>,
+    raft: Vec<IntervalId>,
+}
+
+#[derive(Debug, Clone)]
+enum Storage {
+    Full(Vec<Vec<PartFull>>),
+    Opt(Vec<Vec<PartOpt>>),
+}
+
+/// HINT^m with subdivisions (§4.1), configurable sorting and storage
+/// optimization.
+#[derive(Debug, Clone)]
+pub struct HintMSubs {
+    domain: Domain,
+    cfg: SubsConfig,
+    storage: Storage,
+    live: usize,
+    tombstones: usize,
+}
+
+impl HintMSubs {
+    /// Builds the index with `m + 1` levels over `data`.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or the clamped `m` exceeds 26.
+    pub fn build(data: &[Interval], m: u32, cfg: SubsConfig) -> Self {
+        let domain = Domain::from_data(data, m);
+        Self::build_with_domain(data, domain, cfg)
+    }
+
+    /// Builds over an explicit domain (for pre-sized update workloads).
+    pub fn build_with_domain(data: &[Interval], domain: Domain, cfg: SubsConfig) -> Self {
+        let m = domain.m();
+        assert!(m <= 26, "dense per-partition layout limited to m <= 26 (got {m})");
+        let mut idx = Self {
+            domain,
+            cfg,
+            storage: if cfg.sopt {
+                Storage::Opt((0..=m).map(|l| vec![PartOpt::default(); 1usize << l]).collect())
+            } else {
+                Storage::Full((0..=m).map(|l| vec![PartFull::default(); 1usize << l]).collect())
+            },
+            live: 0,
+            tombstones: 0,
+        };
+        for s in data {
+            idx.place(*s);
+        }
+        idx.live = data.len();
+        if cfg.sort {
+            idx.sort_all();
+        }
+        idx
+    }
+
+    /// Routes one interval to its partitions (no sorting).
+    fn place(&mut self, s: Interval) {
+        let (a, b) = self.domain.map_interval(&s);
+        let m = self.domain.m();
+        match &mut self.storage {
+            Storage::Full(levels) => {
+                for_each_assignment(m, a, b, |asg| {
+                    let part = &mut levels[asg.level as usize][asg.offset as usize];
+                    match asg.kind {
+                        SubKind::OriginalIn => part.oin.push(s),
+                        SubKind::OriginalAft => part.oaft.push(s),
+                        SubKind::ReplicaIn => part.rin.push(s),
+                        SubKind::ReplicaAft => part.raft.push(s),
+                    }
+                });
+            }
+            Storage::Opt(levels) => {
+                for_each_assignment(m, a, b, |asg| {
+                    let part = &mut levels[asg.level as usize][asg.offset as usize];
+                    match asg.kind {
+                        SubKind::OriginalIn => part.oin.push(s),
+                        SubKind::OriginalAft => part.oaft.push(IdSt { id: s.id, st: s.st }),
+                        SubKind::ReplicaIn => part.rin.push(IdEnd { id: s.id, end: s.end }),
+                        SubKind::ReplicaAft => part.raft.push(s.id),
+                    }
+                });
+            }
+        }
+    }
+
+    fn sort_all(&mut self) {
+        match &mut self.storage {
+            Storage::Full(levels) => {
+                for part in levels.iter_mut().flatten() {
+                    part.oin.sort_unstable_by_key(|s| s.st);
+                    part.oaft.sort_unstable_by_key(|s| s.st);
+                    part.rin.sort_unstable_by_key(|s| s.end);
+                }
+            }
+            Storage::Opt(levels) => {
+                for part in levels.iter_mut().flatten() {
+                    part.oin.sort_unstable_by_key(|s| s.st);
+                    part.oaft.sort_unstable_by_key(|s| s.st);
+                    part.rin.sort_unstable_by_key(|s| s.end);
+                }
+            }
+        }
+    }
+
+    /// The index domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> SubsConfig {
+        self.cfg
+    }
+
+    /// Number of live intervals.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live intervals remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Evaluates a range query (Algorithm 3 + Lemmas 5/6), pushing result
+    /// ids into `out`.
+    pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        if !self.domain.intersects(&q) {
+            return;
+        }
+        match &self.storage {
+            Storage::Full(levels) => self.run(levels, q, out, FullView),
+            Storage::Opt(levels) => self.run(levels, q, out, OptView),
+        }
+    }
+
+    /// Convenience: stabbing query.
+    pub fn stab(&self, t: Time, out: &mut Vec<IntervalId>) {
+        self.query(RangeQuery::stab(t), out)
+    }
+
+    /// Level/partition walk shared by both storage layouts.
+    fn run<P, V: PartView<P>>(&self, levels: &[Vec<P>], q: RangeQuery, out: &mut Vec<IntervalId>, view: V) {
+        let (qst, qend) = self.domain.map_query(&q);
+        let m = self.domain.m();
+        let sort = self.cfg.sort;
+        let mut flags = CompFlags::new();
+        for l in (0..=m).rev() {
+            let f = self.domain.prefix(l, qst);
+            let last = self.domain.prefix(l, qend);
+            if f == last {
+                view.single(&levels[l as usize][f as usize], &q, flags, sort, out);
+            } else {
+                view.first(&levels[l as usize][f as usize], &q, flags, sort, out);
+                let parts = &levels[l as usize];
+                for off in f + 1..last {
+                    view.middle(&parts[off as usize], out);
+                }
+                view.last(&parts[last as usize], &q, flags, sort, out);
+            }
+            flags.update(f, last);
+        }
+    }
+
+    /// Inserts an interval (Algorithm 1; sorted insertion when the index
+    /// keeps subdivisions sorted).
+    ///
+    /// # Panics
+    /// Panics if the endpoints fall outside the fixed index domain.
+    pub fn insert(&mut self, s: Interval) {
+        assert!(
+            s.st >= self.domain.min() && s.end <= self.domain.max(),
+            "interval outside index domain"
+        );
+        let (a, b) = self.domain.map_interval(&s);
+        let m = self.domain.m();
+        let sort = self.cfg.sort;
+        match &mut self.storage {
+            Storage::Full(levels) => {
+                for_each_assignment(m, a, b, |asg| {
+                    let part = &mut levels[asg.level as usize][asg.offset as usize];
+                    match asg.kind {
+                        SubKind::OriginalIn => insert_by(&mut part.oin, s, sort, |x| x.st),
+                        SubKind::OriginalAft => insert_by(&mut part.oaft, s, sort, |x| x.st),
+                        SubKind::ReplicaIn => insert_by(&mut part.rin, s, sort, |x| x.end),
+                        SubKind::ReplicaAft => part.raft.push(s),
+                    }
+                });
+            }
+            Storage::Opt(levels) => {
+                for_each_assignment(m, a, b, |asg| {
+                    let part = &mut levels[asg.level as usize][asg.offset as usize];
+                    match asg.kind {
+                        SubKind::OriginalIn => insert_by(&mut part.oin, s, sort, |x| x.st),
+                        SubKind::OriginalAft => {
+                            insert_by(&mut part.oaft, IdSt { id: s.id, st: s.st }, sort, |x| x.st)
+                        }
+                        SubKind::ReplicaIn => {
+                            insert_by(&mut part.rin, IdEnd { id: s.id, end: s.end }, sort, |x| x.end)
+                        }
+                        SubKind::ReplicaAft => part.raft.push(s.id),
+                    }
+                });
+            }
+        }
+        self.live += 1;
+    }
+
+    /// Logically deletes an interval via tombstones. The caller passes the
+    /// endpoints the interval was inserted with. Returns true if found.
+    pub fn delete(&mut self, s: &Interval) -> bool {
+        let (a, b) = self.domain.map_interval(s);
+        let m = self.domain.m();
+        let mut found = false;
+        match &mut self.storage {
+            Storage::Full(levels) => {
+                for_each_assignment(m, a, b, |asg| {
+                    let part = &mut levels[asg.level as usize][asg.offset as usize];
+                    let group = match asg.kind {
+                        SubKind::OriginalIn => &mut part.oin,
+                        SubKind::OriginalAft => &mut part.oaft,
+                        SubKind::ReplicaIn => &mut part.rin,
+                        SubKind::ReplicaAft => &mut part.raft,
+                    };
+                    for slot in group.iter_mut() {
+                        if slot.id == s.id {
+                            slot.id = TOMBSTONE;
+                            found = true;
+                            break;
+                        }
+                    }
+                });
+            }
+            Storage::Opt(levels) => {
+                for_each_assignment(m, a, b, |asg| {
+                    let part = &mut levels[asg.level as usize][asg.offset as usize];
+                    let hit = match asg.kind {
+                        SubKind::OriginalIn => tomb(&mut part.oin, s.id, |x| &mut x.id),
+                        SubKind::OriginalAft => tomb(&mut part.oaft, s.id, |x| &mut x.id),
+                        SubKind::ReplicaIn => tomb(&mut part.rin, s.id, |x| &mut x.id),
+                        SubKind::ReplicaAft => {
+                            let mut hit = false;
+                            for slot in part.raft.iter_mut() {
+                                if *slot == s.id {
+                                    *slot = TOMBSTONE;
+                                    hit = true;
+                                    break;
+                                }
+                            }
+                            hit
+                        }
+                    };
+                    found |= hit;
+                });
+            }
+        }
+        if found {
+            self.live -= 1;
+            self.tombstones += 1;
+        }
+        found
+    }
+
+    /// Approximate heap footprint in bytes — the quantity Figure 11 plots.
+    pub fn size_bytes(&self) -> usize {
+        match &self.storage {
+            Storage::Full(levels) => {
+                let mut total = 0;
+                for parts in levels {
+                    total += parts.len() * std::mem::size_of::<PartFull>();
+                    for p in parts {
+                        total += (p.oin.len() + p.oaft.len() + p.rin.len() + p.raft.len())
+                            * std::mem::size_of::<Interval>();
+                    }
+                }
+                total
+            }
+            Storage::Opt(levels) => {
+                let mut total = 0;
+                for parts in levels {
+                    total += parts.len() * std::mem::size_of::<PartOpt>();
+                    for p in parts {
+                        total += p.oin.len() * std::mem::size_of::<Interval>()
+                            + p.oaft.len() * std::mem::size_of::<IdSt>()
+                            + p.rin.len() * std::mem::size_of::<IdEnd>()
+                            + p.raft.len() * std::mem::size_of::<IntervalId>();
+                    }
+                }
+                total
+            }
+        }
+    }
+
+    /// Total stored entries (for the replication factor `k`).
+    pub fn entries(&self) -> usize {
+        match &self.storage {
+            Storage::Full(levels) => levels
+                .iter()
+                .flatten()
+                .map(|p| p.oin.len() + p.oaft.len() + p.rin.len() + p.raft.len())
+                .sum(),
+            Storage::Opt(levels) => levels
+                .iter()
+                .flatten()
+                .map(|p| p.oin.len() + p.oaft.len() + p.rin.len() + p.raft.len())
+                .sum(),
+        }
+    }
+}
+
+fn insert_by<T: Copy, K: Fn(&T) -> Time>(v: &mut Vec<T>, x: T, sort: bool, key: K) {
+    if sort {
+        let k = key(&x);
+        let pos = v.partition_point(|e| key(e) <= k);
+        v.insert(pos, x);
+    } else {
+        v.push(x);
+    }
+}
+
+fn tomb<T>(v: &mut [T], id: IntervalId, idf: impl Fn(&mut T) -> &mut IntervalId) -> bool {
+    for slot in v.iter_mut() {
+        let slot_id = idf(slot);
+        if *slot_id == id {
+            *slot_id = TOMBSTONE;
+            return true;
+        }
+    }
+    false
+}
+
+#[inline]
+fn push(id: IntervalId, out: &mut Vec<IntervalId>) {
+    if id != TOMBSTONE {
+        out.push(id);
+    }
+}
+
+/// Reporting logic per partition role, abstracted over the two storage
+/// layouts. Methods are `#[inline]`-heavy; monomorphization gives each
+/// layout its own straight-line code with no dynamic dispatch.
+trait PartView<P>: Copy {
+    fn single(&self, p: &P, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>);
+    fn first(&self, p: &P, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>);
+    fn middle(&self, p: &P, out: &mut Vec<IntervalId>);
+    fn last(&self, p: &P, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>);
+}
+
+/// Reports entries with `st <= bound` from a slice sorted by `st`.
+#[inline]
+fn report_st_prefix<T>(v: &[T], bound: Time, sort: bool, st: impl Fn(&T) -> Time, id: impl Fn(&T) -> IntervalId, out: &mut Vec<IntervalId>) {
+    if sort {
+        let ub = v.partition_point(|e| st(e) <= bound);
+        for e in &v[..ub] {
+            push(id(e), out);
+        }
+    } else {
+        for e in v {
+            if st(e) <= bound {
+                push(id(e), out);
+            }
+        }
+    }
+}
+
+/// Reports entries with `end >= bound` from a slice sorted by `end`.
+#[inline]
+fn report_end_suffix<T>(v: &[T], bound: Time, sort: bool, end: impl Fn(&T) -> Time, id: impl Fn(&T) -> IntervalId, out: &mut Vec<IntervalId>) {
+    if sort {
+        let lb = v.partition_point(|e| end(e) < bound);
+        for e in &v[lb..] {
+            push(id(e), out);
+        }
+    } else {
+        for e in v {
+            if end(e) >= bound {
+                push(id(e), out);
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct FullView;
+
+impl PartView<PartFull> for FullView {
+    #[inline]
+    fn single(&self, p: &PartFull, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>) {
+        // Lemma 6, gated by the Lemma-2 flags.
+        match (flags.first, flags.last) {
+            (true, true) => {
+                if sort {
+                    let ub = p.oin.partition_point(|e| e.st <= q.end);
+                    for s in &p.oin[..ub] {
+                        if s.end >= q.st {
+                            push(s.id, out);
+                        }
+                    }
+                } else {
+                    for s in &p.oin {
+                        if s.st <= q.end && s.end >= q.st {
+                            push(s.id, out);
+                        }
+                    }
+                }
+                report_st_prefix(&p.oaft, q.end, sort, |e| e.st, |e| e.id, out);
+                report_end_suffix(&p.rin, q.st, sort, |e| e.end, |e| e.id, out);
+            }
+            (false, true) => {
+                report_st_prefix(&p.oin, q.end, sort, |e| e.st, |e| e.id, out);
+                report_st_prefix(&p.oaft, q.end, sort, |e| e.st, |e| e.id, out);
+                for s in &p.rin {
+                    push(s.id, out);
+                }
+            }
+            (true, false) => {
+                report_end_suffix(&p.rin, q.st, sort, |e| e.end, |e| e.id, out);
+                for s in &p.oin {
+                    if s.end >= q.st {
+                        push(s.id, out);
+                    }
+                }
+                for s in &p.oaft {
+                    push(s.id, out);
+                }
+            }
+            (false, false) => {
+                for s in p.oin.iter().chain(&p.oaft).chain(&p.rin) {
+                    push(s.id, out);
+                }
+            }
+        }
+        for s in &p.raft {
+            push(s.id, out);
+        }
+    }
+
+    #[inline]
+    fn first(&self, p: &PartFull, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>) {
+        // Lemma 5: only the `in` subdivisions may need `s.end >= q.st`.
+        if flags.first {
+            for s in &p.oin {
+                if s.end >= q.st {
+                    push(s.id, out);
+                }
+            }
+            report_end_suffix(&p.rin, q.st, sort, |e| e.end, |e| e.id, out);
+        } else {
+            for s in p.oin.iter().chain(&p.rin) {
+                push(s.id, out);
+            }
+        }
+        for s in p.oaft.iter().chain(&p.raft) {
+            push(s.id, out);
+        }
+    }
+
+    #[inline]
+    fn middle(&self, p: &PartFull, out: &mut Vec<IntervalId>) {
+        for s in p.oin.iter().chain(&p.oaft) {
+            push(s.id, out);
+        }
+    }
+
+    #[inline]
+    fn last(&self, p: &PartFull, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>) {
+        if flags.last {
+            report_st_prefix(&p.oin, q.end, sort, |e| e.st, |e| e.id, out);
+            report_st_prefix(&p.oaft, q.end, sort, |e| e.st, |e| e.id, out);
+        } else {
+            for s in p.oin.iter().chain(&p.oaft) {
+                push(s.id, out);
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct OptView;
+
+impl PartView<PartOpt> for OptView {
+    #[inline]
+    fn single(&self, p: &PartOpt, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>) {
+        match (flags.first, flags.last) {
+            (true, true) => {
+                if sort {
+                    let ub = p.oin.partition_point(|e| e.st <= q.end);
+                    for s in &p.oin[..ub] {
+                        if s.end >= q.st {
+                            push(s.id, out);
+                        }
+                    }
+                } else {
+                    for s in &p.oin {
+                        if s.st <= q.end && s.end >= q.st {
+                            push(s.id, out);
+                        }
+                    }
+                }
+                report_st_prefix(&p.oaft, q.end, sort, |e| e.st, |e| e.id, out);
+                report_end_suffix(&p.rin, q.st, sort, |e| e.end, |e| e.id, out);
+            }
+            (false, true) => {
+                report_st_prefix(&p.oin, q.end, sort, |e| e.st, |e| e.id, out);
+                report_st_prefix(&p.oaft, q.end, sort, |e| e.st, |e| e.id, out);
+                for s in &p.rin {
+                    push(s.id, out);
+                }
+            }
+            (true, false) => {
+                report_end_suffix(&p.rin, q.st, sort, |e| e.end, |e| e.id, out);
+                for s in &p.oin {
+                    if s.end >= q.st {
+                        push(s.id, out);
+                    }
+                }
+                for s in &p.oaft {
+                    push(s.id, out);
+                }
+            }
+            (false, false) => {
+                for s in &p.oin {
+                    push(s.id, out);
+                }
+                for s in &p.oaft {
+                    push(s.id, out);
+                }
+                for s in &p.rin {
+                    push(s.id, out);
+                }
+            }
+        }
+        for &id in &p.raft {
+            push(id, out);
+        }
+    }
+
+    #[inline]
+    fn first(&self, p: &PartOpt, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>) {
+        if flags.first {
+            for s in &p.oin {
+                if s.end >= q.st {
+                    push(s.id, out);
+                }
+            }
+            report_end_suffix(&p.rin, q.st, sort, |e| e.end, |e| e.id, out);
+        } else {
+            for s in &p.oin {
+                push(s.id, out);
+            }
+            for s in &p.rin {
+                push(s.id, out);
+            }
+        }
+        for s in &p.oaft {
+            push(s.id, out);
+        }
+        for &id in &p.raft {
+            push(id, out);
+        }
+    }
+
+    #[inline]
+    fn middle(&self, p: &PartOpt, out: &mut Vec<IntervalId>) {
+        for s in &p.oin {
+            push(s.id, out);
+        }
+        for s in &p.oaft {
+            push(s.id, out);
+        }
+    }
+
+    #[inline]
+    fn last(&self, p: &PartOpt, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>) {
+        if flags.last {
+            report_st_prefix(&p.oin, q.end, sort, |e| e.st, |e| e.id, out);
+            report_st_prefix(&p.oaft, q.end, sort, |e| e.st, |e| e.id, out);
+        } else {
+            for s in &p.oin {
+                push(s.id, out);
+            }
+            for s in &p.oaft {
+                push(s.id, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ScanOracle;
+
+    fn sorted(mut v: Vec<IntervalId>) -> Vec<IntervalId> {
+        v.sort_unstable();
+        v
+    }
+
+    fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 11
+        };
+        (0..n)
+            .map(|i| {
+                let st = next() % dom;
+                let len = next() % max_len;
+                Interval::new(i, st, (st + len).min(dom - 1).max(st))
+            })
+            .collect()
+    }
+
+    fn all_configs() -> [SubsConfig; 4] {
+        [
+            SubsConfig { sort: false, sopt: false },
+            SubsConfig { sort: true, sopt: false },
+            SubsConfig { sort: false, sopt: true },
+            SubsConfig { sort: true, sopt: true },
+        ]
+    }
+
+    #[test]
+    fn all_configs_match_oracle() {
+        let data = lcg_data(400, 100_000, 9_000, 21);
+        let oracle = ScanOracle::new(&data);
+        for cfg in all_configs() {
+            for m in [4, 8, 12] {
+                let idx = HintMSubs::build(&data, m, cfg);
+                let mut x = 5u64;
+                for _ in 0..300 {
+                    x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                    let st = (x >> 17) % 100_000;
+                    let end = (st + (x >> 9) % 12_000).min(99_999);
+                    let q = RangeQuery::new(st, end);
+                    let mut got = Vec::new();
+                    idx.query(q, &mut got);
+                    assert_eq!(sorted(got), oracle.query_sorted(q), "{cfg:?} m={m} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_domain() {
+        let data = lcg_data(120, 64, 20, 9);
+        let oracle = ScanOracle::new(&data);
+        for cfg in all_configs() {
+            let idx = HintMSubs::build(&data, 6, cfg);
+            for st in 0..64u64 {
+                for end in st..64 {
+                    let q = RangeQuery::new(st, end);
+                    let mut got = Vec::new();
+                    idx.query(q, &mut got);
+                    assert_eq!(sorted(got), oracle.query_sorted(q), "{cfg:?} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stabbing_matches_oracle() {
+        let data = lcg_data(250, 4096, 300, 17);
+        let oracle = ScanOracle::new(&data);
+        let idx = HintMSubs::build(&data, 9, SubsConfig::full());
+        for t in (0..4096).step_by(13) {
+            let mut got = Vec::new();
+            idx.stab(t, &mut got);
+            assert_eq!(sorted(got), oracle.query_sorted(RangeQuery::stab(t)));
+        }
+    }
+
+    #[test]
+    fn sopt_shrinks_the_index() {
+        let data = lcg_data(3000, 1 << 20, 1 << 16, 33);
+        let full = HintMSubs::build(&data, 10, SubsConfig { sort: true, sopt: false });
+        let opt = HintMSubs::build(&data, 10, SubsConfig { sort: true, sopt: true });
+        assert!(
+            opt.size_bytes() < full.size_bytes(),
+            "sopt {} vs full {}",
+            opt.size_bytes(),
+            full.size_bytes()
+        );
+        assert_eq!(opt.entries(), full.entries());
+    }
+
+    #[test]
+    fn updates_match_oracle() {
+        let mut data = lcg_data(150, 2048, 100, 29);
+        for cfg in all_configs() {
+            let mut idx =
+                HintMSubs::build_with_domain(&data, crate::domain::Domain::new(0, 2047, 8), cfg);
+            let mut oracle = ScanOracle::new(&data);
+            for i in 0..60u64 {
+                let st = (i * 31) % 2000;
+                let s = Interval::new(5000 + i, st, st + (i % 40));
+                idx.insert(s);
+                oracle.insert(s);
+            }
+            let snapshot: Vec<Interval> = data.to_vec();
+            for s in snapshot.iter().filter(|s| s.id % 4 == 0) {
+                assert_eq!(idx.delete(s), oracle.delete(s.id), "{cfg:?} {s:?}");
+            }
+            for st in (0..2048u64).step_by(41) {
+                let q = RangeQuery::new(st, (st + 90).min(2047));
+                let mut got = Vec::new();
+                idx.query(q, &mut got);
+                assert_eq!(sorted(got), oracle.query_sorted(q), "{cfg:?} {q:?}");
+            }
+        }
+        data.truncate(data.len()); // silence unused-mut lint paranoia
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let data = lcg_data(500, 1 << 14, 4000, 77);
+        let idx = HintMSubs::build(&data, 10, SubsConfig::full());
+        for st in (0..(1 << 14)).step_by(257) {
+            let q = RangeQuery::new(st, (st + 5000).min((1 << 14) - 1));
+            let mut got = Vec::new();
+            idx.query(q, &mut got);
+            let n = got.len();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(n, got.len(), "{q:?}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The interval data model used throughout the workspace.
+//!
+//! Following the paper (§1), every object is a triple
+//! `⟨s.id, s.st, s.end⟩` where `[s.st, s.end]` is a *closed* interval over a
+//! discrete (integer) domain. A range query `q = [q.st, q.end]` retrieves the
+//! ids of all intervals that overlap `q`, i.e. all `s` with
+//! `s.st ≤ q.end ∧ q.st ≤ s.end`.
+
+/// Identifier of an interval record.
+///
+/// Ids are opaque to the index; they can be used by the caller to fetch the
+/// remaining attributes of the object from a companion table.
+pub type IntervalId = u64;
+
+/// A point on the (discrete) time/domain axis.
+pub type Time = u64;
+
+/// Sentinel id marking a logically deleted record (a *tombstone*, §3.4).
+///
+/// Deleted entries keep their slot inside index partitions but are skipped
+/// during result reporting, exactly like the paper's tombstone scheme.
+pub const TOMBSTONE: IntervalId = IntervalId::MAX;
+
+/// An interval record: id plus a closed interval `[st, end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Identifier of the object this interval belongs to.
+    pub id: IntervalId,
+    /// Start point (inclusive).
+    pub st: Time,
+    /// End point (inclusive). Invariant: `st <= end`.
+    pub end: Time,
+}
+
+impl Interval {
+    /// Creates a new interval.
+    ///
+    /// # Panics
+    /// Panics if `st > end` (the index relies on the invariant everywhere).
+    #[inline]
+    pub fn new(id: IntervalId, st: Time, end: Time) -> Self {
+        assert!(st <= end, "interval {id}: st ({st}) must be <= end ({end})");
+        Self { id, st, end }
+    }
+
+    /// Length (duration) of the interval. A point interval has length 0,
+    /// matching the paper's "min duration 1 second" convention for closed
+    /// second-granularity intervals when measured as `end - st`.
+    #[inline]
+    pub fn duration(&self) -> Time {
+        self.end - self.st
+    }
+
+    /// True iff this is a point interval (`st == end`).
+    #[inline]
+    pub fn is_point(&self) -> bool {
+        self.st == self.end
+    }
+
+    /// Closed-interval overlap test with a query range (§1):
+    /// `s.st ≤ q.end ∧ q.st ≤ s.end`.
+    #[inline]
+    pub fn overlaps(&self, q: &RangeQuery) -> bool {
+        self.st <= q.end && q.st <= self.end
+    }
+
+    /// Overlap test against another interval.
+    #[inline]
+    pub fn overlaps_interval(&self, other: &Interval) -> bool {
+        self.st <= other.end && other.st <= self.end
+    }
+
+    /// True iff this interval fully contains `[q.st, q.end]`.
+    #[inline]
+    pub fn covers(&self, q: &RangeQuery) -> bool {
+        self.st <= q.st && q.end <= self.end
+    }
+}
+
+/// A range (interval overlap) query `q = [q.st, q.end]`.
+///
+/// Stabbing queries (pure-timeslice queries) are the special case
+/// `q.st == q.end`; see [`RangeQuery::stab`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RangeQuery {
+    /// Query start (inclusive).
+    pub st: Time,
+    /// Query end (inclusive). Invariant: `st <= end`.
+    pub end: Time,
+}
+
+impl RangeQuery {
+    /// Creates a new range query.
+    ///
+    /// # Panics
+    /// Panics if `st > end`.
+    #[inline]
+    pub fn new(st: Time, end: Time) -> Self {
+        assert!(st <= end, "query: st ({st}) must be <= end ({end})");
+        Self { st, end }
+    }
+
+    /// Closed query from half-open `[st, end)` bounds — the adaptation the
+    /// paper sketches in §1 for open interval ends: on a discrete domain
+    /// `[st, end)` equals `[st, end - 1]`.
+    ///
+    /// Returns `None` when the half-open range is empty (`st >= end`).
+    #[inline]
+    pub fn from_half_open(st: Time, end: Time) -> Option<Self> {
+        (st < end).then(|| Self::new(st, end - 1))
+    }
+
+    /// Closed query from fully-open `(st, end)` bounds: equals
+    /// `[st + 1, end - 1]` on a discrete domain.
+    ///
+    /// Returns `None` when the open range contains no domain value.
+    #[inline]
+    pub fn from_open(st: Time, end: Time) -> Option<Self> {
+        (end > st && end - st >= 2).then(|| Self::new(st + 1, end - 1))
+    }
+
+    /// Creates a stabbing query at point `t` (`q.st = q.end = t`).
+    #[inline]
+    pub fn stab(t: Time) -> Self {
+        Self { st: t, end: t }
+    }
+
+    /// Extent (length) of the query range.
+    #[inline]
+    pub fn extent(&self) -> Time {
+        self.end - self.st
+    }
+
+    /// True iff this is a stabbing query.
+    #[inline]
+    pub fn is_stab(&self) -> bool {
+        self.st == self.end
+    }
+}
+
+impl From<Interval> for RangeQuery {
+    fn from(s: Interval) -> Self {
+        RangeQuery { st: s.st, end: s.end }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_is_symmetric_on_closed_ends() {
+        let s = Interval::new(1, 5, 9);
+        // touching at a single point counts as overlap (closed intervals)
+        assert!(s.overlaps(&RangeQuery::new(9, 12)));
+        assert!(s.overlaps(&RangeQuery::new(0, 5)));
+        assert!(!s.overlaps(&RangeQuery::new(10, 12)));
+        assert!(!s.overlaps(&RangeQuery::new(0, 4)));
+    }
+
+    #[test]
+    fn point_intervals_and_stabs() {
+        let s = Interval::new(7, 4, 4);
+        assert!(s.is_point());
+        assert_eq!(s.duration(), 0);
+        assert!(s.overlaps(&RangeQuery::stab(4)));
+        assert!(!s.overlaps(&RangeQuery::stab(5)));
+        assert!(RangeQuery::stab(4).is_stab());
+    }
+
+    #[test]
+    fn covers_requires_full_containment() {
+        let s = Interval::new(1, 2, 10);
+        assert!(s.covers(&RangeQuery::new(2, 10)));
+        assert!(s.covers(&RangeQuery::new(5, 5)));
+        assert!(!s.covers(&RangeQuery::new(1, 5)));
+        assert!(!s.covers(&RangeQuery::new(5, 11)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_interval_panics() {
+        let _ = Interval::new(1, 9, 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_query_panics() {
+        let _ = RangeQuery::new(9, 5);
+    }
+
+    #[test]
+    fn interval_to_query_conversion() {
+        let s = Interval::new(3, 1, 8);
+        let q: RangeQuery = s.into();
+        assert_eq!(q, RangeQuery::new(1, 8));
+    }
+
+    #[test]
+    fn half_open_adaptation() {
+        assert_eq!(RangeQuery::from_half_open(3, 7), Some(RangeQuery::new(3, 6)));
+        assert_eq!(RangeQuery::from_half_open(3, 4), Some(RangeQuery::stab(3)));
+        assert_eq!(RangeQuery::from_half_open(3, 3), None);
+        assert_eq!(RangeQuery::from_half_open(4, 3), None);
+    }
+
+    #[test]
+    fn open_adaptation() {
+        assert_eq!(RangeQuery::from_open(3, 7), Some(RangeQuery::new(4, 6)));
+        assert_eq!(RangeQuery::from_open(3, 5), Some(RangeQuery::stab(4)));
+        assert_eq!(RangeQuery::from_open(3, 4), None);
+        assert_eq!(RangeQuery::from_open(3, 3), None);
+    }
+}

@@ -1,0 +1,181 @@
+//! Interval overlap joins on top of HINT^m.
+//!
+//! The paper's related work (§2) stresses that join partitioning schemes
+//! cannot replace interval *indices* because they do not support range
+//! queries; the converse direction works fine: an index on one side turns
+//! an overlap join into a batch of range queries. This module provides
+//!
+//! * [`index_join`] — index-nested-loop join: probe a built [`Hint`] with
+//!   every interval of the outer collection;
+//! * [`sweep_join`] — a forward-scan plane-sweep join (the classic
+//!   sort-merge approach of the interval-join literature \[7\]) used as the
+//!   unindexed baseline;
+//! * count variants of both.
+//!
+//! Both algorithms emit each overlapping pair exactly once, as
+//! `(outer id, inner id)`.
+
+use crate::hintm::opt::Hint;
+use crate::interval::{Interval, IntervalId};
+
+/// Index-nested-loop join: for every interval in `outer`, reports all
+/// intervals of the indexed collection that overlap it.
+pub fn index_join(inner: &Hint, outer: &[Interval], mut emit: impl FnMut(IntervalId, IntervalId)) {
+    let mut buf = Vec::new();
+    for r in outer {
+        buf.clear();
+        inner.query((*r).into(), &mut buf);
+        for &s in &buf {
+            emit(r.id, s);
+        }
+    }
+}
+
+/// Counts the join result size without materializing pairs.
+pub fn index_join_count(inner: &Hint, outer: &[Interval]) -> u64 {
+    let mut buf = Vec::new();
+    let mut count = 0u64;
+    for r in outer {
+        buf.clear();
+        inner.query((*r).into(), &mut buf);
+        count += buf.len() as u64;
+    }
+    count
+}
+
+/// Forward-scan plane-sweep overlap join \[7\]: both inputs are sorted by
+/// start point; for each interval (in global start order) the opposite
+/// collection is scanned forward while it still overlaps.
+///
+/// `O(|R| log |R| + |S| log |S| + K)` with small constants; the canonical
+/// unindexed competitor for one-shot joins.
+pub fn sweep_join(r: &[Interval], s: &[Interval], mut emit: impl FnMut(IntervalId, IntervalId)) {
+    let mut r_sorted: Vec<Interval> = r.to_vec();
+    let mut s_sorted: Vec<Interval> = s.to_vec();
+    r_sorted.sort_unstable_by_key(|x| x.st);
+    s_sorted.sort_unstable_by_key(|x| x.st);
+
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < r_sorted.len() && j < s_sorted.len() {
+        let rr = r_sorted[i];
+        let ss = s_sorted[j];
+        if rr.st <= ss.st {
+            // forward scan S while it starts within rr
+            for cand in &s_sorted[j..] {
+                if cand.st > rr.end {
+                    break;
+                }
+                emit(rr.id, cand.id);
+            }
+            i += 1;
+        } else {
+            for cand in &r_sorted[i..] {
+                if cand.st > ss.end {
+                    break;
+                }
+                emit(cand.id, ss.id);
+            }
+            j += 1;
+        }
+    }
+    // No drain phase is needed: every pair is emitted by whichever side
+    // starts first at the moment it becomes the scan anchor, and once one
+    // collection is exhausted all its elements have already anchored.
+}
+
+/// Counts the plane-sweep join result size.
+pub fn sweep_join_count(r: &[Interval], s: &[Interval]) -> u64 {
+    let mut count = 0u64;
+    sweep_join(r, s, |_, _| count += 1);
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64, id0: u64) -> Vec<Interval> {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 11
+        };
+        (0..n)
+            .map(|i| {
+                let st = next() % dom;
+                let len = next() % max_len;
+                Interval::new(id0 + i, st, (st + len).min(dom - 1).max(st))
+            })
+            .collect()
+    }
+
+    fn brute_force(r: &[Interval], s: &[Interval]) -> Vec<(IntervalId, IntervalId)> {
+        let mut out = Vec::new();
+        for a in r {
+            for b in s {
+                if a.overlaps_interval(b) {
+                    out.push((a.id, b.id));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn index_join_matches_brute_force() {
+        let r = lcg_data(300, 10_000, 500, 3, 0);
+        let s = lcg_data(400, 10_000, 800, 7, 100_000);
+        let idx = Hint::build(&s, 10);
+        let mut got = Vec::new();
+        index_join(&idx, &r, |a, b| got.push((a, b)));
+        got.sort_unstable();
+        assert_eq!(got, brute_force(&r, &s));
+    }
+
+    #[test]
+    fn sweep_join_matches_brute_force() {
+        let r = lcg_data(250, 5_000, 400, 11, 0);
+        let s = lcg_data(350, 5_000, 600, 13, 100_000);
+        let mut got = Vec::new();
+        sweep_join(&r, &s, |a, b| got.push((a, b)));
+        got.sort_unstable();
+        assert_eq!(got, brute_force(&r, &s));
+    }
+
+    #[test]
+    fn sweep_join_boundary_touch_counts_as_overlap() {
+        let r = vec![Interval::new(1, 0, 10)];
+        let s = vec![Interval::new(2, 10, 20), Interval::new(3, 11, 20)];
+        let mut got = Vec::new();
+        sweep_join(&r, &s, |a, b| got.push((a, b)));
+        assert_eq!(got, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn counts_agree() {
+        let r = lcg_data(500, 20_000, 1_000, 17, 0);
+        let s = lcg_data(500, 20_000, 1_000, 19, 100_000);
+        let idx = Hint::build(&s, 11);
+        assert_eq!(index_join_count(&idx, &r), sweep_join_count(&r, &s));
+    }
+
+    #[test]
+    fn self_join() {
+        let r = lcg_data(200, 2_000, 300, 23, 0);
+        let idx = Hint::build(&r, 9);
+        let mut got = Vec::new();
+        index_join(&idx, &r, |a, b| got.push((a, b)));
+        got.sort_unstable();
+        assert_eq!(got, brute_force(&r, &r));
+        // every interval joins with itself
+        assert!(got.iter().filter(|&&(a, b)| a == b).count() == r.len());
+    }
+
+    #[test]
+    fn empty_sides() {
+        let r = lcg_data(50, 1_000, 100, 29, 0);
+        assert_eq!(sweep_join_count(&r, &[]), 0);
+        assert_eq!(sweep_join_count(&[], &r), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! # hint-core — HINT: A Hierarchical Index for Intervals in Main Memory
+//!
+//! A from-scratch Rust reproduction of *Christodoulou, Bouros, Mamoulis,
+//! "HINT: A Hierarchical Index for Intervals in Main Memory", SIGMOD 2022*
+//! (arXiv:2104.10939).
+//!
+//! HINT hierarchically decomposes the domain into `m + 1` levels of
+//! `2^l` partitions each and assigns every interval to at most two
+//! partitions per level (Algorithm 1). Partitions divide their contents
+//! into *originals* and *replicas*, which cancels duplicate results and
+//! minimizes data accesses; the §4 optimizations (subdivisions, sorting,
+//! storage reduction, sparse merged tables, columnar decomposition) reduce
+//! both comparisons and cache misses to near the minimum.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hint_core::{Hint, Interval, RangeQuery};
+//!
+//! let data = vec![
+//!     Interval::new(1, 10, 25),
+//!     Interval::new(2, 20, 40),
+//!     Interval::new(3, 50, 60),
+//! ];
+//! let index = Hint::build(&data, 10);
+//! let mut results = Vec::new();
+//! index.query(RangeQuery::new(22, 55), &mut results);
+//! results.sort_unstable();
+//! assert_eq!(results, vec![1, 2, 3]);
+//! ```
+//!
+//! ## Index variants (the paper's ablation lattice)
+//!
+//! | Type | Paper | Role |
+//! |------|-------|------|
+//! | [`HintCf`] | §3.1 | comparison-free HINT for discrete domains |
+//! | [`HintMBase`] | §3.2 | base HINT^m, top-down vs bottom-up (Fig 10) |
+//! | [`HintMSubs`] | §4.1 | subdivisions + sort/sopt options (Fig 11); update-friendly |
+//! | [`Hint`] | §4.2–4.3 | the flagship fully-optimized index (Fig 12–14) |
+//! | [`HybridHint`] | §4.4 | main + delta for mixed workloads (Table 10) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allen;
+pub mod assign;
+pub mod concurrent;
+pub mod cost_model;
+pub mod domain;
+pub mod hint_cf;
+pub mod hintm;
+pub mod interval;
+pub mod join;
+pub mod oracle;
+pub mod stats;
+
+pub use allen::{AllenIndex, AllenRelation};
+pub use assign::{Assignment, SubKind};
+pub use concurrent::ConcurrentHint;
+pub use cost_model::{m_opt, measure_betas, Betas, ModelInput};
+pub use domain::Domain;
+pub use hint_cf::{CfLayout, HintCf};
+pub use hintm::base::{Eval, HintMBase};
+pub use hintm::delta::HybridHint;
+pub use hintm::opt::{Hint, HintOptions};
+pub use hintm::subs::{HintMSubs, SubsConfig};
+pub use interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
+pub use join::{index_join, index_join_count, sweep_join, sweep_join_count};
+pub use oracle::ScanOracle;
+pub use stats::{QueryStats, WorkloadStats};
+
+/// Common query interface implemented by every index in the workspace
+/// (HINT variants here, the four competitor indexes in their own crates),
+/// so that benchmarks and integration tests can drive them uniformly.
+pub trait IntervalIndex {
+    /// Reports the ids of all intervals overlapping `q` into `out`.
+    fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>);
+
+    /// Approximate heap footprint in bytes (Table 8).
+    fn size_bytes(&self) -> usize;
+
+    /// Number of live intervals.
+    fn len(&self) -> usize;
+
+    /// True if the index holds no live intervals.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stabbing query at point `t` (`q.st == q.end == t`).
+    fn stab(&self, t: Time, out: &mut Vec<IntervalId>) {
+        self.query(RangeQuery::stab(t), out)
+    }
+}
+
+impl IntervalIndex for Hint {
+    fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        Hint::query(self, q, out)
+    }
+    fn size_bytes(&self) -> usize {
+        Hint::size_bytes(self)
+    }
+    fn len(&self) -> usize {
+        Hint::len(self)
+    }
+}
+
+impl IntervalIndex for HintMBase {
+    fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        HintMBase::query(self, q, out)
+    }
+    fn size_bytes(&self) -> usize {
+        HintMBase::size_bytes(self)
+    }
+    fn len(&self) -> usize {
+        HintMBase::len(self)
+    }
+}
+
+impl IntervalIndex for HintMSubs {
+    fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        HintMSubs::query(self, q, out)
+    }
+    fn size_bytes(&self) -> usize {
+        HintMSubs::size_bytes(self)
+    }
+    fn len(&self) -> usize {
+        HintMSubs::len(self)
+    }
+}
+
+impl IntervalIndex for HintCf {
+    fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        HintCf::query(self, q, out)
+    }
+    fn size_bytes(&self) -> usize {
+        HintCf::size_bytes(self)
+    }
+    fn len(&self) -> usize {
+        HintCf::len(self)
+    }
+}
+
+impl IntervalIndex for HybridHint {
+    fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        HybridHint::query(self, q, out)
+    }
+    fn size_bytes(&self) -> usize {
+        HybridHint::size_bytes(self)
+    }
+    fn len(&self) -> usize {
+        HybridHint::len(self)
+    }
+}
+
+impl IntervalIndex for ScanOracle {
+    fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        ScanOracle::query(self, q, out)
+    }
+    fn size_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<Interval>()
+    }
+    fn len(&self) -> usize {
+        ScanOracle::len(self)
+    }
+}

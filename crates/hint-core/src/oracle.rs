@@ -1,0 +1,101 @@
+//! A linear-scan "index": the ground-truth oracle used by the test suite
+//! and a sanity baseline for the benchmarks.
+//!
+//! `O(n)` per query, no build cost beyond copying the data. Every other
+//! index in the workspace is validated against this one.
+
+use crate::interval::{Interval, IntervalId, RangeQuery};
+
+/// Brute-force scan over the full interval collection.
+#[derive(Debug, Clone, Default)]
+pub struct ScanOracle {
+    data: Vec<Interval>,
+}
+
+impl ScanOracle {
+    /// Builds the oracle over a collection (the data is copied).
+    pub fn new(data: &[Interval]) -> Self {
+        Self { data: data.to_vec() }
+    }
+
+    /// Number of (live) intervals.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the oracle holds no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends an interval.
+    pub fn insert(&mut self, s: Interval) {
+        self.data.push(s);
+    }
+
+    /// Removes an interval by id (physically; the oracle needs no
+    /// tombstones). Returns true if the id was present.
+    pub fn delete(&mut self, id: IntervalId) -> bool {
+        let before = self.data.len();
+        self.data.retain(|s| s.id != id);
+        self.data.len() != before
+    }
+
+    /// Reports the ids of all intervals overlapping `q` into `out`.
+    pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        for s in &self.data {
+            if s.overlaps(&q) {
+                out.push(s.id);
+            }
+        }
+    }
+
+    /// Convenience wrapper returning a **sorted** result vector, the
+    /// canonical form used when comparing indexes in tests.
+    pub fn query_sorted(&self, q: RangeQuery) -> Vec<IntervalId> {
+        let mut out = Vec::new();
+        self.query(q, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of results for `q` without materializing them.
+    pub fn count(&self, q: RangeQuery) -> usize {
+        self.data.iter().filter(|s| s.overlaps(&q)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Interval> {
+        vec![
+            Interval::new(1, 0, 10),
+            Interval::new(2, 5, 5),
+            Interval::new(3, 11, 20),
+            Interval::new(4, 8, 15),
+        ]
+    }
+
+    #[test]
+    fn basic_queries() {
+        let o = ScanOracle::new(&sample());
+        assert_eq!(o.query_sorted(RangeQuery::new(0, 4)), vec![1]);
+        assert_eq!(o.query_sorted(RangeQuery::new(5, 5)), vec![1, 2]);
+        assert_eq!(o.query_sorted(RangeQuery::new(9, 12)), vec![1, 3, 4]);
+        assert_eq!(o.query_sorted(RangeQuery::new(21, 30)), Vec::<u64>::new());
+        assert_eq!(o.count(RangeQuery::new(0, 20)), 4);
+    }
+
+    #[test]
+    fn insert_and_delete() {
+        let mut o = ScanOracle::new(&sample());
+        o.insert(Interval::new(5, 100, 110));
+        assert_eq!(o.query_sorted(RangeQuery::new(105, 105)), vec![5]);
+        assert!(o.delete(5));
+        assert!(!o.delete(5));
+        assert!(o.query_sorted(RangeQuery::new(105, 105)).is_empty());
+        assert_eq!(o.len(), 4);
+    }
+}

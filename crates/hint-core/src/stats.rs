@@ -1,0 +1,98 @@
+//! Query-execution statistics used to validate the paper's analytical
+//! claims (§3.2.3, §5.2.4 / Table 7): the number of partitions for which
+//! endpoint comparisons were conducted is expected to be at most ~4 per
+//! query (Lemma 4), independent of query extent and position.
+
+/// Counters collected by the instrumented query path of
+/// [`crate::Hint::query_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Partitions visited (relevant, non-empty).
+    pub partitions_accessed: usize,
+    /// Partitions in which at least one endpoint comparison was performed.
+    pub partitions_compared: usize,
+    /// Total endpoint comparisons performed (binary-search probes count
+    /// as `log2` of the run length, rounded up).
+    pub comparisons: usize,
+    /// Results reported.
+    pub results: usize,
+}
+
+impl QueryStats {
+    /// Merges another stats record into this one (for workload averages).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.partitions_accessed += other.partitions_accessed;
+        self.partitions_compared += other.partitions_compared;
+        self.comparisons += other.comparisons;
+        self.results += other.results;
+    }
+}
+
+/// Running aggregate over a query workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkloadStats {
+    /// Sum of per-query stats.
+    pub total: QueryStats,
+    /// Number of queries aggregated.
+    pub queries: usize,
+}
+
+impl WorkloadStats {
+    /// Adds one query's stats.
+    pub fn push(&mut self, s: QueryStats) {
+        self.total.merge(&s);
+        self.queries += 1;
+    }
+
+    /// Average number of partitions compared per query — the paper's
+    /// "avg. comp. part." row of Table 7.
+    pub fn avg_partitions_compared(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total.partitions_compared as f64 / self.queries as f64
+        }
+    }
+
+    /// Average comparisons per query.
+    pub fn avg_comparisons(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total.comparisons as f64 / self.queries as f64
+        }
+    }
+
+    /// Average results per query.
+    pub fn avg_results(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total.results as f64 / self.queries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_averages() {
+        let mut w = WorkloadStats::default();
+        w.push(QueryStats { partitions_accessed: 10, partitions_compared: 4, comparisons: 20, results: 100 });
+        w.push(QueryStats { partitions_accessed: 6, partitions_compared: 2, comparisons: 10, results: 50 });
+        assert_eq!(w.queries, 2);
+        assert!((w.avg_partitions_compared() - 3.0).abs() < 1e-12);
+        assert!((w.avg_comparisons() - 15.0).abs() < 1e-12);
+        assert!((w.avg_results() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_workload_is_zero() {
+        let w = WorkloadStats::default();
+        assert_eq!(w.avg_partitions_compared(), 0.0);
+        assert_eq!(w.avg_comparisons(), 0.0);
+        assert_eq!(w.avg_results(), 0.0);
+    }
+}

@@ -1,0 +1,498 @@
+//! Edelsbrunner's interval tree \[16\], the classic main-memory interval
+//! index the HINT paper compares against (§2, Figure 1).
+//!
+//! The tree divides the domain hierarchically: all intervals containing the
+//! domain's center point are stored at the root in two sorted lists (`ST`
+//! by start ascending, `END` by end ascending); intervals strictly before
+//! (after) the center go to the left (right) subtree, built over the
+//! corresponding half of the domain. Queries descend the tree, harvesting
+//! each visited node's lists with at most one comparison per reported
+//! interval — the weakness the HINT paper highlights.
+//!
+//! Nodes are kept in an arena (`Vec`) with `u32` child links; empty
+//! subtrees are materialized lazily (on insert) so sparse domains stay
+//! cheap. Updates: inserts keep the `ST`/`END` lists sorted (binary search
+//! plus `Vec::insert`, the "slow updates" of Table 1); deletes are logical
+//! (tombstones), mirroring the other indexes in the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hint_core::{Interval, IntervalId, IntervalIndex, RangeQuery, Time, TOMBSTONE};
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Domain range this node is responsible for (inclusive).
+    lo: Time,
+    hi: Time,
+    /// Center point: intervals containing it live here.
+    center: Time,
+    /// Node intervals sorted by start point ascending.
+    st_list: Vec<Interval>,
+    /// Node intervals sorted by end point ascending.
+    end_list: Vec<Interval>,
+    left: u32,
+    right: u32,
+}
+
+impl Node {
+    fn new(lo: Time, hi: Time) -> Self {
+        Self {
+            lo,
+            hi,
+            center: lo + (hi - lo) / 2,
+            st_list: Vec::new(),
+            end_list: Vec::new(),
+            left: NONE,
+            right: NONE,
+        }
+    }
+}
+
+/// A domain-centered interval tree (Edelsbrunner \[16\]).
+#[derive(Debug, Clone)]
+pub struct IntervalTree {
+    nodes: Vec<Node>,
+    root: u32,
+    live: usize,
+    tombstones: usize,
+}
+
+impl IntervalTree {
+    /// Builds the tree over `data`, using the dataset's endpoint range as
+    /// the domain.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty (use [`IntervalTree::with_domain`] for an
+    /// empty, insert-ready tree).
+    pub fn build(data: &[Interval]) -> Self {
+        assert!(!data.is_empty(), "use with_domain() for an empty tree");
+        let mut min = Time::MAX;
+        let mut max = 0;
+        for s in data {
+            min = min.min(s.st);
+            max = max.max(s.end);
+        }
+        let mut tree = Self::with_domain(min, max);
+        // Recursive bulk build: route the whole collection down at once so
+        // each node's lists are filled and sorted exactly once.
+        tree.bulk(tree.root, data.to_vec());
+        tree.live = data.len();
+        tree
+    }
+
+    /// Creates an empty tree over the domain `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if `min > max`.
+    pub fn with_domain(min: Time, max: Time) -> Self {
+        assert!(min <= max);
+        let root_node = Node::new(min, max);
+        Self { nodes: vec![root_node], root: 0, live: 0, tombstones: 0 }
+    }
+
+    fn bulk(&mut self, node: u32, data: Vec<Interval>) {
+        if data.is_empty() {
+            return;
+        }
+        let (center, lo, hi) = {
+            let n = &self.nodes[node as usize];
+            (n.center, n.lo, n.hi)
+        };
+        let mut here = Vec::new();
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for s in data {
+            if s.end < center {
+                left.push(s);
+            } else if s.st > center {
+                right.push(s);
+            } else {
+                here.push(s);
+            }
+        }
+        {
+            let mut st_list = here.clone();
+            st_list.sort_unstable_by_key(|s| s.st);
+            here.sort_unstable_by_key(|s| s.end);
+            let n = &mut self.nodes[node as usize];
+            n.st_list = st_list;
+            n.end_list = here;
+        }
+        if !left.is_empty() && center > lo {
+            let child = self.child(node, lo, center - 1, true);
+            self.bulk(child, left);
+        }
+        if !right.is_empty() && center < hi {
+            let child = self.child(node, center + 1, hi, false);
+            self.bulk(child, right);
+        }
+    }
+
+    /// Returns (creating if needed) the left/right child of `node`.
+    fn child(&mut self, node: u32, lo: Time, hi: Time, left: bool) -> u32 {
+        let existing =
+            if left { self.nodes[node as usize].left } else { self.nodes[node as usize].right };
+        if existing != NONE {
+            return existing;
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node::new(lo, hi));
+        if left {
+            self.nodes[node as usize].left = idx;
+        } else {
+            self.nodes[node as usize].right = idx;
+        }
+        idx
+    }
+
+    /// Number of live intervals.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live intervals remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Evaluates a range query, pushing result ids into `out`.
+    pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        let mut node = self.root;
+        loop {
+            let n = &self.nodes[node as usize];
+            if q.end < n.center {
+                // query entirely left of the center: node intervals (which
+                // all reach the center) overlap iff they start <= q.end
+                for s in &n.st_list {
+                    if s.st > q.end {
+                        break;
+                    }
+                    push(s.id, out);
+                }
+                if n.left == NONE {
+                    return;
+                }
+                node = n.left;
+            } else if q.st > n.center {
+                // query entirely right: overlap iff s.end >= q.st; walk the
+                // END list (ascending by end) backwards
+                for s in n.end_list.iter().rev() {
+                    if s.end < q.st {
+                        break;
+                    }
+                    push(s.id, out);
+                }
+                if n.right == NONE {
+                    return;
+                }
+                node = n.right;
+            } else {
+                // the center lies inside the query: everything stored here
+                // qualifies, and both subtrees may contain further results
+                for s in &n.st_list {
+                    push(s.id, out);
+                }
+                self.descend_left(n.left, q, out);
+                self.descend_right(n.right, q, out);
+                return;
+            }
+        }
+    }
+
+    /// Left spine below the split node: every node range ends before the
+    /// split center, hence before `q.end`.
+    fn descend_left(&self, mut node: u32, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        while node != NONE {
+            let n = &self.nodes[node as usize];
+            if n.center >= q.st {
+                // the center is inside q: everything here qualifies, and
+                // the right subtree lies entirely within [q.st, q.end]
+                for s in &n.st_list {
+                    push(s.id, out);
+                }
+                self.report_subtree(n.right, out);
+                node = n.left;
+            } else {
+                // center before q.st: harvest via the END list, go right
+                for s in n.end_list.iter().rev() {
+                    if s.end < q.st {
+                        break;
+                    }
+                    push(s.id, out);
+                }
+                node = n.right;
+            }
+        }
+    }
+
+    /// Right spine below the split node (symmetric to `descend_left`).
+    fn descend_right(&self, mut node: u32, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        while node != NONE {
+            let n = &self.nodes[node as usize];
+            if n.center <= q.end {
+                for s in &n.st_list {
+                    push(s.id, out);
+                }
+                self.report_subtree(n.left, out);
+                node = n.right;
+            } else {
+                for s in &n.st_list {
+                    if s.st > q.end {
+                        break;
+                    }
+                    push(s.id, out);
+                }
+                node = n.left;
+            }
+        }
+    }
+
+    /// Reports every interval in a subtree (its range lies inside `q`).
+    fn report_subtree(&self, node: u32, out: &mut Vec<IntervalId>) {
+        if node == NONE {
+            return;
+        }
+        let n = &self.nodes[node as usize];
+        for s in &n.st_list {
+            push(s.id, out);
+        }
+        self.report_subtree(n.left, out);
+        self.report_subtree(n.right, out);
+    }
+
+    /// Convenience: stabbing query.
+    pub fn stab(&self, t: Time, out: &mut Vec<IntervalId>) {
+        self.query(RangeQuery::stab(t), out)
+    }
+
+    /// Inserts an interval, keeping the node lists sorted (the "slow
+    /// updates" of Table 1).
+    ///
+    /// # Panics
+    /// Panics if the endpoints fall outside the tree domain.
+    pub fn insert(&mut self, s: Interval) {
+        let root = &self.nodes[self.root as usize];
+        assert!(s.st >= root.lo && s.end <= root.hi, "interval outside tree domain");
+        let mut node = self.root;
+        loop {
+            let (center, lo, hi) = {
+                let n = &self.nodes[node as usize];
+                (n.center, n.lo, n.hi)
+            };
+            if s.end < center {
+                node = self.child(node, lo, center - 1, true);
+            } else if s.st > center {
+                node = self.child(node, center + 1, hi, false);
+            } else {
+                let n = &mut self.nodes[node as usize];
+                let pos = n.st_list.partition_point(|x| x.st <= s.st);
+                n.st_list.insert(pos, s);
+                let pos = n.end_list.partition_point(|x| x.end <= s.end);
+                n.end_list.insert(pos, s);
+                self.live += 1;
+                return;
+            }
+        }
+    }
+
+    /// Logically deletes an interval (tombstones in both node lists).
+    /// Returns true if found.
+    pub fn delete(&mut self, s: &Interval) -> bool {
+        let mut node = self.root;
+        loop {
+            let n = &self.nodes[node as usize];
+            if s.end < n.center {
+                if n.left == NONE {
+                    return false;
+                }
+                node = n.left;
+            } else if s.st > n.center {
+                if n.right == NONE {
+                    return false;
+                }
+                node = n.right;
+            } else {
+                let n = &mut self.nodes[node as usize];
+                let mut found = false;
+                for slot in n.st_list.iter_mut() {
+                    if slot.id == s.id {
+                        slot.id = TOMBSTONE;
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    for slot in n.end_list.iter_mut() {
+                        if slot.id == s.id {
+                            slot.id = TOMBSTONE;
+                            break;
+                        }
+                    }
+                    self.live -= 1;
+                    self.tombstones += 1;
+                }
+                return found;
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| (n.st_list.len() + n.end_list.len()) * std::mem::size_of::<Interval>())
+                .sum::<usize>()
+    }
+}
+
+impl IntervalIndex for IntervalTree {
+    fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        IntervalTree::query(self, q, out)
+    }
+    fn size_bytes(&self) -> usize {
+        IntervalTree::size_bytes(self)
+    }
+    fn len(&self) -> usize {
+        IntervalTree::len(self)
+    }
+}
+
+#[inline]
+fn push(id: IntervalId, out: &mut Vec<IntervalId>) {
+    if id != TOMBSTONE {
+        out.push(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hint_core::ScanOracle;
+
+    fn sorted(mut v: Vec<IntervalId>) -> Vec<IntervalId> {
+        v.sort_unstable();
+        v
+    }
+
+    fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 11
+        };
+        (0..n)
+            .map(|i| {
+                let st = next() % dom;
+                let len = next() % max_len;
+                Interval::new(i, st, (st + len).min(dom - 1).max(st))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exhaustive_small_domain() {
+        let data = lcg_data(150, 64, 25, 3);
+        let tree = IntervalTree::build(&data);
+        let oracle = ScanOracle::new(&data);
+        for st in 0..64u64 {
+            for end in st..64 {
+                let q = RangeQuery::new(st, end);
+                let mut got = Vec::new();
+                tree.query(q, &mut got);
+                assert_eq!(sorted(got), oracle.query_sorted(q), "{q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_large_domain() {
+        let data = lcg_data(700, 1_000_000, 80_000, 7);
+        let tree = IntervalTree::build(&data);
+        let oracle = ScanOracle::new(&data);
+        let mut x = 1u64;
+        for _ in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let st = (x >> 17) % 1_000_000;
+            let end = (st + (x >> 5) % 90_000).min(999_999);
+            let q = RangeQuery::new(st, end);
+            let mut got = Vec::new();
+            tree.query(q, &mut got);
+            assert_eq!(sorted(got), oracle.query_sorted(q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn stabbing() {
+        let data = lcg_data(300, 4096, 600, 11);
+        let tree = IntervalTree::build(&data);
+        let oracle = ScanOracle::new(&data);
+        for t in (0..4096).step_by(7) {
+            let mut got = Vec::new();
+            tree.stab(t, &mut got);
+            assert_eq!(sorted(got), oracle.query_sorted(RangeQuery::stab(t)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let data = lcg_data(500, 10_000, 3_000, 13);
+        let tree = IntervalTree::build(&data);
+        for st in (0..10_000u64).step_by(113) {
+            let q = RangeQuery::new(st, (st + 4000).min(9999));
+            let mut got = Vec::new();
+            tree.query(q, &mut got);
+            let n = got.len();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(n, got.len(), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn updates_match_oracle() {
+        let data = lcg_data(200, 2048, 150, 5);
+        let mut tree = IntervalTree::with_domain(0, 2047);
+        let mut oracle = ScanOracle::new(&[]);
+        for &s in &data {
+            tree.insert(s);
+            oracle.insert(s);
+        }
+        for s in data.iter().filter(|s| s.id % 3 == 0) {
+            assert_eq!(tree.delete(s), oracle.delete(s.id));
+        }
+        assert_eq!(tree.len(), oracle.len());
+        for st in (0..2048u64).step_by(31) {
+            let q = RangeQuery::new(st, (st + 64).min(2047));
+            let mut got = Vec::new();
+            tree.query(q, &mut got);
+            assert_eq!(sorted(got), oracle.query_sorted(q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn delete_missing_returns_false() {
+        let data = lcg_data(20, 256, 30, 9);
+        let mut tree = IntervalTree::build(&data);
+        assert!(!tree.delete(&Interval::new(9999, 0, 255)));
+        let victim = data[0];
+        assert!(tree.delete(&victim));
+        assert!(!tree.delete(&victim));
+    }
+
+    #[test]
+    fn single_interval_tree() {
+        let data = vec![Interval::new(42, 100, 200)];
+        let tree = IntervalTree::build(&data);
+        let mut out = Vec::new();
+        tree.query(RangeQuery::new(150, 160), &mut out);
+        assert_eq!(out, vec![42]);
+        out.clear();
+        tree.query(RangeQuery::new(0, 99), &mut out);
+        assert!(out.is_empty());
+    }
+}

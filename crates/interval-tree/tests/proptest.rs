@@ -1,0 +1,60 @@
+//! Property-based validation of the interval tree against the oracle.
+
+use hint_core::{Interval, RangeQuery, ScanOracle};
+use interval_tree::IntervalTree;
+use proptest::prelude::*;
+
+fn intervals(max_val: u64) -> impl Strategy<Value = Vec<Interval>> {
+    prop::collection::vec((0..max_val, 0..max_val), 1..100).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b))| Interval::new(i as u64, a.min(b), a.max(b)))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matches_oracle(data in intervals(5_000), qa in 0u64..5_000, qb in 0u64..5_000) {
+        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
+        let oracle = ScanOracle::new(&data);
+        let tree = IntervalTree::build(&data);
+        let mut got = Vec::new();
+        tree.query(q, &mut got);
+        got.sort_unstable();
+        prop_assert_eq!(got, oracle.query_sorted(q));
+    }
+
+    #[test]
+    fn incremental_build_equals_bulk_build(data in intervals(2_000), t in 0u64..2_000) {
+        let bulk = IntervalTree::build(&data);
+        let mut inc = IntervalTree::with_domain(0, 2_000);
+        for &s in &data {
+            inc.insert(s);
+        }
+        let q = RangeQuery::stab(t);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        bulk.query(q, &mut a);
+        inc.query(q, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delete_removes_only_the_victim(mut data in intervals(1_000), pick in any::<prop::sample::Index>()) {
+        let victim = data[pick.index(data.len())];
+        let mut tree = IntervalTree::build(&data);
+        prop_assert!(tree.delete(&victim));
+        data.retain(|s| s.id != victim.id);
+        let oracle = ScanOracle::new(&data);
+        let q = RangeQuery::new(0, 1_000);
+        let mut got = Vec::new();
+        tree.query(q, &mut got);
+        got.sort_unstable();
+        prop_assert_eq!(got, oracle.query_sorted(q));
+    }
+}

@@ -1,0 +1,505 @@
+//! The period index of Behrend et al. \[4\], as described in §2 / Figure 4
+//! of the HINT paper: a domain-partitioning, duration-aware structure
+//! specialized for range and duration queries.
+//!
+//! The domain is split into coarse partitions (as in a 1D-grid); each
+//! partition is divided hierarchically into *levels*, where each level
+//! corresponds to a duration class. The top level has the finest divisions
+//! and stores the shortest intervals; lower levels halve the division
+//! count. An interval is routed to the first level whose division length
+//! exceeds its duration (so it spans at most two divisions there), or to
+//! the bottom level otherwise, and is inserted into every division it
+//! overlaps within every coarse partition it overlaps.
+//!
+//! Queries visit only the divisions overlapping the range; a duration
+//! predicate additionally skips all levels whose division length is below
+//! the minimum duration. Duplicates across divisions/partitions are
+//! eliminated with the reference-value method \[15\], exactly as in the
+//! 1D-grid.
+//!
+//! [`PeriodIndex::build_adaptive`] implements the paper's "self-adaptive"
+//! aspect: each coarse partition picks its own number of levels from the
+//! duration distribution of the intervals it receives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hint_core::{Interval, IntervalId, IntervalIndex, RangeQuery, Time, TOMBSTONE};
+
+/// One duration level inside a coarse partition.
+#[derive(Debug, Clone)]
+struct Level {
+    /// Width of each division at this level.
+    div_width: Time,
+    /// Divisions, each holding the intervals assigned to it.
+    divs: Vec<Vec<Interval>>,
+}
+
+/// A coarse domain partition with its hierarchy of duration levels.
+#[derive(Debug, Clone)]
+struct Partition {
+    start: Time,
+    end: Time,
+    /// `levels[0]` is the top (finest) level.
+    levels: Vec<Level>,
+}
+
+impl Partition {
+    fn new(start: Time, end: Time, level_count: usize) -> Self {
+        let span = end - start + 1;
+        let mut levels = Vec::with_capacity(level_count);
+        for j in 0..level_count {
+            // top level: 2^(L-1) divisions; each level below halves them
+            let div_count = 1usize << (level_count - 1 - j);
+            let div_width = span.div_ceil(div_count as u64).max(1);
+            let actual = span.div_ceil(div_width) as usize;
+            levels.push(Level { div_width, divs: vec![Vec::new(); actual] });
+        }
+        Self { start, end, levels }
+    }
+
+    /// The level an interval of this duration belongs to: the first whose
+    /// division is longer than the duration, else the bottom.
+    fn level_of(&self, duration: Time) -> usize {
+        for (j, level) in self.levels.iter().enumerate() {
+            if duration < level.div_width {
+                return j;
+            }
+        }
+        self.levels.len() - 1
+    }
+
+    fn insert(&mut self, s: Interval) {
+        let j = self.level_of(s.duration());
+        let level = &mut self.levels[j];
+        let lo = s.st.max(self.start);
+        let hi = s.end.min(self.end);
+        let first = ((lo - self.start) / level.div_width) as usize;
+        let last = ((hi - self.start) / level.div_width) as usize;
+        for div in &mut level.divs[first..=last] {
+            div.push(s);
+        }
+    }
+
+    fn delete(&mut self, s: &Interval) -> bool {
+        let j = self.level_of(s.duration());
+        let level = &mut self.levels[j];
+        let lo = s.st.max(self.start);
+        let hi = s.end.min(self.end);
+        let first = ((lo - self.start) / level.div_width) as usize;
+        let last = ((hi - self.start) / level.div_width) as usize;
+        let mut found = false;
+        for div in &mut level.divs[first..=last] {
+            for slot in div.iter_mut() {
+                if slot.id == s.id {
+                    slot.id = TOMBSTONE;
+                    found = true;
+                    break;
+                }
+            }
+        }
+        found
+    }
+
+    /// Query this partition; `min_duration` (if any) prunes whole levels.
+    fn query(&self, q: &RangeQuery, min_duration: Option<Time>, out: &mut Vec<IntervalId>) {
+        for level in &self.levels {
+            if let Some(d) = min_duration {
+                // intervals at this level are shorter than div_width
+                // (except at the bottom); skip levels that cannot hold
+                // intervals of duration >= d
+                if level.div_width <= d && !std::ptr::eq(level, self.levels.last().unwrap()) {
+                    continue;
+                }
+            }
+            let lo = q.st.clamp(self.start, self.end);
+            let hi = q.end.clamp(self.start, self.end);
+            let first = ((lo - self.start) / level.div_width) as usize;
+            let last = ((hi - self.start) / level.div_width) as usize;
+            for (d, div) in level.divs.iter().enumerate().take(last + 1).skip(first) {
+                let div_start = self.start + d as Time * level.div_width;
+                let div_end = (div_start + level.div_width - 1).min(self.end);
+                for s in div {
+                    if !s.overlaps(q) {
+                        continue;
+                    }
+                    if let Some(md) = min_duration {
+                        if s.duration() < md {
+                            continue;
+                        }
+                    }
+                    // reference value: report in the unique division
+                    // containing max(s.st, q.st)
+                    let v = s.st.max(q.st);
+                    if v >= div_start && v <= div_end {
+                        push(s.id, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn entries(&self) -> usize {
+        self.levels.iter().map(|l| l.divs.iter().map(Vec::len).sum::<usize>()).sum()
+    }
+
+    fn size_bytes(&self) -> usize {
+        let divs: usize = self.levels.iter().map(|l| l.divs.len()).sum();
+        divs * std::mem::size_of::<Vec<Interval>>()
+            + self.entries() * std::mem::size_of::<Interval>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+/// The period index \[4\].
+#[derive(Debug, Clone)]
+pub struct PeriodIndex {
+    min: Time,
+    max: Time,
+    p_width: Time,
+    partitions: Vec<Partition>,
+    live: usize,
+    tombstones: usize,
+}
+
+/// Default number of coarse partitions (the paper's Table 7 uses 100).
+pub const DEFAULT_PARTITIONS: usize = 100;
+/// Default number of duration levels per partition.
+pub const DEFAULT_LEVELS: usize = 4;
+
+impl PeriodIndex {
+    /// Builds the index with `p` coarse partitions and a uniform number of
+    /// duration `levels` per partition.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty, `p == 0`, or `levels == 0`.
+    pub fn build(data: &[Interval], p: usize, levels: usize) -> Self {
+        assert!(!data.is_empty() && p > 0 && levels > 0);
+        let (min, max) = bounds(data);
+        let mut idx = Self::with_domain(min, max, p, levels);
+        for &s in data {
+            idx.insert(s);
+        }
+        idx
+    }
+
+    /// Self-adaptive build: each coarse partition chooses its level count
+    /// so that the median duration of its intervals lands on an interior
+    /// level (the "self-adaptive" structure of \[4\]).
+    pub fn build_adaptive(data: &[Interval], p: usize) -> Self {
+        assert!(!data.is_empty() && p > 0);
+        let (min, max) = bounds(data);
+        let span = max - min + 1;
+        let p_width = span.div_ceil(p as u64).max(1);
+        let actual_p = span.div_ceil(p_width) as usize;
+
+        // per-partition duration samples (by the partition of the start)
+        let mut durs: Vec<Vec<Time>> = vec![Vec::new(); actual_p];
+        for s in data {
+            let i = (((s.st - min) / p_width) as usize).min(actual_p - 1);
+            durs[i].push(s.duration());
+        }
+        let partitions = (0..actual_p)
+            .map(|i| {
+                let start = min + i as Time * p_width;
+                let end = (start + p_width - 1).min(max);
+                let levels = adaptive_levels(&mut durs[i], p_width);
+                Partition::new(start, end, levels)
+            })
+            .collect();
+        let mut idx =
+            Self { min, max, p_width, partitions, live: 0, tombstones: 0 };
+        for &s in data {
+            idx.insert(s);
+        }
+        idx
+    }
+
+    /// Creates an empty index over `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if `min > max`, `p == 0`, or `levels == 0`.
+    pub fn with_domain(min: Time, max: Time, p: usize, levels: usize) -> Self {
+        assert!(min <= max && p > 0 && levels > 0);
+        let span = max - min + 1;
+        let p_width = span.div_ceil(p as u64).max(1);
+        let actual_p = span.div_ceil(p_width) as usize;
+        let partitions = (0..actual_p)
+            .map(|i| {
+                let start = min + i as Time * p_width;
+                let end = (start + p_width - 1).min(max);
+                Partition::new(start, end, levels)
+            })
+            .collect();
+        Self { min, max, p_width, partitions, live: 0, tombstones: 0 }
+    }
+
+    /// Number of coarse partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Number of live intervals.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live intervals remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    #[inline]
+    fn part_of(&self, x: Time) -> usize {
+        let x = x.clamp(self.min, self.max);
+        (((x - self.min) / self.p_width) as usize).min(self.partitions.len() - 1)
+    }
+
+    /// Evaluates a range query.
+    pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        self.query_with_duration(q, None, out)
+    }
+
+    /// Range query with an optional minimum-duration predicate: levels
+    /// whose divisions are too short for qualifying intervals are skipped
+    /// wholesale — the structure's signature optimization.
+    pub fn query_with_duration(
+        &self,
+        q: RangeQuery,
+        min_duration: Option<Time>,
+        out: &mut Vec<IntervalId>,
+    ) {
+        if q.end < self.min || q.st > self.max {
+            return;
+        }
+        let first = self.part_of(q.st);
+        let last = self.part_of(q.end);
+        for part in &self.partitions[first..=last] {
+            part.query(&q, min_duration, out);
+        }
+    }
+
+    /// Convenience: stabbing query.
+    pub fn stab(&self, t: Time, out: &mut Vec<IntervalId>) {
+        self.query(RangeQuery::stab(t), out)
+    }
+
+    /// Inserts an interval (fast appends, Table 1).
+    ///
+    /// # Panics
+    /// Panics if the endpoints fall outside the index domain.
+    pub fn insert(&mut self, s: Interval) {
+        assert!(s.st >= self.min && s.end <= self.max, "interval outside index domain");
+        let first = self.part_of(s.st);
+        let last = self.part_of(s.end);
+        for part in &mut self.partitions[first..=last] {
+            part.insert(s);
+        }
+        self.live += 1;
+    }
+
+    /// Logically deletes an interval. Returns true if found.
+    pub fn delete(&mut self, s: &Interval) -> bool {
+        let first = self.part_of(s.st);
+        let last = self.part_of(s.end);
+        let mut found = false;
+        for part in &mut self.partitions[first..=last] {
+            found |= part.delete(s);
+        }
+        if found {
+            self.live -= 1;
+            self.tombstones += 1;
+        }
+        found
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.partitions.iter().map(Partition::size_bytes).sum()
+    }
+
+    /// Total stored entries (replication included).
+    pub fn entries(&self) -> usize {
+        self.partitions.iter().map(Partition::entries).sum()
+    }
+}
+
+impl IntervalIndex for PeriodIndex {
+    fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        PeriodIndex::query(self, q, out)
+    }
+    fn size_bytes(&self) -> usize {
+        PeriodIndex::size_bytes(self)
+    }
+    fn len(&self) -> usize {
+        PeriodIndex::len(self)
+    }
+}
+
+fn bounds(data: &[Interval]) -> (Time, Time) {
+    let mut min = Time::MAX;
+    let mut max = 0;
+    for s in data {
+        min = min.min(s.st);
+        max = max.max(s.end);
+    }
+    (min, max)
+}
+
+/// Chooses a level count so the median duration maps to an interior level:
+/// with `L` levels the top division width is `p_width / 2^(L-1)`; pick `L`
+/// such that the median is just below the mid-level width.
+fn adaptive_levels(durs: &mut [Time], p_width: Time) -> usize {
+    const MAX_LEVELS: usize = 8;
+    if durs.is_empty() {
+        return 1;
+    }
+    let mid = durs.len() / 2;
+    let (_, median, _) = durs.select_nth_unstable(mid);
+    let median = (*median).max(1);
+    // smallest L with top width > median (so the median sits at the top):
+    // p_width / 2^(L-1) > median  =>  2^(L-1) < p_width / median
+    let ratio = (p_width / median).max(1);
+    let l = (64 - ratio.leading_zeros()) as usize; // floor(log2(ratio)) + 1
+    l.clamp(1, MAX_LEVELS)
+}
+
+#[inline]
+fn push(id: IntervalId, out: &mut Vec<IntervalId>) {
+    if id != TOMBSTONE {
+        out.push(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hint_core::ScanOracle;
+
+    fn sorted(mut v: Vec<IntervalId>) -> Vec<IntervalId> {
+        v.sort_unstable();
+        v
+    }
+
+    fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 11
+        };
+        (0..n)
+            .map(|i| {
+                let st = next() % dom;
+                let len = next() % max_len;
+                Interval::new(i, st, (st + len).min(dom - 1).max(st))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exhaustive_small_domain() {
+        let data = lcg_data(150, 64, 25, 3);
+        for (p, levels) in [(1, 1), (2, 3), (4, 2), (8, 4)] {
+            let idx = PeriodIndex::build(&data, p, levels);
+            let oracle = ScanOracle::new(&data);
+            for st in 0..64u64 {
+                for end in st..64 {
+                    let q = RangeQuery::new(st, end);
+                    let mut got = Vec::new();
+                    idx.query(q, &mut got);
+                    assert_eq!(sorted(got), oracle.query_sorted(q), "p={p} L={levels} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_large_domain() {
+        let data = lcg_data(700, 1_000_000, 80_000, 7);
+        let idx = PeriodIndex::build(&data, 50, 4);
+        let oracle = ScanOracle::new(&data);
+        let mut x = 1u64;
+        for _ in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let st = (x >> 17) % 1_000_000;
+            let end = (st + (x >> 5) % 90_000).min(999_999);
+            let q = RangeQuery::new(st, end);
+            let mut got = Vec::new();
+            idx.query(q, &mut got);
+            assert_eq!(sorted(got), oracle.query_sorted(q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_matches_oracle() {
+        let data = lcg_data(600, 100_000, 8_000, 21);
+        let idx = PeriodIndex::build_adaptive(&data, 20);
+        let oracle = ScanOracle::new(&data);
+        let mut x = 3u64;
+        for _ in 0..300 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let st = (x >> 17) % 100_000;
+            let end = (st + (x >> 7) % 10_000).min(99_999);
+            let q = RangeQuery::new(st, end);
+            let mut got = Vec::new();
+            idx.query(q, &mut got);
+            assert_eq!(sorted(got), oracle.query_sorted(q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn duration_queries() {
+        let data = lcg_data(400, 10_000, 2_000, 9);
+        let idx = PeriodIndex::build(&data, 10, 5);
+        for st in (0..10_000u64).step_by(503) {
+            let q = RangeQuery::new(st, (st + 1500).min(9999));
+            for md in [0u64, 10, 100, 1000] {
+                let mut got = Vec::new();
+                idx.query_with_duration(q, Some(md), &mut got);
+                let mut want: Vec<IntervalId> = data
+                    .iter()
+                    .filter(|s| s.overlaps(&q) && s.duration() >= md)
+                    .map(|s| s.id)
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(sorted(got), want, "{q:?} md={md}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates_despite_replication() {
+        let data = lcg_data(300, 10_000, 6_000, 13);
+        let idx = PeriodIndex::build(&data, 16, 4);
+        assert!(idx.entries() > data.len());
+        for st in (0..10_000u64).step_by(97) {
+            let q = RangeQuery::new(st, (st + 5000).min(9999));
+            let mut got = Vec::new();
+            idx.query(q, &mut got);
+            let n = got.len();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(n, got.len(), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn updates_match_oracle() {
+        let data = lcg_data(200, 2048, 150, 5);
+        let mut idx = PeriodIndex::with_domain(0, 2047, 8, 3);
+        let mut oracle = ScanOracle::new(&[]);
+        for &s in &data {
+            idx.insert(s);
+            oracle.insert(s);
+        }
+        for s in data.iter().filter(|s| s.id % 3 == 0) {
+            assert_eq!(idx.delete(s), oracle.delete(s.id));
+        }
+        for st in (0..2048u64).step_by(37) {
+            let q = RangeQuery::new(st, (st + 80).min(2047));
+            let mut got = Vec::new();
+            idx.query(q, &mut got);
+            assert_eq!(sorted(got), oracle.query_sorted(q), "{q:?}");
+        }
+    }
+}

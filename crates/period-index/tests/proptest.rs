@@ -1,0 +1,71 @@
+//! Property-based validation of the period index, including the duration
+//! predicate and the adaptive builder.
+
+use hint_core::{Interval, RangeQuery, ScanOracle};
+use period_index::PeriodIndex;
+use proptest::prelude::*;
+
+fn intervals(max_val: u64) -> impl Strategy<Value = Vec<Interval>> {
+    prop::collection::vec((0..max_val, 0..max_val), 1..100).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b))| Interval::new(i as u64, a.min(b), a.max(b)))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matches_oracle_any_shape(
+        data in intervals(4_000),
+        qa in 0u64..4_000,
+        qb in 0u64..4_000,
+        p in 1usize..40,
+        levels in 1usize..7,
+    ) {
+        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
+        let oracle = ScanOracle::new(&data);
+        let idx = PeriodIndex::build(&data, p, levels);
+        let mut got = Vec::new();
+        idx.query(q, &mut got);
+        got.sort_unstable();
+        prop_assert_eq!(got, oracle.query_sorted(q));
+    }
+
+    #[test]
+    fn adaptive_matches_fixed(data in intervals(2_000), t in 0u64..2_000) {
+        let adaptive = PeriodIndex::build_adaptive(&data, 8);
+        let fixed = PeriodIndex::build(&data, 8, 4);
+        let q = RangeQuery::new(t, (t + 100).min(1_999));
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        adaptive.query(q, &mut a);
+        fixed.query(q, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duration_predicate_filters_exactly(
+        data in intervals(2_000),
+        qa in 0u64..2_000,
+        qb in 0u64..2_000,
+        min_dur in 0u64..500,
+    ) {
+        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
+        let idx = PeriodIndex::build(&data, 8, 4);
+        let mut got = Vec::new();
+        idx.query_with_duration(q, Some(min_dur), &mut got);
+        got.sort_unstable();
+        let mut want: Vec<u64> = data
+            .iter()
+            .filter(|s| s.overlaps(&q) && s.duration() >= min_dur)
+            .map(|s| s.id)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

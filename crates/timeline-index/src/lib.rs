@@ -1,0 +1,305 @@
+//! The timeline index of Kaufmann et al. \[19\] (SAP HANA), as described in
+//! §2 / Figure 2 of the HINT paper.
+//!
+//! All interval endpoints are kept in a single *event list* of
+//! `⟨time, id, isStart⟩` triples, sorted by time (starts before ends at
+//! equal times). At regular positions, *checkpoints* materialize the full
+//! set of active interval ids together with a pointer back into the event
+//! list. A range (time-travel) query restores the active set of the last
+//! checkpoint before `q.st`, rolls it forward by replaying events, reports
+//! it, and then keeps scanning until `q.end`, adding every interval that
+//! starts inside the query range.
+//!
+//! The structure is designed for versioned/temporal data: ad-hoc updates
+//! would have to splice the sorted event list, so — like the paper, which
+//! excludes the timeline index from the update experiment — this
+//! implementation is build-once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hint_core::{Interval, IntervalId, IntervalIndex, RangeQuery, Time};
+use std::collections::HashSet;
+
+/// One endpoint event in the event list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: Time,
+    id: IntervalId,
+    is_start: bool,
+}
+
+/// A materialized checkpoint: the set of intervals alive just after
+/// `time`, plus the event-list position from which to resume scanning.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    time: Time,
+    /// Index of the first event with `time > self.time`.
+    resume: usize,
+    /// Ids of all intervals with `st <= time < end`.
+    active: Vec<IntervalId>,
+}
+
+/// The timeline index \[19\].
+#[derive(Debug, Clone)]
+pub struct TimelineIndex {
+    events: Vec<Event>,
+    checkpoints: Vec<Checkpoint>,
+    live: usize,
+    min: Time,
+    max: Time,
+}
+
+/// Default number of events between consecutive checkpoints.
+pub const DEFAULT_CHECKPOINT_EVERY: usize = 4096;
+
+impl TimelineIndex {
+    /// Builds the index with the default checkpoint spacing.
+    pub fn build(data: &[Interval]) -> Self {
+        Self::build_with_spacing(data, DEFAULT_CHECKPOINT_EVERY)
+    }
+
+    /// Builds the index placing a checkpoint roughly every `every` events.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or `every == 0`.
+    pub fn build_with_spacing(data: &[Interval], every: usize) -> Self {
+        assert!(!data.is_empty(), "timeline index requires data");
+        assert!(every > 0);
+        let mut events = Vec::with_capacity(data.len() * 2);
+        for s in data {
+            events.push(Event { time: s.st, id: s.id, is_start: true });
+            events.push(Event { time: s.end, id: s.id, is_start: false });
+        }
+        // time ascending; at equal times starts sort before ends
+        // (isStart descending), matching the paper's event-list order.
+        events.sort_unstable_by(|a, b| {
+            a.time.cmp(&b.time).then(b.is_start.cmp(&a.is_start)).then(a.id.cmp(&b.id))
+        });
+
+        let min = events.first().map_or(0, |e| e.time);
+        let max = events.last().map_or(0, |e| e.time);
+
+        // Single forward sweep maintaining the active set; snapshot it
+        // between timestamp groups so every checkpoint is exact.
+        let mut checkpoints = Vec::new();
+        let mut active: HashSet<IntervalId> = HashSet::new();
+        let mut i = 0;
+        while i < events.len() {
+            let group_start = i;
+            let t = events[group_start].time;
+            while i < events.len() && events[i].time == t {
+                let e = events[i];
+                if e.is_start {
+                    active.insert(e.id);
+                } else {
+                    active.remove(&e.id);
+                }
+                i += 1;
+            }
+            let _ = group_start;
+            if checkpoints.len() * every <= i && i < events.len() {
+                let mut ids: Vec<IntervalId> = active.iter().copied().collect();
+                ids.sort_unstable();
+                checkpoints.push(Checkpoint { time: t, resume: i, active: ids });
+            }
+        }
+        Self { events, checkpoints, live: data.len(), min, max }
+    }
+
+    /// Number of indexed intervals.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of checkpoints materialized.
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Evaluates a range (time-travel) query, pushing result ids into
+    /// `out`.
+    pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        if q.end < self.min || q.st > self.max {
+            return;
+        }
+        // last checkpoint strictly before q.st: its active set holds
+        // intervals with st <= cp.time < end; roll forward from there.
+        let cp_idx = self.checkpoints.partition_point(|c| c.time < q.st);
+        let (mut scan, mut alive): (usize, HashSet<IntervalId>) = if cp_idx == 0 {
+            (0, HashSet::new())
+        } else {
+            let cp = &self.checkpoints[cp_idx - 1];
+            (cp.resume, cp.active.iter().copied().collect())
+        };
+        // replay events strictly before q.st
+        while scan < self.events.len() && self.events[scan].time < q.st {
+            let e = self.events[scan];
+            if e.is_start {
+                alive.insert(e.id);
+            } else {
+                alive.remove(&e.id);
+            }
+            scan += 1;
+        }
+        // `alive` now holds intervals that started before q.st and end at
+        // or after it — all guaranteed results.
+        out.extend(alive.iter().copied());
+        // every start event inside [q.st, q.end] is a further result
+        while scan < self.events.len() && self.events[scan].time <= q.end {
+            let e = self.events[scan];
+            if e.is_start {
+                out.push(e.id);
+            }
+            scan += 1;
+        }
+    }
+
+    /// Convenience: stabbing (pure-timeslice) query.
+    pub fn stab(&self, t: Time, out: &mut Vec<IntervalId>) {
+        self.query(RangeQuery::stab(t), out)
+    }
+
+    /// Approximate heap footprint in bytes — large checkpoint active sets
+    /// are exactly the space weakness the paper calls out.
+    pub fn size_bytes(&self) -> usize {
+        self.events.len() * std::mem::size_of::<Event>()
+            + self
+                .checkpoints
+                .iter()
+                .map(|c| {
+                    std::mem::size_of::<Checkpoint>()
+                        + c.active.len() * std::mem::size_of::<IntervalId>()
+                })
+                .sum::<usize>()
+    }
+}
+
+impl IntervalIndex for TimelineIndex {
+    fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        TimelineIndex::query(self, q, out)
+    }
+    fn size_bytes(&self) -> usize {
+        TimelineIndex::size_bytes(self)
+    }
+    fn len(&self) -> usize {
+        TimelineIndex::len(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hint_core::ScanOracle;
+
+    fn sorted(mut v: Vec<IntervalId>) -> Vec<IntervalId> {
+        v.sort_unstable();
+        v
+    }
+
+    fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 11
+        };
+        (0..n)
+            .map(|i| {
+                let st = next() % dom;
+                let len = next() % max_len;
+                Interval::new(i, st, (st + len).min(dom - 1).max(st))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exhaustive_small_domain_tight_checkpoints() {
+        let data = lcg_data(150, 64, 25, 3);
+        // tiny spacing forces many checkpoint/rollforward interactions
+        for every in [4, 16, 1024] {
+            let idx = TimelineIndex::build_with_spacing(&data, every);
+            let oracle = ScanOracle::new(&data);
+            for st in 0..64u64 {
+                for end in st..64 {
+                    let q = RangeQuery::new(st, end);
+                    let mut got = Vec::new();
+                    idx.query(q, &mut got);
+                    assert_eq!(sorted(got), oracle.query_sorted(q), "every={every} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_large_domain() {
+        let data = lcg_data(800, 500_000, 60_000, 7);
+        let idx = TimelineIndex::build_with_spacing(&data, 64);
+        let oracle = ScanOracle::new(&data);
+        let mut x = 1u64;
+        for _ in 0..300 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let st = (x >> 17) % 500_000;
+            let end = (st + (x >> 5) % 50_000).min(499_999);
+            let q = RangeQuery::new(st, end);
+            let mut got = Vec::new();
+            idx.query(q, &mut got);
+            assert_eq!(sorted(got), oracle.query_sorted(q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn stabbing_matches_oracle() {
+        let data = lcg_data(300, 4096, 600, 11);
+        let idx = TimelineIndex::build_with_spacing(&data, 32);
+        let oracle = ScanOracle::new(&data);
+        for t in (0..4096).step_by(7) {
+            let mut got = Vec::new();
+            idx.stab(t, &mut got);
+            assert_eq!(sorted(got), oracle.query_sorted(RangeQuery::stab(t)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn closed_end_boundaries() {
+        // an interval ending exactly at q.st must be reported
+        let data =
+            vec![Interval::new(1, 0, 10), Interval::new(2, 10, 20), Interval::new(3, 21, 30)];
+        let idx = TimelineIndex::build_with_spacing(&data, 1);
+        let mut got = Vec::new();
+        idx.query(RangeQuery::new(10, 10), &mut got);
+        assert_eq!(sorted(got.clone()), vec![1, 2]);
+        got.clear();
+        idx.query(RangeQuery::new(20, 21), &mut got);
+        assert_eq!(sorted(got), vec![2, 3]);
+    }
+
+    #[test]
+    fn checkpoints_are_materialized() {
+        let data = lcg_data(1000, 10_000, 500, 5);
+        let idx = TimelineIndex::build_with_spacing(&data, 100);
+        assert!(idx.checkpoint_count() >= 10, "{}", idx.checkpoint_count());
+        // tighter spacing -> more checkpoints -> more space
+        let loose = TimelineIndex::build_with_spacing(&data, 1000);
+        assert!(idx.size_bytes() > loose.size_bytes());
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let data = lcg_data(500, 10_000, 3_000, 13);
+        let idx = TimelineIndex::build_with_spacing(&data, 128);
+        for st in (0..10_000u64).step_by(173) {
+            let q = RangeQuery::new(st, (st + 4000).min(9999));
+            let mut got = Vec::new();
+            idx.query(q, &mut got);
+            let n = got.len();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(n, got.len(), "{q:?}");
+        }
+    }
+}

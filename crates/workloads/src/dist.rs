@@ -1,0 +1,271 @@
+//! From-scratch probability distributions used by the workload generators.
+//!
+//! The paper generates synthetic interval lengths with numpy's
+//! `random.zipf(α)` and positions with `random.normalvariate(μ, σ)`
+//! (Table 5). We implement both samplers directly on top of a [`rand`]
+//! RNG:
+//!
+//! * [`Zipf`]: the rejection-inversion sampler for the (unbounded) zeta
+//!   distribution `p(x) ∝ x^{-α}`, `x ∈ {1, 2, ...}` — the same algorithm
+//!   numpy uses (Devroye's transformed-rejection for the zeta law).
+//! * [`Normal`]: Box–Muller transform (cached second variate).
+//! * [`BoundedPareto`]: power-law durations on `[lo, hi]` with a numeric
+//!   mean-matching solver — used by the realistic dataset clones to hit a
+//!   target mean duration with a heavy tail.
+
+use rand::Rng;
+
+/// Unbounded Zipf (zeta) sampler over `{1, 2, 3, ...}` with exponent
+/// `alpha > 1`, via transformed rejection (as in numpy's `random.zipf`).
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    alpha: f64,
+    am1: f64,
+    b: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler with exponent `alpha`.
+    ///
+    /// # Panics
+    /// Panics unless `alpha > 1` (the zeta law is only normalizable then).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 1.0, "zipf exponent must be > 1 (got {alpha})");
+        let am1 = alpha - 1.0;
+        Self { alpha, am1, b: 2f64.powf(am1) }
+    }
+
+    /// The exponent `alpha`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Draws one sample. The returned value is capped at `u64::MAX / 4` to
+    /// keep downstream arithmetic overflow-free (astronomically rare for
+    /// any practical `alpha`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        const CAP: f64 = (u64::MAX / 4) as f64;
+        loop {
+            let u: f64 = 1.0 - rng.gen::<f64>(); // u in (0, 1]
+            let v: f64 = rng.gen();
+            let x = u.powf(-1.0 / self.am1).floor();
+            if !(1.0..=CAP).contains(&x) {
+                continue;
+            }
+            let t = (1.0 + 1.0 / x).powf(self.am1);
+            if v * x * (t - 1.0) / (self.b - 1.0) <= t / self.b {
+                return x as u64;
+            }
+        }
+    }
+}
+
+/// Gaussian sampler (Box–Muller with a cached spare variate).
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+    spare: Option<f64>,
+}
+
+impl Normal {
+    /// Creates a sampler with mean `mu` and standard deviation `sigma`.
+    ///
+    /// # Panics
+    /// Panics if `sigma < 0` or either parameter is not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        Self { mu, sigma, spare: None }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return self.mu + self.sigma * z;
+        }
+        // Box–Muller: two uniforms -> two independent standard normals
+        let u1: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        self.mu + self.sigma * r * theta.cos()
+    }
+}
+
+/// Bounded Pareto sampler on `[lo, hi]` with shape `alpha`, sampled by
+/// inverse CDF. Used for realistic duration distributions: heavy tail,
+/// hard bounds, and an analytically known mean that [`BoundedPareto::
+/// with_mean`] inverts numerically.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedPareto {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a sampler with explicit shape.
+    ///
+    /// # Panics
+    /// Panics unless `0 < lo <= hi` and `alpha > 0`.
+    pub fn new(lo: u64, hi: u64, alpha: f64) -> Self {
+        assert!(lo > 0 && lo <= hi && alpha > 0.0);
+        Self { lo: lo as f64, hi: hi as f64, alpha }
+    }
+
+    /// Finds the shape `alpha` whose bounded-Pareto mean on `[lo, hi]`
+    /// equals `mean`, by bisection. Returns `None` if `mean` is outside
+    /// the achievable range (close to `lo` … close to the unbounded-mean
+    /// limit).
+    pub fn with_mean(lo: u64, hi: u64, mean: f64) -> Option<Self> {
+        if lo == hi {
+            return Some(Self::new(lo, hi, 1.0));
+        }
+        let lo_f = lo as f64;
+        let hi_f = hi as f64;
+        if mean <= lo_f || mean >= hi_f {
+            return None;
+        }
+        // mean(alpha) is monotone decreasing in alpha
+        let (mut a_lo, mut a_hi) = (1e-6, 50.0);
+        let m_at = |a: f64| Self { lo: lo_f, hi: hi_f, alpha: a }.mean();
+        if mean > m_at(a_lo) || mean < m_at(a_hi) {
+            return None;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (a_lo + a_hi);
+            if m_at(mid) > mean {
+                a_lo = mid;
+            } else {
+                a_hi = mid;
+            }
+        }
+        Some(Self { lo: lo_f, hi: hi_f, alpha: 0.5 * (a_lo + a_hi) })
+    }
+
+    /// Analytic mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        let (l, h, a) = (self.lo, self.hi, self.alpha);
+        if (a - 1.0).abs() < 1e-9 {
+            // alpha = 1: E = ln(h/l) * l*h/(h-l) ... derive via limit
+            let c = 1.0 / (1.0 / l - 1.0 / h);
+            return c * (h / l).ln();
+        }
+        let num = l.powf(a) / (1.0 - (l / h).powf(a));
+        num * a / (a - 1.0) * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
+    }
+
+    /// Draws one sample (inverse CDF).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen::<f64>().clamp(1e-15, 1.0 - 1e-15);
+        let (l, h, a) = (self.lo, self.hi, self.alpha);
+        let ha = h.powf(a);
+        let la = l.powf(a);
+        let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / a);
+        (x as u64).clamp(l as u64, h as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_large_alpha_is_mostly_ones() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = Zipf::new(4.0);
+        let n = 20_000;
+        let ones = (0..n).filter(|_| z.sample(&mut rng) == 1).count();
+        // P(X=1) = 1/zeta(4) ≈ 0.9239
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.9239).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn zipf_small_alpha_has_heavy_tail() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let z = Zipf::new(1.1);
+        let n = 20_000;
+        let big = (0..n).filter(|_| z.sample(&mut rng) > 1000).count();
+        // P(X > 1000) is non-negligible for alpha=1.1 (~ 0.05)
+        assert!(big > n / 100, "only {big} samples above 1000");
+    }
+
+    #[test]
+    fn zipf_pmf_ratio_matches_power_law() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = Zipf::new(2.0);
+        let n = 200_000;
+        let mut c1 = 0;
+        let mut c2 = 0;
+        for _ in 0..n {
+            match z.sample(&mut rng) {
+                1 => c1 += 1,
+                2 => c2 += 1,
+                _ => {}
+            }
+        }
+        // p(1)/p(2) = 2^alpha = 4
+        let ratio = c1 as f64 / c2 as f64;
+        assert!((ratio - 4.0).abs() < 0.4, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut nd = Normal::new(100.0, 15.0);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| nd.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean = {mean}");
+        assert!((var.sqrt() - 15.0).abs() < 0.5, "sd = {}", var.sqrt());
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds_and_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let bp = BoundedPareto::with_mean(1, 1_000_000, 5_000.0).expect("solvable");
+        let n = 200_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let x = bp.sample(&mut rng);
+            assert!((1..=1_000_000).contains(&x));
+            sum += x;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!(
+            (mean - 5_000.0).abs() / 5_000.0 < 0.15,
+            "empirical mean {mean} vs target 5000"
+        );
+    }
+
+    #[test]
+    fn bounded_pareto_rejects_impossible_means() {
+        assert!(BoundedPareto::with_mean(10, 100, 5.0).is_none());
+        assert!(BoundedPareto::with_mean(10, 100, 200.0).is_none());
+        assert!(BoundedPareto::with_mean(10, 10, 10.0).is_some());
+    }
+
+    #[test]
+    fn samplers_are_deterministic_under_seed() {
+        let z = Zipf::new(1.5);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,31 @@
+//! Data and query workload generators for the HINT reproduction (§5.1 of
+//! the paper).
+//!
+//! * [`synthetic`] — the Table-5 generator: Zipfian interval lengths
+//!   (`α`), Gaussian interval positions (`σ`), configurable domain and
+//!   cardinality.
+//! * [`realistic`] — statistical clones of the four real datasets of
+//!   Table 4 (BOOKS, WEBKIT, TAXIS, GREEND), since the originals are not
+//!   redistributable: same domain length, cardinality ratio and duration
+//!   distribution shape, at a configurable scale.
+//! * [`queries`] — range-query workloads: uniform positions (real-data
+//!   experiments) or data-following positions (synthetic experiments),
+//!   with the extent fixed to a percentage of the domain.
+//! * [`dist`] — from-scratch Zipf (rejection-inversion) and Normal
+//!   (Box–Muller) samplers, property-tested against analytic moments
+//!   (`rand_distr` is outside this workspace's allowed dependency set).
+//! * [`snapshot`] — deterministic binary dataset snapshots, so harness
+//!   runs and benches can reuse byte-identical inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod queries;
+pub mod snapshot;
+pub mod realistic;
+pub mod synthetic;
+
+pub use queries::{QueryGen, QueryWorkload};
+pub use realistic::{RealDataset, RealisticConfig};
+pub use synthetic::SyntheticConfig;

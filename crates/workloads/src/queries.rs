@@ -1,0 +1,167 @@
+//! Range-query workloads (§5.1).
+//!
+//! > "On the real datasets, we ran range queries uniformly distributed in
+//! > the domain. On the synthetic, the positions of the queries follow the
+//! > distribution of the data. In both cases, the extent of the query
+//! > intervals were fixed to a percentage of the domain size (default
+//! > 0.1%). At each test, we ran 10K random queries."
+
+use hint_core::{Interval, RangeQuery, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How query positions are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryGen {
+    /// Query starts uniform over the domain (real-data experiments).
+    Uniform,
+    /// Query positions follow the data distribution: each query is
+    /// anchored at the start of a random data interval (synthetic
+    /// experiments).
+    DataFollowing,
+}
+
+/// A reproducible batch of range queries.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    queries: Vec<RangeQuery>,
+}
+
+impl QueryWorkload {
+    /// Default batch size used throughout the paper's evaluation.
+    pub const DEFAULT_COUNT: usize = 10_000;
+
+    /// Generates `count` queries of fixed `extent` (in absolute domain
+    /// units; 0 means stabbing queries) over `[min, max]`.
+    pub fn uniform(min: Time, max: Time, extent: Time, count: usize, seed: u64) -> Self {
+        assert!(min <= max);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..count)
+            .map(|_| {
+                let hi_start = max.saturating_sub(extent).max(min);
+                let st = rng.gen_range(min..=hi_start);
+                RangeQuery::new(st, (st + extent).min(max))
+            })
+            .collect();
+        Self { queries }
+    }
+
+    /// Generates `count` queries whose starts coincide with the starts of
+    /// randomly drawn data intervals (data-following distribution).
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    pub fn following(data: &[Interval], extent: Time, count: usize, seed: u64) -> Self {
+        assert!(!data.is_empty());
+        let max = data.iter().map(|s| s.end).max().unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..count)
+            .map(|_| {
+                let anchor = data[rng.gen_range(0..data.len())];
+                let st = anchor.st;
+                RangeQuery::new(st, (st + extent).min(max.max(st)))
+            })
+            .collect();
+        Self { queries }
+    }
+
+    /// Generates queries with extent expressed as a fraction of the domain
+    /// (the paper uses percentages: 0.01%, 0.05%, 0.1%, 0.5%, 1%).
+    pub fn with_extent_fraction(
+        gen: QueryGen,
+        data: &[Interval],
+        fraction: f64,
+        count: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!data.is_empty());
+        let min = data.iter().map(|s| s.st).min().unwrap();
+        let max = data.iter().map(|s| s.end).max().unwrap();
+        let extent = ((max - min) as f64 * fraction) as Time;
+        match gen {
+            QueryGen::Uniform => Self::uniform(min, max, extent, count, seed),
+            QueryGen::DataFollowing => Self::following(data, extent, count, seed),
+        }
+    }
+
+    /// Stabbing-query workload (extent 0).
+    pub fn stabbing(min: Time, max: Time, count: usize, seed: u64) -> Self {
+        Self::uniform(min, max, 0, count, seed)
+    }
+
+    /// The generated queries.
+    pub fn queries(&self) -> &[RangeQuery] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a QueryWorkload {
+    type Item = &'a RangeQuery;
+    type IntoIter = std::slice::Iter<'a, RangeQuery>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.queries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_bounds_and_extent() {
+        let w = QueryWorkload::uniform(100, 10_000, 50, 1_000, 1);
+        assert_eq!(w.len(), 1_000);
+        for q in &w {
+            assert!(q.st >= 100 && q.end <= 10_000);
+            assert!(q.extent() <= 50);
+        }
+    }
+
+    #[test]
+    fn stabbing_has_zero_extent() {
+        let w = QueryWorkload::stabbing(0, 1_000, 100, 2);
+        for q in &w {
+            assert!(q.is_stab());
+        }
+    }
+
+    #[test]
+    fn following_anchors_at_data_starts() {
+        let data = vec![
+            Interval::new(1, 10, 20),
+            Interval::new(2, 500, 600),
+            Interval::new(3, 900, 950),
+        ];
+        let w = QueryWorkload::following(&data, 30, 200, 3);
+        let starts: Vec<Time> = data.iter().map(|s| s.st).collect();
+        for q in &w {
+            assert!(starts.contains(&q.st), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn extent_fraction() {
+        let data = vec![Interval::new(1, 0, 99_999)];
+        let w = QueryWorkload::with_extent_fraction(QueryGen::Uniform, &data, 0.001, 100, 4);
+        for q in &w {
+            assert_eq!(q.extent(), 99); // 0.1% of 99,999
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = QueryWorkload::uniform(0, 1_000_000, 1_000, 500, 9);
+        let b = QueryWorkload::uniform(0, 1_000_000, 1_000, 500, 9);
+        assert_eq!(a.queries(), b.queries());
+    }
+}

@@ -1,0 +1,257 @@
+//! Statistical clones of the paper's four real datasets (Table 4).
+//!
+//! The originals (Aarhus library loans, WebKit git history, NYC taxi
+//! trips, GREEND power readings) are not redistributable, so each clone
+//! reproduces the statistics that drive index behaviour:
+//!
+//! | dataset | cardinality | domain \[s\] | avg duration | duration profile |
+//! |---------|------------:|-----------:|-------------:|------------------|
+//! | BOOKS   | 2,312,602   | 31,507,200 | 6.98% of dom | long, heavy tail |
+//! | WEBKIT  | 2,347,346   | 461,829,284| 7.19% of dom | long, heavy tail |
+//! | TAXIS   | 172,668,003 | 31,768,287 | 758 s        | short            |
+//! | GREEND  | 110,115,441 | 283,356,410| 15 s         | very short       |
+//!
+//! Durations follow a bounded Pareto on `[1, max]` whose shape is solved
+//! numerically so the mean matches Table 4; positions are uniform over the
+//! domain (loans/trips/readings arrive throughout the observation window).
+//! A `scale` divisor shrinks cardinality *and* domain together, keeping
+//! density, duration *ratios* (and therefore replication factors and
+//! selectivities) identical — only absolute throughput changes.
+
+use crate::dist::BoundedPareto;
+use hint_core::{Interval, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four real datasets of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RealDataset {
+    /// Aarhus library book-lending periods (long intervals).
+    Books,
+    /// WebKit file-unchanged periods (very long domain, long intervals).
+    Webkit,
+    /// NYC taxi trips (huge cardinality, short intervals).
+    Taxis,
+    /// Austrian/Italian household power readings (very short intervals).
+    Greend,
+}
+
+impl RealDataset {
+    /// All four datasets, in the paper's column order.
+    pub const ALL: [RealDataset; 4] = [
+        RealDataset::Books,
+        RealDataset::Webkit,
+        RealDataset::Taxis,
+        RealDataset::Greend,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            RealDataset::Books => "BOOKS",
+            RealDataset::Webkit => "WEBKIT",
+            RealDataset::Taxis => "TAXIS",
+            RealDataset::Greend => "GREEND",
+        }
+    }
+
+    /// Table 4 statistics: (cardinality, domain, avg duration, max
+    /// duration).
+    pub fn table4(self) -> (u64, Time, f64, Time) {
+        match self {
+            RealDataset::Books => (2_312_602, 31_507_200, 2_201_320.0, 31_406_400),
+            RealDataset::Webkit => (2_347_346, 461_829_284, 33_206_300.0, 461_815_512),
+            RealDataset::Taxis => (172_668_003, 31_768_287, 758.0, 2_148_385),
+            RealDataset::Greend => (110_115_441, 283_356_410, 15.0, 59_468_008),
+        }
+    }
+
+    /// A sensible default scale for ≈1-minute laptop experiments:
+    /// clones land between ~150K and ~700K intervals.
+    pub fn default_scale(self) -> u64 {
+        match self {
+            RealDataset::Books | RealDataset::Webkit => 16,
+            RealDataset::Taxis => 256,
+            RealDataset::Greend => 256,
+        }
+    }
+}
+
+/// Configuration of a realistic clone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealisticConfig {
+    /// Which Table-4 dataset to clone.
+    pub dataset: RealDataset,
+    /// Cardinality and domain divisor (1 = paper-scale).
+    pub scale: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RealisticConfig {
+    /// Clone `dataset` at its default laptop scale.
+    pub fn new(dataset: RealDataset) -> Self {
+        Self { dataset, scale: dataset.default_scale(), seed: 42 }
+    }
+
+    /// Overrides the scale divisor.
+    pub fn with_scale(mut self, scale: u64) -> Self {
+        assert!(scale >= 1);
+        self.scale = scale;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scaled cardinality.
+    pub fn cardinality(&self) -> usize {
+        let (n, ..) = self.dataset.table4();
+        (n / self.scale).max(1) as usize
+    }
+
+    /// Scaled domain length.
+    pub fn domain(&self) -> Time {
+        let (_, d, ..) = self.dataset.table4();
+        (d / self.scale).max(2)
+    }
+
+    /// Generates the clone. Ids are `0..cardinality`.
+    pub fn generate(&self) -> Vec<Interval> {
+        let (_, _, avg, max_dur) = self.dataset.table4();
+        let domain = self.domain();
+        let n = self.cardinality();
+        let mean = (avg / self.scale as f64).max(1.0);
+        let hi = (max_dur / self.scale).clamp(1, domain - 1);
+        let model = DurationModel::with_mean(hi, mean);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ self.dataset as u64);
+        (0..n)
+            .map(|i| {
+                let dur = model.sample(&mut rng).min(domain - 1);
+                let span = dur - 1; // closed interval of `dur` values
+                let st = rng.gen_range(0..domain - span);
+                Interval::new(i as u64, st, st + span)
+            })
+            .collect()
+    }
+}
+
+/// Duration distribution on `[1, hi]` matching a target mean.
+///
+/// Short-interval datasets (TAXIS, GREEND) fit a pure bounded Pareto. For
+/// long-interval datasets (BOOKS, WEBKIT) the target mean exceeds what any
+/// bounded Pareto on `[1, hi]` can reach (its `α → 0` limit is the
+/// log-uniform mean `≈ hi / ln hi`), so we mix in a "near-maximal" uniform
+/// component on `[hi/2, hi]` — modeling the loans never returned / files
+/// never modified that dominate those datasets' tails — with the mixture
+/// weight solved so the overall mean matches Table 4.
+#[derive(Debug, Clone, Copy)]
+enum DurationModel {
+    Pure(BoundedPareto),
+    Mixture {
+        short: BoundedPareto,
+        /// Probability of drawing from the long (uniform `[hi/2, hi]`)
+        /// component.
+        p_long: f64,
+        hi: Time,
+    },
+}
+
+impl DurationModel {
+    fn with_mean(hi: Time, mean: f64) -> Self {
+        if mean <= 1.0 || hi <= 1 {
+            // durations collapse to the 1-unit floor at this scale
+            // (TAXIS/GREEND clones at aggressive scales): point-like
+            // intervals, exactly the "indexed at the bottom level" regime.
+            return DurationModel::Pure(BoundedPareto::new(1, 1, 1.0));
+        }
+        if let Some(bp) = BoundedPareto::with_mean(1, hi, mean) {
+            return DurationModel::Pure(bp);
+        }
+        let short = BoundedPareto::new(1, hi.max(2), 0.5);
+        let m_short = short.mean();
+        let m_long = 0.75 * hi as f64; // mean of uniform [hi/2, hi]
+        let p_long = ((mean - m_short) / (m_long - m_short)).clamp(0.0, 1.0);
+        DurationModel::Mixture { short, p_long, hi }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Time {
+        match self {
+            DurationModel::Pure(bp) => bp.sample(rng),
+            DurationModel::Mixture { short, p_long, hi } => {
+                if rng.gen::<f64>() < *p_long {
+                    rng.gen_range(hi / 2..=*hi).max(1)
+                } else {
+                    short.sample(rng)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_statistics_match_table4_shape() {
+        for ds in RealDataset::ALL {
+            let cfg = RealisticConfig::new(ds).with_scale(ds.default_scale() * 8);
+            let data = cfg.generate();
+            assert_eq!(data.len(), cfg.cardinality(), "{}", ds.name());
+            let domain = cfg.domain() as f64;
+            let avg = data.iter().map(|s| s.duration() as f64 + 1.0).sum::<f64>()
+                / data.len() as f64;
+            let (_, d4, avg4, _) = ds.table4();
+            let target_pct = avg4 / d4 as f64;
+            let got_pct = avg / domain;
+            let scaled_mean = avg4 / cfg.scale as f64;
+            if scaled_mean >= 2.0 {
+                // long-interval clones (BOOKS, WEBKIT): the mean-matching
+                // solver must land within 35% of Table 4's duration share
+                assert!(
+                    (got_pct - target_pct).abs() / target_pct < 0.35,
+                    "{}: duration {:.4}% vs paper {:.4}%",
+                    ds.name(),
+                    got_pct * 100.0,
+                    target_pct * 100.0
+                );
+            } else {
+                // short-interval clones (TAXIS, GREEND) hit the 1-unit
+                // duration floor at test scale: just require "tiny"
+                assert!(
+                    got_pct < 0.005,
+                    "{}: duration {:.4}% should stay point-like",
+                    ds.name(),
+                    got_pct * 100.0
+                );
+            }
+            for s in &data {
+                assert!(s.end < cfg.domain());
+            }
+        }
+    }
+
+    #[test]
+    fn books_has_long_and_taxis_short_intervals() {
+        let books = RealisticConfig::new(RealDataset::Books).with_scale(128).generate();
+        let taxis = RealisticConfig::new(RealDataset::Taxis).with_scale(4096).generate();
+        let frac = |d: &[Interval], dom: f64| {
+            d.iter().map(|s| s.duration() as f64).sum::<f64>() / d.len() as f64 / dom
+        };
+        let b = frac(&books, (31_507_200 / 128) as f64);
+        let t = frac(&taxis, (31_768_287 / 4096) as f64);
+        assert!(b > 0.03, "BOOKS avg fraction {b}");
+        assert!(t < 0.01, "TAXIS avg fraction {t}");
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let cfg = RealisticConfig::new(RealDataset::Books).with_scale(512);
+        assert_eq!(cfg.generate(), cfg.generate());
+        assert_ne!(cfg.generate(), cfg.with_seed(7).generate());
+    }
+}

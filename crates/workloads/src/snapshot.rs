@@ -1,0 +1,154 @@
+//! Deterministic binary snapshots of generated datasets.
+//!
+//! Generating the larger clones (millions of intervals) takes seconds;
+//! snapshots let the harness and benches reuse a dataset across runs and
+//! guarantee that two experiments see byte-identical inputs. The format is
+//! a tiny self-describing little-endian layout built on [`bytes`]:
+//!
+//! ```text
+//! magic  "HINTDS1\0"  (8 bytes)
+//! count  u64
+//! count * (id u64, st u64, end u64)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hint_core::Interval;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"HINTDS1\0";
+
+/// Serializes a dataset into the snapshot format.
+pub fn encode(data: &[Interval]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + data.len() * 24);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(data.len() as u64);
+    for s in data {
+        buf.put_u64_le(s.id);
+        buf.put_u64_le(s.st);
+        buf.put_u64_le(s.end);
+    }
+    buf.freeze()
+}
+
+/// Errors produced when decoding a snapshot.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The magic header is missing or wrong.
+    BadMagic,
+    /// The byte stream ended before `count` records were read.
+    Truncated,
+    /// A record violates the `st <= end` invariant.
+    InvalidInterval {
+        /// Index of the offending record.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a HINT dataset snapshot (bad magic)"),
+            DecodeError::Truncated => write!(f, "snapshot truncated"),
+            DecodeError::InvalidInterval { index } => {
+                write!(f, "record {index} has st > end")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Deserializes a snapshot produced by [`encode`].
+pub fn decode(mut bytes: Bytes) -> Result<Vec<Interval>, DecodeError> {
+    if bytes.remaining() < MAGIC.len() + 8 {
+        return Err(DecodeError::BadMagic);
+    }
+    let mut magic = [0u8; 8];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let count = bytes.get_u64_le() as usize;
+    if bytes.remaining() < count.saturating_mul(24) {
+        return Err(DecodeError::Truncated);
+    }
+    let mut out = Vec::with_capacity(count);
+    for index in 0..count {
+        let id = bytes.get_u64_le();
+        let st = bytes.get_u64_le();
+        let end = bytes.get_u64_le();
+        if st > end {
+            return Err(DecodeError::InvalidInterval { index });
+        }
+        out.push(Interval { id, st, end });
+    }
+    Ok(out)
+}
+
+/// Writes a snapshot to `path`.
+pub fn save(data: &[Interval], path: &Path) -> io::Result<()> {
+    fs::write(path, encode(data))
+}
+
+/// Loads a snapshot from `path`.
+pub fn load(path: &Path) -> io::Result<Vec<Interval>> {
+    let bytes = Bytes::from(fs::read(path)?);
+    decode(bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+
+    #[test]
+    fn roundtrip() {
+        let data = SyntheticConfig { cardinality: 5_000, ..Default::default() }.generate();
+        let bytes = encode(&data);
+        assert_eq!(decode(bytes).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let bytes = encode(&[]);
+        assert_eq!(decode(bytes).unwrap(), Vec::<Interval>::new());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let bytes = Bytes::from_static(b"NOTADATASET-----");
+        assert_eq!(decode(bytes), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let data = SyntheticConfig { cardinality: 100, ..Default::default() }.generate();
+        let full = encode(&data);
+        let cut = full.slice(0..full.len() - 5);
+        assert_eq!(decode(cut), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn rejects_inverted_interval() {
+        let mut raw = BytesMut::new();
+        raw.put_slice(MAGIC);
+        raw.put_u64_le(1);
+        raw.put_u64_le(7); // id
+        raw.put_u64_le(10); // st
+        raw.put_u64_le(3); // end < st
+        assert_eq!(decode(raw.freeze()), Err(DecodeError::InvalidInterval { index: 0 }));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let data = SyntheticConfig { cardinality: 1_000, ..Default::default() }.generate();
+        let dir = std::env::temp_dir().join("hint_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.bin");
+        save(&data, &path).unwrap();
+        assert_eq!(load(&path).unwrap(), data);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,81 @@
+//! Concurrent usage (§6 future work: parallelization): a shared
+//! `ConcurrentHint` served to reader threads while a writer ingests new
+//! intervals, plus the parallel bulk build.
+//!
+//! ```text
+//! cargo run --example concurrent_reads --release
+//! ```
+
+use hint_suite::hint_core::{ConcurrentHint, Hint, HintOptions, Interval, RangeQuery};
+use hint_suite::workloads::realistic::{RealDataset, RealisticConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+fn main() {
+    let cfg = RealisticConfig::new(RealDataset::Books).with_scale(32);
+    let data = cfg.generate();
+    let domain = cfg.domain();
+    println!("dataset: {} intervals, domain {}", data.len(), domain);
+
+    // parallel bulk build vs serial
+    let t0 = Instant::now();
+    let _serial = Hint::build(&data, 12);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let t0 = Instant::now();
+    let _parallel = Hint::build_parallel(&data, 12, HintOptions::default(), threads);
+    let parallel_s = t0.elapsed().as_secs_f64();
+    println!("bulk build: serial {serial_s:.3}s vs parallel({threads}) {parallel_s:.3}s");
+
+    // shared index: 4 readers + 1 writer for ~1 second
+    let idx = ConcurrentHint::new(&data, 0, domain - 1, 12).with_merge_threshold(16_384);
+    let queries_done = AtomicU64::new(0);
+    let inserts_done = AtomicU64::new(0);
+    let deadline = Instant::now() + std::time::Duration::from_millis(800);
+
+    crossbeam::thread::scope(|s| {
+        for r in 0..4u64 {
+            let idx = &idx;
+            let queries_done = &queries_done;
+            s.spawn(move |_| {
+                let mut out = Vec::new();
+                let mut x = 0x9e3779b97f4a7c15u64 ^ r;
+                let mut n = 0u64;
+                while Instant::now() < deadline {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let st = x % (domain - domain / 1000);
+                    out.clear();
+                    idx.query(RangeQuery::new(st, st + domain / 1000), &mut out);
+                    n += 1;
+                }
+                queries_done.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        let idx = &idx;
+        let inserts_done = &inserts_done;
+        s.spawn(move |_| {
+            let mut i = 0u64;
+            while Instant::now() < deadline {
+                let st = (i * 7_919) % (domain - 1_000);
+                idx.insert(Interval::new(50_000_000 + i, st, st + 500));
+                i += 1;
+            }
+            inserts_done.fetch_add(i, Ordering::Relaxed);
+        });
+    })
+    .unwrap();
+
+    println!(
+        "0.8s mixed run: {} queries ({} q/s) alongside {} inserts",
+        queries_done.load(Ordering::Relaxed),
+        (queries_done.load(Ordering::Relaxed) as f64 / 0.8) as u64,
+        inserts_done.load(Ordering::Relaxed),
+    );
+    assert_eq!(
+        idx.len(),
+        data.len() + inserts_done.load(Ordering::Relaxed) as usize
+    );
+    println!("concurrent_reads OK");
+}

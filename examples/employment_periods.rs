@@ -1,0 +1,67 @@
+//! Temporal-database scenario from the paper's introduction:
+//!
+//! > on a relation storing employment periods: *find the employees who
+//! > were employed sometime in [1/1/2021, 2/28/2021]*.
+//!
+//! Demonstrates range queries, Allen-relation selections (§6 extension)
+//! and duration-constrained queries on an employment-history table.
+//!
+//! ```text
+//! cargo run --example employment_periods --release
+//! ```
+
+use hint_suite::hint_core::{AllenIndex, AllenRelation, Interval, RangeQuery};
+
+/// Days since 2020-01-01 (toy calendar: 30-day months).
+fn day(year: u64, month: u64, dayn: u64) -> u64 {
+    (year - 2020) * 360 + (month - 1) * 30 + (dayn - 1)
+}
+
+fn main() {
+    // employment spells: (employee id, hired, left)
+    let spells = vec![
+        Interval::new(101, day(2020, 1, 1), day(2020, 12, 15)), // left before 2021
+        Interval::new(102, day(2020, 6, 1), day(2021, 1, 20)),  // left in Jan 2021
+        Interval::new(103, day(2021, 1, 10), day(2021, 2, 10)), // short 2021 stint
+        Interval::new(104, day(2020, 3, 1), day(2022, 5, 30)),  // spans the window
+        Interval::new(105, day(2021, 2, 28), day(2021, 9, 1)),  // starts on window end
+        Interval::new(106, day(2021, 3, 5), day(2021, 8, 1)),   // starts after window
+    ];
+    let index = AllenIndex::build(&spells, 12);
+
+    let window = RangeQuery::new(day(2021, 1, 1), day(2021, 2, 28));
+
+    // who was employed sometime in Jan-Feb 2021?
+    let mut employed = Vec::new();
+    index.range(window, &mut employed);
+    employed.sort_unstable();
+    println!("employed in [2021-01-01, 2021-02-28]: {employed:?}");
+    assert_eq!(employed, vec![102, 103, 104, 105]);
+
+    // who was employed for the WHOLE window? (spell contains the window)
+    let mut whole = Vec::new();
+    index.select(AllenRelation::Contains, window, &mut whole);
+    println!("employed for the whole window:        {whole:?}");
+    assert_eq!(whole, vec![104]);
+
+    // whose spell lies entirely INSIDE the window? (during)
+    let mut inside = Vec::new();
+    index.select(AllenRelation::During, window, &mut inside);
+    println!("hired and left inside the window:     {inside:?}");
+    assert_eq!(inside, vec![103]);
+
+    // who left exactly when the window opened or overlaps from the left?
+    let mut left_edge = Vec::new();
+    index.select(AllenRelation::Overlaps, window, &mut left_edge);
+    println!("employed across the window start:     {left_edge:?}");
+    assert_eq!(left_edge, vec![102]);
+
+    // long-tenure filter: employed in the window AND tenure >= 1 year
+    let mut veterans = Vec::new();
+    index.range_with_duration(window, 360, u64::MAX, &mut veterans);
+    veterans.sort_unstable();
+    println!("window + tenure >= 1y:                {veterans:?}");
+    assert_eq!(veterans, vec![104]);
+
+    println!("employment_periods OK");
+}

@@ -1,0 +1,58 @@
+//! Interval overlap join: "which taxi trips overlapped which road-closure
+//! windows?" — an index-nested-loop join over HINT^m vs the classic
+//! plane-sweep join.
+//!
+//! ```text
+//! cargo run --example interval_join --release
+//! ```
+
+use hint_suite::hint_core::{index_join_count, sweep_join_count, Hint, Interval};
+use hint_suite::workloads::realistic::{RealDataset, RealisticConfig};
+use hint_suite::workloads::synthetic::SyntheticConfig;
+use std::time::Instant;
+
+fn main() {
+    // inner side: a TAXIS-shaped trip table
+    let trips_cfg = RealisticConfig::new(RealDataset::Taxis).with_scale(1024);
+    let trips = trips_cfg.generate();
+    let domain = trips_cfg.domain();
+
+    // outer side: a few thousand closure windows over the same domain
+    let closures: Vec<Interval> = SyntheticConfig {
+        domain,
+        cardinality: 4_000,
+        alpha: 1.1,
+        sigma: domain as f64 / 4.0,
+        seed: 99,
+    }
+    .generate()
+    .into_iter()
+    .map(|s| Interval::new(s.id + 10_000_000, s.st, s.end))
+    .collect();
+
+    println!("trips: {}, closure windows: {}, domain: {}", trips.len(), closures.len(), domain);
+
+    // index-nested-loop join over HINT^m
+    let t0 = Instant::now();
+    let index = Hint::build(&trips, 14);
+    let build = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let pairs_inl = index_join_count(&index, &closures);
+    let probe = t0.elapsed().as_secs_f64();
+    println!("index join:  build {build:.3}s + probe {probe:.3}s -> {pairs_inl} pairs");
+
+    // plane-sweep baseline
+    let t0 = Instant::now();
+    let pairs_sweep = sweep_join_count(&closures, &trips);
+    let sweep = t0.elapsed().as_secs_f64();
+    println!("sweep join:  {sweep:.3}s -> {pairs_sweep} pairs");
+
+    assert_eq!(pairs_inl, pairs_sweep, "join algorithms must agree");
+    println!(
+        "\nthe index join amortizes: once built, each new closure batch costs only the probe\n\
+         ({:.1}x the sweep per batch here, without re-sorting the {}-row trip table)",
+        probe / sweep.max(1e-9),
+        trips.len()
+    );
+    println!("interval_join OK");
+}

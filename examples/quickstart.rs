@@ -1,0 +1,50 @@
+//! Quickstart: build a HINT^m index, run range and stabbing queries, and
+//! handle updates through the hybrid index.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use hint_suite::hint_core::{Hint, HybridHint, Interval, RangeQuery};
+
+fn main() {
+    // --- 1. model your records as (id, start, end) triples -------------
+    let data = vec![
+        Interval::new(1, 10, 25), // e.g. a booking from t=10 to t=25
+        Interval::new(2, 20, 40),
+        Interval::new(3, 50, 60),
+        Interval::new(4, 5, 90), // one long-running record
+    ];
+
+    // --- 2. build the read-optimized index ------------------------------
+    // `m` controls the hierarchy depth: 2^m bottom partitions. The §3.3
+    // cost model (hint_core::m_opt) can pick this for you; 10 is a fine
+    // default for small domains.
+    let index = Hint::build(&data, 10);
+
+    // --- 3. range query: everything overlapping [22, 55] ----------------
+    let mut results = Vec::new();
+    index.query(RangeQuery::new(22, 55), &mut results);
+    results.sort_unstable();
+    println!("overlapping [22, 55]: {results:?}"); // [1, 2, 3, 4]
+    assert_eq!(results, vec![1, 2, 3, 4]);
+
+    // --- 4. stabbing query: who is active at t = 15? --------------------
+    results.clear();
+    index.stab(15, &mut results);
+    results.sort_unstable();
+    println!("active at t=15:       {results:?}"); // [1, 4]
+    assert_eq!(results, vec![1, 4]);
+
+    // --- 5. updates: use the hybrid main+delta index (§4.4) -------------
+    let mut live = HybridHint::new(&data, 0, 1_000, 10);
+    live.insert(Interval::new(5, 70, 80));
+    live.delete(&Interval::new(2, 20, 40));
+    results.clear();
+    live.query(RangeQuery::new(0, 100), &mut results);
+    results.sort_unstable();
+    println!("after insert+delete:  {results:?}"); // [1, 3, 4, 5]
+    assert_eq!(results, vec![1, 3, 4, 5]);
+
+    println!("quickstart OK");
+}

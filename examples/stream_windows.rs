@@ -1,0 +1,79 @@
+//! Stream-processor scenario from the paper's introduction:
+//!
+//! > The internal states of window queries in stream processors (e.g.
+//! > Flink/Kafka) can be modeled and managed as intervals.
+//!
+//! Simulates session windows arriving on a stream: each session is an
+//! interval `[open, close]` ingested into the hybrid HINT^m (§4.4), while
+//! watermark-driven queries ask "which sessions overlap this tumbling
+//! window?" and expired sessions are evicted.
+//!
+//! ```text
+//! cargo run --example stream_windows --release
+//! ```
+
+use hint_suite::hint_core::{HybridHint, Interval, RangeQuery};
+
+fn main() {
+    const HORIZON: u64 = 1_000_000; // event-time horizon we pre-declare
+    const TUMBLE: u64 = 10_000; // tumbling window size
+    const RETENTION: u64 = 50_000; // evict sessions older than this
+
+    let mut state = HybridHint::new(&[], 0, HORIZON, 12).with_merge_threshold(4_096);
+
+    // deterministic pseudo-random session generator
+    let mut x = 0x243f6a8885a308d3u64;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+
+    let mut session_id = 0u64;
+    let mut open_sessions: Vec<Interval> = Vec::new();
+    let mut evicted = 0usize;
+    let mut reported = 0usize;
+
+    for window_no in 0..40u64 {
+        let wm = window_no * TUMBLE; // watermark advances per tick
+        // ~200 new sessions per tick, lengths up to 30k (crossing windows)
+        for _ in 0..200 {
+            let st = wm + next() % TUMBLE;
+            let len = next() % 30_000;
+            let s = Interval::new(session_id, st, (st + len).min(HORIZON - 1));
+            session_id += 1;
+            state.insert(s);
+            open_sessions.push(s);
+        }
+        // fire the tumbling window query at the watermark
+        let q = RangeQuery::new(wm, wm + TUMBLE - 1);
+        let mut hits = Vec::new();
+        state.query(q, &mut hits);
+        reported += hits.len();
+        if window_no % 8 == 0 {
+            println!(
+                "watermark {wm:>7}: {:>5} sessions overlap window [{}, {}]",
+                hits.len(),
+                q.st,
+                q.end
+            );
+        }
+        // evict sessions that closed long before the watermark
+        let horizon = wm.saturating_sub(RETENTION);
+        open_sessions.retain(|s| {
+            if s.end < horizon {
+                assert!(state.delete(s), "session {} must be evictable", s.id);
+                evicted += 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    println!("\ningested {session_id} sessions, evicted {evicted}, reported {reported} window hits");
+    println!("live state: {} sessions ({} in delta)", state.len(), state.delta_len());
+    assert_eq!(state.len(), session_id as usize - evicted);
+    println!("stream_windows OK");
+}

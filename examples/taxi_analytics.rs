@@ -1,0 +1,82 @@
+//! Taxi-trip analytics from the paper's introduction:
+//!
+//! > on taxi trips data: *find the taxis which were active (on a trip)
+//! > between 15:00 and 17:00 on 3/3/2021*.
+//!
+//! Builds a TAXIS-shaped clone (§5.1 / Table 4), compares HINT^m against
+//! a 1D-grid on rush-hour window queries, and prints a small
+//! activity-by-hour report.
+//!
+//! ```text
+//! cargo run --example taxi_analytics --release
+//! ```
+
+use hint_suite::grid1d::Grid1D;
+use hint_suite::hint_core::{Hint, RangeQuery};
+use hint_suite::workloads::realistic::{RealDataset, RealisticConfig};
+use std::time::Instant;
+
+fn main() {
+    // a TAXIS-like workload: hundreds of thousands of short trips
+    let cfg = RealisticConfig::new(RealDataset::Taxis).with_scale(512);
+    let trips = cfg.generate();
+    let domain = cfg.domain();
+    println!("trips: {}, domain: {} seconds (~{} days)", trips.len(), domain, domain / 86_400);
+
+    let t0 = Instant::now();
+    let hint = Hint::build(&trips, 16);
+    println!("HINT^m built in {:.3}s ({} entries)", t0.elapsed().as_secs_f64(), hint.entries());
+    let t0 = Instant::now();
+    let grid = Grid1D::build(&trips, 4_000);
+    println!("1D-grid built in {:.3}s", t0.elapsed().as_secs_f64());
+
+    // the scaled clone keeps the trip-length statistics but shrinks the
+    // observation window; treat it as `hours` equal slices and ask:
+    // "taxis active between slice 15 and slice 17 of the last day"
+    let hour = (domain / 24).max(1);
+    let window = RangeQuery::new(15 * hour, 17 * hour);
+    let mut active = Vec::new();
+    hint.query(window, &mut active);
+    println!("taxis active in slices 15-17: {}", active.len());
+
+    let mut check = Vec::new();
+    grid.query(window, &mut check);
+    assert_eq!(active.len(), check.len(), "indexes must agree");
+
+    // activity at each slice boundary (stabbing queries)
+    println!("\nactive trips at each of the 24 slice boundaries:");
+    for h in 0..24 {
+        let mut out = Vec::new();
+        hint.stab(h * hour, &mut out);
+        println!("  slice {h:>2}  {:>6}  {}", out.len(), "#".repeat(out.len() / 20 + 1));
+    }
+
+    // micro head-to-head on 2000 window queries of 2 slices each
+    let wlen = 2 * hour;
+    let windows: Vec<RangeQuery> = (0..2_000u64)
+        .map(|i| {
+            let st = (i * 104_729) % (domain - wlen);
+            RangeQuery::new(st, st + wlen)
+        })
+        .collect();
+    let mut out = Vec::new();
+    let t0 = Instant::now();
+    let mut total = 0usize;
+    for &q in &windows {
+        out.clear();
+        hint.query(q, &mut out);
+        total += out.len();
+    }
+    let hint_qps = windows.len() as f64 / t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let mut total_g = 0usize;
+    for &q in &windows {
+        out.clear();
+        grid.query(q, &mut out);
+        total_g += out.len();
+    }
+    let grid_qps = windows.len() as f64 / t0.elapsed().as_secs_f64();
+    assert_eq!(total, total_g);
+    println!("\n2-slice window queries: HINT^m {hint_qps:.0} q/s vs 1D-grid {grid_qps:.0} q/s");
+    println!("taxi_analytics OK");
+}

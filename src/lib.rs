@@ -1,0 +1,19 @@
+//! Umbrella crate for the HINT reproduction workspace.
+//!
+//! This crate re-exports the public surface of every member crate so that
+//! the workspace-level integration tests (`tests/`) and the runnable
+//! examples (`examples/`) can exercise the whole system through one import.
+//!
+//! The actual implementations live in:
+//!
+//! * [`hint_core`] — HINT and HINT^m, the paper's contribution,
+//! * [`interval_tree`], [`timeline_index`], [`grid1d`], [`period_index`] —
+//!   the four competitor indexes from the paper's related-work section,
+//! * [`workloads`] — synthetic and realistic data/query generators.
+
+pub use grid1d;
+pub use hint_core;
+pub use interval_tree;
+pub use period_index;
+pub use timeline_index;
+pub use workloads;

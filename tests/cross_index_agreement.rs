@@ -1,0 +1,141 @@
+//! Cross-index agreement: every index in the workspace must return exactly
+//! the same result set as the linear-scan oracle, on every dataset shape
+//! the paper evaluates (long intervals, short intervals, skewed synthetic)
+//! and on every query extent of Figure 13.
+
+use hint_suite::grid1d::Grid1D;
+use hint_suite::hint_core::{
+    CfLayout, Eval, Hint, HintCf, HintMBase, HintMSubs, HintOptions, IntervalId, IntervalIndex,
+    RangeQuery, ScanOracle, SubsConfig,
+};
+use hint_suite::interval_tree::IntervalTree;
+use hint_suite::period_index::PeriodIndex;
+use hint_suite::timeline_index::TimelineIndex;
+use hint_suite::workloads::queries::QueryWorkload;
+use hint_suite::workloads::realistic::{RealDataset, RealisticConfig};
+use hint_suite::workloads::synthetic::SyntheticConfig;
+
+fn sorted(mut v: Vec<IntervalId>) -> Vec<IntervalId> {
+    v.sort_unstable();
+    v
+}
+
+fn check_all(data: &[hint_suite::hint_core::Interval], label: &str) {
+    let oracle = ScanOracle::new(data);
+    let max = data.iter().map(|s| s.end).max().unwrap();
+    let min = data.iter().map(|s| s.st).min().unwrap();
+
+    let indexes: Vec<(&str, Box<dyn IntervalIndex>)> = vec![
+        ("interval-tree", Box::new(IntervalTree::build(data))),
+        ("timeline", Box::new(TimelineIndex::build_with_spacing(data, 128))),
+        ("grid1d", Box::new(Grid1D::build(data, 256))),
+        ("period", Box::new(PeriodIndex::build(data, 32, 4))),
+        ("period-adaptive", Box::new(PeriodIndex::build_adaptive(data, 32))),
+        ("hint-cf-sparse", Box::new(HintCf::build(data, 22, CfLayout::Sparse))),
+        ("hint-m-base", Box::new(HintMBase::build(data, 12))),
+        ("hint-m-subs", Box::new(HintMSubs::build(data, 12, SubsConfig::full()))),
+        (
+            "hint-m-subs-uf",
+            Box::new(HintMSubs::build(data, 12, SubsConfig::update_friendly())),
+        ),
+        ("hint", Box::new(Hint::build(data, 12))),
+        (
+            "hint-rowwise",
+            Box::new(Hint::build_with_options(
+                data,
+                12,
+                HintOptions { sparse: true, columnar: false },
+            )),
+        ),
+    ];
+
+    for extent_frac in [0.0, 0.0001, 0.001, 0.01, 0.1] {
+        let extent = ((max - min) as f64 * extent_frac) as u64;
+        let workload = QueryWorkload::uniform(min, max, extent, 200, 7);
+        for q in &workload {
+            let want = oracle.query_sorted(*q);
+            for (name, idx) in &indexes {
+                let mut got = Vec::new();
+                idx.query(*q, &mut got);
+                assert_eq!(sorted(got), want, "{label}/{name} disagrees on {q:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn agreement_on_books_like_clone() {
+    let data = RealisticConfig::new(RealDataset::Books).with_scale(1024).generate();
+    check_all(&data, "BOOKS");
+}
+
+#[test]
+fn agreement_on_taxis_like_clone() {
+    let data = RealisticConfig::new(RealDataset::Taxis).with_scale(16384).generate();
+    check_all(&data, "TAXIS");
+}
+
+#[test]
+fn agreement_on_skewed_synthetic() {
+    let data = SyntheticConfig {
+        domain: 100_000,
+        cardinality: 5_000,
+        alpha: 1.05,
+        sigma: 2_000.0,
+        seed: 3,
+    }
+    .generate();
+    check_all(&data, "synthetic-skewed");
+}
+
+#[test]
+fn agreement_on_short_synthetic() {
+    let data = SyntheticConfig {
+        domain: 50_000,
+        cardinality: 8_000,
+        alpha: 1.8,
+        sigma: 20_000.0,
+        seed: 5,
+    }
+    .generate();
+    check_all(&data, "synthetic-short");
+}
+
+#[test]
+fn base_eval_strategies_agree_everywhere() {
+    let data = SyntheticConfig {
+        domain: 65_536,
+        cardinality: 4_000,
+        alpha: 1.1,
+        sigma: 5_000.0,
+        seed: 11,
+    }
+    .generate();
+    let idx = HintMBase::build(&data, 10);
+    let workload = QueryWorkload::uniform(0, 65_535, 500, 500, 13);
+    for q in &workload {
+        let mut td = Vec::new();
+        let mut bu = Vec::new();
+        idx.query_with(*q, Eval::TopDown, &mut td);
+        idx.query_with(*q, Eval::BottomUp, &mut bu);
+        assert_eq!(sorted(td), sorted(bu), "{q:?}");
+    }
+}
+
+#[test]
+fn stabbing_queries_agree() {
+    let data = RealisticConfig::new(RealDataset::Greend).with_scale(65536).generate();
+    let oracle = ScanOracle::new(&data);
+    let max = data.iter().map(|s| s.end).max().unwrap();
+    let hint = Hint::build(&data, 14);
+    let tree = IntervalTree::build(&data);
+    for t in (0..max).step_by((max as usize / 500).max(1)) {
+        let want = oracle.query_sorted(RangeQuery::stab(t));
+        let mut a = Vec::new();
+        hint.stab(t, &mut a);
+        let mut b = Vec::new();
+        tree.stab(t, &mut b);
+        assert_eq!(sorted(a), want, "hint stab {t}");
+        assert_eq!(sorted(b), want, "tree stab {t}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Edge-case behaviour that the paper's description leaves implicit:
+//! empty indexes, duplicate endpoints, whole-domain intervals, degenerate
+//! domains, queries clamped at domain borders, and tombstone-heavy states.
+
+use hint_suite::hint_core::{
+    CfLayout, Domain, Hint, HintCf, HintMBase, HintMSubs, HintOptions, HybridHint, Interval,
+    RangeQuery, ScanOracle, SubsConfig,
+};
+
+#[test]
+fn empty_index_with_explicit_domain_returns_nothing() {
+    let domain = Domain::new(0, 1023, 8);
+    let hint = Hint::build_with_domain(&[], domain, HintOptions::default());
+    let subs = HintMSubs::build_with_domain(&[], domain, SubsConfig::full());
+    let base = HintMBase::build_with_domain(&[], domain);
+    let mut out = Vec::new();
+    for q in [RangeQuery::new(0, 1023), RangeQuery::stab(512)] {
+        hint.query(q, &mut out);
+        subs.query(q, &mut out);
+        base.query(q, &mut out);
+        assert!(out.is_empty(), "{q:?}");
+    }
+    assert!(hint.is_empty() && subs.is_empty() && base.is_empty());
+    assert_eq!(hint.entries(), 0);
+}
+
+#[test]
+fn identical_intervals_all_reported() {
+    // 50 records with the exact same endpoints but distinct ids
+    let data: Vec<Interval> = (0..50).map(|i| Interval::new(i, 100, 200)).collect();
+    let idx = Hint::build(&data, 8);
+    let mut out = Vec::new();
+    idx.query(RangeQuery::new(150, 150), &mut out);
+    out.sort_unstable();
+    assert_eq!(out, (0..50).collect::<Vec<_>>());
+    out.clear();
+    idx.query(RangeQuery::new(0, 99), &mut out);
+    assert!(out.is_empty());
+}
+
+#[test]
+fn whole_domain_intervals_live_at_the_root() {
+    let mut data: Vec<Interval> = (0..10).map(|i| Interval::new(i, 0, 4095)).collect();
+    data.push(Interval::new(99, 2000, 2005));
+    let idx = Hint::build(&data, 10);
+    // the root partition holds the 10 full-span intervals once each; the
+    // short interval lands in one or two partitions
+    assert!(idx.entries() == 11 || idx.entries() == 12, "{}", idx.entries());
+    let mut out = Vec::new();
+    idx.stab(0, &mut out);
+    assert_eq!(out.len(), 10);
+    out.clear();
+    idx.query(RangeQuery::new(2001, 2002), &mut out);
+    assert_eq!(out.len(), 11);
+}
+
+#[test]
+fn single_value_domain() {
+    let data = vec![Interval::new(1, 7, 7), Interval::new(2, 7, 7)];
+    for layout in [CfLayout::Dense, CfLayout::Sparse] {
+        let cf = HintCf::build_exact(&data, layout);
+        let mut out = Vec::new();
+        cf.stab(7, &mut out);
+        assert_eq!(out.len(), 2, "{layout:?}");
+    }
+    let hint = Hint::build(&data, 10);
+    let mut out = Vec::new();
+    hint.query(RangeQuery::new(0, 100), &mut out);
+    assert_eq!(out.len(), 2);
+}
+
+#[test]
+fn queries_straddling_domain_borders_are_clamped() {
+    let data = vec![Interval::new(1, 1000, 2000), Interval::new(2, 1500, 1600)];
+    let idx = Hint::build(&data, 8);
+    let mut out = Vec::new();
+    idx.query(RangeQuery::new(0, u64::MAX), &mut out);
+    assert_eq!(out.len(), 2);
+    out.clear();
+    idx.query(RangeQuery::new(0, 999), &mut out);
+    assert!(out.is_empty());
+    out.clear();
+    idx.query(RangeQuery::new(2001, u64::MAX), &mut out);
+    assert!(out.is_empty());
+    out.clear();
+    idx.query(RangeQuery::new(0, 1000), &mut out);
+    assert_eq!(out, vec![1]);
+}
+
+#[test]
+fn tombstone_heavy_index_still_correct() {
+    let data: Vec<Interval> =
+        (0..400).map(|i| Interval::new(i, i * 10, i * 10 + 500)).collect();
+    let mut idx = Hint::build(&data, 10);
+    let mut oracle = ScanOracle::new(&data);
+    // delete 90% of everything
+    for s in data.iter().filter(|s| s.id % 10 != 0) {
+        assert!(idx.delete(s));
+        assert!(oracle.delete(s.id));
+    }
+    assert_eq!(idx.len(), 40);
+    for st in (0..4500u64).step_by(97) {
+        let q = RangeQuery::new(st, st + 300);
+        let mut got = Vec::new();
+        idx.query(q, &mut got);
+        got.sort_unstable();
+        assert_eq!(got, oracle.query_sorted(q), "{q:?}");
+    }
+}
+
+#[test]
+fn hybrid_starting_empty_and_growing() {
+    let mut idx = HybridHint::new(&[], 0, 10_000, 10).with_merge_threshold(100);
+    let mut oracle = ScanOracle::new(&[]);
+    assert!(idx.is_empty());
+    for i in 0..350u64 {
+        let st = (i * 29) % 9_000;
+        let s = Interval::new(i, st, st + 100);
+        idx.insert(s);
+        oracle.insert(s);
+    }
+    assert_eq!(idx.len(), 350);
+    for st in (0..10_000u64).step_by(111) {
+        let q = RangeQuery::new(st, (st + 50).min(10_000));
+        let mut got = Vec::new();
+        idx.query(q, &mut got);
+        got.sort_unstable();
+        assert_eq!(got, oracle.query_sorted(q), "{q:?}");
+    }
+}
+
+#[test]
+fn adjacent_interval_boundaries_closed_semantics() {
+    // two intervals touching end-to-start, plus one isolated point between
+    let data = vec![
+        Interval::new(1, 0, 100),
+        Interval::new(2, 100, 200),
+        Interval::new(3, 100, 100),
+    ];
+    let idx = Hint::build(&data, 8);
+    let mut out = Vec::new();
+    idx.stab(100, &mut out);
+    out.sort_unstable();
+    assert_eq!(out, vec![1, 2, 3]);
+    out.clear();
+    idx.stab(99, &mut out);
+    assert_eq!(out, vec![1]);
+    out.clear();
+    idx.stab(101, &mut out);
+    assert_eq!(out, vec![2]);
+}
+
+#[test]
+fn build_parallel_on_tiny_inputs() {
+    let data = vec![Interval::new(1, 5, 9)];
+    for threads in [1, 4, 64] {
+        let idx = Hint::build_parallel(&data, 6, HintOptions::default(), threads);
+        let mut out = Vec::new();
+        idx.query(RangeQuery::new(7, 8), &mut out);
+        assert_eq!(out, vec![1], "threads={threads}");
+    }
+}

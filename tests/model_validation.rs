@@ -1,0 +1,90 @@
+//! Validates the paper's analytical claims (Table 7, Lemma 4, Theorem 1)
+//! against measurements on the realistic clones.
+
+use hint_suite::hint_core::cost_model::{self, ModelInput};
+use hint_suite::hint_core::{Betas, Hint, WorkloadStats};
+use hint_suite::workloads::queries::QueryWorkload;
+use hint_suite::workloads::realistic::{RealDataset, RealisticConfig};
+
+#[test]
+fn lemma4_avg_compared_partitions_below_four_ish() {
+    for (ds, scale) in [(RealDataset::Books, 256), (RealDataset::Taxis, 8192)] {
+        let cfg = RealisticConfig::new(ds).with_scale(scale);
+        let data = cfg.generate();
+        let idx = Hint::build(&data, 14);
+        let extent = (cfg.domain() as f64 * 0.001) as u64;
+        let queries = QueryWorkload::uniform(0, cfg.domain() - 1, extent, 2_000, 1);
+        let mut ws = WorkloadStats::default();
+        let mut out = Vec::new();
+        for &q in queries.queries() {
+            out.clear();
+            ws.push(idx.query_stats(q, &mut out));
+        }
+        let avg = ws.avg_partitions_compared();
+        // Lemma 4: the expectation is 4; allow slack for boundary effects
+        assert!(avg <= 4.5, "{}: avg compared partitions = {avg}", ds.name());
+        assert!(avg >= 0.5, "{}: instrumentation broken ({avg})", ds.name());
+    }
+}
+
+#[test]
+fn theorem1_replication_factor_model_tracks_measurement() {
+    // long intervals (BOOKS-like): k substantially above 1; model within 2x
+    let cfg = RealisticConfig::new(RealDataset::Books).with_scale(256);
+    let data = cfg.generate();
+    let input = ModelInput::from_data(&data, 0.0);
+    for m in [8, 10, 12] {
+        let idx = Hint::build(&data, m);
+        let k_exp = idx.entries() as f64 / idx.len() as f64;
+        let k_model = cost_model::replication_factor(&input, m);
+        assert!(
+            k_model / k_exp < 2.0 && k_exp / k_model < 2.0,
+            "m={m}: model {k_model:.2} vs measured {k_exp:.2}"
+        );
+    }
+
+    // short intervals (TAXIS-like): k stays near 1
+    let cfg = RealisticConfig::new(RealDataset::Taxis).with_scale(4096);
+    let data = cfg.generate();
+    let idx = Hint::build(&data, 12);
+    let k_exp = idx.entries() as f64 / idx.len() as f64;
+    assert!(k_exp < 1.6, "short intervals should barely replicate: {k_exp}");
+}
+
+#[test]
+fn m_opt_model_sane_across_datasets() {
+    for ds in RealDataset::ALL {
+        let cfg = RealisticConfig::new(ds).with_scale(ds.default_scale() * 16);
+        let data = cfg.generate();
+        let lambda_q = cfg.domain() as f64 * 0.001;
+        let input = ModelInput::from_data(&data, lambda_q);
+        let m = cost_model::m_opt(&input, &Betas::DEFAULT, 0.03);
+        assert!(m >= 1 && m <= input.max_m(), "{}: m_opt = {m}", ds.name());
+        // cost must be non-increasing in m and converged at m_opt
+        let at_opt = cost_model::estimated_cost(&input, &Betas::DEFAULT, m);
+        let at_max = cost_model::estimated_cost(&input, &Betas::DEFAULT, input.max_m());
+        assert!(at_opt <= at_max * 1.031, "{}: not converged", ds.name());
+    }
+}
+
+#[test]
+fn theorem2_comparisons_shrink_with_m() {
+    let cfg = RealisticConfig::new(RealDataset::Books).with_scale(256);
+    let data = cfg.generate();
+    let extent = (cfg.domain() as f64 * 0.001) as u64;
+    let queries = QueryWorkload::uniform(0, cfg.domain() - 1, extent, 1_000, 3);
+    let mut prev = f64::INFINITY;
+    for m in [6, 9, 12, 15] {
+        let idx = Hint::build(&data, m);
+        let mut ws = WorkloadStats::default();
+        let mut out = Vec::new();
+        for &q in queries.queries() {
+            out.clear();
+            ws.push(idx.query_stats(q, &mut out));
+        }
+        let avg = ws.avg_comparisons();
+        // O(n / 2^m): must drop (or stay negligible) as m grows
+        assert!(avg <= prev * 1.10 + 8.0, "m={m}: {avg} vs prev {prev}");
+        prev = avg;
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * every HINT variant returns exactly the oracle's result set for
+//!   arbitrary interval collections and queries;
+//! * Algorithm 1's partition assignment covers each mapped interval
+//!   exactly once with exactly one original;
+//! * arbitrary insert/delete interleavings keep all updatable indexes
+//!   consistent with the oracle;
+//! * query results never contain duplicates or tombstones.
+
+use hint_suite::hint_core::{
+    assign, CfLayout, Hint, HintCf, HintMBase, HintMSubs, Interval, IntervalId, RangeQuery,
+    ScanOracle, SubsConfig, TOMBSTONE,
+};
+use proptest::prelude::*;
+
+fn sorted(mut v: Vec<IntervalId>) -> Vec<IntervalId> {
+    v.sort_unstable();
+    v
+}
+
+/// Strategy: a collection of 1-120 intervals over a configurable domain.
+fn intervals(max_val: u64) -> impl Strategy<Value = Vec<Interval>> {
+    prop::collection::vec((0..max_val, 0..max_val), 1..120).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b))| Interval::new(i as u64, a.min(b), a.max(b)))
+            .collect()
+    })
+}
+
+fn query(max_val: u64) -> impl Strategy<Value = RangeQuery> {
+    (0..max_val, 0..max_val).prop_map(|(a, b)| RangeQuery::new(a.min(b), a.max(b)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hint_matches_oracle(data in intervals(10_000), q in query(10_000), m in 1u32..14) {
+        let oracle = ScanOracle::new(&data);
+        let idx = Hint::build(&data, m);
+        let mut got = Vec::new();
+        idx.query(q, &mut got);
+        prop_assert_eq!(sorted(got), oracle.query_sorted(q));
+    }
+
+    #[test]
+    fn hintm_subs_matches_oracle(
+        data in intervals(5_000),
+        q in query(5_000),
+        m in 1u32..12,
+        sort in any::<bool>(),
+        sopt in any::<bool>(),
+    ) {
+        let oracle = ScanOracle::new(&data);
+        let idx = HintMSubs::build(&data, m, SubsConfig { sort, sopt });
+        let mut got = Vec::new();
+        idx.query(q, &mut got);
+        prop_assert_eq!(sorted(got), oracle.query_sorted(q));
+    }
+
+    #[test]
+    fn hintm_base_matches_oracle(data in intervals(5_000), q in query(5_000), m in 1u32..12) {
+        let oracle = ScanOracle::new(&data);
+        let idx = HintMBase::build(&data, m);
+        let mut got = Vec::new();
+        idx.query(q, &mut got);
+        prop_assert_eq!(sorted(got), oracle.query_sorted(q));
+    }
+
+    #[test]
+    fn hint_cf_exact_on_lossless_domain(data in intervals(512), q in query(512)) {
+        let oracle = ScanOracle::new(&data);
+        let idx = HintCf::build_exact(&data, CfLayout::Sparse);
+        prop_assume!(idx.is_exact());
+        let mut got = Vec::new();
+        idx.query(q, &mut got);
+        prop_assert_eq!(sorted(got), oracle.query_sorted(q));
+    }
+
+    #[test]
+    fn results_have_no_duplicates_and_no_tombstones(
+        data in intervals(4_096),
+        q in query(4_096),
+    ) {
+        let idx = Hint::build(&data, 10);
+        let mut got = Vec::new();
+        idx.query(q, &mut got);
+        prop_assert!(!got.contains(&TOMBSTONE));
+        let n = got.len();
+        got.sort_unstable();
+        got.dedup();
+        prop_assert_eq!(n, got.len());
+    }
+
+    #[test]
+    fn assignment_covers_exactly_once(m in 1u32..10, raw in (0u64..1024, 0u64..1024)) {
+        let max = (1u64 << m) - 1;
+        let a = raw.0.min(raw.1).min(max);
+        let b = raw.0.max(raw.1).min(max);
+        let asgs = assign::assignments(m, a, b);
+        // exactly one original
+        prop_assert_eq!(asgs.iter().filter(|x| x.kind.is_original()).count(), 1);
+        // disjoint cover of [a, b]
+        let mut covered = vec![0u32; (max + 1) as usize];
+        for x in &asgs {
+            let shift = m - x.level;
+            let lo = x.offset << shift;
+            let hi = ((x.offset + 1) << shift) - 1;
+            for v in lo..=hi {
+                covered[v as usize] += 1;
+            }
+        }
+        for (v, &c) in covered.iter().enumerate() {
+            let inside = (v as u64) >= a && (v as u64) <= b;
+            prop_assert_eq!(c, u32::from(inside), "value {}", v);
+        }
+        // at most two partitions per level
+        for l in 0..=m {
+            prop_assert!(asgs.iter().filter(|x| x.level == l).count() <= 2);
+        }
+    }
+
+    #[test]
+    fn update_interleavings_match_oracle(
+        initial in intervals(2_048),
+        ops in prop::collection::vec((any::<bool>(), 0u64..2_000, 0u64..48), 1..60),
+        q in query(2_048),
+    ) {
+        let domain = hint_suite::hint_core::Domain::new(0, 2_047, 11);
+        let mut subs = HintMSubs::build_with_domain(
+            &initial, domain, SubsConfig::update_friendly());
+        let mut oracle = ScanOracle::new(&initial);
+        let mut next_id = 1_000_000u64;
+        let mut live: Vec<Interval> = initial.clone();
+        for (is_insert, st, len) in ops {
+            if is_insert || live.is_empty() {
+                let s = Interval::new(next_id, st, (st + len).min(2_047));
+                next_id += 1;
+                subs.insert(s);
+                oracle.insert(s);
+                live.push(s);
+            } else {
+                let victim = live.swap_remove((st as usize) % live.len());
+                prop_assert_eq!(subs.delete(&victim), oracle.delete(victim.id));
+            }
+        }
+        let mut got = Vec::new();
+        subs.query(q, &mut got);
+        prop_assert_eq!(sorted(got), oracle.query_sorted(q));
+    }
+}

@@ -1,0 +1,108 @@
+//! Table-10-style mixed workloads: every updatable index must stay
+//! consistent with the oracle through a 90%-prefill / insert / delete /
+//! query cycle, including the hybrid index across a forced merge.
+
+use hint_suite::grid1d::Grid1D;
+use hint_suite::hint_core::{
+    Domain, HintMSubs, HybridHint, Interval, IntervalId, RangeQuery, ScanOracle, SubsConfig,
+};
+use hint_suite::interval_tree::IntervalTree;
+use hint_suite::period_index::PeriodIndex;
+use hint_suite::workloads::realistic::{RealDataset, RealisticConfig};
+
+fn sorted(mut v: Vec<IntervalId>) -> Vec<IntervalId> {
+    v.sort_unstable();
+    v
+}
+
+fn mixed_cycle(data: Vec<Interval>, domain_max: u64) {
+    let split = data.len() * 9 / 10;
+    let (old, new) = data.split_at(split);
+
+    let mut oracle = ScanOracle::new(old);
+    let mut tree = IntervalTree::with_domain(0, domain_max);
+    let mut grid = Grid1D::with_domain(0, domain_max, 64);
+    let mut period = PeriodIndex::with_domain(0, domain_max, 16, 4);
+    let dom = Domain::new(0, domain_max, 10);
+    let mut subs = HintMSubs::build_with_domain(old, dom, SubsConfig::update_friendly());
+    let mut hybrid = HybridHint::new(old, 0, domain_max, 10).with_merge_threshold(64);
+    for &s in old {
+        tree.insert(s);
+        grid.insert(s);
+        period.insert(s);
+    }
+
+    // interleave inserts and deletes
+    let mut to_delete = old.iter().copied().step_by(7);
+    for (i, &s) in new.iter().enumerate() {
+        oracle.insert(s);
+        tree.insert(s);
+        grid.insert(s);
+        period.insert(s);
+        subs.insert(s);
+        hybrid.insert(s);
+        if i % 3 == 0 {
+            if let Some(victim) = to_delete.next() {
+                assert!(oracle.delete(victim.id));
+                assert!(tree.delete(&victim));
+                assert!(grid.delete(&victim));
+                assert!(period.delete(&victim));
+                assert!(subs.delete(&victim));
+                assert!(hybrid.delete(&victim));
+            }
+        }
+    }
+    hybrid.merge();
+
+    let step = (domain_max as usize / 200).max(1);
+    for st in (0..domain_max).step_by(step) {
+        let q = RangeQuery::new(st, (st + domain_max / 100).min(domain_max));
+        let want = oracle.query_sorted(q);
+        let mut buf = Vec::new();
+        tree.query(q, &mut buf);
+        assert_eq!(sorted(std::mem::take(&mut buf)), want, "tree {q:?}");
+        grid.query(q, &mut buf);
+        assert_eq!(sorted(std::mem::take(&mut buf)), want, "grid {q:?}");
+        period.query(q, &mut buf);
+        assert_eq!(sorted(std::mem::take(&mut buf)), want, "period {q:?}");
+        subs.query(q, &mut buf);
+        assert_eq!(sorted(std::mem::take(&mut buf)), want, "subs {q:?}");
+        hybrid.query(q, &mut buf);
+        assert_eq!(sorted(std::mem::take(&mut buf)), want, "hybrid {q:?}");
+    }
+}
+
+#[test]
+fn mixed_cycle_on_long_intervals() {
+    let cfg = RealisticConfig::new(RealDataset::Books).with_scale(2048);
+    let domain_max = cfg.domain() - 1;
+    mixed_cycle(cfg.generate(), domain_max);
+}
+
+#[test]
+fn mixed_cycle_on_short_intervals() {
+    let cfg = RealisticConfig::new(RealDataset::Taxis).with_scale(32768);
+    let domain_max = cfg.domain() - 1;
+    mixed_cycle(cfg.generate(), domain_max);
+}
+
+#[test]
+fn hybrid_auto_merge_during_heavy_inserts() {
+    let data = RealisticConfig::new(RealDataset::Books).with_scale(4096).generate();
+    let max = data.iter().map(|s| s.end).max().unwrap();
+    let mut hybrid = HybridHint::new(&data, 0, max, 10).with_merge_threshold(50);
+    let mut oracle = ScanOracle::new(&data);
+    for i in 0..500u64 {
+        let st = (i * 613) % (max - 100);
+        let s = Interval::new(7_000_000 + i, st, st + 100);
+        hybrid.insert(s);
+        oracle.insert(s);
+    }
+    assert!(hybrid.delta_len() < 50, "auto-merge must bound the delta");
+    for st in (0..max).step_by((max as usize / 100).max(1)) {
+        let q = RangeQuery::new(st, (st + 500).min(max));
+        let mut got = Vec::new();
+        hybrid.query(q, &mut got);
+        assert_eq!(sorted(got), oracle.query_sorted(q), "{q:?}");
+    }
+}
