@@ -8,7 +8,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use workloads::realistic::RealDataset;
 
 fn bench_construction(c: &mut Criterion) {
-    let cfg = RunConfig { scale_mul: 16, ..RunConfig::default() };
+    let cfg = RunConfig {
+        scale_mul: 16,
+        ..RunConfig::default()
+    };
     let ds = datasets::real(RealDataset::Books, &cfg);
     let data = &ds.data;
 
@@ -27,7 +30,9 @@ fn bench_construction(c: &mut Criterion) {
     group.bench_function("hint_cf_sparse", |b| {
         b.iter(|| hint_core::HintCf::build(data, 20, hint_core::CfLayout::Sparse))
     });
-    group.bench_function("hint_m_opt", |b| b.iter(|| hint_core::Hint::build(data, 10)));
+    group.bench_function("hint_m_opt", |b| {
+        b.iter(|| hint_core::Hint::build(data, 10))
+    });
     group.finish();
 }
 

@@ -11,7 +11,10 @@ use workloads::queries::QueryWorkload;
 use workloads::realistic::RealDataset;
 
 fn bench_optimizations(c: &mut Criterion) {
-    let cfg = RunConfig { scale_mul: 8, ..RunConfig::default() };
+    let cfg = RunConfig {
+        scale_mul: 8,
+        ..RunConfig::default()
+    };
     let ds = datasets::real(RealDataset::Books, &cfg);
     let m = 10;
     let extent = (ds.domain as f64 * 0.001) as u64;
@@ -58,9 +61,27 @@ fn bench_optimizations(c: &mut Criterion) {
             b.iter(|| run(&base, &mut i, &mut out));
         });
         for (name, sc) in [
-            ("subs+sort", SubsConfig { sort: true, sopt: false }),
-            ("subs+sopt", SubsConfig { sort: false, sopt: true }),
-            ("subs+sort+sopt", SubsConfig { sort: true, sopt: true }),
+            (
+                "subs+sort",
+                SubsConfig {
+                    sort: true,
+                    sopt: false,
+                },
+            ),
+            (
+                "subs+sopt",
+                SubsConfig {
+                    sort: false,
+                    sopt: true,
+                },
+            ),
+            (
+                "subs+sort+sopt",
+                SubsConfig {
+                    sort: true,
+                    sopt: true,
+                },
+            ),
         ] {
             let idx = HintMSubs::build(&ds.data, m, sc);
             group.bench_function(name, |b| {
@@ -76,9 +97,27 @@ fn bench_optimizations(c: &mut Criterion) {
     {
         let mut group = c.benchmark_group("fig12_storage");
         for (name, opts) in [
-            ("skew_sparsity", HintOptions { sparse: true, columnar: false }),
-            ("cache_misses", HintOptions { sparse: false, columnar: true }),
-            ("all", HintOptions { sparse: true, columnar: true }),
+            (
+                "skew_sparsity",
+                HintOptions {
+                    sparse: true,
+                    columnar: false,
+                },
+            ),
+            (
+                "cache_misses",
+                HintOptions {
+                    sparse: false,
+                    columnar: true,
+                },
+            ),
+            (
+                "all",
+                HintOptions {
+                    sparse: true,
+                    columnar: true,
+                },
+            ),
         ] {
             let idx = Hint::build_with_options(&ds.data, m, opts);
             group.bench_function(name, |b| {

@@ -11,7 +11,11 @@ use workloads::queries::QueryWorkload;
 use workloads::realistic::RealDataset;
 
 fn bench_queries(c: &mut Criterion) {
-    let cfg = RunConfig { scale_mul: 8, queries: 256, ..RunConfig::default() };
+    let cfg = RunConfig {
+        scale_mul: 8,
+        queries: 256,
+        ..RunConfig::default()
+    };
     let ds = datasets::real(RealDataset::Books, &cfg);
     let indexes = build_all(&ds, &cfg);
 

@@ -8,7 +8,10 @@ use workloads::queries::{QueryGen, QueryWorkload};
 use workloads::synthetic::SyntheticConfig;
 
 fn bench_synthetic(c: &mut Criterion) {
-    let base = SyntheticConfig { cardinality: 200_000, ..SyntheticConfig::default() };
+    let base = SyntheticConfig {
+        cardinality: 200_000,
+        ..SyntheticConfig::default()
+    };
 
     let mut group = c.benchmark_group("fig14_alpha");
     for alpha in [1.01, 1.2, 1.8] {

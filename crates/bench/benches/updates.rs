@@ -9,7 +9,10 @@ use hint_core::Interval;
 use workloads::realistic::RealDataset;
 
 fn bench_updates(c: &mut Criterion) {
-    let cfg = RunConfig { scale_mul: 32, ..RunConfig::default() };
+    let cfg = RunConfig {
+        scale_mul: 32,
+        ..RunConfig::default()
+    };
     let ds = datasets::real(RealDataset::Books, &cfg);
     let split = ds.data.len() * 9 / 10;
     let (old, new) = ds.data.split_at(split);

@@ -7,6 +7,7 @@
 //! experiments:
 //!   fig10 fig11 fig12 fig13 fig14 table6 table7 table8 table9 table10
 //!   ablation        extra: comparison counts vs m (Lemma 4 / Theorem 2)
+//!   countmode       extra: enumerate vs count vs exists throughput
 //!   all             run everything (paper order)
 //!
 //! flags:
@@ -23,7 +24,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <fig10|fig11|fig12|fig13|fig14|table6|table7|table8|table9|table10|ablation|all> \
+        "usage: harness <fig10|fig11|fig12|fig13|fig14|table6|table7|table8|table9|table10|ablation|countmode|all> \
          [--quick] [--scale N] [--queries N] [--max-m N] [--seed N]"
     );
     exit(2);
@@ -46,16 +47,32 @@ fn main() {
                 cfg.max_m = cfg.max_m.min(q.max_m);
             }
             "--scale" => {
-                cfg.scale_mul = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+                cfg.scale_mul = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--queries" => {
-                cfg.queries = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+                cfg.queries = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--max-m" => {
-                cfg.max_m = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+                cfg.max_m = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--seed" => {
-                cfg.seed = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+                cfg.seed = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             name if experiment.is_empty() && !name.starts_with('-') => {
                 experiment = name.to_string();
@@ -82,12 +99,23 @@ fn main() {
         "table9" => experiments::table9::run(&cfg),
         "table10" => experiments::table10::run(&cfg),
         "ablation" => experiments::ablation::run(&cfg),
+        "countmode" => experiments::countmode::run(&cfg),
         _ => usage(),
     };
     if experiment == "all" {
         for name in [
-            "fig10", "fig11", "table6", "fig12", "table7", "table8", "table9", "fig13", "fig14",
-            "table10", "ablation",
+            "fig10",
+            "fig11",
+            "table6",
+            "fig12",
+            "table7",
+            "table8",
+            "table9",
+            "fig13",
+            "fig14",
+            "table10",
+            "ablation",
+            "countmode",
         ] {
             run_one(name);
             println!();

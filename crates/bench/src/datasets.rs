@@ -21,8 +21,15 @@ pub struct Dataset {
 /// Generates the clone of one real dataset under the run configuration.
 pub fn real(ds: RealDataset, cfg: &RunConfig) -> Dataset {
     let scale = ds.default_scale() * cfg.scale_mul;
-    let rc = RealisticConfig::new(ds).with_scale(scale).with_seed(cfg.seed);
-    Dataset { name: ds.name(), data: rc.generate(), domain: rc.domain(), scale }
+    let rc = RealisticConfig::new(ds)
+        .with_scale(scale)
+        .with_seed(cfg.seed);
+    Dataset {
+        name: ds.name(),
+        data: rc.generate(),
+        domain: rc.domain(),
+        scale,
+    }
 }
 
 /// Generates all four real-dataset clones.
@@ -42,7 +49,10 @@ mod tests {
 
     #[test]
     fn registry_generates_all_clones() {
-        let cfg = RunConfig { scale_mul: 64, ..RunConfig::quick() };
+        let cfg = RunConfig {
+            scale_mul: 64,
+            ..RunConfig::quick()
+        };
         let all = all_real(&cfg);
         assert_eq!(all.len(), 4);
         for d in &all {

@@ -1,0 +1,46 @@
+//! Query access modes (beyond the paper's figures): enumeration vs
+//! counting vs existence testing, for all six indexes.
+//!
+//! Counting runs through a `CountSink` (no result vector is ever
+//! allocated or written) and existence testing through an `ExistsSink`
+//! (the scan stops at the first hit), so this experiment quantifies what
+//! the `QuerySink` execution layer buys over enumerate-then-aggregate.
+//!
+//! Expected shape: count typically meets or beats enumerate (same scan,
+//! no result writes — though count runs through the trait-object sink
+//! path, so comparison-heavy runs pay dynamic dispatch per id where
+//! enumeration is monomorphized); exists far ahead on selective
+//! workloads because virtually every scan terminates after one
+//! partition run.
+
+use crate::datasets;
+use crate::experiments::{build_all, rule, uniform_queries, DEFAULT_EXTENT};
+use crate::measure::{count_throughput, exists_throughput, query_throughput};
+use crate::RunConfig;
+
+/// Runs the experiment.
+pub fn run(cfg: &RunConfig) {
+    println!("== Access modes: enumerate vs count vs exists [queries/s] ==");
+    for ds in datasets::all_real(cfg) {
+        println!("\n[{} | n={} domain={}]", ds.name, ds.data.len(), ds.domain);
+        let queries = uniform_queries(&ds, DEFAULT_EXTENT, cfg);
+        println!(
+            "{:>14} {:>12} {:>12} {:>12} {:>10}",
+            "index", "enumerate", "count", "exists", "results"
+        );
+        rule(66);
+        for (name, _, idx) in build_all(&ds, cfg) {
+            let enumerate = query_throughput(idx.as_ref(), queries.queries());
+            let count = count_throughput(idx.as_ref(), queries.queries());
+            let exists = exists_throughput(idx.as_ref(), queries.queries());
+            assert_eq!(
+                enumerate.results, count.results,
+                "{name}: CountSink disagrees with enumeration"
+            );
+            println!(
+                "{name:>14} {:>12.0} {:>12.0} {:>12.0} {:>10}",
+                enumerate.qps, count.qps, exists.qps, count.results
+            );
+        }
+    }
+}

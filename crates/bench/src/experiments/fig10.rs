@@ -18,7 +18,10 @@ pub fn run(cfg: &RunConfig) {
     for ds in datasets::opt_study(cfg) {
         let queries = uniform_queries(&ds, DEFAULT_EXTENT, cfg);
         println!("\n[{} | n={} domain={}]", ds.name, ds.data.len(), ds.domain);
-        println!("{:>4} {:>18} {:>18}", "m", "top-down [q/s]", "bottom-up [q/s]");
+        println!(
+            "{:>4} {:>18} {:>18}",
+            "m", "top-down [q/s]", "bottom-up [q/s]"
+        );
         let mut m = 5;
         while m <= cfg.max_m {
             let idx = HintMBase::build(&ds.data, m);

@@ -18,10 +18,31 @@ struct Variant {
 }
 
 const VARIANTS: [Variant; 4] = [
-    Variant { name: "base", cfg: None },
-    Variant { name: "subs+sort", cfg: Some(SubsConfig { sort: true, sopt: false }) },
-    Variant { name: "subs+sopt", cfg: Some(SubsConfig { sort: false, sopt: true }) },
-    Variant { name: "subs+sort+sopt", cfg: Some(SubsConfig { sort: true, sopt: true }) },
+    Variant {
+        name: "base",
+        cfg: None,
+    },
+    Variant {
+        name: "subs+sort",
+        cfg: Some(SubsConfig {
+            sort: true,
+            sopt: false,
+        }),
+    },
+    Variant {
+        name: "subs+sopt",
+        cfg: Some(SubsConfig {
+            sort: false,
+            sopt: true,
+        }),
+    },
+    Variant {
+        name: "subs+sort+sopt",
+        cfg: Some(SubsConfig {
+            sort: true,
+            sopt: true,
+        }),
+    },
 ];
 
 /// Runs the experiment and prints one block per dataset.
@@ -41,11 +62,19 @@ pub fn run(cfg: &RunConfig) {
                 let (size, build, qps) = match v.cfg {
                     None => {
                         let (t, idx) = time(|| HintMBase::build(&ds.data, m));
-                        (idx.size_bytes(), t, query_throughput(&idx, queries.queries()).qps)
+                        (
+                            idx.size_bytes(),
+                            t,
+                            query_throughput(&idx, queries.queries()).qps,
+                        )
                     }
                     Some(sc) => {
                         let (t, idx) = time(|| HintMSubs::build(&ds.data, m, sc));
-                        (idx.size_bytes(), t, query_throughput(&idx, queries.queries()).qps)
+                        (
+                            idx.size_bytes(),
+                            t,
+                            query_throughput(&idx, queries.queries()).qps,
+                        )
                     }
                 };
                 println!(

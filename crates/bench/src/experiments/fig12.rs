@@ -37,9 +37,27 @@ pub fn run(cfg: &RunConfig) {
                 );
             }
             for (name, opts) in [
-                ("skewness & sparsity", HintOptions { sparse: true, columnar: false }),
-                ("cache misses", HintOptions { sparse: false, columnar: true }),
-                ("all optimizations", HintOptions { sparse: true, columnar: true }),
+                (
+                    "skewness & sparsity",
+                    HintOptions {
+                        sparse: true,
+                        columnar: false,
+                    },
+                ),
+                (
+                    "cache misses",
+                    HintOptions {
+                        sparse: false,
+                        columnar: true,
+                    },
+                ),
+                (
+                    "all optimizations",
+                    HintOptions {
+                        sparse: true,
+                        columnar: true,
+                    },
+                ),
             ] {
                 let (t, idx) = time(|| Hint::build_with_options(&ds.data, m, opts));
                 let qps = query_throughput(&idx, queries.queries()).qps;

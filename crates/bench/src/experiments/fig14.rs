@@ -17,7 +17,10 @@ use hint_core::IntervalIndex;
 use workloads::queries::{QueryGen, QueryWorkload};
 use workloads::synthetic::SyntheticConfig;
 
-fn build_all_synth(data: &[hint_core::Interval], cfg: &RunConfig) -> Vec<(&'static str, Box<dyn IntervalIndex>)> {
+fn build_all_synth(
+    data: &[hint_core::Interval],
+    cfg: &RunConfig,
+) -> Vec<(&'static str, Box<dyn IntervalIndex>)> {
     let n = data.len();
     let mut out: Vec<(&'static str, Box<dyn IntervalIndex>)> = Vec::new();
     let (_, idx) = time(|| interval_tree::IntervalTree::build(data));
@@ -27,7 +30,8 @@ fn build_all_synth(data: &[hint_core::Interval], cfg: &RunConfig) -> Vec<(&'stat
     // synthetic positions are Gaussian-concentrated, so checkpoint active
     // sets are huge; cap the checkpoint count to keep the timeline index
     // within laptop memory (the paper's server had 384 GB)
-    let (_, idx) = time(|| timeline_index::TimelineIndex::build_with_spacing(data, (2 * n / 500).max(64)));
+    let (_, idx) =
+        time(|| timeline_index::TimelineIndex::build_with_spacing(data, (2 * n / 500).max(64)));
     out.push(("Timeline", Box::new(idx)));
     let (_, idx) = time(|| grid1d::Grid1D::build(data, 1000));
     out.push(("1D-grid", Box::new(idx)));
@@ -66,7 +70,10 @@ fn sweep(
         let col = build_all_synth(&data, cfg)
             .into_iter()
             .map(|(name, idx)| {
-                (name.to_string(), query_throughput(idx.as_ref(), queries.queries()).qps)
+                (
+                    name.to_string(),
+                    query_throughput(idx.as_ref(), queries.queries()).qps,
+                )
             })
             .collect();
         cols.push(col);
@@ -94,7 +101,11 @@ pub fn run(cfg: &RunConfig) {
         [320_000u64, 640_000, 1_280_000, 2_560_000, 5_120_000]
             .iter()
             .map(|&d| {
-                (format!("{}K", d / 1000), SyntheticConfig { domain: d, ..base }, 0.001)
+                (
+                    format!("{}K", d / 1000),
+                    SyntheticConfig { domain: d, ..base },
+                    0.001,
+                )
             })
             .collect(),
     );
@@ -105,7 +116,14 @@ pub fn run(cfg: &RunConfig) {
             .iter()
             .map(|&n| {
                 let n = (n / cfg.scale_mul as usize).max(10_000);
-                (format!("{}K", n / 1000), SyntheticConfig { cardinality: n, ..base }, 0.001)
+                (
+                    format!("{}K", n / 1000),
+                    SyntheticConfig {
+                        cardinality: n,
+                        ..base
+                    },
+                    0.001,
+                )
             })
             .collect(),
     );
@@ -122,7 +140,13 @@ pub fn run(cfg: &RunConfig) {
         cfg,
         [100.0, 1_000.0, 10_000.0, 50_000.0, 100_000.0]
             .iter()
-            .map(|&s| (format!("{}", s as u64), SyntheticConfig { sigma: s, ..base }, 0.001))
+            .map(|&s| {
+                (
+                    format!("{}", s as u64),
+                    SyntheticConfig { sigma: s, ..base },
+                    0.001,
+                )
+            })
             .collect(),
     );
     sweep(

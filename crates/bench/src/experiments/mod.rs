@@ -5,6 +5,7 @@
 //! records paper-vs-measured values.
 
 pub mod ablation;
+pub mod countmode;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -55,7 +56,12 @@ pub fn competitor_params(name: &str, n: usize) -> CompetitorParams {
     };
     // paper: 6000-8000 checkpoints; spacing = 2n / target count
     let timeline_spacing = (2 * n / 7000).max(16);
-    CompetitorParams { grid_p, timeline_spacing, period_p: 100, period_levels }
+    CompetitorParams {
+        grid_p,
+        timeline_spacing,
+        period_p: 100,
+        period_levels,
+    }
 }
 
 /// The `m` used for HINT^m on a dataset: the §3.3 model's `m_opt`,
@@ -74,7 +80,10 @@ pub fn rule(width: usize) {
 /// Builds all six §5.3 indexes over a dataset, returning
 /// `(name, build seconds, boxed index)` triples — shared by Tables 8, 9
 /// and Figure 13.
-pub fn build_all(ds: &Dataset, cfg: &RunConfig) -> Vec<(&'static str, f64, Box<dyn hint_core::IntervalIndex>)> {
+pub fn build_all(
+    ds: &Dataset,
+    cfg: &RunConfig,
+) -> Vec<(&'static str, f64, Box<dyn hint_core::IntervalIndex>)> {
     use crate::measure::time;
     let params = competitor_params(ds.name, ds.data.len());
     let m = model_m(ds, DEFAULT_EXTENT, cfg.max_m);
@@ -85,12 +94,14 @@ pub fn build_all(ds: &Dataset, cfg: &RunConfig) -> Vec<(&'static str, f64, Box<d
     let (t, idx) =
         time(|| period_index::PeriodIndex::build(&ds.data, params.period_p, params.period_levels));
     out.push(("Period", t, Box::new(idx)));
-    let (t, idx) =
-        time(|| timeline_index::TimelineIndex::build_with_spacing(&ds.data, params.timeline_spacing));
+    let (t, idx) = time(|| {
+        timeline_index::TimelineIndex::build_with_spacing(&ds.data, params.timeline_spacing)
+    });
     out.push(("Timeline", t, Box::new(idx)));
     let (t, idx) = time(|| grid1d::Grid1D::build(&ds.data, params.grid_p));
     out.push(("1D-grid", t, Box::new(idx)));
-    let (t, idx) = time(|| hint_core::HintCf::build(&ds.data, cf_bits, hint_core::CfLayout::Sparse));
+    let (t, idx) =
+        time(|| hint_core::HintCf::build(&ds.data, cf_bits, hint_core::CfLayout::Sparse));
     out.push(("HINT", t, Box::new(idx)));
     let (t, idx) = time(|| hint_core::Hint::build(&ds.data, m));
     out.push(("HINT^m", t, Box::new(idx)));

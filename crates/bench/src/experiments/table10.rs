@@ -127,7 +127,13 @@ pub fn run(cfg: &RunConfig) {
             for &s in old {
                 idx.insert(s);
             }
-            rows.push(run_mixed(&mut idx, "Interval tree", &queries, &inserts, &deletes));
+            rows.push(run_mixed(
+                &mut idx,
+                "Interval tree",
+                &queries,
+                &inserts,
+                &deletes,
+            ));
         }
         {
             let mut idx = period_index::PeriodIndex::with_domain(
@@ -155,11 +161,23 @@ pub fn run(cfg: &RunConfig) {
                 domain,
                 hint_core::SubsConfig::update_friendly(),
             );
-            rows.push(run_mixed(&mut idx, "subs+sopt HINT^m", &queries, &inserts, &deletes));
+            rows.push(run_mixed(
+                &mut idx,
+                "subs+sopt HINT^m",
+                &queries,
+                &inserts,
+                &deletes,
+            ));
         }
         {
             let mut idx = hint_core::HybridHint::new(old, 0, ds.domain - 1, m);
-            rows.push(run_mixed(&mut idx, "HINT^m (hybrid)", &queries, &inserts, &deletes));
+            rows.push(run_mixed(
+                &mut idx,
+                "HINT^m (hybrid)",
+                &queries,
+                &inserts,
+                &deletes,
+            ));
         }
         for r in rows {
             println!(

@@ -30,13 +30,23 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self { scale_mul: 1, queries: 10_000, max_m: 17, seed: 42 }
+        Self {
+            scale_mul: 1,
+            queries: 10_000,
+            max_m: 17,
+            seed: 42,
+        }
     }
 }
 
 impl RunConfig {
     /// A fast configuration for smoke tests / CI.
     pub fn quick() -> Self {
-        Self { scale_mul: 8, queries: 1_000, max_m: 13, seed: 42 }
+        Self {
+            scale_mul: 8,
+            queries: 1_000,
+            max_m: 13,
+            seed: 42,
+        }
     }
 }

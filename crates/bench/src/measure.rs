@@ -16,7 +16,10 @@ pub struct Throughput {
 /// Runs the full query batch against `index` and reports throughput.
 /// The result buffer is reused across queries, as in the paper's setup
 /// (throughput measurement over 10K random queries).
-pub fn query_throughput<I: IntervalIndex + ?Sized>(index: &I, queries: &[RangeQuery]) -> Throughput {
+pub fn query_throughput<I: IntervalIndex + ?Sized>(
+    index: &I,
+    queries: &[RangeQuery],
+) -> Throughput {
     let mut out: Vec<IntervalId> = Vec::with_capacity(1024);
     let mut results = 0u64;
     let t0 = Instant::now();
@@ -26,7 +29,49 @@ pub fn query_throughput<I: IntervalIndex + ?Sized>(index: &I, queries: &[RangeQu
         results += out.len() as u64;
     }
     let secs = t0.elapsed().as_secs_f64().max(1e-9);
-    Throughput { qps: queries.len() as f64 / secs, results }
+    Throughput {
+        qps: queries.len() as f64 / secs,
+        results,
+    }
+}
+
+/// Count-only throughput: every query runs through
+/// [`IntervalIndex::count`] (a `CountSink`), so no result vector is ever
+/// written — the access mode the paper's counting/selectivity figures
+/// assume.
+pub fn count_throughput<I: IntervalIndex + ?Sized>(
+    index: &I,
+    queries: &[RangeQuery],
+) -> Throughput {
+    let mut results = 0u64;
+    let t0 = Instant::now();
+    for &q in queries {
+        results += index.count(q) as u64;
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    Throughput {
+        qps: queries.len() as f64 / secs,
+        results,
+    }
+}
+
+/// Existence-test throughput: every query runs through
+/// [`IntervalIndex::exists`] (an `ExistsSink`), terminating each scan at
+/// its first hit. `results` counts queries with a non-empty answer.
+pub fn exists_throughput<I: IntervalIndex + ?Sized>(
+    index: &I,
+    queries: &[RangeQuery],
+) -> Throughput {
+    let mut results = 0u64;
+    let t0 = Instant::now();
+    for &q in queries {
+        results += u64::from(index.exists(q));
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    Throughput {
+        qps: queries.len() as f64 / secs,
+        results,
+    }
 }
 
 /// Times a closure (e.g. an index build), returning (seconds, value).
@@ -48,7 +93,9 @@ mod tests {
 
     #[test]
     fn throughput_counts_results() {
-        let data: Vec<Interval> = (0..100).map(|i| Interval::new(i, i * 10, i * 10 + 5)).collect();
+        let data: Vec<Interval> = (0..100)
+            .map(|i| Interval::new(i, i * 10, i * 10 + 5))
+            .collect();
         let idx = Hint::build(&data, 8);
         let queries = vec![RangeQuery::new(0, 995); 10];
         let t = query_throughput(&idx, &queries);

@@ -15,7 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hint_core::{Interval, IntervalId, IntervalIndex, RangeQuery, Time, TOMBSTONE};
+use hint_core::sink::{emit_live, SATURATION_POLL};
+use hint_core::{Interval, IntervalId, IntervalIndex, QuerySink, RangeQuery, Time, TOMBSTONE};
 
 /// Uniform 1D-grid interval index.
 #[derive(Debug, Clone)]
@@ -63,7 +64,14 @@ impl Grid1D {
         let span = max - min + 1;
         let width = span.div_ceil(p as u64).max(1);
         let actual_p = span.div_ceil(width) as usize;
-        Self { min, max, width, parts: vec![Vec::new(); actual_p], live: 0, tombstones: 0 }
+        Self {
+            min,
+            max,
+            width,
+            parts: vec![Vec::new(); actual_p],
+            live: 0,
+            tombstones: 0,
+        }
     }
 
     /// Number of partitions.
@@ -96,6 +104,12 @@ impl Grid1D {
 
     /// Evaluates a range query with reference-value deduplication.
     pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        self.query_sink(q, out)
+    }
+
+    /// Evaluates a range query into an arbitrary sink; the partition walk
+    /// stops once the sink is saturated.
+    pub fn query_sink<S: QuerySink + ?Sized>(&self, q: RangeQuery, sink: &mut S) {
         if q.end < self.min || q.st > self.max {
             return;
         }
@@ -103,9 +117,16 @@ impl Grid1D {
         let last = self.part_of(q.end);
         // First partition: the reference value max(s.st, q.st) of every
         // overlapping interval lies here, so a plain overlap test suffices.
-        for s in &self.parts[first] {
-            if s.overlaps(&q) {
-                push(s.id, out);
+        // Partitions can hold most of the data under skew, so saturation
+        // is polled every SATURATION_POLL entries, not only per partition.
+        for chunk in self.parts[first].chunks(SATURATION_POLL) {
+            if sink.is_saturated() {
+                return;
+            }
+            for s in chunk {
+                if s.overlaps(&q) {
+                    emit_live(s.id, sink);
+                }
             }
         }
         // Later partitions: report s iff it *starts* here (reference value
@@ -113,9 +134,14 @@ impl Grid1D {
         // condition is automatic because s starts after q.st).
         for (i, part) in self.parts.iter().enumerate().take(last + 1).skip(first + 1) {
             let pstart = self.part_start(i);
-            for s in part {
-                if s.st >= pstart && s.st <= q.end {
-                    push(s.id, out);
+            for chunk in part.chunks(SATURATION_POLL) {
+                if sink.is_saturated() {
+                    return;
+                }
+                for s in chunk {
+                    if s.st >= pstart && s.st <= q.end {
+                        emit_live(s.id, sink);
+                    }
                 }
             }
         }
@@ -131,7 +157,10 @@ impl Grid1D {
     /// # Panics
     /// Panics if the endpoints fall outside the grid domain.
     pub fn insert(&mut self, s: Interval) {
-        assert!(s.st >= self.min && s.end <= self.max, "interval outside grid domain");
+        assert!(
+            s.st >= self.min && s.end <= self.max,
+            "interval outside grid domain"
+        );
         let first = self.part_of(s.st);
         let last = self.part_of(s.end);
         for part in &mut self.parts[first..=last] {
@@ -175,6 +204,9 @@ impl Grid1D {
 }
 
 impl IntervalIndex for Grid1D {
+    fn query_sink(&self, q: RangeQuery, sink: &mut dyn QuerySink) {
+        Grid1D::query_sink(self, q, sink)
+    }
     fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
         Grid1D::query(self, q, out)
     }
@@ -183,13 +215,6 @@ impl IntervalIndex for Grid1D {
     }
     fn len(&self) -> usize {
         Grid1D::len(self)
-    }
-}
-
-#[inline]
-fn push(id: IntervalId, out: &mut Vec<IntervalId>) {
-    if id != TOMBSTONE {
-        out.push(id);
     }
 }
 
@@ -206,7 +231,9 @@ mod tests {
     fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
         let mut x = seed | 1;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 11
         };
         (0..n)
@@ -296,7 +323,11 @@ mod tests {
         for t in (0..4096).step_by(13) {
             let mut got = Vec::new();
             grid.stab(t, &mut got);
-            assert_eq!(sorted(got), oracle.query_sorted(RangeQuery::stab(t)), "t={t}");
+            assert_eq!(
+                sorted(got),
+                oracle.query_sorted(RangeQuery::stab(t)),
+                "t={t}"
+            );
         }
     }
 

@@ -101,7 +101,12 @@ impl AllenIndex {
         records.sort_unstable_by_key(|s| s.id);
         let min = hint.domain().min();
         let max = hint.domain().max();
-        Self { hint, records, min, max }
+        Self {
+            hint,
+            records,
+            min,
+            max,
+        }
     }
 
     /// Access to the underlying range index.
@@ -250,7 +255,10 @@ mod tests {
         assert_eq!(select_sorted(&idx, AllenRelation::Finishes, q), vec![8]);
         assert_eq!(select_sorted(&idx, AllenRelation::FinishedBy, q), vec![9]);
         assert_eq!(select_sorted(&idx, AllenRelation::Contains, q), vec![10]);
-        assert_eq!(select_sorted(&idx, AllenRelation::OverlappedBy, q), vec![11]);
+        assert_eq!(
+            select_sorted(&idx, AllenRelation::OverlappedBy, q),
+            vec![11]
+        );
         assert_eq!(select_sorted(&idx, AllenRelation::MetBy, q), vec![12]);
         assert_eq!(select_sorted(&idx, AllenRelation::After, q), vec![13]);
     }
@@ -259,7 +267,9 @@ mod tests {
     fn matches_brute_force_on_random_data() {
         let mut x = 12345u64;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 33
         };
         let data: Vec<Interval> = (0..200)

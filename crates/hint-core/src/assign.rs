@@ -93,13 +93,21 @@ pub fn for_each_assignment(m: u32, a: Time, b: Time, mut emit: impl FnMut(Assign
         let pst = st0 >> shift;
         let pend = end0 >> shift;
         if a & 1 == 1 {
-            emit(Assignment { level: l, offset: a, kind: classify(a, pst, pend) });
+            emit(Assignment {
+                level: l,
+                offset: a,
+                kind: classify(a, pst, pend),
+            });
             a += 1;
         }
         // after the a-branch `a` may exceed `b`; the paper's loop only checks
         // `a <= b` at the top, so the b-branch still runs in that iteration.
         if b & 1 == 0 {
-            emit(Assignment { level: l, offset: b, kind: classify(b, pst, pend) });
+            emit(Assignment {
+                level: l,
+                offset: b,
+                kind: classify(b, pst, pend),
+            });
             b = b.wrapping_sub(1); // b may be 0 only when a==0; then a>b ends the loop
             if b == Time::MAX {
                 break;
@@ -181,8 +189,7 @@ mod tests {
         for a in 0..64u64 {
             for b in a..64 {
                 let asg = assignments(m, a, b);
-                let originals =
-                    asg.iter().filter(|x| x.kind.is_original()).count();
+                let originals = asg.iter().filter(|x| x.kind.is_original()).count();
                 assert_eq!(originals, 1, "[{a},{b}]");
             }
         }
@@ -239,11 +246,7 @@ mod tests {
                 for x in assignments(m, a, b) {
                     let shift = m - x.level;
                     let starts_here = (a >> shift) == x.offset;
-                    assert_eq!(
-                        x.kind.is_original(),
-                        starts_here,
-                        "[{a},{b}] {x:?}"
-                    );
+                    assert_eq!(x.kind.is_original(), starts_here, "[{a},{b}] {x:?}");
                     let ends_here = (b >> shift) == x.offset;
                     assert_eq!(x.kind.ends_inside(), ends_here, "[{a},{b}] {x:?}");
                 }

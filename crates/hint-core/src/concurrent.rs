@@ -8,6 +8,7 @@
 
 use crate::hintm::delta::HybridHint;
 use crate::interval::{Interval, IntervalId, RangeQuery, Time};
+use crate::sink::QuerySink;
 use parking_lot::RwLock;
 
 /// Shareable (`Sync`) interval index: `&ConcurrentHint` can be used from
@@ -21,18 +22,36 @@ impl ConcurrentHint {
     /// Builds the index over `data` for raw domain `[min, max]` with
     /// `m + 1` levels (see [`HybridHint::new`]).
     pub fn new(data: &[Interval], min: Time, max: Time, m: u32) -> Self {
-        Self { inner: RwLock::new(HybridHint::new(data, min, max, m)) }
+        Self {
+            inner: RwLock::new(HybridHint::new(data, min, max, m)),
+        }
     }
 
     /// Sets the delta-merge threshold (see
     /// [`HybridHint::with_merge_threshold`]).
     pub fn with_merge_threshold(self, threshold: usize) -> Self {
-        Self { inner: RwLock::new(self.inner.into_inner().with_merge_threshold(threshold)) }
+        Self {
+            inner: RwLock::new(self.inner.into_inner().with_merge_threshold(threshold)),
+        }
     }
 
     /// Range query under a shared read lock.
     pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
         self.inner.read().query(q, out);
+    }
+
+    /// Range query into an arbitrary sink under a shared read lock. The
+    /// lock is held until the sink saturates or the scan completes, so
+    /// saturating sinks (first-`k`, exists) also shorten the critical
+    /// section.
+    ///
+    /// The sink's `emit` runs **inside** the read critical section: it
+    /// must not call back into this index (an [`Self::insert`],
+    /// [`Self::delete`] or [`Self::merge`] from inside a sink deadlocks
+    /// on the write lock). Collect first — e.g. via a `Vec` or
+    /// [`crate::CollectSink`] — and mutate after the query returns.
+    pub fn query_sink<S: QuerySink + ?Sized>(&self, q: RangeQuery, sink: &mut S) {
+        self.inner.read().query_sink(q, sink);
     }
 
     /// Stabbing query under a shared read lock.
@@ -79,7 +98,9 @@ mod tests {
     fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
         let mut x = seed | 1;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 11
         };
         (0..n)

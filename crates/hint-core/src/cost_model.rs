@@ -31,7 +31,10 @@ pub struct Betas {
 impl Betas {
     /// A reasonable default ratio: a comparison with an unpredictable
     /// branch costs ~4x a sequential id copy.
-    pub const DEFAULT: Betas = Betas { cmp: 2.0e-9, acc: 0.5e-9 };
+    pub const DEFAULT: Betas = Betas {
+        cmp: 2.0e-9,
+        acc: 0.5e-9,
+    };
 }
 
 /// Workload statistics feeding the model.
@@ -159,7 +162,10 @@ pub fn measure_betas() -> Betas {
         }
     }
     let cmp = t1.elapsed().as_secs_f64() / (reps * N) as f64;
-    Betas { cmp: cmp.max(1e-12), acc: acc.max(1e-12) }
+    Betas {
+        cmp: cmp.max(1e-12),
+        acc: acc.max(1e-12),
+    }
 }
 
 #[cfg(test)]
@@ -168,7 +174,12 @@ mod tests {
 
     fn input() -> ModelInput {
         // BOOKS-like shape: n=2.3M, λ_s ≈ 7% of a 31.5M domain
-        ModelInput { n: 2_300_000, lambda_s: 2.2e6, lambda_q: 3.15e4, span: 31_507_200 }
+        ModelInput {
+            n: 2_300_000,
+            lambda_s: 2.2e6,
+            lambda_q: 3.15e4,
+            span: 31_507_200,
+        }
     }
 
     #[test]
@@ -201,14 +212,24 @@ mod tests {
         assert!(k_small >= 1.0);
 
         // short intervals (TAXIS-like) stay near k = 1
-        let short = ModelInput { n: 10_000_000, lambda_s: 758.0, lambda_q: 3.2e4, span: 31_768_287 };
+        let short = ModelInput {
+            n: 10_000_000,
+            lambda_s: 758.0,
+            lambda_q: 3.2e4,
+            span: 31_768_287,
+        };
         let k = replication_factor(&short, 16);
         assert!(k < 2.5, "short intervals: k = {k}");
     }
 
     #[test]
     fn expected_results_clamped_to_n() {
-        let inp = ModelInput { n: 100, lambda_s: 1e9, lambda_q: 1e9, span: 10 };
+        let inp = ModelInput {
+            n: 100,
+            lambda_s: 1e9,
+            lambda_q: 1e9,
+            span: 10,
+        };
         assert_eq!(inp.expected_results(), 100.0);
     }
 
@@ -230,6 +251,9 @@ mod tests {
     fn measured_betas_are_positive_and_sane() {
         let b = measure_betas();
         assert!(b.cmp > 0.0 && b.acc > 0.0);
-        assert!(b.cmp < 1e-5 && b.acc < 1e-5, "per-element costs look wrong: {b:?}");
+        assert!(
+            b.cmp < 1e-5 && b.acc < 1e-5,
+            "per-element costs look wrong: {b:?}"
+        );
     }
 }

@@ -60,7 +60,10 @@ impl Domain {
     /// # Panics
     /// Panics if `data` is empty.
     pub fn from_data(data: &[Interval], m: u32) -> Self {
-        assert!(!data.is_empty(), "cannot infer a domain from an empty dataset");
+        assert!(
+            !data.is_empty(),
+            "cannot infer a domain from an empty dataset"
+        );
         let mut min = Time::MAX;
         let mut max = 0;
         for s in data {

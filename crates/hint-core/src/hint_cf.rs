@@ -25,6 +25,8 @@
 use crate::assign::for_each_assignment;
 use crate::domain::Domain;
 use crate::interval::{Interval, IntervalId, RangeQuery, TOMBSTONE};
+use crate::scan::emit_ids;
+use crate::sink::QuerySink;
 
 /// Storage layout selector for [`HintCf`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,7 +73,9 @@ impl SparseGroup {
     /// End of the id run of directory entry `i`.
     #[inline]
     fn run_end(&self, i: usize) -> usize {
-        self.dir.get(i + 1).map_or(self.ids.len(), |&(_, b)| b as usize)
+        self.dir
+            .get(i + 1)
+            .map_or(self.ids.len(), |&(_, b)| b as usize)
     }
 
     /// Index of the first directory entry with offset >= `off`.
@@ -81,7 +85,13 @@ impl SparseGroup {
     }
 
     /// Reports ids of all partitions with offsets in `[f, l]`.
-    fn report_range(&self, f: u64, l: u64, skip_tombstones: bool, out: &mut Vec<IntervalId>) {
+    fn report_range<S: QuerySink + ?Sized>(
+        &self,
+        f: u64,
+        l: u64,
+        skip_tombstones: bool,
+        sink: &mut S,
+    ) {
         let first = self.lower_bound(f);
         if first == self.dir.len() {
             return;
@@ -95,16 +105,16 @@ impl SparseGroup {
         }
         let begin = self.dir[first].1 as usize;
         let end = self.run_end(last - 1);
-        push_ids(&self.ids[begin..end], skip_tombstones, out);
+        emit_ids(&self.ids[begin..end], skip_tombstones, sink);
     }
 
     /// Reports ids of the single partition at `off`, if non-empty.
-    fn report_one(&self, off: u64, skip_tombstones: bool, out: &mut Vec<IntervalId>) {
+    fn report_one<S: QuerySink + ?Sized>(&self, off: u64, skip_tombstones: bool, sink: &mut S) {
         let i = self.lower_bound(off);
         if i < self.dir.len() && self.dir[i].0 == off {
             let begin = self.dir[i].1 as usize;
             let end = self.run_end(i);
-            push_ids(&self.ids[begin..end], skip_tombstones, out);
+            emit_ids(&self.ids[begin..end], skip_tombstones, sink);
         }
     }
 
@@ -119,7 +129,11 @@ impl SparseGroup {
                 e.1 += 1;
             }
         } else {
-            let pos = if i < self.dir.len() { self.dir[i].1 as usize } else { self.ids.len() };
+            let pos = if i < self.dir.len() {
+                self.dir[i].1 as usize
+            } else {
+                self.ids.len()
+            };
             self.ids.insert(pos, id);
             self.dir.insert(i, (off, pos as u32));
             for e in &mut self.dir[i + 1..] {
@@ -147,15 +161,6 @@ impl SparseGroup {
     fn size_bytes(&self) -> usize {
         self.dir.len() * std::mem::size_of::<(u64, u32)>()
             + self.ids.len() * std::mem::size_of::<IntervalId>()
-    }
-}
-
-#[inline]
-fn push_ids(ids: &[IntervalId], skip_tombstones: bool, out: &mut Vec<IntervalId>) {
-    if skip_tombstones {
-        out.extend(ids.iter().copied().filter(|&id| id != TOMBSTONE));
-    } else {
-        out.extend_from_slice(ids);
     }
 }
 
@@ -253,7 +258,12 @@ impl HintCf {
                 CfStorage::Sparse(levels)
             }
         };
-        Self { domain, storage, live: data.len(), tombstones: 0 }
+        Self {
+            domain,
+            storage,
+            live: data.len(),
+            tombstones: 0,
+        }
     }
 
     /// The domain the index was built over.
@@ -280,6 +290,13 @@ impl HintCf {
     /// Evaluates a range query (Algorithm 2), pushing result ids into
     /// `out`. No endpoint comparisons are performed.
     pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        self.query_sink(q, out)
+    }
+
+    /// Evaluates a range query (Algorithm 2) into an arbitrary sink; the
+    /// level walk stops once the sink is saturated. No endpoint
+    /// comparisons are performed.
+    pub fn query_sink<S: QuerySink + ?Sized>(&self, q: RangeQuery, sink: &mut S) {
         if !self.domain.intersects(&q) {
             return;
         }
@@ -289,22 +306,31 @@ impl HintCf {
         match &self.storage {
             CfStorage::Dense(levels) => {
                 for l in (0..=m).rev() {
+                    if sink.is_saturated() {
+                        return;
+                    }
                     let f = self.domain.prefix(l, qst);
                     let last = self.domain.prefix(l, qend);
                     let lvl = &levels[l as usize];
-                    push_ids(&lvl.replicas[f as usize], skip, out);
+                    emit_ids(&lvl.replicas[f as usize], skip, sink);
                     for off in f..=last {
-                        push_ids(&lvl.originals[off as usize], skip, out);
+                        if sink.is_saturated() {
+                            return;
+                        }
+                        emit_ids(&lvl.originals[off as usize], skip, sink);
                     }
                 }
             }
             CfStorage::Sparse(levels) => {
                 for l in (0..=m).rev() {
+                    if sink.is_saturated() {
+                        return;
+                    }
                     let f = self.domain.prefix(l, qst);
                     let last = self.domain.prefix(l, qend);
                     let lvl = &levels[l as usize];
-                    lvl.replicas.report_one(f, skip, out);
-                    lvl.originals.report_range(f, last, skip, out);
+                    lvl.replicas.report_one(f, skip, sink);
+                    lvl.originals.report_range(f, last, skip, sink);
                 }
             }
         }
@@ -601,8 +627,9 @@ mod tests {
     #[test]
     fn sparse_is_smaller_under_sparsity() {
         // a handful of short intervals over a wide domain
-        let data: Vec<Interval> =
-            (0..50).map(|i| Interval::new(i, i * 1000, i * 1000 + 3)).collect();
+        let data: Vec<Interval> = (0..50)
+            .map(|i| Interval::new(i, i * 1000, i * 1000 + 3))
+            .collect();
         let d = HintCf::build(&data, 16, CfLayout::Dense);
         let s = HintCf::build(&data, 16, CfLayout::Sparse);
         assert!(

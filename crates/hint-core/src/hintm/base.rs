@@ -8,6 +8,8 @@ use crate::assign::for_each_assignment;
 use crate::domain::Domain;
 use crate::hintm::CompFlags;
 use crate::interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
+use crate::scan;
+use crate::sink::QuerySink;
 
 /// Query evaluation strategy for [`HintMBase`] (Figure 10).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,7 +58,9 @@ impl HintMBase {
         let m = domain.m();
         assert!(m <= 26, "dense base layout limited to m <= 26 (got {m})");
         let mut levels: Vec<Level> = (0..=m)
-            .map(|l| Level { parts: vec![Part::default(); 1usize << l] })
+            .map(|l| Level {
+                parts: vec![Part::default(); 1usize << l],
+            })
             .collect();
         for s in data {
             let (a, b) = domain.map_interval(s);
@@ -69,7 +73,12 @@ impl HintMBase {
                 }
             });
         }
-        Self { domain, levels, live: data.len(), tombstones: 0 }
+        Self {
+            domain,
+            levels,
+            live: data.len(),
+            tombstones: 0,
+        }
     }
 
     /// The index domain.
@@ -89,29 +98,43 @@ impl HintMBase {
 
     /// Evaluates `q` with the chosen strategy, pushing result ids into `out`.
     pub fn query_with(&self, q: RangeQuery, eval: Eval, out: &mut Vec<IntervalId>) {
+        self.query_with_sink(q, eval, out)
+    }
+
+    /// Evaluates `q` with the chosen strategy, emitting result ids into
+    /// `sink`; the level walk stops once the sink is saturated.
+    pub fn query_with_sink<S: QuerySink + ?Sized>(&self, q: RangeQuery, eval: Eval, sink: &mut S) {
         if !self.domain.intersects(&q) {
             return;
         }
         let (qst, qend) = self.domain.map_query(&q);
         let m = self.domain.m();
+        let skip = self.tombstones > 0;
         let mut flags = CompFlags::new();
         // Both strategies visit the same partitions and produce the same
         // result set; TopDown simply never clears the comparison flags.
         for l in (0..=m).rev() {
+            if sink.is_saturated() {
+                return;
+            }
             let f = self.domain.prefix(l, qst);
             let last = self.domain.prefix(l, qend);
             let level = &self.levels[l as usize];
             if f == last {
                 let part = &level.parts[f as usize];
-                self.report_single(part, &q, flags, out);
+                report_single(part, &q, flags, skip, sink);
             } else {
-                let first_part = &level.parts[f as usize];
-                self.report_first(first_part, &q, flags, out);
+                report_first(&level.parts[f as usize], &q, flags, skip, sink);
                 for off in f + 1..last {
-                    self.report_middle(&level.parts[off as usize], out);
+                    if sink.is_saturated() {
+                        return;
+                    }
+                    // in-between partitions: all originals qualify,
+                    // replicas are skipped (they are originals of an
+                    // earlier partition or replicas of the first)
+                    scan::emit_all(&level.parts[off as usize].originals, skip, |s| s.id, sink);
                 }
-                let last_part = &level.parts[last as usize];
-                self.report_last(last_part, &q, flags, out);
+                report_last(&level.parts[last as usize], &q, flags, skip, sink);
             }
             if eval == Eval::BottomUp {
                 flags.update(f, last);
@@ -124,87 +147,9 @@ impl HintMBase {
         self.query_with(q, Eval::BottomUp, out)
     }
 
-    /// Case `f == l`: the query overlaps a single partition at this level.
-    #[inline]
-    fn report_single(&self, part: &Part, q: &RangeQuery, flags: CompFlags, out: &mut Vec<IntervalId>) {
-        match (flags.first, flags.last) {
-            (true, true) => {
-                // originals need the full overlap test, replicas only
-                // `q.st <= s.end` (Lemma 1: they start before the partition
-                // and hence before q).
-                for s in &part.originals {
-                    if q.st <= s.end && s.st <= q.end {
-                        push(s.id, out);
-                    }
-                }
-                for s in &part.replicas {
-                    if q.st <= s.end {
-                        push(s.id, out);
-                    }
-                }
-            }
-            (false, true) => {
-                // `s.end >= q.st` is guaranteed (Lemma 2); originals still
-                // need `s.st <= q.end`, replicas start before q and qualify.
-                for s in &part.originals {
-                    if s.st <= q.end {
-                        push(s.id, out);
-                    }
-                }
-                report_all(&part.replicas, out);
-            }
-            (true, false) => {
-                // `s.st <= q.end` guaranteed; test only `q.st <= s.end`.
-                for s in part.originals.iter().chain(&part.replicas) {
-                    if q.st <= s.end {
-                        push(s.id, out);
-                    }
-                }
-            }
-            (false, false) => {
-                report_all(&part.originals, out);
-                report_all(&part.replicas, out);
-            }
-        }
-    }
-
-    /// First relevant partition when `f < l`: `s.st <= q.end` holds for all
-    /// stored intervals (they start in or before block `f`, strictly before
-    /// block `l` where `q.end` lies), so only `q.st <= s.end` may be needed.
-    #[inline]
-    fn report_first(&self, part: &Part, q: &RangeQuery, flags: CompFlags, out: &mut Vec<IntervalId>) {
-        if flags.first {
-            for s in part.originals.iter().chain(&part.replicas) {
-                if q.st <= s.end {
-                    push(s.id, out);
-                }
-            }
-        } else {
-            report_all(&part.originals, out);
-            report_all(&part.replicas, out);
-        }
-    }
-
-    /// In-between partitions: all originals qualify, replicas are skipped
-    /// (they are originals of an earlier partition or replicas of the first).
-    #[inline]
-    fn report_middle(&self, part: &Part, out: &mut Vec<IntervalId>) {
-        report_all(&part.originals, out);
-    }
-
-    /// Last relevant partition when `l > f`: only originals are examined
-    /// and only `s.st <= q.end` may be needed (Lemma 1).
-    #[inline]
-    fn report_last(&self, part: &Part, q: &RangeQuery, flags: CompFlags, out: &mut Vec<IntervalId>) {
-        if flags.last {
-            for s in &part.originals {
-                if s.st <= q.end {
-                    push(s.id, out);
-                }
-            }
-        } else {
-            report_all(&part.originals, out);
-        }
+    /// Evaluates `q` (bottom-up) into an arbitrary sink.
+    pub fn query_sink<S: QuerySink + ?Sized>(&self, q: RangeQuery, sink: &mut S) {
+        self.query_with_sink(q, Eval::BottomUp, sink)
     }
 
     /// Inserts an interval (Algorithm 1, §3.4).
@@ -239,8 +184,11 @@ impl HintMBase {
         let levels = &mut self.levels;
         for_each_assignment(m, a, b, |asg| {
             let part = &mut levels[asg.level as usize].parts[asg.offset as usize];
-            let group =
-                if asg.kind.is_original() { &mut part.originals } else { &mut part.replicas };
+            let group = if asg.kind.is_original() {
+                &mut part.originals
+            } else {
+                &mut part.replicas
+            };
             for slot in group.iter_mut() {
                 if slot.id == s.id && slot.st == s.st && slot.end == s.end {
                     slot.id = TOMBSTONE;
@@ -262,8 +210,8 @@ impl HintMBase {
         for level in &self.levels {
             total += level.parts.len() * std::mem::size_of::<Part>();
             for part in &level.parts {
-                total += (part.originals.len() + part.replicas.len())
-                    * std::mem::size_of::<Interval>();
+                total +=
+                    (part.originals.len() + part.replicas.len()) * std::mem::size_of::<Interval>();
             }
         }
         total
@@ -284,17 +232,120 @@ impl HintMBase {
     }
 }
 
+/// Case `f == l`: the query overlaps a single partition at this level.
+/// Comparison regimes follow Lemmas 1 and 2, shared with the other
+/// variants through [`crate::scan`] (runs are unsorted in the base index,
+/// so every filter is a linear scan).
 #[inline]
-fn push(id: IntervalId, out: &mut Vec<IntervalId>) {
-    if id != TOMBSTONE {
-        out.push(id);
+fn report_single<S: QuerySink + ?Sized>(
+    part: &Part,
+    q: &RangeQuery,
+    flags: CompFlags,
+    skip: bool,
+    sink: &mut S,
+) {
+    match (flags.first, flags.last) {
+        (true, true) => {
+            // originals need the full overlap test, replicas only
+            // `q.st <= s.end` (Lemma 1: they start before the partition
+            // and hence before q).
+            scan::emit_overlap(
+                &part.originals,
+                q.st,
+                q.end,
+                false,
+                skip,
+                |s| s.st,
+                |s| s.end,
+                |s| s.id,
+                sink,
+            );
+            scan::emit_end_suffix(&part.replicas, q.st, false, skip, |s| s.end, |s| s.id, sink);
+        }
+        (false, true) => {
+            // `s.end >= q.st` is guaranteed (Lemma 2); originals still
+            // need `s.st <= q.end`, replicas start before q and qualify.
+            scan::emit_st_prefix(
+                &part.originals,
+                q.end,
+                false,
+                skip,
+                |s| s.st,
+                |s| s.id,
+                sink,
+            );
+            scan::emit_all(&part.replicas, skip, |s| s.id, sink);
+        }
+        (true, false) => {
+            // `s.st <= q.end` guaranteed; test only `q.st <= s.end`.
+            scan::emit_end_suffix(
+                &part.originals,
+                q.st,
+                false,
+                skip,
+                |s| s.end,
+                |s| s.id,
+                sink,
+            );
+            scan::emit_end_suffix(&part.replicas, q.st, false, skip, |s| s.end, |s| s.id, sink);
+        }
+        (false, false) => {
+            scan::emit_all(&part.originals, skip, |s| s.id, sink);
+            scan::emit_all(&part.replicas, skip, |s| s.id, sink);
+        }
     }
 }
 
+/// First relevant partition when `f < l`: `s.st <= q.end` holds for all
+/// stored intervals (they start in or before block `f`, strictly before
+/// block `l` where `q.end` lies), so only `q.st <= s.end` may be needed.
 #[inline]
-fn report_all(group: &[Interval], out: &mut Vec<IntervalId>) {
-    for s in group {
-        push(s.id, out);
+fn report_first<S: QuerySink + ?Sized>(
+    part: &Part,
+    q: &RangeQuery,
+    flags: CompFlags,
+    skip: bool,
+    sink: &mut S,
+) {
+    if flags.first {
+        scan::emit_end_suffix(
+            &part.originals,
+            q.st,
+            false,
+            skip,
+            |s| s.end,
+            |s| s.id,
+            sink,
+        );
+        scan::emit_end_suffix(&part.replicas, q.st, false, skip, |s| s.end, |s| s.id, sink);
+    } else {
+        scan::emit_all(&part.originals, skip, |s| s.id, sink);
+        scan::emit_all(&part.replicas, skip, |s| s.id, sink);
+    }
+}
+
+/// Last relevant partition when `l > f`: only originals are examined
+/// and only `s.st <= q.end` may be needed (Lemma 1).
+#[inline]
+fn report_last<S: QuerySink + ?Sized>(
+    part: &Part,
+    q: &RangeQuery,
+    flags: CompFlags,
+    skip: bool,
+    sink: &mut S,
+) {
+    if flags.last {
+        scan::emit_st_prefix(
+            &part.originals,
+            q.end,
+            false,
+            skip,
+            |s| s.st,
+            |s| s.id,
+            sink,
+        );
+    } else {
+        scan::emit_all(&part.originals, skip, |s| s.id, sink);
     }
 }
 
@@ -312,7 +363,9 @@ mod tests {
     fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
         let mut x = seed | 1;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 11
         };
         (0..n)
@@ -395,8 +448,7 @@ mod tests {
     #[test]
     fn updates_match_oracle() {
         let mut data = lcg_data(100, 256, 30, 11);
-        let mut idx =
-            HintMBase::build_with_domain(&data, crate::domain::Domain::new(0, 255, 8));
+        let mut idx = HintMBase::build_with_domain(&data, crate::domain::Domain::new(0, 255, 8));
         let mut oracle = ScanOracle::new(&data);
 
         // insert

@@ -9,6 +9,7 @@ use crate::domain::Domain;
 use crate::hintm::opt::{Hint, HintOptions};
 use crate::hintm::subs::{HintMSubs, SubsConfig};
 use crate::interval::{Interval, IntervalId, RangeQuery, Time};
+use crate::sink::QuerySink;
 
 /// Hybrid HINT^m for mixed query/update workloads (§4.4).
 #[derive(Debug, Clone)]
@@ -78,9 +79,17 @@ impl HybridHint {
 
     /// Evaluates a range query against both component indexes.
     pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
-        self.main.query(q, out);
+        self.query_sink(q, out)
+    }
+
+    /// Evaluates a range query into an arbitrary sink; the delta index is
+    /// skipped entirely when the main scan already saturated the sink.
+    pub fn query_sink<S: QuerySink + ?Sized>(&self, q: RangeQuery, sink: &mut S) {
+        self.main.query_sink(q, sink);
         if let Some(delta) = &self.delta {
-            delta.query(q, out);
+            if !sink.is_saturated() {
+                delta.query_sink(q, sink);
+            }
         }
     }
 
@@ -175,7 +184,9 @@ mod tests {
     fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
         let mut x = seed | 1;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 11
         };
         (0..n)

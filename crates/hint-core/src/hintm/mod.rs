@@ -58,7 +58,10 @@ impl CompFlags {
     /// Flags for the bottom level: comparisons needed on both ends.
     #[inline]
     pub fn new() -> Self {
-        Self { first: true, last: true }
+        Self {
+            first: true,
+            last: true,
+        }
     }
 
     /// Lemma-2 update after processing a level whose first/last relevant

@@ -26,6 +26,10 @@ use crate::assign::{for_each_assignment, SubKind};
 use crate::domain::Domain;
 use crate::hintm::CompFlags;
 use crate::interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
+use crate::scan::{
+    bsearch_cost, emit_all, emit_end_suffix, emit_filtered_ids, emit_ids, emit_overlap,
+};
+use crate::sink::QuerySink;
 use crate::stats::QueryStats;
 
 /// Storage options of the optimized index (Figure 12 ablation axes).
@@ -40,7 +44,10 @@ pub struct HintOptions {
 
 impl Default for HintOptions {
     fn default() -> Self {
-        Self { sparse: true, columnar: true }
+        Self {
+            sparse: true,
+            columnar: true,
+        }
     }
 }
 
@@ -56,7 +63,11 @@ enum Dir {
     /// offset `>= offs[i] / 2` (`NO_LINK` when absent). Links are *hints*:
     /// lookups self-correct, so stale links after point inserts only cost
     /// a few extra steps.
-    Sparse { offs: Vec<u64>, begins: Vec<u32>, up: Vec<u32> },
+    Sparse {
+        offs: Vec<u64>,
+        begins: Vec<u32>,
+        up: Vec<u32>,
+    },
 }
 
 /// Sentinel for a missing/unknown inter-level link.
@@ -137,7 +148,11 @@ impl Dir {
         match self {
             Dir::Dense { begins } => {
                 let i = off as usize;
-                SpliceRun { entry: i, lo: begins[i] as usize, hi: begins[i + 1] as usize }
+                SpliceRun {
+                    entry: i,
+                    lo: begins[i] as usize,
+                    hi: begins[i + 1] as usize,
+                }
             }
             Dir::Sparse { offs, begins, up } => {
                 let i = offs.partition_point(|&o| o < off);
@@ -149,7 +164,11 @@ impl Dir {
                     // as hints (lookups self-correct)
                     up.insert(i, u32::MAX);
                 }
-                SpliceRun { entry: i, lo: begins[i] as usize, hi: begins[i + 1] as usize }
+                SpliceRun {
+                    entry: i,
+                    lo: begins[i] as usize,
+                    hi: begins[i + 1] as usize,
+                }
             }
         }
     }
@@ -172,7 +191,10 @@ impl Dir {
     fn link_to(&mut self, above: &Dir) {
         if let Dir::Sparse { offs, up, .. } = self {
             up.clear();
-            if let Dir::Sparse { offs: above_offs, .. } = above {
+            if let Dir::Sparse {
+                offs: above_offs, ..
+            } = above
+            {
                 up.extend(offs.iter().map(|&o| {
                     let target = above_offs.partition_point(|&a| a < (o >> 1));
                     if target < above_offs.len() {
@@ -230,7 +252,11 @@ struct SpliceRun {
 #[derive(Debug, Clone)]
 enum OinData {
     Rows(Vec<Interval>),
-    Cols { ids: Vec<IntervalId>, st: Vec<Time>, end: Vec<Time> },
+    Cols {
+        ids: Vec<IntervalId>,
+        st: Vec<Time>,
+        end: Vec<Time>,
+    },
 }
 
 /// Merged `Oaft` table: `(id, st)`, sorted by `(partition, st)`.
@@ -244,57 +270,45 @@ enum OaftData {
 #[derive(Debug, Clone)]
 enum RinData {
     Rows(Vec<(IntervalId, Time)>),
-    Cols { ids: Vec<IntervalId>, end: Vec<Time> },
-}
-
-#[inline]
-fn push_id(id: IntervalId, skip: bool, out: &mut Vec<IntervalId>) {
-    if !skip || id != TOMBSTONE {
-        out.push(id);
-    }
-}
-
-#[inline]
-fn extend_ids(ids: &[IntervalId], skip: bool, out: &mut Vec<IntervalId>) {
-    if skip {
-        out.extend(ids.iter().copied().filter(|&id| id != TOMBSTONE));
-    } else {
-        out.extend_from_slice(ids);
-    }
+    Cols {
+        ids: Vec<IntervalId>,
+        end: Vec<Time>,
+    },
 }
 
 impl OinData {
     /// Blind-reports ids in data range `[lo, hi)` (the §4.3 fast path:
     /// only the ids column is touched).
     #[inline]
-    fn blind(&self, lo: usize, hi: usize, skip: bool, out: &mut Vec<IntervalId>) {
+    fn blind<S: QuerySink + ?Sized>(&self, lo: usize, hi: usize, skip: bool, sink: &mut S) {
         match self {
-            OinData::Rows(rows) => {
-                for r in &rows[lo..hi] {
-                    push_id(r.id, skip, out);
-                }
-            }
-            OinData::Cols { ids, .. } => extend_ids(&ids[lo..hi], skip, out),
+            OinData::Rows(rows) => emit_all(&rows[lo..hi], skip, |r| r.id, sink),
+            OinData::Cols { ids, .. } => emit_ids(&ids[lo..hi], skip, sink),
         }
     }
 
     /// Reports the run prefix with `st <= bound` (run sorted by `st`).
     /// Returns the number of comparisons (binary-search probes).
     #[inline]
-    fn st_prefix(&self, lo: usize, hi: usize, bound: Time, skip: bool, out: &mut Vec<IntervalId>) -> usize {
+    fn st_prefix<S: QuerySink + ?Sized>(
+        &self,
+        lo: usize,
+        hi: usize,
+        bound: Time,
+        skip: bool,
+        sink: &mut S,
+    ) -> usize {
         match self {
             OinData::Rows(rows) => {
                 let run = &rows[lo..hi];
                 let ub = run.partition_point(|r| r.st <= bound);
-                for r in &run[..ub] {
-                    push_id(r.id, skip, out);
-                }
+                emit_all(&run[..ub], skip, |r| r.id, sink);
                 bsearch_cost(run.len())
             }
             OinData::Cols { ids, st, .. } => {
                 let run = &st[lo..hi];
                 let ub = run.partition_point(|&x| x <= bound);
-                extend_ids(&ids[lo..lo + ub], skip, out);
+                emit_ids(&ids[lo..lo + ub], skip, sink);
                 bsearch_cost(run.len())
             }
         }
@@ -303,21 +317,20 @@ impl OinData {
     /// Linear scan of the run reporting entries with `end >= bound`
     /// (the run is sorted by `st`, so no binary search applies).
     #[inline]
-    fn end_ge_scan(&self, lo: usize, hi: usize, bound: Time, skip: bool, out: &mut Vec<IntervalId>) -> usize {
+    fn end_ge_scan<S: QuerySink + ?Sized>(
+        &self,
+        lo: usize,
+        hi: usize,
+        bound: Time,
+        skip: bool,
+        sink: &mut S,
+    ) -> usize {
         match self {
             OinData::Rows(rows) => {
-                for r in &rows[lo..hi] {
-                    if r.end >= bound {
-                        push_id(r.id, skip, out);
-                    }
-                }
+                emit_end_suffix(&rows[lo..hi], bound, false, skip, |r| r.end, |r| r.id, sink);
             }
             OinData::Cols { ids, end, .. } => {
-                for (k, &e) in end[lo..hi].iter().enumerate() {
-                    if e >= bound {
-                        push_id(ids[lo + k], skip, out);
-                    }
-                }
+                emit_filtered_ids(&ids[lo..hi], &end[lo..hi], skip, |e| e >= bound, sink);
             }
         }
         hi - lo
@@ -326,26 +339,40 @@ impl OinData {
     /// Both tests (single-partition case with both flags set): binary
     /// search the `st <= q.end` prefix, then filter by `end >= q.st`.
     #[inline]
-    fn both(&self, lo: usize, hi: usize, qst: Time, qend: Time, skip: bool, out: &mut Vec<IntervalId>) -> usize {
+    fn both<S: QuerySink + ?Sized>(
+        &self,
+        lo: usize,
+        hi: usize,
+        qst: Time,
+        qend: Time,
+        skip: bool,
+        sink: &mut S,
+    ) -> usize {
         match self {
             OinData::Rows(rows) => {
                 let run = &rows[lo..hi];
-                let ub = run.partition_point(|r| r.st <= qend);
-                for r in &run[..ub] {
-                    if r.end >= qst {
-                        push_id(r.id, skip, out);
-                    }
-                }
-                bsearch_cost(run.len()) + ub
+                emit_overlap(
+                    run,
+                    qst,
+                    qend,
+                    true,
+                    skip,
+                    |r| r.st,
+                    |r| r.end,
+                    |r| r.id,
+                    sink,
+                )
             }
             OinData::Cols { ids, st, end } => {
                 let run = &st[lo..hi];
                 let ub = run.partition_point(|&x| x <= qend);
-                for k in 0..ub {
-                    if end[lo + k] >= qst {
-                        push_id(ids[lo + k], skip, out);
-                    }
-                }
+                emit_filtered_ids(
+                    &ids[lo..lo + ub],
+                    &end[lo..lo + ub],
+                    skip,
+                    |e| e >= qst,
+                    sink,
+                );
                 bsearch_cost(run.len()) + ub
             }
         }
@@ -406,32 +433,33 @@ impl OinData {
 
 impl OaftData {
     #[inline]
-    fn blind(&self, lo: usize, hi: usize, skip: bool, out: &mut Vec<IntervalId>) {
+    fn blind<S: QuerySink + ?Sized>(&self, lo: usize, hi: usize, skip: bool, sink: &mut S) {
         match self {
-            OaftData::Rows(rows) => {
-                for &(id, _) in &rows[lo..hi] {
-                    push_id(id, skip, out);
-                }
-            }
-            OaftData::Cols { ids, .. } => extend_ids(&ids[lo..hi], skip, out),
+            OaftData::Rows(rows) => emit_all(&rows[lo..hi], skip, |e| e.0, sink),
+            OaftData::Cols { ids, .. } => emit_ids(&ids[lo..hi], skip, sink),
         }
     }
 
     #[inline]
-    fn st_prefix(&self, lo: usize, hi: usize, bound: Time, skip: bool, out: &mut Vec<IntervalId>) -> usize {
+    fn st_prefix<S: QuerySink + ?Sized>(
+        &self,
+        lo: usize,
+        hi: usize,
+        bound: Time,
+        skip: bool,
+        sink: &mut S,
+    ) -> usize {
         match self {
             OaftData::Rows(rows) => {
                 let run = &rows[lo..hi];
                 let ub = run.partition_point(|&(_, st)| st <= bound);
-                for &(id, _) in &run[..ub] {
-                    push_id(id, skip, out);
-                }
+                emit_all(&run[..ub], skip, |e| e.0, sink);
                 bsearch_cost(run.len())
             }
             OaftData::Cols { ids, st } => {
                 let run = &st[lo..hi];
                 let ub = run.partition_point(|&x| x <= bound);
-                extend_ids(&ids[lo..lo + ub], skip, out);
+                emit_ids(&ids[lo..lo + ub], skip, sink);
                 bsearch_cost(run.len())
             }
         }
@@ -491,33 +519,34 @@ impl OaftData {
 
 impl RinData {
     #[inline]
-    fn blind(&self, lo: usize, hi: usize, skip: bool, out: &mut Vec<IntervalId>) {
+    fn blind<S: QuerySink + ?Sized>(&self, lo: usize, hi: usize, skip: bool, sink: &mut S) {
         match self {
-            RinData::Rows(rows) => {
-                for &(id, _) in &rows[lo..hi] {
-                    push_id(id, skip, out);
-                }
-            }
-            RinData::Cols { ids, .. } => extend_ids(&ids[lo..hi], skip, out),
+            RinData::Rows(rows) => emit_all(&rows[lo..hi], skip, |e| e.0, sink),
+            RinData::Cols { ids, .. } => emit_ids(&ids[lo..hi], skip, sink),
         }
     }
 
     /// Reports the run suffix with `end >= bound` (run sorted by `end`).
     #[inline]
-    fn end_suffix(&self, lo: usize, hi: usize, bound: Time, skip: bool, out: &mut Vec<IntervalId>) -> usize {
+    fn end_suffix<S: QuerySink + ?Sized>(
+        &self,
+        lo: usize,
+        hi: usize,
+        bound: Time,
+        skip: bool,
+        sink: &mut S,
+    ) -> usize {
         match self {
             RinData::Rows(rows) => {
                 let run = &rows[lo..hi];
                 let lb = run.partition_point(|&(_, end)| end < bound);
-                for &(id, _) in &run[lb..] {
-                    push_id(id, skip, out);
-                }
+                emit_all(&run[lb..], skip, |e| e.0, sink);
                 bsearch_cost(run.len())
             }
             RinData::Cols { ids, end } => {
                 let run = &end[lo..hi];
                 let lb = run.partition_point(|&x| x < bound);
-                extend_ids(&ids[lo + lb..hi], skip, out);
+                emit_ids(&ids[lo + lb..hi], skip, sink);
                 bsearch_cost(run.len())
             }
         }
@@ -573,12 +602,6 @@ impl RinData {
             }
         }
     }
-}
-
-/// Approximate comparison count of one binary search over `n` entries.
-#[inline]
-fn bsearch_cost(n: usize) -> usize {
-    (usize::BITS - n.leading_zeros()) as usize
 }
 
 /// One subdivision-kind group at one level: directory + merged table.
@@ -646,10 +669,19 @@ impl Hint {
                 }
             });
         }
-        let levels: Vec<Level> =
-            buf.into_iter().enumerate().map(|(l, b)| build_level(l, b, opts)).collect();
+        let levels: Vec<Level> = buf
+            .into_iter()
+            .enumerate()
+            .map(|(l, b)| build_level(l, b, opts))
+            .collect();
         let levels = link_levels(levels);
-        Self { domain, opts, levels, live: data.len(), tombstones: 0 }
+        Self {
+            domain,
+            opts,
+            levels,
+            live: data.len(),
+            tombstones: 0,
+        }
     }
 
     /// Parallel bulk construction (§6 future work: "effective
@@ -693,9 +725,7 @@ impl Hint {
                                 let lvl = &mut buf[asg.level as usize];
                                 match asg.kind {
                                     SubKind::OriginalIn => lvl.oin.push((asg.offset, *s)),
-                                    SubKind::OriginalAft => {
-                                        lvl.oaft.push((asg.offset, s.id, s.st))
-                                    }
+                                    SubKind::OriginalAft => lvl.oaft.push((asg.offset, s.id, s.st)),
                                     SubKind::ReplicaIn => lvl.rin.push((asg.offset, s.id, s.end)),
                                     SubKind::ReplicaAft => lvl.raft.push((asg.offset, s.id)),
                                 }
@@ -705,7 +735,10 @@ impl Hint {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("assignment worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("assignment worker"))
+                .collect()
         })
         .expect("assignment scope");
 
@@ -726,11 +759,20 @@ impl Hint {
                 .enumerate()
                 .map(|(l, b)| scope.spawn(move |_| build_level(l, b, opts)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("level worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("level worker"))
+                .collect()
         })
         .expect("level scope");
         let levels = link_levels(levels);
-        Self { domain, opts, levels, live: data.len(), tombstones: 0 }
+        Self {
+            domain,
+            opts,
+            levels,
+            live: data.len(),
+            tombstones: 0,
+        }
     }
 
     /// The index domain.
@@ -759,6 +801,12 @@ impl Hint {
         self.query_inner(q, out, None);
     }
 
+    /// Evaluates a range query into an arbitrary sink; the level walk
+    /// stops once the sink is saturated.
+    pub fn query_sink<S: QuerySink + ?Sized>(&self, q: RangeQuery, sink: &mut S) {
+        self.query_inner(q, sink, None);
+    }
+
     /// Instrumented query: returns the §5.2.4 counters alongside results.
     pub fn query_stats(&self, q: RangeQuery, out: &mut Vec<IntervalId>) -> QueryStats {
         let mut stats = QueryStats::default();
@@ -773,7 +821,12 @@ impl Hint {
         self.query(RangeQuery::stab(t), out)
     }
 
-    fn query_inner(&self, q: RangeQuery, out: &mut Vec<IntervalId>, mut stats: Option<&mut QueryStats>) {
+    fn query_inner<S: QuerySink + ?Sized>(
+        &self,
+        q: RangeQuery,
+        out: &mut S,
+        mut stats: Option<&mut QueryStats>,
+    ) {
         if !self.domain.intersects(&q) {
             return;
         }
@@ -784,6 +837,9 @@ impl Hint {
         let mut oin_hint = NO_LINK;
         let mut oaft_hint = NO_LINK;
         for l in (0..=m).rev() {
+            if out.is_saturated() {
+                return;
+            }
             let f = self.domain.prefix(l, qst);
             let last = self.domain.prefix(l, qend);
             let level = &self.levels[l as usize];
@@ -811,7 +867,9 @@ impl Hint {
                             let cmps = match (flags.first, flags.last) {
                                 (true, true) => level.oin.data.both(lo, hi, q.st, q.end, skip, out),
                                 (false, true) => level.oin.data.st_prefix(lo, hi, q.end, skip, out),
-                                (true, false) => level.oin.data.end_ge_scan(lo, hi, q.st, skip, out),
+                                (true, false) => {
+                                    level.oin.data.end_ge_scan(lo, hi, q.st, skip, out)
+                                }
                                 (false, false) => {
                                     level.oin.data.blind(lo, hi, skip, out);
                                     0
@@ -887,7 +945,7 @@ impl Hint {
 
             // ---- Raft: only the first partition's run; never compared.
             if let Some((lo, hi)) = level.raft.dir.run_of(f) {
-                extend_ids(&level.raft.data[lo..hi], skip, out);
+                emit_ids(&level.raft.data[lo..hi], skip, out);
                 record(&mut stats, 1, 0);
             }
 
@@ -973,17 +1031,15 @@ impl Hint {
                     .dir
                     .run_of(asg.offset)
                     .is_some_and(|(lo, hi)| level.rin.data.tombstone_in(lo, hi, s.id)),
-                SubKind::ReplicaAft => {
-                    level.raft.dir.run_of(asg.offset).is_some_and(|(lo, hi)| {
-                        for slot in &mut level.raft.data[lo..hi] {
-                            if *slot == s.id {
-                                *slot = TOMBSTONE;
-                                return true;
-                            }
+                SubKind::ReplicaAft => level.raft.dir.run_of(asg.offset).is_some_and(|(lo, hi)| {
+                    for slot in &mut level.raft.data[lo..hi] {
+                        if *slot == s.id {
+                            *slot = TOMBSTONE;
+                            return true;
                         }
-                        false
-                    })
-                }
+                    }
+                    false
+                }),
             };
             found |= hit;
         });
@@ -1132,7 +1188,9 @@ mod tests {
     fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
         let mut x = seed | 1;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 11
         };
         (0..n)
@@ -1146,10 +1204,22 @@ mod tests {
 
     fn all_options() -> [HintOptions; 4] {
         [
-            HintOptions { sparse: false, columnar: false },
-            HintOptions { sparse: true, columnar: false },
-            HintOptions { sparse: false, columnar: true },
-            HintOptions { sparse: true, columnar: true },
+            HintOptions {
+                sparse: false,
+                columnar: false,
+            },
+            HintOptions {
+                sparse: true,
+                columnar: false,
+            },
+            HintOptions {
+                sparse: false,
+                columnar: true,
+            },
+            HintOptions {
+                sparse: true,
+                columnar: true,
+            },
         ]
     }
 
@@ -1238,15 +1308,30 @@ mod tests {
 
     #[test]
     fn sparse_shrinks_directories_under_sparsity() {
-        let data: Vec<Interval> =
-            (0..100).map(|i| Interval::new(i, i * 10_000, i * 10_000 + 5)).collect();
-        let dense = Hint::build_with_options(&data, 16, HintOptions { sparse: false, columnar: true });
-        let sparse = Hint::build_with_options(&data, 16, HintOptions { sparse: true, columnar: true });
+        let data: Vec<Interval> = (0..100)
+            .map(|i| Interval::new(i, i * 10_000, i * 10_000 + 5))
+            .collect();
+        let dense = Hint::build_with_options(
+            &data,
+            16,
+            HintOptions {
+                sparse: false,
+                columnar: true,
+            },
+        );
+        let sparse = Hint::build_with_options(
+            &data,
+            16,
+            HintOptions {
+                sparse: true,
+                columnar: true,
+            },
+        );
         assert!(sparse.size_bytes() < dense.size_bytes() / 4);
     }
 
     #[test]
-    fn parallel_build_equals_serial_build(){
+    fn parallel_build_equals_serial_build() {
         let data = lcg_data(4000, 1 << 18, 20_000, 77);
         let serial = Hint::build(&data, 12);
         for threads in [1, 2, 7] {

@@ -23,6 +23,8 @@ use crate::assign::{for_each_assignment, SubKind};
 use crate::domain::Domain;
 use crate::hintm::CompFlags;
 use crate::interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
+use crate::scan;
+use crate::sink::QuerySink;
 
 /// Configuration of the §4.1 options (Figure 11's ablation axes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,12 +38,18 @@ pub struct SubsConfig {
 impl SubsConfig {
     /// All §4.1 optimizations on (the `subs+sort+sopt` line of Figure 11).
     pub fn full() -> Self {
-        Self { sort: true, sopt: true }
+        Self {
+            sort: true,
+            sopt: true,
+        }
     }
 
     /// The update-friendly configuration (`subs+sopt`, §4.4 delta index).
     pub fn update_friendly() -> Self {
-        Self { sort: false, sopt: true }
+        Self {
+            sort: false,
+            sopt: true,
+        }
     }
 }
 
@@ -111,14 +119,25 @@ impl HintMSubs {
     /// Builds over an explicit domain (for pre-sized update workloads).
     pub fn build_with_domain(data: &[Interval], domain: Domain, cfg: SubsConfig) -> Self {
         let m = domain.m();
-        assert!(m <= 26, "dense per-partition layout limited to m <= 26 (got {m})");
+        assert!(
+            m <= 26,
+            "dense per-partition layout limited to m <= 26 (got {m})"
+        );
         let mut idx = Self {
             domain,
             cfg,
             storage: if cfg.sopt {
-                Storage::Opt((0..=m).map(|l| vec![PartOpt::default(); 1usize << l]).collect())
+                Storage::Opt(
+                    (0..=m)
+                        .map(|l| vec![PartOpt::default(); 1usize << l])
+                        .collect(),
+                )
             } else {
-                Storage::Full((0..=m).map(|l| vec![PartFull::default(); 1usize << l]).collect())
+                Storage::Full(
+                    (0..=m)
+                        .map(|l| vec![PartFull::default(); 1usize << l])
+                        .collect(),
+                )
             },
             live: 0,
             tombstones: 0,
@@ -155,7 +174,10 @@ impl HintMSubs {
                     match asg.kind {
                         SubKind::OriginalIn => part.oin.push(s),
                         SubKind::OriginalAft => part.oaft.push(IdSt { id: s.id, st: s.st }),
-                        SubKind::ReplicaIn => part.rin.push(IdEnd { id: s.id, end: s.end }),
+                        SubKind::ReplicaIn => part.rin.push(IdEnd {
+                            id: s.id,
+                            end: s.end,
+                        }),
                         SubKind::ReplicaAft => part.raft.push(s.id),
                     }
                 });
@@ -205,12 +227,18 @@ impl HintMSubs {
     /// Evaluates a range query (Algorithm 3 + Lemmas 5/6), pushing result
     /// ids into `out`.
     pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        self.query_sink(q, out)
+    }
+
+    /// Evaluates a range query into an arbitrary sink; the partition walk
+    /// stops once the sink is saturated.
+    pub fn query_sink<S: QuerySink + ?Sized>(&self, q: RangeQuery, sink: &mut S) {
         if !self.domain.intersects(&q) {
             return;
         }
         match &self.storage {
-            Storage::Full(levels) => self.run(levels, q, out, FullView),
-            Storage::Opt(levels) => self.run(levels, q, out, OptView),
+            Storage::Full(levels) => self.run(levels, q, sink, FullView),
+            Storage::Opt(levels) => self.run(levels, q, sink, OptView),
         }
     }
 
@@ -220,23 +248,36 @@ impl HintMSubs {
     }
 
     /// Level/partition walk shared by both storage layouts.
-    fn run<P, V: PartView<P>>(&self, levels: &[Vec<P>], q: RangeQuery, out: &mut Vec<IntervalId>, view: V) {
+    fn run<P, V: PartView<P>, S: QuerySink + ?Sized>(
+        &self,
+        levels: &[Vec<P>],
+        q: RangeQuery,
+        sink: &mut S,
+        view: V,
+    ) {
         let (qst, qend) = self.domain.map_query(&q);
         let m = self.domain.m();
         let sort = self.cfg.sort;
+        let skip = self.tombstones > 0;
         let mut flags = CompFlags::new();
         for l in (0..=m).rev() {
+            if sink.is_saturated() {
+                return;
+            }
             let f = self.domain.prefix(l, qst);
             let last = self.domain.prefix(l, qend);
             if f == last {
-                view.single(&levels[l as usize][f as usize], &q, flags, sort, out);
+                view.single(&levels[l as usize][f as usize], &q, flags, sort, skip, sink);
             } else {
-                view.first(&levels[l as usize][f as usize], &q, flags, sort, out);
+                view.first(&levels[l as usize][f as usize], &q, flags, sort, skip, sink);
                 let parts = &levels[l as usize];
                 for off in f + 1..last {
-                    view.middle(&parts[off as usize], out);
+                    if sink.is_saturated() {
+                        return;
+                    }
+                    view.middle(&parts[off as usize], skip, sink);
                 }
-                view.last(&parts[last as usize], &q, flags, sort, out);
+                view.last(&parts[last as usize], &q, flags, sort, skip, sink);
             }
             flags.update(f, last);
         }
@@ -275,9 +316,15 @@ impl HintMSubs {
                         SubKind::OriginalAft => {
                             insert_by(&mut part.oaft, IdSt { id: s.id, st: s.st }, sort, |x| x.st)
                         }
-                        SubKind::ReplicaIn => {
-                            insert_by(&mut part.rin, IdEnd { id: s.id, end: s.end }, sort, |x| x.end)
-                        }
+                        SubKind::ReplicaIn => insert_by(
+                            &mut part.rin,
+                            IdEnd {
+                                id: s.id,
+                                end: s.end,
+                            },
+                            sort,
+                            |x| x.end,
+                        ),
                         SubKind::ReplicaAft => part.raft.push(s.id),
                     }
                 });
@@ -409,55 +456,40 @@ fn tomb<T>(v: &mut [T], id: IntervalId, idf: impl Fn(&mut T) -> &mut IntervalId)
     false
 }
 
-#[inline]
-fn push(id: IntervalId, out: &mut Vec<IntervalId>) {
-    if id != TOMBSTONE {
-        out.push(id);
-    }
-}
-
 /// Reporting logic per partition role, abstracted over the two storage
 /// layouts. Methods are `#[inline]`-heavy; monomorphization gives each
-/// layout its own straight-line code with no dynamic dispatch.
+/// layout/sink pair its own straight-line code with no dynamic dispatch.
+/// The comparison regimes themselves live in [`crate::scan`], shared with
+/// the other HINT variants.
 trait PartView<P>: Copy {
-    fn single(&self, p: &P, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>);
-    fn first(&self, p: &P, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>);
-    fn middle(&self, p: &P, out: &mut Vec<IntervalId>);
-    fn last(&self, p: &P, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>);
-}
-
-/// Reports entries with `st <= bound` from a slice sorted by `st`.
-#[inline]
-fn report_st_prefix<T>(v: &[T], bound: Time, sort: bool, st: impl Fn(&T) -> Time, id: impl Fn(&T) -> IntervalId, out: &mut Vec<IntervalId>) {
-    if sort {
-        let ub = v.partition_point(|e| st(e) <= bound);
-        for e in &v[..ub] {
-            push(id(e), out);
-        }
-    } else {
-        for e in v {
-            if st(e) <= bound {
-                push(id(e), out);
-            }
-        }
-    }
-}
-
-/// Reports entries with `end >= bound` from a slice sorted by `end`.
-#[inline]
-fn report_end_suffix<T>(v: &[T], bound: Time, sort: bool, end: impl Fn(&T) -> Time, id: impl Fn(&T) -> IntervalId, out: &mut Vec<IntervalId>) {
-    if sort {
-        let lb = v.partition_point(|e| end(e) < bound);
-        for e in &v[lb..] {
-            push(id(e), out);
-        }
-    } else {
-        for e in v {
-            if end(e) >= bound {
-                push(id(e), out);
-            }
-        }
-    }
+    fn single<S: QuerySink + ?Sized>(
+        &self,
+        p: &P,
+        q: &RangeQuery,
+        flags: CompFlags,
+        sort: bool,
+        skip: bool,
+        sink: &mut S,
+    );
+    fn first<S: QuerySink + ?Sized>(
+        &self,
+        p: &P,
+        q: &RangeQuery,
+        flags: CompFlags,
+        sort: bool,
+        skip: bool,
+        sink: &mut S,
+    );
+    fn middle<S: QuerySink + ?Sized>(&self, p: &P, skip: bool, sink: &mut S);
+    fn last<S: QuerySink + ?Sized>(
+        &self,
+        p: &P,
+        q: &RangeQuery,
+        flags: CompFlags,
+        sort: bool,
+        skip: bool,
+        sink: &mut S,
+    );
 }
 
 #[derive(Clone, Copy)]
@@ -465,92 +497,95 @@ struct FullView;
 
 impl PartView<PartFull> for FullView {
     #[inline]
-    fn single(&self, p: &PartFull, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>) {
+    fn single<S: QuerySink + ?Sized>(
+        &self,
+        p: &PartFull,
+        q: &RangeQuery,
+        flags: CompFlags,
+        sort: bool,
+        skip: bool,
+        sink: &mut S,
+    ) {
         // Lemma 6, gated by the Lemma-2 flags.
         match (flags.first, flags.last) {
             (true, true) => {
-                if sort {
-                    let ub = p.oin.partition_point(|e| e.st <= q.end);
-                    for s in &p.oin[..ub] {
-                        if s.end >= q.st {
-                            push(s.id, out);
-                        }
-                    }
-                } else {
-                    for s in &p.oin {
-                        if s.st <= q.end && s.end >= q.st {
-                            push(s.id, out);
-                        }
-                    }
-                }
-                report_st_prefix(&p.oaft, q.end, sort, |e| e.st, |e| e.id, out);
-                report_end_suffix(&p.rin, q.st, sort, |e| e.end, |e| e.id, out);
+                scan::emit_overlap(
+                    &p.oin,
+                    q.st,
+                    q.end,
+                    sort,
+                    skip,
+                    |e| e.st,
+                    |e| e.end,
+                    |e| e.id,
+                    sink,
+                );
+                scan::emit_st_prefix(&p.oaft, q.end, sort, skip, |e| e.st, |e| e.id, sink);
+                scan::emit_end_suffix(&p.rin, q.st, sort, skip, |e| e.end, |e| e.id, sink);
             }
             (false, true) => {
-                report_st_prefix(&p.oin, q.end, sort, |e| e.st, |e| e.id, out);
-                report_st_prefix(&p.oaft, q.end, sort, |e| e.st, |e| e.id, out);
-                for s in &p.rin {
-                    push(s.id, out);
-                }
+                scan::emit_st_prefix(&p.oin, q.end, sort, skip, |e| e.st, |e| e.id, sink);
+                scan::emit_st_prefix(&p.oaft, q.end, sort, skip, |e| e.st, |e| e.id, sink);
+                scan::emit_all(&p.rin, skip, |e| e.id, sink);
             }
             (true, false) => {
-                report_end_suffix(&p.rin, q.st, sort, |e| e.end, |e| e.id, out);
-                for s in &p.oin {
-                    if s.end >= q.st {
-                        push(s.id, out);
-                    }
-                }
-                for s in &p.oaft {
-                    push(s.id, out);
-                }
+                scan::emit_end_suffix(&p.rin, q.st, sort, skip, |e| e.end, |e| e.id, sink);
+                scan::emit_end_suffix(&p.oin, q.st, false, skip, |e| e.end, |e| e.id, sink);
+                scan::emit_all(&p.oaft, skip, |e| e.id, sink);
             }
             (false, false) => {
-                for s in p.oin.iter().chain(&p.oaft).chain(&p.rin) {
-                    push(s.id, out);
-                }
+                scan::emit_all(&p.oin, skip, |e| e.id, sink);
+                scan::emit_all(&p.oaft, skip, |e| e.id, sink);
+                scan::emit_all(&p.rin, skip, |e| e.id, sink);
             }
         }
-        for s in &p.raft {
-            push(s.id, out);
-        }
+        scan::emit_all(&p.raft, skip, |e| e.id, sink);
     }
 
     #[inline]
-    fn first(&self, p: &PartFull, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>) {
+    fn first<S: QuerySink + ?Sized>(
+        &self,
+        p: &PartFull,
+        q: &RangeQuery,
+        flags: CompFlags,
+        sort: bool,
+        skip: bool,
+        sink: &mut S,
+    ) {
         // Lemma 5: only the `in` subdivisions may need `s.end >= q.st`.
         if flags.first {
-            for s in &p.oin {
-                if s.end >= q.st {
-                    push(s.id, out);
-                }
-            }
-            report_end_suffix(&p.rin, q.st, sort, |e| e.end, |e| e.id, out);
+            scan::emit_end_suffix(&p.oin, q.st, false, skip, |e| e.end, |e| e.id, sink);
+            scan::emit_end_suffix(&p.rin, q.st, sort, skip, |e| e.end, |e| e.id, sink);
         } else {
-            for s in p.oin.iter().chain(&p.rin) {
-                push(s.id, out);
-            }
+            scan::emit_all(&p.oin, skip, |e| e.id, sink);
+            scan::emit_all(&p.rin, skip, |e| e.id, sink);
         }
-        for s in p.oaft.iter().chain(&p.raft) {
-            push(s.id, out);
-        }
+        scan::emit_all(&p.oaft, skip, |e| e.id, sink);
+        scan::emit_all(&p.raft, skip, |e| e.id, sink);
     }
 
     #[inline]
-    fn middle(&self, p: &PartFull, out: &mut Vec<IntervalId>) {
-        for s in p.oin.iter().chain(&p.oaft) {
-            push(s.id, out);
-        }
+    fn middle<S: QuerySink + ?Sized>(&self, p: &PartFull, skip: bool, sink: &mut S) {
+        scan::emit_all(&p.oin, skip, |e| e.id, sink);
+        scan::emit_all(&p.oaft, skip, |e| e.id, sink);
     }
 
     #[inline]
-    fn last(&self, p: &PartFull, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>) {
+    fn last<S: QuerySink + ?Sized>(
+        &self,
+        p: &PartFull,
+        q: &RangeQuery,
+        flags: CompFlags,
+        sort: bool,
+        skip: bool,
+        sink: &mut S,
+    ) {
         if flags.last {
-            report_st_prefix(&p.oin, q.end, sort, |e| e.st, |e| e.id, out);
-            report_st_prefix(&p.oaft, q.end, sort, |e| e.st, |e| e.id, out);
+            scan::emit_st_prefix(&p.oin, q.end, sort, skip, |e| e.st, |e| e.id, sink);
+            scan::emit_st_prefix(&p.oaft, q.end, sort, skip, |e| e.st, |e| e.id, sink);
         } else {
-            for s in p.oin.iter().chain(&p.oaft) {
-                push(s.id, out);
-            }
+            scan::emit_all(&p.oin, skip, |e| e.id, sink);
+            scan::emit_all(&p.oaft, skip, |e| e.id, sink);
         }
     }
 }
@@ -560,108 +595,93 @@ struct OptView;
 
 impl PartView<PartOpt> for OptView {
     #[inline]
-    fn single(&self, p: &PartOpt, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>) {
+    fn single<S: QuerySink + ?Sized>(
+        &self,
+        p: &PartOpt,
+        q: &RangeQuery,
+        flags: CompFlags,
+        sort: bool,
+        skip: bool,
+        sink: &mut S,
+    ) {
         match (flags.first, flags.last) {
             (true, true) => {
-                if sort {
-                    let ub = p.oin.partition_point(|e| e.st <= q.end);
-                    for s in &p.oin[..ub] {
-                        if s.end >= q.st {
-                            push(s.id, out);
-                        }
-                    }
-                } else {
-                    for s in &p.oin {
-                        if s.st <= q.end && s.end >= q.st {
-                            push(s.id, out);
-                        }
-                    }
-                }
-                report_st_prefix(&p.oaft, q.end, sort, |e| e.st, |e| e.id, out);
-                report_end_suffix(&p.rin, q.st, sort, |e| e.end, |e| e.id, out);
+                scan::emit_overlap(
+                    &p.oin,
+                    q.st,
+                    q.end,
+                    sort,
+                    skip,
+                    |e| e.st,
+                    |e| e.end,
+                    |e| e.id,
+                    sink,
+                );
+                scan::emit_st_prefix(&p.oaft, q.end, sort, skip, |e| e.st, |e| e.id, sink);
+                scan::emit_end_suffix(&p.rin, q.st, sort, skip, |e| e.end, |e| e.id, sink);
             }
             (false, true) => {
-                report_st_prefix(&p.oin, q.end, sort, |e| e.st, |e| e.id, out);
-                report_st_prefix(&p.oaft, q.end, sort, |e| e.st, |e| e.id, out);
-                for s in &p.rin {
-                    push(s.id, out);
-                }
+                scan::emit_st_prefix(&p.oin, q.end, sort, skip, |e| e.st, |e| e.id, sink);
+                scan::emit_st_prefix(&p.oaft, q.end, sort, skip, |e| e.st, |e| e.id, sink);
+                scan::emit_all(&p.rin, skip, |e| e.id, sink);
             }
             (true, false) => {
-                report_end_suffix(&p.rin, q.st, sort, |e| e.end, |e| e.id, out);
-                for s in &p.oin {
-                    if s.end >= q.st {
-                        push(s.id, out);
-                    }
-                }
-                for s in &p.oaft {
-                    push(s.id, out);
-                }
+                scan::emit_end_suffix(&p.rin, q.st, sort, skip, |e| e.end, |e| e.id, sink);
+                scan::emit_end_suffix(&p.oin, q.st, false, skip, |e| e.end, |e| e.id, sink);
+                scan::emit_all(&p.oaft, skip, |e| e.id, sink);
             }
             (false, false) => {
-                for s in &p.oin {
-                    push(s.id, out);
-                }
-                for s in &p.oaft {
-                    push(s.id, out);
-                }
-                for s in &p.rin {
-                    push(s.id, out);
-                }
+                scan::emit_all(&p.oin, skip, |e| e.id, sink);
+                scan::emit_all(&p.oaft, skip, |e| e.id, sink);
+                scan::emit_all(&p.rin, skip, |e| e.id, sink);
             }
         }
-        for &id in &p.raft {
-            push(id, out);
-        }
+        scan::emit_ids(&p.raft, skip, sink);
     }
 
     #[inline]
-    fn first(&self, p: &PartOpt, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>) {
+    fn first<S: QuerySink + ?Sized>(
+        &self,
+        p: &PartOpt,
+        q: &RangeQuery,
+        flags: CompFlags,
+        sort: bool,
+        skip: bool,
+        sink: &mut S,
+    ) {
         if flags.first {
-            for s in &p.oin {
-                if s.end >= q.st {
-                    push(s.id, out);
-                }
-            }
-            report_end_suffix(&p.rin, q.st, sort, |e| e.end, |e| e.id, out);
+            scan::emit_end_suffix(&p.oin, q.st, false, skip, |e| e.end, |e| e.id, sink);
+            scan::emit_end_suffix(&p.rin, q.st, sort, skip, |e| e.end, |e| e.id, sink);
         } else {
-            for s in &p.oin {
-                push(s.id, out);
-            }
-            for s in &p.rin {
-                push(s.id, out);
-            }
+            scan::emit_all(&p.oin, skip, |e| e.id, sink);
+            scan::emit_all(&p.rin, skip, |e| e.id, sink);
         }
-        for s in &p.oaft {
-            push(s.id, out);
-        }
-        for &id in &p.raft {
-            push(id, out);
-        }
+        scan::emit_all(&p.oaft, skip, |e| e.id, sink);
+        scan::emit_ids(&p.raft, skip, sink);
     }
 
     #[inline]
-    fn middle(&self, p: &PartOpt, out: &mut Vec<IntervalId>) {
-        for s in &p.oin {
-            push(s.id, out);
-        }
-        for s in &p.oaft {
-            push(s.id, out);
-        }
+    fn middle<S: QuerySink + ?Sized>(&self, p: &PartOpt, skip: bool, sink: &mut S) {
+        scan::emit_all(&p.oin, skip, |e| e.id, sink);
+        scan::emit_all(&p.oaft, skip, |e| e.id, sink);
     }
 
     #[inline]
-    fn last(&self, p: &PartOpt, q: &RangeQuery, flags: CompFlags, sort: bool, out: &mut Vec<IntervalId>) {
+    fn last<S: QuerySink + ?Sized>(
+        &self,
+        p: &PartOpt,
+        q: &RangeQuery,
+        flags: CompFlags,
+        sort: bool,
+        skip: bool,
+        sink: &mut S,
+    ) {
         if flags.last {
-            report_st_prefix(&p.oin, q.end, sort, |e| e.st, |e| e.id, out);
-            report_st_prefix(&p.oaft, q.end, sort, |e| e.st, |e| e.id, out);
+            scan::emit_st_prefix(&p.oin, q.end, sort, skip, |e| e.st, |e| e.id, sink);
+            scan::emit_st_prefix(&p.oaft, q.end, sort, skip, |e| e.st, |e| e.id, sink);
         } else {
-            for s in &p.oin {
-                push(s.id, out);
-            }
-            for s in &p.oaft {
-                push(s.id, out);
-            }
+            scan::emit_all(&p.oin, skip, |e| e.id, sink);
+            scan::emit_all(&p.oaft, skip, |e| e.id, sink);
         }
     }
 }
@@ -679,7 +699,9 @@ mod tests {
     fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
         let mut x = seed | 1;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 11
         };
         (0..n)
@@ -693,10 +715,22 @@ mod tests {
 
     fn all_configs() -> [SubsConfig; 4] {
         [
-            SubsConfig { sort: false, sopt: false },
-            SubsConfig { sort: true, sopt: false },
-            SubsConfig { sort: false, sopt: true },
-            SubsConfig { sort: true, sopt: true },
+            SubsConfig {
+                sort: false,
+                sopt: false,
+            },
+            SubsConfig {
+                sort: true,
+                sopt: false,
+            },
+            SubsConfig {
+                sort: false,
+                sopt: true,
+            },
+            SubsConfig {
+                sort: true,
+                sopt: true,
+            },
         ]
     }
 
@@ -753,8 +787,22 @@ mod tests {
     #[test]
     fn sopt_shrinks_the_index() {
         let data = lcg_data(3000, 1 << 20, 1 << 16, 33);
-        let full = HintMSubs::build(&data, 10, SubsConfig { sort: true, sopt: false });
-        let opt = HintMSubs::build(&data, 10, SubsConfig { sort: true, sopt: true });
+        let full = HintMSubs::build(
+            &data,
+            10,
+            SubsConfig {
+                sort: true,
+                sopt: false,
+            },
+        );
+        let opt = HintMSubs::build(
+            &data,
+            10,
+            SubsConfig {
+                sort: true,
+                sopt: true,
+            },
+        );
         assert!(
             opt.size_bytes() < full.size_bytes(),
             "sopt {} vs full {}",

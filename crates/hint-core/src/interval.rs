@@ -140,7 +140,10 @@ impl RangeQuery {
 
 impl From<Interval> for RangeQuery {
     fn from(s: Interval) -> Self {
-        RangeQuery { st: s.st, end: s.end }
+        RangeQuery {
+            st: s.st,
+            end: s.end,
+        }
     }
 }
 
@@ -198,7 +201,10 @@ mod tests {
 
     #[test]
     fn half_open_adaptation() {
-        assert_eq!(RangeQuery::from_half_open(3, 7), Some(RangeQuery::new(3, 6)));
+        assert_eq!(
+            RangeQuery::from_half_open(3, 7),
+            Some(RangeQuery::new(3, 6))
+        );
         assert_eq!(RangeQuery::from_half_open(3, 4), Some(RangeQuery::stab(3)));
         assert_eq!(RangeQuery::from_half_open(3, 3), None);
         assert_eq!(RangeQuery::from_half_open(4, 3), None);

@@ -17,28 +17,27 @@
 
 use crate::hintm::opt::Hint;
 use crate::interval::{Interval, IntervalId};
+use crate::sink::{CountSink, FnSink};
 
 /// Index-nested-loop join: for every interval in `outer`, reports all
-/// intervals of the indexed collection that overlap it.
+/// intervals of the indexed collection that overlap it. Pairs stream
+/// straight from the index scan into `emit` — no per-probe result
+/// buffering.
 pub fn index_join(inner: &Hint, outer: &[Interval], mut emit: impl FnMut(IntervalId, IntervalId)) {
-    let mut buf = Vec::new();
     for r in outer {
-        buf.clear();
-        inner.query((*r).into(), &mut buf);
-        for &s in &buf {
-            emit(r.id, s);
-        }
+        let mut sink = FnSink::new(|s| emit(r.id, s));
+        inner.query_sink((*r).into(), &mut sink);
     }
 }
 
-/// Counts the join result size without materializing pairs.
+/// Counts the join result size without materializing pairs (each probe
+/// runs through a [`CountSink`], so no result vector is ever built).
 pub fn index_join_count(inner: &Hint, outer: &[Interval]) -> u64 {
-    let mut buf = Vec::new();
     let mut count = 0u64;
     for r in outer {
-        buf.clear();
-        inner.query((*r).into(), &mut buf);
-        count += buf.len() as u64;
+        let mut sink = CountSink::new();
+        inner.query_sink((*r).into(), &mut sink);
+        count += sink.count() as u64;
     }
     count
 }
@@ -97,7 +96,9 @@ mod tests {
     fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64, id0: u64) -> Vec<Interval> {
         let mut x = seed | 1;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 11
         };
         (0..n)

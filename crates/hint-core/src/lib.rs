@@ -15,7 +15,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use hint_core::{Hint, Interval, RangeQuery};
+//! use hint_core::{FirstK, Hint, Interval, IntervalIndex, RangeQuery};
 //!
 //! let data = vec![
 //!     Interval::new(1, 10, 25),
@@ -23,11 +23,27 @@
 //!     Interval::new(3, 50, 60),
 //! ];
 //! let index = Hint::build(&data, 10);
+//!
+//! // Enumerate: collect all overlapping ids into a Vec.
 //! let mut results = Vec::new();
 //! index.query(RangeQuery::new(22, 55), &mut results);
 //! results.sort_unstable();
 //! assert_eq!(results, vec![1, 2, 3]);
+//!
+//! // Count and test without materializing a result vector.
+//! assert_eq!(index.count(RangeQuery::new(22, 55)), 3);
+//! assert!(index.exists(RangeQuery::new(12, 12)));
+//! assert!(!index.exists(RangeQuery::new(45, 48)));
+//!
+//! // First-k: the scan stops as soon as k results are found.
+//! let mut sink = FirstK::new(1);
+//! index.query_sink(RangeQuery::new(22, 55), &mut sink);
+//! assert_eq!(sink.len(), 1);
 //! ```
+//!
+//! Every query path reports through a [`QuerySink`]; see the [`sink`]
+//! module for the full menu of consumers (collect, count, first-`k`,
+//! exists, streaming callback).
 //!
 //! ## Index variants (the paper's ablation lattice)
 //!
@@ -52,6 +68,8 @@ pub mod hintm;
 pub mod interval;
 pub mod join;
 pub mod oracle;
+mod scan;
+pub mod sink;
 pub mod stats;
 
 pub use allen::{AllenIndex, AllenRelation};
@@ -67,14 +85,46 @@ pub use hintm::subs::{HintMSubs, SubsConfig};
 pub use interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
 pub use join::{index_join, index_join_count, sweep_join, sweep_join_count};
 pub use oracle::ScanOracle;
+pub use sink::{CollectSink, CountSink, ExistsSink, FirstK, FnSink, QuerySink};
 pub use stats::{QueryStats, WorkloadStats};
 
 /// Common query interface implemented by every index in the workspace
 /// (HINT variants here, the four competitor indexes in their own crates),
 /// so that benchmarks and integration tests can drive them uniformly.
+///
+/// The one required query method is [`query_sink`](Self::query_sink):
+/// indexes push results into a [`QuerySink`] and poll
+/// [`QuerySink::is_saturated`] to stop early. Enumeration
+/// ([`query`](Self::query)), counting ([`count`](Self::count)) and
+/// existence testing ([`exists`](Self::exists)) are derived access modes
+/// with default implementations over the appropriate sink; implementors
+/// typically also override `query` with their monomorphized `Vec` path to
+/// avoid dynamic dispatch on the enumeration hot loop.
 pub trait IntervalIndex {
+    /// Reports the ids of all intervals overlapping `q` into `sink`,
+    /// stopping early once the sink is saturated.
+    fn query_sink(&self, q: RangeQuery, sink: &mut dyn QuerySink);
+
     /// Reports the ids of all intervals overlapping `q` into `out`.
-    fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>);
+    fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        self.query_sink(q, out)
+    }
+
+    /// Number of intervals overlapping `q`, without materializing the
+    /// result set.
+    fn count(&self, q: RangeQuery) -> usize {
+        let mut sink = CountSink::new();
+        self.query_sink(q, &mut sink);
+        sink.count()
+    }
+
+    /// True if any interval overlaps `q`; the scan stops at the first
+    /// hit.
+    fn exists(&self, q: RangeQuery) -> bool {
+        let mut sink = ExistsSink::new();
+        self.query_sink(q, &mut sink);
+        sink.found()
+    }
 
     /// Approximate heap footprint in bytes (Table 8).
     fn size_bytes(&self) -> usize;
@@ -94,6 +144,9 @@ pub trait IntervalIndex {
 }
 
 impl IntervalIndex for Hint {
+    fn query_sink(&self, q: RangeQuery, sink: &mut dyn QuerySink) {
+        Hint::query_sink(self, q, sink)
+    }
     fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
         Hint::query(self, q, out)
     }
@@ -106,6 +159,9 @@ impl IntervalIndex for Hint {
 }
 
 impl IntervalIndex for HintMBase {
+    fn query_sink(&self, q: RangeQuery, sink: &mut dyn QuerySink) {
+        HintMBase::query_sink(self, q, sink)
+    }
     fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
         HintMBase::query(self, q, out)
     }
@@ -118,6 +174,9 @@ impl IntervalIndex for HintMBase {
 }
 
 impl IntervalIndex for HintMSubs {
+    fn query_sink(&self, q: RangeQuery, sink: &mut dyn QuerySink) {
+        HintMSubs::query_sink(self, q, sink)
+    }
     fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
         HintMSubs::query(self, q, out)
     }
@@ -130,6 +189,9 @@ impl IntervalIndex for HintMSubs {
 }
 
 impl IntervalIndex for HintCf {
+    fn query_sink(&self, q: RangeQuery, sink: &mut dyn QuerySink) {
+        HintCf::query_sink(self, q, sink)
+    }
     fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
         HintCf::query(self, q, out)
     }
@@ -142,6 +204,9 @@ impl IntervalIndex for HintCf {
 }
 
 impl IntervalIndex for HybridHint {
+    fn query_sink(&self, q: RangeQuery, sink: &mut dyn QuerySink) {
+        HybridHint::query_sink(self, q, sink)
+    }
     fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
         HybridHint::query(self, q, out)
     }
@@ -153,7 +218,25 @@ impl IntervalIndex for HybridHint {
     }
 }
 
+impl IntervalIndex for ConcurrentHint {
+    fn query_sink(&self, q: RangeQuery, sink: &mut dyn QuerySink) {
+        ConcurrentHint::query_sink(self, q, sink)
+    }
+    fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        ConcurrentHint::query(self, q, out)
+    }
+    fn size_bytes(&self) -> usize {
+        ConcurrentHint::size_bytes(self)
+    }
+    fn len(&self) -> usize {
+        ConcurrentHint::len(self)
+    }
+}
+
 impl IntervalIndex for ScanOracle {
+    fn query_sink(&self, q: RangeQuery, sink: &mut dyn QuerySink) {
+        ScanOracle::query_sink(self, q, sink)
+    }
     fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
         ScanOracle::query(self, q, out)
     }

@@ -5,6 +5,7 @@
 //! index in the workspace is validated against this one.
 
 use crate::interval::{Interval, IntervalId, RangeQuery};
+use crate::sink::QuerySink;
 
 /// Brute-force scan over the full interval collection.
 #[derive(Debug, Clone, Default)]
@@ -15,7 +16,9 @@ pub struct ScanOracle {
 impl ScanOracle {
     /// Builds the oracle over a collection (the data is copied).
     pub fn new(data: &[Interval]) -> Self {
-        Self { data: data.to_vec() }
+        Self {
+            data: data.to_vec(),
+        }
     }
 
     /// Number of (live) intervals.
@@ -43,9 +46,18 @@ impl ScanOracle {
 
     /// Reports the ids of all intervals overlapping `q` into `out`.
     pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        self.query_sink(q, out)
+    }
+
+    /// Reports the ids of all intervals overlapping `q` into `sink`,
+    /// stopping at saturation.
+    pub fn query_sink<S: QuerySink + ?Sized>(&self, q: RangeQuery, sink: &mut S) {
         for s in &self.data {
+            if sink.is_saturated() {
+                return;
+            }
             if s.overlaps(&q) {
-                out.push(s.id);
+                sink.emit(s.id);
             }
         }
     }

@@ -1,0 +1,286 @@
+//! Shared partition-scan primitives.
+//!
+//! Every HINT variant walks partitions and reports their originals /
+//! replicas under one of four comparison regimes (Lemmas 1, 2, 5, 6):
+//! report everything blindly, filter by `st <= q.end`, filter by
+//! `end >= q.st`, or apply the full overlap test. Before the `QuerySink`
+//! refactor each variant hand-rolled these loops; this module is the
+//! single implementation, generic over the entry type (full triplets,
+//! `(id, st)` / `(id, end)` pairs, or bare id slices), the sortedness of
+//! the run, and the sink.
+//!
+//! All helpers honour tombstones via the `skip` flag (indexes pass
+//! `tombstones > 0`, so tombstone filtering costs nothing until the first
+//! delete) and return the number of endpoint comparisons charged, using
+//! the same accounting as the paper's §5.2.4 counters: a binary search
+//! over `n` entries counts as `ceil(log2 n) + 1` probes, a linear filter
+//! as one comparison per entry, and blind reporting as zero.
+
+use crate::interval::{IntervalId, Time, TOMBSTONE};
+use crate::sink::{QuerySink, SATURATION_POLL};
+
+/// Approximate comparison count of one binary search over `n` entries.
+#[inline]
+pub(crate) fn bsearch_cost(n: usize) -> usize {
+    (usize::BITS - n.leading_zeros()) as usize
+}
+
+/// Emits a single id, skipping tombstones when `skip` is set.
+#[inline]
+pub(crate) fn emit_id<S: QuerySink + ?Sized>(id: IntervalId, skip: bool, sink: &mut S) {
+    if !skip || id != TOMBSTONE {
+        sink.emit(id);
+    }
+}
+
+/// Blind-reports a bare id slice (the comparison-free fast path: only the
+/// ids column is touched), polling saturation between chunks. Without
+/// tombstones each chunk goes through [`QuerySink::emit_slice`], so
+/// collecting sinks get the pre-refactor `extend_from_slice` bulk copy.
+#[inline]
+pub(crate) fn emit_ids<S: QuerySink + ?Sized>(ids: &[IntervalId], skip: bool, sink: &mut S) {
+    for chunk in ids.chunks(SATURATION_POLL) {
+        if sink.is_saturated() {
+            return;
+        }
+        if skip {
+            for &id in chunk {
+                if id != TOMBSTONE {
+                    sink.emit(id);
+                }
+            }
+        } else {
+            sink.emit_slice(chunk);
+        }
+    }
+}
+
+/// Blind-reports every entry of a run (no comparisons), polling
+/// saturation between chunks.
+#[inline]
+pub(crate) fn emit_all<T, S: QuerySink + ?Sized>(
+    v: &[T],
+    skip: bool,
+    id: impl Fn(&T) -> IntervalId,
+    sink: &mut S,
+) {
+    for chunk in v.chunks(SATURATION_POLL) {
+        if sink.is_saturated() {
+            return;
+        }
+        for e in chunk {
+            emit_id(id(e), skip, sink);
+        }
+    }
+}
+
+/// Columnar filter: emits `ids[k]` where `pred(keys[k])`, polling
+/// saturation between chunks (the §4.3 decomposed-table counterpart of
+/// the row-wise filter helpers).
+#[inline]
+pub(crate) fn emit_filtered_ids<S: QuerySink + ?Sized>(
+    ids: &[IntervalId],
+    keys: &[Time],
+    skip: bool,
+    pred: impl Fn(Time) -> bool,
+    sink: &mut S,
+) {
+    debug_assert_eq!(ids.len(), keys.len());
+    let mut k = 0;
+    for chunk in keys.chunks(SATURATION_POLL) {
+        if sink.is_saturated() {
+            return;
+        }
+        for &key in chunk {
+            if pred(key) {
+                emit_id(ids[k], skip, sink);
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Reports entries with `st <= bound`. When `sorted` (run ascending by
+/// `st`) the qualifying prefix is found by binary search; otherwise the
+/// run is filtered linearly. Returns comparisons charged.
+#[inline]
+pub(crate) fn emit_st_prefix<T, S: QuerySink + ?Sized>(
+    v: &[T],
+    bound: Time,
+    sorted: bool,
+    skip: bool,
+    st: impl Fn(&T) -> Time,
+    id: impl Fn(&T) -> IntervalId,
+    sink: &mut S,
+) -> usize {
+    if sorted {
+        let ub = v.partition_point(|e| st(e) <= bound);
+        emit_all(&v[..ub], skip, id, sink);
+        bsearch_cost(v.len())
+    } else {
+        for chunk in v.chunks(SATURATION_POLL) {
+            if sink.is_saturated() {
+                break;
+            }
+            for e in chunk {
+                if st(e) <= bound {
+                    emit_id(id(e), skip, sink);
+                }
+            }
+        }
+        v.len()
+    }
+}
+
+/// Reports entries with `end >= bound`. When `sorted` (run ascending by
+/// `end`) the qualifying suffix is found by binary search; otherwise the
+/// run is filtered linearly. Returns comparisons charged.
+#[inline]
+pub(crate) fn emit_end_suffix<T, S: QuerySink + ?Sized>(
+    v: &[T],
+    bound: Time,
+    sorted: bool,
+    skip: bool,
+    end: impl Fn(&T) -> Time,
+    id: impl Fn(&T) -> IntervalId,
+    sink: &mut S,
+) -> usize {
+    if sorted {
+        let lb = v.partition_point(|e| end(e) < bound);
+        emit_all(&v[lb..], skip, id, sink);
+        bsearch_cost(v.len())
+    } else {
+        for chunk in v.chunks(SATURATION_POLL) {
+            if sink.is_saturated() {
+                break;
+            }
+            for e in chunk {
+                if end(e) >= bound {
+                    emit_id(id(e), skip, sink);
+                }
+            }
+        }
+        v.len()
+    }
+}
+
+/// Full overlap test `st <= q.end && end >= q.st` (the single-partition
+/// Lemma-6 case). When `sorted` (ascending by `st`) only the binary-found
+/// prefix is end-filtered. Returns comparisons charged.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_overlap<T, S: QuerySink + ?Sized>(
+    v: &[T],
+    qst: Time,
+    qend: Time,
+    sorted: bool,
+    skip: bool,
+    st: impl Fn(&T) -> Time,
+    end: impl Fn(&T) -> Time,
+    id: impl Fn(&T) -> IntervalId,
+    sink: &mut S,
+) -> usize {
+    if sorted {
+        let ub = v.partition_point(|e| st(e) <= qend);
+        for chunk in v[..ub].chunks(SATURATION_POLL) {
+            if sink.is_saturated() {
+                break;
+            }
+            for e in chunk {
+                if end(e) >= qst {
+                    emit_id(id(e), skip, sink);
+                }
+            }
+        }
+        bsearch_cost(v.len()) + ub
+    } else {
+        for chunk in v.chunks(SATURATION_POLL) {
+            if sink.is_saturated() {
+                break;
+            }
+            for e in chunk {
+                if st(e) <= qend && end(e) >= qst {
+                    emit_id(id(e), skip, sink);
+                }
+            }
+        }
+        2 * v.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+
+    fn entries() -> Vec<Interval> {
+        // sorted by st; ends not monotone
+        vec![
+            Interval::new(1, 0, 9),
+            Interval::new(2, 2, 3),
+            Interval::new(3, 4, 20),
+            Interval::new(4, 7, 8),
+        ]
+    }
+
+    #[test]
+    fn st_prefix_sorted_equals_unsorted() {
+        let v = entries();
+        for bound in 0..=10 {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            emit_st_prefix(&v, bound, true, false, |e| e.st, |e| e.id, &mut a);
+            emit_st_prefix(&v, bound, false, false, |e| e.st, |e| e.id, &mut b);
+            assert_eq!(a, b, "bound={bound}");
+        }
+    }
+
+    #[test]
+    fn end_suffix_sorted_equals_unsorted() {
+        let mut v = entries();
+        v.sort_unstable_by_key(|e| e.end);
+        for bound in 0..=21 {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            emit_end_suffix(&v, bound, true, false, |e| e.end, |e| e.id, &mut a);
+            emit_end_suffix(&v, bound, false, false, |e| e.end, |e| e.id, &mut b);
+            assert_eq!(a, b, "bound={bound}");
+        }
+    }
+
+    #[test]
+    fn overlap_matches_filter() {
+        let v = entries();
+        for qst in 0..12 {
+            for qend in qst..12 {
+                let mut got = Vec::new();
+                emit_overlap(
+                    &v,
+                    qst,
+                    qend,
+                    true,
+                    false,
+                    |e| e.st,
+                    |e| e.end,
+                    |e| e.id,
+                    &mut got,
+                );
+                let want: Vec<IntervalId> = v
+                    .iter()
+                    .filter(|e| e.st <= qend && e.end >= qst)
+                    .map(|e| e.id)
+                    .collect();
+                assert_eq!(got, want, "[{qst},{qend}]");
+            }
+        }
+    }
+
+    #[test]
+    fn tombstones_skipped_only_when_asked() {
+        let ids = [1, TOMBSTONE, 2];
+        let mut kept = Vec::new();
+        emit_ids(&ids, true, &mut kept);
+        assert_eq!(kept, vec![1, 2]);
+        let mut raw = Vec::new();
+        emit_ids(&ids, false, &mut raw);
+        assert_eq!(raw, vec![1, TOMBSTONE, 2]);
+    }
+}

@@ -1,0 +1,395 @@
+//! Query-result consumers: the [`QuerySink`] trait and its stock
+//! implementations.
+//!
+//! The paper's experiments distinguish *enumeration* from *counting* and
+//! *selectivity* measurements, and a production service additionally needs
+//! first-`k`, existence and streaming answers — all of which pay pure
+//! overhead if the index materializes a full `Vec<IntervalId>` first (the
+//! FO+MOD literature likewise prices enumeration, counting and testing as
+//! distinct access modes). Every index in the workspace therefore reports
+//! results by *emitting* ids into a [`QuerySink`]; what happens to an id —
+//! collected, counted, forwarded, or discarded after a threshold — is the
+//! sink's business, and the scan loops ask [`QuerySink::is_saturated`]
+//! between partition runs so saturated sinks (first-`k`, existence)
+//! terminate the traversal early.
+//!
+//! | Sink | Answers | Allocation |
+//! |------|---------|------------|
+//! | [`CollectSink`] / `Vec<IntervalId>` | full enumeration | result vector |
+//! | [`CountSink`] | `COUNT(*)` / selectivity | none |
+//! | [`FirstK`] | top-`k` sample, `LIMIT k` | `k` ids |
+//! | [`ExistsSink`] | `EXISTS` / boolean overlap | none |
+//! | [`FnSink`] | streaming callback | none |
+//!
+//! ```
+//! use hint_core::{CountSink, Hint, Interval, IntervalIndex, QuerySink, RangeQuery};
+//!
+//! let data = vec![Interval::new(1, 0, 5), Interval::new(2, 3, 9)];
+//! let index = Hint::build(&data, 4);
+//! let mut count = CountSink::new();
+//! index.query_sink(RangeQuery::new(4, 4), &mut count);
+//! assert_eq!(count.count(), 2);
+//! ```
+
+use crate::interval::{IntervalId, TOMBSTONE};
+
+/// How many entries a reporting loop should emit between
+/// [`QuerySink::is_saturated`] polls.
+///
+/// A single partition run (or node list, or grid cell) can hold most of
+/// the data under skew, so polling only at run boundaries would let a
+/// saturated sink receive an unbounded tail of emits; chunking at this
+/// cadence bounds the overshoot while keeping the check off the
+/// per-element path. Shared by hint-core's scan loops and the competitor
+/// indexes.
+pub const SATURATION_POLL: usize = 64;
+
+/// Emits `id` unless it is a [`TOMBSTONE`] — the reporting-side half of
+/// the logical-delete scheme every index in the workspace uses.
+#[inline]
+pub fn emit_live<S: QuerySink + ?Sized>(id: IntervalId, sink: &mut S) {
+    if id != TOMBSTONE {
+        sink.emit(id);
+    }
+}
+
+/// A consumer of query results.
+///
+/// Indexes push every qualifying interval id through [`emit`](Self::emit)
+/// instead of appending to a caller-provided `Vec`, so counting,
+/// existence and first-`k` queries run without materializing results.
+/// Scan loops poll [`is_saturated`](Self::is_saturated) at partition-run
+/// granularity and abandon the traversal once it returns true; a sink
+/// must therefore tolerate a bounded number of extra `emit` calls after
+/// saturation (they are ignored by the stock sinks).
+pub trait QuerySink {
+    /// Consumes one result id. Ids arrive in index-traversal order (not
+    /// sorted) and are duplicate-free for every index in the workspace.
+    fn emit(&mut self, id: IntervalId);
+
+    /// Consumes a batch of result ids (the comparison-free blind-report
+    /// fast path: indexes hand over whole tombstone-free runs). The
+    /// default loops over [`emit`](Self::emit); collecting sinks override
+    /// it with a bulk copy and [`CountSink`] with a single addition, so
+    /// the batch path costs what `extend_from_slice` did before the sink
+    /// abstraction existed.
+    fn emit_slice(&mut self, ids: &[IntervalId]) {
+        for &id in ids {
+            self.emit(id);
+        }
+    }
+
+    /// True once the sink needs no further results; the index then stops
+    /// scanning. The default never saturates.
+    fn is_saturated(&self) -> bool {
+        false
+    }
+}
+
+/// The original behaviour: any `Vec<IntervalId>` is a sink that collects
+/// every emitted id.
+impl QuerySink for Vec<IntervalId> {
+    #[inline]
+    fn emit(&mut self, id: IntervalId) {
+        self.push(id);
+    }
+
+    #[inline]
+    fn emit_slice(&mut self, ids: &[IntervalId]) {
+        self.extend_from_slice(ids);
+    }
+}
+
+/// Collects every result id into an owned vector (the explicit-struct
+/// spelling of the `Vec<IntervalId>` sink).
+#[derive(Debug, Clone, Default)]
+pub struct CollectSink {
+    ids: Vec<IntervalId>,
+}
+
+impl CollectSink {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a collector with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            ids: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The ids collected so far, in emission order.
+    pub fn ids(&self) -> &[IntervalId] {
+        &self.ids
+    }
+
+    /// Number of ids collected.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Consumes the sink, returning the collected ids.
+    pub fn into_vec(self) -> Vec<IntervalId> {
+        self.ids
+    }
+}
+
+impl QuerySink for CollectSink {
+    #[inline]
+    fn emit(&mut self, id: IntervalId) {
+        self.ids.push(id);
+    }
+
+    #[inline]
+    fn emit_slice(&mut self, ids: &[IntervalId]) {
+        self.ids.extend_from_slice(ids);
+    }
+}
+
+/// Counts results without storing them — the sink behind
+/// [`IntervalIndex::count`](crate::IntervalIndex::count) and the
+/// harness's count-only experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountSink {
+    n: usize,
+}
+
+impl CountSink {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of results emitted so far.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+}
+
+impl QuerySink for CountSink {
+    #[inline]
+    fn emit(&mut self, _id: IntervalId) {
+        self.n += 1;
+    }
+
+    #[inline]
+    fn emit_slice(&mut self, ids: &[IntervalId]) {
+        self.n += ids.len();
+    }
+}
+
+/// Keeps the first `k` results (in traversal order) and saturates,
+/// terminating the index scan early — `LIMIT k` without enumerating the
+/// full result.
+#[derive(Debug, Clone)]
+pub struct FirstK {
+    k: usize,
+    ids: Vec<IntervalId>,
+}
+
+impl FirstK {
+    /// A sink that retains at most `k` ids.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            ids: Vec::with_capacity(k.min(1024)),
+        }
+    }
+
+    /// The retained ids (at most `k`).
+    pub fn ids(&self) -> &[IntervalId] {
+        &self.ids
+    }
+
+    /// Number of ids retained so far.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Consumes the sink, returning the retained ids.
+    pub fn into_vec(self) -> Vec<IntervalId> {
+        self.ids
+    }
+}
+
+impl QuerySink for FirstK {
+    #[inline]
+    fn emit(&mut self, id: IntervalId) {
+        if self.ids.len() < self.k {
+            self.ids.push(id);
+        }
+    }
+
+    #[inline]
+    fn emit_slice(&mut self, ids: &[IntervalId]) {
+        let take = (self.k - self.ids.len().min(self.k)).min(ids.len());
+        self.ids.extend_from_slice(&ids[..take]);
+    }
+
+    #[inline]
+    fn is_saturated(&self) -> bool {
+        self.ids.len() >= self.k
+    }
+}
+
+/// Saturates on the first result — boolean overlap tests
+/// ([`IntervalIndex::exists`](crate::IntervalIndex::exists)) with maximal
+/// early exit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExistsSink {
+    found: bool,
+}
+
+impl ExistsSink {
+    /// Creates the sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True once any result was emitted.
+    pub fn found(&self) -> bool {
+        self.found
+    }
+}
+
+impl QuerySink for ExistsSink {
+    #[inline]
+    fn emit(&mut self, _id: IntervalId) {
+        self.found = true;
+    }
+
+    #[inline]
+    fn emit_slice(&mut self, ids: &[IntervalId]) {
+        self.found |= !ids.is_empty();
+    }
+
+    #[inline]
+    fn is_saturated(&self) -> bool {
+        self.found
+    }
+}
+
+/// Streams every result id into a callback, allocation-free — the bridge
+/// to joins, network replies, or any other push-based consumer.
+#[derive(Debug)]
+pub struct FnSink<F: FnMut(IntervalId)> {
+    f: F,
+}
+
+impl<F: FnMut(IntervalId)> FnSink<F> {
+    /// Wraps a callback.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<F: FnMut(IntervalId)> QuerySink for FnSink<F> {
+    #[inline]
+    fn emit(&mut self, id: IntervalId) {
+        (self.f)(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(sink: &mut impl QuerySink, ids: &[IntervalId]) {
+        for &id in ids {
+            if sink.is_saturated() {
+                break;
+            }
+            sink.emit(id);
+        }
+    }
+
+    #[test]
+    fn vec_and_collect_agree() {
+        let mut v: Vec<IntervalId> = Vec::new();
+        let mut c = CollectSink::new();
+        feed(&mut v, &[3, 1, 2]);
+        feed(&mut c, &[3, 1, 2]);
+        assert_eq!(v, c.ids());
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.into_vec(), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn count_never_saturates() {
+        let mut s = CountSink::new();
+        feed(&mut s, &[9; 1000]);
+        assert_eq!(s.count(), 1000);
+        assert!(!s.is_saturated());
+    }
+
+    #[test]
+    fn first_k_saturates_at_k() {
+        let mut s = FirstK::new(2);
+        feed(&mut s, &[5, 6, 7, 8]);
+        assert_eq!(s.ids(), &[5, 6]);
+        assert!(s.is_saturated());
+        // late emits after saturation are ignored
+        s.emit(99);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn first_zero_is_immediately_saturated() {
+        let s = FirstK::new(0);
+        assert!(s.is_saturated());
+    }
+
+    #[test]
+    fn exists_saturates_on_first_hit() {
+        let mut s = ExistsSink::new();
+        assert!(!s.found());
+        feed(&mut s, &[1, 2, 3]);
+        assert!(s.found());
+        assert!(s.is_saturated());
+    }
+
+    #[test]
+    fn emit_slice_overrides_match_per_element_emission() {
+        let batch: Vec<IntervalId> = (0..200).collect();
+        let mut v: Vec<IntervalId> = Vec::new();
+        v.emit_slice(&batch);
+        assert_eq!(v, batch);
+        let mut c = CollectSink::new();
+        c.emit_slice(&batch);
+        assert_eq!(c.ids(), &batch[..]);
+        let mut n = CountSink::new();
+        n.emit_slice(&batch);
+        assert_eq!(n.count(), 200);
+        let mut f = FirstK::new(3);
+        f.emit_slice(&batch);
+        f.emit_slice(&batch);
+        assert_eq!(f.ids(), &[0, 1, 2]);
+        let mut e = ExistsSink::new();
+        e.emit_slice(&[]);
+        assert!(!e.found());
+        e.emit_slice(&batch);
+        assert!(e.found());
+    }
+
+    #[test]
+    fn fn_sink_streams() {
+        let mut seen = Vec::new();
+        {
+            let mut s = FnSink::new(|id| seen.push(id));
+            feed(&mut s, &[4, 2]);
+        }
+        assert_eq!(seen, vec![4, 2]);
+    }
+}

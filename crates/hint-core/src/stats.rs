@@ -80,8 +80,18 @@ mod tests {
     #[test]
     fn merge_and_averages() {
         let mut w = WorkloadStats::default();
-        w.push(QueryStats { partitions_accessed: 10, partitions_compared: 4, comparisons: 20, results: 100 });
-        w.push(QueryStats { partitions_accessed: 6, partitions_compared: 2, comparisons: 10, results: 50 });
+        w.push(QueryStats {
+            partitions_accessed: 10,
+            partitions_compared: 4,
+            comparisons: 20,
+            results: 100,
+        });
+        w.push(QueryStats {
+            partitions_accessed: 6,
+            partitions_compared: 2,
+            comparisons: 10,
+            results: 50,
+        });
         assert_eq!(w.queries, 2);
         assert!((w.avg_partitions_compared() - 3.0).abs() < 1e-12);
         assert!((w.avg_comparisons() - 15.0).abs() < 1e-12);

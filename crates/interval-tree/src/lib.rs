@@ -18,9 +18,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hint_core::{Interval, IntervalId, IntervalIndex, RangeQuery, Time, TOMBSTONE};
+use hint_core::sink::{emit_live, SATURATION_POLL};
+use hint_core::{Interval, IntervalId, IntervalIndex, QuerySink, RangeQuery, Time, TOMBSTONE};
 
 const NONE: u32 = u32::MAX;
+
+/// Emits ids from `list` while `cond` holds, polling saturation
+/// periodically.
+fn push_while<'a, S: QuerySink + ?Sized>(
+    list: impl Iterator<Item = &'a Interval>,
+    mut cond: impl FnMut(&Interval) -> bool,
+    sink: &mut S,
+) {
+    for (k, s) in list.enumerate() {
+        if !cond(s) {
+            return;
+        }
+        if k % SATURATION_POLL == 0 && sink.is_saturated() {
+            return;
+        }
+        emit_live(s.id, sink);
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Node {
@@ -90,7 +109,12 @@ impl IntervalTree {
     pub fn with_domain(min: Time, max: Time) -> Self {
         assert!(min <= max);
         let root_node = Node::new(min, max);
-        Self { nodes: vec![root_node], root: 0, live: 0, tombstones: 0 }
+        Self {
+            nodes: vec![root_node],
+            root: 0,
+            live: 0,
+            tombstones: 0,
+        }
     }
 
     fn bulk(&mut self, node: u32, data: Vec<Interval>) {
@@ -133,8 +157,11 @@ impl IntervalTree {
 
     /// Returns (creating if needed) the left/right child of `node`.
     fn child(&mut self, node: u32, lo: Time, hi: Time, left: bool) -> u32 {
-        let existing =
-            if left { self.nodes[node as usize].left } else { self.nodes[node as usize].right };
+        let existing = if left {
+            self.nodes[node as usize].left
+        } else {
+            self.nodes[node as usize].right
+        };
         if existing != NONE {
             return existing;
         }
@@ -160,18 +187,22 @@ impl IntervalTree {
 
     /// Evaluates a range query, pushing result ids into `out`.
     pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        self.query_sink(q, out)
+    }
+
+    /// Evaluates a range query into an arbitrary sink; the tree descent
+    /// stops once the sink is saturated.
+    pub fn query_sink<S: QuerySink + ?Sized>(&self, q: RangeQuery, sink: &mut S) {
         let mut node = self.root;
         loop {
+            if sink.is_saturated() {
+                return;
+            }
             let n = &self.nodes[node as usize];
             if q.end < n.center {
                 // query entirely left of the center: node intervals (which
                 // all reach the center) overlap iff they start <= q.end
-                for s in &n.st_list {
-                    if s.st > q.end {
-                        break;
-                    }
-                    push(s.id, out);
-                }
+                push_while(n.st_list.iter(), |s| s.st <= q.end, sink);
                 if n.left == NONE {
                     return;
                 }
@@ -179,12 +210,7 @@ impl IntervalTree {
             } else if q.st > n.center {
                 // query entirely right: overlap iff s.end >= q.st; walk the
                 // END list (ascending by end) backwards
-                for s in n.end_list.iter().rev() {
-                    if s.end < q.st {
-                        break;
-                    }
-                    push(s.id, out);
-                }
+                push_while(n.end_list.iter().rev(), |s| s.end >= q.st, sink);
                 if n.right == NONE {
                     return;
                 }
@@ -192,11 +218,9 @@ impl IntervalTree {
             } else {
                 // the center lies inside the query: everything stored here
                 // qualifies, and both subtrees may contain further results
-                for s in &n.st_list {
-                    push(s.id, out);
-                }
-                self.descend_left(n.left, q, out);
-                self.descend_right(n.right, q, out);
+                push_while(n.st_list.iter(), |_| true, sink);
+                self.descend_left(n.left, q, sink);
+                self.descend_right(n.right, q, sink);
                 return;
             }
         }
@@ -204,63 +228,47 @@ impl IntervalTree {
 
     /// Left spine below the split node: every node range ends before the
     /// split center, hence before `q.end`.
-    fn descend_left(&self, mut node: u32, q: RangeQuery, out: &mut Vec<IntervalId>) {
-        while node != NONE {
+    fn descend_left<S: QuerySink + ?Sized>(&self, mut node: u32, q: RangeQuery, sink: &mut S) {
+        while node != NONE && !sink.is_saturated() {
             let n = &self.nodes[node as usize];
             if n.center >= q.st {
                 // the center is inside q: everything here qualifies, and
                 // the right subtree lies entirely within [q.st, q.end]
-                for s in &n.st_list {
-                    push(s.id, out);
-                }
-                self.report_subtree(n.right, out);
+                push_while(n.st_list.iter(), |_| true, sink);
+                self.report_subtree(n.right, sink);
                 node = n.left;
             } else {
                 // center before q.st: harvest via the END list, go right
-                for s in n.end_list.iter().rev() {
-                    if s.end < q.st {
-                        break;
-                    }
-                    push(s.id, out);
-                }
+                push_while(n.end_list.iter().rev(), |s| s.end >= q.st, sink);
                 node = n.right;
             }
         }
     }
 
     /// Right spine below the split node (symmetric to `descend_left`).
-    fn descend_right(&self, mut node: u32, q: RangeQuery, out: &mut Vec<IntervalId>) {
-        while node != NONE {
+    fn descend_right<S: QuerySink + ?Sized>(&self, mut node: u32, q: RangeQuery, sink: &mut S) {
+        while node != NONE && !sink.is_saturated() {
             let n = &self.nodes[node as usize];
             if n.center <= q.end {
-                for s in &n.st_list {
-                    push(s.id, out);
-                }
-                self.report_subtree(n.left, out);
+                push_while(n.st_list.iter(), |_| true, sink);
+                self.report_subtree(n.left, sink);
                 node = n.right;
             } else {
-                for s in &n.st_list {
-                    if s.st > q.end {
-                        break;
-                    }
-                    push(s.id, out);
-                }
+                push_while(n.st_list.iter(), |s| s.st <= q.end, sink);
                 node = n.left;
             }
         }
     }
 
     /// Reports every interval in a subtree (its range lies inside `q`).
-    fn report_subtree(&self, node: u32, out: &mut Vec<IntervalId>) {
-        if node == NONE {
+    fn report_subtree<S: QuerySink + ?Sized>(&self, node: u32, sink: &mut S) {
+        if node == NONE || sink.is_saturated() {
             return;
         }
         let n = &self.nodes[node as usize];
-        for s in &n.st_list {
-            push(s.id, out);
-        }
-        self.report_subtree(n.left, out);
-        self.report_subtree(n.right, out);
+        push_while(n.st_list.iter(), |_| true, sink);
+        self.report_subtree(n.left, sink);
+        self.report_subtree(n.right, sink);
     }
 
     /// Convenience: stabbing query.
@@ -275,7 +283,10 @@ impl IntervalTree {
     /// Panics if the endpoints fall outside the tree domain.
     pub fn insert(&mut self, s: Interval) {
         let root = &self.nodes[self.root as usize];
-        assert!(s.st >= root.lo && s.end <= root.hi, "interval outside tree domain");
+        assert!(
+            s.st >= root.lo && s.end <= root.hi,
+            "interval outside tree domain"
+        );
         let mut node = self.root;
         loop {
             let (center, lo, hi) = {
@@ -351,6 +362,9 @@ impl IntervalTree {
 }
 
 impl IntervalIndex for IntervalTree {
+    fn query_sink(&self, q: RangeQuery, sink: &mut dyn QuerySink) {
+        IntervalTree::query_sink(self, q, sink)
+    }
     fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
         IntervalTree::query(self, q, out)
     }
@@ -359,13 +373,6 @@ impl IntervalIndex for IntervalTree {
     }
     fn len(&self) -> usize {
         IntervalTree::len(self)
-    }
-}
-
-#[inline]
-fn push(id: IntervalId, out: &mut Vec<IntervalId>) {
-    if id != TOMBSTONE {
-        out.push(id);
     }
 }
 
@@ -382,7 +389,9 @@ mod tests {
     fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
         let mut x = seed | 1;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 11
         };
         (0..n)
@@ -434,7 +443,11 @@ mod tests {
         for t in (0..4096).step_by(7) {
             let mut got = Vec::new();
             tree.stab(t, &mut got);
-            assert_eq!(sorted(got), oracle.query_sorted(RangeQuery::stab(t)), "t={t}");
+            assert_eq!(
+                sorted(got),
+                oracle.query_sorted(RangeQuery::stab(t)),
+                "t={t}"
+            );
         }
     }
 

@@ -24,7 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hint_core::{Interval, IntervalId, IntervalIndex, RangeQuery, Time, TOMBSTONE};
+use hint_core::sink::{emit_live, SATURATION_POLL};
+use hint_core::{Interval, IntervalId, IntervalIndex, QuerySink, RangeQuery, Time, TOMBSTONE};
 
 /// One duration level inside a coarse partition.
 #[derive(Debug, Clone)]
@@ -53,7 +54,10 @@ impl Partition {
             let div_count = 1usize << (level_count - 1 - j);
             let div_width = span.div_ceil(div_count as u64).max(1);
             let actual = span.div_ceil(div_width) as usize;
-            levels.push(Level { div_width, divs: vec![Vec::new(); actual] });
+            levels.push(Level {
+                div_width,
+                divs: vec![Vec::new(); actual],
+            });
         }
         Self { start, end, levels }
     }
@@ -102,8 +106,16 @@ impl Partition {
     }
 
     /// Query this partition; `min_duration` (if any) prunes whole levels.
-    fn query(&self, q: &RangeQuery, min_duration: Option<Time>, out: &mut Vec<IntervalId>) {
+    fn query<S: QuerySink + ?Sized>(
+        &self,
+        q: &RangeQuery,
+        min_duration: Option<Time>,
+        out: &mut S,
+    ) {
         for level in &self.levels {
+            if out.is_saturated() {
+                return;
+            }
             if let Some(d) = min_duration {
                 // intervals at this level are shorter than div_width
                 // (except at the bottom); skip levels that cannot hold
@@ -119,20 +131,27 @@ impl Partition {
             for (d, div) in level.divs.iter().enumerate().take(last + 1).skip(first) {
                 let div_start = self.start + d as Time * level.div_width;
                 let div_end = (div_start + level.div_width - 1).min(self.end);
-                for s in div {
-                    if !s.overlaps(q) {
-                        continue;
+                // a single division can hold most of the data under skew,
+                // so saturation is polled inside the division as well
+                for chunk in div.chunks(SATURATION_POLL) {
+                    if out.is_saturated() {
+                        return;
                     }
-                    if let Some(md) = min_duration {
-                        if s.duration() < md {
+                    for s in chunk {
+                        if !s.overlaps(q) {
                             continue;
                         }
-                    }
-                    // reference value: report in the unique division
-                    // containing max(s.st, q.st)
-                    let v = s.st.max(q.st);
-                    if v >= div_start && v <= div_end {
-                        push(s.id, out);
+                        if let Some(md) = min_duration {
+                            if s.duration() < md {
+                                continue;
+                            }
+                        }
+                        // reference value: report in the unique division
+                        // containing max(s.st, q.st)
+                        let v = s.st.max(q.st);
+                        if v >= div_start && v <= div_end {
+                            emit_live(s.id, out);
+                        }
                     }
                 }
             }
@@ -140,7 +159,10 @@ impl Partition {
     }
 
     fn entries(&self) -> usize {
-        self.levels.iter().map(|l| l.divs.iter().map(Vec::len).sum::<usize>()).sum()
+        self.levels
+            .iter()
+            .map(|l| l.divs.iter().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     fn size_bytes(&self) -> usize {
@@ -207,8 +229,14 @@ impl PeriodIndex {
                 Partition::new(start, end, levels)
             })
             .collect();
-        let mut idx =
-            Self { min, max, p_width, partitions, live: 0, tombstones: 0 };
+        let mut idx = Self {
+            min,
+            max,
+            p_width,
+            partitions,
+            live: 0,
+            tombstones: 0,
+        };
         for &s in data {
             idx.insert(s);
         }
@@ -231,7 +259,14 @@ impl PeriodIndex {
                 Partition::new(start, end, levels)
             })
             .collect();
-        Self { min, max, p_width, partitions, live: 0, tombstones: 0 }
+        Self {
+            min,
+            max,
+            p_width,
+            partitions,
+            live: 0,
+            tombstones: 0,
+        }
     }
 
     /// Number of coarse partitions.
@@ -260,6 +295,12 @@ impl PeriodIndex {
         self.query_with_duration(q, None, out)
     }
 
+    /// Evaluates a range query into an arbitrary sink; the partition walk
+    /// stops once the sink is saturated.
+    pub fn query_sink<S: QuerySink + ?Sized>(&self, q: RangeQuery, sink: &mut S) {
+        self.query_with_duration_sink(q, None, sink)
+    }
+
     /// Range query with an optional minimum-duration predicate: levels
     /// whose divisions are too short for qualifying intervals are skipped
     /// wholesale — the structure's signature optimization.
@@ -269,13 +310,26 @@ impl PeriodIndex {
         min_duration: Option<Time>,
         out: &mut Vec<IntervalId>,
     ) {
+        self.query_with_duration_sink(q, min_duration, out)
+    }
+
+    /// Duration-filtered range query into an arbitrary sink.
+    pub fn query_with_duration_sink<S: QuerySink + ?Sized>(
+        &self,
+        q: RangeQuery,
+        min_duration: Option<Time>,
+        sink: &mut S,
+    ) {
         if q.end < self.min || q.st > self.max {
             return;
         }
         let first = self.part_of(q.st);
         let last = self.part_of(q.end);
         for part in &self.partitions[first..=last] {
-            part.query(&q, min_duration, out);
+            if sink.is_saturated() {
+                return;
+            }
+            part.query(&q, min_duration, sink);
         }
     }
 
@@ -289,7 +343,10 @@ impl PeriodIndex {
     /// # Panics
     /// Panics if the endpoints fall outside the index domain.
     pub fn insert(&mut self, s: Interval) {
-        assert!(s.st >= self.min && s.end <= self.max, "interval outside index domain");
+        assert!(
+            s.st >= self.min && s.end <= self.max,
+            "interval outside index domain"
+        );
         let first = self.part_of(s.st);
         let last = self.part_of(s.end);
         for part in &mut self.partitions[first..=last] {
@@ -325,6 +382,9 @@ impl PeriodIndex {
 }
 
 impl IntervalIndex for PeriodIndex {
+    fn query_sink(&self, q: RangeQuery, sink: &mut dyn QuerySink) {
+        PeriodIndex::query_sink(self, q, sink)
+    }
     fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
         PeriodIndex::query(self, q, out)
     }
@@ -364,13 +424,6 @@ fn adaptive_levels(durs: &mut [Time], p_width: Time) -> usize {
     l.clamp(1, MAX_LEVELS)
 }
 
-#[inline]
-fn push(id: IntervalId, out: &mut Vec<IntervalId>) {
-    if id != TOMBSTONE {
-        out.push(id);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,7 +437,9 @@ mod tests {
     fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
         let mut x = seed | 1;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 11
         };
         (0..n)
@@ -407,7 +462,11 @@ mod tests {
                     let q = RangeQuery::new(st, end);
                     let mut got = Vec::new();
                     idx.query(q, &mut got);
-                    assert_eq!(sorted(got), oracle.query_sorted(q), "p={p} L={levels} {q:?}");
+                    assert_eq!(
+                        sorted(got),
+                        oracle.query_sorted(q),
+                        "p={p} L={levels} {q:?}"
+                    );
                 }
             }
         }

@@ -18,7 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hint_core::{Interval, IntervalId, IntervalIndex, RangeQuery, Time};
+use hint_core::{Interval, IntervalId, IntervalIndex, QuerySink, RangeQuery, Time};
 use std::collections::HashSet;
 
 /// One endpoint event in the event list.
@@ -68,13 +68,24 @@ impl TimelineIndex {
         assert!(every > 0);
         let mut events = Vec::with_capacity(data.len() * 2);
         for s in data {
-            events.push(Event { time: s.st, id: s.id, is_start: true });
-            events.push(Event { time: s.end, id: s.id, is_start: false });
+            events.push(Event {
+                time: s.st,
+                id: s.id,
+                is_start: true,
+            });
+            events.push(Event {
+                time: s.end,
+                id: s.id,
+                is_start: false,
+            });
         }
         // time ascending; at equal times starts sort before ends
         // (isStart descending), matching the paper's event-list order.
         events.sort_unstable_by(|a, b| {
-            a.time.cmp(&b.time).then(b.is_start.cmp(&a.is_start)).then(a.id.cmp(&b.id))
+            a.time
+                .cmp(&b.time)
+                .then(b.is_start.cmp(&a.is_start))
+                .then(a.id.cmp(&b.id))
         });
 
         let min = events.first().map_or(0, |e| e.time);
@@ -101,10 +112,20 @@ impl TimelineIndex {
             if checkpoints.len() * every <= i && i < events.len() {
                 let mut ids: Vec<IntervalId> = active.iter().copied().collect();
                 ids.sort_unstable();
-                checkpoints.push(Checkpoint { time: t, resume: i, active: ids });
+                checkpoints.push(Checkpoint {
+                    time: t,
+                    resume: i,
+                    active: ids,
+                });
             }
         }
-        Self { events, checkpoints, live: data.len(), min, max }
+        Self {
+            events,
+            checkpoints,
+            live: data.len(),
+            min,
+            max,
+        }
     }
 
     /// Number of indexed intervals.
@@ -125,6 +146,14 @@ impl TimelineIndex {
     /// Evaluates a range (time-travel) query, pushing result ids into
     /// `out`.
     pub fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
+        self.query_sink(q, out)
+    }
+
+    /// Evaluates a range (time-travel) query into an arbitrary sink; the
+    /// event-list scan stops once the sink is saturated (the checkpoint
+    /// roll-forward must still complete — the active set is the query's
+    /// first batch of results).
+    pub fn query_sink<S: QuerySink + ?Sized>(&self, q: RangeQuery, sink: &mut S) {
         if q.end < self.min || q.st > self.max {
             return;
         }
@@ -149,12 +178,20 @@ impl TimelineIndex {
         }
         // `alive` now holds intervals that started before q.st and end at
         // or after it — all guaranteed results.
-        out.extend(alive.iter().copied());
+        for id in alive {
+            if sink.is_saturated() {
+                return;
+            }
+            sink.emit(id);
+        }
         // every start event inside [q.st, q.end] is a further result
         while scan < self.events.len() && self.events[scan].time <= q.end {
+            if sink.is_saturated() {
+                return;
+            }
             let e = self.events[scan];
             if e.is_start {
-                out.push(e.id);
+                sink.emit(e.id);
             }
             scan += 1;
         }
@@ -181,6 +218,9 @@ impl TimelineIndex {
 }
 
 impl IntervalIndex for TimelineIndex {
+    fn query_sink(&self, q: RangeQuery, sink: &mut dyn QuerySink) {
+        TimelineIndex::query_sink(self, q, sink)
+    }
     fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
         TimelineIndex::query(self, q, out)
     }
@@ -205,7 +245,9 @@ mod tests {
     fn lcg_data(n: u64, dom: u64, max_len: u64, seed: u64) -> Vec<Interval> {
         let mut x = seed | 1;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 11
         };
         (0..n)
@@ -260,15 +302,22 @@ mod tests {
         for t in (0..4096).step_by(7) {
             let mut got = Vec::new();
             idx.stab(t, &mut got);
-            assert_eq!(sorted(got), oracle.query_sorted(RangeQuery::stab(t)), "t={t}");
+            assert_eq!(
+                sorted(got),
+                oracle.query_sorted(RangeQuery::stab(t)),
+                "t={t}"
+            );
         }
     }
 
     #[test]
     fn closed_end_boundaries() {
         // an interval ending exactly at q.st must be reported
-        let data =
-            vec![Interval::new(1, 0, 10), Interval::new(2, 10, 20), Interval::new(3, 21, 30)];
+        let data = vec![
+            Interval::new(1, 0, 10),
+            Interval::new(2, 10, 20),
+            Interval::new(3, 21, 30),
+        ];
         let idx = TimelineIndex::build_with_spacing(&data, 1);
         let mut got = Vec::new();
         idx.query(RangeQuery::new(10, 10), &mut got);

@@ -32,7 +32,11 @@ impl Zipf {
     pub fn new(alpha: f64) -> Self {
         assert!(alpha > 1.0, "zipf exponent must be > 1 (got {alpha})");
         let am1 = alpha - 1.0;
-        Self { alpha, am1, b: 2f64.powf(am1) }
+        Self {
+            alpha,
+            am1,
+            b: 2f64.powf(am1),
+        }
     }
 
     /// The exponent `alpha`.
@@ -75,7 +79,11 @@ impl Normal {
     /// Panics if `sigma < 0` or either parameter is not finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
         assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
-        Self { mu, sigma, spare: None }
+        Self {
+            mu,
+            sigma,
+            spare: None,
+        }
     }
 
     /// Draws one sample.
@@ -116,7 +124,11 @@ impl BoundedPareto {
     /// Panics unless `0 < lo <= hi` and `alpha > 0`.
     pub fn new(lo: u64, hi: u64, alpha: f64) -> Self {
         assert!(lo > 0 && lo <= hi && alpha > 0.0);
-        Self { lo: lo as f64, hi: hi as f64, alpha }
+        Self {
+            lo: lo as f64,
+            hi: hi as f64,
+            alpha,
+        }
     }
 
     /// Finds the shape `alpha` whose bounded-Pareto mean on `[lo, hi]`
@@ -134,7 +146,14 @@ impl BoundedPareto {
         }
         // mean(alpha) is monotone decreasing in alpha
         let (mut a_lo, mut a_hi) = (1e-6, 50.0);
-        let m_at = |a: f64| Self { lo: lo_f, hi: hi_f, alpha: a }.mean();
+        let m_at = |a: f64| {
+            Self {
+                lo: lo_f,
+                hi: hi_f,
+                alpha: a,
+            }
+            .mean()
+        };
         if mean > m_at(a_lo) || mean < m_at(a_hi) {
             return None;
         }
@@ -146,7 +165,11 @@ impl BoundedPareto {
                 a_hi = mid;
             }
         }
-        Some(Self { lo: lo_f, hi: hi_f, alpha: 0.5 * (a_lo + a_hi) })
+        Some(Self {
+            lo: lo_f,
+            hi: hi_f,
+            alpha: 0.5 * (a_lo + a_hi),
+        })
     }
 
     /// Analytic mean of the distribution.

@@ -22,8 +22,8 @@
 
 pub mod dist;
 pub mod queries;
-pub mod snapshot;
 pub mod realistic;
+pub mod snapshot;
 pub mod synthetic;
 
 pub use queries::{QueryGen, QueryWorkload};

@@ -91,7 +91,11 @@ pub struct RealisticConfig {
 impl RealisticConfig {
     /// Clone `dataset` at its default laptop scale.
     pub fn new(dataset: RealDataset) -> Self {
-        Self { dataset, scale: dataset.default_scale(), seed: 42 }
+        Self {
+            dataset,
+            scale: dataset.default_scale(),
+            seed: 42,
+        }
     }
 
     /// Overrides the scale divisor.
@@ -203,8 +207,8 @@ mod tests {
             let data = cfg.generate();
             assert_eq!(data.len(), cfg.cardinality(), "{}", ds.name());
             let domain = cfg.domain() as f64;
-            let avg = data.iter().map(|s| s.duration() as f64 + 1.0).sum::<f64>()
-                / data.len() as f64;
+            let avg =
+                data.iter().map(|s| s.duration() as f64 + 1.0).sum::<f64>() / data.len() as f64;
             let (_, d4, avg4, _) = ds.table4();
             let target_pct = avg4 / d4 as f64;
             let got_pct = avg / domain;
@@ -237,8 +241,12 @@ mod tests {
 
     #[test]
     fn books_has_long_and_taxis_short_intervals() {
-        let books = RealisticConfig::new(RealDataset::Books).with_scale(128).generate();
-        let taxis = RealisticConfig::new(RealDataset::Taxis).with_scale(4096).generate();
+        let books = RealisticConfig::new(RealDataset::Books)
+            .with_scale(128)
+            .generate();
+        let taxis = RealisticConfig::new(RealDataset::Taxis)
+            .with_scale(4096)
+            .generate();
         let frac = |d: &[Interval], dom: f64| {
             d.iter().map(|s| s.duration() as f64).sum::<f64>() / d.len() as f64 / dom
         };

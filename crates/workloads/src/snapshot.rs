@@ -105,7 +105,11 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let data = SyntheticConfig { cardinality: 5_000, ..Default::default() }.generate();
+        let data = SyntheticConfig {
+            cardinality: 5_000,
+            ..Default::default()
+        }
+        .generate();
         let bytes = encode(&data);
         assert_eq!(decode(bytes).unwrap(), data);
     }
@@ -124,7 +128,11 @@ mod tests {
 
     #[test]
     fn rejects_truncation() {
-        let data = SyntheticConfig { cardinality: 100, ..Default::default() }.generate();
+        let data = SyntheticConfig {
+            cardinality: 100,
+            ..Default::default()
+        }
+        .generate();
         let full = encode(&data);
         let cut = full.slice(0..full.len() - 5);
         assert_eq!(decode(cut), Err(DecodeError::Truncated));
@@ -138,12 +146,19 @@ mod tests {
         raw.put_u64_le(7); // id
         raw.put_u64_le(10); // st
         raw.put_u64_le(3); // end < st
-        assert_eq!(decode(raw.freeze()), Err(DecodeError::InvalidInterval { index: 0 }));
+        assert_eq!(
+            decode(raw.freeze()),
+            Err(DecodeError::InvalidInterval { index: 0 })
+        );
     }
 
     #[test]
     fn file_roundtrip() {
-        let data = SyntheticConfig { cardinality: 1_000, ..Default::default() }.generate();
+        let data = SyntheticConfig {
+            cardinality: 1_000,
+            ..Default::default()
+        }
+        .generate();
         let dir = std::env::temp_dir().join("hint_snapshot_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ds.bin");

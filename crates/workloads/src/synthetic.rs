@@ -31,7 +31,13 @@ impl Default for SyntheticConfig {
     fn default() -> Self {
         // the paper's defaults scaled 1/100 for laptop-friendly runs:
         // domain 128M -> 1.28M, cardinality 100M -> 1M, sigma 1M -> 10K
-        Self { domain: 1_280_000, cardinality: 1_000_000, alpha: 1.2, sigma: 10_000.0, seed: 42 }
+        Self {
+            domain: 1_280_000,
+            cardinality: 1_000_000,
+            alpha: 1.2,
+            sigma: 10_000.0,
+            seed: 42,
+        }
     }
 }
 
@@ -76,7 +82,11 @@ mod tests {
 
     #[test]
     fn respects_domain_bounds() {
-        let cfg = SyntheticConfig { domain: 10_000, cardinality: 5_000, ..Default::default() };
+        let cfg = SyntheticConfig {
+            domain: 10_000,
+            cardinality: 5_000,
+            ..Default::default()
+        };
         let data = cfg.generate();
         assert_eq!(data.len(), 5_000);
         for s in &data {
@@ -87,7 +97,10 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let cfg = SyntheticConfig { cardinality: 1_000, ..Default::default() };
+        let cfg = SyntheticConfig {
+            cardinality: 1_000,
+            ..Default::default()
+        };
         assert_eq!(cfg.generate(), cfg.generate());
         let other = SyntheticConfig { seed: 7, ..cfg };
         assert_ne!(cfg.generate(), other.generate());
@@ -95,12 +108,18 @@ mod tests {
 
     #[test]
     fn larger_alpha_means_shorter_intervals() {
-        let base = SyntheticConfig { cardinality: 20_000, ..Default::default() };
-        let short = SyntheticConfig { alpha: 1.8, ..base }.generate();
-        let long = SyntheticConfig { alpha: 1.01, ..base }.generate();
-        let avg = |d: &[Interval]| {
-            d.iter().map(|s| s.duration() as f64).sum::<f64>() / d.len() as f64
+        let base = SyntheticConfig {
+            cardinality: 20_000,
+            ..Default::default()
         };
+        let short = SyntheticConfig { alpha: 1.8, ..base }.generate();
+        let long = SyntheticConfig {
+            alpha: 1.01,
+            ..base
+        }
+        .generate();
+        let avg =
+            |d: &[Interval]| d.iter().map(|s| s.duration() as f64).sum::<f64>() / d.len() as f64;
         assert!(
             avg(&long) > 10.0 * avg(&short),
             "alpha=1.01 avg {} vs alpha=1.8 avg {}",
@@ -111,9 +130,21 @@ mod tests {
 
     #[test]
     fn larger_sigma_spreads_positions() {
-        let base = SyntheticConfig { cardinality: 20_000, domain: 1_000_000, ..Default::default() };
-        let narrow = SyntheticConfig { sigma: 1_000.0, ..base }.generate();
-        let wide = SyntheticConfig { sigma: 100_000.0, ..base }.generate();
+        let base = SyntheticConfig {
+            cardinality: 20_000,
+            domain: 1_000_000,
+            ..Default::default()
+        };
+        let narrow = SyntheticConfig {
+            sigma: 1_000.0,
+            ..base
+        }
+        .generate();
+        let wide = SyntheticConfig {
+            sigma: 100_000.0,
+            ..base
+        }
+        .generate();
         let spread = |d: &[Interval]| {
             let mids: Vec<f64> = d.iter().map(|s| (s.st + s.end) as f64 / 2.0).collect();
             let mean = mids.iter().sum::<f64>() / mids.len() as f64;

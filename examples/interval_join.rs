@@ -30,7 +30,12 @@ fn main() {
     .map(|s| Interval::new(s.id + 10_000_000, s.st, s.end))
     .collect();
 
-    println!("trips: {}, closure windows: {}, domain: {}", trips.len(), closures.len(), domain);
+    println!(
+        "trips: {}, closure windows: {}, domain: {}",
+        trips.len(),
+        closures.len(),
+        domain
+    );
 
     // index-nested-loop join over HINT^m
     let t0 = Instant::now();

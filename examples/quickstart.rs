@@ -1,11 +1,11 @@
-//! Quickstart: build a HINT^m index, run range and stabbing queries, and
-//! handle updates through the hybrid index.
+//! Quickstart: build a HINT^m index, run range / stabbing / count /
+//! exists / first-k queries, and handle updates through the hybrid index.
 //!
 //! ```text
 //! cargo run --example quickstart --release
 //! ```
 
-use hint_suite::hint_core::{Hint, HybridHint, Interval, RangeQuery};
+use hint_suite::hint_core::{FirstK, Hint, HybridHint, Interval, IntervalIndex, RangeQuery};
 
 fn main() {
     // --- 1. model your records as (id, start, end) triples -------------
@@ -36,7 +36,24 @@ fn main() {
     println!("active at t=15:       {results:?}"); // [1, 4]
     assert_eq!(results, vec![1, 4]);
 
-    // --- 5. updates: use the hybrid main+delta index (§4.4) -------------
+    // --- 5. count / exists: no result vector is ever materialized -------
+    // These run the same partition scan but emit into a CountSink /
+    // ExistsSink; `exists` additionally stops at the first hit.
+    println!(
+        "count [22, 55]:       {}",
+        index.count(RangeQuery::new(22, 55))
+    ); // 4
+    assert_eq!(index.count(RangeQuery::new(22, 55)), 4);
+    assert!(index.exists(RangeQuery::new(12, 12)));
+    assert!(!index.exists(RangeQuery::new(95, 99)));
+
+    // --- 6. first-k: LIMIT-style queries terminate the scan early -------
+    let mut first = FirstK::new(2);
+    index.query_sink(RangeQuery::new(0, 100), &mut first);
+    println!("first 2 of [0, 100]:  {:?}", first.ids());
+    assert_eq!(first.len(), 2);
+
+    // --- 7. updates: use the hybrid main+delta index (§4.4) -------------
     let mut live = HybridHint::new(&data, 0, 1_000, 10);
     live.insert(Interval::new(5, 70, 80));
     live.delete(&Interval::new(2, 20, 40));

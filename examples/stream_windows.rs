@@ -37,7 +37,7 @@ fn main() {
 
     for window_no in 0..40u64 {
         let wm = window_no * TUMBLE; // watermark advances per tick
-        // ~200 new sessions per tick, lengths up to 30k (crossing windows)
+                                     // ~200 new sessions per tick, lengths up to 30k (crossing windows)
         for _ in 0..200 {
             let st = wm + next() % TUMBLE;
             let len = next() % 30_000;
@@ -72,8 +72,14 @@ fn main() {
         });
     }
 
-    println!("\ningested {session_id} sessions, evicted {evicted}, reported {reported} window hits");
-    println!("live state: {} sessions ({} in delta)", state.len(), state.delta_len());
+    println!(
+        "\ningested {session_id} sessions, evicted {evicted}, reported {reported} window hits"
+    );
+    println!(
+        "live state: {} sessions ({} in delta)",
+        state.len(),
+        state.delta_len()
+    );
     assert_eq!(state.len(), session_id as usize - evicted);
     println!("stream_windows OK");
 }

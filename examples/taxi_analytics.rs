@@ -21,11 +21,20 @@ fn main() {
     let cfg = RealisticConfig::new(RealDataset::Taxis).with_scale(512);
     let trips = cfg.generate();
     let domain = cfg.domain();
-    println!("trips: {}, domain: {} seconds (~{} days)", trips.len(), domain, domain / 86_400);
+    println!(
+        "trips: {}, domain: {} seconds (~{} days)",
+        trips.len(),
+        domain,
+        domain / 86_400
+    );
 
     let t0 = Instant::now();
     let hint = Hint::build(&trips, 16);
-    println!("HINT^m built in {:.3}s ({} entries)", t0.elapsed().as_secs_f64(), hint.entries());
+    println!(
+        "HINT^m built in {:.3}s ({} entries)",
+        t0.elapsed().as_secs_f64(),
+        hint.entries()
+    );
     let t0 = Instant::now();
     let grid = Grid1D::build(&trips, 4_000);
     println!("1D-grid built in {:.3}s", t0.elapsed().as_secs_f64());
@@ -48,7 +57,11 @@ fn main() {
     for h in 0..24 {
         let mut out = Vec::new();
         hint.stab(h * hour, &mut out);
-        println!("  slice {h:>2}  {:>6}  {}", out.len(), "#".repeat(out.len() / 20 + 1));
+        println!(
+            "  slice {h:>2}  {:>6}  {}",
+            out.len(),
+            "#".repeat(out.len() / 20 + 1)
+        );
     }
 
     // micro head-to-head on 2000 window queries of 2 slices each

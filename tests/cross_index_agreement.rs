@@ -27,13 +27,25 @@ fn check_all(data: &[hint_suite::hint_core::Interval], label: &str) {
 
     let indexes: Vec<(&str, Box<dyn IntervalIndex>)> = vec![
         ("interval-tree", Box::new(IntervalTree::build(data))),
-        ("timeline", Box::new(TimelineIndex::build_with_spacing(data, 128))),
+        (
+            "timeline",
+            Box::new(TimelineIndex::build_with_spacing(data, 128)),
+        ),
         ("grid1d", Box::new(Grid1D::build(data, 256))),
         ("period", Box::new(PeriodIndex::build(data, 32, 4))),
-        ("period-adaptive", Box::new(PeriodIndex::build_adaptive(data, 32))),
-        ("hint-cf-sparse", Box::new(HintCf::build(data, 22, CfLayout::Sparse))),
+        (
+            "period-adaptive",
+            Box::new(PeriodIndex::build_adaptive(data, 32)),
+        ),
+        (
+            "hint-cf-sparse",
+            Box::new(HintCf::build(data, 22, CfLayout::Sparse)),
+        ),
         ("hint-m-base", Box::new(HintMBase::build(data, 12))),
-        ("hint-m-subs", Box::new(HintMSubs::build(data, 12, SubsConfig::full()))),
+        (
+            "hint-m-subs",
+            Box::new(HintMSubs::build(data, 12, SubsConfig::full())),
+        ),
         (
             "hint-m-subs-uf",
             Box::new(HintMSubs::build(data, 12, SubsConfig::update_friendly())),
@@ -44,7 +56,10 @@ fn check_all(data: &[hint_suite::hint_core::Interval], label: &str) {
             Box::new(Hint::build_with_options(
                 data,
                 12,
-                HintOptions { sparse: true, columnar: false },
+                HintOptions {
+                    sparse: true,
+                    columnar: false,
+                },
             )),
         ),
     ];
@@ -65,13 +80,17 @@ fn check_all(data: &[hint_suite::hint_core::Interval], label: &str) {
 
 #[test]
 fn agreement_on_books_like_clone() {
-    let data = RealisticConfig::new(RealDataset::Books).with_scale(1024).generate();
+    let data = RealisticConfig::new(RealDataset::Books)
+        .with_scale(1024)
+        .generate();
     check_all(&data, "BOOKS");
 }
 
 #[test]
 fn agreement_on_taxis_like_clone() {
-    let data = RealisticConfig::new(RealDataset::Taxis).with_scale(16384).generate();
+    let data = RealisticConfig::new(RealDataset::Taxis)
+        .with_scale(16384)
+        .generate();
     check_all(&data, "TAXIS");
 }
 
@@ -124,7 +143,9 @@ fn base_eval_strategies_agree_everywhere() {
 
 #[test]
 fn stabbing_queries_agree() {
-    let data = RealisticConfig::new(RealDataset::Greend).with_scale(65536).generate();
+    let data = RealisticConfig::new(RealDataset::Greend)
+        .with_scale(65536)
+        .generate();
     let oracle = ScanOracle::new(&data);
     let max = data.iter().map(|s| s.end).max().unwrap();
     let hint = Hint::build(&data, 14);

@@ -45,7 +45,11 @@ fn whole_domain_intervals_live_at_the_root() {
     let idx = Hint::build(&data, 10);
     // the root partition holds the 10 full-span intervals once each; the
     // short interval lands in one or two partitions
-    assert!(idx.entries() == 11 || idx.entries() == 12, "{}", idx.entries());
+    assert!(
+        idx.entries() == 11 || idx.entries() == 12,
+        "{}",
+        idx.entries()
+    );
     let mut out = Vec::new();
     idx.stab(0, &mut out);
     assert_eq!(out.len(), 10);
@@ -89,8 +93,9 @@ fn queries_straddling_domain_borders_are_clamped() {
 
 #[test]
 fn tombstone_heavy_index_still_correct() {
-    let data: Vec<Interval> =
-        (0..400).map(|i| Interval::new(i, i * 10, i * 10 + 500)).collect();
+    let data: Vec<Interval> = (0..400)
+        .map(|i| Interval::new(i, i * 10, i * 10 + 500))
+        .collect();
     let mut idx = Hint::build(&data, 10);
     let mut oracle = ScanOracle::new(&data);
     // delete 90% of everything

@@ -48,7 +48,10 @@ fn theorem1_replication_factor_model_tracks_measurement() {
     let data = cfg.generate();
     let idx = Hint::build(&data, 12);
     let k_exp = idx.entries() as f64 / idx.len() as f64;
-    assert!(k_exp < 1.6, "short intervals should barely replicate: {k_exp}");
+    assert!(
+        k_exp < 1.6,
+        "short intervals should barely replicate: {k_exp}"
+    );
 }
 
 #[test]

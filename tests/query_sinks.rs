@@ -1,0 +1,239 @@
+//! The `QuerySink` execution layer, validated across every index in the
+//! workspace:
+//!
+//! * `CountSink` count == `CollectSink` length == `ScanOracle` count for
+//!   every variant, on arbitrary data and queries;
+//! * `exists` agrees with `count > 0` everywhere;
+//! * `FirstK` retains exactly `min(k, |result|)` ids, all of them real
+//!   results, and terminates the scan early (measurably fewer emits than
+//!   full enumeration);
+//! * saturation is honoured by every index: after a saturating sink stops
+//!   the scan, at most a bounded tail of extra emits arrived.
+
+use hint_suite::grid1d::Grid1D;
+use hint_suite::hint_core::{
+    CfLayout, CollectSink, ConcurrentHint, CountSink, ExistsSink, FirstK, FnSink, Hint, HintCf,
+    HintMBase, HintMSubs, HybridHint, Interval, IntervalId, IntervalIndex, QuerySink, RangeQuery,
+    ScanOracle, SubsConfig,
+};
+use hint_suite::interval_tree::IntervalTree;
+use hint_suite::period_index::PeriodIndex;
+use hint_suite::timeline_index::TimelineIndex;
+use proptest::prelude::*;
+
+/// Forwards to an inner sink while counting how many ids the index
+/// actually emitted — the observable cost of a scan.
+struct ProbeSink<S: QuerySink> {
+    inner: S,
+    emits: usize,
+}
+
+impl<S: QuerySink> ProbeSink<S> {
+    fn new(inner: S) -> Self {
+        Self { inner, emits: 0 }
+    }
+}
+
+impl<S: QuerySink> QuerySink for ProbeSink<S> {
+    fn emit(&mut self, id: IntervalId) {
+        self.emits += 1;
+        self.inner.emit(id);
+    }
+    fn is_saturated(&self) -> bool {
+        self.inner.is_saturated()
+    }
+}
+
+/// Builds every index in the workspace over `data` (domain `[0, max)`).
+fn build_all(data: &[Interval], max: u64) -> Vec<(&'static str, Box<dyn IntervalIndex>)> {
+    vec![
+        ("oracle", Box::new(ScanOracle::new(data))),
+        ("hint", Box::new(Hint::build(data, 10))),
+        (
+            "hint-cf",
+            Box::new(HintCf::build_exact(data, CfLayout::Sparse)),
+        ),
+        ("hint-m-base", Box::new(HintMBase::build(data, 9))),
+        (
+            "hint-m-subs",
+            Box::new(HintMSubs::build(data, 9, SubsConfig::full())),
+        ),
+        (
+            "hint-m-subs-uf",
+            Box::new(HintMSubs::build(data, 9, SubsConfig::update_friendly())),
+        ),
+        ("hybrid", {
+            let split = data.len() / 2;
+            let mut h = HybridHint::new(&data[..split.max(1)], 0, max, 9);
+            for &s in &data[split.max(1)..] {
+                h.insert(s);
+            }
+            Box::new(h)
+        }),
+        ("concurrent", {
+            let c = ConcurrentHint::new(&data[..data.len() / 2 + 1], 0, max, 9);
+            for &s in &data[data.len() / 2 + 1..] {
+                c.insert(s);
+            }
+            Box::new(c)
+        }),
+        ("interval-tree", Box::new(IntervalTree::build(data))),
+        ("grid1d", Box::new(Grid1D::build(data, 64))),
+        ("period", Box::new(PeriodIndex::build(data, 16, 4))),
+        (
+            "timeline",
+            Box::new(TimelineIndex::build_with_spacing(data, 32)),
+        ),
+    ]
+}
+
+fn intervals(max_val: u64) -> impl Strategy<Value = Vec<Interval>> {
+    prop::collection::vec((0..max_val, 0..max_val), 1..120).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b))| Interval::new(i as u64, a.min(b), a.max(b)))
+            .collect()
+    })
+}
+
+const DOM: u64 = 4_096;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn count_collect_oracle_agree_for_every_variant(
+        data in intervals(DOM),
+        qa in 0u64..DOM,
+        qb in 0u64..DOM,
+    ) {
+        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
+        let want = ScanOracle::new(&data).count(q);
+        for (name, idx) in build_all(&data, DOM) {
+            let mut collect = CollectSink::new();
+            idx.query_sink(q, &mut collect);
+            let mut count = CountSink::new();
+            idx.query_sink(q, &mut count);
+            prop_assert_eq!(collect.len(), want, "{} collect vs oracle on {:?}", name, q);
+            prop_assert_eq!(count.count(), want, "{} count vs oracle on {:?}", name, q);
+            prop_assert_eq!(idx.count(q), want, "{} trait count on {:?}", name, q);
+        }
+    }
+
+    #[test]
+    fn exists_agrees_with_count_for_every_variant(
+        data in intervals(DOM),
+        qa in 0u64..DOM,
+        qb in 0u64..DOM,
+    ) {
+        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
+        let want = ScanOracle::new(&data).count(q) > 0;
+        for (name, idx) in build_all(&data, DOM) {
+            prop_assert_eq!(idx.exists(q), want, "{} exists on {:?}", name, q);
+            let mut sink = ExistsSink::new();
+            idx.query_sink(q, &mut sink);
+            prop_assert_eq!(sink.found(), want, "{} ExistsSink on {:?}", name, q);
+        }
+    }
+
+    #[test]
+    fn first_k_yields_real_results_and_respects_k(
+        data in intervals(DOM),
+        qa in 0u64..DOM,
+        qb in 0u64..DOM,
+        k in 0usize..12,
+    ) {
+        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
+        let oracle = ScanOracle::new(&data);
+        let full = oracle.query_sorted(q);
+        for (name, idx) in build_all(&data, DOM) {
+            let mut sink = FirstK::new(k);
+            idx.query_sink(q, &mut sink);
+            let got = sink.into_vec();
+            prop_assert_eq!(got.len(), k.min(full.len()), "{} FirstK({}) size on {:?}", name, k, q);
+            for id in got {
+                prop_assert!(
+                    full.binary_search(&id).is_ok(),
+                    "{} FirstK emitted non-result {} on {:?}", name, id, q
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fn_sink_streams_the_full_result_set(
+        data in intervals(DOM),
+        qa in 0u64..DOM,
+        qb in 0u64..DOM,
+    ) {
+        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
+        let idx = Hint::build(&data, 10);
+        let mut streamed = Vec::new();
+        {
+            let mut sink = FnSink::new(|id| streamed.push(id));
+            idx.query_sink(q, &mut sink);
+        }
+        streamed.sort_unstable();
+        prop_assert_eq!(streamed, ScanOracle::new(&data).query_sorted(q));
+    }
+}
+
+/// Dense deterministic workload: every saturating sink must do
+/// measurably less work than full enumeration on a broad query.
+#[test]
+fn saturating_sinks_terminate_early() {
+    let data: Vec<Interval> = (0..20_000)
+        .map(|i| Interval::new(i, (i * 7) % 60_000, (i * 7) % 60_000 + 500))
+        .collect();
+    let q = RangeQuery::new(0, 59_999); // selects everything
+    for (name, idx) in build_all(&data, 61_000) {
+        let mut full = ProbeSink::new(CollectSink::new());
+        idx.query_sink(q, &mut full);
+        assert_eq!(full.inner.len(), data.len(), "{name} full enumeration");
+
+        let mut first5 = ProbeSink::new(FirstK::new(5));
+        idx.query_sink(q, &mut first5);
+        assert_eq!(first5.inner.len(), 5, "{name} FirstK(5)");
+        assert!(
+            first5.emits * 10 < full.emits,
+            "{name}: FirstK scanned {} of {} emits — no early exit",
+            first5.emits,
+            full.emits
+        );
+
+        let mut exists = ProbeSink::new(ExistsSink::new());
+        idx.query_sink(q, &mut exists);
+        assert!(exists.inner.found(), "{name} exists");
+        assert!(
+            exists.emits * 10 < full.emits,
+            "{name}: exists scanned {} of {} emits — no early exit",
+            exists.emits,
+            full.emits
+        );
+    }
+}
+
+/// The trait-object path (`&mut dyn QuerySink`) and the monomorphized
+/// inherent path must agree — the bench harness drives indexes through
+/// `Box<dyn IntervalIndex>`.
+#[test]
+fn dyn_and_inherent_paths_agree() {
+    let data: Vec<Interval> = (0..3_000)
+        .map(|i| Interval::new(i, (i * 13) % 9_000, (i * 13) % 9_000 + (i % 70)))
+        .collect();
+    let idx = Hint::build(&data, 11);
+    let boxed: Box<dyn IntervalIndex> = Box::new(Hint::build(&data, 11));
+    for st in (0..9_000u64).step_by(311) {
+        let q = RangeQuery::new(st, (st + 400).min(9_069));
+        let mut direct = Vec::new();
+        idx.query(q, &mut direct);
+        let mut via_dyn = Vec::new();
+        boxed.query_sink(q, &mut via_dyn);
+        direct.sort_unstable();
+        via_dyn.sort_unstable();
+        assert_eq!(direct, via_dyn, "{q:?}");
+        assert_eq!(boxed.count(q), direct.len(), "{q:?}");
+        assert_eq!(boxed.exists(q), !direct.is_empty(), "{q:?}");
+    }
+}

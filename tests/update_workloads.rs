@@ -88,7 +88,9 @@ fn mixed_cycle_on_short_intervals() {
 
 #[test]
 fn hybrid_auto_merge_during_heavy_inserts() {
-    let data = RealisticConfig::new(RealDataset::Books).with_scale(4096).generate();
+    let data = RealisticConfig::new(RealDataset::Books)
+        .with_scale(4096)
+        .generate();
     let max = data.iter().map(|s| s.end).max().unwrap();
     let mut hybrid = HybridHint::new(&data, 0, max, 10).with_merge_threshold(50);
     let mut oracle = ScanOracle::new(&data);

@@ -1,0 +1,183 @@
+//! Offline, API-compatible subset of the `bytes` crate.
+//!
+//! Backs [`Bytes`]/[`BytesMut`] with a plain `Vec<u8>` plus a read cursor —
+//! no reference-counted slabs, no unsafe. Only the calls the workspace's
+//! snapshot codec performs are provided.
+
+#![forbid(unsafe_code)]
+
+/// Read access to a byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes into `dst`, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads a little-endian `u64`, advancing the cursor.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Self {
+            data: s.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Total (unread) length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True if no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a new buffer holding the given sub-range of the unread
+    /// bytes.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        Self {
+            data: self.data[self.pos..][range].to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// The unread bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.remaining(),
+            "copy_to_slice past end of buffer"
+        );
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u64s() {
+        let mut w = BytesMut::with_capacity(24);
+        w.put_slice(b"HDR!");
+        w.put_u64_le(42);
+        w.put_u64_le(u64::MAX);
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 20);
+        let mut hdr = [0u8; 4];
+        r.copy_to_slice(&mut hdr);
+        assert_eq!(&hdr, b"HDR!");
+        assert_eq!(r.get_u64_le(), 42);
+        assert_eq!(r.get_u64_le(), u64::MAX);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_is_relative_to_cursor() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        assert_eq!(b.slice(1..4).as_slice(), &[2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overread_panics() {
+        let mut b = Bytes::from(vec![1, 2]);
+        let _ = b.get_u64_le();
+    }
+}

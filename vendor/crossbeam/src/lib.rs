@@ -1,0 +1,88 @@
+//! Offline, API-compatible subset of `crossbeam`'s scoped threads,
+//! implemented on `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Only the call shape the workspace uses is supported:
+//!
+//! ```
+//! let results: Vec<u64> = crossbeam::thread::scope(|s| {
+//!     let handles: Vec<_> = (0..4).map(|i| s.spawn(move |_| i * 2)).collect();
+//!     handles.into_iter().map(|h| h.join().unwrap()).collect()
+//! })
+//! .unwrap();
+//! assert_eq!(results, vec![0, 2, 4, 6]);
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (see [`thread::scope`]).
+pub mod thread {
+    use std::any::Any;
+    use std::thread as std_thread;
+
+    /// Error payload of a panicked scoped thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle passed to the [`scope`] closure; spawn borrowing
+    /// threads through it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload).
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a placeholder
+        /// argument so crossbeam-style `|_| ...` closures compile
+        /// unchanged (crossbeam passes a nested scope there; none of our
+        /// call sites use it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&())),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads; all threads are
+    /// joined before it returns. Always `Ok` — a panicked child that was
+    /// joined surfaces through its handle, and an unjoined panicked child
+    /// propagates its panic (matching std scope semantics, which is what
+    /// every caller's `.unwrap()`/`.expect()` assumes anyway).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let sum: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 10);
+    }
+}
