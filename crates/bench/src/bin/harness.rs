@@ -8,6 +8,7 @@
 //!   fig10 fig11 fig12 fig13 fig14 table6 table7 table8 table9 table10
 //!   ablation        extra: comparison counts vs m (Lemma 4 / Theorem 2)
 //!   countmode       extra: enumerate vs count vs exists throughput
+//!   cachelayout     extra: nested-Vec vs sealed-CSR storage + query_batch
 //!   all             run everything (paper order)
 //!
 //! flags:
@@ -24,7 +25,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <fig10|fig11|fig12|fig13|fig14|table6|table7|table8|table9|table10|ablation|countmode|all> \
+        "usage: harness <fig10|fig11|fig12|fig13|fig14|table6|table7|table8|table9|table10|ablation|countmode|cachelayout|all> \
          [--quick] [--scale N] [--queries N] [--max-m N] [--seed N]"
     );
     exit(2);
@@ -100,6 +101,7 @@ fn main() {
         "table10" => experiments::table10::run(&cfg),
         "ablation" => experiments::ablation::run(&cfg),
         "countmode" => experiments::countmode::run(&cfg),
+        "cachelayout" => experiments::cachelayout::run(&cfg),
         _ => usage(),
     };
     if experiment == "all" {
@@ -116,6 +118,7 @@ fn main() {
             "table10",
             "ablation",
             "countmode",
+            "cachelayout",
         ] {
             run_one(name);
             println!();

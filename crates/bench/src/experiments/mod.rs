@@ -5,6 +5,7 @@
 //! records paper-vs-measured values.
 
 pub mod ablation;
+pub mod cachelayout;
 pub mod countmode;
 pub mod fig10;
 pub mod fig11;

@@ -74,6 +74,65 @@ pub fn exists_throughput<I: IntervalIndex + ?Sized>(
     }
 }
 
+/// Batched-query throughput: queries run through
+/// [`IntervalIndex::query_batch`] in chunks of `batch`, one collecting
+/// sink per query (sinks are reused across chunks). Indexes with sealed
+/// or merged storage answer each chunk with one shared level walk.
+pub fn batch_throughput<I: IntervalIndex + ?Sized>(
+    index: &I,
+    queries: &[hint_core::RangeQuery],
+    batch: usize,
+) -> Throughput {
+    use hint_core::QuerySink;
+    let batch = batch.max(1);
+    let mut bufs: Vec<Vec<IntervalId>> = (0..batch).map(|_| Vec::with_capacity(256)).collect();
+    let mut results = 0u64;
+    let t0 = Instant::now();
+    for chunk in queries.chunks(batch) {
+        let bufs = &mut bufs[..chunk.len()];
+        for b in bufs.iter_mut() {
+            b.clear();
+        }
+        let mut sinks: Vec<&mut dyn QuerySink> =
+            bufs.iter_mut().map(|b| b as &mut dyn QuerySink).collect();
+        index.query_batch(chunk, &mut sinks);
+        results += bufs.iter().map(|b| b.len() as u64).sum::<u64>();
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    Throughput {
+        qps: queries.len() as f64 / secs,
+        results,
+    }
+}
+
+/// Batched counting throughput: like [`batch_throughput`] but with one
+/// [`CountSink`](hint_core::CountSink) per query, so no result vector is
+/// ever written — the pure cost of the shared level walk.
+pub fn batch_count_throughput<I: IntervalIndex + ?Sized>(
+    index: &I,
+    queries: &[hint_core::RangeQuery],
+    batch: usize,
+) -> Throughput {
+    use hint_core::{CountSink, QuerySink};
+    let batch = batch.max(1);
+    let mut counts: Vec<CountSink> = vec![CountSink::new(); batch];
+    let mut results = 0u64;
+    let t0 = Instant::now();
+    for chunk in queries.chunks(batch) {
+        let counts = &mut counts[..chunk.len()];
+        counts.fill(CountSink::new());
+        let mut sinks: Vec<&mut dyn QuerySink> =
+            counts.iter_mut().map(|c| c as &mut dyn QuerySink).collect();
+        index.query_batch(chunk, &mut sinks);
+        results += counts.iter().map(|c| c.count() as u64).sum::<u64>();
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    Throughput {
+        qps: queries.len() as f64 / secs,
+        results,
+    }
+}
+
 /// Times a closure (e.g. an index build), returning (seconds, value).
 pub fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
     let t0 = Instant::now();

@@ -53,6 +53,18 @@ impl SubKind {
     pub fn ends_inside(self) -> bool {
         matches!(self, SubKind::OriginalIn | SubKind::ReplicaIn)
     }
+
+    /// Index of this subdivision in fixed `[Oin, Oaft, Rin, Raft]` tables
+    /// (the single source of truth for per-kind counting/bucketing).
+    #[inline]
+    pub fn slot(self) -> usize {
+        match self {
+            SubKind::OriginalIn => 0,
+            SubKind::OriginalAft => 1,
+            SubKind::ReplicaIn => 2,
+            SubKind::ReplicaAft => 3,
+        }
+    }
 }
 
 /// A single partition assignment produced by Algorithm 1.

@@ -6,7 +6,8 @@
 
 use crate::assign::for_each_assignment;
 use crate::domain::Domain;
-use crate::hintm::CompFlags;
+use crate::hintm::sealed::{SealedBuilder, SealedStore};
+use crate::hintm::{CompFlags, PRESIZE_MAX_M};
 use crate::interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
 use crate::scan;
 use crate::sink::QuerySink;
@@ -34,10 +35,26 @@ struct Level {
 }
 
 /// Base HINT^m index (§3.2).
+///
+/// [`HintMBase::seal`] freezes the contents into the sealed columnar
+/// (CSR) engine shared with the other variants: originals and replicas
+/// are classified into the four §4.1 subdivision categories (the
+/// classification only needs the partition offset and the mapped end
+/// point) and flattened into contiguous per-category arenas. Queries over
+/// sealed storage always use the optimized bottom-up subdivision walk —
+/// the [`Eval`] strategy only governs the unsealed overlay — and results
+/// are identical either way.
 #[derive(Debug, Clone)]
 pub struct HintMBase {
     domain: Domain,
+    /// Unsealed per-partition storage; after a `seal()` this holds only
+    /// the overlay of post-seal updates.
     levels: Vec<Level>,
+    /// Frozen CSR arenas, present once `seal()` has been called.
+    sealed: Option<SealedStore>,
+    /// Raw entry count currently in `levels` (assignments, not
+    /// intervals); 0 means queries can skip the overlay walk entirely.
+    overlay_entries: usize,
     live: usize,
     tombstones: usize,
 }
@@ -62,9 +79,29 @@ impl HintMBase {
                 parts: vec![Part::default(); 1usize << l],
             })
             .collect();
+        // pre-size: count assignments per partition, reserve exactly, so
+        // the placement pass below never reallocates
+        if !data.is_empty() && m <= PRESIZE_MAX_M {
+            let mut counts: Vec<Vec<u32>> = (0..=m).map(|l| vec![0u32; 2usize << l]).collect();
+            for s in data {
+                let (a, b) = domain.map_interval(s);
+                for_each_assignment(m, a, b, |asg| {
+                    let slot = asg.offset as usize * 2 + usize::from(!asg.kind.is_original());
+                    counts[asg.level as usize][slot] += 1;
+                });
+            }
+            for (lc, level) in counts.iter().zip(levels.iter_mut()) {
+                for (off, part) in level.parts.iter_mut().enumerate() {
+                    part.originals.reserve_exact(lc[off * 2] as usize);
+                    part.replicas.reserve_exact(lc[off * 2 + 1] as usize);
+                }
+            }
+        }
+        let mut entries = 0usize;
         for s in data {
             let (a, b) = domain.map_interval(s);
             for_each_assignment(m, a, b, |asg| {
+                entries += 1;
                 let part = &mut levels[asg.level as usize].parts[asg.offset as usize];
                 if asg.kind.is_original() {
                     part.originals.push(*s);
@@ -73,12 +110,66 @@ impl HintMBase {
                 }
             });
         }
+        for part in levels.iter_mut().flat_map(|l| l.parts.iter_mut()) {
+            part.originals.shrink_to_fit();
+            part.replicas.shrink_to_fit();
+        }
         Self {
             domain,
             levels,
+            sealed: None,
+            overlay_entries: entries,
             live: data.len(),
             tombstones: 0,
         }
+    }
+
+    /// Freezes the index into the sealed columnar (CSR) engine: existing
+    /// sealed arenas (if any) and the per-partition storage are merged
+    /// into fresh contiguous arenas (dropping tombstones), and the
+    /// per-partition storage becomes an empty overlay for later updates.
+    /// Originals/replicas are classified into the four subdivision
+    /// categories from the mapped end point, so the sealed walk can skip
+    /// comparisons per Lemmas 5/6.
+    pub fn seal(&mut self) {
+        let m = self.domain.m();
+        let mut b = SealedBuilder::new(m);
+        if let Some(sealed) = &self.sealed {
+            sealed.drain_into(&mut b);
+        }
+        for (l, level) in self.levels.iter().enumerate() {
+            let l = l as u32;
+            for (off, part) in level.parts.iter().enumerate() {
+                let off = off as u64;
+                for e in &part.originals {
+                    if self.domain.prefix(l, self.domain.map(e.end)) == off {
+                        b.push_oin(l, off, e.id, e.st, e.end);
+                    } else {
+                        b.push_oaft(l, off, e.id, e.st);
+                    }
+                }
+                for e in &part.replicas {
+                    if self.domain.prefix(l, self.domain.map(e.end)) == off {
+                        b.push_rin(l, off, e.id, e.end);
+                    } else {
+                        b.push_raft(l, off, e.id);
+                    }
+                }
+            }
+        }
+        self.sealed = Some(b.finish());
+        self.levels = (0..=m)
+            .map(|l| Level {
+                parts: vec![Part::default(); 1usize << l],
+            })
+            .collect();
+        self.overlay_entries = 0;
+        self.tombstones = 0;
+    }
+
+    /// True once [`Self::seal`] has been called.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.is_some()
     }
 
     /// The index domain.
@@ -102,10 +193,19 @@ impl HintMBase {
     }
 
     /// Evaluates `q` with the chosen strategy, emitting result ids into
-    /// `sink`; the level walk stops once the sink is saturated.
+    /// `sink`; the level walk stops once the sink is saturated. On a
+    /// sealed index the CSR arenas are walked first (always bottom-up
+    /// with subdivision lemmas — `eval` only governs the overlay walk)
+    /// and the unsealed overlay second.
     pub fn query_with_sink<S: QuerySink + ?Sized>(&self, q: RangeQuery, eval: Eval, sink: &mut S) {
         if !self.domain.intersects(&q) {
             return;
+        }
+        if let Some(sealed) = &self.sealed {
+            sealed.query_sink(&self.domain, q, self.tombstones > 0, sink);
+            if self.overlay_entries == 0 || sink.is_saturated() {
+                return;
+            }
         }
         let (qst, qend) = self.domain.map_query(&q);
         let m = self.domain.m();
@@ -152,6 +252,28 @@ impl HintMBase {
         self.query_with_sink(q, Eval::BottomUp, sink)
     }
 
+    /// Evaluates a batch of queries, one sink per query. On a fully
+    /// sealed index (no overlay) the batch shares one arena walk per
+    /// level; otherwise it falls back to independent
+    /// [`Self::query_sink`] calls. Either way each sink receives exactly
+    /// what a solo `query_sink` would emit.
+    ///
+    /// # Panics
+    /// Panics if `queries` and `sinks` have different lengths.
+    pub fn query_batch(&self, queries: &[RangeQuery], sinks: &mut [&mut dyn QuerySink]) {
+        assert_eq!(queries.len(), sinks.len(), "one sink per query");
+        match &self.sealed {
+            Some(sealed) if self.overlay_entries == 0 => {
+                sealed.query_batch(&self.domain, queries, self.tombstones > 0, sinks)
+            }
+            _ => {
+                for (q, sink) in queries.iter().zip(sinks.iter_mut()) {
+                    self.query_sink(*q, &mut **sink);
+                }
+            }
+        }
+    }
+
     /// Inserts an interval (Algorithm 1, §3.4).
     ///
     /// # Panics
@@ -164,7 +286,9 @@ impl HintMBase {
         let (a, b) = self.domain.map_interval(&s);
         let m = self.domain.m();
         let levels = &mut self.levels;
+        let mut added = 0usize;
         for_each_assignment(m, a, b, |asg| {
+            added += 1;
             let part = &mut levels[asg.level as usize].parts[asg.offset as usize];
             if asg.kind.is_original() {
                 part.originals.push(s);
@@ -172,6 +296,7 @@ impl HintMBase {
                 part.replicas.push(s);
             }
         });
+        self.overlay_entries += added;
         self.live += 1;
     }
 
@@ -182,6 +307,7 @@ impl HintMBase {
         let m = self.domain.m();
         let mut found = false;
         let levels = &mut self.levels;
+        let sealed = &mut self.sealed;
         for_each_assignment(m, a, b, |asg| {
             let part = &mut levels[asg.level as usize].parts[asg.offset as usize];
             let group = if asg.kind.is_original() {
@@ -189,13 +315,19 @@ impl HintMBase {
             } else {
                 &mut part.replicas
             };
+            let mut hit = false;
             for slot in group.iter_mut() {
                 if slot.id == s.id && slot.st == s.st && slot.end == s.end {
                     slot.id = TOMBSTONE;
-                    found = true;
+                    hit = true;
                     break;
                 }
             }
+            let hit = hit
+                || sealed.as_mut().is_some_and(|sl| {
+                    sl.tombstone(asg.level, asg.offset, asg.kind, s.id, s.st, s.end)
+                });
+            found |= hit;
         });
         if found {
             self.live -= 1;
@@ -206,7 +338,7 @@ impl HintMBase {
 
     /// Approximate heap footprint in bytes.
     pub fn size_bytes(&self) -> usize {
-        let mut total = 0;
+        let mut total = self.sealed.as_ref().map_or(0, |s| s.size_bytes());
         for level in &self.levels {
             total += level.parts.len() * std::mem::size_of::<Part>();
             for part in &level.parts {
@@ -219,11 +351,13 @@ impl HintMBase {
 
     /// Total stored entries (for the replication factor `k`).
     pub fn entries(&self) -> usize {
-        self.levels
-            .iter()
-            .flat_map(|l| &l.parts)
-            .map(|p| p.originals.len() + p.replicas.len())
-            .sum()
+        self.sealed.as_ref().map_or(0, |s| s.entries())
+            + self
+                .levels
+                .iter()
+                .flat_map(|l| &l.parts)
+                .map(|p| p.originals.len() + p.replicas.len())
+                .sum::<usize>()
     }
 
     /// Convenience: stabbing query.
@@ -467,6 +601,82 @@ mod tests {
             let mut got = Vec::new();
             idx.query(q, &mut got);
             assert_eq!(sorted(got), oracle.query_sorted(q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn sealed_matches_oracle_for_both_evals() {
+        let data = lcg_data(500, 1_000_000, 120_000, 42);
+        let mut idx = HintMBase::build(&data, 10);
+        let oracle = ScanOracle::new(&data);
+        idx.seal();
+        assert!(idx.is_sealed());
+        let mut x = 99u64;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(97);
+            let st = (x >> 13) % 1_000_000;
+            let end = (st + (x >> 7) % 50_000).min(999_999);
+            let q = RangeQuery::new(st, end);
+            for eval in [Eval::TopDown, Eval::BottomUp] {
+                let mut got = Vec::new();
+                idx.query_with(q, eval, &mut got);
+                assert_eq!(sorted(got), oracle.query_sorted(q), "{eval:?} {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reseal_cycles_with_updates_match_oracle() {
+        let data = lcg_data(120, 256, 30, 11);
+        let mut idx = HintMBase::build_with_domain(&data, crate::domain::Domain::new(0, 255, 8));
+        let mut oracle = ScanOracle::new(&data);
+        idx.seal();
+        for i in 0..40u64 {
+            let s = Interval::new(1000 + i, (i * 5) % 250, ((i * 5) % 250) + 5);
+            idx.insert(s);
+            oracle.insert(s);
+        }
+        for s in data.iter().filter(|s| s.id % 3 == 0) {
+            assert_eq!(idx.delete(s), oracle.delete(s.id), "{s:?}");
+        }
+        let check = |idx: &HintMBase, oracle: &ScanOracle, tag: &str| {
+            for st in (0..256u64).step_by(5) {
+                let q = RangeQuery::new(st, (st + 20).min(255));
+                let mut got = Vec::new();
+                idx.query(q, &mut got);
+                assert_eq!(sorted(got), oracle.query_sorted(q), "{tag} {q:?}");
+            }
+        };
+        check(&idx, &oracle, "sealed+overlay");
+        idx.seal();
+        check(&idx, &oracle, "resealed");
+    }
+
+    #[test]
+    fn query_batch_bit_identical_to_solo() {
+        let data = lcg_data(300, 1024, 64, 3);
+        let mut idx = HintMBase::build(&data, 8);
+        for pass in 0..2 {
+            let queries: Vec<RangeQuery> = (0..40u64)
+                .map(|i| {
+                    let st = (i * 97) % 1024;
+                    RangeQuery::new(st, (st + 100).min(1023))
+                })
+                .collect();
+            let solo: Vec<Vec<IntervalId>> = queries
+                .iter()
+                .map(|&q| {
+                    let mut v = Vec::new();
+                    idx.query_sink(q, &mut v);
+                    v
+                })
+                .collect();
+            let mut bufs: Vec<Vec<IntervalId>> = vec![Vec::new(); queries.len()];
+            let mut sinks: Vec<&mut dyn QuerySink> =
+                bufs.iter_mut().map(|b| b as &mut dyn QuerySink).collect();
+            idx.query_batch(&queries, &mut sinks);
+            assert_eq!(solo, bufs, "pass {pass}");
+            idx.seal();
         }
     }
 

@@ -18,6 +18,12 @@
 //!   index plus an update-friendly [`subs::HintMSubs`] delta, merged in
 //!   batches.
 //!
+//! The crate-internal `sealed` module holds the sealed columnar (CSR)
+//! storage engine behind the `seal()` freeze step of the base and
+//! subdivision variants: per-level, per-category arenas with a partition
+//! offset table, bulk slice emission for comparison-free runs, and a
+//! shared-walk batch executor (`query_batch`).
+//!
 //! # Exactness of comparison skipping under a lossy domain mapping
 //!
 //! All variants partition by *mapped* endpoints (monotone bucketing, see
@@ -43,7 +49,14 @@
 pub mod base;
 pub mod delta;
 pub mod opt;
+pub(crate) mod sealed;
 pub mod subs;
+
+/// Largest `m` for which the dense per-partition builders run an exact
+/// assignment-counting pass and pre-size every partition `Vec` before
+/// placement (a few `u32` counters per partition; above this the
+/// transient counter tables would rival the data itself).
+pub(crate) const PRESIZE_MAX_M: u32 = 18;
 
 /// The two flag bits of Algorithm 3 (Lemma 2): whether endpoint comparisons
 /// are still required in the first / last relevant partition at the current

@@ -656,7 +656,7 @@ impl Hint {
         if !opts.sparse {
             assert!(m <= 26, "dense directories limited to m <= 26 (got {m})");
         }
-        let mut buf: Vec<BuildLevel> = (0..=m).map(|_| BuildLevel::default()).collect();
+        let mut buf = presized_build_buffers(data, &domain);
         for s in data {
             let (a, b) = domain.map_interval(s);
             for_each_assignment(m, a, b, |asg| {
@@ -717,8 +717,7 @@ impl Hint {
                 .chunks(chunk)
                 .map(|c| {
                     scope.spawn(move |_| {
-                        let mut buf: Vec<BuildLevel> =
-                            (0..=m).map(|_| BuildLevel::default()).collect();
+                        let mut buf = presized_build_buffers(c, &domain);
                         for s in c {
                             let (a, b) = domain.map_interval(s);
                             for_each_assignment(m, a, b, |asg| {
@@ -834,12 +833,77 @@ impl Hint {
         let m = self.domain.m();
         let skip = self.tombstones > 0;
         let mut flags = CompFlags::new();
-        let mut oin_hint = NO_LINK;
-        let mut oaft_hint = NO_LINK;
+        let mut hints = (NO_LINK, NO_LINK);
         for l in (0..=m).rev() {
             if out.is_saturated() {
                 return;
             }
+            self.scan_level(
+                l, &q, qst, qend, &mut flags, &mut hints, skip, out, &mut stats,
+            );
+        }
+    }
+
+    /// Evaluates a batch of queries, one sink per query, sharing one walk
+    /// per level: queries are ordered by their first relevant partition,
+    /// so each level's directories and merged tables are traversed once,
+    /// left to right, for the whole batch — amortizing directory lookups
+    /// and keeping the arenas hot in cache. Each sink receives exactly
+    /// what a solo [`Hint::query_sink`] would emit.
+    ///
+    /// # Panics
+    /// Panics if `queries` and `sinks` have different lengths.
+    pub fn query_batch(&self, queries: &[RangeQuery], sinks: &mut [&mut dyn QuerySink]) {
+        assert_eq!(queries.len(), sinks.len(), "one sink per query");
+        let m = self.domain.m();
+        let skip = self.tombstones > 0;
+        let mapped: Vec<(u64, u64)> = queries.iter().map(|q| self.domain.map_query(q)).collect();
+        let mut order: Vec<usize> = (0..queries.len())
+            .filter(|&i| self.domain.intersects(&queries[i]))
+            .collect();
+        order.sort_unstable_by_key(|&i| mapped[i]);
+        let mut flags = vec![CompFlags::new(); queries.len()];
+        let mut hints = vec![(NO_LINK, NO_LINK); queries.len()];
+        for l in (0..=m).rev() {
+            for &i in &order {
+                if sinks[i].is_saturated() {
+                    continue;
+                }
+                let (qst, qend) = mapped[i];
+                self.scan_level(
+                    l,
+                    &queries[i],
+                    qst,
+                    qend,
+                    &mut flags[i],
+                    &mut hints[i],
+                    skip,
+                    &mut *sinks[i],
+                    &mut None,
+                );
+            }
+        }
+    }
+
+    /// One level of the optimized walk (the body of Algorithm 3 with all
+    /// §4 optimizations), shared by the single-query and batched paths.
+    /// `hints` carries the §4.2 inter-level links for the two O-tables;
+    /// `flags` is updated in place (Lemma 2) after the level is scanned.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_level<S: QuerySink + ?Sized>(
+        &self,
+        l: u32,
+        q: &RangeQuery,
+        qst: u64,
+        qend: u64,
+        flags: &mut CompFlags,
+        hints: &mut (usize, usize),
+        skip: bool,
+        out: &mut S,
+        stats: &mut Option<&mut QueryStats>,
+    ) {
+        let (oin_hint, oaft_hint) = hints;
+        {
             let f = self.domain.prefix(l, qst);
             let last = self.domain.prefix(l, qend);
             let level = &self.levels[l as usize];
@@ -852,8 +916,8 @@ impl Hint {
             // ---- Oin: runs for partitions f..=l; first and last runs may
             // need comparisons, everything in between is a blind slice.
             {
-                let (i0, i1) = level.oin.dir.entry_range(f, last, oin_hint);
-                oin_hint = level.oin.dir.up_of(i0);
+                let (i0, i1) = level.oin.dir.entry_range(f, last, *oin_hint);
+                *oin_hint = level.oin.dir.up_of(i0);
                 if i0 < i1 {
                     let mut blind_lo = i0;
                     let mut blind_hi = i1;
@@ -875,7 +939,7 @@ impl Hint {
                                     0
                                 }
                             };
-                            record(&mut stats, 1, cmps);
+                            record(stats, 1, cmps);
                             cmp_at_first |= cmps > 0;
                             blind_lo = i1; // consumed
                         }
@@ -883,14 +947,14 @@ impl Hint {
                         if first_is_f && flags.first {
                             let (lo, hi) = level.oin.dir.data_range(i0, i0 + 1);
                             let cmps = level.oin.data.end_ge_scan(lo, hi, q.st, skip, out);
-                            record(&mut stats, 1, cmps);
+                            record(stats, 1, cmps);
                             cmp_at_first |= cmps > 0;
                             blind_lo = i0 + 1;
                         }
                         if last_is_l && flags.last && blind_lo < i1 {
                             let (lo, hi) = level.oin.dir.data_range(i1 - 1, i1);
                             let cmps = level.oin.data.st_prefix(lo, hi, q.end, skip, out);
-                            record(&mut stats, 1, cmps);
+                            record(stats, 1, cmps);
                             cmp_at_last |= cmps > 0;
                             blind_hi = i1 - 1;
                         }
@@ -898,7 +962,7 @@ impl Hint {
                     if blind_lo < blind_hi {
                         let (lo, hi) = level.oin.dir.data_range(blind_lo, blind_hi);
                         level.oin.data.blind(lo, hi, skip, out);
-                        record(&mut stats, blind_hi - blind_lo, 0);
+                        record(stats, blind_hi - blind_lo, 0);
                     }
                 }
             }
@@ -906,15 +970,15 @@ impl Hint {
             // ---- Oaft: runs f..=l; only the run at `l` may need the
             // `st <= q.end` test (Lemma 5/6), and only while `comp_last`.
             {
-                let (i0, i1) = level.oaft.dir.entry_range(f, last, oaft_hint);
-                oaft_hint = level.oaft.dir.up_of(i0);
+                let (i0, i1) = level.oaft.dir.entry_range(f, last, *oaft_hint);
+                *oaft_hint = level.oaft.dir.up_of(i0);
                 if i0 < i1 {
                     let mut blind_hi = i1;
                     let last_is_l = level.oaft.dir.offset_of(i1 - 1) == last;
                     if last_is_l && flags.last {
                         let (lo, hi) = level.oaft.dir.data_range(i1 - 1, i1);
                         let cmps = level.oaft.data.st_prefix(lo, hi, q.end, skip, out);
-                        record(&mut stats, 1, cmps);
+                        record(stats, 1, cmps);
                         if f == last {
                             cmp_at_first |= cmps > 0;
                         } else {
@@ -925,7 +989,7 @@ impl Hint {
                     if i0 < blind_hi {
                         let (lo, hi) = level.oaft.dir.data_range(i0, blind_hi);
                         level.oaft.data.blind(lo, hi, skip, out);
-                        record(&mut stats, blind_hi - i0, 0);
+                        record(stats, blind_hi - i0, 0);
                     }
                 }
             }
@@ -935,18 +999,18 @@ impl Hint {
             if let Some((lo, hi)) = level.rin.dir.run_of(f) {
                 if flags.first {
                     let cmps = level.rin.data.end_suffix(lo, hi, q.st, skip, out);
-                    record(&mut stats, 1, cmps);
+                    record(stats, 1, cmps);
                     cmp_at_first |= cmps > 0;
                 } else {
                     level.rin.data.blind(lo, hi, skip, out);
-                    record(&mut stats, 1, 0);
+                    record(stats, 1, 0);
                 }
             }
 
             // ---- Raft: only the first partition's run; never compared.
             if let Some((lo, hi)) = level.raft.dir.run_of(f) {
                 emit_ids(&level.raft.data[lo..hi], skip, out);
-                record(&mut stats, 1, 0);
+                record(stats, 1, 0);
             }
 
             if let Some(st) = stats.as_deref_mut() {
@@ -1050,6 +1114,95 @@ impl Hint {
         found
     }
 
+    /// Seals (compacts) the index in place. The merged tables are already
+    /// the sealed columnar layout — one CSR arena per subdivision category
+    /// and level — so sealing here means folding the update overlay back
+    /// into pristine arenas: tombstones left by [`Hint::delete`] are
+    /// dropped, capacity slack from spliced [`Hint::insert`]s is released,
+    /// and the sparse directories and §4.2 inter-level links are rebuilt.
+    /// Queries are unaffected semantically; scans stop paying the
+    /// tombstone filter.
+    pub fn seal(&mut self) {
+        let opts = self.opts;
+        let bufs: Vec<BuildLevel> = self
+            .levels
+            .iter()
+            .map(|level| {
+                let mut b = BuildLevel::default();
+                for (off, lo, hi) in dir_runs(&level.oin.dir) {
+                    for k in lo..hi {
+                        match &level.oin.data {
+                            OinData::Rows(rows) => {
+                                if rows[k].id != TOMBSTONE {
+                                    b.oin.push((off, rows[k]));
+                                }
+                            }
+                            OinData::Cols { ids, st, end } => {
+                                if ids[k] != TOMBSTONE {
+                                    b.oin.push((
+                                        off,
+                                        Interval {
+                                            id: ids[k],
+                                            st: st[k],
+                                            end: end[k],
+                                        },
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                for (off, lo, hi) in dir_runs(&level.oaft.dir) {
+                    for k in lo..hi {
+                        match &level.oaft.data {
+                            OaftData::Rows(rows) => {
+                                if rows[k].0 != TOMBSTONE {
+                                    b.oaft.push((off, rows[k].0, rows[k].1));
+                                }
+                            }
+                            OaftData::Cols { ids, st } => {
+                                if ids[k] != TOMBSTONE {
+                                    b.oaft.push((off, ids[k], st[k]));
+                                }
+                            }
+                        }
+                    }
+                }
+                for (off, lo, hi) in dir_runs(&level.rin.dir) {
+                    for k in lo..hi {
+                        match &level.rin.data {
+                            RinData::Rows(rows) => {
+                                if rows[k].0 != TOMBSTONE {
+                                    b.rin.push((off, rows[k].0, rows[k].1));
+                                }
+                            }
+                            RinData::Cols { ids, end } => {
+                                if ids[k] != TOMBSTONE {
+                                    b.rin.push((off, ids[k], end[k]));
+                                }
+                            }
+                        }
+                    }
+                }
+                for (off, lo, hi) in dir_runs(&level.raft.dir) {
+                    for k in lo..hi {
+                        if level.raft.data[k] != TOMBSTONE {
+                            b.raft.push((off, level.raft.data[k]));
+                        }
+                    }
+                }
+                b
+            })
+            .collect();
+        let levels: Vec<Level> = bufs
+            .into_iter()
+            .enumerate()
+            .map(|(l, b)| build_level(l, b, opts))
+            .collect();
+        self.levels = link_levels(levels);
+        self.tombstones = 0;
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn size_bytes(&self) -> usize {
         self.levels
@@ -1082,6 +1235,47 @@ fn record(stats: &mut Option<&mut QueryStats>, parts: usize, cmps: usize) {
         s.partitions_accessed += parts;
         s.comparisons += cmps;
     }
+}
+
+/// Iterates a directory's non-empty `(offset, lo, hi)` data runs (used by
+/// the [`Hint::seal`] compaction).
+fn dir_runs(dir: &Dir) -> Vec<(u64, usize, usize)> {
+    match dir {
+        Dir::Dense { begins } => begins
+            .windows(2)
+            .enumerate()
+            .filter(|(_, w)| w[0] < w[1])
+            .map(|(i, w)| (i as u64, w[0] as usize, w[1] as usize))
+            .collect(),
+        Dir::Sparse { offs, begins, .. } => offs
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| (o, begins[i] as usize, begins[i + 1] as usize))
+            .collect(),
+    }
+}
+
+/// Counts the assignments of `data` per (level, subdivision kind) and
+/// allocates exactly-sized build buffers, so the placement pass performs
+/// no reallocation.
+fn presized_build_buffers(data: &[Interval], domain: &Domain) -> Vec<BuildLevel> {
+    let m = domain.m();
+    let mut counts = vec![[0usize; 4]; m as usize + 1];
+    for s in data {
+        let (a, b) = domain.map_interval(s);
+        for_each_assignment(m, a, b, |asg| {
+            counts[asg.level as usize][asg.kind.slot()] += 1;
+        });
+    }
+    counts
+        .into_iter()
+        .map(|c| BuildLevel {
+            oin: Vec::with_capacity(c[0]),
+            oaft: Vec::with_capacity(c[1]),
+            rin: Vec::with_capacity(c[2]),
+            raft: Vec::with_capacity(c[3]),
+        })
+        .collect()
 }
 
 /// Sorts one level's build buffers and materializes its four merged
@@ -1352,6 +1546,63 @@ mod tests {
                 b.sort_unstable();
                 assert_eq!(a, b, "threads={threads} {q:?}");
             }
+        }
+    }
+
+    #[test]
+    fn seal_compacts_tombstones_and_preserves_results() {
+        let data = lcg_data(400, 1 << 14, 2000, 13);
+        for opts in all_options() {
+            let mut idx = Hint::build_with_domain(
+                &data,
+                crate::domain::Domain::new(0, (1 << 14) - 1, 9),
+                opts,
+            );
+            let mut oracle = ScanOracle::new(&data);
+            for i in 0..50u64 {
+                let s = Interval::new(7000 + i, i * 23, i * 23 + 40);
+                idx.insert(s);
+                oracle.insert(s);
+            }
+            for s in data.iter().filter(|s| s.id % 5 == 0) {
+                assert_eq!(idx.delete(s), oracle.delete(s.id), "{opts:?} {s:?}");
+            }
+            let before = idx.entries();
+            idx.seal();
+            assert!(idx.entries() < before, "{opts:?}: tombstones not dropped");
+            for st in (0..(1u64 << 14)).step_by(223) {
+                let q = RangeQuery::new(st, (st + 900).min((1 << 14) - 1));
+                let mut got = Vec::new();
+                idx.query(q, &mut got);
+                assert_eq!(sorted(got), oracle.query_sorted(q), "{opts:?} {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_batch_bit_identical_to_solo() {
+        let data = lcg_data(600, 1 << 16, 8000, 91);
+        for opts in all_options() {
+            let idx = Hint::build_with_options(&data, 11, opts);
+            let queries: Vec<RangeQuery> = (0..60u64)
+                .map(|i| {
+                    let st = (i * 1013) % (1 << 16);
+                    RangeQuery::new(st, (st + 5000).min((1 << 16) - 1))
+                })
+                .collect();
+            let solo: Vec<Vec<IntervalId>> = queries
+                .iter()
+                .map(|&q| {
+                    let mut v = Vec::new();
+                    idx.query_sink(q, &mut v);
+                    v
+                })
+                .collect();
+            let mut bufs: Vec<Vec<IntervalId>> = vec![Vec::new(); queries.len()];
+            let mut sinks: Vec<&mut dyn QuerySink> =
+                bufs.iter_mut().map(|b| b as &mut dyn QuerySink).collect();
+            idx.query_batch(&queries, &mut sinks);
+            assert_eq!(solo, bufs, "{opts:?}: emission order must match");
         }
     }
 

@@ -1,0 +1,601 @@
+//! Sealed columnar (CSR) storage for the HINT^m family.
+//!
+//! The update-friendly variants ([`super::base::HintMBase`],
+//! [`super::subs::HintMSubs`]) store every partition as its own set of
+//! heap `Vec`s — thousands of tiny allocations whose scans chase a pointer
+//! per partition. A `seal()` freeze step flattens each level into four
+//! contiguous per-category arenas in CSR form: for every subdivision
+//! category (`Oin`, `Oaft`, `Rin`, `Raft`) one flat `ids` column (plus the
+//! endpoint columns Table 3 says the category can ever compare), indexed
+//! by a per-level partition-offset table `starts` with `starts[i] ..
+//! starts[i + 1]` delimiting partition `i`'s run.
+//!
+//! The sealed query walk exploits two consequences of the layout:
+//!
+//! * **bulk emit** — every "no-comparison" reporting regime (middle
+//!   partitions, cleared Lemma-2 flags, the whole `Raft` category) hands
+//!   one contiguous, tombstone-free `ids` slice to
+//!   [`QuerySink::emit_slice`]; in particular *all* middle partitions of a
+//!   level form a single slice per category, so the widest part of a query
+//!   costs one `memcpy` instead of a per-element loop over per-partition
+//!   `Vec`s;
+//! * **comparison scans over flat columns** — runs are sorted at seal
+//!   time (`Oin`/`Oaft` by start, `Rin` by end), so every comparison
+//!   regime is a binary search into one flat endpoint column followed by a
+//!   bulk emit of the qualifying prefix/suffix.
+//!
+//! Updates after sealing go to a small unsealed *overlay* (the variant's
+//! original per-partition storage) that the next `seal()` merges into new
+//! arenas, dropping tombstones; queries walk the sealed arenas first and
+//! the overlay second, so mixed workloads stay exact between seals.
+//!
+//! [`SealedStore::query_batch`] additionally amortizes the level walk over
+//! many queries: queries are sorted by their first relevant partition and
+//! each level's arenas are traversed once for the whole batch, keeping the
+//! offset table and data columns hot in cache.
+
+use crate::assign::SubKind;
+use crate::domain::Domain;
+use crate::hintm::CompFlags;
+use crate::interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
+use crate::scan;
+use crate::sink::QuerySink;
+
+/// One subdivision category at one level, flattened into CSR form.
+///
+/// `starts` has `2^level + 1` entries; partition `i`'s run is
+/// `starts[i] .. starts[i + 1]` in the data columns. Only the endpoint
+/// columns the category can ever compare are populated (Table 3):
+/// `Oin: st + end`, `Oaft: st`, `Rin: end`, `Raft: neither`.
+#[derive(Debug, Clone, Default)]
+struct CsrCat {
+    starts: Vec<u32>,
+    ids: Vec<IntervalId>,
+    st: Vec<Time>,
+    end: Vec<Time>,
+}
+
+impl CsrCat {
+    /// Data range of partition `off`.
+    #[inline]
+    fn run(&self, off: u64) -> (usize, usize) {
+        (
+            self.starts[off as usize] as usize,
+            self.starts[off as usize + 1] as usize,
+        )
+    }
+
+    /// Data range spanned by partitions `first ..= last` — contiguous by
+    /// construction, the bulk-emit fast path.
+    #[inline]
+    fn span(&self, first: u64, last: u64) -> (usize, usize) {
+        (
+            self.starts[first as usize] as usize,
+            self.starts[last as usize + 1] as usize,
+        )
+    }
+
+    /// Blind-reports a data range (no comparisons; one `emit_slice` per
+    /// saturation-poll chunk when tombstone-free).
+    #[inline]
+    fn blind<S: QuerySink + ?Sized>(&self, lo: usize, hi: usize, skip: bool, sink: &mut S) {
+        scan::emit_ids(&self.ids[lo..hi], skip, sink);
+    }
+
+    /// Reports the run prefix with `st <= bound` (run sorted by start).
+    #[inline]
+    fn st_prefix<S: QuerySink + ?Sized>(
+        &self,
+        lo: usize,
+        hi: usize,
+        bound: Time,
+        skip: bool,
+        sink: &mut S,
+    ) {
+        let ub = self.st[lo..hi].partition_point(|&x| x <= bound);
+        scan::emit_ids(&self.ids[lo..lo + ub], skip, sink);
+    }
+
+    /// Reports the run suffix with `end >= bound` (run sorted by end).
+    #[inline]
+    fn end_suffix<S: QuerySink + ?Sized>(
+        &self,
+        lo: usize,
+        hi: usize,
+        bound: Time,
+        skip: bool,
+        sink: &mut S,
+    ) {
+        let lb = self.end[lo..hi].partition_point(|&x| x < bound);
+        scan::emit_ids(&self.ids[lo + lb..hi], skip, sink);
+    }
+
+    /// Linear `end >= bound` filter over a run that is sorted by start
+    /// (the Lemma-5 first-partition case for `Oin`).
+    #[inline]
+    fn end_filter<S: QuerySink + ?Sized>(
+        &self,
+        lo: usize,
+        hi: usize,
+        bound: Time,
+        skip: bool,
+        sink: &mut S,
+    ) {
+        scan::emit_filtered_ids(
+            &self.ids[lo..hi],
+            &self.end[lo..hi],
+            skip,
+            |e| e >= bound,
+            sink,
+        );
+    }
+
+    /// Full overlap test (single-partition Lemma-6 case): binary-search
+    /// the `st <= qend` prefix, then filter it by `end >= qst`.
+    #[inline]
+    fn overlap<S: QuerySink + ?Sized>(
+        &self,
+        lo: usize,
+        hi: usize,
+        qst: Time,
+        qend: Time,
+        skip: bool,
+        sink: &mut S,
+    ) {
+        let ub = self.st[lo..hi].partition_point(|&x| x <= qend);
+        scan::emit_filtered_ids(
+            &self.ids[lo..lo + ub],
+            &self.end[lo..lo + ub],
+            skip,
+            |e| e >= qst,
+            sink,
+        );
+    }
+
+    /// Tombstones the entry with `id` inside partition `off`, narrowing
+    /// the scan to the equal-key run via the sorted key column (`KeyCol`).
+    fn tombstone(&mut self, off: u64, id: IntervalId, key: Time, col: KeyCol) -> bool {
+        let (lo, hi) = self.run(off);
+        let (lo, hi) = match col {
+            KeyCol::St => {
+                let c = &self.st[lo..hi];
+                (
+                    lo + c.partition_point(|&x| x < key),
+                    lo + c.partition_point(|&x| x <= key),
+                )
+            }
+            KeyCol::End => {
+                let c = &self.end[lo..hi];
+                (
+                    lo + c.partition_point(|&x| x < key),
+                    lo + c.partition_point(|&x| x <= key),
+                )
+            }
+            KeyCol::None => (lo, hi),
+        };
+        for slot in &mut self.ids[lo..hi] {
+            if *slot == id {
+                *slot = TOMBSTONE;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.starts.len() * std::mem::size_of::<u32>()
+            + (self.ids.len() + self.st.len() + self.end.len()) * 8
+    }
+}
+
+/// Which sorted key column to use when narrowing a tombstone scan.
+enum KeyCol {
+    St,
+    End,
+    None,
+}
+
+#[derive(Debug, Clone)]
+struct SealedLevel {
+    oin: CsrCat,
+    oaft: CsrCat,
+    rin: CsrCat,
+    raft: CsrCat,
+}
+
+/// The frozen CSR arenas of one index: `m + 1` levels, four categories
+/// each. Built by [`SealedBuilder`], immutable except for tombstoning.
+#[derive(Debug, Clone)]
+pub(crate) struct SealedStore {
+    m: u32,
+    levels: Vec<SealedLevel>,
+}
+
+/// Per-level collection buffers for a seal: entries keyed by partition
+/// offset, sorted and flattened by [`SealedBuilder::finish`].
+#[derive(Default)]
+struct LevelBuf {
+    oin: Vec<(u64, Interval)>,
+    oaft: Vec<(u64, IntervalId, Time)>,
+    rin: Vec<(u64, IntervalId, Time)>,
+    raft: Vec<(u64, IntervalId)>,
+}
+
+/// Accumulates entries (from old sealed arenas and/or the unsealed
+/// overlay) and freezes them into a [`SealedStore`]. Tombstoned entries
+/// are dropped on push, so every seal is also a compaction.
+pub(crate) struct SealedBuilder {
+    m: u32,
+    levels: Vec<LevelBuf>,
+}
+
+impl SealedBuilder {
+    pub fn new(m: u32) -> Self {
+        Self {
+            m,
+            levels: (0..=m).map(|_| LevelBuf::default()).collect(),
+        }
+    }
+
+    #[inline]
+    pub fn push_oin(&mut self, level: u32, off: u64, id: IntervalId, st: Time, end: Time) {
+        if id != TOMBSTONE {
+            self.levels[level as usize]
+                .oin
+                .push((off, Interval { id, st, end }));
+        }
+    }
+
+    #[inline]
+    pub fn push_oaft(&mut self, level: u32, off: u64, id: IntervalId, st: Time) {
+        if id != TOMBSTONE {
+            self.levels[level as usize].oaft.push((off, id, st));
+        }
+    }
+
+    #[inline]
+    pub fn push_rin(&mut self, level: u32, off: u64, id: IntervalId, end: Time) {
+        if id != TOMBSTONE {
+            self.levels[level as usize].rin.push((off, id, end));
+        }
+    }
+
+    #[inline]
+    pub fn push_raft(&mut self, level: u32, off: u64, id: IntervalId) {
+        if id != TOMBSTONE {
+            self.levels[level as usize].raft.push((off, id));
+        }
+    }
+
+    /// Sorts every level's buffers by `(partition, comparison key)` and
+    /// materializes the CSR arenas.
+    pub fn finish(self) -> SealedStore {
+        let m = self.m;
+        let levels = self
+            .levels
+            .into_iter()
+            .enumerate()
+            .map(|(l, mut b)| {
+                let parts = 1usize << l;
+                b.oin.sort_unstable_by_key(|&(off, s)| (off, s.st));
+                b.oaft.sort_unstable_by_key(|&(off, _, st)| (off, st));
+                b.rin.sort_unstable_by_key(|&(off, _, end)| (off, end));
+                b.raft.sort_unstable_by_key(|&(off, _)| off);
+                SealedLevel {
+                    oin: CsrCat {
+                        starts: build_starts(parts, b.oin.iter().map(|e| e.0)),
+                        ids: b.oin.iter().map(|e| e.1.id).collect(),
+                        st: b.oin.iter().map(|e| e.1.st).collect(),
+                        end: b.oin.iter().map(|e| e.1.end).collect(),
+                    },
+                    oaft: CsrCat {
+                        starts: build_starts(parts, b.oaft.iter().map(|e| e.0)),
+                        ids: b.oaft.iter().map(|e| e.1).collect(),
+                        st: b.oaft.iter().map(|e| e.2).collect(),
+                        end: Vec::new(),
+                    },
+                    rin: CsrCat {
+                        starts: build_starts(parts, b.rin.iter().map(|e| e.0)),
+                        ids: b.rin.iter().map(|e| e.1).collect(),
+                        st: Vec::new(),
+                        end: b.rin.iter().map(|e| e.2).collect(),
+                    },
+                    raft: CsrCat {
+                        starts: build_starts(parts, b.raft.iter().map(|e| e.0)),
+                        ids: b.raft.iter().map(|e| e.1).collect(),
+                        st: Vec::new(),
+                        end: Vec::new(),
+                    },
+                }
+            })
+            .collect();
+        SealedStore { m, levels }
+    }
+}
+
+/// Builds the partition-offset table of one category from its (sorted or
+/// unsorted) entry offsets: a counting pass plus a prefix sum.
+fn build_starts(parts: usize, offsets: impl Iterator<Item = u64>) -> Vec<u32> {
+    let mut starts = vec![0u32; parts + 1];
+    for off in offsets {
+        starts[off as usize + 1] += 1;
+    }
+    for i in 1..starts.len() {
+        starts[i] += starts[i - 1];
+    }
+    starts
+}
+
+impl SealedStore {
+    /// Total stored entries across all arenas.
+    pub fn entries(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| l.oin.ids.len() + l.oaft.ids.len() + l.rin.ids.len() + l.raft.ids.len())
+            .sum()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| {
+                l.oin.size_bytes() + l.oaft.size_bytes() + l.rin.size_bytes() + l.raft.size_bytes()
+            })
+            .sum()
+    }
+
+    /// Re-pushes every live entry into `b` (the reseal path: old arenas +
+    /// overlay are merged into fresh arenas, dropping tombstones).
+    pub fn drain_into(&self, b: &mut SealedBuilder) {
+        for (l, lev) in self.levels.iter().enumerate() {
+            let l = l as u32;
+            for (off, w) in lev.oin.starts.windows(2).enumerate() {
+                for k in w[0] as usize..w[1] as usize {
+                    b.push_oin(l, off as u64, lev.oin.ids[k], lev.oin.st[k], lev.oin.end[k]);
+                }
+            }
+            for (off, w) in lev.oaft.starts.windows(2).enumerate() {
+                for k in w[0] as usize..w[1] as usize {
+                    b.push_oaft(l, off as u64, lev.oaft.ids[k], lev.oaft.st[k]);
+                }
+            }
+            for (off, w) in lev.rin.starts.windows(2).enumerate() {
+                for k in w[0] as usize..w[1] as usize {
+                    b.push_rin(l, off as u64, lev.rin.ids[k], lev.rin.end[k]);
+                }
+            }
+            for (off, w) in lev.raft.starts.windows(2).enumerate() {
+                for k in w[0] as usize..w[1] as usize {
+                    b.push_raft(l, off as u64, lev.raft.ids[k]);
+                }
+            }
+        }
+    }
+
+    /// Tombstones one assignment of interval `(id, st, end)`. The sorted
+    /// key column implied by the category narrows the scan to the
+    /// equal-key run (the same assignment rule insertion uses).
+    pub fn tombstone(
+        &mut self,
+        level: u32,
+        off: u64,
+        kind: SubKind,
+        id: IntervalId,
+        st: Time,
+        end: Time,
+    ) -> bool {
+        let lev = &mut self.levels[level as usize];
+        match kind {
+            SubKind::OriginalIn => lev.oin.tombstone(off, id, st, KeyCol::St),
+            SubKind::OriginalAft => lev.oaft.tombstone(off, id, st, KeyCol::St),
+            SubKind::ReplicaIn => lev.rin.tombstone(off, id, end, KeyCol::End),
+            SubKind::ReplicaAft => lev.raft.tombstone(off, id, 0, KeyCol::None),
+        }
+    }
+
+    /// Evaluates one query over the sealed arenas (Algorithm 3 with the
+    /// §4.1 subdivision lemmas). The caller has already checked that `q`
+    /// intersects the domain; `skip` enables tombstone filtering.
+    pub fn query_sink<S: QuerySink + ?Sized>(
+        &self,
+        domain: &Domain,
+        q: RangeQuery,
+        skip: bool,
+        sink: &mut S,
+    ) {
+        debug_assert_eq!(domain.m(), self.m);
+        let (qst, qend) = domain.map_query(&q);
+        let mut flags = CompFlags::new();
+        for l in (0..=self.m).rev() {
+            if sink.is_saturated() {
+                return;
+            }
+            let f = domain.prefix(l, qst);
+            let last = domain.prefix(l, qend);
+            self.walk_level(l, f, last, &q, flags, skip, sink);
+            flags.update(f, last);
+        }
+    }
+
+    /// Evaluates a batch of queries with one shared walk per level:
+    /// queries are ordered by their first relevant partition, so each
+    /// level's offset table and arenas are traversed once, left to right,
+    /// for the whole batch. Per-sink output is bit-identical to running
+    /// [`SealedStore::query_sink`] once per query.
+    pub fn query_batch(
+        &self,
+        domain: &Domain,
+        queries: &[RangeQuery],
+        skip: bool,
+        sinks: &mut [&mut dyn QuerySink],
+    ) {
+        assert_eq!(
+            queries.len(),
+            sinks.len(),
+            "query_batch: one sink per query"
+        );
+        let mapped: Vec<(u64, u64)> = queries.iter().map(|q| domain.map_query(q)).collect();
+        let mut order: Vec<usize> = (0..queries.len())
+            .filter(|&i| domain.intersects(&queries[i]))
+            .collect();
+        order.sort_unstable_by_key(|&i| mapped[i]);
+        let mut flags = vec![CompFlags::new(); queries.len()];
+        for l in (0..=self.m).rev() {
+            for &i in &order {
+                if sinks[i].is_saturated() {
+                    continue;
+                }
+                let (qst, qend) = mapped[i];
+                let f = domain.prefix(l, qst);
+                let last = domain.prefix(l, qend);
+                self.walk_level(l, f, last, &queries[i], flags[i], skip, &mut *sinks[i]);
+                flags[i].update(f, last);
+            }
+        }
+    }
+
+    /// One level of the walk: Lemmas 5/6 comparison regimes, gated by the
+    /// Lemma-2 flags, over the CSR runs. All middle partitions of a
+    /// category form one contiguous blind slice.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn walk_level<S: QuerySink + ?Sized>(
+        &self,
+        l: u32,
+        f: u64,
+        last: u64,
+        q: &RangeQuery,
+        flags: CompFlags,
+        skip: bool,
+        sink: &mut S,
+    ) {
+        let lev = &self.levels[l as usize];
+        if lev.oin.ids.is_empty()
+            && lev.oaft.ids.is_empty()
+            && lev.rin.ids.is_empty()
+            && lev.raft.ids.is_empty()
+        {
+            return;
+        }
+        if f == last {
+            // single relevant partition (Lemma 6)
+            let (lo, hi) = lev.oin.run(f);
+            if lo < hi {
+                match (flags.first, flags.last) {
+                    (true, true) => lev.oin.overlap(lo, hi, q.st, q.end, skip, sink),
+                    (false, true) => lev.oin.st_prefix(lo, hi, q.end, skip, sink),
+                    (true, false) => lev.oin.end_filter(lo, hi, q.st, skip, sink),
+                    (false, false) => lev.oin.blind(lo, hi, skip, sink),
+                }
+            }
+            let (lo, hi) = lev.oaft.run(f);
+            if lo < hi {
+                if flags.last {
+                    lev.oaft.st_prefix(lo, hi, q.end, skip, sink);
+                } else {
+                    lev.oaft.blind(lo, hi, skip, sink);
+                }
+            }
+            let (lo, hi) = lev.rin.run(f);
+            if lo < hi {
+                if flags.first {
+                    lev.rin.end_suffix(lo, hi, q.st, skip, sink);
+                } else {
+                    lev.rin.blind(lo, hi, skip, sink);
+                }
+            }
+            let (lo, hi) = lev.raft.run(f);
+            lev.raft.blind(lo, hi, skip, sink);
+        } else {
+            // first relevant partition (Lemma 5): only the `in`
+            // subdivisions may need the `end >= q.st` test
+            let (lo, hi) = lev.oin.run(f);
+            if lo < hi {
+                if flags.first {
+                    lev.oin.end_filter(lo, hi, q.st, skip, sink);
+                } else {
+                    lev.oin.blind(lo, hi, skip, sink);
+                }
+            }
+            let (lo, hi) = lev.rin.run(f);
+            if lo < hi {
+                if flags.first {
+                    lev.rin.end_suffix(lo, hi, q.st, skip, sink);
+                } else {
+                    lev.rin.blind(lo, hi, skip, sink);
+                }
+            }
+            let (lo, hi) = lev.oaft.run(f);
+            lev.oaft.blind(lo, hi, skip, sink);
+            let (lo, hi) = lev.raft.run(f);
+            lev.raft.blind(lo, hi, skip, sink);
+            // all middle partitions at once: one contiguous slice per
+            // category (originals only; their replicas were counted at
+            // the first partition)
+            if last > f + 1 {
+                let (lo, hi) = lev.oin.span(f + 1, last - 1);
+                lev.oin.blind(lo, hi, skip, sink);
+                let (lo, hi) = lev.oaft.span(f + 1, last - 1);
+                lev.oaft.blind(lo, hi, skip, sink);
+            }
+            // last relevant partition: originals only, `st <= q.end`
+            let (lo, hi) = lev.oin.run(last);
+            if lo < hi {
+                if flags.last {
+                    lev.oin.st_prefix(lo, hi, q.end, skip, sink);
+                } else {
+                    lev.oin.blind(lo, hi, skip, sink);
+                }
+            }
+            let (lo, hi) = lev.oaft.run(last);
+            if lo < hi {
+                if flags.last {
+                    lev.oaft.st_prefix(lo, hi, q.end, skip, sink);
+                } else {
+                    lev.oaft.blind(lo, hi, skip, sink);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_table_prefix_sums() {
+        let s = build_starts(4, [0, 0, 2, 3, 3].into_iter());
+        assert_eq!(s, vec![0, 2, 2, 3, 5]);
+    }
+
+    #[test]
+    fn builder_drops_tombstones_and_sorts_runs() {
+        let mut b = SealedBuilder::new(2);
+        b.push_oin(2, 1, 7, 30, 40);
+        b.push_oin(2, 1, 8, 10, 15);
+        b.push_oin(2, 1, TOMBSTONE, 0, 0);
+        b.push_raft(1, 0, 3);
+        let s = b.finish();
+        assert_eq!(s.entries(), 3);
+        let lev = &s.levels[2];
+        let (lo, hi) = lev.oin.run(1);
+        assert_eq!(&lev.oin.ids[lo..hi], &[8, 7]); // sorted by st
+        assert_eq!(&lev.oin.st[lo..hi], &[10, 30]);
+    }
+
+    #[test]
+    fn tombstone_narrows_by_key() {
+        let mut b = SealedBuilder::new(1);
+        for (id, st) in [(1u64, 5u64), (2, 5), (3, 9)] {
+            b.push_oin(1, 0, id, st, st + 1);
+        }
+        let mut s = b.finish();
+        assert!(s.tombstone(1, 0, SubKind::OriginalIn, 2, 5, 6));
+        assert!(!s.tombstone(1, 0, SubKind::OriginalIn, 2, 5, 6));
+        // id 3 has key 9; looking for it under the wrong key fails
+        assert!(!s.tombstone(1, 0, SubKind::OriginalIn, 3, 5, 6));
+        assert!(s.tombstone(1, 0, SubKind::OriginalIn, 3, 9, 10));
+    }
+}

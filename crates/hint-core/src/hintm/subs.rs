@@ -21,7 +21,8 @@
 
 use crate::assign::{for_each_assignment, SubKind};
 use crate::domain::Domain;
-use crate::hintm::CompFlags;
+use crate::hintm::sealed::{SealedBuilder, SealedStore};
+use crate::hintm::{CompFlags, PRESIZE_MAX_M};
 use crate::interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
 use crate::scan;
 use crate::sink::QuerySink;
@@ -97,11 +98,26 @@ enum Storage {
 
 /// HINT^m with subdivisions (§4.1), configurable sorting and storage
 /// optimization.
+///
+/// Calling [`HintMSubs::seal`] freezes the current contents into the
+/// sealed columnar (CSR) engine: contiguous per-category arenas whose
+/// comparison-free runs are bulk-emitted and whose comparison scans walk
+/// flat endpoint columns. After sealing, the per-partition storage acts
+/// as a small unsealed *overlay* for new inserts; the next `seal()`
+/// merges it back in (dropping tombstones). Sealed runs are always kept
+/// sorted, independent of [`SubsConfig::sort`].
 #[derive(Debug, Clone)]
 pub struct HintMSubs {
     domain: Domain,
     cfg: SubsConfig,
+    /// Unsealed per-partition storage; after a `seal()` this holds only
+    /// the overlay of post-seal updates.
     storage: Storage,
+    /// Frozen CSR arenas, present once `seal()` has been called.
+    sealed: Option<SealedStore>,
+    /// Raw entry count currently in `storage` (assignments, not
+    /// intervals); 0 means queries can skip the overlay walk entirely.
+    overlay_entries: usize,
     live: usize,
     tombstones: usize,
 }
@@ -126,22 +142,13 @@ impl HintMSubs {
         let mut idx = Self {
             domain,
             cfg,
-            storage: if cfg.sopt {
-                Storage::Opt(
-                    (0..=m)
-                        .map(|l| vec![PartOpt::default(); 1usize << l])
-                        .collect(),
-                )
-            } else {
-                Storage::Full(
-                    (0..=m)
-                        .map(|l| vec![PartFull::default(); 1usize << l])
-                        .collect(),
-                )
-            },
+            storage: Self::empty_storage(cfg, m),
+            sealed: None,
+            overlay_entries: 0,
             live: 0,
             tombstones: 0,
         };
+        idx.reserve_for(data);
         for s in data {
             idx.place(*s);
         }
@@ -149,16 +156,100 @@ impl HintMSubs {
         if cfg.sort {
             idx.sort_all();
         }
+        idx.shrink();
         idx
+    }
+
+    /// Fresh (empty) per-partition storage for the configured layout.
+    fn empty_storage(cfg: SubsConfig, m: u32) -> Storage {
+        if cfg.sopt {
+            Storage::Opt(
+                (0..=m)
+                    .map(|l| vec![PartOpt::default(); 1usize << l])
+                    .collect(),
+            )
+        } else {
+            Storage::Full(
+                (0..=m)
+                    .map(|l| vec![PartFull::default(); 1usize << l])
+                    .collect(),
+            )
+        }
+    }
+
+    /// Bulk-construction pre-sizing: counts the assignments of `data` per
+    /// partition and subdivision, then reserves every `Vec` exactly, so
+    /// the placement pass performs no reallocation. Skipped above
+    /// [`PRESIZE_MAX_M`], where the counter tables would be too large.
+    fn reserve_for(&mut self, data: &[Interval]) {
+        let m = self.domain.m();
+        if data.is_empty() || m > PRESIZE_MAX_M {
+            return;
+        }
+        // counts[level][offset * 4 + kind]
+        let mut counts: Vec<Vec<u32>> = (0..=m).map(|l| vec![0u32; 4usize << l]).collect();
+        for s in data {
+            let (a, b) = self.domain.map_interval(s);
+            for_each_assignment(m, a, b, |asg| {
+                counts[asg.level as usize][asg.offset as usize * 4 + asg.kind.slot()] += 1;
+            });
+        }
+        match &mut self.storage {
+            Storage::Full(levels) => {
+                for (lc, parts) in counts.iter().zip(levels.iter_mut()) {
+                    for (off, part) in parts.iter_mut().enumerate() {
+                        part.oin.reserve_exact(lc[off * 4] as usize);
+                        part.oaft.reserve_exact(lc[off * 4 + 1] as usize);
+                        part.rin.reserve_exact(lc[off * 4 + 2] as usize);
+                        part.raft.reserve_exact(lc[off * 4 + 3] as usize);
+                    }
+                }
+            }
+            Storage::Opt(levels) => {
+                for (lc, parts) in counts.iter().zip(levels.iter_mut()) {
+                    for (off, part) in parts.iter_mut().enumerate() {
+                        part.oin.reserve_exact(lc[off * 4] as usize);
+                        part.oaft.reserve_exact(lc[off * 4 + 1] as usize);
+                        part.rin.reserve_exact(lc[off * 4 + 2] as usize);
+                        part.raft.reserve_exact(lc[off * 4 + 3] as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Releases growth slack left by `push`-based construction (a no-op
+    /// when [`Self::reserve_for`] pre-sized exactly).
+    fn shrink(&mut self) {
+        match &mut self.storage {
+            Storage::Full(levels) => {
+                for part in levels.iter_mut().flatten() {
+                    part.oin.shrink_to_fit();
+                    part.oaft.shrink_to_fit();
+                    part.rin.shrink_to_fit();
+                    part.raft.shrink_to_fit();
+                }
+            }
+            Storage::Opt(levels) => {
+                for part in levels.iter_mut().flatten() {
+                    part.oin.shrink_to_fit();
+                    part.oaft.shrink_to_fit();
+                    part.rin.shrink_to_fit();
+                    part.raft.shrink_to_fit();
+                }
+            }
+        }
     }
 
     /// Routes one interval to its partitions (no sorting).
     fn place(&mut self, s: Interval) {
         let (a, b) = self.domain.map_interval(&s);
         let m = self.domain.m();
+        let mut added = 0usize;
         match &mut self.storage {
             Storage::Full(levels) => {
                 for_each_assignment(m, a, b, |asg| {
+                    added += 1;
                     let part = &mut levels[asg.level as usize][asg.offset as usize];
                     match asg.kind {
                         SubKind::OriginalIn => part.oin.push(s),
@@ -170,6 +261,7 @@ impl HintMSubs {
             }
             Storage::Opt(levels) => {
                 for_each_assignment(m, a, b, |asg| {
+                    added += 1;
                     let part = &mut levels[asg.level as usize][asg.offset as usize];
                     match asg.kind {
                         SubKind::OriginalIn => part.oin.push(s),
@@ -183,6 +275,7 @@ impl HintMSubs {
                 });
             }
         }
+        self.overlay_entries += added;
     }
 
     fn sort_all(&mut self) {
@@ -231,15 +324,118 @@ impl HintMSubs {
     }
 
     /// Evaluates a range query into an arbitrary sink; the partition walk
-    /// stops once the sink is saturated.
+    /// stops once the sink is saturated. When the index is sealed, the
+    /// CSR arenas are walked first and the (possibly empty) unsealed
+    /// overlay second.
     pub fn query_sink<S: QuerySink + ?Sized>(&self, q: RangeQuery, sink: &mut S) {
         if !self.domain.intersects(&q) {
             return;
+        }
+        if let Some(sealed) = &self.sealed {
+            sealed.query_sink(&self.domain, q, self.tombstones > 0, sink);
+            if self.overlay_entries == 0 || sink.is_saturated() {
+                return;
+            }
         }
         match &self.storage {
             Storage::Full(levels) => self.run(levels, q, sink, FullView),
             Storage::Opt(levels) => self.run(levels, q, sink, OptView),
         }
+    }
+
+    /// Evaluates a batch of queries, one sink per query. On a fully
+    /// sealed index (no overlay) the batch shares one arena walk per
+    /// level — queries are sorted by first relevant partition so the
+    /// offset tables and data columns stay hot in cache; otherwise it
+    /// falls back to independent [`Self::query_sink`] calls. Either way
+    /// each sink receives exactly what a solo `query_sink` would emit.
+    ///
+    /// # Panics
+    /// Panics if `queries` and `sinks` have different lengths.
+    pub fn query_batch(&self, queries: &[RangeQuery], sinks: &mut [&mut dyn QuerySink]) {
+        assert_eq!(queries.len(), sinks.len(), "one sink per query");
+        match &self.sealed {
+            Some(sealed) if self.overlay_entries == 0 => {
+                sealed.query_batch(&self.domain, queries, self.tombstones > 0, sinks)
+            }
+            _ => {
+                for (q, sink) in queries.iter().zip(sinks.iter_mut()) {
+                    self.query_sink(*q, &mut **sink);
+                }
+            }
+        }
+    }
+
+    /// Freezes the index into the sealed columnar (CSR) engine: current
+    /// sealed arenas (if any) and the unsealed per-partition storage are
+    /// merged into fresh contiguous per-category arenas, dropping all
+    /// tombstones, and the per-partition storage is reset to an empty
+    /// overlay for subsequent updates. Queries over sealed storage
+    /// bulk-emit comparison-free runs and binary-search sorted flat
+    /// columns regardless of [`SubsConfig::sort`].
+    pub fn seal(&mut self) {
+        let m = self.domain.m();
+        let mut b = SealedBuilder::new(m);
+        if let Some(sealed) = &self.sealed {
+            sealed.drain_into(&mut b);
+        }
+        match &self.storage {
+            Storage::Full(levels) => {
+                for (l, parts) in levels.iter().enumerate() {
+                    let l = l as u32;
+                    for (off, p) in parts.iter().enumerate() {
+                        let off = off as u64;
+                        for e in &p.oin {
+                            b.push_oin(l, off, e.id, e.st, e.end);
+                        }
+                        for e in &p.oaft {
+                            b.push_oaft(l, off, e.id, e.st);
+                        }
+                        for e in &p.rin {
+                            b.push_rin(l, off, e.id, e.end);
+                        }
+                        for e in &p.raft {
+                            b.push_raft(l, off, e.id);
+                        }
+                    }
+                }
+            }
+            Storage::Opt(levels) => {
+                for (l, parts) in levels.iter().enumerate() {
+                    let l = l as u32;
+                    for (off, p) in parts.iter().enumerate() {
+                        let off = off as u64;
+                        for e in &p.oin {
+                            b.push_oin(l, off, e.id, e.st, e.end);
+                        }
+                        for e in &p.oaft {
+                            b.push_oaft(l, off, e.id, e.st);
+                        }
+                        for e in &p.rin {
+                            b.push_rin(l, off, e.id, e.end);
+                        }
+                        for &id in &p.raft {
+                            b.push_raft(l, off, id);
+                        }
+                    }
+                }
+            }
+        }
+        self.sealed = Some(b.finish());
+        self.storage = Self::empty_storage(self.cfg, m);
+        self.overlay_entries = 0;
+        self.tombstones = 0;
+    }
+
+    /// True once [`Self::seal`] has been called.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.is_some()
+    }
+
+    /// Raw entry count in the unsealed overlay (0 on a freshly sealed
+    /// index).
+    pub fn overlay_entries(&self) -> usize {
+        self.overlay_entries
     }
 
     /// Convenience: stabbing query.
@@ -296,9 +492,11 @@ impl HintMSubs {
         let (a, b) = self.domain.map_interval(&s);
         let m = self.domain.m();
         let sort = self.cfg.sort;
+        let mut added = 0usize;
         match &mut self.storage {
             Storage::Full(levels) => {
                 for_each_assignment(m, a, b, |asg| {
+                    added += 1;
                     let part = &mut levels[asg.level as usize][asg.offset as usize];
                     match asg.kind {
                         SubKind::OriginalIn => insert_by(&mut part.oin, s, sort, |x| x.st),
@@ -310,6 +508,7 @@ impl HintMSubs {
             }
             Storage::Opt(levels) => {
                 for_each_assignment(m, a, b, |asg| {
+                    added += 1;
                     let part = &mut levels[asg.level as usize][asg.offset as usize];
                     match asg.kind {
                         SubKind::OriginalIn => insert_by(&mut part.oin, s, sort, |x| x.st),
@@ -330,41 +529,62 @@ impl HintMSubs {
                 });
             }
         }
+        self.overlay_entries += added;
         self.live += 1;
     }
 
     /// Logically deletes an interval via tombstones. The caller passes the
     /// endpoints the interval was inserted with. Returns true if found.
+    ///
+    /// Each assignment scans only the subdivision its kind implies, and
+    /// when that group is kept sorted the scan is short-circuited to the
+    /// equal-key run located by binary search on the endpoint the group
+    /// is ordered by (the same assignment rule insertion uses). On a
+    /// sealed index the overlay is probed first, then the CSR arenas.
     pub fn delete(&mut self, s: &Interval) -> bool {
         let (a, b) = self.domain.map_interval(s);
         let m = self.domain.m();
+        let sort = self.cfg.sort;
         let mut found = false;
+        let sealed = &mut self.sealed;
         match &mut self.storage {
             Storage::Full(levels) => {
                 for_each_assignment(m, a, b, |asg| {
                     let part = &mut levels[asg.level as usize][asg.offset as usize];
-                    let group = match asg.kind {
-                        SubKind::OriginalIn => &mut part.oin,
-                        SubKind::OriginalAft => &mut part.oaft,
-                        SubKind::ReplicaIn => &mut part.rin,
-                        SubKind::ReplicaAft => &mut part.raft,
-                    };
-                    for slot in group.iter_mut() {
-                        if slot.id == s.id {
-                            slot.id = TOMBSTONE;
-                            found = true;
-                            break;
+                    let hit = match asg.kind {
+                        SubKind::OriginalIn => {
+                            tomb(&mut part.oin, s.id, |x| &mut x.id, sort, s.st, |x| x.st)
                         }
-                    }
+                        SubKind::OriginalAft => {
+                            tomb(&mut part.oaft, s.id, |x| &mut x.id, sort, s.st, |x| x.st)
+                        }
+                        SubKind::ReplicaIn => {
+                            tomb(&mut part.rin, s.id, |x| &mut x.id, sort, s.end, |x| x.end)
+                        }
+                        SubKind::ReplicaAft => {
+                            tomb(&mut part.raft, s.id, |x| &mut x.id, false, 0, |x| x.st)
+                        }
+                    };
+                    let hit = hit
+                        || sealed.as_mut().is_some_and(|sl| {
+                            sl.tombstone(asg.level, asg.offset, asg.kind, s.id, s.st, s.end)
+                        });
+                    found |= hit;
                 });
             }
             Storage::Opt(levels) => {
                 for_each_assignment(m, a, b, |asg| {
                     let part = &mut levels[asg.level as usize][asg.offset as usize];
                     let hit = match asg.kind {
-                        SubKind::OriginalIn => tomb(&mut part.oin, s.id, |x| &mut x.id),
-                        SubKind::OriginalAft => tomb(&mut part.oaft, s.id, |x| &mut x.id),
-                        SubKind::ReplicaIn => tomb(&mut part.rin, s.id, |x| &mut x.id),
+                        SubKind::OriginalIn => {
+                            tomb(&mut part.oin, s.id, |x| &mut x.id, sort, s.st, |x| x.st)
+                        }
+                        SubKind::OriginalAft => {
+                            tomb(&mut part.oaft, s.id, |x| &mut x.id, sort, s.st, |x| x.st)
+                        }
+                        SubKind::ReplicaIn => {
+                            tomb(&mut part.rin, s.id, |x| &mut x.id, sort, s.end, |x| x.end)
+                        }
                         SubKind::ReplicaAft => {
                             let mut hit = false;
                             for slot in part.raft.iter_mut() {
@@ -377,6 +597,10 @@ impl HintMSubs {
                             hit
                         }
                     };
+                    let hit = hit
+                        || sealed.as_mut().is_some_and(|sl| {
+                            sl.tombstone(asg.level, asg.offset, asg.kind, s.id, s.st, s.end)
+                        });
                     found |= hit;
                 });
             }
@@ -390,6 +614,10 @@ impl HintMSubs {
 
     /// Approximate heap footprint in bytes — the quantity Figure 11 plots.
     pub fn size_bytes(&self) -> usize {
+        self.sealed.as_ref().map_or(0, |s| s.size_bytes()) + self.storage_bytes()
+    }
+
+    fn storage_bytes(&self) -> usize {
         match &self.storage {
             Storage::Full(levels) => {
                 let mut total = 0;
@@ -420,18 +648,20 @@ impl HintMSubs {
 
     /// Total stored entries (for the replication factor `k`).
     pub fn entries(&self) -> usize {
-        match &self.storage {
-            Storage::Full(levels) => levels
-                .iter()
-                .flatten()
-                .map(|p| p.oin.len() + p.oaft.len() + p.rin.len() + p.raft.len())
-                .sum(),
-            Storage::Opt(levels) => levels
-                .iter()
-                .flatten()
-                .map(|p| p.oin.len() + p.oaft.len() + p.rin.len() + p.raft.len())
-                .sum(),
-        }
+        let sealed = self.sealed.as_ref().map_or(0, |s| s.entries());
+        sealed
+            + match &self.storage {
+                Storage::Full(levels) => levels
+                    .iter()
+                    .flatten()
+                    .map(|p| p.oin.len() + p.oaft.len() + p.rin.len() + p.raft.len())
+                    .sum::<usize>(),
+                Storage::Opt(levels) => levels
+                    .iter()
+                    .flatten()
+                    .map(|p| p.oin.len() + p.oaft.len() + p.rin.len() + p.raft.len())
+                    .sum::<usize>(),
+            }
     }
 }
 
@@ -445,8 +675,27 @@ fn insert_by<T: Copy, K: Fn(&T) -> Time>(v: &mut Vec<T>, x: T, sort: bool, key: 
     }
 }
 
-fn tomb<T>(v: &mut [T], id: IntervalId, idf: impl Fn(&mut T) -> &mut IntervalId) -> bool {
-    for slot in v.iter_mut() {
+/// Tombstones the first entry with `id`. When the run is `sorted` by the
+/// endpoint `keyf` extracts, the scan is narrowed by binary search to the
+/// entries whose key equals `key` (tombstoning preserves keys, so the
+/// ordering invariant survives deletions).
+fn tomb<T>(
+    v: &mut [T],
+    id: IntervalId,
+    idf: impl Fn(&mut T) -> &mut IntervalId,
+    sorted: bool,
+    key: Time,
+    keyf: impl Fn(&T) -> Time,
+) -> bool {
+    let (lo, hi) = if sorted {
+        (
+            v.partition_point(|e| keyf(e) < key),
+            v.partition_point(|e| keyf(e) <= key),
+        )
+    } else {
+        (0, v.len())
+    };
+    for slot in &mut v[lo..hi] {
         let slot_id = idf(slot);
         if *slot_id == id {
             *slot_id = TOMBSTONE;
@@ -837,6 +1086,111 @@ mod tests {
             }
         }
         data.truncate(data.len()); // silence unused-mut lint paranoia
+    }
+
+    #[test]
+    fn sealed_matches_unsealed_and_oracle() {
+        let data = lcg_data(400, 100_000, 9_000, 21);
+        let oracle = ScanOracle::new(&data);
+        for cfg in all_configs() {
+            let unsealed = HintMSubs::build(&data, 10, cfg);
+            let mut sealed = unsealed.clone();
+            sealed.seal();
+            assert!(sealed.is_sealed());
+            assert_eq!(sealed.overlay_entries(), 0);
+            assert_eq!(sealed.entries(), unsealed.entries());
+            assert_eq!(sealed.len(), unsealed.len());
+            let mut x = 5u64;
+            for _ in 0..200 {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                let st = (x >> 17) % 100_000;
+                let end = (st + (x >> 9) % 12_000).min(99_999);
+                let q = RangeQuery::new(st, end);
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                unsealed.query(q, &mut a);
+                sealed.query(q, &mut b);
+                assert_eq!(sorted(a), oracle.query_sorted(q), "{cfg:?} unsealed {q:?}");
+                assert_eq!(sorted(b), oracle.query_sorted(q), "{cfg:?} sealed {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reseal_cycles_with_updates_match_oracle() {
+        let data = lcg_data(150, 2048, 100, 29);
+        let domain = crate::domain::Domain::new(0, 2047, 8);
+        for cfg in all_configs() {
+            let mut idx = HintMSubs::build_with_domain(&data, domain, cfg);
+            let mut oracle = ScanOracle::new(&data);
+            idx.seal();
+            // mixed overlay: new inserts, deletes of sealed and overlay
+            // records
+            for i in 0..60u64 {
+                let st = (i * 31) % 2000;
+                let s = Interval::new(5000 + i, st, st + (i % 40));
+                idx.insert(s);
+                oracle.insert(s);
+            }
+            assert!(idx.overlay_entries() > 0);
+            for s in data.iter().filter(|s| s.id % 4 == 0) {
+                assert_eq!(idx.delete(s), oracle.delete(s.id), "{cfg:?} sealed del");
+            }
+            for i in (0..60u64).filter(|i| i % 3 == 0) {
+                let st = (i * 31) % 2000;
+                let s = Interval::new(5000 + i, st, st + (i % 40));
+                assert_eq!(idx.delete(&s), oracle.delete(s.id), "{cfg:?} overlay del");
+            }
+            let check = |idx: &HintMSubs, oracle: &ScanOracle, tag: &str| {
+                for st in (0..2048u64).step_by(41) {
+                    let q = RangeQuery::new(st, (st + 90).min(2047));
+                    let mut got = Vec::new();
+                    idx.query(q, &mut got);
+                    assert_eq!(sorted(got), oracle.query_sorted(q), "{cfg:?} {tag} {q:?}");
+                }
+            };
+            check(&idx, &oracle, "before reseal");
+            let live = idx.len();
+            idx.seal();
+            assert_eq!(idx.overlay_entries(), 0);
+            assert_eq!(idx.len(), live);
+            check(&idx, &oracle, "after reseal");
+            // keep updating after the reseal
+            for i in 0..20u64 {
+                let s = Interval::new(9000 + i, i * 13, i * 13 + 7);
+                idx.insert(s);
+                oracle.insert(s);
+            }
+            check(&idx, &oracle, "post-reseal inserts");
+        }
+    }
+
+    #[test]
+    fn query_batch_bit_identical_to_solo() {
+        let data = lcg_data(300, 1 << 14, 2000, 7);
+        let mut idx = HintMSubs::build(&data, 9, SubsConfig::full());
+        // pass 0: unsealed (fallback loop); pass 1: sealed (shared walk)
+        for pass in 0..2 {
+            let queries: Vec<RangeQuery> = (0..50u64)
+                .map(|i| {
+                    let st = (i * 317) % (1 << 14);
+                    RangeQuery::new(st, (st + 1200).min((1 << 14) - 1))
+                })
+                .collect();
+            let solo: Vec<Vec<IntervalId>> = queries
+                .iter()
+                .map(|&q| {
+                    let mut v = Vec::new();
+                    idx.query_sink(q, &mut v);
+                    v
+                })
+                .collect();
+            let mut bufs: Vec<Vec<IntervalId>> = vec![Vec::new(); queries.len()];
+            let mut sinks: Vec<&mut dyn QuerySink> =
+                bufs.iter_mut().map(|b| b as &mut dyn QuerySink).collect();
+            idx.query_batch(&queries, &mut sinks);
+            assert_eq!(solo, bufs, "pass {pass}: emission order must match");
+            idx.seal();
+        }
     }
 
     #[test]

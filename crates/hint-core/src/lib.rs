@@ -39,6 +39,18 @@
 //! let mut sink = FirstK::new(1);
 //! index.query_sink(RangeQuery::new(22, 55), &mut sink);
 //! assert_eq!(sink.len(), 1);
+//!
+//! // Seal into the read-optimized columnar (CSR) layout, then answer a
+//! // whole batch with one shared level walk. Each sink receives exactly
+//! // what a solo `query_sink` call would emit.
+//! use hint_core::QuerySink;
+//! let mut index = index;
+//! index.seal();
+//! let queries = [RangeQuery::new(0, 15), RangeQuery::new(45, 58)];
+//! let (mut a, mut b) = (Vec::new(), Vec::new());
+//! let mut sinks: Vec<&mut dyn QuerySink> = vec![&mut a, &mut b];
+//! index.query_batch(&queries, &mut sinks);
+//! assert_eq!((a, b), (vec![1], vec![3]));
 //! ```
 //!
 //! Every query path reports through a [`QuerySink`]; see the [`sink`]
@@ -126,6 +138,31 @@ pub trait IntervalIndex {
         sink.found()
     }
 
+    /// Seals (freezes/compacts) the index into its read-optimized
+    /// storage layout. For the HINT^m variants this flattens per-partition
+    /// storage into the sealed columnar (CSR) arenas (or, for [`Hint`],
+    /// compacts the merged tables), drops tombstones, and resets the
+    /// update overlay; queries remain exact before, between and after
+    /// seals. The default is a no-op for indexes without a distinct
+    /// sealed layout.
+    fn seal(&mut self) {}
+
+    /// Evaluates a batch of queries, one sink per query. Results for each
+    /// sink are exactly what a solo [`query_sink`](Self::query_sink) call
+    /// would emit; implementations with sealed/merged storage override
+    /// this with a shared level walk that sorts queries by their first
+    /// relevant partition and traverses each level's arenas once for the
+    /// whole batch. The default runs the queries independently.
+    ///
+    /// # Panics
+    /// Panics if `queries` and `sinks` have different lengths.
+    fn query_batch(&self, queries: &[RangeQuery], sinks: &mut [&mut dyn QuerySink]) {
+        assert_eq!(queries.len(), sinks.len(), "one sink per query");
+        for (q, sink) in queries.iter().zip(sinks.iter_mut()) {
+            self.query_sink(*q, &mut **sink);
+        }
+    }
+
     /// Approximate heap footprint in bytes (Table 8).
     fn size_bytes(&self) -> usize;
 
@@ -150,6 +187,12 @@ impl IntervalIndex for Hint {
     fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
         Hint::query(self, q, out)
     }
+    fn seal(&mut self) {
+        Hint::seal(self)
+    }
+    fn query_batch(&self, queries: &[RangeQuery], sinks: &mut [&mut dyn QuerySink]) {
+        Hint::query_batch(self, queries, sinks)
+    }
     fn size_bytes(&self) -> usize {
         Hint::size_bytes(self)
     }
@@ -165,6 +208,12 @@ impl IntervalIndex for HintMBase {
     fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
         HintMBase::query(self, q, out)
     }
+    fn seal(&mut self) {
+        HintMBase::seal(self)
+    }
+    fn query_batch(&self, queries: &[RangeQuery], sinks: &mut [&mut dyn QuerySink]) {
+        HintMBase::query_batch(self, queries, sinks)
+    }
     fn size_bytes(&self) -> usize {
         HintMBase::size_bytes(self)
     }
@@ -179,6 +228,12 @@ impl IntervalIndex for HintMSubs {
     }
     fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
         HintMSubs::query(self, q, out)
+    }
+    fn seal(&mut self) {
+        HintMSubs::seal(self)
+    }
+    fn query_batch(&self, queries: &[RangeQuery], sinks: &mut [&mut dyn QuerySink]) {
+        HintMSubs::query_batch(self, queries, sinks)
     }
     fn size_bytes(&self) -> usize {
         HintMSubs::size_bytes(self)
@@ -210,6 +265,11 @@ impl IntervalIndex for HybridHint {
     fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
         HybridHint::query(self, q, out)
     }
+    fn seal(&mut self) {
+        // §4.4 batch merge: fold the delta into a rebuilt (compact,
+        // tombstone-free) main index.
+        HybridHint::merge(self)
+    }
     fn size_bytes(&self) -> usize {
         HybridHint::size_bytes(self)
     }
@@ -224,6 +284,9 @@ impl IntervalIndex for ConcurrentHint {
     }
     fn query(&self, q: RangeQuery, out: &mut Vec<IntervalId>) {
         ConcurrentHint::query(self, q, out)
+    }
+    fn seal(&mut self) {
+        ConcurrentHint::merge(self)
     }
     fn size_bytes(&self) -> usize {
         ConcurrentHint::size_bytes(self)

@@ -1,11 +1,14 @@
 //! Quickstart: build a HINT^m index, run range / stabbing / count /
-//! exists / first-k queries, and handle updates through the hybrid index.
+//! exists / first-k queries, batch queries over sealed storage, and
+//! handle updates through the hybrid index.
 //!
 //! ```text
 //! cargo run --example quickstart --release
 //! ```
 
-use hint_suite::hint_core::{FirstK, Hint, HybridHint, Interval, IntervalIndex, RangeQuery};
+use hint_suite::hint_core::{
+    FirstK, Hint, HybridHint, Interval, IntervalIndex, QuerySink, RangeQuery,
+};
 
 fn main() {
     // --- 1. model your records as (id, start, end) triples -------------
@@ -53,7 +56,24 @@ fn main() {
     println!("first 2 of [0, 100]:  {:?}", first.ids());
     assert_eq!(first.len(), 2);
 
-    // --- 7. updates: use the hybrid main+delta index (§4.4) -------------
+    // --- 7. seal + query_batch: freeze into the columnar (CSR) layout
+    // and answer many queries with one shared level walk. Each sink
+    // receives exactly what a solo `query_sink` call would emit.
+    let mut index = index;
+    index.seal();
+    let queries = [RangeQuery::new(0, 15), RangeQuery::new(45, 58)];
+    let (mut q0, mut q1) = (Vec::new(), Vec::new());
+    {
+        let mut sinks: Vec<&mut dyn QuerySink> = vec![&mut q0, &mut q1];
+        index.query_batch(&queries, &mut sinks);
+    }
+    q0.sort_unstable();
+    q1.sort_unstable();
+    println!("batched [0,15]:       {q0:?}"); // [1, 4]
+    println!("batched [45,58]:      {q1:?}"); // [3, 4]
+    assert_eq!((q0, q1), (vec![1, 4], vec![3, 4]));
+
+    // --- 8. updates: use the hybrid main+delta index (§4.4) -------------
     let mut live = HybridHint::new(&data, 0, 1_000, 10);
     live.insert(Interval::new(5, 70, 80));
     live.delete(&Interval::new(2, 20, 40));

@@ -81,6 +81,32 @@ proptest! {
     }
 
     #[test]
+    fn sealed_variants_match_oracle(
+        data in intervals(5_000),
+        q in query(5_000),
+        m in 1u32..12,
+        sort in any::<bool>(),
+        sopt in any::<bool>(),
+    ) {
+        let oracle = ScanOracle::new(&data);
+        let mut subs = HintMSubs::build(&data, m, SubsConfig { sort, sopt });
+        subs.seal();
+        let mut got = Vec::new();
+        subs.query(q, &mut got);
+        prop_assert_eq!(sorted(got), oracle.query_sorted(q), "sealed subs");
+        let mut base = HintMBase::build(&data, m);
+        base.seal();
+        let mut got = Vec::new();
+        base.query(q, &mut got);
+        prop_assert_eq!(sorted(got), oracle.query_sorted(q), "sealed base");
+        let mut hint = Hint::build(&data, m);
+        hint.seal();
+        let mut got = Vec::new();
+        hint.query(q, &mut got);
+        prop_assert_eq!(sorted(got), oracle.query_sorted(q), "sealed (compacted) hint");
+    }
+
+    #[test]
     fn results_have_no_duplicates_and_no_tombstones(
         data in intervals(4_096),
         q in query(4_096),

@@ -62,6 +62,36 @@ fn build_all(data: &[Interval], max: u64) -> Vec<(&'static str, Box<dyn Interval
             "hint-m-subs-uf",
             Box::new(HintMSubs::build(data, 9, SubsConfig::update_friendly())),
         ),
+        ("hint-sealed", {
+            let mut i = Hint::build(data, 10);
+            i.seal();
+            Box::new(i)
+        }),
+        ("hint-m-base-sealed", {
+            let mut i = HintMBase::build(data, 9);
+            i.seal();
+            Box::new(i)
+        }),
+        ("hint-m-subs-sealed", {
+            let mut i = HintMSubs::build(data, 9, SubsConfig::full());
+            i.seal();
+            Box::new(i)
+        }),
+        ("hint-m-subs-sealed+overlay", {
+            // sealed arenas plus a live unsealed overlay: the second half
+            // of the data is inserted after the seal
+            let split = data.len() / 2;
+            let mut i = HintMSubs::build_with_domain(
+                &data[..split.max(1)],
+                hint_suite::hint_core::Domain::new(0, max, 9),
+                SubsConfig::update_friendly(),
+            );
+            i.seal();
+            for &s in &data[split.max(1)..] {
+                i.insert(s);
+            }
+            Box::new(i)
+        }),
         ("hybrid", {
             let split = data.len() / 2;
             let mut h = HybridHint::new(&data[..split.max(1)], 0, max, 9);
@@ -158,6 +188,91 @@ proptest! {
                     "{} FirstK emitted non-result {} on {:?}", name, id, q
                 );
             }
+        }
+    }
+
+    #[test]
+    fn query_batch_equals_independent_query_sink_calls(
+        data in intervals(DOM),
+        raw_queries in prop::collection::vec((0u64..DOM, 0u64..DOM), 1..16),
+    ) {
+        let queries: Vec<RangeQuery> = raw_queries
+            .into_iter()
+            .map(|(a, b)| RangeQuery::new(a.min(b), a.max(b)))
+            .collect();
+        for (name, idx) in build_all(&data, DOM) {
+            let mut solo: Vec<Vec<IntervalId>> = queries
+                .iter()
+                .map(|&q| {
+                    let mut v = Vec::new();
+                    idx.query_sink(q, &mut v);
+                    v
+                })
+                .collect();
+            let mut bufs: Vec<Vec<IntervalId>> = vec![Vec::new(); queries.len()];
+            {
+                let mut sinks: Vec<&mut dyn QuerySink> =
+                    bufs.iter_mut().map(|b| b as &mut dyn QuerySink).collect();
+                idx.query_batch(&queries, &mut sinks);
+            }
+            if name == "timeline" {
+                // the timeline index reports each checkpoint's survivors
+                // from a HashSet, so even two identical query_sink calls
+                // emit in different orders — compare as multisets
+                for v in solo.iter_mut().chain(bufs.iter_mut()) {
+                    v.sort_unstable();
+                }
+            }
+            // bit-identical for every deterministic index: same ids in
+            // the same emission order per sink
+            prop_assert_eq!(&solo, &bufs, "{} batch != solo", name);
+        }
+    }
+
+    #[test]
+    fn sealed_indexes_agree_with_oracle_after_update_and_reseal(
+        data in intervals(DOM),
+        ops in prop::collection::vec((any::<bool>(), 0u64..DOM, 0u64..256), 0..24),
+        qa in 0u64..DOM,
+        qb in 0u64..DOM,
+    ) {
+        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
+        let domain = hint_suite::hint_core::Domain::new(0, DOM, 10);
+        let mut subs = HintMSubs::build_with_domain(&data, domain, SubsConfig::full());
+        let mut base = hint_suite::hint_core::HintMBase::build_with_domain(&data, domain);
+        let mut oracle = ScanOracle::new(&data);
+        subs.seal();
+        base.seal();
+        let mut live: Vec<Interval> = data.clone();
+        let mut next_id = 500_000u64;
+        for (is_insert, st, len) in ops {
+            if is_insert || live.is_empty() {
+                let s = Interval::new(next_id, st, (st + len).min(DOM));
+                next_id += 1;
+                subs.insert(s);
+                base.insert(s);
+                oracle.insert(s);
+                live.push(s);
+            } else {
+                let victim = live.swap_remove((st as usize) % live.len());
+                prop_assert_eq!(subs.delete(&victim), oracle.delete(victim.id));
+                prop_assert!(base.delete(&victim));
+            }
+        }
+        let want = oracle.query_sorted(q);
+        for reseal in [false, true] {
+            if reseal {
+                subs.seal();
+                base.seal();
+            }
+            let mut a = Vec::new();
+            subs.query_sink(q, &mut a);
+            a.sort_unstable();
+            prop_assert_eq!(&a, &want, "subs reseal={}", reseal);
+            let mut b = Vec::new();
+            base.query_sink(q, &mut b);
+            b.sort_unstable();
+            prop_assert_eq!(&b, &want, "base reseal={}", reseal);
         }
     }
 
