@@ -9,6 +9,7 @@
 //!   ablation        extra: comparison counts vs m (Lemma 4 / Theorem 2)
 //!   countmode       extra: enumerate vs count vs exists throughput
 //!   cachelayout     extra: nested-Vec vs sealed-CSR storage + query_batch
+//!   shardscale      extra: sharded parallel executor throughput vs K
 //!   all             run everything (paper order)
 //!
 //! flags:
@@ -25,7 +26,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <fig10|fig11|fig12|fig13|fig14|table6|table7|table8|table9|table10|ablation|countmode|cachelayout|all> \
+        "usage: harness <fig10|fig11|fig12|fig13|fig14|table6|table7|table8|table9|table10|ablation|countmode|cachelayout|shardscale|all> \
          [--quick] [--scale N] [--queries N] [--max-m N] [--seed N]"
     );
     exit(2);
@@ -102,6 +103,7 @@ fn main() {
         "ablation" => experiments::ablation::run(&cfg),
         "countmode" => experiments::countmode::run(&cfg),
         "cachelayout" => experiments::cachelayout::run(&cfg),
+        "shardscale" => experiments::shardscale::run(&cfg),
         _ => usage(),
     };
     if experiment == "all" {
@@ -119,6 +121,7 @@ fn main() {
             "ablation",
             "countmode",
             "cachelayout",
+            "shardscale",
         ] {
             run_one(name);
             println!();

@@ -133,6 +133,60 @@ pub fn batch_count_throughput<I: IntervalIndex + ?Sized>(
     }
 }
 
+/// Batched-query throughput through the sharded executor's **typed
+/// merge path** (`ShardedIndex::query_batch_merge`): queries run in
+/// chunks of `batch`, one collecting `Vec` fork per (query, shard) pair,
+/// merged back saturation-aware in shard order.
+pub fn merge_batch_throughput<I: IntervalIndex + Sync>(
+    index: &hint_core::ShardedIndex<I>,
+    queries: &[RangeQuery],
+    batch: usize,
+) -> Throughput {
+    let batch = batch.max(1);
+    let mut bufs: Vec<Vec<IntervalId>> = (0..batch).map(|_| Vec::with_capacity(256)).collect();
+    let mut results = 0u64;
+    let t0 = Instant::now();
+    for chunk in queries.chunks(batch) {
+        let bufs = &mut bufs[..chunk.len()];
+        for b in bufs.iter_mut() {
+            b.clear();
+        }
+        index.query_batch_merge(chunk, bufs);
+        results += bufs.iter().map(|b| b.len() as u64).sum::<u64>();
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    Throughput {
+        qps: queries.len() as f64 / secs,
+        results,
+    }
+}
+
+/// Count-only throughput through the sharded executor's typed merge
+/// path: one `CountSink` fork per (query, shard) pair, so no result
+/// vector is ever written on either side of the merge boundary.
+pub fn merge_count_throughput<I: IntervalIndex + Sync>(
+    index: &hint_core::ShardedIndex<I>,
+    queries: &[RangeQuery],
+    batch: usize,
+) -> Throughput {
+    use hint_core::CountSink;
+    let batch = batch.max(1);
+    let mut counts: Vec<CountSink> = vec![CountSink::new(); batch];
+    let mut results = 0u64;
+    let t0 = Instant::now();
+    for chunk in queries.chunks(batch) {
+        let counts = &mut counts[..chunk.len()];
+        counts.fill(CountSink::new());
+        index.query_batch_merge(chunk, counts);
+        results += counts.iter().map(|c| c.count() as u64).sum::<u64>();
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    Throughput {
+        qps: queries.len() as f64 / secs,
+        results,
+    }
+}
+
 /// Times a closure (e.g. an index build), returning (seconds, value).
 pub fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
     let t0 = Instant::now();

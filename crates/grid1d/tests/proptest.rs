@@ -1,19 +1,12 @@
 //! Property-based validation of the 1D-grid: the reference-value method
-//! must eliminate all duplicates for any partition count.
+//! must eliminate all duplicates for any partition count. Oracle
+//! comparison (including the duplicate check) runs through the shared
+//! `test-support` differential harness.
 
 use grid1d::Grid1D;
-use hint_core::{Interval, RangeQuery, ScanOracle};
+use hint_core::ScanOracle;
 use proptest::prelude::*;
-
-fn intervals(max_val: u64) -> impl Strategy<Value = Vec<Interval>> {
-    prop::collection::vec((0..max_val, 0..max_val), 1..100).prop_map(|pairs| {
-        pairs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (a, b))| Interval::new(i as u64, a.min(b), a.max(b)))
-            .collect()
-    })
-}
+use test_support::{assert_same_results_named, intervals, query};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -21,20 +14,12 @@ proptest! {
     #[test]
     fn matches_oracle_any_partition_count(
         data in intervals(4_000),
-        qa in 0u64..4_000,
-        qb in 0u64..4_000,
+        q in query(4_000),
         p in 1usize..300,
     ) {
-        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
         let oracle = ScanOracle::new(&data);
         let grid = Grid1D::build(&data, p);
-        let mut got = Vec::new();
-        grid.query(q, &mut got);
-        let n = got.len();
-        got.sort_unstable();
-        got.dedup();
-        prop_assert_eq!(n, got.len(), "reference-value dedup failed");
-        prop_assert_eq!(got, oracle.query_sorted(q));
+        assert_same_results_named("grid1d", &grid, &oracle, &[q])?;
     }
 
     #[test]

@@ -132,6 +132,11 @@ impl HintMBase {
     /// categories from the mapped end point, so the sealed walk can skip
     /// comparisons per Lemmas 5/6.
     pub fn seal(&mut self) {
+        if self.sealed.is_some() && self.overlay_entries == 0 && self.tombstones == 0 {
+            // idempotent fast path: nothing has changed since the last
+            // seal, the arenas are already canonical
+            return;
+        }
         let m = self.domain.m();
         let mut b = SealedBuilder::new(m);
         if let Some(sealed) = &self.sealed {

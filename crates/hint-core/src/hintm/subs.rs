@@ -374,6 +374,14 @@ impl HintMSubs {
     /// bulk-emit comparison-free runs and binary-search sorted flat
     /// columns regardless of [`SubsConfig::sort`].
     pub fn seal(&mut self) {
+        if self.sealed.is_some() && self.overlay_entries == 0 && self.tombstones == 0 {
+            // idempotent fast path: no overlay writes and no tombstones
+            // since the last seal, so the arenas are already canonical —
+            // resealing a clean index is free (this is what makes
+            // resealing a sharded index after localized writes cost
+            // O(dirty shard) instead of O(n))
+            return;
+        }
         let m = self.domain.m();
         let mut b = SealedBuilder::new(m);
         if let Some(sealed) = &self.sealed {

@@ -53,6 +53,50 @@
 //! assert_eq!((a, b), (vec![1], vec![3]));
 //! ```
 //!
+//! ## Sharded parallel serving
+//!
+//! For serving-scale deployments, [`ShardedIndex`] splits the domain into
+//! `K` contiguous shards (boundary-crossing intervals are replicated and
+//! deduplicated on emit, mirroring the paper's originals/replicas
+//! discipline) and executes query batches with one thread per shard,
+//! merging the per-shard results deterministically back into each
+//! caller's sink:
+//!
+//! ```
+//! use hint_core::{
+//!     CountSink, Domain, HintMSubs, Interval, IntervalIndex, RangeQuery, ShardedIndex,
+//!     SubsConfig,
+//! };
+//!
+//! let data: Vec<Interval> = (0..10_000)
+//!     .map(|i| Interval::new(i, i * 13 % 100_000, (i * 13 % 100_000) + 40))
+//!     .collect();
+//!
+//! // 1. Split the domain into 4 contiguous shards, one sealed HINT^m each.
+//! let mut index = ShardedIndex::build_with(&data, 4, |slice, lo, hi| {
+//!     HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 10), SubsConfig::full())
+//! });
+//! index.seal(); // seal every shard into the columnar (CSR) layout
+//!
+//! // 2. Solo queries route to the shards they overlap (usually one).
+//! let q = RangeQuery::new(5_000, 5_400);
+//! let mut ids = Vec::new();
+//! index.query(q, &mut ids);
+//! assert_eq!(ids.len(), index.count(q));
+//!
+//! // 3. Batches fan out across shards in parallel (one thread per shard)
+//! //    and merge back in shard order — results identical to solo calls.
+//! let queries: Vec<RangeQuery> =
+//!     (0..64).map(|i| RangeQuery::new(i * 1_500, i * 1_500 + 900)).collect();
+//! let mut counts = vec![CountSink::new(); queries.len()];
+//! index.query_batch_merge(&queries, &mut counts);
+//! assert_eq!(counts[3].count(), index.count(queries[3]));
+//!
+//! // 4. Writes route to exactly the shards the interval overlaps.
+//! index.insert(Interval::new(1_000_000, 70_000, 82_000));
+//! assert!(index.delete(&Interval::new(1_000_000, 70_000, 82_000)));
+//! ```
+//!
 //! Every query path reports through a [`QuerySink`]; see the [`sink`]
 //! module for the full menu of consumers (collect, count, first-`k`,
 //! exists, streaming callback).
@@ -75,12 +119,14 @@ pub mod assign;
 pub mod concurrent;
 pub mod cost_model;
 pub mod domain;
+pub mod executor;
 pub mod hint_cf;
 pub mod hintm;
 pub mod interval;
 pub mod join;
 pub mod oracle;
 mod scan;
+pub mod shard;
 pub mod sink;
 pub mod stats;
 
@@ -97,7 +143,8 @@ pub use hintm::subs::{HintMSubs, SubsConfig};
 pub use interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
 pub use join::{index_join, index_join_count, sweep_join, sweep_join_count};
 pub use oracle::ScanOracle;
-pub use sink::{CollectSink, CountSink, ExistsSink, FirstK, FnSink, QuerySink};
+pub use shard::{MutableIndex, ShardedIndex};
+pub use sink::{CollectSink, CountSink, ExistsSink, FirstK, FnSink, MergeableSink, QuerySink};
 pub use stats::{QueryStats, WorkloadStats};
 
 /// Common query interface implemented by every index in the workspace

@@ -86,6 +86,40 @@ pub trait QuerySink {
     }
 }
 
+/// A sink whose work can be split across parallel workers and recombined.
+///
+/// The sharded executor ([`crate::ShardedIndex`]) gives every worker
+/// thread a private [`fork`](Self::fork) of the caller's sink, lets the
+/// workers drain their shard-local results into the forks concurrently,
+/// and then folds the forks back with [`merge`](Self::merge) — always on
+/// the caller's thread, always in ascending shard order, so collecting
+/// sinks stay deterministic without any locking on the emit path.
+///
+/// Implementations must uphold two contracts:
+///
+/// * **merge is saturation-aware** — merging never drives the receiver
+///   past its own retention bound. [`FirstK`] in particular keeps at most
+///   `k` ids no matter how many forks arrive with `k` ids each; results
+///   beyond `k` must not cross the merge boundary.
+/// * **aggregates are order-independent** — for pure aggregates
+///   ([`CountSink`], [`ExistsSink`]) any merge order yields the same
+///   state; positional sinks ([`CollectSink`], `Vec`, [`FirstK`]) reflect
+///   the order in which `merge` is called, which the executor fixes to
+///   shard order.
+pub trait MergeableSink: QuerySink {
+    /// A fresh, empty sink of the same kind (same `k`, same bounds) for a
+    /// worker thread to fill.
+    fn fork(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Folds a worker's fork into `self`. Called once per fork, in shard
+    /// order, on the caller's thread.
+    fn merge(&mut self, other: Self)
+    where
+        Self: Sized;
+}
+
 /// The original behaviour: any `Vec<IntervalId>` is a sink that collects
 /// every emitted id.
 impl QuerySink for Vec<IntervalId> {
@@ -97,6 +131,20 @@ impl QuerySink for Vec<IntervalId> {
     #[inline]
     fn emit_slice(&mut self, ids: &[IntervalId]) {
         self.extend_from_slice(ids);
+    }
+}
+
+impl MergeableSink for Vec<IntervalId> {
+    fn fork(&self) -> Self {
+        Vec::new()
+    }
+
+    fn merge(&mut self, mut other: Self) {
+        if self.is_empty() {
+            *self = other;
+        } else {
+            self.append(&mut other);
+        }
     }
 }
 
@@ -153,6 +201,20 @@ impl QuerySink for CollectSink {
     }
 }
 
+impl MergeableSink for CollectSink {
+    fn fork(&self) -> Self {
+        CollectSink::new()
+    }
+
+    fn merge(&mut self, mut other: Self) {
+        if self.ids.is_empty() {
+            self.ids = other.ids;
+        } else {
+            self.ids.append(&mut other.ids);
+        }
+    }
+}
+
 /// Counts results without storing them — the sink behind
 /// [`IntervalIndex::count`](crate::IntervalIndex::count) and the
 /// harness's count-only experiments.
@@ -182,6 +244,16 @@ impl QuerySink for CountSink {
     #[inline]
     fn emit_slice(&mut self, ids: &[IntervalId]) {
         self.n += ids.len();
+    }
+}
+
+impl MergeableSink for CountSink {
+    fn fork(&self) -> Self {
+        CountSink::new()
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.n += other.n;
     }
 }
 
@@ -244,6 +316,23 @@ impl QuerySink for FirstK {
     }
 }
 
+impl MergeableSink for FirstK {
+    fn fork(&self) -> Self {
+        // the fork carries the full budget: a single shard may own all of
+        // the first k results, and saturation still bounds its scan
+        FirstK::new(self.k)
+    }
+
+    /// Saturation-aware: takes only the first `k - len` ids from `other`,
+    /// so at most `k` results ever cross the merge boundary regardless of
+    /// how full each worker's fork came back.
+    fn merge(&mut self, other: Self) {
+        let room = self.k - self.ids.len().min(self.k);
+        let take = room.min(other.ids.len());
+        self.ids.extend_from_slice(&other.ids[..take]);
+    }
+}
+
 /// Saturates on the first result — boolean overlap tests
 /// ([`IntervalIndex::exists`](crate::IntervalIndex::exists)) with maximal
 /// early exit.
@@ -278,6 +367,16 @@ impl QuerySink for ExistsSink {
     #[inline]
     fn is_saturated(&self) -> bool {
         self.found
+    }
+}
+
+impl MergeableSink for ExistsSink {
+    fn fork(&self) -> Self {
+        ExistsSink::new()
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.found |= other.found;
     }
 }
 
@@ -381,6 +480,69 @@ mod tests {
         assert!(!e.found());
         e.emit_slice(&batch);
         assert!(e.found());
+    }
+
+    #[test]
+    fn merge_recombines_every_stock_sink() {
+        let mut v: Vec<IntervalId> = vec![1, 2];
+        let mut fv = MergeableSink::fork(&v);
+        assert!(fv.is_empty());
+        fv.emit_slice(&[3, 4]);
+        v.merge(fv);
+        assert_eq!(v, vec![1, 2, 3, 4]);
+
+        let mut c = CollectSink::new();
+        c.emit(7);
+        let mut fc = c.fork();
+        fc.emit(8);
+        c.merge(fc);
+        assert_eq!(c.ids(), &[7, 8]);
+
+        let mut n = CountSink::new();
+        n.emit_slice(&[0; 5]);
+        let mut fn_ = n.fork();
+        fn_.emit_slice(&[0; 3]);
+        n.merge(fn_);
+        assert_eq!(n.count(), 8);
+
+        let mut e = ExistsSink::new();
+        let mut fe = e.fork();
+        fe.emit(1);
+        e.merge(fe);
+        assert!(e.found());
+    }
+
+    /// The saturation-aware merge: even when every fork comes back full,
+    /// no more than `k` results may cross the merge boundary.
+    #[test]
+    fn first_k_merge_never_over_emits() {
+        let mut sink = FirstK::new(5);
+        sink.emit_slice(&[0, 1, 2]);
+        // three forks, each saturated with k ids of their own
+        for base in [100u64, 200, 300] {
+            let mut f = sink.fork();
+            f.emit_slice(&[base, base + 1, base + 2, base + 3, base + 4]);
+            assert!(f.is_saturated());
+            sink.merge(f);
+            assert!(
+                sink.len() <= 5,
+                "merge pushed FirstK past k: {} ids",
+                sink.len()
+            );
+        }
+        // exactly the first k in merge order survive
+        assert_eq!(sink.ids(), &[0, 1, 2, 100, 101]);
+        assert!(sink.is_saturated());
+    }
+
+    #[test]
+    fn first_k_fork_carries_the_full_budget() {
+        let sink = FirstK::new(3);
+        let mut f = sink.fork();
+        f.emit_slice(&[9, 9, 9, 9]);
+        // the fork itself retains at most k, and saturates
+        assert_eq!(f.len(), 3);
+        assert!(f.is_saturated());
     }
 
     #[test]

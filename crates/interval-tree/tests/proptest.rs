@@ -1,31 +1,19 @@
-//! Property-based validation of the interval tree against the oracle.
+//! Property-based validation of the interval tree against the oracle,
+//! through the shared `test-support` differential harness.
 
-use hint_core::{Interval, RangeQuery, ScanOracle};
+use hint_core::ScanOracle;
 use interval_tree::IntervalTree;
 use proptest::prelude::*;
-
-fn intervals(max_val: u64) -> impl Strategy<Value = Vec<Interval>> {
-    prop::collection::vec((0..max_val, 0..max_val), 1..100).prop_map(|pairs| {
-        pairs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (a, b))| Interval::new(i as u64, a.min(b), a.max(b)))
-            .collect()
-    })
-}
+use test_support::{assert_indexes_agree, assert_same_results_named, intervals, query};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
-    fn matches_oracle(data in intervals(5_000), qa in 0u64..5_000, qb in 0u64..5_000) {
-        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
+    fn matches_oracle(data in intervals(5_000), q in query(5_000)) {
         let oracle = ScanOracle::new(&data);
         let tree = IntervalTree::build(&data);
-        let mut got = Vec::new();
-        tree.query(q, &mut got);
-        got.sort_unstable();
-        prop_assert_eq!(got, oracle.query_sorted(q));
+        assert_same_results_named("interval-tree", &tree, &oracle, &[q])?;
     }
 
     #[test]
@@ -35,13 +23,12 @@ proptest! {
         for &s in &data {
             inc.insert(s);
         }
-        let q = RangeQuery::stab(t);
-        let (mut a, mut b) = (Vec::new(), Vec::new());
-        bulk.query(q, &mut a);
-        inc.query(q, &mut b);
-        a.sort_unstable();
-        b.sort_unstable();
-        prop_assert_eq!(a, b);
+        assert_indexes_agree(
+            "bulk-vs-incremental",
+            &bulk,
+            &inc,
+            &[hint_core::RangeQuery::stab(t)],
+        )?;
     }
 
     #[test]
@@ -51,10 +38,11 @@ proptest! {
         prop_assert!(tree.delete(&victim));
         data.retain(|s| s.id != victim.id);
         let oracle = ScanOracle::new(&data);
-        let q = RangeQuery::new(0, 1_000);
-        let mut got = Vec::new();
-        tree.query(q, &mut got);
-        got.sort_unstable();
-        prop_assert_eq!(got, oracle.query_sorted(q));
+        assert_same_results_named(
+            "interval-tree-after-delete",
+            &tree,
+            &oracle,
+            &[hint_core::RangeQuery::new(0, 1_000)],
+        )?;
     }
 }

@@ -1,19 +1,11 @@
 //! Property-based validation of the period index, including the duration
-//! predicate and the adaptive builder.
+//! predicate and the adaptive builder. Oracle comparison runs through
+//! the shared `test-support` differential harness.
 
-use hint_core::{Interval, RangeQuery, ScanOracle};
+use hint_core::{RangeQuery, ScanOracle};
 use period_index::PeriodIndex;
 use proptest::prelude::*;
-
-fn intervals(max_val: u64) -> impl Strategy<Value = Vec<Interval>> {
-    prop::collection::vec((0..max_val, 0..max_val), 1..100).prop_map(|pairs| {
-        pairs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (a, b))| Interval::new(i as u64, a.min(b), a.max(b)))
-            .collect()
-    })
-}
+use test_support::{assert_indexes_agree, assert_same_results_named, intervals, query};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -21,18 +13,13 @@ proptest! {
     #[test]
     fn matches_oracle_any_shape(
         data in intervals(4_000),
-        qa in 0u64..4_000,
-        qb in 0u64..4_000,
+        q in query(4_000),
         p in 1usize..40,
         levels in 1usize..7,
     ) {
-        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
         let oracle = ScanOracle::new(&data);
         let idx = PeriodIndex::build(&data, p, levels);
-        let mut got = Vec::new();
-        idx.query(q, &mut got);
-        got.sort_unstable();
-        prop_assert_eq!(got, oracle.query_sorted(q));
+        assert_same_results_named("period-index", &idx, &oracle, &[q])?;
     }
 
     #[test]
@@ -40,22 +27,15 @@ proptest! {
         let adaptive = PeriodIndex::build_adaptive(&data, 8);
         let fixed = PeriodIndex::build(&data, 8, 4);
         let q = RangeQuery::new(t, (t + 100).min(1_999));
-        let (mut a, mut b) = (Vec::new(), Vec::new());
-        adaptive.query(q, &mut a);
-        fixed.query(q, &mut b);
-        a.sort_unstable();
-        b.sort_unstable();
-        prop_assert_eq!(a, b);
+        assert_indexes_agree("adaptive-vs-fixed", &adaptive, &fixed, &[q])?;
     }
 
     #[test]
     fn duration_predicate_filters_exactly(
         data in intervals(2_000),
-        qa in 0u64..2_000,
-        qb in 0u64..2_000,
+        q in query(2_000),
         min_dur in 0u64..500,
     ) {
-        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
         let idx = PeriodIndex::build(&data, 8, 4);
         let mut got = Vec::new();
         idx.query_with_duration(q, Some(min_dur), &mut got);

@@ -1,19 +1,14 @@
 //! Property-based validation of the timeline index against the oracle,
-//! across checkpoint spacings (the roll-forward logic is the tricky part).
+//! across checkpoint spacings (the roll-forward logic is the tricky
+//! part). Oracle comparison runs through the shared `test-support`
+//! differential harness, which compares result *sets* — the timeline
+//! reports each checkpoint's survivors from a `HashSet`, so emission
+//! order is not deterministic.
 
-use hint_core::{Interval, RangeQuery, ScanOracle};
+use hint_core::{RangeQuery, ScanOracle};
 use proptest::prelude::*;
+use test_support::{assert_indexes_agree, assert_same_results_named, intervals, query};
 use timeline_index::TimelineIndex;
-
-fn intervals(max_val: u64) -> impl Strategy<Value = Vec<Interval>> {
-    prop::collection::vec((0..max_val, 0..max_val), 1..100).prop_map(|pairs| {
-        pairs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (a, b))| Interval::new(i as u64, a.min(b), a.max(b)))
-            .collect()
-    })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -21,29 +16,18 @@ proptest! {
     #[test]
     fn matches_oracle_any_spacing(
         data in intervals(3_000),
-        qa in 0u64..3_000,
-        qb in 0u64..3_000,
+        q in query(3_000),
         every in 1usize..64,
     ) {
-        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
         let oracle = ScanOracle::new(&data);
         let idx = TimelineIndex::build_with_spacing(&data, every);
-        let mut got = Vec::new();
-        idx.query(q, &mut got);
-        got.sort_unstable();
-        prop_assert_eq!(got, oracle.query_sorted(q));
+        assert_same_results_named("timeline", &idx, &oracle, &[q])?;
     }
 
     #[test]
     fn spacing_never_changes_results(data in intervals(1_500), t in 0u64..1_500) {
         let a = TimelineIndex::build_with_spacing(&data, 1);
         let b = TimelineIndex::build_with_spacing(&data, 1_000_000);
-        let q = RangeQuery::stab(t);
-        let (mut ra, mut rb) = (Vec::new(), Vec::new());
-        a.query(q, &mut ra);
-        b.query(q, &mut rb);
-        ra.sort_unstable();
-        rb.sort_unstable();
-        prop_assert_eq!(ra, rb);
+        assert_indexes_agree("spacing-1-vs-huge", &a, &b, &[RangeQuery::stab(t)])?;
     }
 }

@@ -1,38 +1,20 @@
 //! Property-based tests (proptest) on the core invariants:
 //!
 //! * every HINT variant returns exactly the oracle's result set for
-//!   arbitrary interval collections and queries;
+//!   arbitrary interval collections and queries (differential checks via
+//!   the shared `test-support` harness);
 //! * Algorithm 1's partition assignment covers each mapped interval
 //!   exactly once with exactly one original;
 //! * arbitrary insert/delete interleavings keep all updatable indexes
 //!   consistent with the oracle;
-//! * query results never contain duplicates or tombstones.
+//! * query results never contain duplicates or tombstones (enforced
+//!   inside `assert_same_results`).
 
 use hint_suite::hint_core::{
-    assign, CfLayout, Hint, HintCf, HintMBase, HintMSubs, Interval, IntervalId, RangeQuery,
-    ScanOracle, SubsConfig, TOMBSTONE,
+    assign, CfLayout, Hint, HintCf, HintMBase, HintMSubs, Interval, ScanOracle, SubsConfig,
 };
 use proptest::prelude::*;
-
-fn sorted(mut v: Vec<IntervalId>) -> Vec<IntervalId> {
-    v.sort_unstable();
-    v
-}
-
-/// Strategy: a collection of 1-120 intervals over a configurable domain.
-fn intervals(max_val: u64) -> impl Strategy<Value = Vec<Interval>> {
-    prop::collection::vec((0..max_val, 0..max_val), 1..120).prop_map(|pairs| {
-        pairs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (a, b))| Interval::new(i as u64, a.min(b), a.max(b)))
-            .collect()
-    })
-}
-
-fn query(max_val: u64) -> impl Strategy<Value = RangeQuery> {
-    (0..max_val, 0..max_val).prop_map(|(a, b)| RangeQuery::new(a.min(b), a.max(b)))
-}
+use test_support::{assert_same_results_named, intervals, query};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -41,9 +23,7 @@ proptest! {
     fn hint_matches_oracle(data in intervals(10_000), q in query(10_000), m in 1u32..14) {
         let oracle = ScanOracle::new(&data);
         let idx = Hint::build(&data, m);
-        let mut got = Vec::new();
-        idx.query(q, &mut got);
-        prop_assert_eq!(sorted(got), oracle.query_sorted(q));
+        assert_same_results_named("hint", &idx, &oracle, &[q])?;
     }
 
     #[test]
@@ -56,18 +36,14 @@ proptest! {
     ) {
         let oracle = ScanOracle::new(&data);
         let idx = HintMSubs::build(&data, m, SubsConfig { sort, sopt });
-        let mut got = Vec::new();
-        idx.query(q, &mut got);
-        prop_assert_eq!(sorted(got), oracle.query_sorted(q));
+        assert_same_results_named("hint-m-subs", &idx, &oracle, &[q])?;
     }
 
     #[test]
     fn hintm_base_matches_oracle(data in intervals(5_000), q in query(5_000), m in 1u32..12) {
         let oracle = ScanOracle::new(&data);
         let idx = HintMBase::build(&data, m);
-        let mut got = Vec::new();
-        idx.query(q, &mut got);
-        prop_assert_eq!(sorted(got), oracle.query_sorted(q));
+        assert_same_results_named("hint-m-base", &idx, &oracle, &[q])?;
     }
 
     #[test]
@@ -75,9 +51,7 @@ proptest! {
         let oracle = ScanOracle::new(&data);
         let idx = HintCf::build_exact(&data, CfLayout::Sparse);
         prop_assume!(idx.is_exact());
-        let mut got = Vec::new();
-        idx.query(q, &mut got);
-        prop_assert_eq!(sorted(got), oracle.query_sorted(q));
+        assert_same_results_named("hint-cf", &idx, &oracle, &[q])?;
     }
 
     #[test]
@@ -91,34 +65,13 @@ proptest! {
         let oracle = ScanOracle::new(&data);
         let mut subs = HintMSubs::build(&data, m, SubsConfig { sort, sopt });
         subs.seal();
-        let mut got = Vec::new();
-        subs.query(q, &mut got);
-        prop_assert_eq!(sorted(got), oracle.query_sorted(q), "sealed subs");
+        assert_same_results_named("sealed subs", &subs, &oracle, &[q])?;
         let mut base = HintMBase::build(&data, m);
         base.seal();
-        let mut got = Vec::new();
-        base.query(q, &mut got);
-        prop_assert_eq!(sorted(got), oracle.query_sorted(q), "sealed base");
+        assert_same_results_named("sealed base", &base, &oracle, &[q])?;
         let mut hint = Hint::build(&data, m);
         hint.seal();
-        let mut got = Vec::new();
-        hint.query(q, &mut got);
-        prop_assert_eq!(sorted(got), oracle.query_sorted(q), "sealed (compacted) hint");
-    }
-
-    #[test]
-    fn results_have_no_duplicates_and_no_tombstones(
-        data in intervals(4_096),
-        q in query(4_096),
-    ) {
-        let idx = Hint::build(&data, 10);
-        let mut got = Vec::new();
-        idx.query(q, &mut got);
-        prop_assert!(!got.contains(&TOMBSTONE));
-        let n = got.len();
-        got.sort_unstable();
-        got.dedup();
-        prop_assert_eq!(n, got.len());
+        assert_same_results_named("sealed (compacted) hint", &hint, &oracle, &[q])?;
     }
 
     #[test]
@@ -173,8 +126,6 @@ proptest! {
                 prop_assert_eq!(subs.delete(&victim), oracle.delete(victim.id));
             }
         }
-        let mut got = Vec::new();
-        subs.query(q, &mut got);
-        prop_assert_eq!(sorted(got), oracle.query_sorted(q));
+        assert_same_results_named("subs after updates", &subs, &oracle, &[q])?;
     }
 }

@@ -1,25 +1,26 @@
 //! The `QuerySink` execution layer, validated across every index in the
 //! workspace:
 //!
-//! * `CountSink` count == `CollectSink` length == `ScanOracle` count for
-//!   every variant, on arbitrary data and queries;
-//! * `exists` agrees with `count > 0` everywhere;
+//! * enumerate == count == exists against the `ScanOracle` for every
+//!   variant, via the shared `test-support` differential harness;
 //! * `FirstK` retains exactly `min(k, |result|)` ids, all of them real
 //!   results, and terminates the scan early (measurably fewer emits than
 //!   full enumeration);
+//! * `query_batch` is bit-identical to independent `query_sink` calls;
 //! * saturation is honoured by every index: after a saturating sink stops
 //!   the scan, at most a bounded tail of extra emits arrived.
 
 use hint_suite::grid1d::Grid1D;
 use hint_suite::hint_core::{
-    CfLayout, CollectSink, ConcurrentHint, CountSink, ExistsSink, FirstK, FnSink, Hint, HintCf,
-    HintMBase, HintMSubs, HybridHint, Interval, IntervalId, IntervalIndex, QuerySink, RangeQuery,
-    ScanOracle, SubsConfig,
+    CfLayout, CollectSink, ConcurrentHint, ExistsSink, FirstK, FnSink, Hint, HintCf, HintMBase,
+    HintMSubs, HybridHint, Interval, IntervalId, IntervalIndex, QuerySink, RangeQuery, ScanOracle,
+    SubsConfig,
 };
 use hint_suite::interval_tree::IntervalTree;
 use hint_suite::period_index::PeriodIndex;
 use hint_suite::timeline_index::TimelineIndex;
 use proptest::prelude::*;
+use test_support::{assert_same_results_named, intervals_up_to, query};
 
 /// Forwards to an inner sink while counting how many ids the index
 /// actually emitted — the observable cost of a scan.
@@ -118,13 +119,7 @@ fn build_all(data: &[Interval], max: u64) -> Vec<(&'static str, Box<dyn Interval
 }
 
 fn intervals(max_val: u64) -> impl Strategy<Value = Vec<Interval>> {
-    prop::collection::vec((0..max_val, 0..max_val), 1..120).prop_map(|pairs| {
-        pairs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (a, b))| Interval::new(i as u64, a.min(b), a.max(b)))
-            .collect()
-    })
+    intervals_up_to(max_val, 120)
 }
 
 const DOM: u64 = 4_096;
@@ -132,49 +127,27 @@ const DOM: u64 = 4_096;
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
+    // The central differential property: every variant agrees with the
+    // oracle in every access mode (enumerate, duplicate/tombstone
+    // freedom, count, exists) — one `assert_same_results` call per
+    // variant replaces the old hand-rolled comparison loops.
     #[test]
-    fn count_collect_oracle_agree_for_every_variant(
+    fn every_variant_matches_the_oracle_in_every_mode(
         data in intervals(DOM),
-        qa in 0u64..DOM,
-        qb in 0u64..DOM,
+        q in query(DOM),
     ) {
-        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
-        let want = ScanOracle::new(&data).count(q);
+        let oracle = ScanOracle::new(&data);
         for (name, idx) in build_all(&data, DOM) {
-            let mut collect = CollectSink::new();
-            idx.query_sink(q, &mut collect);
-            let mut count = CountSink::new();
-            idx.query_sink(q, &mut count);
-            prop_assert_eq!(collect.len(), want, "{} collect vs oracle on {:?}", name, q);
-            prop_assert_eq!(count.count(), want, "{} count vs oracle on {:?}", name, q);
-            prop_assert_eq!(idx.count(q), want, "{} trait count on {:?}", name, q);
-        }
-    }
-
-    #[test]
-    fn exists_agrees_with_count_for_every_variant(
-        data in intervals(DOM),
-        qa in 0u64..DOM,
-        qb in 0u64..DOM,
-    ) {
-        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
-        let want = ScanOracle::new(&data).count(q) > 0;
-        for (name, idx) in build_all(&data, DOM) {
-            prop_assert_eq!(idx.exists(q), want, "{} exists on {:?}", name, q);
-            let mut sink = ExistsSink::new();
-            idx.query_sink(q, &mut sink);
-            prop_assert_eq!(sink.found(), want, "{} ExistsSink on {:?}", name, q);
+            assert_same_results_named(name, idx.as_ref(), &oracle, &[q])?;
         }
     }
 
     #[test]
     fn first_k_yields_real_results_and_respects_k(
         data in intervals(DOM),
-        qa in 0u64..DOM,
-        qb in 0u64..DOM,
+        q in query(DOM),
         k in 0usize..12,
     ) {
-        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
         let oracle = ScanOracle::new(&data);
         let full = oracle.query_sorted(q);
         for (name, idx) in build_all(&data, DOM) {
@@ -233,13 +206,11 @@ proptest! {
     fn sealed_indexes_agree_with_oracle_after_update_and_reseal(
         data in intervals(DOM),
         ops in prop::collection::vec((any::<bool>(), 0u64..DOM, 0u64..256), 0..24),
-        qa in 0u64..DOM,
-        qb in 0u64..DOM,
+        q in query(DOM),
     ) {
-        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
         let domain = hint_suite::hint_core::Domain::new(0, DOM, 10);
         let mut subs = HintMSubs::build_with_domain(&data, domain, SubsConfig::full());
-        let mut base = hint_suite::hint_core::HintMBase::build_with_domain(&data, domain);
+        let mut base = HintMBase::build_with_domain(&data, domain);
         let mut oracle = ScanOracle::new(&data);
         subs.seal();
         base.seal();
@@ -259,30 +230,27 @@ proptest! {
                 prop_assert!(base.delete(&victim));
             }
         }
-        let want = oracle.query_sorted(q);
         for reseal in [false, true] {
             if reseal {
                 subs.seal();
                 base.seal();
             }
-            let mut a = Vec::new();
-            subs.query_sink(q, &mut a);
-            a.sort_unstable();
-            prop_assert_eq!(&a, &want, "subs reseal={}", reseal);
-            let mut b = Vec::new();
-            base.query_sink(q, &mut b);
-            b.sort_unstable();
-            prop_assert_eq!(&b, &want, "base reseal={}", reseal);
+            assert_same_results_named(
+                if reseal { "subs resealed" } else { "subs overlay" },
+                &subs, &oracle, &[q],
+            )?;
+            assert_same_results_named(
+                if reseal { "base resealed" } else { "base overlay" },
+                &base, &oracle, &[q],
+            )?;
         }
     }
 
     #[test]
     fn fn_sink_streams_the_full_result_set(
         data in intervals(DOM),
-        qa in 0u64..DOM,
-        qb in 0u64..DOM,
+        q in query(DOM),
     ) {
-        let q = RangeQuery::new(qa.min(qb), qa.max(qb));
         let idx = Hint::build(&data, 10);
         let mut streamed = Vec::new();
         {

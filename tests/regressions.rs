@@ -1,0 +1,148 @@
+//! Deterministic seeded fuzz-regression corpus.
+//!
+//! Property tests shrink a failure to one input and then move on; this
+//! file makes such failures *permanent*. Every test replays one fixed
+//! RNG seed through `test_support::fuzz::workload` — a pure function of
+//! the seed, stable across platforms and releases — and runs the full
+//! differential battery (every index variant, sharded and unsharded,
+//! static and under updates) against the oracle.
+//!
+//! **Convention:** when a proptest or fuzz run ever fails (locally or in
+//! CI), shrink it, fix the bug, then add the seed here as
+//! `regress_seed_0x<SEED>` with a comment naming the bug it caught. The
+//! seeds below bootstrap the corpus with a spread of workload shapes;
+//! they must stay green forever.
+
+use hint_suite::hint_core::{
+    Domain, Hint, HintMBase, HintMSubs, Interval, IntervalIndex, ScanOracle, ShardedIndex,
+    SubsConfig,
+};
+use test_support::{expect_same_results, fuzz, shard_counts};
+
+/// Replays one seed: static differential over the initial data, then an
+/// update interleaving with a mid-stream reseal, then a final
+/// differential sweep — across the core variants and every shard count.
+fn replay(seed: u64) {
+    let w = fuzz::workload(seed, 4_096, 160, 24, 48);
+    let dom = Domain::new(0, w.dom - 1, 9);
+    let oracle = ScanOracle::new(&w.data);
+
+    // static differential: unsharded variants
+    expect_same_results("hint", &Hint::build(&w.data, 10), &oracle, &w.queries);
+    expect_same_results(
+        "hint-m-base",
+        &HintMBase::build_with_domain(&w.data, dom),
+        &oracle,
+        &w.queries,
+    );
+    let mut subs = HintMSubs::build_with_domain(&w.data, dom, SubsConfig::full());
+    expect_same_results("hint-m-subs", &subs, &oracle, &w.queries);
+    subs.seal();
+    expect_same_results("hint-m-subs-sealed", &subs, &oracle, &w.queries);
+
+    // static differential: sharded, every K in the sweep
+    for k in shard_counts() {
+        let mut sharded = ShardedIndex::build_with_domain(&w.data, 0, w.dom - 1, k, |s, lo, hi| {
+            HintMSubs::build_with_domain(s, Domain::new(lo, hi, 9), SubsConfig::full())
+        });
+        expect_same_results("sharded", &sharded, &oracle, &w.queries);
+        IntervalIndex::seal(&mut sharded);
+        expect_same_results("sharded-sealed", &sharded, &oracle, &w.queries);
+    }
+
+    // update interleaving with reseal, sharded vs oracle
+    for k in shard_counts() {
+        let mut sharded = ShardedIndex::build_with_domain(&w.data, 0, w.dom - 1, k, |s, lo, hi| {
+            HintMSubs::build_with_domain(s, Domain::new(lo, hi, 9), SubsConfig::update_friendly())
+        });
+        let mut oracle = ScanOracle::new(&w.data);
+        let mut live = w.data.clone();
+        let mut next_id = 900_000u64;
+        for (i, &(is_insert, pos, len)) in w.ops.iter().enumerate() {
+            if is_insert || live.is_empty() {
+                let s = Interval::new(next_id, pos, (pos + len).min(w.dom - 1));
+                next_id += 1;
+                sharded.insert(s);
+                oracle.insert(s);
+                live.push(s);
+            } else {
+                let victim = live.swap_remove((pos as usize) % live.len());
+                assert_eq!(
+                    sharded.delete(&victim),
+                    oracle.delete(victim.id),
+                    "seed {seed:#x} K={k}: delete divergence on {victim:?}"
+                );
+            }
+            if i == w.ops.len() / 2 {
+                IntervalIndex::seal(&mut sharded);
+            }
+        }
+        expect_same_results("sharded after updates", &sharded, &oracle, &w.queries);
+        IntervalIndex::seal(&mut sharded);
+        expect_same_results("sharded after final reseal", &sharded, &oracle, &w.queries);
+    }
+}
+
+// ---- the corpus ----------------------------------------------------
+// Bootstrap seeds covering a spread of generated workload shapes. Add
+// every seed that ever fails, with a comment naming the bug it caught.
+
+#[test]
+fn regress_seed_0x2a() {
+    replay(0x2a);
+}
+
+#[test]
+fn regress_seed_0xdead_beef() {
+    replay(0xdead_beef);
+}
+
+#[test]
+fn regress_seed_0x5eed_0001() {
+    replay(0x5eed_0001);
+}
+
+#[test]
+fn regress_seed_0xc0ffee() {
+    replay(0xc0ffee);
+}
+
+#[test]
+fn regress_seed_0x7fff_ffff_ffff_ffff() {
+    // extreme seed value: exercises the SplitMix64 stream far from zero
+    replay(0x7fff_ffff_ffff_ffff);
+}
+
+/// Degenerate-workload replay: tiny domains, point intervals, and a
+/// single-interval dataset — shapes that historically break routing and
+/// boundary math first.
+#[test]
+fn regress_degenerate_shapes() {
+    // single interval, stab queries
+    let one = vec![Interval::new(0, 7, 7)];
+    let oracle = ScanOracle::new(&one);
+    for k in shard_counts() {
+        let sharded = ShardedIndex::build_with(&one, k, |s, lo, hi| {
+            HintMSubs::build_with_domain(s, Domain::new(lo, hi, 4), SubsConfig::full())
+        });
+        expect_same_results(
+            "single-interval",
+            &sharded,
+            &oracle,
+            &[
+                hint_suite::hint_core::RangeQuery::stab(7),
+                hint_suite::hint_core::RangeQuery::stab(6),
+                hint_suite::hint_core::RangeQuery::new(0, 100),
+            ],
+        );
+    }
+    // two-value domain, everything overlaps everything
+    let w = fuzz::workload(99, 2, 40, 10, 0);
+    let oracle = ScanOracle::new(&w.data);
+    for k in shard_counts() {
+        let sharded = ShardedIndex::build_with_domain(&w.data, 0, 1, k, |s, lo, hi| {
+            HintMSubs::build_with_domain(s, Domain::new(lo, hi, 1), SubsConfig::full())
+        });
+        expect_same_results("two-value-domain", &sharded, &oracle, &w.queries);
+    }
+}

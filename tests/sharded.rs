@@ -1,0 +1,243 @@
+//! Differential property tests for the sharded parallel executor:
+//! `ShardedIndex` with any shard count `K` must produce bit-identical
+//! result sets to the unsharded index it wraps — across solo
+//! `query_sink`, parallel `query_batch`, the typed `query_batch_merge`
+//! path, count/exists/first-`k` sinks, and insert/delete-then-reseal
+//! cycles.
+//!
+//! The shard-count sweep comes from `test_support::shard_counts()`
+//! (default `[1, 2, 3, 8]`), which CI pins via `HINT_TEST_SHARDS`.
+
+use hint_suite::hint_core::{
+    CountSink, Domain, ExistsSink, FirstK, Hint, HintMSubs, HintOptions, Interval, IntervalId,
+    IntervalIndex, QuerySink, RangeQuery, ScanOracle, ShardedIndex, SubsConfig,
+};
+use proptest::prelude::*;
+use test_support::{
+    assert_indexes_agree, assert_same_results_named, intervals, queries, shard_counts, sorted,
+};
+
+const DOM: u64 = 4_096;
+
+fn sharded_subs(data: &[Interval], k: usize, cfg: SubsConfig) -> ShardedIndex<HintMSubs> {
+    ShardedIndex::build_with_domain(data, 0, DOM - 1, k, |slice, lo, hi| {
+        HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 9), cfg)
+    })
+}
+
+fn sharded_hint(data: &[Interval], k: usize) -> ShardedIndex<Hint> {
+    ShardedIndex::build_with_domain(data, 0, DOM - 1, k, |slice, lo, hi| {
+        Hint::build_with_domain(slice, Domain::new(lo, hi, 9), HintOptions::default())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // sharded(K) == unsharded == oracle, unsealed and sealed, for the
+    // update-friendly HINT^m variant the serving layer wraps
+    #[test]
+    fn sharded_subs_matches_unsharded_for_every_k(
+        data in intervals(DOM),
+        qs in queries(DOM, 12),
+        seal in any::<bool>(),
+    ) {
+        let oracle = ScanOracle::new(&data);
+        let mut unsharded = HintMSubs::build_with_domain(
+            &data, Domain::new(0, DOM - 1, 9), SubsConfig::full());
+        if seal {
+            unsharded.seal();
+        }
+        for k in shard_counts() {
+            let mut sharded = sharded_subs(&data, k, SubsConfig::full());
+            if seal {
+                IntervalIndex::seal(&mut sharded);
+            }
+            assert_same_results_named("sharded-subs", &sharded, &oracle, &qs)?;
+            assert_indexes_agree("sharded-vs-unsharded", &sharded, &unsharded, &qs)?;
+        }
+    }
+
+    // same property around the flagship fully-optimized index
+    #[test]
+    fn sharded_hint_matches_unsharded_for_every_k(
+        data in intervals(DOM),
+        qs in queries(DOM, 10),
+    ) {
+        let unsharded = Hint::build_with_domain(
+            &data, Domain::new(0, DOM - 1, 9), HintOptions::default());
+        for k in shard_counts() {
+            let sharded = sharded_hint(&data, k);
+            assert_indexes_agree("sharded-hint", &sharded, &unsharded, &qs)?;
+        }
+    }
+
+    // the typed MergeableSink path: collect / count / exists / first-k
+    // forks merged across the shard boundary must match the solo answers
+    #[test]
+    fn batch_merge_path_matches_solo_for_every_sink(
+        data in intervals(DOM),
+        qs in queries(DOM, 12),
+        k in 0usize..10,
+    ) {
+        for shards in shard_counts() {
+            let mut idx = sharded_subs(&data, shards, SubsConfig::full());
+            IntervalIndex::seal(&mut idx);
+
+            let mut collects: Vec<Vec<IntervalId>> = qs.iter().map(|_| Vec::new()).collect();
+            idx.query_batch_merge(&qs, &mut collects);
+            let mut counts = vec![CountSink::new(); qs.len()];
+            idx.query_batch_merge(&qs, &mut counts);
+            let mut exists = vec![ExistsSink::new(); qs.len()];
+            idx.query_batch_merge(&qs, &mut exists);
+            let mut firsts: Vec<FirstK> = qs.iter().map(|_| FirstK::new(k)).collect();
+            idx.query_batch_merge(&qs, &mut firsts);
+
+            for (i, &q) in qs.iter().enumerate() {
+                let mut solo = Vec::new();
+                idx.query_sink(q, &mut solo);
+                prop_assert_eq!(
+                    &collects[i], &solo,
+                    "K={} collect merge != solo on {:?}", shards, q
+                );
+                prop_assert_eq!(counts[i].count(), solo.len(), "K={} count on {:?}", shards, q);
+                prop_assert_eq!(exists[i].found(), !solo.is_empty(), "K={} exists on {:?}", shards, q);
+                let mut solo_k = FirstK::new(k);
+                idx.query_sink(q, &mut solo_k);
+                prop_assert!(
+                    firsts[i].len() <= k,
+                    "K={} FirstK over-emitted across the merge boundary on {:?}", shards, q
+                );
+                prop_assert_eq!(
+                    firsts[i].ids(), solo_k.ids(),
+                    "K={} FirstK merge != solo on {:?}", shards, q
+                );
+            }
+        }
+    }
+
+    // insert/delete-then-reseal cycles: the sharded index routes writes
+    // to owning shards and stays exact through overlay and reseal states
+    #[test]
+    fn update_and_reseal_cycles_match_oracle_for_every_k(
+        data in intervals(DOM),
+        ops in prop::collection::vec((any::<bool>(), 0u64..DOM, 0u64..256), 1..32),
+        qs in queries(DOM, 8),
+    ) {
+        for k in shard_counts() {
+            let mut sharded = sharded_subs(&data, k, SubsConfig::update_friendly());
+            let mut oracle = ScanOracle::new(&data);
+            let mut live: Vec<Interval> = data.clone();
+            let mut next_id = 700_000u64;
+            IntervalIndex::seal(&mut sharded);
+            for (i, &(is_insert, st, len)) in ops.iter().enumerate() {
+                if is_insert || live.is_empty() {
+                    let s = Interval::new(next_id, st, (st + len).min(DOM - 1));
+                    next_id += 1;
+                    sharded.insert(s);
+                    oracle.insert(s);
+                    live.push(s);
+                } else {
+                    let victim = live.swap_remove((st as usize) % live.len());
+                    prop_assert_eq!(
+                        sharded.delete(&victim),
+                        oracle.delete(victim.id),
+                        "K={} delete {:?}", k, victim
+                    );
+                }
+                if i == ops.len() / 2 {
+                    // mid-stream reseal: merge overlays into the arenas
+                    IntervalIndex::seal(&mut sharded);
+                }
+            }
+            assert_same_results_named("sharded overlay", &sharded, &oracle, &qs)?;
+            IntervalIndex::seal(&mut sharded);
+            assert_same_results_named("sharded resealed", &sharded, &oracle, &qs)?;
+            prop_assert_eq!(sharded.len(), oracle.len(), "K={} live count", k);
+        }
+    }
+}
+
+/// Deterministic saturation check at the merge boundary: a query whose
+/// results live in many shards, answered with `FirstK`, must never
+/// receive more than `k` ids — on the dyn `query_batch` path *and* the
+/// typed `query_batch_merge` path.
+#[test]
+fn first_k_never_over_emits_across_the_merge_boundary() {
+    // 800 intervals spread evenly, so every one of the 8 shards owns ~100
+    // results for the full-domain query below
+    let data: Vec<Interval> = (0..800)
+        .map(|i| Interval::new(i, i * 5, i * 5 + 3))
+        .collect();
+    let idx = {
+        let mut idx = ShardedIndex::build_with(&data, 8, |slice, lo, hi| {
+            HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 8), SubsConfig::full())
+        });
+        IntervalIndex::seal(&mut idx);
+        idx
+    };
+    assert_eq!(idx.shard_count(), 8);
+    let q = RangeQuery::new(0, 4_003); // selects everything
+    let full = idx.count(q);
+    assert_eq!(full, 800);
+    for k in [0usize, 1, 7, 100, 799, 800, 1_000] {
+        // dyn path: per-shard result buffers merged through emit_slice
+        let queries = [q, q];
+        let mut a = FirstK::new(k);
+        let mut b = FirstK::new(k);
+        {
+            let mut sinks: Vec<&mut dyn QuerySink> = vec![&mut a, &mut b];
+            idx.query_batch(&queries, &mut sinks);
+        }
+        // typed path: saturation-aware MergeableSink::merge
+        let mut m = vec![FirstK::new(k), FirstK::new(k)];
+        idx.query_batch_merge(&queries, &mut m);
+        for sink in [&a, &b, &m[0], &m[1]] {
+            assert!(
+                sink.len() <= k,
+                "FirstK({k}) over-emitted: {} results crossed the merge boundary",
+                sink.len()
+            );
+            assert_eq!(sink.len(), k.min(full), "FirstK({k}) under-filled");
+        }
+        // every retained id is a real result
+        let want = {
+            let mut v = Vec::new();
+            idx.query(q, &mut v);
+            sorted(v)
+        };
+        for sink in [&a, &m[0]] {
+            for id in sink.ids() {
+                assert!(
+                    want.binary_search(id).is_ok(),
+                    "FirstK({k}) emitted fake id {id}"
+                );
+            }
+        }
+    }
+}
+
+/// Shard bookkeeping stays consistent through boundary-crossing writes.
+#[test]
+fn replica_accounting_survives_update_cycles() {
+    let data: Vec<Interval> = (0..400)
+        .map(|i| {
+            Interval::new(
+                i,
+                (i * 11) % 3_900,
+                ((i * 11) % 3_900 + i % 200).min(DOM - 1),
+            )
+        })
+        .collect();
+    let mut idx = sharded_subs(&data, 4, SubsConfig::update_friendly());
+    let before = idx.replicated();
+    // insert a monster interval crossing every shard...
+    let monster = Interval::new(555_555, 0, DOM - 1);
+    idx.insert(monster);
+    assert_eq!(idx.replicated(), before + 3, "replica in each later shard");
+    // ...and delete it again
+    assert!(idx.delete(&monster));
+    assert!(!idx.delete(&monster), "double delete must miss");
+    assert_eq!(idx.replicated(), before);
+    assert_eq!(idx.len(), data.len());
+}
