@@ -10,6 +10,7 @@
 //!   countmode       extra: enumerate vs count vs exists throughput
 //!   cachelayout     extra: nested-Vec vs sealed-CSR storage + query_batch
 //!   shardscale      extra: sharded parallel executor throughput vs K
+//!   serve           extra: batched serving latency/throughput vs batch window
 //!   all             run everything (paper order)
 //!
 //! flags:
@@ -26,7 +27,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <fig10|fig11|fig12|fig13|fig14|table6|table7|table8|table9|table10|ablation|countmode|cachelayout|shardscale|all> \
+        "usage: harness <fig10|fig11|fig12|fig13|fig14|table6|table7|table8|table9|table10|ablation|countmode|cachelayout|shardscale|serve|all> \
          [--quick] [--scale N] [--queries N] [--max-m N] [--seed N]"
     );
     exit(2);
@@ -104,6 +105,7 @@ fn main() {
         "countmode" => experiments::countmode::run(&cfg),
         "cachelayout" => experiments::cachelayout::run(&cfg),
         "shardscale" => experiments::shardscale::run(&cfg),
+        "serve" => experiments::serve::run(&cfg),
         _ => usage(),
     };
     if experiment == "all" {
@@ -122,6 +124,7 @@ fn main() {
             "countmode",
             "cachelayout",
             "shardscale",
+            "serve",
         ] {
             run_one(name);
             println!();

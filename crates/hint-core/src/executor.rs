@@ -47,14 +47,12 @@ type Routed = (u32, RangeQuery, bool);
 
 /// How many worker threads a batch may fan out over: the
 /// `HINT_SHARD_THREADS` override if set, else the machine's available
-/// parallelism.
+/// parallelism. `0` is clamped to `1` (the long-standing way to force
+/// the serial inline path); unparsable values warn once on stderr via
+/// [`crate::env`] and fall back to the machine default.
 fn worker_cap() -> usize {
-    if let Ok(raw) = std::env::var("HINT_SHARD_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    let default = std::thread::available_parallelism().map_or(1, |n| n.get());
+    crate::env::var_or("HINT_SHARD_THREADS", default, "a thread count", |_| true).max(1)
 }
 
 /// Splits `items` into at most `workers` contiguous chunks of

@@ -119,6 +119,7 @@ pub mod assign;
 pub mod concurrent;
 pub mod cost_model;
 pub mod domain;
+pub mod env;
 pub mod executor;
 pub mod hint_cf;
 pub mod hintm;
@@ -126,6 +127,7 @@ pub mod interval;
 pub mod join;
 pub mod oracle;
 mod scan;
+pub mod session;
 pub mod shard;
 pub mod sink;
 pub mod stats;
@@ -143,8 +145,11 @@ pub use hintm::subs::{HintMSubs, SubsConfig};
 pub use interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
 pub use join::{index_join, index_join_count, sweep_join, sweep_join_count};
 pub use oracle::ScanOracle;
+pub use session::{Session, WriteError};
 pub use shard::{MutableIndex, ShardedIndex};
-pub use sink::{CollectSink, CountSink, ExistsSink, FirstK, FnSink, MergeableSink, QuerySink};
+pub use sink::{
+    CollectSink, CountSink, ExistsSink, FirstK, FnSink, MergeableSink, QuerySink, SliceSink,
+};
 pub use stats::{QueryStats, WorkloadStats};
 
 /// Common query interface implemented by every index in the workspace

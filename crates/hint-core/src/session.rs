@@ -1,0 +1,284 @@
+//! The serving-side engine handle: a [`Session`] owns a
+//! [`ShardedIndex`], routes writes through [`MutableIndex`], and reseals
+//! dirty shards on demand.
+//!
+//! A network front-end (see the workspace's `serve` crate) needs a
+//! single object that (a) answers query batches through the parallel
+//! executor, (b) applies writes without panicking on client-supplied
+//! garbage — an out-of-domain insert from the wire must become an error
+//! reply, not a server crash — and (c) knows whether any writes have
+//! landed since the last seal, so a `Seal` request on a clean index is
+//! free. `Session` is that object, kept in hint-core so any embedder
+//! (not just the bundled wire protocol) can serve the sharded index the
+//! same way.
+
+use crate::interval::{Interval, RangeQuery, Time, TOMBSTONE};
+use crate::shard::{MutableIndex, ShardedIndex};
+use crate::sink::{MergeableSink, QuerySink};
+use crate::IntervalIndex;
+
+/// Why a client-requested write was refused. Unlike the index methods
+/// themselves (which `assert!` on contract violations, appropriate for
+/// in-process callers), a serving layer turns these into error replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteError {
+    /// The interval lies (partly) outside the sharded domain, which is
+    /// fixed at build time.
+    OutOfDomain {
+        /// Inclusive domain bounds of the session's index.
+        domain: (Time, Time),
+    },
+    /// The interval uses the reserved [`TOMBSTONE`] id. Accepting it
+    /// would ack a write that the next seal silently drops (the sealed
+    /// stores key logical deletes on that sentinel) and corrupt the
+    /// live count.
+    ReservedId,
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteError::OutOfDomain { domain } => write!(
+                f,
+                "interval outside the sharded domain [{}, {}]",
+                domain.0, domain.1
+            ),
+            WriteError::ReservedId => {
+                write!(f, "interval id {} is reserved (tombstone)", TOMBSTONE)
+            }
+        }
+    }
+}
+
+/// An engine handle owning a sharded index: checked writes, dirty-shard
+/// resealing, and batched query execution — the substrate a serving
+/// front-end schedules work onto.
+///
+/// ```
+/// use hint_core::{
+///     Domain, HintMSubs, Interval, IntervalIndex, RangeQuery, Session, ShardedIndex, SubsConfig,
+/// };
+///
+/// let data: Vec<Interval> = (0..100).map(|i| Interval::new(i, i * 10, i * 10 + 35)).collect();
+/// let sharded = ShardedIndex::build_with(&data, 4, |slice, lo, hi| {
+///     HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 8), SubsConfig::full())
+/// });
+/// let mut session = Session::new(sharded);
+/// assert!(!session.is_dirty()); // `new` seals the freshly built index
+///
+/// session.try_insert(Interval::new(500, 40, 90)).unwrap();
+/// assert!(session.is_dirty());
+/// assert!(session.seal_if_dirty()); // reseal folds the write in
+/// assert_eq!(session.len(), 101);
+/// assert!(session.index().exists(RangeQuery::new(40, 90)));
+/// ```
+pub struct Session<I: MutableIndex + Sync> {
+    index: ShardedIndex<I>,
+    /// Writes applied since the last seal. `ShardedIndex::seal` already
+    /// skips clean shards (the inner indexes' idempotent fast path), so
+    /// this flag only saves the per-shard no-op sweep — but it is also
+    /// the serving layer's "was there anything to do" answer.
+    dirty: bool,
+}
+
+impl<I: MutableIndex + Sync> Session<I> {
+    /// Wraps (and seals) a sharded index. Sealing up front puts every
+    /// shard in the read-optimized columnar layout before the first
+    /// query arrives.
+    pub fn new(mut index: ShardedIndex<I>) -> Self {
+        IntervalIndex::seal(&mut index);
+        Self {
+            index,
+            dirty: false,
+        }
+    }
+
+    /// Wraps an index without sealing it (for embedders that manage the
+    /// seal cycle themselves).
+    pub fn new_unsealed(index: ShardedIndex<I>) -> Self {
+        Self { index, dirty: true }
+    }
+
+    /// Read access to the underlying index (solo queries, batched
+    /// execution, stats).
+    pub fn index(&self) -> &ShardedIndex<I> {
+        &self.index
+    }
+
+    /// Inclusive domain bounds `[min, max]` of the sharded index.
+    pub fn domain(&self) -> (Time, Time) {
+        let bounds = self.index.shard_bounds();
+        (bounds[0].0, bounds[bounds.len() - 1].1)
+    }
+
+    /// True if writes have been applied since the last seal.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Number of live intervals.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if no intervals are live.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Checked insert: routes to the owning shards, or reports
+    /// [`WriteError::OutOfDomain`] instead of panicking — the write path
+    /// for requests arriving from untrusted clients.
+    pub fn try_insert(&mut self, s: Interval) -> Result<(), WriteError> {
+        if s.id == TOMBSTONE {
+            return Err(WriteError::ReservedId);
+        }
+        let domain = self.domain();
+        if s.st < domain.0 || s.end > domain.1 {
+            return Err(WriteError::OutOfDomain { domain });
+        }
+        self.index.insert(s);
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Deletes an interval (exact id + endpoints match, the workspace
+    /// contract), returning whether it was present. Out-of-domain
+    /// intervals were never inserted, so they report `false` rather
+    /// than an error.
+    pub fn delete(&mut self, s: &Interval) -> bool {
+        let found = self.index.delete(s);
+        self.dirty |= found;
+        found
+    }
+
+    /// Reseals the index if any writes landed since the last seal,
+    /// folding overlay entries into the columnar arenas shard by shard
+    /// (clean shards are skipped by the inner fast path, so the cost is
+    /// O(dirty shards)). Returns whether a reseal actually ran.
+    pub fn seal_if_dirty(&mut self) -> bool {
+        if !self.dirty {
+            return false;
+        }
+        IntervalIndex::seal(&mut self.index);
+        self.dirty = false;
+        true
+    }
+}
+
+impl<I: MutableIndex + Sync> Session<I> {
+    /// Evaluates a batch of queries through the sharded parallel
+    /// executor's typed merge path, one [`MergeableSink`] per query
+    /// (see [`ShardedIndex::query_batch_merge`]).
+    pub fn query_batch_merge<S: MergeableSink + Send>(
+        &self,
+        queries: &[RangeQuery],
+        sinks: &mut [S],
+    ) {
+        self.index.query_batch_merge(queries, sinks)
+    }
+
+    /// Solo query into a sink — the reference path batched serving must
+    /// stay bit-identical to.
+    pub fn query_sink<S: QuerySink + ?Sized>(&self, q: RangeQuery, sink: &mut S) {
+        self.index.query_sink(q, sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ScanOracle;
+    use crate::{Domain, HintMSubs, SubsConfig};
+
+    fn session() -> Session<HintMSubs> {
+        let data: Vec<Interval> = (0..400)
+            .map(|i| {
+                let st = (i * 41) % 3_000;
+                Interval::new(i, st, (st + (i % 11) * 30).min(4_095))
+            })
+            .collect();
+        let sharded = ShardedIndex::build_with_domain(&data, 0, 4_095, 4, |slice, lo, hi| {
+            HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 8), SubsConfig::full())
+        });
+        Session::new(sharded)
+    }
+
+    #[test]
+    fn new_seals_and_is_clean() {
+        let mut s = session();
+        assert!(!s.is_dirty());
+        assert!(!s.seal_if_dirty()); // nothing to do
+        assert_eq!(s.domain(), (0, 4_095));
+    }
+
+    #[test]
+    fn out_of_domain_insert_is_an_error_not_a_panic() {
+        let mut s = session();
+        let err = s.try_insert(Interval::new(999, 4_000, 10_000)).unwrap_err();
+        assert_eq!(err, WriteError::OutOfDomain { domain: (0, 4_095) });
+        assert!(!s.is_dirty(), "failed insert must not dirty the session");
+        assert!(err.to_string().contains("[0, 4095]"));
+    }
+
+    #[test]
+    fn write_seal_query_cycle_matches_oracle() {
+        let mut s = session();
+        let mut oracle = ScanOracle::new(&{
+            let data: Vec<Interval> = (0..400)
+                .map(|i| {
+                    let st = (i * 41) % 3_000;
+                    Interval::new(i, st, (st + (i % 11) * 30).min(4_095))
+                })
+                .collect();
+            data
+        });
+        let fresh = Interval::new(10_000, 100, 2_500);
+        s.try_insert(fresh).unwrap();
+        oracle.insert(fresh);
+        assert!(s.is_dirty());
+        assert!(s.seal_if_dirty());
+        assert!(!s.is_dirty());
+        let victim = Interval::new(0, 0, 0);
+        assert_eq!(s.delete(&victim), oracle.delete(victim.id));
+        assert!(s.is_dirty(), "successful delete dirties the session");
+        let q = RangeQuery::new(0, 4_095);
+        let mut got = Vec::new();
+        s.query_sink(q, &mut got);
+        got.sort_unstable();
+        assert_eq!(got, oracle.query_sorted(q));
+    }
+
+    #[test]
+    fn tombstone_id_insert_is_rejected() {
+        let mut s = session();
+        let err = s.try_insert(Interval::new(TOMBSTONE, 10, 20)).unwrap_err();
+        assert_eq!(err, WriteError::ReservedId);
+        assert!(!s.is_dirty());
+        let live = s.len();
+        s.seal_if_dirty();
+        assert_eq!(s.len(), live, "rejected insert must not drift len");
+    }
+
+    #[test]
+    fn absent_delete_keeps_the_session_clean() {
+        let mut s = session();
+        assert!(!s.delete(&Interval::new(777_777, 5, 9)));
+        assert!(!s.is_dirty());
+    }
+
+    #[test]
+    fn batch_merge_matches_solo() {
+        let s = session();
+        let queries: Vec<RangeQuery> = (0..32)
+            .map(|i| RangeQuery::new(i * 100, i * 100 + 400))
+            .collect();
+        let mut merged: Vec<Vec<u64>> = queries.iter().map(|_| Vec::new()).collect();
+        s.query_batch_merge(&queries, &mut merged);
+        for (q, got) in queries.iter().zip(&merged) {
+            let mut solo = Vec::new();
+            s.query_sink(*q, &mut solo);
+            assert_eq!(got, &solo, "{q:?}");
+        }
+    }
+}

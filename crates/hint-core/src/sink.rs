@@ -401,6 +401,44 @@ impl<F: FnMut(IntervalId)> QuerySink for FnSink<F> {
     }
 }
 
+/// Streams results into a callback at *slice* granularity, preserving
+/// the indexes' comparison-free bulk-report fast path end to end: a
+/// whole tombstone-free run arrives as one `&[IntervalId]` instead of
+/// being re-chopped into per-id calls. This is [`FnSink`]'s counterpart
+/// for consumers that process results in blocks — e.g. forwarding
+/// decoded result chunks from the serving client's reply stream
+/// (`serve::Client::query_sink` emits whole chunks; see the quickstart
+/// example's serving section) or batching ids into any downstream
+/// writer — where a per-id callback would put a function call on every
+/// element.
+///
+/// Single ids (the comparison-bearing paths) arrive as 1-length slices.
+#[derive(Debug)]
+pub struct SliceSink<F: FnMut(&[IntervalId])> {
+    f: F,
+}
+
+impl<F: FnMut(&[IntervalId])> SliceSink<F> {
+    /// Wraps a slice callback.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<F: FnMut(&[IntervalId])> QuerySink for SliceSink<F> {
+    #[inline]
+    fn emit(&mut self, id: IntervalId) {
+        (self.f)(std::slice::from_ref(&id));
+    }
+
+    #[inline]
+    fn emit_slice(&mut self, ids: &[IntervalId]) {
+        if !ids.is_empty() {
+            (self.f)(ids);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -553,5 +591,18 @@ mod tests {
             feed(&mut s, &[4, 2]);
         }
         assert_eq!(seen, vec![4, 2]);
+    }
+
+    #[test]
+    fn slice_sink_preserves_run_granularity() {
+        let mut runs: Vec<Vec<IntervalId>> = Vec::new();
+        {
+            let mut s = SliceSink::new(|ids: &[IntervalId]| runs.push(ids.to_vec()));
+            s.emit_slice(&[1, 2, 3]);
+            s.emit(4);
+            s.emit_slice(&[]); // empty runs are dropped, not forwarded
+            s.emit_slice(&[5, 6]);
+        }
+        assert_eq!(runs, vec![vec![1, 2, 3], vec![4], vec![5, 6]]);
     }
 }

@@ -1,0 +1,179 @@
+//! The client half of the wire protocol: encodes requests, decodes
+//! streamed replies.
+//!
+//! Replies arrive strictly in request order (the protocol has no
+//! correlation ids), so a client may either call the blocking
+//! convenience methods ([`query`](Client::query),
+//! [`insert`](Client::insert), …) one at a time, or **pipeline**: send
+//! several requests with [`send`](Client::send) and then collect the
+//! same number of replies with [`recv_reply`](Client::recv_reply) —
+//! the shape that lets the server batch queries across (and within)
+//! connections.
+
+use crate::proto::{encode_request, DecodeError, Frame, FrameReader, Kind, Reply, Request, Status};
+use crate::transport::Transport;
+use bytes::{Buf, BytesMut};
+use hint_core::{Interval, IntervalId, QuerySink, RangeQuery};
+use std::io::{self, Write};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(io::Error),
+    /// The server's reply stream could not be decoded.
+    Decode(DecodeError),
+    /// The server answered with a non-`Ok` status.
+    Server(Status),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Decode(e) => write!(f, "reply decode error: {e}"),
+            ClientError::Server(s) => write!(f, "server error: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connection to a serve endpoint over any [`Transport`].
+pub struct Client<T: Transport> {
+    frames: FrameReader<T::Reader>,
+    writer: T::Writer,
+    scratch: BytesMut,
+}
+
+impl<T: Transport> Client<T> {
+    /// Wraps a connected transport.
+    pub fn new(transport: T) -> Self {
+        let (reader, writer) = transport.split();
+        Self {
+            frames: FrameReader::new(reader),
+            writer,
+            scratch: BytesMut::new(),
+        }
+    }
+
+    /// Sends one request without waiting for its reply (pipelining).
+    /// Every send must eventually be paired with one
+    /// [`recv_reply`](Self::recv_reply).
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        self.scratch.clear();
+        encode_request(&mut self.scratch, req);
+        self.writer.write_all(self.scratch.as_slice())?;
+        self.writer.flush()
+    }
+
+    /// Receives the next reply: streams each results chunk into
+    /// `on_ids` as it is decoded (no full-result buffer), then returns
+    /// the end trailer. Non-`Ok` trailers are returned, not errors —
+    /// they are the reply.
+    pub fn recv_reply(
+        &mut self,
+        mut on_ids: impl FnMut(&[IntervalId]),
+    ) -> Result<Reply, ClientError> {
+        let mut chunk: Vec<IntervalId> = Vec::new();
+        loop {
+            let frame: Frame = match self.frames.read_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed before the end-of-results trailer",
+                    )))
+                }
+                Err(e) => return Err(ClientError::Decode(e)),
+            };
+            match frame.kind {
+                Kind::Results => {
+                    let mut p = frame.payload;
+                    if !p.remaining().is_multiple_of(8) {
+                        return Err(ClientError::Decode(DecodeError::Frame(Status::BadLength)));
+                    }
+                    chunk.clear();
+                    chunk.reserve(p.remaining() / 8);
+                    while p.has_remaining() {
+                        chunk.push(p.get_u64_le());
+                    }
+                    on_ids(&chunk);
+                }
+                Kind::End => {
+                    let mut p = frame.payload;
+                    if p.remaining() != 9 {
+                        return Err(ClientError::Decode(DecodeError::Frame(Status::BadLength)));
+                    }
+                    let status = Status::from_u8(p.get_u8());
+                    let count = p.get_u64_le();
+                    return Ok(Reply { status, count });
+                }
+                _ => return Err(ClientError::Decode(DecodeError::Frame(Status::BadKind))),
+            }
+        }
+    }
+
+    /// Range query, streaming results into a [`QuerySink`] — the
+    /// remote mirror of [`hint_core::IntervalIndex::query_sink`].
+    /// (Saturation cannot stop the server mid-stream; late chunks are
+    /// still drained off the wire and discarded by the sink.)
+    pub fn query_sink(
+        &mut self,
+        q: RangeQuery,
+        sink: &mut dyn QuerySink,
+    ) -> Result<Reply, ClientError> {
+        self.send(&Request::Query(q))?;
+        let reply = self.recv_reply(|ids| sink.emit_slice(ids))?;
+        match reply.status {
+            Status::Ok => Ok(reply),
+            s => Err(ClientError::Server(s)),
+        }
+    }
+
+    /// Range query, collecting all result ids.
+    pub fn query(&mut self, q: RangeQuery) -> Result<Vec<IntervalId>, ClientError> {
+        let mut out = Vec::new();
+        self.query_sink(q, &mut out)?;
+        Ok(out)
+    }
+
+    /// Inserts an interval. Errs with [`ClientError::Server`] if the
+    /// interval is outside the server's domain.
+    pub fn insert(&mut self, s: Interval) -> Result<(), ClientError> {
+        self.send(&Request::Insert(s))?;
+        let reply = self.recv_reply(|_| {})?;
+        match reply.status {
+            Status::Ok => Ok(()),
+            s => Err(ClientError::Server(s)),
+        }
+    }
+
+    /// Deletes an interval (exact id + endpoints), returning whether it
+    /// was present.
+    pub fn delete(&mut self, s: Interval) -> Result<bool, ClientError> {
+        self.send(&Request::Delete(s))?;
+        let reply = self.recv_reply(|_| {})?;
+        match reply.status {
+            Status::Ok => Ok(reply.count == 1),
+            s => Err(ClientError::Server(s)),
+        }
+    }
+
+    /// Asks the server to fold pending writes into the sealed arenas;
+    /// returns whether a reseal actually ran.
+    pub fn seal(&mut self) -> Result<bool, ClientError> {
+        self.send(&Request::Seal)?;
+        let reply = self.recv_reply(|_| {})?;
+        match reply.status {
+            Status::Ok => Ok(reply.count == 1),
+            s => Err(ClientError::Server(s)),
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! # serve — batched query serving over a sharded HINT^m
+//!
+//! The network front-end for the workspace's interval store: a
+//! length-prefixed binary [wire protocol](proto), a pluggable
+//! [`Transport`] (in-memory duplex channels for deterministic tests,
+//! `std::net` TCP loopback for real sockets — no async runtime), and a
+//! [batch scheduler](server) that accumulates queries from independent
+//! client connections into cross-connection batches, drives them
+//! through [`ShardedIndex::query_batch_merge`](hint_core::ShardedIndex)
+//! in one merged level walk, and streams each query's results back to
+//! its connection through incremental [`WireSink`] encoding — no
+//! full-result `Vec` per query, ever.
+//!
+//! Writes (`Insert`/`Delete`/`Seal`) route through the engine handle
+//! ([`hint_core::Session`]) as batch barriers, so every connection
+//! observes a serializable history and replies arrive strictly in
+//! request order (no correlation ids on the wire). Malformed input
+//! never panics the server: well-framed garbage earns an error trailer
+//! on that connection, desynchronized streams are closed.
+//!
+//! ## Quick start (in-memory transport)
+//!
+//! ```
+//! use hint_core::{Domain, HintMSubs, Interval, RangeQuery, Session, ShardedIndex, SubsConfig};
+//! use serve::{duplex, Client, ServeConfig, Server};
+//!
+//! // 1. build the engine: a sharded, sealed HINT^m behind a Session
+//! let data: Vec<Interval> = (0..1_000)
+//!     .map(|i| Interval::new(i, i * 7 % 8_000, (i * 7 % 8_000) + 60))
+//!     .collect();
+//! let sharded = ShardedIndex::build_with_domain(&data, 0, 8_191, 4, |slice, lo, hi| {
+//!     HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 9), SubsConfig::full())
+//! });
+//! let server = Server::start(Session::new(sharded), ServeConfig::default());
+//!
+//! // 2. connect a client over an in-memory duplex pipe
+//! let (client_end, server_end) = duplex();
+//! server.attach(server_end);
+//! let mut client = Client::new(client_end);
+//!
+//! // 3. query, write, seal — replies stream back in request order
+//! let ids = client.query(RangeQuery::new(100, 220)).unwrap();
+//! assert!(!ids.is_empty());
+//! client.insert(Interval::new(50_000, 150, 180)).unwrap();
+//! assert!(client.seal().unwrap()); // folds the write into the arenas
+//! assert!(client.query(RangeQuery::new(160, 170)).unwrap().contains(&50_000));
+//!
+//! server.shutdown();
+//! ```
+//!
+//! For TCP, hand [`Server::listen_tcp`] a bound `TcpListener` and point
+//! [`Client`]s at `TcpStream`s (see `examples/serve_client.rs`). The
+//! scheduler's batching policy is tunable via [`ServeConfig`] or the
+//! `HINT_SERVE_MAX_BATCH` / `HINT_SERVE_MAX_DELAY_US` environment
+//! knobs; `docs/protocol.md` specifies the wire format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod sink;
+pub mod transport;
+
+pub use client::{Client, ClientError};
+pub use proto::{DecodeError, Frame, FrameReader, Kind, Reply, Request, Status};
+pub use server::{BatchStats, ServeConfig, Server};
+pub use sink::WireSink;
+pub use transport::{duplex, DuplexTransport, Transport};

@@ -1,0 +1,511 @@
+//! The wire protocol: length-prefixed binary frames over any ordered
+//! byte stream.
+//!
+//! Every frame is an 8-byte header followed by `len` payload bytes, all
+//! integers little-endian (see `docs/protocol.md` for the normative
+//! spec):
+//!
+//! ```text
+//! +-------+---------+------+-------+------------+=========+
+//! | magic | version | kind | flags | len (u32)  | payload |
+//! +-------+---------+------+-------+------------+=========+
+//!    1B        1B      1B     1B        4B          len B
+//! ```
+//!
+//! Clients send request frames ([`Request`]); the server answers each
+//! request — in per-connection FIFO order, so no correlation ids are
+//! needed — with zero or more [`Kind::Results`] frames (a chunk of
+//! result ids each) terminated by exactly one [`Kind::End`] trailer
+//! carrying a status code and the total result count. Decoding errors
+//! split into two severities:
+//!
+//! * **recoverable** ([`DecodeError::Frame`]): the header was sound, so
+//!   framing stays synchronized — the server answers with an error
+//!   trailer and keeps the connection;
+//! * **fatal** ([`DecodeError::Desync`] / [`DecodeError::Io`]): the
+//!   byte stream can no longer be trusted (bad magic, oversized length,
+//!   truncation) — the server sends one error trailer and closes the
+//!   connection. Either way the server never panics on wire input.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hint_core::{Interval, RangeQuery};
+use std::io::{self, Read};
+
+/// First byte of every frame ('i' for interval).
+pub const MAGIC: u8 = 0x69;
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Frame header size in bytes.
+pub const HEADER_LEN: usize = 8;
+/// Upper bound on a frame payload; a larger announced length is treated
+/// as a desynchronized stream (fatal), bounding per-connection memory.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+/// Result ids per [`Kind::Results`] frame (8 KiB payloads): large
+/// enough to amortize headers, small enough to stream long answers
+/// incrementally.
+pub const RESULTS_PER_FRAME: usize = 1024;
+
+/// Frame kinds. Requests have the high bit clear, responses set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Kind {
+    /// Range query `[st, end]` (payload 16 B).
+    Query = 0x01,
+    /// Insert an interval (payload 24 B: id, st, end).
+    Insert = 0x02,
+    /// Delete an interval by exact id + endpoints (payload 24 B).
+    Delete = 0x03,
+    /// Seal: fold overlay writes into the columnar arenas (payload 0 B).
+    Seal = 0x04,
+    /// Response: a chunk of result ids (payload 8·n B).
+    Results = 0x81,
+    /// Response: end-of-results trailer (payload 9 B: status, count).
+    End = 0x82,
+}
+
+impl Kind {
+    fn from_u8(b: u8) -> Option<Kind> {
+        match b {
+            0x01 => Some(Kind::Query),
+            0x02 => Some(Kind::Insert),
+            0x03 => Some(Kind::Delete),
+            0x04 => Some(Kind::Seal),
+            0x81 => Some(Kind::Results),
+            0x82 => Some(Kind::End),
+            _ => None,
+        }
+    }
+}
+
+/// Status byte of an [`Kind::End`] trailer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Request served.
+    Ok = 0,
+    /// Unknown frame kind (recoverable: framing intact).
+    BadKind = 1,
+    /// Payload length inconsistent with the frame kind (recoverable).
+    BadLength = 2,
+    /// Query/interval endpoints inverted (`st > end`) (recoverable).
+    InvalidRange = 3,
+    /// Insert outside the index's fixed domain (recoverable).
+    OutOfDomain = 4,
+    /// Bad magic byte: stream desynchronized (fatal, connection closes).
+    BadMagic = 5,
+    /// Unsupported protocol version (fatal).
+    BadVersion = 6,
+    /// Announced payload length exceeds [`MAX_PAYLOAD`] (fatal).
+    Oversized = 7,
+    /// Connection truncated mid-frame (fatal).
+    Truncated = 8,
+    /// Insert used the reserved tombstone id (recoverable).
+    ReservedId = 9,
+}
+
+impl Status {
+    /// Decodes a status byte (unknown values map to `BadKind` — they
+    /// can only come from a peer speaking a newer protocol).
+    pub fn from_u8(b: u8) -> Status {
+        match b {
+            0 => Status::Ok,
+            1 => Status::BadKind,
+            2 => Status::BadLength,
+            3 => Status::InvalidRange,
+            4 => Status::OutOfDomain,
+            5 => Status::BadMagic,
+            6 => Status::BadVersion,
+            7 => Status::Oversized,
+            8 => Status::Truncated,
+            9 => Status::ReservedId,
+            _ => Status::BadKind,
+        }
+    }
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Range query.
+    Query(RangeQuery),
+    /// Insert an interval.
+    Insert(Interval),
+    /// Delete an interval (exact id + endpoints).
+    Delete(Interval),
+    /// Fold pending writes into the sealed arenas.
+    Seal,
+}
+
+/// The end-of-results trailer of one reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reply {
+    /// Outcome of the request.
+    pub status: Status,
+    /// Results streamed before this trailer (queries), or the write's
+    /// effect (`1`/`0` for insert-applied / delete-found / seal-ran).
+    pub count: u64,
+}
+
+/// Why a frame could not be decoded.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// Recoverable per-request error: header sound, framing preserved.
+    Frame(Status),
+    /// Fatal: the stream is desynchronized; the connection must close.
+    Desync(Status),
+    /// Fatal: the underlying transport failed or was truncated.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Frame(s) => write!(f, "malformed request frame ({s:?})"),
+            DecodeError::Desync(s) => write!(f, "wire desynchronized ({s:?})"),
+            DecodeError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Appends a frame header.
+fn put_header(out: &mut BytesMut, kind: Kind, len: u32) {
+    out.put_u8(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u8(kind as u8);
+    out.put_u8(0); // flags (reserved)
+    out.put_u32_le(len);
+}
+
+/// Encodes a request frame.
+pub fn encode_request(out: &mut BytesMut, req: &Request) {
+    match req {
+        Request::Query(q) => {
+            put_header(out, Kind::Query, 16);
+            out.put_u64_le(q.st);
+            out.put_u64_le(q.end);
+        }
+        Request::Insert(s) | Request::Delete(s) => {
+            let kind = if matches!(req, Request::Insert(_)) {
+                Kind::Insert
+            } else {
+                Kind::Delete
+            };
+            put_header(out, kind, 24);
+            out.put_u64_le(s.id);
+            out.put_u64_le(s.st);
+            out.put_u64_le(s.end);
+        }
+        Request::Seal => put_header(out, Kind::Seal, 0),
+    }
+}
+
+/// Encodes one results chunk. `ids_le` is the chunk's payload — result
+/// ids already in little-endian wire form (the encoding sink produces
+/// them that way, so this is a header + memcpy, no per-id work).
+///
+/// # Panics
+/// Panics if the chunk is not a whole number of ids or overflows
+/// [`MAX_PAYLOAD`]; both are internal invariants of the encoding sink,
+/// never wire-controlled.
+pub fn encode_results(out: &mut BytesMut, ids_le: &[u8]) {
+    assert_eq!(ids_le.len() % 8, 0, "results payload must be whole ids");
+    assert!(
+        ids_le.len() <= MAX_PAYLOAD as usize,
+        "results chunk too large"
+    );
+    put_header(out, Kind::Results, ids_le.len() as u32);
+    out.put_slice(ids_le);
+}
+
+/// Encodes an end-of-results trailer.
+pub fn encode_end(out: &mut BytesMut, reply: Reply) {
+    put_header(out, Kind::End, 9);
+    out.put_u8(reply.status as u8);
+    out.put_u64_le(reply.count);
+}
+
+/// A decoded frame: its kind and (owned) payload bytes.
+#[derive(Debug)]
+pub struct Frame {
+    /// Frame kind.
+    pub kind: Kind,
+    /// Payload (`len` bytes, already read off the stream).
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Interprets this frame as a request, validating payload shape and
+    /// semantics (endpoint order). Returns the recoverable status on
+    /// failure — by the time a `Frame` exists, framing is synchronized.
+    pub fn to_request(&self) -> Result<Request, Status> {
+        let mut p = self.payload.clone();
+        match self.kind {
+            Kind::Query => {
+                if p.remaining() != 16 {
+                    return Err(Status::BadLength);
+                }
+                let (st, end) = (p.get_u64_le(), p.get_u64_le());
+                if st > end {
+                    return Err(Status::InvalidRange);
+                }
+                Ok(Request::Query(RangeQuery { st, end }))
+            }
+            Kind::Insert | Kind::Delete => {
+                if p.remaining() != 24 {
+                    return Err(Status::BadLength);
+                }
+                let (id, st, end) = (p.get_u64_le(), p.get_u64_le(), p.get_u64_le());
+                if st > end {
+                    return Err(Status::InvalidRange);
+                }
+                let s = Interval { id, st, end };
+                Ok(if self.kind == Kind::Insert {
+                    Request::Insert(s)
+                } else {
+                    Request::Delete(s)
+                })
+            }
+            Kind::Seal => {
+                if !self.payload.is_empty() {
+                    return Err(Status::BadLength);
+                }
+                Ok(Request::Seal)
+            }
+            Kind::Results | Kind::End => Err(Status::BadKind), // response kinds are not requests
+        }
+    }
+}
+
+/// Incremental frame reader over any blocking byte stream.
+///
+/// Reads exactly one frame per [`read_frame`](Self::read_frame) call;
+/// EOF *between* frames is a clean close (`Ok(None)`), EOF *inside* a
+/// frame is [`DecodeError::Io`]. Unknown-but-plausible headers (valid
+/// magic/version/length, unknown kind byte) skip their payload and
+/// surface as recoverable [`DecodeError::Frame`], so one junk frame
+/// from a newer client does not kill the connection.
+pub struct FrameReader<R: Read> {
+    inner: R,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> Self {
+        Self { inner }
+    }
+
+    /// Reads the next frame. `Ok(None)` on clean EOF.
+    pub fn read_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
+        let mut header = [0u8; HEADER_LEN];
+        match read_exact_or_eof(&mut self.inner, &mut header) {
+            Ok(false) => return Ok(None), // clean EOF at a frame boundary
+            Ok(true) => {}
+            Err(e) => return Err(DecodeError::Io(e)),
+        }
+        if header[0] != MAGIC {
+            return Err(DecodeError::Desync(Status::BadMagic));
+        }
+        if header[1] != VERSION {
+            return Err(DecodeError::Desync(Status::BadVersion));
+        }
+        let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if len > MAX_PAYLOAD {
+            return Err(DecodeError::Desync(Status::Oversized));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.inner
+            .read_exact(&mut payload)
+            .map_err(DecodeError::Io)?;
+        let kind = match Kind::from_u8(header[2]) {
+            Some(k) => k,
+            // header + payload consumed: framing is intact, the kind is
+            // just unknown — recoverable
+            None => return Err(DecodeError::Frame(Status::BadKind)),
+        };
+        Ok(Some(Frame {
+            kind,
+            payload: Bytes::from(payload),
+        }))
+    }
+
+    /// Consumes the reader, returning the stream.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+/// `read_exact`, except a clean EOF before the *first* byte returns
+/// `Ok(false)` instead of an error.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection truncated mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reader(bytes: Vec<u8>) -> FrameReader<io::Cursor<Vec<u8>>> {
+        FrameReader::new(io::Cursor::new(bytes))
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Query(RangeQuery::new(3, 999)),
+            Request::Insert(Interval::new(7, 10, 20)),
+            Request::Delete(Interval::new(7, 10, 20)),
+            Request::Seal,
+        ];
+        let mut out = BytesMut::new();
+        for r in &reqs {
+            encode_request(&mut out, r);
+        }
+        let mut rd = reader(Vec::from(out));
+        for want in &reqs {
+            let frame = rd.read_frame().unwrap().unwrap();
+            assert_eq!(frame.to_request().unwrap(), *want);
+        }
+        assert!(rd.read_frame().unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn results_and_end_roundtrip() {
+        let mut out = BytesMut::new();
+        let ids: Vec<u8> = [5u64, 6, 7].iter().flat_map(|v| v.to_le_bytes()).collect();
+        encode_results(&mut out, &ids);
+        encode_end(
+            &mut out,
+            Reply {
+                status: Status::Ok,
+                count: 3,
+            },
+        );
+        let mut rd = reader(Vec::from(out));
+        let f = rd.read_frame().unwrap().unwrap();
+        assert_eq!(f.kind, Kind::Results);
+        let mut p = f.payload;
+        assert_eq!(p.remaining(), 24);
+        assert_eq!((p.get_u64_le(), p.get_u64_le(), p.get_u64_le()), (5, 6, 7));
+        let f = rd.read_frame().unwrap().unwrap();
+        assert_eq!(f.kind, Kind::End);
+        let mut p = f.payload;
+        assert_eq!(Status::from_u8(p.get_u8()), Status::Ok);
+        assert_eq!(p.get_u64_le(), 3);
+    }
+
+    #[test]
+    fn bad_magic_is_fatal() {
+        let mut rd = reader(vec![0xFF; 32]);
+        match rd.read_frame() {
+            Err(DecodeError::Desync(Status::BadMagic)) => {}
+            other => panic!("expected BadMagic desync, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_version_is_fatal() {
+        let mut rd = reader(vec![MAGIC, 99, 0x01, 0, 0, 0, 0, 0]);
+        match rd.read_frame() {
+            Err(DecodeError::Desync(Status::BadVersion)) => {}
+            other => panic!("expected BadVersion desync, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_fatal() {
+        let len = (MAX_PAYLOAD + 1).to_le_bytes();
+        let mut rd = reader(vec![
+            MAGIC, VERSION, 0x01, 0, len[0], len[1], len[2], len[3],
+        ]);
+        match rd.read_frame() {
+            Err(DecodeError::Desync(Status::Oversized)) => {}
+            other => panic!("expected Oversized desync, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncations_are_io_errors() {
+        // header cut short
+        let mut rd = reader(vec![MAGIC, VERSION, 0x01]);
+        assert!(matches!(rd.read_frame(), Err(DecodeError::Io(_))));
+        // payload cut short
+        let mut out = BytesMut::new();
+        encode_request(&mut out, &Request::Query(RangeQuery::new(0, 1)));
+        let mut bytes = Vec::from(out);
+        bytes.truncate(HEADER_LEN + 3);
+        let mut rd = reader(bytes);
+        assert!(matches!(rd.read_frame(), Err(DecodeError::Io(_))));
+    }
+
+    #[test]
+    fn unknown_kind_is_recoverable_and_stream_resyncs() {
+        let mut bytes = vec![MAGIC, VERSION, 0x7E, 0, 4, 0, 0, 0, 1, 2, 3, 4];
+        let mut good = BytesMut::new();
+        encode_request(&mut good, &Request::Seal);
+        bytes.extend_from_slice(good.as_slice());
+        let mut rd = reader(bytes);
+        assert!(matches!(
+            rd.read_frame(),
+            Err(DecodeError::Frame(Status::BadKind))
+        ));
+        // the junk frame's payload was skipped; the next frame decodes
+        let f = rd.read_frame().unwrap().unwrap();
+        assert_eq!(f.to_request().unwrap(), Request::Seal);
+    }
+
+    #[test]
+    fn semantic_validation_rejects_without_panicking() {
+        // query with st > end
+        let mut bytes = vec![MAGIC, VERSION, 0x01, 0, 16, 0, 0, 0];
+        bytes.extend_from_slice(&9u64.to_le_bytes());
+        bytes.extend_from_slice(&3u64.to_le_bytes());
+        let f = reader(bytes).read_frame().unwrap().unwrap();
+        assert_eq!(f.to_request(), Err(Status::InvalidRange));
+        // insert with a short payload
+        let bytes = vec![MAGIC, VERSION, 0x02, 0, 8, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8];
+        let f = reader(bytes).read_frame().unwrap().unwrap();
+        assert_eq!(f.to_request(), Err(Status::BadLength));
+        // seal with a non-empty payload
+        let bytes = vec![MAGIC, VERSION, 0x04, 0, 1, 0, 0, 0, 0];
+        let f = reader(bytes).read_frame().unwrap().unwrap();
+        assert_eq!(f.to_request(), Err(Status::BadLength));
+    }
+
+    #[test]
+    fn status_bytes_roundtrip() {
+        for s in [
+            Status::Ok,
+            Status::BadKind,
+            Status::BadLength,
+            Status::InvalidRange,
+            Status::OutOfDomain,
+            Status::BadMagic,
+            Status::BadVersion,
+            Status::Oversized,
+            Status::Truncated,
+            Status::ReservedId,
+        ] {
+            assert_eq!(Status::from_u8(s as u8), s);
+        }
+    }
+}

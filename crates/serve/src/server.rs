@@ -1,0 +1,471 @@
+//! The batched serving front-end: per-connection reader/writer threads
+//! around a single scheduler thread that owns the engine
+//! ([`hint_core::Session`]) and turns independent connections into
+//! cross-connection query batches.
+//!
+//! ## Threading model
+//!
+//! No async runtime: one **scheduler** thread owns the `Session`
+//! outright (no locks on the query or write path), and every attached
+//! connection contributes a **reader** thread (decode frames → ops
+//! channel) and a **writer** thread (response-bytes channel → transport).
+//! All cross-thread traffic flows over the vendored `crossbeam`
+//! channels; the executor inside `query_batch_merge` adds its own
+//! per-shard fan-out (capped by `HINT_SHARD_THREADS`), so serving
+//! parallelism and index parallelism compose without sharing state.
+//!
+//! ## Batching policy
+//!
+//! Queries accumulate in arrival order until either `max_batch` are
+//! pending or `max_delay` has passed since the batch opened; the batch
+//! then executes as one `query_batch_merge` call — the level walks are
+//! shared across *all* connections' queries — and each query's
+//! [`WireSink`] demultiplexes into its connection's response stream.
+//! Writes (`Insert`/`Delete`/`Seal`) act as barriers: they flush the
+//! pending batch, apply, and ack, which keeps the global order
+//! serializable and every connection's replies in its request order.
+//! Because requests are answered strictly FIFO per connection, batched
+//! results are bit-identical to what a solo `query_sink` at the same
+//! point in the write sequence would produce.
+
+use crate::proto::{encode_end, DecodeError, FrameReader, Reply, Request, Status};
+use crate::sink::WireSink;
+use crate::transport::Transport;
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hint_core::{MutableIndex, RangeQuery, Session};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Scheduler tuning: how long and how wide query batches may grow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Flush the pending batch at this many queries.
+    pub max_batch: usize,
+    /// Flush the pending batch this long after it opened, even if not
+    /// full — the latency bound a queued query pays for batching.
+    pub max_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_delay: Duration::from_micros(200),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads `HINT_SERVE_MAX_BATCH` (queries, >= 1) and
+    /// `HINT_SERVE_MAX_DELAY_US` (microseconds) over the defaults.
+    /// Rejected values warn once on stderr and fall back (see
+    /// [`hint_core::env`]).
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        Self {
+            max_batch: hint_core::env::var_or(
+                "HINT_SERVE_MAX_BATCH",
+                d.max_batch,
+                "must be >= 1",
+                |&n| n >= 1,
+            ),
+            max_delay: Duration::from_micros(hint_core::env::var_or(
+                "HINT_SERVE_MAX_DELAY_US",
+                d.max_delay.as_micros() as u64,
+                "microseconds",
+                |_| true,
+            )),
+        }
+    }
+}
+
+/// Scheduler counters: how well the batching policy is doing. Snapshot
+/// via [`Server::stats`]; the bench harness reports the observed mean
+/// batch size next to each throughput row.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batches executed (flushes with at least one query).
+    pub batches: u64,
+    /// Queries served across all batches.
+    pub queries: u64,
+    /// Largest single batch executed.
+    pub largest_batch: usize,
+    /// Write requests (insert/delete/seal) applied.
+    pub writes: u64,
+}
+
+impl BatchStats {
+    /// Mean queries per executed batch (0 when idle).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.queries as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Connection identifier, assigned at attach time.
+type ConnId = u64;
+
+/// What reader threads (and the server handle) feed the scheduler.
+enum Op {
+    /// A connection came up; its response bytes go to this channel.
+    Conn(ConnId, Sender<Vec<u8>>),
+    /// A well-formed request.
+    Request(ConnId, Request),
+    /// A malformed-but-framed request: answer with an error trailer,
+    /// keep the connection.
+    Invalid(ConnId, Status),
+    /// The connection's stream is beyond recovery: answer with an error
+    /// trailer, then close it.
+    Fatal(ConnId, Status),
+    /// The connection closed (EOF).
+    Disconnect(ConnId),
+    /// Stop serving (flush pending work first).
+    Stop,
+}
+
+/// Registers `transport` with the scheduler as connection `id` and
+/// spawns its reader and writer threads. Both threads terminate on
+/// their own: the reader at transport EOF/error or scheduler exit, the
+/// writer when the scheduler drops the connection's response channel or
+/// the peer stops reading.
+fn spawn_connection<T: Transport>(ops: &Sender<Op>, id: ConnId, transport: T) {
+    let (reader, mut writer) = transport.split();
+    let (resp_tx, resp_rx) = unbounded::<Vec<u8>>();
+    // register before the reader can produce the first request so the
+    // scheduler always knows the connection
+    let _ = ops.send(Op::Conn(id, resp_tx));
+    let ops = ops.clone();
+    std::thread::Builder::new()
+        .name(format!("serve-read-{id}"))
+        .spawn(move || {
+            let mut frames = FrameReader::new(reader);
+            loop {
+                let op = match frames.read_frame() {
+                    Ok(Some(frame)) => match frame.to_request() {
+                        Ok(req) => Op::Request(id, req),
+                        Err(status) => Op::Invalid(id, status),
+                    },
+                    Ok(None) => {
+                        let _ = ops.send(Op::Disconnect(id));
+                        return;
+                    }
+                    Err(DecodeError::Frame(status)) => Op::Invalid(id, status),
+                    Err(DecodeError::Desync(status)) => {
+                        let _ = ops.send(Op::Fatal(id, status));
+                        return;
+                    }
+                    Err(DecodeError::Io(_)) => {
+                        let _ = ops.send(Op::Fatal(id, Status::Truncated));
+                        return;
+                    }
+                };
+                if ops.send(op).is_err() {
+                    return; // scheduler gone: server shut down
+                }
+            }
+        })
+        .expect("spawn connection reader");
+    std::thread::Builder::new()
+        .name(format!("serve-write-{id}"))
+        .spawn(move || {
+            for chunk in resp_rx.iter() {
+                if writer
+                    .write_all(&chunk)
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        })
+        .expect("spawn connection writer");
+}
+
+/// A running server over one [`Session`]. Connections attach via
+/// [`attach`](Server::attach) (any [`Transport`]) or a TCP listener via
+/// [`listen_tcp`](Server::listen_tcp); [`shutdown`](Server::shutdown)
+/// flushes and joins the scheduler.
+pub struct Server {
+    ops: Sender<Op>,
+    scheduler: Option<JoinHandle<()>>,
+    next_conn: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    acceptors: Vec<(std::net::SocketAddr, JoinHandle<()>)>,
+    stats: Arc<RwLock<BatchStats>>,
+}
+
+impl Server {
+    /// Starts the scheduler thread over `session` with the given
+    /// batching policy.
+    pub fn start<I>(session: Session<I>, config: ServeConfig) -> Server
+    where
+        I: MutableIndex + Send + Sync + 'static,
+    {
+        let (ops_tx, ops_rx) = unbounded();
+        let stats = Arc::new(RwLock::new(BatchStats::default()));
+        let scheduler_stats = Arc::clone(&stats);
+        let scheduler = std::thread::Builder::new()
+            .name("serve-scheduler".into())
+            .spawn(move || Scheduler::new(session, config, scheduler_stats).run(ops_rx))
+            .expect("spawn scheduler thread");
+        Server {
+            ops: ops_tx,
+            scheduler: Some(scheduler),
+            next_conn: Arc::new(AtomicU64::new(1)),
+            stop: Arc::new(AtomicBool::new(false)),
+            acceptors: Vec::new(),
+            stats,
+        }
+    }
+
+    /// A snapshot of the scheduler's batching counters.
+    pub fn stats(&self) -> BatchStats {
+        *self.stats.read()
+    }
+
+    /// Attaches one connection: spawns its reader and writer threads.
+    /// The connection lives until its transport reaches EOF / error or
+    /// the server shuts down; the threads clean themselves up.
+    pub fn attach<T: Transport>(&self, transport: T) {
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        spawn_connection(&self.ops, id, transport);
+    }
+
+    /// Accepts TCP connections in a background thread until shutdown.
+    /// Returns the bound address (useful with an OS-assigned port 0).
+    pub fn listen_tcp(&mut self, listener: TcpListener) -> std::io::Result<std::net::SocketAddr> {
+        let addr = listener.local_addr()?;
+        let ops = self.ops.clone();
+        let next_conn = Arc::clone(&self.next_conn);
+        let stop = Arc::clone(&self.stop);
+        let handle = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    match conn {
+                        Ok(stream) => {
+                            let id = next_conn.fetch_add(1, Ordering::Relaxed);
+                            spawn_connection(&ops, id, stream);
+                        }
+                        Err(_) => return,
+                    }
+                }
+            })
+            .expect("spawn TCP acceptor");
+        self.acceptors.push((addr, handle));
+        Ok(addr)
+    }
+
+    /// Flushes pending work, stops the scheduler and joins every
+    /// server-owned thread that can be joined promptly (acceptors are
+    /// woken with a no-op connection). Connection reader/writer threads
+    /// exit on their own as their transports close.
+    pub fn shutdown(mut self) {
+        self.stop_acceptors();
+        let _ = self.ops.send(Op::Stop);
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Raises the stop flag, wakes each blocking `accept` with a no-op
+    /// connection, and joins the acceptor threads — releasing their
+    /// listener sockets. Prompt: a woken acceptor returns immediately.
+    fn stop_acceptors(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for (addr, handle) in self.acceptors.drain(..) {
+            let _ = TcpStream::connect(addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // same acceptor teardown as shutdown(), so a dropped server
+        // never leaves a thread parked in accept() holding its port;
+        // the scheduler is only signalled (joining it could block on
+        // in-flight work, which drop must not)
+        self.stop_acceptors();
+        let _ = self.ops.send(Op::Stop);
+    }
+}
+
+/// The scheduler: owns the session and the pending batch.
+struct Scheduler<I: MutableIndex + Sync> {
+    session: Session<I>,
+    config: ServeConfig,
+    conns: HashMap<ConnId, Sender<Vec<u8>>>,
+    /// The open batch, in arrival order (which is also per-connection
+    /// request order).
+    pending: Vec<(ConnId, RangeQuery)>,
+    /// When the open batch must flush (set when its first query
+    /// arrives).
+    deadline: Instant,
+    stats: Arc<RwLock<BatchStats>>,
+}
+
+impl<I: MutableIndex + Sync> Scheduler<I> {
+    fn new(session: Session<I>, config: ServeConfig, stats: Arc<RwLock<BatchStats>>) -> Self {
+        Self {
+            session,
+            config: ServeConfig {
+                max_batch: config.max_batch.max(1),
+                ..config
+            },
+            conns: HashMap::new(),
+            pending: Vec::new(),
+            deadline: Instant::now(),
+            stats,
+        }
+    }
+
+    fn run(mut self, ops: Receiver<Op>) {
+        loop {
+            let op = if self.pending.is_empty() {
+                match ops.recv() {
+                    Ok(op) => op,
+                    Err(_) => return, // every handle gone
+                }
+            } else {
+                let wait = self.deadline.saturating_duration_since(Instant::now());
+                match ops.recv_timeout(wait) {
+                    Ok(op) => op,
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.flush();
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.flush();
+                        return;
+                    }
+                }
+            };
+            match op {
+                Op::Conn(id, tx) => {
+                    self.conns.insert(id, tx);
+                }
+                Op::Request(id, Request::Query(q)) => {
+                    if self.pending.is_empty() {
+                        self.deadline = Instant::now() + self.config.max_delay;
+                    }
+                    self.pending.push((id, q));
+                    if self.pending.len() >= self.config.max_batch {
+                        self.flush();
+                    }
+                }
+                Op::Request(id, Request::Insert(s)) => {
+                    // writes are barriers: earlier queries see the
+                    // pre-write index, later ones the post-write index
+                    self.flush();
+                    self.stats.write().writes += 1;
+                    let reply = match self.session.try_insert(s) {
+                        Ok(()) => Reply {
+                            status: Status::Ok,
+                            count: 1,
+                        },
+                        Err(hint_core::WriteError::ReservedId) => Reply {
+                            status: Status::ReservedId,
+                            count: 0,
+                        },
+                        Err(hint_core::WriteError::OutOfDomain { .. }) => Reply {
+                            status: Status::OutOfDomain,
+                            count: 0,
+                        },
+                    };
+                    self.send_end(id, reply);
+                }
+                Op::Request(id, Request::Delete(s)) => {
+                    self.flush();
+                    self.stats.write().writes += 1;
+                    let found = self.session.delete(&s);
+                    self.send_end(
+                        id,
+                        Reply {
+                            status: Status::Ok,
+                            count: u64::from(found),
+                        },
+                    );
+                }
+                Op::Request(id, Request::Seal) => {
+                    self.flush();
+                    self.stats.write().writes += 1;
+                    let resealed = self.session.seal_if_dirty();
+                    self.send_end(
+                        id,
+                        Reply {
+                            status: Status::Ok,
+                            count: u64::from(resealed),
+                        },
+                    );
+                }
+                Op::Invalid(id, status) => {
+                    // flush first so the error trailer lands in this
+                    // connection's FIFO position
+                    self.flush();
+                    self.send_end(id, Reply { status, count: 0 });
+                }
+                Op::Fatal(id, status) => {
+                    self.flush();
+                    self.send_end(id, Reply { status, count: 0 });
+                    self.conns.remove(&id); // writer drains, then exits
+                }
+                Op::Disconnect(id) => {
+                    // the peer is gone but its queued queries may share
+                    // a batch with live connections; execute, then drop
+                    self.flush();
+                    self.conns.remove(&id);
+                }
+                Op::Stop => {
+                    self.flush();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Executes the pending batch through one merged walk and
+    /// demultiplexes each query's encoded results to its connection.
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let queries: Vec<RangeQuery> = self.pending.iter().map(|&(_, q)| q).collect();
+        let mut sinks: Vec<WireSink> = queries.iter().map(|_| WireSink::new()).collect();
+        self.session.query_batch_merge(&queries, &mut sinks);
+        {
+            let mut stats = self.stats.write();
+            stats.batches += 1;
+            stats.queries += queries.len() as u64;
+            stats.largest_batch = stats.largest_batch.max(queries.len());
+        }
+        for ((conn, _), sink) in self.pending.drain(..).zip(sinks) {
+            let mut out = BytesMut::new();
+            sink.into_frames(&mut out);
+            if let Some(tx) = self.conns.get(&conn) {
+                let _ = tx.send(Vec::from(out));
+            }
+        }
+    }
+
+    fn send_end(&self, conn: ConnId, reply: Reply) {
+        let mut out = BytesMut::new();
+        encode_end(&mut out, reply);
+        if let Some(tx) = self.conns.get(&conn) {
+            let _ = tx.send(Vec::from(out));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The demultiplexing result encoder: one [`WireSink`] per in-flight
+//! query turns the executor's merged batch walk into per-connection
+//! response bytes, with no intermediate `Vec<IntervalId>` per query.
+//!
+//! The scheduler hands the batch to
+//! [`ShardedIndex::query_batch_merge`](hint_core::ShardedIndex::query_batch_merge)
+//! with one `WireSink` per query; every id the index reports is encoded
+//! straight into the sink's little-endian payload buffer (a bulk
+//! `emit_slice` run becomes one `memcpy`-shaped loop), and the
+//! [`MergeableSink`] contract makes the parallel path free: a worker's
+//! fork is another byte buffer, and merging is buffer concatenation in
+//! shard order — bit-identical to the sequential emission order. When
+//! the batch returns, [`WireSink::into_frames`] chops the payload into
+//! `Results` frames and the `End` trailer addressed to the owning
+//! connection: the demux step that lets one merged walk feed many
+//! connections.
+
+use crate::proto::{encode_end, encode_results, Reply, Status, RESULTS_PER_FRAME};
+use bytes::{BufMut, BytesMut};
+use hint_core::{IntervalId, MergeableSink, QuerySink};
+
+/// Encodes one query's results incrementally into wire form.
+#[derive(Debug, Default)]
+pub struct WireSink {
+    /// Result ids in little-endian wire encoding (8 bytes each).
+    payload: BytesMut,
+}
+
+impl WireSink {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of ids encoded so far.
+    pub fn count(&self) -> u64 {
+        (self.payload.len() / 8) as u64
+    }
+
+    /// Consumes the sink, appending its response — result chunks of at
+    /// most [`RESULTS_PER_FRAME`] ids, then the `Ok` end trailer — to a
+    /// connection's outgoing byte buffer.
+    pub fn into_frames(self, out: &mut BytesMut) {
+        let bytes = self.payload.as_slice();
+        for chunk in bytes.chunks(RESULTS_PER_FRAME * 8) {
+            encode_results(out, chunk);
+        }
+        encode_end(
+            out,
+            Reply {
+                status: Status::Ok,
+                count: (bytes.len() / 8) as u64,
+            },
+        );
+    }
+}
+
+impl QuerySink for WireSink {
+    #[inline]
+    fn emit(&mut self, id: IntervalId) {
+        self.payload.put_u64_le(id);
+    }
+
+    #[inline]
+    fn emit_slice(&mut self, ids: &[IntervalId]) {
+        for &id in ids {
+            self.payload.put_u64_le(id);
+        }
+    }
+}
+
+impl MergeableSink for WireSink {
+    fn fork(&self) -> Self {
+        WireSink::new()
+    }
+
+    /// Byte-buffer concatenation: forks arrive in shard order, so the
+    /// merged payload equals what sequential emission would have
+    /// encoded.
+    fn merge(&mut self, other: Self) {
+        if self.payload.is_empty() {
+            self.payload = other.payload;
+        } else {
+            self.payload.unsplit(other.payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{DecodeError, FrameReader, Kind};
+    use bytes::Buf;
+
+    /// Decodes the frames `into_frames` wrote back into ids + reply.
+    fn decode(out: BytesMut) -> (Vec<IntervalId>, Reply) {
+        let mut rd = FrameReader::new(std::io::Cursor::new(Vec::from(out)));
+        let mut ids = Vec::new();
+        loop {
+            let frame = match rd.read_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => panic!("stream ended before End trailer"),
+                Err(e) => panic!("decode error: {e:?}"),
+            };
+            match frame.kind {
+                Kind::Results => {
+                    let mut p = frame.payload;
+                    while p.has_remaining() {
+                        ids.push(p.get_u64_le());
+                    }
+                }
+                Kind::End => {
+                    let mut p = frame.payload;
+                    let status = Status::from_u8(p.get_u8());
+                    let count = p.get_u64_le();
+                    match rd.read_frame() {
+                        Ok(None) => {}
+                        other => panic!("bytes after End: {other:?}"),
+                    }
+                    return (ids, Reply { status, count });
+                }
+                k => panic!("unexpected frame kind {k:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_result_is_just_a_trailer() {
+        let sink = WireSink::new();
+        let mut out = BytesMut::new();
+        sink.into_frames(&mut out);
+        let (ids, reply) = decode(out);
+        assert!(ids.is_empty());
+        assert_eq!(
+            reply,
+            Reply {
+                status: Status::Ok,
+                count: 0
+            }
+        );
+    }
+
+    #[test]
+    fn emissions_roundtrip_in_order() {
+        let mut sink = WireSink::new();
+        sink.emit(7);
+        sink.emit_slice(&[1, 2, 3]);
+        sink.emit(u64::MAX - 1);
+        assert_eq!(sink.count(), 5);
+        let mut out = BytesMut::new();
+        sink.into_frames(&mut out);
+        let (ids, reply) = decode(out);
+        assert_eq!(ids, vec![7, 1, 2, 3, u64::MAX - 1]);
+        assert_eq!(reply.count, 5);
+    }
+
+    #[test]
+    fn long_results_stream_in_bounded_chunks() {
+        let n = RESULTS_PER_FRAME * 2 + 17;
+        let mut sink = WireSink::new();
+        let all: Vec<IntervalId> = (0..n as u64).collect();
+        sink.emit_slice(&all);
+        let mut out = BytesMut::new();
+        sink.into_frames(&mut out);
+        // count the Results frames: ceil(n / RESULTS_PER_FRAME)
+        let mut rd = FrameReader::new(std::io::Cursor::new(Vec::from(out.clone())));
+        let mut frames = 0;
+        while let Ok(Some(f)) = rd.read_frame() {
+            if f.kind == Kind::Results {
+                assert!(f.payload.len() <= RESULTS_PER_FRAME * 8);
+                frames += 1;
+            }
+        }
+        assert_eq!(frames, 3);
+        let (ids, reply) = decode(out);
+        assert_eq!(ids, all);
+        assert_eq!(reply.count, n as u64);
+    }
+
+    #[test]
+    fn merge_concatenates_in_call_order() {
+        let mut sink = WireSink::new();
+        sink.emit_slice(&[1, 2]);
+        let mut f1 = sink.fork();
+        let mut f2 = sink.fork();
+        f1.emit_slice(&[3, 4]);
+        f2.emit(5);
+        sink.merge(f1);
+        sink.merge(f2);
+        let mut out = BytesMut::new();
+        sink.into_frames(&mut out);
+        let (ids, _) = decode(out);
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_the_fork() {
+        let mut sink = WireSink::new();
+        let mut f = sink.fork();
+        f.emit_slice(&[9, 8]);
+        sink.merge(f);
+        assert_eq!(sink.count(), 2);
+    }
+
+    #[test]
+    fn decode_helper_rejects_garbage() {
+        // guard the test helper itself: a truncated buffer must not
+        // decode quietly
+        let mut out = BytesMut::new();
+        let mut sink = WireSink::new();
+        sink.emit(1);
+        sink.into_frames(&mut out);
+        let mut bytes = Vec::from(out);
+        bytes.truncate(bytes.len() - 1);
+        let mut rd = FrameReader::new(std::io::Cursor::new(bytes));
+        let _ = rd.read_frame().unwrap(); // Results frame is intact
+        assert!(matches!(rd.read_frame(), Err(DecodeError::Io(_))));
+    }
+}

@@ -83,5 +83,44 @@ fn main() {
     println!("after insert+delete:  {results:?}"); // [1, 3, 4, 5]
     assert_eq!(results, vec![1, 3, 4, 5]);
 
+    // --- 9. serving: put the index behind the wire protocol -------------
+    // A `Server` owns a sharded engine (`Session`) and batches queries
+    // across client connections; clients speak the length-prefixed
+    // binary protocol over TCP or in-memory pipes (see docs/protocol.md
+    // and examples/serve_client.rs for the TCP variant).
+    use hint_suite::hint_core::{Domain, HintMSubs, Session, ShardedIndex, SubsConfig};
+    let sharded = ShardedIndex::build_with_domain(&data, 0, 1_000, 2, |slice, lo, hi| {
+        HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 6), SubsConfig::full())
+    });
+    let server = serve::Server::start(Session::new(sharded), serve::ServeConfig::default());
+    let (client_end, server_end) = serve::duplex();
+    server.attach(server_end);
+    let mut client = serve::Client::new(client_end);
+    let mut served = client.query(RangeQuery::new(22, 55)).unwrap();
+    served.sort_unstable();
+    println!("served [22, 55]:      {served:?}"); // same as step 3
+    assert_eq!(served, vec![1, 2, 3, 4]);
+    client.insert(Interval::new(9, 30, 35)).unwrap(); // acked write
+    assert!(client.seal().unwrap());
+    // stream the reply chunk-by-chunk through a SliceSink — no
+    // full-result Vec on the client either
+    let mut streamed = Vec::new();
+    let mut chunks = 0usize;
+    {
+        use hint_suite::hint_core::SliceSink;
+        let mut sink = SliceSink::new(|ids: &[u64]| {
+            chunks += 1;
+            streamed.extend_from_slice(ids);
+        });
+        client
+            .query_sink(RangeQuery::new(31, 32), &mut sink)
+            .unwrap();
+    }
+    streamed.sort_unstable();
+    assert_eq!(streamed, vec![2, 4, 9]); // the acked insert is visible
+    println!("streamed [31, 32]:    {streamed:?} in {chunks} chunk(s)");
+    drop(client);
+    server.shutdown();
+
     println!("quickstart OK");
 }

@@ -14,9 +14,11 @@
 //! they must stay green forever.
 
 use hint_suite::hint_core::{
-    Domain, Hint, HintMBase, HintMSubs, Interval, IntervalIndex, ScanOracle, ShardedIndex,
-    SubsConfig,
+    Domain, Hint, HintMBase, HintMSubs, Interval, IntervalIndex, QuerySink, RangeQuery, ScanOracle,
+    Session, ShardedIndex, SubsConfig,
 };
+use serve::{duplex, Client, DuplexTransport, ServeConfig, Server};
+use std::io::Write as _;
 use test_support::{expect_same_results, fuzz, shard_counts};
 
 /// Replays one seed: static differential over the initial data, then an
@@ -111,6 +113,87 @@ fn regress_seed_0xc0ffee() {
 fn regress_seed_0x7fff_ffff_ffff_ffff() {
     // extreme seed value: exercises the SplitMix64 stream far from zero
     replay(0x7fff_ffff_ffff_ffff);
+}
+
+/// Replays one seed through the serving subsystem: the workload's data
+/// behind a wire-protocol server (in-memory duplex transport), the full
+/// differential battery against the oracle through the encode →
+/// schedule → batch → demux → decode path, then a seeded garbage stream
+/// at the same server — which must neither panic it nor disturb a
+/// subsequent clean connection. Mirrors the unsharded/sharded replay
+/// convention above: any serving or codec seed that ever fails is added
+/// below forever.
+fn replay_serve(seed: u64) {
+    let w = fuzz::workload(seed, 4_096, 160, 24, 0);
+    let oracle = ScanOracle::new(&w.data);
+    for k in shard_counts() {
+        let sharded = ShardedIndex::build_with_domain(&w.data, 0, w.dom - 1, k, |s, lo, hi| {
+            HintMSubs::build_with_domain(s, Domain::new(lo, hi, 9), SubsConfig::full())
+        });
+        let server = Server::start(Session::new(sharded), ServeConfig::default());
+
+        // the served index must pass the same differential battery as a
+        // direct one
+        struct Remote(std::cell::RefCell<Client<DuplexTransport>>, usize);
+        impl IntervalIndex for Remote {
+            fn query_sink(&self, q: RangeQuery, sink: &mut dyn QuerySink) {
+                self.0
+                    .borrow_mut()
+                    .query_sink(q, sink)
+                    .expect("served query");
+            }
+            fn size_bytes(&self) -> usize {
+                0
+            }
+            fn len(&self) -> usize {
+                self.1
+            }
+        }
+        let (client_end, server_end) = duplex();
+        server.attach(server_end);
+        let remote = Remote(
+            std::cell::RefCell::new(Client::new(client_end)),
+            w.data.len(),
+        );
+        expect_same_results("served", &remote, &oracle, &w.queries);
+        drop(remote);
+
+        // seeded garbage at the wire: per-connection errors, never a
+        // server panic, and the next clean connection still answers
+        let mut rng = fuzz::Rng::new(seed ^ 0xbad_c0de);
+        let (raw_client, raw_server) = duplex();
+        server.attach(raw_server);
+        use serve::Transport;
+        let (_r, mut wtr) = raw_client.split();
+        let junk: Vec<u8> = (0..64 + rng.below(128))
+            .map(|_| (rng.next_u64() & 0xFF) as u8)
+            .collect();
+        let _ = wtr.write_all(&junk);
+        drop(wtr);
+        let (client_end, server_end) = duplex();
+        server.attach(server_end);
+        let mut clean = Client::new(client_end);
+        let got = clean
+            .query(RangeQuery::new(0, w.dom - 1))
+            .expect("server survived garbage");
+        assert_eq!(got.len(), w.data.len(), "seed {seed:#x} K={k}");
+        drop(clean);
+        server.shutdown();
+    }
+}
+
+// Bootstrap serving/codec seeds (none have failed yet; the convention
+// is the same as above — every future shrunk serving failure lands
+// here by its seed).
+
+#[test]
+fn regress_serve_seed_0x5e4e_0001() {
+    replay_serve(0x5e4e_0001);
+}
+
+#[test]
+fn regress_serve_seed_0xfeed_f00d() {
+    replay_serve(0xfeed_f00d);
 }
 
 /// Degenerate-workload replay: tiny domains, point intervals, and a

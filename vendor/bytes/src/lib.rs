@@ -2,7 +2,9 @@
 //!
 //! Backs [`Bytes`]/[`BytesMut`] with a plain `Vec<u8>` plus a read cursor —
 //! no reference-counted slabs, no unsafe. Only the calls the workspace's
-//! snapshot codec performs are provided.
+//! codecs perform are provided: the snapshot codec's u64 round-trip plus
+//! the `crates/serve` wire protocol's u8/u32/u64 little-endian accessors,
+//! `advance`, and the split helpers.
 
 #![forbid(unsafe_code)]
 
@@ -17,6 +19,38 @@ pub trait Buf {
     /// Panics if fewer than `dst.len()` bytes remain.
     fn copy_to_slice(&mut self, dst: &mut [u8]);
 
+    /// Advances the cursor by `cnt` bytes without reading them.
+    ///
+    /// # Panics
+    /// Panics if fewer than `cnt` bytes remain.
+    fn advance(&mut self, cnt: usize);
+
+    /// True if any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`, advancing the cursor.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`, advancing the cursor.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
     /// Reads a little-endian `u64`, advancing the cursor.
     fn get_u64_le(&mut self) -> u64 {
         let mut b = [0u8; 8];
@@ -29,6 +63,21 @@ pub trait Buf {
 pub trait BufMut {
     /// Appends a byte slice.
     fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
 
     /// Appends a little-endian `u64`.
     fn put_u64_le(&mut self, v: u64) {
@@ -71,6 +120,30 @@ impl Bytes {
         }
     }
 
+    /// Splits off and returns the first `at` unread bytes; `self` keeps
+    /// the rest.
+    ///
+    /// # Panics
+    /// Panics if fewer than `at` bytes remain.
+    pub fn split_to(&mut self, at: usize) -> Self {
+        assert!(at <= self.len(), "split_to past end of buffer");
+        let head = self.data[self.pos..self.pos + at].to_vec();
+        self.pos += at;
+        Self { data: head, pos: 0 }
+    }
+
+    /// Splits off and returns everything from unread offset `at` on;
+    /// `self` keeps the first `at` unread bytes.
+    ///
+    /// # Panics
+    /// Panics if fewer than `at` bytes remain.
+    pub fn split_off(&mut self, at: usize) -> Self {
+        assert!(at <= self.len(), "split_off past end of buffer");
+        let tail = self.data[self.pos + at..].to_vec();
+        self.data.truncate(self.pos + at);
+        Self { data: tail, pos: 0 }
+    }
+
     /// The unread bytes as a slice.
     pub fn as_slice(&self) -> &[u8] {
         &self.data[self.pos..]
@@ -89,6 +162,11 @@ impl Buf for Bytes {
         );
         dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
         self.pos += dst.len();
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance past end of buffer");
+        self.pos += cnt;
     }
 }
 
@@ -133,6 +211,46 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Drops the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the
+    /// rest.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Self {
+        assert!(at <= self.len(), "split_to past end of buffer");
+        let tail = self.data.split_off(at);
+        Self {
+            data: std::mem::replace(&mut self.data, tail),
+        }
+    }
+
+    /// Splits off and returns everything from `at` on; `self` keeps the
+    /// first `at` bytes.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_off(&mut self, at: usize) -> Self {
+        assert!(at <= self.len(), "split_off past end of buffer");
+        Self {
+            data: self.data.split_off(at),
+        }
+    }
+
+    /// Appends another buffer (the stub's `unsplit`: plain concatenation).
+    pub fn unsplit(&mut self, mut other: Self) {
+        self.data.append(&mut other.data);
+    }
+
+    /// The contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes {
@@ -145,6 +263,24 @@ impl BytesMut {
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Self {
+        b.data
     }
 }
 
@@ -169,9 +305,77 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_small_ints() {
+        let mut w = BytesMut::new();
+        w.put_u8(0xAB);
+        w.put_u16_le(0xBEEF);
+        w.put_u32_le(0xDEAD_BEEF);
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 7);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn advance_skips_bytes() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        b.advance(3);
+        assert_eq!(b.remaining(), 2);
+        assert_eq!(b.get_u8(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn advance_past_end_panics() {
+        let mut b = Bytes::from(vec![1, 2]);
+        b.advance(3);
+    }
+
+    #[test]
     fn slice_is_relative_to_cursor() {
         let b = Bytes::from(vec![1, 2, 3, 4, 5]);
         assert_eq!(b.slice(1..4).as_slice(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn bytes_split_to_and_off() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        b.advance(1); // splits are relative to the cursor
+        let head = b.split_to(2);
+        assert_eq!(head.as_slice(), &[2, 3]);
+        assert_eq!(b.as_slice(), &[4, 5]);
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        let tail = b.split_off(3);
+        assert_eq!(b.as_slice(), &[1, 2, 3]);
+        assert_eq!(tail.as_slice(), &[4]);
+    }
+
+    #[test]
+    fn bytes_mut_split_and_unsplit() {
+        let mut w = BytesMut::new();
+        w.put_slice(&[1, 2, 3, 4, 5]);
+        let head = w.split_to(2);
+        assert_eq!(head.as_slice(), &[1, 2]);
+        assert_eq!(w.as_slice(), &[3, 4, 5]);
+        let tail = w.split_off(1);
+        assert_eq!(w.as_slice(), &[3]);
+        assert_eq!(tail.as_slice(), &[4, 5]);
+        let mut joined = head;
+        joined.unsplit(w);
+        joined.unsplit(tail);
+        assert_eq!(joined.as_slice(), &[1, 2, 3, 4, 5]);
+        joined.clear();
+        assert!(joined.is_empty());
+    }
+
+    #[test]
+    fn vec_u8_is_a_buf_mut() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u32_le(7);
+        v.put_u8(9);
+        assert_eq!(v, vec![7, 0, 0, 0, 9]);
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Offline, API-compatible subset of `crossbeam`'s scoped threads,
-//! implemented on `std::thread::scope` (stable since Rust 1.63).
+//! Offline, API-compatible subset of `crossbeam`: scoped threads
+//! implemented on `std::thread::scope` (stable since Rust 1.63), and
+//! unbounded MPSC channels implemented on `std::sync::mpsc`.
 //!
-//! Only the call shape the workspace uses is supported:
+//! Only the call shapes the workspace uses are supported:
 //!
 //! ```
 //! let results: Vec<u64> = crossbeam::thread::scope(|s| {
@@ -10,9 +11,84 @@
 //! })
 //! .unwrap();
 //! assert_eq!(results, vec![0, 2, 4, 6]);
+//!
+//! let (tx, rx) = crossbeam::channel::unbounded();
+//! tx.send(7).unwrap();
+//! assert_eq!(rx.recv(), Ok(7));
 //! ```
 
 #![forbid(unsafe_code)]
+
+/// Unbounded MPSC channels (see [`channel::unbounded`]).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel. Clonable; sends never
+    /// block.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; errs (returning the message) once the
+        /// receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; errs once every sender is
+        /// gone and the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Blocks for at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Iterates over received messages, blocking between them, until
+        /// every sender is gone.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    ///
+    /// Unlike real crossbeam the receiver is single-consumer (`!Sync`,
+    /// no `Clone`) — every consumer in the workspace is a single
+    /// scheduler or writer thread that the receiver moves into.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
 
 /// Scoped threads (see [`thread::scope`]).
 pub mod thread {
@@ -72,6 +148,31 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn channel_roundtrip_and_disconnect() {
+        let (tx, rx) = crate::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1u32).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert!(rx.try_recv().is_err()); // empty
+        drop(tx);
+        drop(tx2);
+        assert!(rx.recv().is_err()); // disconnected
+    }
+
+    #[test]
+    fn channel_recv_timeout_elapses() {
+        let (tx, rx) = crate::channel::unbounded::<u8>();
+        let err = rx
+            .recv_timeout(std::time::Duration::from_millis(5))
+            .unwrap_err();
+        assert_eq!(err, crate::channel::RecvTimeoutError::Timeout);
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(5)), Ok(9));
+    }
+
     #[test]
     fn scoped_threads_borrow_and_join() {
         let data = [1u64, 2, 3, 4];
