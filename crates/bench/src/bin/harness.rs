@@ -11,6 +11,7 @@
 //!   cachelayout     extra: nested-Vec vs sealed-CSR storage + query_batch
 //!   shardscale      extra: sharded parallel executor throughput vs K
 //!   serve           extra: batched serving latency/throughput vs batch window
+//!   retune          extra: persistent worker pool vs scoped fan-out + adaptive per-shard m
 //!   all             run everything (paper order)
 //!
 //! flags:
@@ -27,7 +28,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <fig10|fig11|fig12|fig13|fig14|table6|table7|table8|table9|table10|ablation|countmode|cachelayout|shardscale|serve|all> \
+        "usage: harness <fig10|fig11|fig12|fig13|fig14|table6|table7|table8|table9|table10|ablation|countmode|cachelayout|shardscale|serve|retune|all> \
          [--quick] [--scale N] [--queries N] [--max-m N] [--seed N]"
     );
     exit(2);
@@ -106,6 +107,7 @@ fn main() {
         "cachelayout" => experiments::cachelayout::run(&cfg),
         "shardscale" => experiments::shardscale::run(&cfg),
         "serve" => experiments::serve::run(&cfg),
+        "retune" => experiments::retune::run(&cfg),
         _ => usage(),
     };
     if experiment == "all" {
@@ -125,6 +127,7 @@ fn main() {
             "cachelayout",
             "shardscale",
             "serve",
+            "retune",
         ] {
             run_one(name);
             println!();

@@ -133,14 +133,15 @@ pub fn batch_count_throughput<I: IntervalIndex + ?Sized>(
     }
 }
 
-/// Batched-query throughput through the sharded executor's **typed
-/// merge path** (`ShardedIndex::query_batch_merge`): queries run in
-/// chunks of `batch`, one collecting `Vec` fork per (query, shard) pair,
-/// merged back saturation-aware in shard order.
-pub fn merge_batch_throughput<I: IntervalIndex + Sync>(
-    index: &hint_core::ShardedIndex<I>,
+/// The shared batched-enumeration timing loop: drives `queries` through
+/// `run(chunk, bufs)` in windows of `batch` collecting-`Vec` sinks
+/// (reused across windows), totalling results. Every batched
+/// enumeration measurement — scoped executor, worker pool, a served
+/// session — is this loop with a different `run`.
+pub fn batched_throughput_with(
     queries: &[RangeQuery],
     batch: usize,
+    mut run: impl FnMut(&[RangeQuery], &mut [Vec<IntervalId>]),
 ) -> Throughput {
     let batch = batch.max(1);
     let mut bufs: Vec<Vec<IntervalId>> = (0..batch).map(|_| Vec::with_capacity(256)).collect();
@@ -151,7 +152,7 @@ pub fn merge_batch_throughput<I: IntervalIndex + Sync>(
         for b in bufs.iter_mut() {
             b.clear();
         }
-        index.query_batch_merge(chunk, bufs);
+        run(chunk, bufs);
         results += bufs.iter().map(|b| b.len() as u64).sum::<u64>();
     }
     let secs = t0.elapsed().as_secs_f64().max(1e-9);
@@ -159,6 +160,20 @@ pub fn merge_batch_throughput<I: IntervalIndex + Sync>(
         qps: queries.len() as f64 / secs,
         results,
     }
+}
+
+/// Batched-query throughput through the sharded executor's **typed
+/// merge path** (`ShardedIndex::query_batch_merge`): queries run in
+/// chunks of `batch`, one collecting `Vec` fork per (query, shard) pair,
+/// merged back saturation-aware in shard order.
+pub fn merge_batch_throughput<I: IntervalIndex + Sync>(
+    index: &hint_core::ShardedIndex<I>,
+    queries: &[RangeQuery],
+    batch: usize,
+) -> Throughput {
+    batched_throughput_with(queries, batch, |chunk, bufs| {
+        index.query_batch_merge(chunk, bufs)
+    })
 }
 
 /// Count-only throughput through the sharded executor's typed merge
@@ -185,6 +200,37 @@ pub fn merge_count_throughput<I: IntervalIndex + Sync>(
         qps: queries.len() as f64 / secs,
         results,
     }
+}
+
+/// Batched-query throughput through a **scoped fan-out with a forced
+/// worker count** (`ShardedIndex::query_batch_merge_workers`): the PR 3
+/// executor as it runs on multi-core hardware — one thread *spawned per
+/// batch* per active shard — measured at `workers` regardless of the
+/// machine's parallelism, so the per-batch spawn cost it pays is visible
+/// next to the persistent pool's dispatch on any host.
+pub fn scoped_batch_throughput<I: IntervalIndex + Sync>(
+    index: &hint_core::ShardedIndex<I>,
+    queries: &[RangeQuery],
+    batch: usize,
+    workers: usize,
+) -> Throughput {
+    batched_throughput_with(queries, batch, |chunk, bufs| {
+        index.query_batch_merge_workers(chunk, bufs, workers)
+    })
+}
+
+/// Batched-query throughput through the persistent shard-worker pool
+/// (`ShardPool::query_batch_merge`): same fork/merge semantics as the
+/// scoped path, but dispatched over channels to the long-lived,
+/// shard-owning workers — zero per-batch thread spawns.
+pub fn pool_batch_throughput<I: IntervalIndex + Send + 'static>(
+    pool: &hint_core::ShardPool<I>,
+    queries: &[RangeQuery],
+    batch: usize,
+) -> Throughput {
+    batched_throughput_with(queries, batch, |chunk, bufs| {
+        pool.query_batch_merge(chunk, bufs)
+    })
 }
 
 /// Times a closure (e.g. an index build), returning (seconds, value).

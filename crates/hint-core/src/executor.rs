@@ -1,4 +1,16 @@
-//! Batched parallel query execution over a [`ShardedIndex`].
+//! Batched parallel query execution over a *borrowed* [`ShardedIndex`]
+//! — the scoped, spawn-per-batch executor.
+//!
+//! This is the executor for callers that hold the index by reference:
+//! every batch fans out under a [`crossbeam::thread::scope`], so worker
+//! threads are created and joined *per batch*. The serving stack does
+//! not use it anymore: [`crate::ShardPool`] moves the shards into
+//! persistent, optionally core-pinned worker threads and dispatches
+//! batches over channels with zero per-batch spawns (the `retune` bench
+//! harness measures the two side by side). The scoped path remains the
+//! right tool for one-shot batch work over an index you only borrow,
+//! and is the reference implementation the pool must stay bit-identical
+//! to.
 //!
 //! A batch of queries is *routed* first: every query contributes one
 //! entry (its shard-local sub-query plus an is-first-shard flag) to the
@@ -43,7 +55,7 @@ use crate::IntervalIndex;
 /// One routed entry of a shard's sub-batch: the position of the query in
 /// the caller's batch, the shard-local sub-query, and whether this shard
 /// is the first the query routes to (replicas are reported there).
-type Routed = (u32, RangeQuery, bool);
+pub(crate) type Routed = (u32, RangeQuery, bool);
 
 /// How many worker threads a batch may fan out over: the
 /// `HINT_SHARD_THREADS` override if set, else the machine's available
@@ -299,7 +311,7 @@ impl<I: IntervalIndex> Shard<I> {
     /// per query, replicas suppressed for non-first entries. The whole
     /// sub-batch goes through the inner index's `query_batch`, so sealed
     /// inner indexes amortize one level walk across the sub-batch.
-    fn run_collect(&self, sub: &[Routed]) -> Vec<(u32, Vec<IntervalId>)> {
+    pub(crate) fn run_collect(&self, sub: &[Routed]) -> Vec<(u32, Vec<IntervalId>)> {
         let queries: Vec<RangeQuery> = sub.iter().map(|e| e.1).collect();
         let mut bufs: Vec<Vec<IntervalId>> = sub.iter().map(|_| Vec::new()).collect();
         {
@@ -326,7 +338,10 @@ impl<I: IntervalIndex> Shard<I> {
     /// Drains a routed sub-batch into the callers' sink forks. Fork
     /// saturation propagates into the scan, so saturating sinks keep
     /// their early exit within each shard.
-    fn run_forks<S: MergeableSink + Send>(&self, job: Vec<(Routed, S)>) -> Vec<(u32, S)> {
+    pub(crate) fn run_forks<S: MergeableSink + Send>(
+        &self,
+        job: Vec<(Routed, S)>,
+    ) -> Vec<(u32, S)> {
         let queries: Vec<RangeQuery> = job.iter().map(|(e, _)| e.1).collect();
         let firsts: Vec<bool> = job.iter().map(|(e, _)| e.2).collect();
         let mut out: Vec<(u32, S)> = job

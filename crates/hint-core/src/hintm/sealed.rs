@@ -373,6 +373,45 @@ impl SealedStore {
         }
     }
 
+    /// Reconstructs every live interval stored in the arenas, appending
+    /// `(id, st)` pairs for originals whose end lives elsewhere into
+    /// `await_end` and `(id, end)` pairs from ends-inside replicas into
+    /// `end_of`; fully-known intervals go straight to `out`.
+    ///
+    /// Works because Algorithm 1 gives every interval exactly one
+    /// `Original*` assignment (carrying its start) and exactly one
+    /// *ends-inside* assignment (carrying its end): an `Oin` original
+    /// carries both; an `Oaft` original's end is carried by its unique
+    /// `Rin` replica. `Raft` entries carry nothing and are skipped.
+    pub fn collect_live(
+        &self,
+        out: &mut Vec<Interval>,
+        await_end: &mut Vec<(IntervalId, Time)>,
+        end_of: &mut Vec<(IntervalId, Time)>,
+    ) {
+        for lev in &self.levels {
+            for (k, &id) in lev.oin.ids.iter().enumerate() {
+                if id != TOMBSTONE {
+                    out.push(Interval {
+                        id,
+                        st: lev.oin.st[k],
+                        end: lev.oin.end[k],
+                    });
+                }
+            }
+            for (k, &id) in lev.oaft.ids.iter().enumerate() {
+                if id != TOMBSTONE {
+                    await_end.push((id, lev.oaft.st[k]));
+                }
+            }
+            for (k, &id) in lev.rin.ids.iter().enumerate() {
+                if id != TOMBSTONE {
+                    end_of.push((id, lev.rin.end[k]));
+                }
+            }
+        }
+    }
+
     /// Tombstones one assignment of interval `(id, st, end)`. The sorted
     /// key column implied by the category narrows the scan to the
     /// equal-key run (the same assignment rule insertion uses).

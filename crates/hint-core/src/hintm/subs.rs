@@ -451,6 +451,93 @@ impl HintMSubs {
         self.query(RangeQuery::stab(t), out)
     }
 
+    /// Reconstructs the live interval set `(id, st, end)` from the index's
+    /// own storage (sealed arenas plus unsealed overlay), in no particular
+    /// order — the substrate for [`Self::rebuild_with_m`] and for
+    /// snapshotting.
+    ///
+    /// Every interval has exactly one `Original*` assignment (carrying its
+    /// start) and exactly one *ends-inside* assignment (carrying its end);
+    /// an `Oin` original carries both, while an `Oaft` original's end is
+    /// recovered from its unique `Rin` replica. All assignments of one
+    /// interval live in the same store generation (inserts go wholly to
+    /// the overlay, seals move them wholly into the arenas), so the join
+    /// never straddles the two.
+    pub fn intervals(&self) -> Vec<Interval> {
+        let mut out = Vec::with_capacity(self.live);
+        let mut await_end: Vec<(IntervalId, Time)> = Vec::new();
+        let mut end_of: Vec<(IntervalId, Time)> = Vec::new();
+        if let Some(sealed) = &self.sealed {
+            sealed.collect_live(&mut out, &mut await_end, &mut end_of);
+        }
+        match &self.storage {
+            Storage::Full(levels) => {
+                // the full layout stores complete intervals everywhere:
+                // the originals alone are the live set
+                for p in levels.iter().flatten() {
+                    for e in p.oin.iter().chain(&p.oaft) {
+                        if e.id != TOMBSTONE {
+                            out.push(*e);
+                        }
+                    }
+                }
+            }
+            Storage::Opt(levels) => {
+                for p in levels.iter().flatten() {
+                    for e in &p.oin {
+                        if e.id != TOMBSTONE {
+                            out.push(*e);
+                        }
+                    }
+                    for e in &p.oaft {
+                        if e.id != TOMBSTONE {
+                            await_end.push((e.id, e.st));
+                        }
+                    }
+                    for e in &p.rin {
+                        if e.id != TOMBSTONE {
+                            end_of.push((e.id, e.end));
+                        }
+                    }
+                }
+            }
+        }
+        if !await_end.is_empty() {
+            let ends: std::collections::HashMap<IntervalId, Time> = end_of.into_iter().collect();
+            for (id, st) in await_end {
+                let end = ends
+                    .get(&id)
+                    .copied()
+                    .expect("Oaft original without its Rin ends-inside twin");
+                out.push(Interval { id, st, end });
+            }
+        }
+        debug_assert_eq!(
+            out.len(),
+            self.live,
+            "reconstructed set drifted from live count"
+        );
+        out
+    }
+
+    /// Rebuilds the index at hierarchy depth `m` (same domain bounds,
+    /// same configuration, same live contents), returning it **sealed** —
+    /// the serve-time re-tuning primitive: a mis-tuned shard is replaced
+    /// wholesale between seals, and queries against the rebuilt index are
+    /// bit-identical to the original (both are exact; only traversal cost
+    /// changes).
+    ///
+    /// # Panics
+    /// Panics if the clamped `m` exceeds 26 (the per-partition layout
+    /// bound [`Self::build_with_domain`] enforces).
+    pub fn rebuild_with_m(&self, m: u32) -> Self {
+        let data = self.intervals();
+        let domain = Domain::new(self.domain.min(), self.domain.max(), m);
+        let mut rebuilt = Self::build_with_domain(&data, domain, self.cfg);
+        rebuilt.seal();
+        rebuilt
+    }
+
     /// Level/partition walk shared by both storage layouts.
     fn run<P, V: PartView<P>, S: QuerySink + ?Sized>(
         &self,
@@ -1008,6 +1095,87 @@ mod tests {
                     idx.query(q, &mut got);
                     assert_eq!(sorted(got), oracle.query_sorted(q), "{cfg:?} m={m} {q:?}");
                 }
+            }
+        }
+    }
+
+    /// `intervals()` must reconstruct the exact live set — across every
+    /// storage layout, sealed and unsealed, with post-seal overlay
+    /// writes and tombstones in both generations.
+    #[test]
+    fn intervals_reconstructs_the_live_set() {
+        let data = lcg_data(300, 50_000, 6_000, 33);
+        for cfg in all_configs() {
+            for m in [4, 9] {
+                let mut idx = HintMSubs::build_with_domain(&data, Domain::new(0, 49_999, m), cfg);
+                let mut want: Vec<Interval> = data.clone();
+                let check = |idx: &HintMSubs, want: &[Interval], what: &str| {
+                    let mut got = idx.intervals();
+                    got.sort_unstable_by_key(|s| s.id);
+                    let mut want = want.to_vec();
+                    want.sort_unstable_by_key(|s| s.id);
+                    assert_eq!(got, want, "{cfg:?} m={m}: {what}");
+                };
+                check(&idx, &want, "fresh build");
+                // delete a few pre-seal (tombstones in unsealed storage)
+                for victim in [7usize, 100, 250] {
+                    let s = data[victim];
+                    assert!(idx.delete(&s));
+                    want.retain(|x| x.id != s.id);
+                }
+                check(&idx, &want, "unsealed with tombstones");
+                idx.seal();
+                check(&idx, &want, "sealed");
+                // post-seal inserts land in the overlay; deletes
+                // tombstone both the arenas and the overlay
+                for i in 0..20u64 {
+                    let s = Interval::new(10_000 + i, (i * 997) % 49_000, (i * 997) % 49_000 + 800);
+                    idx.insert(s);
+                    want.push(s);
+                }
+                let sealed_victim = data[42];
+                assert!(idx.delete(&sealed_victim));
+                want.retain(|x| x.id != sealed_victim.id);
+                let overlay_victim = Interval::new(10_003, 3 * 997, 3 * 997 + 800);
+                assert!(idx.delete(&overlay_victim));
+                want.retain(|x| x.id != overlay_victim.id);
+                check(&idx, &want, "sealed + overlay + mixed tombstones");
+                idx.seal();
+                check(&idx, &want, "resealed");
+            }
+        }
+    }
+
+    /// A rebuild at any `m'` answers every query identically and comes
+    /// back sealed at the requested depth.
+    #[test]
+    fn rebuild_with_m_preserves_results_at_every_depth() {
+        let data = lcg_data(350, 40_000, 5_000, 55);
+        let oracle = ScanOracle::new(&data);
+        let mut idx = HintMSubs::build(&data, 10, SubsConfig::full());
+        idx.seal();
+        idx.insert(Interval::new(900_000, 100, 9_000)); // overlay entry
+        let mut oracle = {
+            let mut o = oracle;
+            o.insert(Interval::new(900_000, 100, 9_000));
+            o
+        };
+        assert!(oracle.delete(13));
+        assert!(idx.delete(&data[13]));
+        for m_new in [1, 3, 6, 10, 14] {
+            let rebuilt = idx.rebuild_with_m(m_new);
+            assert!(rebuilt.is_sealed());
+            assert_eq!(rebuilt.len(), idx.len());
+            assert_eq!(rebuilt.domain().min(), idx.domain().min());
+            assert_eq!(rebuilt.domain().max(), idx.domain().max());
+            let mut x = 9u64;
+            for _ in 0..200 {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                let st = (x >> 17) % 40_000;
+                let q = RangeQuery::new(st, (st + (x >> 9) % 8_000).min(39_999));
+                let mut got = Vec::new();
+                rebuilt.query(q, &mut got);
+                assert_eq!(sorted(got), oracle.query_sorted(q), "m'={m_new} {q:?}");
             }
         }
     }

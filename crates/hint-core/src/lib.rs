@@ -126,6 +126,7 @@ pub mod hintm;
 pub mod interval;
 pub mod join;
 pub mod oracle;
+pub mod pool;
 mod scan;
 pub mod session;
 pub mod shard;
@@ -135,7 +136,7 @@ pub mod stats;
 pub use allen::{AllenIndex, AllenRelation};
 pub use assign::{Assignment, SubKind};
 pub use concurrent::ConcurrentHint;
-pub use cost_model::{m_opt, measure_betas, Betas, ModelInput};
+pub use cost_model::{m_opt, measure_betas, mix_cost, retuned_m, Betas, ModelInput};
 pub use domain::Domain;
 pub use hint_cf::{CfLayout, HintCf};
 pub use hintm::base::{Eval, HintMBase};
@@ -145,12 +146,13 @@ pub use hintm::subs::{HintMSubs, SubsConfig};
 pub use interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
 pub use join::{index_join, index_join_count, sweep_join, sweep_join_count};
 pub use oracle::ScanOracle;
-pub use session::{Session, WriteError};
+pub use pool::{PoolStats, ShardPool};
+pub use session::{RetuneEvent, RetunePolicy, Session, WriteError};
 pub use shard::{MutableIndex, ShardedIndex};
 pub use sink::{
     CollectSink, CountSink, ExistsSink, FirstK, FnSink, MergeableSink, QuerySink, SliceSink,
 };
-pub use stats::{QueryStats, WorkloadStats};
+pub use stats::{ExtentHistogram, ExtentMix, QueryStats, WorkloadStats};
 
 /// Common query interface implemented by every index in the workspace
 /// (HINT variants here, the four competitor indexes in their own crates),

@@ -1,0 +1,878 @@
+//! Persistent shard-worker pool: one long-lived thread per shard,
+//! optionally pinned to a core, each **owning** its shard outright.
+//!
+//! The scoped executor in [`crate::executor`] spawns one thread per
+//! active shard *per batch* — correct, but every batch pays thread
+//! creation and teardown, and a shard's sealed arenas are touched by
+//! whichever OS thread happened to pick it up. [`ShardPool`] inverts the
+//! ownership: [`ShardPool::new`] moves each [`ShardedIndex`] shard into
+//! a dedicated worker thread that lives for the pool's lifetime, and
+//! batches are *dispatched* to the workers over channels as boxed task
+//! closures — zero per-batch spawns, and every shard's arenas are only
+//! ever walked (and mutated) by the one thread that owns them, which
+//! keeps them hot in that core's cache. With `HINT_SHARD_PIN=1` each
+//! worker additionally pins itself to core `worker_index mod cores`
+//! (best-effort via `taskset(1)` on Linux — the crate forbids `unsafe`,
+//! so the `sched_setaffinity` syscall is reached through the userland
+//! tool; a no-op when unavailable or on other platforms).
+//!
+//! ## Dispatch strategies
+//!
+//! * **Unbounded sinks** (collect, count, wire encoders): the routed
+//!   sub-batches are dispatched to every active shard at once and the
+//!   returned forks are merged on the calling thread in ascending shard
+//!   order — bit-identical to the sequential
+//!   [`ShardedIndex::query_sink`] loop, exactly like the scoped
+//!   executor.
+//! * **Bounded sinks** ([`crate::FirstK`], [`crate::ExistsSink`];
+//!   [`MergeableSink::is_bounded`]): dispatch is *staged* in shard
+//!   order, and a query whose sink is already saturated is not sent to
+//!   the remaining shards at all — the saturation signal propagates to
+//!   idle workers as "no work", instead of each worker scanning for
+//!   results the merge would then discard. [`ShardPool::stats`] counts
+//!   the suppressed dispatches.
+//!
+//! Writes route to the owning workers as mutation tasks (each worker
+//! mutates only its own shard; per-worker channel FIFO keeps every
+//! write ordered before any later batch), `seal` broadcasts a reseal
+//! barrier, and [`ShardPool::retune_shard`] rebuilds one shard at the
+//! `m` the §3.3 cost model picks for its observed query-extent mix —
+//! on the worker that owns it. [`ShardPool::into_index`] shuts the
+//! workers down and reassembles the [`ShardedIndex`].
+
+use crate::executor::Routed;
+use crate::interval::{Interval, IntervalId, RangeQuery, Time};
+use crate::shard::{MutableIndex, Shard, ShardedIndex};
+use crate::sink::{MergeableSink, QuerySink};
+use crate::stats::ExtentMix;
+use crate::IntervalIndex;
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::JoinHandle;
+
+/// A unit of work dispatched to a shard worker. The closure runs on the
+/// worker thread with exclusive access to the shard it owns.
+type Task<I> = Box<dyn FnOnce(&mut Shard<I>) + Send + 'static>;
+
+/// One worker: its task channel and join handle. Dropping the sender
+/// ends the worker's receive loop; joining returns the shard.
+struct Worker<I> {
+    tasks: Option<Sender<Task<I>>>,
+    handle: Option<JoinHandle<Shard<I>>>,
+}
+
+/// Dispatch counters (see [`ShardPool::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Batch dispatches executed (solo queries count as batches of 1).
+    pub batches: u64,
+    /// `(query, shard)` entries produced by routing.
+    pub routed: u64,
+    /// Entries actually dispatched to a worker.
+    pub dispatched: u64,
+    /// Entries suppressed because the query's sink was already
+    /// saturated when its shard's turn came (bounded-sink staging).
+    pub skipped: u64,
+}
+
+#[derive(Default)]
+struct PoolCounters {
+    batches: AtomicU64,
+    routed: AtomicU64,
+    dispatched: AtomicU64,
+    skipped: AtomicU64,
+}
+
+/// True when `HINT_SHARD_PIN=1`: workers pin themselves to cores.
+fn pinning_enabled() -> bool {
+    crate::env::var_or("HINT_SHARD_PIN", 0u8, "0 or 1", |&v| v <= 1) == 1
+}
+
+/// Best-effort core pinning for the calling thread. The crate forbids
+/// `unsafe`, so instead of the `sched_setaffinity` syscall this shells
+/// out to `taskset(1)` with the thread's own tid (from
+/// `/proc/thread-self`); any failure — no procfs, no taskset, denied —
+/// leaves the thread unpinned, which is always correct.
+#[cfg(target_os = "linux")]
+fn pin_current_thread(worker: usize) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let core = worker % cores;
+    let Ok(link) = std::fs::read_link("/proc/thread-self") else {
+        return;
+    };
+    let Some(tid) = link.file_name().and_then(|s| s.to_str()) else {
+        return;
+    };
+    let _ = std::process::Command::new("taskset")
+        .args(["-pc", &core.to_string(), tid])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status();
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_current_thread(_worker: usize) {}
+
+/// A persistent worker pool over the shards of a [`ShardedIndex`]: the
+/// serving-side executor. See the module docs for the dispatch model.
+///
+/// The pool exposes the same query surface as the index it was built
+/// from ([`IntervalIndex`] plus the typed
+/// [`query_batch_merge`](Self::query_batch_merge) fast path) with
+/// bit-identical results, and the same write surface when the inner
+/// index is [`MutableIndex`].
+pub struct ShardPool<I> {
+    workers: Vec<Worker<I>>,
+    /// Inclusive `[start, end]` domain range of each shard, ascending —
+    /// the routing metadata mirrored out of the moved shards.
+    bounds: Vec<(Time, Time)>,
+    /// Live (deduplicated) interval count, maintained by the write path.
+    live: usize,
+    counters: PoolCounters,
+}
+
+impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
+    /// Moves every shard of `index` into its own worker thread. With
+    /// `HINT_SHARD_PIN=1`, worker `j` pins itself to core `j mod cores`.
+    pub fn new(index: ShardedIndex<I>) -> Self {
+        let (shards, live) = index.into_parts();
+        let pin = pinning_enabled();
+        let bounds: Vec<(Time, Time)> = shards.iter().map(|s| (s.start, s.end)).collect();
+        let workers = shards
+            .into_iter()
+            .enumerate()
+            .map(|(j, mut shard)| {
+                let (tx, rx) = unbounded::<Task<I>>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("hint-shard-{j}"))
+                    .spawn(move || {
+                        if pin {
+                            pin_current_thread(j);
+                        }
+                        while let Ok(task) = rx.recv() {
+                            task(&mut shard);
+                        }
+                        shard
+                    })
+                    .expect("spawn shard worker");
+                Worker {
+                    tasks: Some(tx),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Self {
+            workers,
+            bounds,
+            live,
+            counters: PoolCounters::default(),
+        }
+    }
+
+    /// Shuts the workers down (draining any queued tasks) and
+    /// reassembles the [`ShardedIndex`]. The inverse of
+    /// [`ShardPool::new`]; a new pool can be spun up from the result.
+    pub fn into_index(mut self) -> ShardedIndex<I> {
+        let shards = self.join_workers();
+        ShardedIndex::from_parts(shards, self.live)
+    }
+
+    /// Number of shards (= worker threads).
+    pub fn shard_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The inclusive domain range `[start, end]` of each shard, in order.
+    pub fn shard_bounds(&self) -> &[(Time, Time)] {
+        &self.bounds
+    }
+
+    /// Inclusive domain bounds `[min, max]` across all shards.
+    pub fn domain(&self) -> (Time, Time) {
+        (self.bounds[0].0, self.bounds[self.bounds.len() - 1].1)
+    }
+
+    /// Number of live intervals.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no intervals are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// A snapshot of the dispatch counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            routed: self.counters.routed.load(Ordering::Relaxed),
+            dispatched: self.counters.dispatched.load(Ordering::Relaxed),
+            skipped: self.counters.skipped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sends one task to worker `j`.
+    ///
+    /// # Panics
+    /// Panics if the worker thread died (a prior task panicked).
+    fn send(&self, j: usize, task: Task<I>) {
+        self.workers[j]
+            .tasks
+            .as_ref()
+            .expect("worker already shut down")
+            .send(task)
+            .expect("shard worker died (earlier task panicked?)");
+    }
+
+    /// Drops every task sender and joins the worker threads, collecting
+    /// the shards back. Queued tasks still run before a worker exits.
+    fn join_workers(&mut self) -> Vec<Shard<I>> {
+        let mut shards = Vec::with_capacity(self.workers.len());
+        for w in &mut self.workers {
+            drop(w.tasks.take());
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                match handle.join() {
+                    Ok(shard) => shards.push(shard),
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        }
+        self.workers.clear();
+        shards
+    }
+
+    /// Index of the shard owning domain point `t` (clamped).
+    #[inline]
+    fn shard_of(&self, t: Time) -> usize {
+        self.bounds
+            .partition_point(|&(start, _)| start <= t)
+            .saturating_sub(1)
+    }
+
+    /// The contiguous run of shards a query's range overlaps.
+    #[inline]
+    pub(crate) fn route(&self, q: RangeQuery) -> (usize, usize) {
+        (self.shard_of(q.st), self.shard_of(q.end))
+    }
+
+    /// The shard-local sub-query for shard `j` (interior boundaries
+    /// clipped to the shard range, the query's own endpoints kept on the
+    /// first/last routed shard) — same rule as
+    /// [`ShardedIndex::local_query`].
+    #[inline]
+    pub(crate) fn local_query(&self, j: usize, q: RangeQuery, lo: usize, hi: usize) -> RangeQuery {
+        let st = if j == lo { q.st } else { self.bounds[j].0 };
+        let end = if j == hi { q.end } else { self.bounds[j].1 };
+        RangeQuery { st, end }
+    }
+
+    /// Routes a batch: one sub-batch per shard, in batch order.
+    fn plan(&self, queries: &[RangeQuery]) -> Vec<Vec<Routed>> {
+        let mut plan: Vec<Vec<Routed>> = self.bounds.iter().map(|_| Vec::new()).collect();
+        for (qi, &q) in queries.iter().enumerate() {
+            let (lo, hi) = self.route(q);
+            for (j, sub) in plan[lo..=hi].iter_mut().enumerate() {
+                let j = lo + j;
+                sub.push((qi as u32, self.local_query(j, q, lo, hi), j == lo));
+            }
+        }
+        plan
+    }
+
+    /// Evaluates a batch of queries through the worker pool, one
+    /// [`MergeableSink`] per query. Bit-identical to solo
+    /// [`ShardedIndex::query_sink`] calls at the same index state:
+    /// per-shard forks are merged back in ascending shard order on the
+    /// calling thread. Bounded sinks are dispatched shard by shard so a
+    /// saturated query stops being sent to the remaining shards (see
+    /// the module docs).
+    ///
+    /// # Panics
+    /// Panics if `queries` and `sinks` have different lengths.
+    pub fn query_batch_merge<S>(&self, queries: &[RangeQuery], sinks: &mut [S])
+    where
+        S: MergeableSink + Send + 'static,
+    {
+        assert_eq!(queries.len(), sinks.len(), "one sink per query");
+        if queries.is_empty() {
+            return;
+        }
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        let plan = self.plan(queries);
+        let routed: usize = plan.iter().map(Vec::len).sum();
+        self.counters
+            .routed
+            .fetch_add(routed as u64, Ordering::Relaxed);
+        if sinks.iter().all(|s| s.is_bounded()) {
+            self.run_staged(&plan, sinks);
+        } else {
+            self.run_fanned(&plan, sinks);
+        }
+    }
+
+    /// Parallel dispatch: every active shard gets its sub-batch at once;
+    /// forks are merged back in shard order as the workers finish.
+    fn run_fanned<S>(&self, plan: &[Vec<Routed>], sinks: &mut [S])
+    where
+        S: MergeableSink + Send + 'static,
+    {
+        let mut pending = Vec::new();
+        for (j, sub) in plan.iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let job: Vec<(Routed, S)> = sub
+                .iter()
+                .map(|&entry| (entry, sinks[entry.0 as usize].fork()))
+                .collect();
+            self.counters
+                .dispatched
+                .fetch_add(job.len() as u64, Ordering::Relaxed);
+            let (tx, rx) = unbounded();
+            self.send(
+                j,
+                Box::new(move |shard| {
+                    let _ = tx.send(shard.run_forks(job));
+                }),
+            );
+            pending.push(rx);
+        }
+        for rx in pending {
+            let results = rx.recv().expect("shard worker died mid-batch");
+            for (qi, fork) in results {
+                sinks[qi as usize].merge(fork);
+            }
+        }
+    }
+
+    /// Staged dispatch for bounded sinks: shards are visited in
+    /// ascending order, and entries whose sink is already saturated are
+    /// dropped instead of dispatched — the cross-shard early exit solo
+    /// queries get from sequential shard visits, kept under batching.
+    fn run_staged<S>(&self, plan: &[Vec<Routed>], sinks: &mut [S])
+    where
+        S: MergeableSink + Send + 'static,
+    {
+        for (j, sub) in plan.iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let job: Vec<(Routed, S)> = sub
+                .iter()
+                .filter(|&&(qi, _, _)| !sinks[qi as usize].is_saturated())
+                .map(|&entry| (entry, sinks[entry.0 as usize].fork()))
+                .collect();
+            self.counters
+                .skipped
+                .fetch_add((sub.len() - job.len()) as u64, Ordering::Relaxed);
+            if job.is_empty() {
+                continue;
+            }
+            self.counters
+                .dispatched
+                .fetch_add(job.len() as u64, Ordering::Relaxed);
+            let (tx, rx) = unbounded();
+            self.send(
+                j,
+                Box::new(move |shard| {
+                    let _ = tx.send(shard.run_forks(job));
+                }),
+            );
+            for (qi, fork) in rx.recv().expect("shard worker died mid-batch") {
+                sinks[qi as usize].merge(fork);
+            }
+        }
+    }
+
+    /// Evaluates a batch through trait-level `dyn` sinks: workers
+    /// collect into thread-local buffers, merged back in shard order via
+    /// [`QuerySink::emit_slice`] (saturated sinks stop receiving at the
+    /// merge, as in the scoped executor's dyn path).
+    fn query_batch_dyn(&self, queries: &[RangeQuery], sinks: &mut [&mut dyn QuerySink]) {
+        assert_eq!(queries.len(), sinks.len(), "one sink per query");
+        if queries.is_empty() {
+            return;
+        }
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        let plan = self.plan(queries);
+        let mut pending = Vec::new();
+        for (j, sub) in plan.iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            self.counters
+                .routed
+                .fetch_add(sub.len() as u64, Ordering::Relaxed);
+            self.counters
+                .dispatched
+                .fetch_add(sub.len() as u64, Ordering::Relaxed);
+            let sub = sub.clone();
+            let (tx, rx) = unbounded();
+            self.send(
+                j,
+                Box::new(move |shard| {
+                    let _ = tx.send(shard.run_collect(&sub));
+                }),
+            );
+            pending.push(rx);
+        }
+        for rx in pending {
+            let results = rx.recv().expect("shard worker died mid-batch");
+            for (qi, ids) in results {
+                let sink = &mut *sinks[qi as usize];
+                if !sink.is_saturated() {
+                    sink.emit_slice(&ids);
+                }
+            }
+        }
+    }
+
+    /// Solo query: the routed shards are dispatched one at a time in
+    /// domain order, stopping as soon as the sink saturates — the same
+    /// shard-granular early exit as [`ShardedIndex::query_sink`], with
+    /// each shard's scan running on the worker that owns it.
+    pub fn query_sink_pooled<S: QuerySink + ?Sized>(&self, q: RangeQuery, sink: &mut S) {
+        let (lo, hi) = self.route(q);
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .routed
+            .fetch_add((hi - lo + 1) as u64, Ordering::Relaxed);
+        for j in lo..=hi {
+            if sink.is_saturated() {
+                self.counters
+                    .skipped
+                    .fetch_add((hi - j + 1) as u64, Ordering::Relaxed);
+                return;
+            }
+            self.counters.dispatched.fetch_add(1, Ordering::Relaxed);
+            let entry: Routed = (0, self.local_query(j, q, lo, hi), j == lo);
+            let (tx, rx) = unbounded();
+            self.send(
+                j,
+                Box::new(move |shard| {
+                    let _ = tx.send(shard.run_collect(&[entry]));
+                }),
+            );
+            for (_, ids) in rx.recv().expect("shard worker died mid-query") {
+                sink.emit_slice(&ids);
+            }
+        }
+    }
+
+    /// Broadcasts a reseal to every worker and waits for all of them —
+    /// a write barrier: every earlier queued write is folded into the
+    /// sealed arenas before this returns. Clean shards reseal for free
+    /// (the inner indexes' idempotent fast path).
+    pub fn seal_all(&self) {
+        let (tx, rx) = unbounded();
+        for j in 0..self.workers.len() {
+            let tx = tx.clone();
+            self.send(
+                j,
+                Box::new(move |shard| {
+                    shard.index.seal();
+                    let _ = tx.send(());
+                }),
+            );
+        }
+        drop(tx);
+        for _ in 0..self.workers.len() {
+            rx.recv().expect("shard worker died during seal");
+        }
+    }
+
+    /// Approximate heap footprint: inner indexes plus replica
+    /// bookkeeping (computed on the owning workers).
+    pub fn size_bytes_pooled(&self) -> usize {
+        let (tx, rx) = unbounded();
+        for j in 0..self.workers.len() {
+            let tx = tx.clone();
+            self.send(
+                j,
+                Box::new(move |shard| {
+                    let _ = tx.send(
+                        shard.index.size_bytes()
+                            + shard.replicas.len() * std::mem::size_of::<IntervalId>() * 2,
+                    );
+                }),
+            );
+        }
+        drop(tx);
+        (0..self.workers.len())
+            .map(|_| rx.recv().expect("shard worker died"))
+            .sum()
+    }
+}
+
+impl<I: MutableIndex + Send + 'static> ShardPool<I> {
+    /// Inserts an interval, routing a mutation task to every shard its
+    /// extent overlaps (clipped per shard; replicas registered where the
+    /// start lies in an earlier shard). Per-worker FIFO orders the write
+    /// before any later dispatched batch.
+    ///
+    /// # Panics
+    /// Panics if the interval falls outside the pooled domain — the same
+    /// contract as [`ShardedIndex::insert`].
+    pub fn insert(&mut self, s: Interval) {
+        let (min, max) = self.domain();
+        assert!(
+            s.st >= min && s.end <= max,
+            "interval [{}, {}] outside the sharded domain [{min}, {max}]",
+            s.st,
+            s.end,
+        );
+        let (lo, hi) = (self.shard_of(s.st), self.shard_of(s.end));
+        for j in lo..=hi {
+            self.send(
+                j,
+                Box::new(move |shard| {
+                    let clipped = shard.clip(&s);
+                    shard.index.insert(clipped);
+                    if s.st < shard.start {
+                        shard.replicas.insert(s.id);
+                    }
+                }),
+            );
+        }
+        self.live += 1;
+    }
+
+    /// Deletes an interval from every shard holding a copy, returning
+    /// whether it was present. The shard owning the start point
+    /// arbitrates presence (synchronously); replica copies are removed
+    /// with fire-and-forget tasks that later operations queue behind.
+    pub fn delete(&mut self, s: &Interval) -> bool {
+        let (min, max) = self.domain();
+        if s.st < min || s.end > max {
+            return false; // out-of-domain intervals were never inserted
+        }
+        let (lo, hi) = (self.shard_of(s.st), self.shard_of(s.end));
+        let s = *s;
+        let (tx, rx) = unbounded();
+        self.send(
+            lo,
+            Box::new(move |shard| {
+                let clipped = shard.clip(&s);
+                let found = shard.index.delete(&clipped);
+                if found {
+                    shard.replicas.remove(&s.id);
+                }
+                let _ = tx.send(found);
+            }),
+        );
+        if !rx.recv().expect("shard worker died during delete") {
+            return false;
+        }
+        for j in lo + 1..=hi {
+            self.send(
+                j,
+                Box::new(move |shard| {
+                    let clipped = shard.clip(&s);
+                    if shard.index.delete(&clipped) {
+                        shard.replicas.remove(&s.id);
+                    }
+                }),
+            );
+        }
+        self.live -= 1;
+        true
+    }
+
+    /// Reseals shard `j` at the `m` the cost model picks for the
+    /// observed query-extent `mix`, on the worker that owns the shard.
+    /// Returns `Some((old_m, new_m))` when the shard was rebuilt at a
+    /// different depth; otherwise the shard is plainly resealed and
+    /// `None` is returned (not re-tunable, empty, or already at the
+    /// model's choice). Results are bit-identical either way.
+    pub fn retune_shard(&self, j: usize, mix: ExtentMix) -> Option<(u32, u32)> {
+        let (tx, rx) = unbounded();
+        self.send(
+            j,
+            Box::new(move |shard| {
+                let outcome = shard.index.tuned_m().and_then(|from| {
+                    let to = shard.index.retune_m(&mix)?;
+                    if to == from {
+                        return None;
+                    }
+                    let rebuilt = shard.index.rebuild_with_m(to)?;
+                    shard.index = rebuilt; // arrives sealed
+                    Some((from, to))
+                });
+                if outcome.is_none() {
+                    shard.index.seal();
+                }
+                let _ = tx.send(outcome);
+            }),
+        );
+        rx.recv().expect("shard worker died during retune")
+    }
+
+    /// The hierarchy depth each shard currently runs at (`None` for
+    /// non-re-tunable inner indexes).
+    pub fn shard_ms(&self) -> Vec<Option<u32>> {
+        let mut out = Vec::with_capacity(self.workers.len());
+        for j in 0..self.workers.len() {
+            let (tx, rx) = unbounded();
+            self.send(
+                j,
+                Box::new(move |shard| {
+                    let _ = tx.send(shard.index.tuned_m());
+                }),
+            );
+            out.push(rx.recv().expect("shard worker died"));
+        }
+        out
+    }
+}
+
+impl<I> Drop for ShardPool<I> {
+    fn drop(&mut self) {
+        // close every task channel, then join: queued work drains, the
+        // threads exit, and the shards are dropped on their own workers.
+        for w in &mut self.workers {
+            drop(w.tasks.take());
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                // a worker that panicked already reported; don't double-
+                // panic out of drop
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl<I: IntervalIndex + Send + 'static> IntervalIndex for ShardPool<I> {
+    fn query_sink(&self, q: RangeQuery, sink: &mut dyn QuerySink) {
+        self.query_sink_pooled(q, sink)
+    }
+
+    fn seal(&mut self) {
+        self.seal_all()
+    }
+
+    fn query_batch(&self, queries: &[RangeQuery], sinks: &mut [&mut dyn QuerySink]) {
+        self.query_batch_dyn(queries, sinks)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.size_bytes_pooled()
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CountSink, ExistsSink, FirstK};
+    use crate::{Domain, HintMSubs, SubsConfig};
+
+    fn data() -> Vec<Interval> {
+        (0..2_000)
+            .map(|i| {
+                let st = (i * 53) % 16_000;
+                Interval::new(i, st, (st + (i % 29) * 30).min(16_383))
+            })
+            .collect()
+    }
+
+    fn sharded(k: usize, seal: bool) -> ShardedIndex<HintMSubs> {
+        let mut idx = ShardedIndex::build_with(&data(), k, |slice, lo, hi| {
+            HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 9), SubsConfig::full())
+        });
+        if seal {
+            IntervalIndex::seal(&mut idx);
+        }
+        idx
+    }
+
+    fn batch() -> Vec<RangeQuery> {
+        (0..48u64)
+            .map(|i| {
+                let st = (i * 331) % 16_000;
+                RangeQuery::new(st, (st + 40 + i * 60).min(16_383))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_solo_and_batch_match_the_direct_index() {
+        for seal in [false, true] {
+            for k in [1, 2, 4, 8] {
+                let direct = sharded(k, seal);
+                let pool = ShardPool::new(direct.clone());
+                let queries = batch();
+                for &q in &queries {
+                    let mut want = Vec::new();
+                    direct.query_sink(q, &mut want);
+                    let mut got = Vec::new();
+                    IntervalIndex::query_sink(&pool, q, &mut got);
+                    assert_eq!(got, want, "solo k={k} seal={seal} {q:?}");
+                }
+                // typed merge path
+                let mut merged: Vec<Vec<IntervalId>> = queries.iter().map(|_| Vec::new()).collect();
+                pool.query_batch_merge(&queries, &mut merged);
+                for (i, &q) in queries.iter().enumerate() {
+                    let mut want = Vec::new();
+                    direct.query_sink(q, &mut want);
+                    assert_eq!(merged[i], want, "merge k={k} seal={seal} {q:?}");
+                }
+                // dyn path
+                let mut bufs: Vec<Vec<IntervalId>> = queries.iter().map(|_| Vec::new()).collect();
+                {
+                    let mut sinks: Vec<&mut dyn QuerySink> =
+                        bufs.iter_mut().map(|b| b as &mut dyn QuerySink).collect();
+                    IntervalIndex::query_batch(&pool, &queries, &mut sinks);
+                }
+                for (i, &q) in queries.iter().enumerate() {
+                    let mut want = Vec::new();
+                    direct.query_sink(q, &mut want);
+                    assert_eq!(bufs[i], want, "dyn k={k} seal={seal} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_counts_and_exists_match() {
+        let direct = sharded(4, true);
+        let pool = ShardPool::new(direct.clone());
+        let queries = batch();
+        let mut counts = vec![CountSink::new(); queries.len()];
+        pool.query_batch_merge(&queries, &mut counts);
+        let mut exists = vec![ExistsSink::new(); queries.len()];
+        pool.query_batch_merge(&queries, &mut exists);
+        for (i, &q) in queries.iter().enumerate() {
+            assert_eq!(counts[i].count(), direct.count(q), "count {q:?}");
+            assert_eq!(exists[i].found(), direct.exists(q), "exists {q:?}");
+        }
+    }
+
+    #[test]
+    fn pool_first_k_is_bit_identical_and_never_over_emits() {
+        let direct = sharded(8, true);
+        let pool = ShardPool::new(direct.clone());
+        let queries = batch();
+        for k in [0, 1, 3, 17] {
+            let mut sinks: Vec<FirstK> = queries.iter().map(|_| FirstK::new(k)).collect();
+            pool.query_batch_merge(&queries, &mut sinks);
+            for (i, &q) in queries.iter().enumerate() {
+                let mut solo = FirstK::new(k);
+                direct.query_sink(q, &mut solo);
+                assert!(sinks[i].len() <= k);
+                assert_eq!(sinks[i].ids(), solo.ids(), "k={k} {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_round_trips_through_into_index() {
+        let direct = sharded(4, true);
+        let pool = ShardPool::new(direct.clone());
+        let mut back = pool.into_index();
+        assert_eq!(back.shard_count(), 4);
+        assert_eq!(back.len(), direct.len());
+        let q = RangeQuery::new(100, 9_000);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        direct.query_sink(q, &mut a);
+        back.query_sink(q, &mut b);
+        assert_eq!(a, b);
+        // respawn a second pool from the returned index
+        back.insert(Interval::new(700_000, 5, 9));
+        let pool2 = ShardPool::new(back);
+        assert_eq!(pool2.len(), direct.len() + 1);
+        let mut c = Vec::new();
+        IntervalIndex::query_sink(&pool2, RangeQuery::new(5, 9), &mut c);
+        assert!(c.contains(&700_000));
+    }
+
+    #[test]
+    fn pool_writes_match_the_direct_index() {
+        let mut direct = sharded(4, true);
+        let mut pool = ShardPool::new(direct.clone());
+        let bounds = direct.shard_bounds();
+        // boundary-crossing insert
+        let cross = Interval::new(900_000, bounds[1].1 - 5, bounds[2].0 + 5);
+        direct.insert(cross);
+        pool.insert(cross);
+        // a delete that exists and one that doesn't
+        let victim = data()[17];
+        assert_eq!(pool.delete(&victim), direct.delete(&victim));
+        assert!(!pool.delete(&Interval::new(123_456_789, 1, 2)));
+        assert!(!pool.delete(&Interval::new(0, 100_000, 200_000))); // out of domain
+        IntervalIndex::seal(&mut direct);
+        pool.seal_all();
+        assert_eq!(pool.len(), direct.len());
+        for &q in &batch() {
+            let mut want = Vec::new();
+            direct.query_sink(q, &mut want);
+            let mut got = Vec::new();
+            IntervalIndex::query_sink(&pool, q, &mut got);
+            assert_eq!(got, want, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn saturated_first_k_batch_stops_dispatching_to_later_shards() {
+        // every query hits the full domain, so it routes to all 4 shards;
+        // k=1 saturates at the first shard, and the staged dispatch must
+        // not send the remaining 3 sub-queries anywhere
+        let pool = ShardPool::new(sharded(4, true));
+        let queries: Vec<RangeQuery> = (0..8).map(|_| RangeQuery::new(0, 16_383)).collect();
+        let mut sinks: Vec<FirstK> = queries.iter().map(|_| FirstK::new(1)).collect();
+        pool.query_batch_merge(&queries, &mut sinks);
+        for s in &sinks {
+            assert_eq!(s.len(), 1);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.routed, 8 * 4);
+        assert_eq!(stats.dispatched, 8, "only the first shard may be scanned");
+        assert_eq!(stats.skipped, 8 * 3, "later shards must be skipped");
+    }
+
+    #[test]
+    fn mixed_bounded_batch_still_exact() {
+        let direct = sharded(4, true);
+        let pool = ShardPool::new(direct.clone());
+        // exists sinks saturate on first hit; staged dispatch must keep
+        // answers exact for queries with no results at all
+        let queries = vec![
+            RangeQuery::new(0, 16_383),
+            RangeQuery::new(16_380, 16_383),
+            RangeQuery::new(8_000, 8_001),
+        ];
+        let mut sinks = vec![ExistsSink::new(); queries.len()];
+        pool.query_batch_merge(&queries, &mut sinks);
+        for (i, &q) in queries.iter().enumerate() {
+            assert_eq!(sinks[i].found(), direct.exists(q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn retune_preserves_results_and_reports_the_move() {
+        let direct = sharded(4, true);
+        let pool = ShardPool::new(direct.clone());
+        // a stab-heavy mix on short-interval data wants a deep hierarchy
+        let mix = ExtentMix::from_extents(&[0; 64]);
+        let moved = pool.retune_shard(1, mix);
+        if let Some((from, to)) = moved {
+            assert_ne!(from, to);
+        }
+        for &q in &batch() {
+            let mut want = Vec::new();
+            direct.query_sink(q, &mut want);
+            let mut got = Vec::new();
+            IntervalIndex::query_sink(&pool, q, &mut got);
+            let (mut wq, mut gq) = (want.clone(), got.clone());
+            wq.sort_unstable();
+            gq.sort_unstable();
+            assert_eq!(gq, wq, "retuned shard diverged on {q:?}");
+        }
+    }
+}

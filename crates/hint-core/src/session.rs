@@ -1,9 +1,13 @@
-//! The serving-side engine handle: a [`Session`] owns a
-//! [`ShardedIndex`], routes writes through [`MutableIndex`], and reseals
-//! dirty shards on demand.
+//! The serving-side engine handle: a [`Session`] owns a persistent
+//! [`ShardPool`] over a [`ShardedIndex`], routes writes to the owning
+//! shard workers, reseals dirty shards on demand — and *adapts*: it
+//! accumulates a per-shard histogram of the query extents each shard
+//! actually serves, and at reseal time rebuilds dirty shards at the `m`
+//! the §3.3 cost model picks for that observed mix
+//! ([`crate::cost_model::retuned_m`]).
 //!
 //! A network front-end (see the workspace's `serve` crate) needs a
-//! single object that (a) answers query batches through the parallel
+//! single object that (a) answers query batches through the pooled
 //! executor, (b) applies writes without panicking on client-supplied
 //! garbage — an out-of-domain insert from the wire must become an error
 //! reply, not a server crash — and (c) knows whether any writes have
@@ -11,11 +15,101 @@
 //! free. `Session` is that object, kept in hint-core so any embedder
 //! (not just the bundled wire protocol) can serve the sharded index the
 //! same way.
+//!
+//! ## Re-tuning policy (`HINT_SERVE_RETUNE`)
+//!
+//! The paper picks `m` once, globally, from the expected query-extent
+//! mix; a serving deployment observes the *actual* per-shard mix and can
+//! do better between seals. [`RetunePolicy`] controls when:
+//!
+//! * `off` (default) — never re-tune; reseals only fold overlays in;
+//! * `seal` — when a dirty shard is resealed ([`Session::seal_if_dirty`])
+//!   and it has seen at least [`MIN_RETUNE_OBSERVATIONS`] local queries,
+//!   rebuild it at the cost model's `m` for its observed mix;
+//! * `idle` — `seal`, plus the serve scheduler may call
+//!   [`Session::reseal_idle`] between batches so dirty shards fold in
+//!   (and re-tune) without waiting for an explicit `Seal` request.
+//!
+//! Re-tuning never changes results — the rebuilt shard holds the same
+//! live intervals over the same range — and
+//! [`crate::cost_model::retuned_m`] guarantees the chosen `m` never
+//! loses to the old one on the observed histogram.
 
 use crate::interval::{Interval, RangeQuery, Time, TOMBSTONE};
+use crate::pool::ShardPool;
 use crate::shard::{MutableIndex, ShardedIndex};
 use crate::sink::{MergeableSink, QuerySink};
+use crate::stats::{ExtentHistogram, ExtentMix};
 use crate::IntervalIndex;
+use std::collections::BTreeSet;
+use std::str::FromStr;
+
+/// Minimum local queries a shard must have observed before a reseal may
+/// re-tune its `m` — below this the histogram is noise, not a mix.
+pub const MIN_RETUNE_OBSERVATIONS: u64 = 16;
+
+/// When the session may rebuild a dirty shard at a re-tuned `m` (see
+/// the module docs and the `HINT_SERVE_RETUNE` knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetunePolicy {
+    /// Never re-tune.
+    #[default]
+    Off,
+    /// Re-tune dirty shards whenever they are resealed.
+    OnSeal,
+    /// `OnSeal`, plus the serve scheduler reseals (and re-tunes) dirty
+    /// shards between batches when the request stream goes idle.
+    Idle,
+}
+
+impl FromStr for RetunePolicy {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, ()> {
+        match s {
+            "off" => Ok(RetunePolicy::Off),
+            "seal" => Ok(RetunePolicy::OnSeal),
+            "idle" => Ok(RetunePolicy::Idle),
+            _ => Err(()),
+        }
+    }
+}
+
+impl std::fmt::Display for RetunePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RetunePolicy::Off => "off",
+            RetunePolicy::OnSeal => "seal",
+            RetunePolicy::Idle => "idle",
+        })
+    }
+}
+
+impl RetunePolicy {
+    /// Reads `HINT_SERVE_RETUNE` (`off` / `seal` / `idle`); rejected
+    /// values warn once on stderr and fall back to `off` (see
+    /// [`crate::env`]).
+    pub fn from_env() -> Self {
+        crate::env::var_or(
+            "HINT_SERVE_RETUNE",
+            RetunePolicy::Off,
+            "one of off/seal/idle",
+            |_| true,
+        )
+    }
+}
+
+/// One completed re-tune: shard `shard` was rebuilt from depth `from`
+/// to depth `to` at a reseal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetuneEvent {
+    /// Index of the rebuilt shard.
+    pub shard: usize,
+    /// Hierarchy depth before the rebuild.
+    pub from: u32,
+    /// Hierarchy depth the cost model chose.
+    pub to: u32,
+}
 
 /// Why a client-requested write was refused. Unlike the index methods
 /// themselves (which `assert!` on contract violations, appropriate for
@@ -50,9 +144,10 @@ impl std::fmt::Display for WriteError {
     }
 }
 
-/// An engine handle owning a sharded index: checked writes, dirty-shard
-/// resealing, and batched query execution — the substrate a serving
-/// front-end schedules work onto.
+/// An engine handle owning a pooled sharded index: checked writes,
+/// dirty-shard resealing with adaptive per-shard `m` re-tuning, and
+/// batched query execution on the persistent shard workers — the
+/// substrate a serving front-end schedules work onto.
 ///
 /// ```
 /// use hint_core::{
@@ -70,45 +165,77 @@ impl std::fmt::Display for WriteError {
 /// assert!(session.is_dirty());
 /// assert!(session.seal_if_dirty()); // reseal folds the write in
 /// assert_eq!(session.len(), 101);
-/// assert!(session.index().exists(RangeQuery::new(40, 90)));
+/// assert!(session.pool().exists(RangeQuery::new(40, 90)));
 /// ```
-pub struct Session<I: MutableIndex + Sync> {
-    index: ShardedIndex<I>,
-    /// Writes applied since the last seal. `ShardedIndex::seal` already
-    /// skips clean shards (the inner indexes' idempotent fast path), so
-    /// this flag only saves the per-shard no-op sweep — but it is also
-    /// the serving layer's "was there anything to do" answer.
+pub struct Session<I: MutableIndex + Send + Sync + 'static> {
+    pool: ShardPool<I>,
+    /// Writes applied since the last seal; the serving layer's "was
+    /// there anything to do" answer.
     dirty: bool,
+    /// Which shards took those writes — the reseal's re-tune candidates.
+    dirty_shards: BTreeSet<usize>,
+    /// Per-shard observed query-extent mix (local sub-query extents).
+    mixes: Vec<ExtentHistogram>,
+    policy: RetunePolicy,
+    /// Completed re-tunes, oldest first.
+    events: Vec<RetuneEvent>,
 }
 
-impl<I: MutableIndex + Sync> Session<I> {
-    /// Wraps (and seals) a sharded index. Sealing up front puts every
-    /// shard in the read-optimized columnar layout before the first
-    /// query arrives.
-    pub fn new(mut index: ShardedIndex<I>) -> Self {
+impl<I: MutableIndex + Send + Sync + 'static> Session<I> {
+    /// Wraps (and seals) a sharded index, moving its shards into a
+    /// persistent [`ShardPool`]. Sealing up front puts every shard in
+    /// the read-optimized columnar layout before the first query
+    /// arrives. The re-tune policy comes from `HINT_SERVE_RETUNE`.
+    pub fn new(index: ShardedIndex<I>) -> Self {
+        Self::with_retune(index, RetunePolicy::from_env())
+    }
+
+    /// [`Session::new`] with an explicit re-tune policy instead of the
+    /// environment knob.
+    pub fn with_retune(mut index: ShardedIndex<I>, policy: RetunePolicy) -> Self {
         IntervalIndex::seal(&mut index);
+        let pool = ShardPool::new(index);
+        let mixes = (0..pool.shard_count())
+            .map(|_| ExtentHistogram::new())
+            .collect();
         Self {
-            index,
+            pool,
             dirty: false,
+            dirty_shards: BTreeSet::new(),
+            mixes,
+            policy,
+            events: Vec::new(),
         }
     }
 
     /// Wraps an index without sealing it (for embedders that manage the
-    /// seal cycle themselves).
+    /// seal cycle themselves). Every shard starts dirty.
     pub fn new_unsealed(index: ShardedIndex<I>) -> Self {
-        Self { index, dirty: true }
+        let pool = ShardPool::new(index);
+        let mixes = (0..pool.shard_count())
+            .map(|_| ExtentHistogram::new())
+            .collect();
+        let dirty_shards = (0..pool.shard_count()).collect();
+        Self {
+            pool,
+            dirty: true,
+            dirty_shards,
+            mixes,
+            policy: RetunePolicy::from_env(),
+            events: Vec::new(),
+        }
     }
 
-    /// Read access to the underlying index (solo queries, batched
-    /// execution, stats).
-    pub fn index(&self) -> &ShardedIndex<I> {
-        &self.index
+    /// The underlying worker pool (solo queries, batched execution,
+    /// dispatch stats). Queries issued directly on the pool bypass the
+    /// session's extent accounting.
+    pub fn pool(&self) -> &ShardPool<I> {
+        &self.pool
     }
 
     /// Inclusive domain bounds `[min, max]` of the sharded index.
     pub fn domain(&self) -> (Time, Time) {
-        let bounds = self.index.shard_bounds();
-        (bounds[0].0, bounds[bounds.len() - 1].1)
+        self.pool.domain()
     }
 
     /// True if writes have been applied since the last seal.
@@ -118,15 +245,40 @@ impl<I: MutableIndex + Sync> Session<I> {
 
     /// Number of live intervals.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.pool.len()
     }
 
     /// True if no intervals are live.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.pool.is_empty()
     }
 
-    /// Checked insert: routes to the owning shards, or reports
+    /// The active re-tune policy.
+    pub fn retune_policy(&self) -> RetunePolicy {
+        self.policy
+    }
+
+    /// Completed re-tunes, oldest first.
+    pub fn retunes(&self) -> &[RetuneEvent] {
+        &self.events
+    }
+
+    /// The observed query-extent mix of shard `j`.
+    pub fn shard_mix(&self, j: usize) -> ExtentMix {
+        self.mixes[j].snapshot()
+    }
+
+    /// Records the shard-local extents a query contributes to each
+    /// routed shard's histogram.
+    fn observe(&self, q: RangeQuery) {
+        let (lo, hi) = self.pool.route(q);
+        for j in lo..=hi {
+            let lq = self.pool.local_query(j, q, lo, hi);
+            self.mixes[j].record(lq.end - lq.st);
+        }
+    }
+
+    /// Checked insert: routes to the owning shard workers, or reports
     /// [`WriteError::OutOfDomain`] instead of panicking — the write path
     /// for requests arriving from untrusted clients.
     pub fn try_insert(&mut self, s: Interval) -> Result<(), WriteError> {
@@ -137,7 +289,12 @@ impl<I: MutableIndex + Sync> Session<I> {
         if s.st < domain.0 || s.end > domain.1 {
             return Err(WriteError::OutOfDomain { domain });
         }
-        self.index.insert(s);
+        let (lo, hi) = self.pool.route(RangeQuery {
+            st: s.st,
+            end: s.end,
+        });
+        self.pool.insert(s);
+        self.dirty_shards.extend(lo..=hi);
         self.dirty = true;
         Ok(())
     }
@@ -147,41 +304,82 @@ impl<I: MutableIndex + Sync> Session<I> {
     /// intervals were never inserted, so they report `false` rather
     /// than an error.
     pub fn delete(&mut self, s: &Interval) -> bool {
-        let found = self.index.delete(s);
-        self.dirty |= found;
+        let found = self.pool.delete(s);
+        if found {
+            let (lo, hi) = self.pool.route(RangeQuery {
+                st: s.st,
+                end: s.end,
+            });
+            self.dirty_shards.extend(lo..=hi);
+            self.dirty = true;
+        }
         found
     }
 
     /// Reseals the index if any writes landed since the last seal,
     /// folding overlay entries into the columnar arenas shard by shard
     /// (clean shards are skipped by the inner fast path, so the cost is
-    /// O(dirty shards)). Returns whether a reseal actually ran.
+    /// O(dirty shards)). Under [`RetunePolicy::OnSeal`] /
+    /// [`RetunePolicy::Idle`], each dirty shard that has observed at
+    /// least [`MIN_RETUNE_OBSERVATIONS`] local queries is instead
+    /// rebuilt at the `m` the cost model picks for its observed mix
+    /// (recorded in [`Session::retunes`]). Returns whether a reseal
+    /// actually ran.
     pub fn seal_if_dirty(&mut self) -> bool {
         if !self.dirty {
             return false;
         }
-        IntervalIndex::seal(&mut self.index);
+        if self.policy != RetunePolicy::Off {
+            let candidates: Vec<usize> = self.dirty_shards.iter().copied().collect();
+            for j in candidates {
+                if self.mixes[j].observations() < MIN_RETUNE_OBSERVATIONS {
+                    continue;
+                }
+                if let Some((from, to)) = self.pool.retune_shard(j, self.mixes[j].snapshot()) {
+                    self.events.push(RetuneEvent { shard: j, from, to });
+                }
+            }
+        }
+        // fold remaining dirty overlays in; re-tuned shards come back
+        // sealed, so their reseal is the free idempotent path
+        self.pool.seal_all();
         self.dirty = false;
+        self.dirty_shards.clear();
         true
+    }
+
+    /// The serve scheduler's between-batches hook: under
+    /// [`RetunePolicy::Idle`], reseal (and re-tune) now if dirty.
+    /// Returns whether a reseal ran.
+    pub fn reseal_idle(&mut self) -> bool {
+        if self.policy != RetunePolicy::Idle {
+            return false;
+        }
+        self.seal_if_dirty()
     }
 }
 
-impl<I: MutableIndex + Sync> Session<I> {
-    /// Evaluates a batch of queries through the sharded parallel
-    /// executor's typed merge path, one [`MergeableSink`] per query
-    /// (see [`ShardedIndex::query_batch_merge`]).
-    pub fn query_batch_merge<S: MergeableSink + Send>(
+impl<I: MutableIndex + Send + Sync + 'static> Session<I> {
+    /// Evaluates a batch of queries through the shard-worker pool's
+    /// typed merge path, one [`MergeableSink`] per query (see
+    /// [`ShardPool::query_batch_merge`]), recording each query's
+    /// shard-local extents in the per-shard histograms.
+    pub fn query_batch_merge<S: MergeableSink + Send + 'static>(
         &self,
         queries: &[RangeQuery],
         sinks: &mut [S],
     ) {
-        self.index.query_batch_merge(queries, sinks)
+        for &q in queries {
+            self.observe(q);
+        }
+        self.pool.query_batch_merge(queries, sinks)
     }
 
     /// Solo query into a sink — the reference path batched serving must
     /// stay bit-identical to.
     pub fn query_sink<S: QuerySink + ?Sized>(&self, q: RangeQuery, sink: &mut S) {
-        self.index.query_sink(q, sink)
+        self.observe(q);
+        self.pool.query_sink_pooled(q, sink)
     }
 }
 
@@ -192,16 +390,19 @@ mod tests {
     use crate::{Domain, HintMSubs, SubsConfig};
 
     fn session() -> Session<HintMSubs> {
+        Session::with_retune(build(), RetunePolicy::Off)
+    }
+
+    fn build() -> ShardedIndex<HintMSubs> {
         let data: Vec<Interval> = (0..400)
             .map(|i| {
                 let st = (i * 41) % 3_000;
                 Interval::new(i, st, (st + (i % 11) * 30).min(4_095))
             })
             .collect();
-        let sharded = ShardedIndex::build_with_domain(&data, 0, 4_095, 4, |slice, lo, hi| {
+        ShardedIndex::build_with_domain(&data, 0, 4_095, 4, |slice, lo, hi| {
             HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 8), SubsConfig::full())
-        });
-        Session::new(sharded)
+        })
     }
 
     #[test]
@@ -280,5 +481,86 @@ mod tests {
             s.query_sink(*q, &mut solo);
             assert_eq!(got, &solo, "{q:?}");
         }
+    }
+
+    #[test]
+    fn policy_parses_and_renders() {
+        assert_eq!("off".parse(), Ok(RetunePolicy::Off));
+        assert_eq!("seal".parse(), Ok(RetunePolicy::OnSeal));
+        assert_eq!("idle".parse(), Ok(RetunePolicy::Idle));
+        assert_eq!("sometimes".parse::<RetunePolicy>(), Err(()));
+        assert_eq!(RetunePolicy::OnSeal.to_string(), "seal");
+        // the env layer accepts the policy as a hardened knob
+        let parsed: Result<RetunePolicy, _> =
+            crate::env::parse("HINT_SERVE_RETUNE", "idle", "", |_| true);
+        assert_eq!(parsed, Ok(RetunePolicy::Idle));
+        assert!(
+            crate::env::parse::<RetunePolicy>("HINT_SERVE_RETUNE", "always", "", |_| true).is_err()
+        );
+    }
+
+    #[test]
+    fn observed_mix_lands_in_the_routed_shards() {
+        let s = session();
+        // shard 0 spans [0, 1023]: a stab and a short range there
+        s.query_sink(RangeQuery::stab(5), &mut Vec::new());
+        s.query_sink(RangeQuery::new(10, 20), &mut Vec::new());
+        let mix = s.shard_mix(0);
+        assert_eq!(mix.observations(), 2);
+        assert_eq!(mix.counts[0], 1); // the stab
+                                      // a domain-spanning query contributes one local extent per shard
+        s.query_sink(RangeQuery::new(0, 4_095), &mut Vec::new());
+        for j in 0..4 {
+            assert!(s.shard_mix(j).observations() >= 1, "shard {j}");
+        }
+    }
+
+    #[test]
+    fn reseal_retunes_dirty_shards_under_the_mix() {
+        let mut s = Session::with_retune(build(), RetunePolicy::OnSeal);
+        // a stab-heavy mix over shard 0 (short intervals want deep m)
+        for i in 0..(MIN_RETUNE_OBSERVATIONS + 4) {
+            s.query_sink(RangeQuery::stab(i % 1_000), &mut Vec::new());
+        }
+        let before = s.pool().shard_ms()[0].unwrap();
+        // dirty shard 0, then reseal
+        s.try_insert(Interval::new(50_000, 10, 30)).unwrap();
+        let mut want: Vec<u64> = Vec::new();
+        s.query_sink(RangeQuery::new(0, 4_095), &mut want);
+        want.sort_unstable();
+        assert!(s.seal_if_dirty());
+        let after = s.pool().shard_ms()[0].unwrap();
+        if let Some(ev) = s.retunes().first() {
+            assert_eq!(ev.shard, 0);
+            assert_eq!(ev.from, before);
+            assert_eq!(ev.to, after);
+            assert_ne!(before, after);
+        }
+        // results are unchanged either way
+        let mut got: Vec<u64> = Vec::new();
+        s.query_sink(RangeQuery::new(0, 4_095), &mut got);
+        got.sort_unstable();
+        assert_eq!(got, want);
+        // under Off, nothing ever retunes
+        let mut off = Session::with_retune(build(), RetunePolicy::Off);
+        for i in 0..(MIN_RETUNE_OBSERVATIONS + 4) {
+            off.query_sink(RangeQuery::stab(i % 1_000), &mut Vec::new());
+        }
+        off.try_insert(Interval::new(50_000, 10, 30)).unwrap();
+        off.seal_if_dirty();
+        assert!(off.retunes().is_empty());
+    }
+
+    #[test]
+    fn reseal_idle_only_fires_under_idle_policy() {
+        let mut s = Session::with_retune(build(), RetunePolicy::OnSeal);
+        s.try_insert(Interval::new(60_000, 10, 30)).unwrap();
+        assert!(!s.reseal_idle(), "OnSeal must not reseal on idle");
+        assert!(s.is_dirty());
+        let mut s = Session::with_retune(build(), RetunePolicy::Idle);
+        s.try_insert(Interval::new(60_000, 10, 30)).unwrap();
+        assert!(s.reseal_idle());
+        assert!(!s.is_dirty());
+        assert!(!s.reseal_idle(), "clean session has nothing to fold");
     }
 }

@@ -58,6 +58,33 @@ pub trait MutableIndex: IntervalIndex {
     /// Logically deletes an interval (matched by id and endpoints),
     /// returning whether it was present.
     fn delete(&mut self, s: &Interval) -> bool;
+
+    /// The hierarchy depth `m` this index currently runs at, if the
+    /// index is re-tunable. The default (`None`) marks the index as not
+    /// participating in serve-time `m` re-tuning.
+    fn tuned_m(&self) -> Option<u32> {
+        None
+    }
+
+    /// The `m` the §3.3 cost model would pick for this index's *current
+    /// contents* under the observed query-extent `mix`
+    /// ([`crate::cost_model::retuned_m`]) — guaranteed to be no worse
+    /// than [`tuned_m`](Self::tuned_m) on that mix. `None` when the
+    /// index is not re-tunable (or empty: nothing to model).
+    fn retune_m(&self, _mix: &crate::stats::ExtentMix) -> Option<u32> {
+        None
+    }
+
+    /// Rebuilds the index at depth `m` with identical contents, domain
+    /// bounds and configuration, returning it sealed — or `None` when
+    /// the index does not support re-tuning. Queries against the rebuilt
+    /// index are bit-identical to the original.
+    fn rebuild_with_m(&self, _m: u32) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
 impl MutableIndex for crate::Hint {
@@ -84,6 +111,37 @@ impl MutableIndex for crate::HintMSubs {
     }
     fn delete(&mut self, s: &Interval) -> bool {
         crate::HintMSubs::delete(self, s)
+    }
+    fn tuned_m(&self) -> Option<u32> {
+        Some(self.domain().m())
+    }
+    fn retune_m(&self, mix: &crate::stats::ExtentMix) -> Option<u32> {
+        if self.is_empty() {
+            return None;
+        }
+        let data = self.intervals();
+        let input = crate::cost_model::ModelInput {
+            span: self.domain().max() - self.domain().min(),
+            ..crate::cost_model::ModelInput::from_data(&data, 0.0)
+        };
+        let current = self.domain().m();
+        let betas = crate::cost_model::Betas::DEFAULT;
+        let tol = 0.03; // the paper's convergence tolerance
+                        // rebuilds above m = 26 would violate the per-partition layout
+                        // bound, so clamp — and re-check the within-tolerance guarantee
+                        // after clamping (a clamped candidate is no longer the model's
+                        // free choice)
+        let m = crate::cost_model::retuned_m(&input, &betas, tol, mix, current).clamp(1, 26);
+        if crate::cost_model::mix_cost(&input, &betas, m, mix)
+            <= crate::cost_model::mix_cost(&input, &betas, current, mix) * (1.0 + tol)
+        {
+            Some(m)
+        } else {
+            Some(current)
+        }
+    }
+    fn rebuild_with_m(&self, m: u32) -> Option<Self> {
+        Some(crate::HintMSubs::rebuild_with_m(self, m))
     }
 }
 
@@ -174,7 +232,7 @@ impl<I> Shard<I> {
     /// to the shard range, so clipping never changes which local queries
     /// an interval overlaps — and it keeps each inner index's fixed
     /// domain tight. Replica classification uses the *unclipped* start.
-    fn clip(&self, s: &Interval) -> Interval {
+    pub(crate) fn clip(&self, s: &Interval) -> Interval {
         Interval {
             id: s.id,
             st: s.st.max(self.start),
@@ -385,6 +443,18 @@ impl<I: IntervalIndex> ShardedIndex<I> {
         self.query_sink(q, out)
     }
 
+    /// Decomposes the index into its shards and live count — the handoff
+    /// that moves each shard into its [`crate::ShardPool`] worker thread.
+    pub(crate) fn into_parts(self) -> (Vec<Shard<I>>, usize) {
+        (self.shards, self.live)
+    }
+
+    /// Reassembles an index from parts (the inverse of
+    /// [`Self::into_parts`], used when a pool shuts down).
+    pub(crate) fn from_parts(shards: Vec<Shard<I>>, live: usize) -> Self {
+        Self { shards, live }
+    }
+
     /// Approximate heap footprint: inner indexes plus replica bookkeeping.
     pub fn size_bytes(&self) -> usize {
         self.shards
@@ -451,6 +521,26 @@ impl<I: MutableIndex> ShardedIndex<I> {
         }
         self.live -= 1;
         true
+    }
+
+    /// Reseals shard `j`'s inner index at hierarchy depth `m` (same
+    /// contents, same shard range), returning whether the inner index
+    /// supported the rebuild. Results are bit-identical before and
+    /// after — only the shard's traversal cost (and replication) change.
+    /// This is the in-place spelling of serve-time re-tuning; the worker
+    /// pool ([`crate::ShardPool`]) runs the same rebuild on the owning
+    /// worker thread.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range.
+    pub fn retune_shard(&mut self, j: usize, m: u32) -> bool {
+        match self.shards[j].index.rebuild_with_m(m) {
+            Some(rebuilt) => {
+                self.shards[j].index = rebuilt;
+                true
+            }
+            None => false,
+        }
     }
 
     fn assert_in_domain(&self, s: &Interval) {

@@ -118,6 +118,16 @@ pub trait MergeableSink: QuerySink {
     fn merge(&mut self, other: Self)
     where
         Self: Sized;
+
+    /// True for sinks that can saturate after finitely many results
+    /// ([`FirstK`], [`ExistsSink`]). Executors use this to pick a
+    /// dispatch strategy: a batch of bounded sinks is dispatched shard
+    /// by shard so a saturated query stops being sent to the remaining
+    /// shards at all (see the worker pool in [`crate::pool`]), while
+    /// unbounded sinks fan out to every routed shard at once.
+    fn is_bounded(&self) -> bool {
+        false
+    }
 }
 
 /// The original behaviour: any `Vec<IntervalId>` is a sink that collects
@@ -331,6 +341,10 @@ impl MergeableSink for FirstK {
         let take = room.min(other.ids.len());
         self.ids.extend_from_slice(&other.ids[..take]);
     }
+
+    fn is_bounded(&self) -> bool {
+        true
+    }
 }
 
 /// Saturates on the first result — boolean overlap tests
@@ -377,6 +391,10 @@ impl MergeableSink for ExistsSink {
 
     fn merge(&mut self, other: Self) {
         self.found |= other.found;
+    }
+
+    fn is_bounded(&self) -> bool {
+        true
     }
 }
 

@@ -10,9 +10,14 @@
 //! connection contributes a **reader** thread (decode frames → ops
 //! channel) and a **writer** thread (response-bytes channel → transport).
 //! All cross-thread traffic flows over the vendored `crossbeam`
-//! channels; the executor inside `query_batch_merge` adds its own
-//! per-shard fan-out (capped by `HINT_SHARD_THREADS`), so serving
-//! parallelism and index parallelism compose without sharing state.
+//! channels. The session keeps each shard on its own persistent,
+//! optionally core-pinned worker thread (`hint_core::ShardPool`,
+//! `HINT_SHARD_PIN`), so `query_batch_merge` dispatches sub-batches
+//! over channels with zero per-batch thread spawns; serving parallelism
+//! and index parallelism compose without sharing state. Between
+//! batches, when the request stream goes idle, the scheduler may reseal
+//! dirty shards at a re-tuned per-shard `m` chosen from the observed
+//! query-extent mix (`HINT_SERVE_RETUNE=idle`; see `docs/tuning.md`).
 //!
 //! ## Batching policy
 //!
@@ -99,6 +104,12 @@ pub struct BatchStats {
     pub largest_batch: usize,
     /// Write requests (insert/delete/seal) applied.
     pub writes: u64,
+    /// Shards rebuilt at a re-tuned `m` (see `HINT_SERVE_RETUNE` and
+    /// [`hint_core::RetunePolicy`]).
+    pub retunes: u64,
+    /// Reseals the scheduler triggered on its own between batches
+    /// (`HINT_SERVE_RETUNE=idle`).
+    pub idle_reseals: u64,
 }
 
 impl BatchStats {
@@ -305,7 +316,7 @@ impl Drop for Server {
 }
 
 /// The scheduler: owns the session and the pending batch.
-struct Scheduler<I: MutableIndex + Sync> {
+struct Scheduler<I: MutableIndex + Send + Sync + 'static> {
     session: Session<I>,
     config: ServeConfig,
     conns: HashMap<ConnId, Sender<Vec<u8>>>,
@@ -318,7 +329,7 @@ struct Scheduler<I: MutableIndex + Sync> {
     stats: Arc<RwLock<BatchStats>>,
 }
 
-impl<I: MutableIndex + Sync> Scheduler<I> {
+impl<I: MutableIndex + Send + Sync + 'static> Scheduler<I> {
     fn new(session: Session<I>, config: ServeConfig, stats: Arc<RwLock<BatchStats>>) -> Self {
         Self {
             session,
@@ -336,9 +347,20 @@ impl<I: MutableIndex + Sync> Scheduler<I> {
     fn run(mut self, ops: Receiver<Op>) {
         loop {
             let op = if self.pending.is_empty() {
-                match ops.recv() {
+                // between batches and out of work: under the `idle`
+                // re-tune policy, fold dirty overlays in now (and
+                // re-tune the dirty shards against their observed
+                // extent mix) instead of waiting for a Seal request
+                match ops.try_recv() {
                     Ok(op) => op,
-                    Err(_) => return, // every handle gone
+                    Err(crossbeam::channel::TryRecvError::Empty) => {
+                        self.maybe_reseal_idle();
+                        match ops.recv() {
+                            Ok(op) => op,
+                            Err(_) => return, // every handle gone
+                        }
+                    }
+                    Err(crossbeam::channel::TryRecvError::Disconnected) => return,
                 }
             } else {
                 let wait = self.deadline.saturating_duration_since(Instant::now());
@@ -404,6 +426,7 @@ impl<I: MutableIndex + Sync> Scheduler<I> {
                     self.flush();
                     self.stats.write().writes += 1;
                     let resealed = self.session.seal_if_dirty();
+                    self.note_retunes();
                     self.send_end(
                         id,
                         Reply {
@@ -459,6 +482,22 @@ impl<I: MutableIndex + Sync> Scheduler<I> {
                 let _ = tx.send(Vec::from(out));
             }
         }
+    }
+
+    /// The between-batches hook: reseal (and re-tune) dirty shards when
+    /// the request stream is idle and the session's policy allows it.
+    fn maybe_reseal_idle(&mut self) {
+        if self.session.reseal_idle() {
+            self.stats.write().idle_reseals += 1;
+            self.note_retunes();
+        }
+    }
+
+    /// Mirrors the session's completed re-tune count into the served
+    /// stats snapshot.
+    fn note_retunes(&mut self) {
+        let total = self.session.retunes().len() as u64;
+        self.stats.write().retunes = total;
     }
 
     fn send_end(&self, conn: ConnId, reply: Reply) {

@@ -263,6 +263,200 @@ pub fn shard_counts() -> Vec<usize> {
     }
 }
 
+pub mod lifecycle {
+    //! The seeded stateful lifecycle driver shared by `tests/lifecycle.rs`
+    //! (the fuzz seed matrix) and `tests/regressions.rs` (failing seeds,
+    //! replayed forever): a long random interleaving of insert / delete /
+    //! seal / re-tune / query (solo, batched, merged, bounded sinks)
+    //! driven through a pooled [`Session`] against the `ScanOracle` twin,
+    //! across the [`super::shard_counts`] sweep.
+
+    use super::{expect_same_results, fuzz, shard_counts};
+    use hint_core::{
+        CountSink, Domain, ExistsSink, FirstK, HintMSubs, Interval, IntervalId, IntervalIndex,
+        QuerySink, RangeQuery, RetunePolicy, ScanOracle, Session, ShardedIndex, SubsConfig,
+    };
+
+    /// Domain of the generated workloads.
+    pub const DOM: u64 = 4_096;
+
+    fn build_sharded(data: &[Interval], k: usize) -> ShardedIndex<HintMSubs> {
+        ShardedIndex::build_with_domain(data, 0, DOM - 1, k, |slice, lo, hi| {
+            HintMSubs::build_with_domain(
+                slice,
+                Domain::new(lo, hi, 9),
+                SubsConfig::update_friendly(),
+            )
+        })
+    }
+
+    /// Sorted result set of one solo query through the session.
+    fn session_sorted(session: &Session<HintMSubs>, q: RangeQuery) -> Vec<IntervalId> {
+        let mut got: Vec<IntervalId> = Vec::new();
+        session.query_sink(q, &mut got);
+        got.sort_unstable();
+        got
+    }
+
+    /// Replays one lifecycle seed: 60 random steps, each differentially
+    /// checked, with re-tuning enabled on every reseal, then a final
+    /// reseal and the full differential battery. Panics on divergence.
+    pub fn replay(seed: u64) {
+        let w = fuzz::workload(seed, DOM, 140, 16, 0);
+        for k in shard_counts() {
+            let mut session = Session::with_retune(build_sharded(&w.data, k), RetunePolicy::OnSeal);
+            let mut oracle = ScanOracle::new(&w.data);
+            let mut live = w.data.clone();
+            let mut rng = fuzz::Rng::new(seed ^ 0x11f3_c1c1);
+            let mut next_id = 500_000u64;
+            for step in 0..60 {
+                let ctx = |what: &str| format!("seed {seed:#x} K={k} step {step}: {what}");
+                match rng.below(12) {
+                    0..=2 => {
+                        // insert (sometimes deliberately out of domain)
+                        let st = rng.below(DOM + 64);
+                        let end = (st + rng.below(DOM / 8 + 1)).min(DOM + 128);
+                        let s = Interval::new(next_id, st, end);
+                        next_id += 1;
+                        let r = session.try_insert(s);
+                        if st < DOM && end < DOM {
+                            assert!(r.is_ok(), "{}", ctx("in-domain insert refused"));
+                            oracle.insert(s);
+                            live.push(s);
+                        } else {
+                            assert!(r.is_err(), "{}", ctx("out-of-domain insert accepted"));
+                        }
+                    }
+                    3..=4 => {
+                        // delete a live victim, or an absent interval
+                        if !live.is_empty() && rng.below(8) != 0 {
+                            let victim = live.swap_remove(rng.below(live.len() as u64) as usize);
+                            assert_eq!(
+                                session.delete(&victim),
+                                oracle.delete(victim.id),
+                                "{}",
+                                ctx("delete divergence")
+                            );
+                        } else {
+                            assert!(
+                                !session.delete(&Interval::new(987_654_321, 1, 2)),
+                                "{}",
+                                ctx("absent delete reported found")
+                            );
+                        }
+                    }
+                    5 => {
+                        // reseal: folds overlays in and may re-tune
+                        // dirty shards against the mix observed so far
+                        let was_dirty = session.is_dirty();
+                        assert_eq!(session.seal_if_dirty(), was_dirty, "{}", ctx("seal"));
+                    }
+                    6..=7 => {
+                        let (a, b) = (rng.below(DOM), rng.below(DOM));
+                        let q = RangeQuery::new(a.min(b), a.max(b));
+                        assert_eq!(
+                            session_sorted(&session, q),
+                            oracle.query_sorted(q),
+                            "{}",
+                            ctx("solo query")
+                        );
+                    }
+                    8 => {
+                        // merged batch
+                        let qs: Vec<RangeQuery> = (0..8)
+                            .map(|_| {
+                                let (a, b) = (rng.below(DOM), rng.below(DOM));
+                                RangeQuery::new(a.min(b), a.max(b))
+                            })
+                            .collect();
+                        let mut merged: Vec<Vec<IntervalId>> =
+                            qs.iter().map(|_| Vec::new()).collect();
+                        session.query_batch_merge(&qs, &mut merged);
+                        for (q, got) in qs.iter().zip(merged) {
+                            let mut got = got;
+                            got.sort_unstable();
+                            assert_eq!(got, oracle.query_sorted(*q), "{}", ctx("merged batch"));
+                        }
+                    }
+                    9 => {
+                        // dyn batch through the pool's collect path
+                        let qs: Vec<RangeQuery> = (0..6)
+                            .map(|_| {
+                                let (a, b) = (rng.below(DOM), rng.below(DOM));
+                                RangeQuery::new(a.min(b), a.max(b))
+                            })
+                            .collect();
+                        let mut bufs: Vec<Vec<IntervalId>> =
+                            qs.iter().map(|_| Vec::new()).collect();
+                        {
+                            let mut sinks: Vec<&mut dyn QuerySink> =
+                                bufs.iter_mut().map(|b| b as &mut dyn QuerySink).collect();
+                            session.pool().query_batch(&qs, &mut sinks);
+                        }
+                        for (q, got) in qs.iter().zip(bufs) {
+                            let mut got = got;
+                            got.sort_unstable();
+                            assert_eq!(got, oracle.query_sorted(*q), "{}", ctx("dyn batch"));
+                        }
+                    }
+                    10 => {
+                        // bounded sinks: first-k is a valid prefix,
+                        // count and exists are exact
+                        let (a, b) = (rng.below(DOM), rng.below(DOM));
+                        let q = RangeQuery::new(a.min(b), a.max(b));
+                        let want = oracle.query_sorted(q);
+                        let kk = rng.below(5) as usize;
+                        let mut sinks = vec![FirstK::new(kk)];
+                        session.query_batch_merge(&[q], &mut sinks);
+                        assert_eq!(
+                            sinks[0].len(),
+                            kk.min(want.len()),
+                            "{}",
+                            ctx("first-k size")
+                        );
+                        for id in sinks[0].ids() {
+                            assert!(
+                                want.binary_search(id).is_ok(),
+                                "{}",
+                                ctx("first-k emitted a non-result")
+                            );
+                        }
+                        let mut counts = vec![CountSink::new()];
+                        session.query_batch_merge(&[q], &mut counts);
+                        assert_eq!(counts[0].count(), want.len(), "{}", ctx("count"));
+                        let mut exists = vec![ExistsSink::new()];
+                        session.query_batch_merge(&[q], &mut exists);
+                        assert_eq!(exists[0].found(), !want.is_empty(), "{}", ctx("exists"));
+                    }
+                    _ => {
+                        // stab burst: skews the observed mix toward
+                        // extent 0 so later reseals exercise the re-tuner
+                        for _ in 0..4 {
+                            let t = rng.below(DOM);
+                            let q = RangeQuery::stab(t);
+                            assert_eq!(
+                                session_sorted(&session, q),
+                                oracle.query_sorted(q),
+                                "{}",
+                                ctx("stab")
+                            );
+                        }
+                    }
+                }
+            }
+            // final reseal (+ possible re-tunes), then the full
+            // differential battery over the workload's query set
+            session.seal_if_dirty();
+            expect_same_results(
+                &format!("lifecycle seed {seed:#x} K={k}"),
+                session.pool(),
+                &oracle,
+                &w.queries,
+            );
+        }
+    }
+}
+
 pub mod fuzz {
     //! Deterministic seeded workload generation for regression replay.
     //!

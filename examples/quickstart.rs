@@ -122,5 +122,33 @@ fn main() {
     drop(client);
     server.shutdown();
 
+    // --- 10. pinned shard workers + serve-time m re-tuning --------------
+    // A `Session` moves every shard into a persistent worker thread (a
+    // `ShardPool`): batches are dispatched over channels with zero
+    // per-batch thread spawns, and with HINT_SHARD_PIN=1 each worker
+    // pins itself to a core so a shard's sealed arenas stay hot in one
+    // cache. The session also records the query-extent mix each shard
+    // actually serves; under HINT_SERVE_RETUNE=seal (or `idle`, which
+    // additionally reseals between batches when the server goes quiet),
+    // a dirty shard is resealed at the m the §3.3 cost model picks for
+    // that observed mix — see docs/tuning.md.
+    use hint_suite::hint_core::RetunePolicy;
+    let sharded = ShardedIndex::build_with_domain(&data, 0, 1_000, 2, |slice, lo, hi| {
+        HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 4), SubsConfig::full())
+    });
+    let mut session = Session::with_retune(sharded, RetunePolicy::OnSeal);
+    // a stab-heavy mix: the coarse m = 4 hierarchy is mis-tuned for it
+    for t in 0..32 {
+        let mut sink = Vec::new();
+        session.query_sink(RangeQuery::stab(t * 31), &mut sink);
+    }
+    session.try_insert(Interval::new(10, 400, 500)).unwrap(); // dirty shard 0
+    session.seal_if_dirty(); // reseal re-tunes the dirty shard
+    for ev in session.retunes() {
+        println!("retuned shard {}: m {} -> {}", ev.shard, ev.from, ev.to);
+    }
+    assert!(session.pool().exists(RangeQuery::new(420, 430))); // results unchanged
+    println!("pool dispatch stats:  {:?}", session.pool().stats());
+
     println!("quickstart OK");
 }

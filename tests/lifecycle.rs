@@ -1,0 +1,345 @@
+//! Stateful lifecycle fuzz for the pooled serving engine: long seeded
+//! interleavings of insert / delete / seal / re-tune / query (solo,
+//! batched, merged, bounded sinks) driven through a [`Session`] — whose
+//! shards live on the persistent worker pool — against the `ScanOracle`
+//! twin, across the `HINT_TEST_SHARDS` sweep.
+//!
+//! Also home to the worker-pool shutdown/respawn coverage (drop a pool
+//! mid-stream, reseal while a batch is pipelined behind the write
+//! barrier, rebuild a pool from a recovered index) and the re-tune
+//! correctness properties (a shard resealed at any `m' != m` answers
+//! identically for every sink type; the cost model's choice never loses
+//! to the old `m` on the observed histogram beyond its tolerance).
+//!
+//! **Convention:** any seed that ever fails here is shrunk, fixed, and
+//! then added to `tests/regressions.rs` (`replay_lifecycle`) forever.
+
+use hint_suite::hint_core::{
+    mix_cost, retuned_m, Betas, Domain, ExtentMix, FirstK, HintMSubs, Interval, IntervalId,
+    IntervalIndex, ModelInput, RangeQuery, RetunePolicy, ScanOracle, Session, ShardPool,
+    ShardedIndex, SubsConfig,
+};
+use proptest::prelude::*;
+use serve::{duplex, Client, ServeConfig, Server, Status};
+use test_support::{expect_same_results, fuzz, shard_counts};
+
+const DOM: u64 = 4_096;
+
+fn build_sharded(data: &[Interval], k: usize, cfg: SubsConfig) -> ShardedIndex<HintMSubs> {
+    ShardedIndex::build_with_domain(data, 0, DOM - 1, k, |slice, lo, hi| {
+        HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 9), cfg)
+    })
+}
+
+/// Sorted result set of one solo query through the session.
+fn session_sorted(session: &Session<HintMSubs>, q: RangeQuery) -> Vec<IntervalId> {
+    let mut got: Vec<IntervalId> = Vec::new();
+    session.query_sink(q, &mut got);
+    got.sort_unstable();
+    got
+}
+
+/// The CI seed matrix: 64 fixed seeds, replayed forever. The driver
+/// lives in `test_support::lifecycle` so any failing seed can be added
+/// to `tests/regressions.rs` and replay the identical interleaving.
+#[test]
+fn lifecycle_fuzz_seed_matrix() {
+    for seed in 1..=64u64 {
+        test_support::lifecycle::replay(seed);
+    }
+}
+
+// ---- worker-pool shutdown / respawn coverage -----------------------
+
+/// Dropping a pool (and a session) with work still queued must drain
+/// and join without deadlocking — the drop path closes every task
+/// channel and joins the workers.
+#[test]
+fn dropping_a_busy_pool_does_not_deadlock() {
+    let w = fuzz::workload(0x11fe, DOM, 400, 0, 0);
+    for k in shard_counts() {
+        let mut pool = ShardPool::new(build_sharded(&w.data, k, SubsConfig::full()));
+        // queue fire-and-forget mutations the workers may still be
+        // draining when the pool is dropped
+        for i in 0..256u64 {
+            let st = (i * 13) % (DOM - 8);
+            pool.insert(Interval::new(700_000 + i, st, st + 7));
+        }
+        drop(pool); // must join every worker, not leak or hang
+    }
+    // the session spelling: drop with a dirty overlay and queued writes
+    let mut session = Session::with_retune(
+        build_sharded(&w.data, 4, SubsConfig::full()),
+        RetunePolicy::OnSeal,
+    );
+    for i in 0..256u64 {
+        session
+            .try_insert(Interval::new(
+                800_000 + i,
+                i % DOM,
+                (i % DOM + 5).min(DOM - 1),
+            ))
+            .unwrap();
+    }
+    drop(session);
+}
+
+/// A server dropped mid-stream — pipelined queries in flight, replies
+/// unread — must shut down cleanly (scheduler flushes, connection
+/// threads unwind as their transports close).
+#[test]
+fn server_shutdown_with_pipelined_queries_in_flight() {
+    let w = fuzz::workload(0x11ff, DOM, 300, 0, 0);
+    let session = Session::with_retune(
+        build_sharded(&w.data, 4, SubsConfig::full()),
+        RetunePolicy::Idle,
+    );
+    let server = Server::start(session, ServeConfig::default());
+    let (client_end, server_end) = duplex();
+    server.attach(server_end);
+    let mut client = Client::new(client_end);
+    for i in 0..64u64 {
+        let st = (i * 61) % DOM;
+        client
+            .send(&serve::Request::Query(RangeQuery::new(
+                st,
+                (st + 300).min(DOM - 1),
+            )))
+            .unwrap();
+    }
+    // read only a prefix of the replies, then abandon the connection
+    for _ in 0..8 {
+        let reply = client.recv_reply(|_| {}).unwrap();
+        assert_eq!(reply.status, Status::Ok);
+    }
+    drop(client);
+    server.shutdown(); // must not deadlock on the unread tail
+}
+
+/// Reseal (and re-tune) while a batch is pipelined behind the write
+/// barrier: queries before the Seal see the pre-seal index, queries
+/// after it the re-tuned one, and every reply stays exact and in FIFO
+/// order on the connection.
+#[test]
+fn reseal_behind_the_write_barrier_keeps_replies_exact() {
+    let w = fuzz::workload(0x1200, DOM, 400, 24, 0);
+    let mut oracle = ScanOracle::new(&w.data);
+    let session = Session::with_retune(
+        build_sharded(&w.data, 4, SubsConfig::update_friendly()),
+        RetunePolicy::OnSeal,
+    );
+    let server = Server::start(session, ServeConfig::default());
+    let (client_end, server_end) = duplex();
+    server.attach(server_end);
+    let mut client = Client::new(client_end);
+    // skew the mix so the mid-stream reseal has something to re-tune on
+    for t in 0..24u64 {
+        client
+            .send(&serve::Request::Query(RangeQuery::stab(t * 131)))
+            .unwrap();
+    }
+    // pipeline: queries → insert (barrier) → seal (barrier, re-tunes) →
+    // queries, all before reading a single reply
+    for q in &w.queries[..12] {
+        client.send(&serve::Request::Query(*q)).unwrap();
+    }
+    let fresh = Interval::new(900_000, 64, 1_900);
+    client.send(&serve::Request::Insert(fresh)).unwrap();
+    client.send(&serve::Request::Seal).unwrap();
+    for q in &w.queries[12..] {
+        client.send(&serve::Request::Query(*q)).unwrap();
+    }
+    // drain in order: stabs, pre-barrier queries (pre-insert snapshot),
+    // insert ack, seal ack, post-barrier queries (post-insert snapshot)
+    for t in 0..24u64 {
+        let mut got: Vec<IntervalId> = Vec::new();
+        let reply = client.recv_reply(|ids| got.extend_from_slice(ids)).unwrap();
+        assert_eq!(reply.status, Status::Ok);
+        got.sort_unstable();
+        assert_eq!(got, oracle.query_sorted(RangeQuery::stab(t * 131)));
+    }
+    for q in &w.queries[..12] {
+        let mut got: Vec<IntervalId> = Vec::new();
+        let reply = client.recv_reply(|ids| got.extend_from_slice(ids)).unwrap();
+        assert_eq!(reply.status, Status::Ok);
+        got.sort_unstable();
+        assert_eq!(got, oracle.query_sorted(*q), "pre-barrier {q:?}");
+    }
+    let ins = client.recv_reply(|_| {}).unwrap();
+    assert_eq!(ins.status, Status::Ok);
+    oracle.insert(fresh);
+    let seal = client.recv_reply(|_| {}).unwrap();
+    assert_eq!(seal.status, Status::Ok);
+    for q in &w.queries[12..] {
+        let mut got: Vec<IntervalId> = Vec::new();
+        let reply = client.recv_reply(|ids| got.extend_from_slice(ids)).unwrap();
+        assert_eq!(reply.status, Status::Ok);
+        got.sort_unstable();
+        assert_eq!(got, oracle.query_sorted(*q), "post-barrier {q:?}");
+    }
+    drop(client);
+    server.shutdown();
+}
+
+/// `into_index` recovers the shards from a pool's workers; a fresh pool
+/// spun up from the result answers identically — the respawn path a
+/// process uses to rebuild its pool after reconfiguring.
+#[test]
+fn pool_respawn_via_into_index_preserves_the_index() {
+    let w = fuzz::workload(0x1201, DOM, 300, 24, 0);
+    let oracle = ScanOracle::new(&w.data);
+    for k in shard_counts() {
+        let mut pool = ShardPool::new(build_sharded(&w.data, k, SubsConfig::full()));
+        pool.seal_all();
+        // route some writes through the first pool, then recover
+        let extra = Interval::new(901_000, 10, DOM / 2);
+        pool.insert(extra);
+        let mut oracle = oracle.clone();
+        oracle.insert(extra);
+        let recovered = pool.into_index();
+        assert_eq!(recovered.shard_count(), k.min(DOM as usize));
+        let pool2 = ShardPool::new(recovered);
+        expect_same_results(
+            &format!("respawned pool K={k}"),
+            &pool2,
+            &oracle,
+            &w.queries,
+        );
+    }
+}
+
+// ---- re-tune correctness properties --------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // a shard resealed at any m' != m answers identically for every
+    // sink type (enumerate / count / exists / first-k, solo + batched)
+    #[test]
+    fn retuned_shard_is_bit_identical_for_all_sinks(
+        data in test_support::intervals(DOM),
+        qs in test_support::queries(DOM, 10),
+        shard_sel in 0usize..8,
+        m_new in 1u32..13,
+    ) {
+        for k in shard_counts() {
+            let mut retuned = build_sharded(&data, k, SubsConfig::full());
+            IntervalIndex::seal(&mut retuned);
+            let baseline = retuned.clone();
+            let j = shard_sel % retuned.shard_count();
+            prop_assert!(retuned.retune_shard(j, m_new));
+            test_support::assert_indexes_agree(
+                &format!("retuned(m'={m_new}) vs untouched K={k}"),
+                &retuned,
+                &baseline,
+                &qs,
+            )?;
+        }
+    }
+
+    // the cost model's chosen m' never loses to the old m on the
+    // observed histogram (beyond its convergence tolerance), for
+    // arbitrary observed mixes and arbitrary starting m
+    #[test]
+    fn cost_model_choice_never_loses_on_the_observed_mix(
+        extents in prop::collection::vec(0u64..(1 << 24), 1..40),
+        current in 1u32..22,
+        n in 1_000u64..10_000_000,
+        lambda_s in 1u64..3_000_000,
+    ) {
+        let tol = 0.03;
+        let input = ModelInput { n, lambda_s: lambda_s as f64, lambda_q: 0.0, span: 1 << 24 };
+        let mix = ExtentMix::from_extents(&extents);
+        let current = current.min(input.max_m());
+        let chosen = retuned_m(&input, &Betas::DEFAULT, tol, &mix, current);
+        prop_assert!(chosen >= 1 && chosen <= input.max_m());
+        let lost = mix_cost(&input, &Betas::DEFAULT, chosen, &mix)
+            <= mix_cost(&input, &Betas::DEFAULT, current, &mix) * (1.0 + tol) + 1e-18;
+        prop_assert!(lost, "m'={chosen} loses to m={current} on the observed mix");
+    }
+}
+
+/// The end-to-end re-tune property at session level: a skewed mix plus
+/// a dirty reseal must never change results, and when the model moves
+/// `m`, the move is recorded and the new `m` wins (or ties within
+/// tolerance) on the session's own observed histogram.
+#[test]
+fn session_retune_end_to_end_preserves_results() {
+    let w = fuzz::workload(0x1202, DOM, 500, 32, 0);
+    for k in shard_counts() {
+        // deliberately coarse shards: m = 4 is mis-tuned for stabs
+        let sharded = ShardedIndex::build_with_domain(&w.data, 0, DOM - 1, k, |slice, lo, hi| {
+            HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 4), SubsConfig::full())
+        });
+        let mut session = Session::with_retune(sharded, RetunePolicy::OnSeal);
+        let mut oracle = ScanOracle::new(&w.data);
+        // enough stabs that every shard clears MIN_RETUNE_OBSERVATIONS
+        // even at the widest K in the sweep
+        for i in 0..512u64 {
+            let q = RangeQuery::stab((i * 67) % DOM);
+            assert_eq!(session_sorted(&session, q), oracle.query_sorted(q));
+        }
+        // dirty every shard so the reseal may re-tune each of them
+        for j in 0..session.pool().shard_count() as u64 {
+            let (lo, hi) = session.pool().shard_bounds()[j as usize];
+            let s = Interval::new(910_000 + j, lo, hi.min(lo + 3));
+            session.try_insert(s).unwrap();
+            oracle.insert(s);
+        }
+        assert!(session.seal_if_dirty());
+        for ev in session.retunes() {
+            assert_ne!(ev.from, ev.to, "recorded a no-op retune");
+            assert_eq!(ev.from, 4);
+        }
+        // stabs on short-interval data want a deeper hierarchy: with
+        // enough observations the model must move at least one shard
+        assert!(
+            !session.retunes().is_empty(),
+            "K={k}: stab-heavy mix left every coarse shard untouched"
+        );
+        expect_same_results(
+            &format!("session after retune K={k}"),
+            session.pool(),
+            &oracle,
+            &w.queries,
+        );
+    }
+}
+
+/// The dispatch-stop fix, end to end: a saturated first-k batch stops
+/// dispatching sub-queries to the remaining shard workers (counted by
+/// the pool's dispatch stats), at unchanged results.
+#[test]
+fn saturated_first_k_stops_dispatching_across_shards() {
+    let w = fuzz::workload(0x1203, DOM, 600, 0, 0);
+    let session = Session::with_retune(
+        build_sharded(&w.data, 4, SubsConfig::full()),
+        RetunePolicy::Off,
+    );
+    let oracle = ScanOracle::new(&w.data);
+    let full = RangeQuery::new(0, DOM - 1);
+    let want = oracle.query_sorted(full);
+    assert!(want.len() >= 8, "workload too sparse for the test");
+    let queries = vec![full; 6];
+    let mut sinks: Vec<FirstK> = queries.iter().map(|_| FirstK::new(2)).collect();
+    let before = session.pool().stats();
+    session.query_batch_merge(&queries, &mut sinks);
+    let after = session.pool().stats();
+    for s in &sinks {
+        assert_eq!(s.len(), 2);
+        for id in s.ids() {
+            assert!(want.binary_search(id).is_ok());
+        }
+    }
+    assert_eq!(after.routed - before.routed, 6 * 4, "full-domain routing");
+    assert_eq!(
+        after.dispatched - before.dispatched,
+        6,
+        "saturated queries must only reach the first shard"
+    );
+    assert_eq!(
+        after.skipped - before.skipped,
+        6 * 3,
+        "the other three shards' sub-queries must be skipped, not scanned"
+    );
+}

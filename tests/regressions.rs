@@ -196,6 +196,22 @@ fn regress_serve_seed_0xfeed_f00d() {
     replay_serve(0xfeed_f00d);
 }
 
+// Lifecycle seeds: the stateful insert/delete/seal/retune/query
+// interleaving over the pooled session (driver in
+// `test_support::lifecycle`, fuzz matrix in `tests/lifecycle.rs`).
+// Bootstrap seeds below; every lifecycle seed that ever fails is added
+// here by number, forever.
+
+#[test]
+fn regress_lifecycle_seed_0x11fe() {
+    test_support::lifecycle::replay(0x11fe);
+}
+
+#[test]
+fn regress_lifecycle_seed_0xl33t_a5() {
+    test_support::lifecycle::replay(0x1337_00a5);
+}
+
 /// Degenerate-workload replay: tiny domains, point intervals, and a
 /// single-interval dataset — shapes that historically break routing and
 /// boundary math first.
