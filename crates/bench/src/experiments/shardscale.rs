@@ -13,9 +13,15 @@
 //! * **solo** — sequential `query_sink`, shards visited in order: the
 //!   routing overhead floor (no parallelism; should stay flat with K);
 //! * **batch** — the trait-level parallel `query_batch` (per-shard
-//!   thread-local buffers merged via `emit_slice`);
-//! * **merge** — the typed `query_batch_merge` fast path (per-query sink
-//!   forks, saturation-aware merge);
+//!   thread-local buffers merged via `emit_slice`), materializing every
+//!   result into per-query `Vec`s;
+//! * **merge** — the typed `query_batch_merge` fast path with zero-copy
+//!   `HandleSink` forks: comparison-free runs cross the fork/merge
+//!   boundary as arena-slice handles and nothing is materialized — the
+//!   shape the wire server drives (its `WireSink` encodes frames
+//!   straight from the arena slices). An untimed in-run differential
+//!   pins every query's materialized handle stream to the solo path's
+//!   exact id sequence;
 //! * **count** — `query_batch_merge` with `CountSink` forks: the pure
 //!   cost of the sharded level walks, no result copying at all.
 //!
@@ -44,7 +50,8 @@
 use crate::datasets::{self, Dataset};
 use crate::experiments::{model_m, rule, uniform_queries, DEFAULT_EXTENT};
 use crate::measure::{
-    batch_throughput, mb, merge_batch_throughput, merge_count_throughput, query_throughput, time,
+    assert_handle_merge_matches_solo, batch_throughput, mb, merge_count_throughput,
+    merge_handle_throughput, query_throughput, time,
 };
 use crate::RunConfig;
 use hint_core::{Domain, HintMSubs, IntervalIndex, ShardedIndex, SubsConfig};
@@ -114,6 +121,16 @@ pub fn run(cfg: &RunConfig) {
     let mut rows = String::new();
     let mut builds = String::new();
     let mut ingests = String::new();
+    // CI smoke gate (HINT_READPATH_GATE=1): the merged read path must
+    // hold at least 80% of solo throughput at K=4 on every row, or the
+    // run exits nonzero — the regression tripwire for the batch
+    // planner / tiled walk / zero-copy merge path. The margin is real
+    // on both workloads: short-interval TAXIS rides the planner and
+    // tiled walk, and SYNTH's centre-heavy Zipfian shape (thousands of
+    // ids per query) rides the handle path that keeps those ids from
+    // ever being materialized on the merge side.
+    let gate = std::env::var("HINT_READPATH_GATE").is_ok_and(|v| v == "1");
+    let mut gate_failures: Vec<String> = Vec::new();
     for ds in workloads(cfg) {
         let m = model_m(&ds, DEFAULT_EXTENT, cfg.max_m);
         println!(
@@ -124,7 +141,7 @@ pub fn run(cfg: &RunConfig) {
             ds.domain
         );
         println!(
-            "{:>8} {:>3} {:>10} {:>12} {:>12} {:>12} {:>12} {:>8} {:>10}",
+            "{:>8} {:>3} {:>10} {:>12} {:>12} {:>12} {:>12} {:>8} {:>9} {:>10}",
             "extent",
             "K",
             "replicas",
@@ -133,9 +150,10 @@ pub fn run(cfg: &RunConfig) {
             "merge q/s",
             "count q/s",
             "scale",
+            "mrg/solo",
             "results"
         );
-        rule(96);
+        rule(106);
         // build (and seal) one sharded index per K up front; each shard
         // keeps the unsharded index's bottom-partition width by dropping
         // log2(K) levels (same resolution, shallower walks — the whole
@@ -244,7 +262,7 @@ pub fn run(cfg: &RunConfig) {
             for (k, sharded) in &indexes {
                 let solo = best_of(|| query_throughput(sharded, queries.queries()));
                 let batch = best_of(|| batch_throughput(sharded, queries.queries(), BATCH));
-                let merge = best_of(|| merge_batch_throughput(sharded, queries.queries(), BATCH));
+                let merge = best_of(|| merge_handle_throughput(sharded, queries.queries(), BATCH));
                 let count = best_of(|| merge_count_throughput(sharded, queries.queries(), BATCH));
                 assert_eq!(
                     solo.results, batch.results,
@@ -256,6 +274,9 @@ pub fn run(cfg: &RunConfig) {
                     "{} K={k}: merge diverged",
                     ds.name
                 );
+                // untimed: the handle streams must materialize to the
+                // exact per-query id sequences the solo path produces
+                assert_handle_merge_matches_solo(sharded, queries.queries(), BATCH);
                 assert_eq!(
                     solo.results, count.results,
                     "{} K={k}: count diverged",
@@ -265,8 +286,17 @@ pub fn run(cfg: &RunConfig) {
                     base_batch_qps = batch.qps;
                 }
                 let scale = batch.qps / base_batch_qps.max(1e-9);
+                let merge_vs_solo = merge.qps / solo.qps.max(1e-9);
+                if gate && *k == 4 && merge_vs_solo < 0.8 {
+                    gate_failures.push(format!(
+                        "{} extent={:.2}% K=4: merge/solo = {:.3} (< 0.8)",
+                        ds.name,
+                        extent * 100.0,
+                        merge_vs_solo
+                    ));
+                }
                 println!(
-                    "{:>7.2}% {:>3} {:>10} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>7.2}x {:>10}",
+                    "{:>7.2}% {:>3} {:>10} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>7.2}x {:>8.2}x {:>10}",
                     extent * 100.0,
                     k,
                     sharded.replicated(),
@@ -275,6 +305,7 @@ pub fn run(cfg: &RunConfig) {
                     merge.qps,
                     count.qps,
                     scale,
+                    merge_vs_solo,
                     solo.results,
                 );
                 if !rows.is_empty() {
@@ -284,7 +315,8 @@ pub fn run(cfg: &RunConfig) {
                     rows,
                     "\n    {{\"dataset\": \"{}\", \"extent\": {}, \"shards\": {}, \
                      \"solo_qps\": {:.1}, \"batch_qps\": {:.1}, \"merge_qps\": {:.1}, \
-                     \"count_qps\": {:.1}, \"scale_vs_k1\": {:.3}, \"results\": {}}}",
+                     \"count_qps\": {:.1}, \"scale_vs_k1\": {:.3}, \"merge_vs_solo\": {:.3}, \
+                     \"results\": {}}}",
                     ds.name,
                     extent,
                     k,
@@ -293,10 +325,22 @@ pub fn run(cfg: &RunConfig) {
                     merge.qps,
                     count.qps,
                     scale,
+                    merge_vs_solo,
                     solo.results,
                 )
                 .unwrap();
             }
+        }
+    }
+    if gate {
+        if gate_failures.is_empty() {
+            println!("read-path gate: OK (merge/solo >= 0.8 at K=4 on every row)");
+        } else {
+            eprintln!("read-path gate FAILED:");
+            for f in &gate_failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
         }
     }
     let json = format!(

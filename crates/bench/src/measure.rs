@@ -176,6 +176,66 @@ pub fn merge_batch_throughput<I: IntervalIndex + Sync>(
     })
 }
 
+/// Batched-query throughput through the typed merge path with
+/// **zero-copy [`HandleSink`](hint_core::HandleSink) forks**: the read
+/// path as the wire server drives it. Comparison-free runs cross the
+/// fork/merge boundary as arena-slice handles (O(1) per run), the merge
+/// concatenates run lists in shard order (O(runs), not O(ids)), and
+/// nothing is materialized — the consumer encodes frames straight from
+/// the arena slices (`serve`'s `WireSink`). Use
+/// [`assert_handle_merge_matches_solo`] to pin the stream's content to
+/// the solo path's, id for id.
+pub fn merge_handle_throughput<I: IntervalIndex + Sync>(
+    index: &hint_core::ShardedIndex<I>,
+    queries: &[RangeQuery],
+    batch: usize,
+) -> Throughput {
+    use hint_core::HandleSink;
+    let batch = batch.max(1);
+    let mut sinks: Vec<HandleSink> = vec![HandleSink::new(); batch];
+    let mut results = 0u64;
+    let t0 = Instant::now();
+    for chunk in queries.chunks(batch) {
+        let sinks = &mut sinks[..chunk.len()];
+        for s in sinks.iter_mut() {
+            s.clear();
+        }
+        index.query_batch_merge(chunk, sinks);
+        results += sinks.iter().map(|s| s.len() as u64).sum::<u64>();
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    Throughput {
+        qps: queries.len() as f64 / secs,
+        results,
+    }
+}
+
+/// Untimed differential for the zero-copy merge path: every query's
+/// [`HandleSink`](hint_core::HandleSink) stream, materialized, must be
+/// the exact id sequence the solo `query` path produces. Panics on the
+/// first divergence.
+pub fn assert_handle_merge_matches_solo<I: IntervalIndex + Sync>(
+    index: &hint_core::ShardedIndex<I>,
+    queries: &[RangeQuery],
+    batch: usize,
+) {
+    use hint_core::HandleSink;
+    let mut solo: Vec<IntervalId> = Vec::new();
+    for chunk in queries.chunks(batch.max(1)) {
+        let mut sinks: Vec<HandleSink> = vec![HandleSink::new(); chunk.len()];
+        index.query_batch_merge(chunk, &mut sinks);
+        for (q, sink) in chunk.iter().zip(sinks) {
+            solo.clear();
+            index.query(*q, &mut solo);
+            assert_eq!(
+                sink.into_vec(),
+                solo,
+                "zero-copy handle merge diverged from solo at {q:?}"
+            );
+        }
+    }
+}
+
 /// Count-only throughput through the sharded executor's typed merge
 /// path: one `CountSink` fork per (query, shard) pair, so no result
 /// vector is ever written on either side of the merge boundary.

@@ -50,6 +50,56 @@ impl Display for EnvError {
     }
 }
 
+/// A hardened boolean knob value (`HINT_BATCH_CLUSTER` and friends):
+/// parses `on`/`off` plus the common spellings `1`/`0` and
+/// `true`/`false` (case-insensitive), and renders canonically as
+/// `on`/`off` so fallback warnings read the way the docs spell the
+/// knob. Anything else is [`EnvError::Unparsable`] — a silent typo
+/// (`ture`, `onn`) must not silently flip a dispatch strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Switch {
+    /// The knob is enabled.
+    On,
+    /// The knob is disabled.
+    Off,
+}
+
+impl Switch {
+    /// True when the switch is [`Switch::On`].
+    pub fn is_on(self) -> bool {
+        matches!(self, Switch::On)
+    }
+}
+
+impl FromStr for Switch {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, ()> {
+        if ["on", "1", "true"]
+            .iter()
+            .any(|v| s.eq_ignore_ascii_case(v))
+        {
+            Ok(Switch::On)
+        } else if ["off", "0", "false"]
+            .iter()
+            .any(|v| s.eq_ignore_ascii_case(v))
+        {
+            Ok(Switch::Off)
+        } else {
+            Err(())
+        }
+    }
+}
+
+impl Display for Switch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Switch::On => "on",
+            Switch::Off => "off",
+        })
+    }
+}
+
 /// Parses `raw` as a `T` and checks it against `valid` (with its
 /// human-readable `constraint` for the error message). Pure: no
 /// environment access, no logging — this is the function the unit tests
@@ -163,6 +213,41 @@ mod tests {
             n >= 1
         });
         assert_eq!(v, 7);
+    }
+
+    fn cluster(raw: &str) -> Result<Switch, EnvError> {
+        parse("HINT_BATCH_CLUSTER", raw, "on or off", |_| true)
+    }
+
+    #[test]
+    fn switch_valid_values_parse() {
+        for raw in ["on", "On", "ON", "1", "true", "TRUE", " on "] {
+            assert_eq!(cluster(raw), Ok(Switch::On), "{raw:?}");
+        }
+        for raw in ["off", "Off", "OFF", "0", "false", "FALSE", " off "] {
+            assert_eq!(cluster(raw), Ok(Switch::Off), "{raw:?}");
+        }
+        assert!(Switch::On.is_on());
+        assert!(!Switch::Off.is_on());
+    }
+
+    #[test]
+    fn switch_garbage_is_unparsable() {
+        for raw in ["", "yes", "no", "2", "onn", "ture", "o n"] {
+            match cluster(raw) {
+                Err(EnvError::Unparsable { name, raw: got }) => {
+                    assert_eq!(name, "HINT_BATCH_CLUSTER");
+                    assert_eq!(got, raw);
+                }
+                other => panic!("{raw:?} should be unparsable, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn switch_renders_canonically() {
+        assert_eq!(Switch::On.to_string(), "on");
+        assert_eq!(Switch::Off.to_string(), "off");
     }
 
     #[test]

@@ -63,8 +63,43 @@ pub(crate) type Routed = (u32, RangeQuery, bool);
 /// the serial inline path); unparsable values warn once on stderr via
 /// [`crate::env`] and fall back to the machine default.
 fn worker_cap() -> usize {
-    let default = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // `available_parallelism` is uncached by std and re-reads cgroup
+    // state on Linux — far too expensive per batch; the machine default
+    // cannot change mid-process, so resolve it once. The env override
+    // stays a live read (cheap), preserving per-test/per-call semantics.
+    static MACHINE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let default =
+        *MACHINE.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     crate::env::var_or("HINT_SHARD_THREADS", default, "a thread count", |_| true).max(1)
+}
+
+/// Whether the batch-clustering planning pass is enabled
+/// (`HINT_BATCH_CLUSTER`, default on; hardened on/off parsing via
+/// [`crate::env::Switch`]). Clustering sorts each shard's routed
+/// sub-batch by local query start *once, at planning time*, so the
+/// sealed shared-level walk can skip its own per-(shard, batch) sort —
+/// the plan is built once and reused across every routed shard. Purely
+/// a locality strategy: per-sink results are bit-identical either way.
+pub(crate) fn cluster_enabled() -> bool {
+    crate::env::var_or(
+        "HINT_BATCH_CLUSTER",
+        crate::env::Switch::On,
+        "on or off",
+        |_| true,
+    )
+    .is_on()
+}
+
+/// The clustering pass itself: orders every shard's sub-batch by the
+/// shard-local sub-query's `(st, end)` — the same key the sealed walk
+/// would have sorted mapped queries by. Stable, so equal-start queries
+/// keep batch order and plans stay deterministic.
+pub(crate) fn cluster_plan(plan: &mut [Vec<Routed>]) {
+    for sub in plan.iter_mut() {
+        if sub.len() > 1 {
+            sub.sort_by_key(|&(_, lq, _)| (lq.st, lq.end));
+        }
+    }
 }
 
 /// Splits `items` into at most `workers` contiguous chunks of
@@ -130,7 +165,11 @@ impl<I: IntervalIndex + Sync> ShardedIndex<I> {
             // batch executor (shared level walk when sealed)
             return self.shards[0].index.query_batch(queries, sinks);
         }
-        let plan = self.plan(queries);
+        let mut plan = self.plan(queries);
+        let presorted = cluster_enabled();
+        if presorted {
+            cluster_plan(&mut plan);
+        }
         // shards with routed work, ascending
         let active: Vec<(usize, &[Routed])> = plan
             .iter()
@@ -144,7 +183,7 @@ impl<I: IntervalIndex + Sync> ShardedIndex<I> {
             // the callers' sinks, in shard order — zero-copy, and caller
             // saturation is visible to the scans
             for &(j, sub) in &active {
-                self.shards[j].run_inline(sub, sinks);
+                self.shards[j].run_inline(sub, sinks, presorted);
             }
             return;
         }
@@ -156,7 +195,7 @@ impl<I: IntervalIndex + Sync> ShardedIndex<I> {
                         scope.spawn(move |_| {
                             chunk
                                 .into_iter()
-                                .map(|(j, sub)| self.shards[j].run_collect(sub))
+                                .map(|(j, sub)| self.shards[j].run_collect(sub, presorted))
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -213,11 +252,19 @@ impl<I: IntervalIndex + Sync> ShardedIndex<I> {
             return;
         }
         if self.shards.len() == 1 {
-            let mut dyns: Vec<&mut dyn QuerySink> =
-                sinks.iter_mut().map(|s| s as &mut dyn QuerySink).collect();
-            return self.shards[0].index.query_batch(queries, &mut dyns);
+            // monomorphized straight through: the inner sealed walk runs
+            // against the concrete sink type with no vtable on the emit
+            // path (a single shard has no replicas to suppress)
+            let mut refs: Vec<&mut S> = sinks.iter_mut().collect();
+            return self.shards[0]
+                .index
+                .query_batch_sinks(queries, &mut refs, false);
         }
-        let plan = self.plan(queries);
+        let mut plan = self.plan(queries);
+        let presorted = cluster_enabled();
+        if presorted {
+            cluster_plan(&mut plan);
+        }
         let active: Vec<(usize, &[Routed])> = plan
             .iter()
             .enumerate()
@@ -227,11 +274,10 @@ impl<I: IntervalIndex + Sync> ShardedIndex<I> {
         let workers = workers.min(active.len());
         if workers <= 1 {
             // no parallelism available: skip the fork/merge machinery
-            // entirely and drain straight into the callers' sinks
-            let mut dyns: Vec<&mut dyn QuerySink> =
-                sinks.iter_mut().map(|s| s as &mut dyn QuerySink).collect();
+            // entirely and drain straight into the callers' sinks — fully
+            // monomorphized, shard order preserved
             for &(j, sub) in &active {
-                self.shards[j].run_inline(sub, &mut dyns);
+                self.shards[j].run_inline_merge(sub, sinks, presorted);
             }
             return;
         }
@@ -257,7 +303,7 @@ impl<I: IntervalIndex + Sync> ShardedIndex<I> {
                         scope.spawn(move |_| {
                             chunk
                                 .into_iter()
-                                .map(|(j, job)| self.shards[j].run_forks(job))
+                                .map(|(j, job)| self.shards[j].run_forks(job, presorted))
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -278,40 +324,80 @@ impl<I: IntervalIndex + Sync> ShardedIndex<I> {
 }
 
 impl<I: IntervalIndex> Shard<I> {
-    /// The zero-copy inline path (single worker): drains a routed
-    /// sub-batch directly into the callers' sinks through the replica
-    /// filter, one shared inner `query_batch` call for the whole
-    /// sub-batch. Entries arrive with ascending batch positions, so the
-    /// distinct sinks are picked up in one sweep over `sinks`.
-    fn run_inline(&self, sub: &[Routed], sinks: &mut [&mut dyn QuerySink]) {
+    /// The inline dyn path (single worker): drains a routed sub-batch
+    /// directly into the callers' sinks through the replica filter, one
+    /// shared inner batch call for the whole sub-batch. Entries may
+    /// arrive in any order (the clustering pass reorders them), so each
+    /// entry *takes* its sink out of a per-query slot — a sub-batch
+    /// never repeats a query, so every take succeeds.
+    fn run_inline(&self, sub: &[Routed], sinks: &mut [&mut dyn QuerySink], presorted: bool) {
         let queries: Vec<RangeQuery> = sub.iter().map(|e| e.1).collect();
-        let mut wrappers: Vec<FilterSink<'_, dyn QuerySink>> = Vec::with_capacity(sub.len());
-        let mut entries = sub.iter().peekable();
-        for (qi, sink) in sinks.iter_mut().enumerate() {
-            if let Some(&&(eqi, _, is_first)) = entries.peek() {
-                if eqi as usize == qi {
-                    wrappers.push(FilterSink {
-                        inner: &mut **sink,
-                        replicas: (!is_first && !self.replicas.is_empty())
-                            .then_some(&self.replicas),
-                    });
-                    entries.next();
-                }
-            }
-        }
-        debug_assert_eq!(wrappers.len(), sub.len(), "sub-batch not in batch order");
-        let mut dyns: Vec<&mut dyn QuerySink> = wrappers
-            .iter_mut()
-            .map(|w| w as &mut dyn QuerySink)
+        let mut grabbed: Vec<Option<&mut dyn QuerySink>> =
+            sinks.iter_mut().map(|s| Some(&mut **s)).collect();
+        let mut wrappers: Vec<FilterSink<'_, dyn QuerySink>> = sub
+            .iter()
+            .map(|&(qi, _, is_first)| FilterSink {
+                inner: grabbed[qi as usize]
+                    .take()
+                    .expect("sub-batch repeats a query"),
+                replicas: (!is_first && !self.replicas.is_empty()).then_some(&self.replicas),
+            })
             .collect();
-        self.index.query_batch(&queries, &mut dyns);
+        let mut refs: Vec<&mut FilterSink<'_, dyn QuerySink>> = wrappers.iter_mut().collect();
+        self.index.query_batch_sinks(&queries, &mut refs, presorted);
+    }
+
+    /// The inline merge path (single worker): like
+    /// [`run_inline`](Self::run_inline) but generic over the sink type,
+    /// so the whole chain — replica filter, sealed level walk, regime
+    /// dispatch, emissions — monomorphizes per concrete sink with no
+    /// vtable call anywhere. This is the measured path on machines where
+    /// the batch degenerates to inline execution.
+    pub(crate) fn run_inline_merge<S: MergeableSink>(
+        &self,
+        sub: &[Routed],
+        sinks: &mut [S],
+        presorted: bool,
+    ) {
+        let queries: Vec<RangeQuery> = sub.iter().map(|e| e.1).collect();
+        let mut grabbed: Vec<Option<&mut S>> = sinks.iter_mut().map(Some).collect();
+        // When nothing can need suppressing — the shard holds no replicas,
+        // or every routed entry is its query's first shard — the filter
+        // wrapper is pure overhead on the emit path: drain straight into
+        // the callers' sinks.
+        if self.replicas.is_empty() || sub.iter().all(|e| e.2) {
+            let mut refs: Vec<&mut S> = sub
+                .iter()
+                .map(|&(qi, _, _)| {
+                    grabbed[qi as usize]
+                        .take()
+                        .expect("sub-batch repeats a query")
+                })
+                .collect();
+            return self.index.query_batch_sinks(&queries, &mut refs, presorted);
+        }
+        let mut wrappers: Vec<FilterSink<'_, S>> = sub
+            .iter()
+            .map(|&(qi, _, is_first)| FilterSink {
+                inner: grabbed[qi as usize]
+                    .take()
+                    .expect("sub-batch repeats a query"),
+                replicas: (!is_first).then_some(&self.replicas),
+            })
+            .collect();
+        let mut refs: Vec<&mut FilterSink<'_, S>> = wrappers.iter_mut().collect();
+        self.index.query_batch_sinks(&queries, &mut refs, presorted);
     }
 
     /// Drains a routed sub-batch into thread-local result buffers, one
     /// per query, replicas suppressed for non-first entries. The whole
-    /// sub-batch goes through the inner index's `query_batch`, so sealed
+    /// sub-batch goes through the inner index's batch walk, so sealed
     /// inner indexes amortize one level walk across the sub-batch.
-    pub(crate) fn run_collect(&self, sub: &[Routed]) -> Vec<(u32, Vec<IntervalId>)> {
+    pub(crate) fn run_collect(
+        &self,
+        sub: &[Routed],
+        presorted: bool,
+    ) -> Vec<(u32, Vec<IntervalId>)> {
         let queries: Vec<RangeQuery> = sub.iter().map(|e| e.1).collect();
         let mut bufs: Vec<Vec<IntervalId>> = sub.iter().map(|_| Vec::new()).collect();
         {
@@ -323,11 +409,8 @@ impl<I: IntervalIndex> Shard<I> {
                     replicas: (!is_first && !self.replicas.is_empty()).then_some(&self.replicas),
                 })
                 .collect();
-            let mut dyns: Vec<&mut dyn QuerySink> = wrappers
-                .iter_mut()
-                .map(|w| w as &mut dyn QuerySink)
-                .collect();
-            self.index.query_batch(&queries, &mut dyns);
+            let mut refs: Vec<&mut FilterSink<'_, Vec<IntervalId>>> = wrappers.iter_mut().collect();
+            self.index.query_batch_sinks(&queries, &mut refs, presorted);
         }
         sub.iter()
             .zip(bufs)
@@ -341,6 +424,7 @@ impl<I: IntervalIndex> Shard<I> {
     pub(crate) fn run_forks<S: MergeableSink + Send>(
         &self,
         job: Vec<(Routed, S)>,
+        presorted: bool,
     ) -> Vec<(u32, S)> {
         let queries: Vec<RangeQuery> = job.iter().map(|(e, _)| e.1).collect();
         let firsts: Vec<bool> = job.iter().map(|(e, _)| e.2).collect();
@@ -357,11 +441,8 @@ impl<I: IntervalIndex> Shard<I> {
                     replicas: (!is_first && !self.replicas.is_empty()).then_some(&self.replicas),
                 })
                 .collect();
-            let mut dyns: Vec<&mut dyn QuerySink> = wrappers
-                .iter_mut()
-                .map(|w| w as &mut dyn QuerySink)
-                .collect();
-            self.index.query_batch(&queries, &mut dyns);
+            let mut refs: Vec<&mut FilterSink<'_, S>> = wrappers.iter_mut().collect();
+            self.index.query_batch_sinks(&queries, &mut refs, presorted);
         }
         out
     }

@@ -269,7 +269,7 @@ impl HintMBase {
         assert_eq!(queries.len(), sinks.len(), "one sink per query");
         match &self.sealed {
             Some(sealed) if self.overlay_entries == 0 => {
-                sealed.query_batch(&self.domain, queries, self.tombstones > 0, sinks)
+                sealed.query_batch(&self.domain, queries, self.tombstones > 0, sinks, false)
             }
             _ => {
                 for (q, sink) in queries.iter().zip(sinks.iter_mut()) {

@@ -39,7 +39,24 @@ use crate::domain::Domain;
 use crate::hintm::CompFlags;
 use crate::interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
 use crate::scan;
-use crate::sink::QuerySink;
+use crate::sink::{ArenaRun, QuerySink};
+use std::sync::Arc;
+
+/// Queries per tile of the batched level walk: small enough that a
+/// tile's destination sinks stay cache-hot on result-heavy extents,
+/// large enough to amortize the level traversal across sorted
+/// neighbours (stabbing throughput is flat from 8 to 64 queries per
+/// walk, so the bound only bites where it helps).
+const BATCH_TILE: usize = 8;
+
+/// Emission-volume budget per tile, in ids (~32 KB): the next tile's
+/// width is sized so its expected touched-id volume (fed back from the
+/// previous tile's walk) stays within this, so result-heavy queries run
+/// with few (down to one) live destination buffers and their emission
+/// stream stays cache-resident — the regime where an unbounded tile
+/// cycles cold sink tails per level and loses to the solo walk's single
+/// hot output buffer.
+const TILE_VOLUME: usize = 4_096;
 
 /// One subdivision category at one level, flattened into CSR form.
 ///
@@ -47,10 +64,17 @@ use crate::sink::QuerySink;
 /// `starts[i] .. starts[i + 1]` in the data columns. Only the endpoint
 /// columns the category can ever compare are populated (Table 3):
 /// `Oin: st + end`, `Oaft: st`, `Rin: end`, `Raft: neither`.
+///
+/// The `ids` column is shared (`Arc`) so comparison-free runs can cross
+/// the fork/merge boundary as zero-copy [`ArenaRun`] handles: a reseal
+/// builds new columns while outstanding handles keep the superseded one
+/// alive, and a tombstone against a sealed store copies-on-write
+/// ([`Arc::make_mut`]) so issued handles retain the snapshot they were
+/// cut from.
 #[derive(Debug, Clone, Default)]
 struct CsrCat {
     starts: Vec<u32>,
-    ids: Vec<IntervalId>,
+    ids: Arc<Vec<IntervalId>>,
     st: Vec<Time>,
     end: Vec<Time>,
 }
@@ -76,9 +100,20 @@ impl CsrCat {
     }
 
     /// Blind-reports a data range (no comparisons; one `emit_slice` per
-    /// saturation-poll chunk when tombstone-free).
+    /// saturation-poll chunk when tombstone-free). Sinks that opt in via
+    /// [`QuerySink::wants_arenas`] receive tombstone-free runs of at
+    /// least [`ARENA_HANDLE_MIN`](crate::sink::ARENA_HANDLE_MIN) ids as
+    /// zero-copy [`ArenaRun`] handles instead — shorter runs are cheaper
+    /// to copy than to track, so the handle (and its arena refcount
+    /// round-trip) is never even constructed for them. In a
+    /// monomorphized batch walk the `wants_arenas` branch const-folds to
+    /// whichever side the sink type uses.
     #[inline]
     fn blind<S: QuerySink + ?Sized>(&self, lo: usize, hi: usize, skip: bool, sink: &mut S) {
+        if !skip && hi - lo >= crate::sink::ARENA_HANDLE_MIN && sink.wants_arenas() {
+            sink.emit_arena(&ArenaRun::new(Arc::clone(&self.ids), lo, hi));
+            return;
+        }
         scan::emit_ids(&self.ids[lo..hi], skip, sink);
     }
 
@@ -173,7 +208,9 @@ impl CsrCat {
             }
             KeyCol::None => (lo, hi),
         };
-        for slot in &mut self.ids[lo..hi] {
+        // copy-on-write: outstanding ArenaRun handles keep reading the
+        // tombstone-free snapshot they were issued from
+        for slot in &mut Arc::make_mut(&mut self.ids)[lo..hi] {
             if *slot == id {
                 *slot = TOMBSTONE;
                 return true;
@@ -284,25 +321,25 @@ impl SealedBuilder {
                 SealedLevel {
                     oin: CsrCat {
                         starts: build_starts(parts, b.oin.iter().map(|e| e.0)),
-                        ids: b.oin.iter().map(|e| e.1.id).collect(),
+                        ids: Arc::new(b.oin.iter().map(|e| e.1.id).collect()),
                         st: b.oin.iter().map(|e| e.1.st).collect(),
                         end: b.oin.iter().map(|e| e.1.end).collect(),
                     },
                     oaft: CsrCat {
                         starts: build_starts(parts, b.oaft.iter().map(|e| e.0)),
-                        ids: b.oaft.iter().map(|e| e.1).collect(),
+                        ids: Arc::new(b.oaft.iter().map(|e| e.1).collect()),
                         st: b.oaft.iter().map(|e| e.2).collect(),
                         end: Vec::new(),
                     },
                     rin: CsrCat {
                         starts: build_starts(parts, b.rin.iter().map(|e| e.0)),
-                        ids: b.rin.iter().map(|e| e.1).collect(),
+                        ids: Arc::new(b.rin.iter().map(|e| e.1).collect()),
                         st: Vec::new(),
                         end: b.rin.iter().map(|e| e.2).collect(),
                     },
                     raft: CsrCat {
                         starts: build_starts(parts, b.raft.iter().map(|e| e.0)),
-                        ids: b.raft.iter().map(|e| e.1).collect(),
+                        ids: Arc::new(b.raft.iter().map(|e| e.1).collect()),
                         st: Vec::new(),
                         end: Vec::new(),
                     },
@@ -452,7 +489,7 @@ impl SealedStore {
             }
             let f = domain.prefix(l, qst);
             let last = domain.prefix(l, qend);
-            self.walk_level(l, f, last, &q, flags, skip, sink);
+            let _ = self.walk_level(l, f, last, &q, flags, skip, sink);
             flags.update(f, last);
         }
     }
@@ -461,13 +498,22 @@ impl SealedStore {
     /// queries are ordered by their first relevant partition, so each
     /// level's offset table and arenas are traversed once, left to right,
     /// for the whole batch. Per-sink output is bit-identical to running
-    /// [`SealedStore::query_sink`] once per query.
-    pub fn query_batch(
+    /// [`SealedStore::query_sink`] once per query — each query's sink
+    /// receives exactly its own per-level emissions, so the visiting
+    /// order within a level is a cache-locality concern only.
+    ///
+    /// Generic over the sink type: the sharded executor instantiates
+    /// this per concrete sink, eliminating the per-emission vtable hop
+    /// the `dyn` spelling pays. `presorted` says the caller already
+    /// ordered the batch by query start (the batch-clustering planning
+    /// pass), so the per-batch locality sort is skipped.
+    pub fn query_batch<S: QuerySink + ?Sized>(
         &self,
         domain: &Domain,
         queries: &[RangeQuery],
         skip: bool,
-        sinks: &mut [&mut dyn QuerySink],
+        sinks: &mut [&mut S],
+        presorted: bool,
     ) {
         assert_eq!(
             queries.len(),
@@ -478,25 +524,81 @@ impl SealedStore {
         let mut order: Vec<usize> = (0..queries.len())
             .filter(|&i| domain.intersects(&queries[i]))
             .collect();
-        order.sort_unstable_by_key(|&i| mapped[i]);
-        let mut flags = vec![CompFlags::new(); queries.len()];
-        for l in (0..=self.m).rev() {
-            for &i in &order {
-                if sinks[i].is_saturated() {
+        if !presorted {
+            order.sort_unstable_by_key(|&i| mapped[i]);
+        }
+        // The Lemma-2 flags are a closed form of the mapped endpoints: at
+        // level `l`, `first` survives iff every level below had an odd
+        // first-partition offset — i.e. the low `m - l` bits of the mapped
+        // start are all ones — and dually `last` survives iff the low
+        // `m - l` bits of the mapped end are all zeros. Computing the
+        // alignment once per query replaces the per-(level, query) flag
+        // updates and lets the batch skip empty levels outright.
+        let align: Vec<(u32, u32)> = mapped
+            .iter()
+            .map(|&(qst, qend)| (qst.trailing_ones(), qend.trailing_zeros()))
+            .collect();
+        // Tile the sorted batch: each tile of queries runs the whole
+        // level walk before the next tile starts. The level-major order
+        // inside a tile keeps the arena-locality win of batching (sorted
+        // neighbours touch adjacent partitions), while the tile width
+        // caps how many destination sinks are live at once — on
+        // result-heavy workloads an unbounded batch cycles through every
+        // sink's tail per level and thrashes the cache that solo keeps a
+        // single hot output buffer in. The width adapts by feedback: the
+        // walk reports how many arena ids each tile touched, and the
+        // next tile is sized so its expected emission volume stays
+        // within the cache budget (result-heavy queries degrade to one
+        // live destination, exactly the solo walk's behaviour). Per-sink
+        // emission order is unchanged (every query still walks levels
+        // bottom-up), so results stay bit-identical to the solo walk.
+        let mut tile_len = BATCH_TILE;
+        let mut t0 = 0;
+        while t0 < order.len() {
+            let t1 = (t0 + tile_len).min(order.len());
+            let tile = &order[t0..t1];
+            let mut volume = 0usize;
+            for l in (0..=self.m).rev() {
+                // hoist the empty-level test out of the per-query loop:
+                // on short-interval data most top levels hold nothing,
+                // and the whole tile can skip them in one branch
+                let lev = &self.levels[l as usize];
+                if lev.oin.ids.is_empty()
+                    && lev.oaft.ids.is_empty()
+                    && lev.rin.ids.is_empty()
+                    && lev.raft.ids.is_empty()
+                {
                     continue;
                 }
-                let (qst, qend) = mapped[i];
-                let f = domain.prefix(l, qst);
-                let last = domain.prefix(l, qend);
-                self.walk_level(l, f, last, &queries[i], flags[i], skip, &mut *sinks[i]);
-                flags[i].update(f, last);
+                let need = self.m - l;
+                for &i in tile {
+                    if sinks[i].is_saturated() {
+                        continue;
+                    }
+                    let (qst, qend) = mapped[i];
+                    let flags = CompFlags {
+                        first: align[i].0 >= need,
+                        last: align[i].1 >= need,
+                    };
+                    let f = domain.prefix(l, qst);
+                    let last = domain.prefix(l, qend);
+                    volume += self.walk_level(l, f, last, &queries[i], flags, skip, &mut *sinks[i]);
+                }
             }
+            let per_query = volume / (t1 - t0);
+            tile_len = (TILE_VOLUME / per_query.max(1)).clamp(1, BATCH_TILE);
+            t0 = t1;
         }
     }
 
     /// One level of the walk: Lemmas 5/6 comparison regimes, gated by the
     /// Lemma-2 flags, over the CSR runs. All middle partitions of a
     /// category form one contiguous blind slice.
+    ///
+    /// Returns the number of arena ids the level touched for this query
+    /// (the sum of the run lengths handed to the emitters, before any
+    /// endpoint filtering) — the cache-relevant volume the batched walk
+    /// feeds back into its tile sizing.
     #[allow(clippy::too_many_arguments)]
     #[inline]
     fn walk_level<S: QuerySink + ?Sized>(
@@ -508,19 +610,21 @@ impl SealedStore {
         flags: CompFlags,
         skip: bool,
         sink: &mut S,
-    ) {
+    ) -> usize {
         let lev = &self.levels[l as usize];
         if lev.oin.ids.is_empty()
             && lev.oaft.ids.is_empty()
             && lev.rin.ids.is_empty()
             && lev.raft.ids.is_empty()
         {
-            return;
+            return 0;
         }
+        let mut vol = 0;
         if f == last {
             // single relevant partition (Lemma 6)
             let (lo, hi) = lev.oin.run(f);
             if lo < hi {
+                vol += hi - lo;
                 match (flags.first, flags.last) {
                     (true, true) => lev.oin.overlap(lo, hi, q.st, q.end, skip, sink),
                     (false, true) => lev.oin.st_prefix(lo, hi, q.end, skip, sink),
@@ -530,6 +634,7 @@ impl SealedStore {
             }
             let (lo, hi) = lev.oaft.run(f);
             if lo < hi {
+                vol += hi - lo;
                 if flags.last {
                     lev.oaft.st_prefix(lo, hi, q.end, skip, sink);
                 } else {
@@ -538,6 +643,7 @@ impl SealedStore {
             }
             let (lo, hi) = lev.rin.run(f);
             if lo < hi {
+                vol += hi - lo;
                 if flags.first {
                     lev.rin.end_suffix(lo, hi, q.st, skip, sink);
                 } else {
@@ -545,12 +651,14 @@ impl SealedStore {
                 }
             }
             let (lo, hi) = lev.raft.run(f);
+            vol += hi.saturating_sub(lo);
             lev.raft.blind(lo, hi, skip, sink);
         } else {
             // first relevant partition (Lemma 5): only the `in`
             // subdivisions may need the `end >= q.st` test
             let (lo, hi) = lev.oin.run(f);
             if lo < hi {
+                vol += hi - lo;
                 if flags.first {
                     lev.oin.end_filter(lo, hi, q.st, skip, sink);
                 } else {
@@ -559,6 +667,7 @@ impl SealedStore {
             }
             let (lo, hi) = lev.rin.run(f);
             if lo < hi {
+                vol += hi - lo;
                 if flags.first {
                     lev.rin.end_suffix(lo, hi, q.st, skip, sink);
                 } else {
@@ -566,21 +675,26 @@ impl SealedStore {
                 }
             }
             let (lo, hi) = lev.oaft.run(f);
+            vol += hi.saturating_sub(lo);
             lev.oaft.blind(lo, hi, skip, sink);
             let (lo, hi) = lev.raft.run(f);
+            vol += hi.saturating_sub(lo);
             lev.raft.blind(lo, hi, skip, sink);
             // all middle partitions at once: one contiguous slice per
             // category (originals only; their replicas were counted at
             // the first partition)
             if last > f + 1 {
                 let (lo, hi) = lev.oin.span(f + 1, last - 1);
+                vol += hi.saturating_sub(lo);
                 lev.oin.blind(lo, hi, skip, sink);
                 let (lo, hi) = lev.oaft.span(f + 1, last - 1);
+                vol += hi.saturating_sub(lo);
                 lev.oaft.blind(lo, hi, skip, sink);
             }
             // last relevant partition: originals only, `st <= q.end`
             let (lo, hi) = lev.oin.run(last);
             if lo < hi {
+                vol += hi - lo;
                 if flags.last {
                     lev.oin.st_prefix(lo, hi, q.end, skip, sink);
                 } else {
@@ -589,6 +703,7 @@ impl SealedStore {
             }
             let (lo, hi) = lev.oaft.run(last);
             if lo < hi {
+                vol += hi - lo;
                 if flags.last {
                     lev.oaft.st_prefix(lo, hi, q.end, skip, sink);
                 } else {
@@ -596,6 +711,7 @@ impl SealedStore {
                 }
             }
         }
+        vol
     }
 }
 

@@ -353,10 +353,29 @@ impl HintMSubs {
     /// # Panics
     /// Panics if `queries` and `sinks` have different lengths.
     pub fn query_batch(&self, queries: &[RangeQuery], sinks: &mut [&mut dyn QuerySink]) {
+        self.query_batch_sinks(queries, sinks, false)
+    }
+
+    /// Statically-dispatched spelling of [`Self::query_batch`]: the sink
+    /// type is a monomorphization parameter, so the sealed shared walk —
+    /// regime dispatch, saturation polls, emissions, the zero-copy
+    /// `wants_arenas` check — compiles with no per-result vtable call.
+    /// `presorted` declares the caller already ordered the batch by query
+    /// start (the executor's clustering pass), skipping the sealed walk's
+    /// own locality sort; it never affects results.
+    ///
+    /// # Panics
+    /// Panics if `queries` and `sinks` have different lengths.
+    pub fn query_batch_sinks<S: QuerySink + ?Sized>(
+        &self,
+        queries: &[RangeQuery],
+        sinks: &mut [&mut S],
+        presorted: bool,
+    ) {
         assert_eq!(queries.len(), sinks.len(), "one sink per query");
         match &self.sealed {
             Some(sealed) if self.overlay_entries == 0 => {
-                sealed.query_batch(&self.domain, queries, self.tombstones > 0, sinks)
+                sealed.query_batch(&self.domain, queries, self.tombstones > 0, sinks, presorted)
             }
             _ => {
                 for (q, sink) in queries.iter().zip(sinks.iter_mut()) {

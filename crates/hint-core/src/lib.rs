@@ -150,7 +150,8 @@ pub use pool::{PoolStats, ShardPool};
 pub use session::{RetuneEvent, RetunePolicy, Session, WriteError};
 pub use shard::{MutableIndex, ShardedIndex};
 pub use sink::{
-    CollectSink, CountSink, ExistsSink, FirstK, FnSink, MergeableSink, QuerySink, SliceSink,
+    ArenaRun, CollectSink, CountSink, ExistsSink, FirstK, FnSink, HandleSink, MergeableSink,
+    QuerySink, ResultRun, SliceSink, ARENA_HANDLE_MIN,
 };
 pub use stats::{ExtentHistogram, ExtentMix, QueryStats, WorkloadStats};
 
@@ -215,6 +216,47 @@ pub trait IntervalIndex {
         for (q, sink) in queries.iter().zip(sinks.iter_mut()) {
             self.query_sink(*q, &mut **sink);
         }
+    }
+
+    /// Statically-dispatched batch evaluation: like
+    /// [`query_batch`](Self::query_batch), but the sink type is a
+    /// monomorphization parameter, so indexes that override it (the
+    /// sealed HINT^m walk) run their whole batch loop — level walk,
+    /// regime dispatch, saturation polls, emissions — without a vtable
+    /// call per result. This is the sharded executor's entry point: the
+    /// merge path instantiates it per concrete sink type and the
+    /// comparison-free regimes const-fold their zero-copy
+    /// [`QuerySink::wants_arenas`] check away.
+    ///
+    /// `presorted` declares that the caller already ordered
+    /// `queries`/`sinks` by query start (the batch-clustering planning
+    /// pass does this once per batch, before fan-out), letting the
+    /// sealed walk skip its own per-batch sort. It is a locality hint
+    /// only: results are bit-identical either way, because each query's
+    /// sink receives exactly its own per-level emissions regardless of
+    /// the order queries are visited in.
+    ///
+    /// The default delegates to the dynamic
+    /// [`query_batch`](Self::query_batch), preserving whatever
+    /// shared-walk override an index has.
+    ///
+    /// # Panics
+    /// Panics if `queries` and `sinks` have different lengths.
+    fn query_batch_sinks<S: QuerySink>(
+        &self,
+        queries: &[RangeQuery],
+        sinks: &mut [&mut S],
+        presorted: bool,
+    ) where
+        Self: Sized,
+    {
+        let _ = presorted;
+        assert_eq!(queries.len(), sinks.len(), "one sink per query");
+        let mut dyns: Vec<&mut dyn QuerySink> = sinks
+            .iter_mut()
+            .map(|s| &mut **s as &mut dyn QuerySink)
+            .collect();
+        self.query_batch(queries, &mut dyns);
     }
 
     /// Approximate heap footprint in bytes (Table 8).
@@ -288,6 +330,14 @@ impl IntervalIndex for HintMSubs {
     }
     fn query_batch(&self, queries: &[RangeQuery], sinks: &mut [&mut dyn QuerySink]) {
         HintMSubs::query_batch(self, queries, sinks)
+    }
+    fn query_batch_sinks<S: QuerySink>(
+        &self,
+        queries: &[RangeQuery],
+        sinks: &mut [&mut S],
+        presorted: bool,
+    ) {
+        HintMSubs::query_batch_sinks(self, queries, sinks, presorted)
     }
     fn size_bytes(&self) -> usize {
         HintMSubs::size_bytes(self)

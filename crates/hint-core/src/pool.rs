@@ -40,7 +40,7 @@
 //! on the worker that owns it. [`ShardPool::into_index`] shuts the
 //! workers down and reassembles the [`ShardedIndex`].
 
-use crate::executor::Routed;
+use crate::executor::{cluster_enabled, cluster_plan, Routed};
 use crate::interval::{Interval, IntervalId, RangeQuery, Time};
 use crate::shard::{MutableIndex, Shard, ShardedIndex};
 use crate::sink::{MergeableSink, QuerySink};
@@ -48,11 +48,16 @@ use crate::stats::ExtentMix;
 use crate::IntervalIndex;
 use crossbeam::channel::{unbounded, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 
 /// A unit of work dispatched to a shard worker. The closure runs on the
 /// worker thread with exclusive access to the shard it owns.
 type Task<I> = Box<dyn FnOnce(&mut Shard<I>) + Send + 'static>;
+
+/// One shard's collected sub-batch results: `(query index, ids)` pairs
+/// in sub-batch order.
+type CollectedSub = Vec<(u32, Vec<IntervalId>)>;
 
 /// One worker: its task channel and join handle. Dropping the sender
 /// ends the worker's receive loop; joining returns the shard.
@@ -129,6 +134,11 @@ pub struct ShardPool<I> {
     /// Live (deduplicated) interval count, maintained by the write path.
     live: usize,
     counters: PoolCounters,
+    /// Pooled per-shard routing buffers, reused across batches so steady
+    /// dispatch allocates no plan `Vec`s at all. `try_lock` only: a
+    /// concurrent batch that loses the race plans into a fresh local
+    /// buffer instead of waiting.
+    scratch: Mutex<Vec<Vec<Routed>>>,
 }
 
 impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
@@ -166,6 +176,7 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
             bounds,
             live,
             counters: PoolCounters::default(),
+            scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -269,17 +280,28 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
         RangeQuery { st, end }
     }
 
-    /// Routes a batch: one sub-batch per shard, in batch order.
-    fn plan(&self, queries: &[RangeQuery]) -> Vec<Vec<Routed>> {
-        let mut plan: Vec<Vec<Routed>> = self.bounds.iter().map(|_| Vec::new()).collect();
+    /// Routes a batch into `bufs`, reusing their allocations: one
+    /// sub-batch per shard, in batch order. When the clustering pass is
+    /// enabled, each sub-batch is then sorted by local query start once
+    /// — the plan is built (and ordered) a single time and reused by
+    /// every routed shard. Returns whether the plan is clustered.
+    fn plan_into(&self, queries: &[RangeQuery], bufs: &mut Vec<Vec<Routed>>) -> bool {
+        bufs.resize_with(self.bounds.len(), Vec::new);
+        for sub in bufs.iter_mut() {
+            sub.clear();
+        }
         for (qi, &q) in queries.iter().enumerate() {
             let (lo, hi) = self.route(q);
-            for (j, sub) in plan[lo..=hi].iter_mut().enumerate() {
+            for (j, sub) in bufs[lo..=hi].iter_mut().enumerate() {
                 let j = lo + j;
                 sub.push((qi as u32, self.local_query(j, q, lo, hi), j == lo));
             }
         }
-        plan
+        let presorted = cluster_enabled();
+        if presorted {
+            cluster_plan(bufs);
+        }
+        presorted
     }
 
     /// Evaluates a batch of queries through the worker pool, one
@@ -296,52 +318,104 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
     where
         S: MergeableSink + Send + 'static,
     {
+        self.query_batch_merge_hinted(queries, sinks, None)
+    }
+
+    /// [`query_batch_merge`](Self::query_batch_merge) with optional
+    /// per-query result-count predictions (from the session's extent
+    /// histograms): hint `hints[i]` pre-sizes every fork of `sinks[i]`
+    /// via [`MergeableSink::fork_sized`], so collecting forks never grow
+    /// mid-scan. Hints are capacity advice only and never affect
+    /// results.
+    ///
+    /// # Panics
+    /// Panics if `queries`, `sinks` (and `hints`, when given) have
+    /// different lengths.
+    pub fn query_batch_merge_hinted<S>(
+        &self,
+        queries: &[RangeQuery],
+        sinks: &mut [S],
+        hints: Option<&[usize]>,
+    ) where
+        S: MergeableSink + Send + 'static,
+    {
         assert_eq!(queries.len(), sinks.len(), "one sink per query");
+        if let Some(h) = hints {
+            assert_eq!(h.len(), queries.len(), "one hint per query");
+        }
         if queries.is_empty() {
             return;
         }
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
-        let plan = self.plan(queries);
-        let routed: usize = plan.iter().map(Vec::len).sum();
+        let mut local: Vec<Vec<Routed>> = Vec::new();
+        let mut guard = self.scratch.try_lock().ok();
+        let bufs: &mut Vec<Vec<Routed>> = match guard.as_deref_mut() {
+            Some(g) => g,
+            None => &mut local,
+        };
+        let presorted = self.plan_into(queries, bufs);
+        let routed: usize = bufs.iter().map(Vec::len).sum();
         self.counters
             .routed
             .fetch_add(routed as u64, Ordering::Relaxed);
         if sinks.iter().all(|s| s.is_bounded()) {
-            self.run_staged(&plan, sinks);
+            self.run_staged(bufs, sinks, hints, presorted);
         } else {
-            self.run_fanned(&plan, sinks);
+            self.run_fanned(bufs, sinks, hints, presorted);
+        }
+    }
+
+    /// The fork for batch entry `qi`: histogram-presized when the caller
+    /// supplied hints, otherwise the sink's own fallback fork.
+    #[inline]
+    fn fork_for<S: MergeableSink>(sinks: &[S], hints: Option<&[usize]>, qi: usize) -> S {
+        match hints {
+            Some(h) => sinks[qi].fork_sized(h[qi]),
+            None => sinks[qi].fork(),
         }
     }
 
     /// Parallel dispatch: every active shard gets its sub-batch at once;
-    /// forks are merged back in shard order as the workers finish.
-    fn run_fanned<S>(&self, plan: &[Vec<Routed>], sinks: &mut [S])
-    where
+    /// forks are merged back in shard order as the workers finish. One
+    /// reply channel serves the whole batch — workers tag replies with
+    /// their shard index and the merge loop restores shard order.
+    fn run_fanned<S>(
+        &self,
+        plan: &[Vec<Routed>],
+        sinks: &mut [S],
+        hints: Option<&[usize]>,
+        presorted: bool,
+    ) where
         S: MergeableSink + Send + 'static,
     {
-        let mut pending = Vec::new();
+        let (tx, rx) = unbounded();
+        let mut active = 0usize;
         for (j, sub) in plan.iter().enumerate() {
             if sub.is_empty() {
                 continue;
             }
             let job: Vec<(Routed, S)> = sub
                 .iter()
-                .map(|&entry| (entry, sinks[entry.0 as usize].fork()))
+                .map(|&entry| (entry, Self::fork_for(sinks, hints, entry.0 as usize)))
                 .collect();
             self.counters
                 .dispatched
                 .fetch_add(job.len() as u64, Ordering::Relaxed);
-            let (tx, rx) = unbounded();
+            let tx = tx.clone();
             self.send(
                 j,
                 Box::new(move |shard| {
-                    let _ = tx.send(shard.run_forks(job));
+                    let _ = tx.send((j, shard.run_forks(job, presorted)));
                 }),
             );
-            pending.push(rx);
+            active += 1;
         }
-        for rx in pending {
-            let results = rx.recv().expect("shard worker died mid-batch");
+        drop(tx);
+        let mut done: Vec<(usize, Vec<(u32, S)>)> = (0..active)
+            .map(|_| rx.recv().expect("shard worker died mid-batch"))
+            .collect();
+        done.sort_unstable_by_key(|&(j, _)| j);
+        for (_, results) in done {
             for (qi, fork) in results {
                 sinks[qi as usize].merge(fork);
             }
@@ -352,10 +426,16 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
     /// ascending order, and entries whose sink is already saturated are
     /// dropped instead of dispatched — the cross-shard early exit solo
     /// queries get from sequential shard visits, kept under batching.
-    fn run_staged<S>(&self, plan: &[Vec<Routed>], sinks: &mut [S])
-    where
+    fn run_staged<S>(
+        &self,
+        plan: &[Vec<Routed>],
+        sinks: &mut [S],
+        hints: Option<&[usize]>,
+        presorted: bool,
+    ) where
         S: MergeableSink + Send + 'static,
     {
+        let (tx, rx) = unbounded();
         for (j, sub) in plan.iter().enumerate() {
             if sub.is_empty() {
                 continue;
@@ -363,7 +443,7 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
             let job: Vec<(Routed, S)> = sub
                 .iter()
                 .filter(|&&(qi, _, _)| !sinks[qi as usize].is_saturated())
-                .map(|&entry| (entry, sinks[entry.0 as usize].fork()))
+                .map(|&entry| (entry, Self::fork_for(sinks, hints, entry.0 as usize)))
                 .collect();
             self.counters
                 .skipped
@@ -374,11 +454,11 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
             self.counters
                 .dispatched
                 .fetch_add(job.len() as u64, Ordering::Relaxed);
-            let (tx, rx) = unbounded();
+            let tx = tx.clone();
             self.send(
                 j,
                 Box::new(move |shard| {
-                    let _ = tx.send(shard.run_forks(job));
+                    let _ = tx.send(shard.run_forks(job, presorted));
                 }),
             );
             for (qi, fork) in rx.recv().expect("shard worker died mid-batch") {
@@ -397,9 +477,16 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
             return;
         }
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
-        let plan = self.plan(queries);
-        let mut pending = Vec::new();
-        for (j, sub) in plan.iter().enumerate() {
+        let mut local: Vec<Vec<Routed>> = Vec::new();
+        let mut guard = self.scratch.try_lock().ok();
+        let bufs: &mut Vec<Vec<Routed>> = match guard.as_deref_mut() {
+            Some(g) => g,
+            None => &mut local,
+        };
+        let presorted = self.plan_into(queries, bufs);
+        let (tx, rx) = unbounded();
+        let mut active = 0usize;
+        for (j, sub) in bufs.iter().enumerate() {
             if sub.is_empty() {
                 continue;
             }
@@ -410,17 +497,21 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
                 .dispatched
                 .fetch_add(sub.len() as u64, Ordering::Relaxed);
             let sub = sub.clone();
-            let (tx, rx) = unbounded();
+            let tx = tx.clone();
             self.send(
                 j,
                 Box::new(move |shard| {
-                    let _ = tx.send(shard.run_collect(&sub));
+                    let _ = tx.send((j, shard.run_collect(&sub, presorted)));
                 }),
             );
-            pending.push(rx);
+            active += 1;
         }
-        for rx in pending {
-            let results = rx.recv().expect("shard worker died mid-batch");
+        drop(tx);
+        let mut done: Vec<(usize, CollectedSub)> = (0..active)
+            .map(|_| rx.recv().expect("shard worker died mid-batch"))
+            .collect();
+        done.sort_unstable_by_key(|&(j, _)| j);
+        for (_, results) in done {
             for (qi, ids) in results {
                 let sink = &mut *sinks[qi as usize];
                 if !sink.is_saturated() {
@@ -453,7 +544,7 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
             self.send(
                 j,
                 Box::new(move |shard| {
-                    let _ = tx.send(shard.run_collect(&[entry]));
+                    let _ = tx.send(shard.run_collect(&[entry], false));
                 }),
             );
             for (_, ids) in rx.recv().expect("shard worker died mid-query") {

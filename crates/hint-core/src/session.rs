@@ -364,6 +364,14 @@ impl<I: MutableIndex + Send + Sync + 'static> Session<I> {
     /// typed merge path, one [`MergeableSink`] per query (see
     /// [`ShardPool::query_batch_merge`]), recording each query's
     /// shard-local extents in the per-shard histograms.
+    ///
+    /// The histograms also pay back: each query's forked sinks are
+    /// pre-sized from the mean result count previously observed for its
+    /// extent bucket ([`ExtentHistogram::expected_results`], fed through
+    /// [`ShardPool::query_batch_merge_hinted`]), and counting sinks
+    /// report their totals back after the batch — a feedback loop that
+    /// kills mid-scan fork reallocation once a workload's shape has been
+    /// seen. Hints are capacity advice only and never change results.
     pub fn query_batch_merge<S: MergeableSink + Send + 'static>(
         &self,
         queries: &[RangeQuery],
@@ -372,7 +380,29 @@ impl<I: MutableIndex + Send + Sync + 'static> Session<I> {
         for &q in queries {
             self.observe(q);
         }
-        self.pool.query_batch_merge(queries, sinks)
+        // Predict per-query result counts from each query's first routed
+        // shard (where the merged total was recorded). All-None batches
+        // skip the hint plumbing entirely.
+        let mut hints: Vec<usize> = Vec::new();
+        let mut any = false;
+        for &q in queries {
+            let (lo, _) = self.pool.route(q);
+            match self.mixes[lo].expected_results(q.end - q.st) {
+                Some(n) => {
+                    any = true;
+                    hints.push(n);
+                }
+                None => hints.push(0),
+            }
+        }
+        let hints = if any { Some(hints.as_slice()) } else { None };
+        self.pool.query_batch_merge_hinted(queries, sinks, hints);
+        for (&q, sink) in queries.iter().zip(sinks.iter()) {
+            if let Some(n) = sink.result_count() {
+                let (lo, _) = self.pool.route(q);
+                self.mixes[lo].record_results(q.end - q.st, n);
+            }
+        }
     }
 
     /// Solo query into a sink — the reference path batched serving must
@@ -480,6 +510,25 @@ mod tests {
             let mut solo = Vec::new();
             s.query_sink(*q, &mut solo);
             assert_eq!(got, &solo, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn result_feedback_never_changes_results() {
+        // First batch records result counts; second batch runs with
+        // histogram hints live. Both must match solo exactly.
+        let s = session();
+        let queries: Vec<RangeQuery> = (0..32)
+            .map(|i| RangeQuery::new(i * 100, i * 100 + 400))
+            .collect();
+        for round in 0..2 {
+            let mut merged: Vec<Vec<u64>> = queries.iter().map(|_| Vec::new()).collect();
+            s.query_batch_merge(&queries, &mut merged);
+            for (q, got) in queries.iter().zip(&merged) {
+                let mut solo = Vec::new();
+                s.query_sink(*q, &mut solo);
+                assert_eq!(got, &solo, "round {round}: {q:?}");
+            }
         }
     }
 

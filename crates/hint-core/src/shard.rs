@@ -224,6 +224,30 @@ impl<S: QuerySink + ?Sized> QuerySink for FilterSink<'_, S> {
     fn is_saturated(&self) -> bool {
         self.inner.is_saturated()
     }
+
+    /// Zero-copy pass-through: only when nothing needs suppressing can a
+    /// comparison-free run cross the shard boundary as a handle.
+    #[inline]
+    fn wants_arenas(&self) -> bool {
+        self.replicas.is_none() && self.inner.wants_arenas()
+    }
+
+    #[inline]
+    fn emit_arena(&mut self, run: &crate::sink::ArenaRun) {
+        match self.replicas {
+            None => self.inner.emit_arena(run),
+            // a suppressing filter must inspect every id; fall back to
+            // the chunked slice scan the arena run stands in for
+            Some(_) => {
+                for chunk in run.as_slice().chunks(crate::sink::SATURATION_POLL) {
+                    if self.is_saturated() {
+                        return;
+                    }
+                    self.emit_slice(chunk);
+                }
+            }
+        }
+    }
 }
 
 impl<I> Shard<I> {

@@ -32,6 +32,7 @@
 //! ```
 
 use crate::interval::{IntervalId, TOMBSTONE};
+use std::sync::Arc;
 
 /// How many entries a reporting loop should emit between
 /// [`QuerySink::is_saturated`] polls.
@@ -43,6 +44,60 @@ use crate::interval::{IntervalId, TOMBSTONE};
 /// per-element path. Shared by hint-core's scan loops and the competitor
 /// indexes.
 pub const SATURATION_POLL: usize = 64;
+
+/// A zero-copy handle to one comparison-free run inside a sealed CSR id
+/// arena: `(arena, lo, hi)` instead of `hi - lo` copied ids.
+///
+/// The sealed store's blind-report regimes (Lemma 5/6: runs that qualify
+/// with no comparisons at all) hand whole partition runs to the sink.
+/// For sinks that opt in via [`QuerySink::wants_arenas`], the run
+/// crosses the fork/merge boundary as this handle and is materialized
+/// only at the final consumer — the serving layer's `WireSink` encodes
+/// wire bytes straight from the arena slice.
+///
+/// The handle shares ownership of the arena's id column (`Arc`), so it
+/// can never outlive the arena it points into: a reseal builds a *new*
+/// sealed store, and outstanding handles keep the superseded column
+/// alive until they are dropped. Logical deletes against a sealed store
+/// copy-on-write the column (`Arc::make_mut`), so a handle taken before
+/// the delete still sees the tombstone-free snapshot it was issued from
+/// — and blind runs are only forwarded as handles when the store has no
+/// tombstones to skip.
+#[derive(Debug, Clone)]
+pub struct ArenaRun {
+    ids: Arc<Vec<IntervalId>>,
+    lo: usize,
+    hi: usize,
+}
+
+impl ArenaRun {
+    /// Wraps the half-open range `lo..hi` of `ids`.
+    ///
+    /// # Panics
+    /// If `lo..hi` is not a valid range of `ids`.
+    pub fn new(ids: Arc<Vec<IntervalId>>, lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi && hi <= ids.len(), "run out of arena bounds");
+        Self { ids, lo, hi }
+    }
+
+    /// The run's ids, borrowed from the shared arena.
+    #[inline]
+    pub fn as_slice(&self) -> &[IntervalId] {
+        &self.ids[self.lo..self.hi]
+    }
+
+    /// Number of ids in the run.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// True when the run is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+}
 
 /// Emits `id` unless it is a [`TOMBSTONE`] — the reporting-side half of
 /// the logical-delete scheme every index in the workspace uses.
@@ -83,6 +138,29 @@ pub trait QuerySink {
     /// scanning. The default never saturates.
     fn is_saturated(&self) -> bool {
         false
+    }
+
+    /// True for sinks that keep [`ArenaRun`] handles instead of copying
+    /// the ids out of a blind run. The sealed scan consults this before
+    /// each comparison-free run; the default (`false`) keeps every stock
+    /// sink on the plain [`emit_slice`](Self::emit_slice) path.
+    fn wants_arenas(&self) -> bool {
+        false
+    }
+
+    /// Consumes one comparison-free run. Overriders that returned `true`
+    /// from [`wants_arenas`](Self::wants_arenas) typically store the
+    /// handle; the default materializes it exactly like the slice scan
+    /// loop would — [`SATURATION_POLL`]-sized chunks with a saturation
+    /// poll before each — so forwarding a run as a handle is always
+    /// bit-identical to emitting it.
+    fn emit_arena(&mut self, run: &ArenaRun) {
+        for chunk in run.as_slice().chunks(SATURATION_POLL) {
+            if self.is_saturated() {
+                return;
+            }
+            self.emit_slice(chunk);
+        }
     }
 }
 
@@ -128,6 +206,28 @@ pub trait MergeableSink: QuerySink {
     fn is_bounded(&self) -> bool {
         false
     }
+
+    /// A fork pre-sized for an expected `cap` results — the
+    /// histogram-presizing hook: the session predicts a query's result
+    /// count from its extent history and hands the prediction here, so a
+    /// collecting fork never reallocates mid-scan. The default ignores
+    /// the hint and forks normally; capacity is a hint only and never
+    /// affects results.
+    fn fork_sized(&self, cap: usize) -> Self
+    where
+        Self: Sized,
+    {
+        let _ = cap;
+        self.fork()
+    }
+
+    /// How many results this sink holds, when that is knowable —
+    /// collectors and counters report it, streaming sinks return `None`.
+    /// The session records these after a batch to train the per-shard
+    /// extent histograms that drive [`fork_sized`](Self::fork_sized).
+    fn result_count(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// The original behaviour: any `Vec<IntervalId>` is a sink that collects
@@ -145,8 +245,14 @@ impl QuerySink for Vec<IntervalId> {
 }
 
 impl MergeableSink for Vec<IntervalId> {
+    /// No-histogram fallback: pre-sizes from the parent's running count,
+    /// a decent proxy for a shard fork's share once a few results exist.
     fn fork(&self) -> Self {
-        Vec::new()
+        Vec::with_capacity(self.len())
+    }
+
+    fn fork_sized(&self, cap: usize) -> Self {
+        Vec::with_capacity(cap)
     }
 
     fn merge(&mut self, mut other: Self) {
@@ -155,6 +261,10 @@ impl MergeableSink for Vec<IntervalId> {
         } else {
             self.append(&mut other);
         }
+    }
+
+    fn result_count(&self) -> Option<usize> {
+        Some(self.len())
     }
 }
 
@@ -212,8 +322,13 @@ impl QuerySink for CollectSink {
 }
 
 impl MergeableSink for CollectSink {
+    /// No-histogram fallback: pre-sizes from the parent's running count.
     fn fork(&self) -> Self {
-        CollectSink::new()
+        CollectSink::with_capacity(self.len())
+    }
+
+    fn fork_sized(&self, cap: usize) -> Self {
+        CollectSink::with_capacity(cap)
     }
 
     fn merge(&mut self, mut other: Self) {
@@ -222,6 +337,10 @@ impl MergeableSink for CollectSink {
         } else {
             self.ids.append(&mut other.ids);
         }
+    }
+
+    fn result_count(&self) -> Option<usize> {
+        Some(self.len())
     }
 }
 
@@ -264,6 +383,10 @@ impl MergeableSink for CountSink {
 
     fn merge(&mut self, other: Self) {
         self.n += other.n;
+    }
+
+    fn result_count(&self) -> Option<usize> {
+        Some(self.n)
     }
 }
 
@@ -395,6 +518,183 @@ impl MergeableSink for ExistsSink {
 
     fn is_bounded(&self) -> bool {
         true
+    }
+}
+
+/// Shortest comparison-free run worth keeping as a zero-copy handle.
+///
+/// A handle costs fixed bookkeeping on both sides of the merge boundary
+/// — a run-list entry, an arena refcount round-trip, an indirection at
+/// consume time — while copying a run costs 8 bytes per id into a
+/// buffer that is already hot. Below this length the copy is cheaper,
+/// so handle-keeping sinks ([`HandleSink`], the serve crate's
+/// `WireSink`) inline short runs into their owned tail and reserve
+/// handles for the long runs where zero-copy actually pays.
+pub const ARENA_HANDLE_MIN: usize = 64;
+
+/// One run of a [`HandleSink`]'s result stream: either ids the sink had
+/// to own (comparison-bearing emissions and short blind runs, see
+/// [`ARENA_HANDLE_MIN`]) or a zero-copy [`ArenaRun`] handle into a
+/// sealed arena (long comparison-free blind runs).
+#[derive(Debug, Clone)]
+pub enum ResultRun {
+    /// Ids copied into the sink (per-id and slice emissions).
+    Owned(Vec<IntervalId>),
+    /// A borrowed run, still resident in the sealed CSR arena.
+    Arena(ArenaRun),
+}
+
+impl ResultRun {
+    /// The run's ids, wherever they live.
+    pub fn as_slice(&self) -> &[IntervalId] {
+        match self {
+            ResultRun::Owned(ids) => ids,
+            ResultRun::Arena(run) => run.as_slice(),
+        }
+    }
+}
+
+/// Collects results as a sequence of [`ResultRun`]s, keeping
+/// comparison-free runs as zero-copy arena handles until a consumer
+/// actually needs the ids.
+///
+/// This is the enumeration sink for the parallel read path: a shard
+/// worker's fork accumulates handles (O(1) per blind run, no copy), the
+/// merge step concatenates run lists in shard order (O(runs), not
+/// O(ids)), and only the final consumer pays for materialization — or
+/// never does, if it can stream the runs (`for run in sink.runs()`).
+///
+/// Piecewise emissions (and short blind runs, see [`ARENA_HANDLE_MIN`])
+/// land in an open *tail* buffer — a plain `Vec` push, no per-emission
+/// branching — which is cut into the run list as an owned run only when
+/// a long handle arrives. Reused sinks ([`clear`](Self::clear)) recycle
+/// the tail and the dropped owned-run allocations, so steady-state
+/// batch serving allocates nothing on this path.
+#[derive(Debug, Clone, Default)]
+pub struct HandleSink {
+    /// Completed runs in emission (then merge) order; the open tail is
+    /// not yet among them.
+    runs: Vec<ResultRun>,
+    /// The open owned run taking piecewise and short-blind emissions.
+    tail: Vec<IntervalId>,
+    len: usize,
+    /// Recycled owned-run allocations from [`clear`](Self::clear),
+    /// reused when the tail is cut into the run list.
+    spares: Vec<Vec<IntervalId>>,
+}
+
+impl HandleSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of result ids across all runs, O(1).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no results were collected.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The collected runs, in emission (then merge) order. Closes the
+    /// open tail first, so the returned list covers every id.
+    pub fn runs(&mut self) -> &[ResultRun] {
+        self.flush_tail();
+        &self.runs
+    }
+
+    /// Empties the sink for reuse, releasing any arena handles it held.
+    /// Owned-run allocations (and the run list's own) are kept for the
+    /// next fill.
+    pub fn clear(&mut self) {
+        for run in self.runs.drain(..) {
+            if let ResultRun::Owned(mut ids) = run {
+                ids.clear();
+                self.spares.push(ids);
+            }
+        }
+        self.tail.clear();
+        self.len = 0;
+    }
+
+    /// Materializes the result: one owned, contiguous id vector in the
+    /// exact order a copying sink would have produced.
+    pub fn into_vec(self) -> Vec<IntervalId> {
+        let mut out = Vec::with_capacity(self.len);
+        for run in &self.runs {
+            out.extend_from_slice(run.as_slice());
+        }
+        out.extend_from_slice(&self.tail);
+        out
+    }
+
+    /// Cuts the open tail into the run list as an owned run.
+    fn flush_tail(&mut self) {
+        if !self.tail.is_empty() {
+            let fresh = self.spares.pop().unwrap_or_default();
+            let full = std::mem::replace(&mut self.tail, fresh);
+            self.runs.push(ResultRun::Owned(full));
+        }
+    }
+}
+
+impl QuerySink for HandleSink {
+    #[inline]
+    fn emit(&mut self, id: IntervalId) {
+        self.tail.push(id);
+        self.len += 1;
+    }
+
+    #[inline]
+    fn emit_slice(&mut self, ids: &[IntervalId]) {
+        self.tail.extend_from_slice(ids);
+        self.len += ids.len();
+    }
+
+    fn wants_arenas(&self) -> bool {
+        true
+    }
+
+    fn emit_arena(&mut self, run: &ArenaRun) {
+        if run.len() < ARENA_HANDLE_MIN {
+            self.emit_slice(run.as_slice());
+        } else {
+            self.flush_tail();
+            self.len += run.len();
+            self.runs.push(ResultRun::Arena(run.clone()));
+        }
+    }
+}
+
+impl MergeableSink for HandleSink {
+    fn fork(&self) -> Self {
+        HandleSink::new()
+    }
+
+    /// Run-list concatenation: O(runs + own tail) regardless of how many
+    /// ids the handles cover.
+    fn merge(&mut self, mut other: Self) {
+        self.len += other.len;
+        self.flush_tail();
+        if self.runs.is_empty() {
+            self.runs = other.runs;
+        } else {
+            self.runs.append(&mut other.runs);
+        }
+        // adopt the merged-in sink's open tail (its newest emissions),
+        // recycling our now-idle tail allocation
+        let idle = std::mem::replace(&mut self.tail, other.tail);
+        if idle.capacity() > 0 {
+            self.spares.push(idle);
+        }
+        self.spares.append(&mut other.spares);
+    }
+
+    fn result_count(&self) -> Option<usize> {
+        Some(self.len)
     }
 }
 
@@ -599,6 +899,155 @@ mod tests {
         // the fork itself retains at most k, and saturates
         assert_eq!(f.len(), 3);
         assert!(f.is_saturated());
+    }
+
+    #[test]
+    fn forks_presize_from_the_parents_running_count() {
+        let v: Vec<IntervalId> = (0..100).collect();
+        let fv = MergeableSink::fork(&v);
+        assert!(fv.is_empty());
+        assert!(fv.capacity() >= 100, "Vec fork should carry a size hint");
+
+        let mut c = CollectSink::new();
+        c.emit_slice(&v);
+        let fc = c.fork();
+        assert!(fc.is_empty());
+        assert!(fc.into_vec().capacity() >= 100);
+    }
+
+    #[test]
+    fn fork_sized_uses_the_hint_and_never_changes_results() {
+        let v: Vec<IntervalId> = vec![1, 2];
+        let mut fv = v.fork_sized(64);
+        assert!(fv.capacity() >= 64);
+        fv.emit_slice(&[3, 4]);
+        let mut v2 = v.clone();
+        v2.merge(fv);
+        assert_eq!(v2, vec![1, 2, 3, 4]);
+
+        // sinks without a capacity override just fork normally
+        let f = FirstK::new(2).fork_sized(1024);
+        assert!(!f.is_saturated());
+        let e = ExistsSink::new().fork_sized(9);
+        assert!(!e.found());
+    }
+
+    #[test]
+    fn result_counts_are_reported_where_knowable() {
+        let mut v: Vec<IntervalId> = Vec::new();
+        v.emit_slice(&[1, 2, 3]);
+        assert_eq!(MergeableSink::result_count(&v), Some(3));
+        let mut c = CollectSink::new();
+        c.emit(1);
+        assert_eq!(c.result_count(), Some(1));
+        let mut n = CountSink::new();
+        n.emit_slice(&[0; 7]);
+        assert_eq!(n.result_count(), Some(7));
+        let mut h = HandleSink::new();
+        h.emit_slice(&[1, 2]);
+        assert_eq!(h.result_count(), Some(2));
+        assert_eq!(FirstK::new(3).result_count(), None);
+    }
+
+    #[test]
+    fn default_emit_arena_matches_the_slice_scan_exactly() {
+        let arena: Arc<Vec<IntervalId>> = Arc::new((0..500).collect());
+        let run = ArenaRun::new(Arc::clone(&arena), 10, 400);
+
+        // unbounded sink: whole run, in order
+        let mut v: Vec<IntervalId> = Vec::new();
+        assert!(!QuerySink::wants_arenas(&v));
+        v.emit_arena(&run);
+        assert_eq!(v, arena[10..400]);
+
+        // saturating sink: polls at SATURATION_POLL cadence, so the
+        // overshoot past k is bounded by one chunk — same as emit_ids
+        let mut f = FirstK::new(5);
+        f.emit_arena(&run);
+        assert_eq!(f.ids(), &arena[10..15]);
+    }
+
+    #[test]
+    fn handle_sink_mixes_owned_and_arena_runs() {
+        let arena: Arc<Vec<IntervalId>> = Arc::new((0..200).collect());
+        let mut h = HandleSink::new();
+        h.emit(1);
+        h.emit_slice(&[2, 3]);
+        h.emit_arena(&ArenaRun::new(
+            Arc::clone(&arena),
+            100,
+            100 + ARENA_HANDLE_MIN,
+        ));
+        h.emit(9);
+        h.emit_arena(&ArenaRun::new(Arc::clone(&arena), 4, 4)); // empty: dropped
+        assert_eq!(h.len(), 4 + ARENA_HANDLE_MIN);
+        // owned runs coalesce; long arena runs stay handles
+        assert_eq!(h.runs().len(), 3);
+        assert!(matches!(h.runs()[1], ResultRun::Arena(_)));
+        let want: Vec<IntervalId> = [1, 2, 3]
+            .into_iter()
+            .chain(100..(100 + ARENA_HANDLE_MIN) as IntervalId)
+            .chain([9])
+            .collect();
+        assert_eq!(h.into_vec(), want);
+    }
+
+    #[test]
+    fn handle_sink_inlines_short_arena_runs() {
+        let arena: Arc<Vec<IntervalId>> = Arc::new((0..200).collect());
+        let mut h = HandleSink::new();
+        h.emit(7);
+        // below the handle threshold: copied into the owned tail, no
+        // refcount taken on the arena
+        h.emit_arena(&ArenaRun::new(
+            Arc::clone(&arena),
+            10,
+            10 + ARENA_HANDLE_MIN - 1,
+        ));
+        assert_eq!(h.runs().len(), 1);
+        assert!(matches!(h.runs()[0], ResultRun::Owned(_)));
+        assert_eq!(Arc::strong_count(&arena), 1);
+        let want: Vec<IntervalId> = std::iter::once(7)
+            .chain(10..(10 + ARENA_HANDLE_MIN - 1) as IntervalId)
+            .collect();
+        assert_eq!(h.into_vec(), want);
+    }
+
+    #[test]
+    fn handle_sink_merge_concatenates_run_lists_in_call_order() {
+        let arena: Arc<Vec<IntervalId>> = Arc::new(vec![7, 8, 9]);
+        let mut h = HandleSink::new();
+        h.emit(1);
+        let mut f1 = h.fork();
+        f1.emit_arena(&ArenaRun::new(Arc::clone(&arena), 0, 3));
+        let mut f2 = h.fork();
+        f2.emit_slice(&[4, 5]);
+        h.merge(f1);
+        h.merge(f2);
+        assert_eq!(h.len(), 6);
+        assert_eq!(h.into_vec(), vec![1, 7, 8, 9, 4, 5]);
+    }
+
+    #[test]
+    fn arena_handles_keep_the_arena_alive() {
+        let arena: Arc<Vec<IntervalId>> = Arc::new((0..ARENA_HANDLE_MIN as IntervalId).collect());
+        let mut h = HandleSink::new();
+        h.emit_arena(&ArenaRun::new(Arc::clone(&arena), 0, ARENA_HANDLE_MIN));
+        assert!(matches!(h.runs()[0], ResultRun::Arena(_)));
+        // simulate a reseal epoch: the store drops its reference
+        drop(arena);
+        // the handle still reads the superseded column safely
+        assert_eq!(
+            h.into_vec(),
+            (0..ARENA_HANDLE_MIN as IntervalId).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of arena bounds")]
+    fn arena_run_rejects_out_of_bounds_ranges() {
+        let arena: Arc<Vec<IntervalId>> = Arc::new(vec![1, 2]);
+        let _ = ArenaRun::new(arena, 1, 3);
     }
 
     #[test]

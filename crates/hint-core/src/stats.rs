@@ -33,12 +33,21 @@ fn bucket_of(extent: u64) -> usize {
 #[derive(Debug)]
 pub struct ExtentHistogram {
     buckets: [AtomicU64; EXTENT_BUCKETS],
+    /// Per-bucket sum of observed result counts (see
+    /// [`record_results`](Self::record_results)).
+    result_sums: [AtomicU64; EXTENT_BUCKETS],
+    /// Per-bucket number of result-count observations. Kept separate
+    /// from `buckets`: extents are recorded pre-query on every routed
+    /// shard, result counts only where the merged total is known.
+    result_obs: [AtomicU64; EXTENT_BUCKETS],
 }
 
 impl Default for ExtentHistogram {
     fn default() -> Self {
         Self {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            result_sums: std::array::from_fn(|_| AtomicU64::new(0)),
+            result_obs: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -53,6 +62,30 @@ impl ExtentHistogram {
     #[inline]
     pub fn record(&self, extent: u64) {
         self.buckets[bucket_of(extent)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the merged result count of a completed query, keyed by
+    /// its extent — the feedback loop behind
+    /// [`expected_results`](Self::expected_results).
+    #[inline]
+    pub fn record_results(&self, extent: u64, results: usize) {
+        let b = bucket_of(extent);
+        self.result_sums[b].fetch_add(results as u64, Ordering::Relaxed);
+        self.result_obs[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Predicted result count for a query of the given extent: the mean
+    /// of past [`record_results`](Self::record_results) observations in
+    /// the extent's bucket, or `None` before any have landed. Capacity
+    /// advice only — never affects results.
+    pub fn expected_results(&self, extent: u64) -> Option<usize> {
+        let b = bucket_of(extent);
+        let obs = self.result_obs[b].load(Ordering::Relaxed);
+        if obs == 0 {
+            return None;
+        }
+        let sum = self.result_sums[b].load(Ordering::Relaxed);
+        Some((sum / obs) as usize)
     }
 
     /// A point-in-time copy of the counts.
@@ -261,6 +294,20 @@ mod tests {
         assert_eq!(mix.counts[1], 1); // extent 1
         assert_eq!(mix.counts[3], 2); // extent 5 in [4, 8)
         assert_eq!(mix.counts[10], 1); // extent 900 in [512, 1024)
+    }
+
+    #[test]
+    fn expected_results_average_per_extent_bucket() {
+        let h = ExtentHistogram::new();
+        assert_eq!(h.expected_results(5), None);
+        h.record_results(5, 100);
+        h.record_results(6, 50); // same [4, 8) bucket
+        assert_eq!(h.expected_results(7), Some(75));
+        // Other buckets stay independent and unobserved.
+        assert_eq!(h.expected_results(0), None);
+        assert_eq!(h.expected_results(900), None);
+        h.record_results(0, 3);
+        assert_eq!(h.expected_results(0), Some(3));
     }
 
     #[test]

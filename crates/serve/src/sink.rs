@@ -17,13 +17,35 @@
 
 use crate::proto::{encode_end, encode_results, Reply, Status, RESULTS_PER_FRAME};
 use bytes::{BufMut, BytesMut};
-use hint_core::{IntervalId, MergeableSink, QuerySink};
+use hint_core::{ArenaRun, IntervalId, MergeableSink, QuerySink};
+
+/// One run of a query's results, in emission order.
+#[derive(Debug)]
+enum Segment {
+    /// Piecewise emissions, already in little-endian wire encoding
+    /// (8 bytes per id).
+    Bytes(BytesMut),
+    /// A zero-copy handle into a sealed shard's id arena — carried
+    /// across the fork/merge boundary as a slice handle and encoded
+    /// straight from the arena only when frames are cut.
+    Arena(ArenaRun),
+}
 
 /// Encodes one query's results incrementally into wire form.
+///
+/// Comparison-free bulk runs arrive as [`ArenaRun`] handles
+/// ([`QuerySink::emit_arena`]) and are kept as handles until
+/// [`into_frames`](Self::into_frames) — the ids cross the executor's
+/// fork/merge boundary without ever being copied into an intermediate
+/// buffer.
 #[derive(Debug, Default)]
 pub struct WireSink {
-    /// Result ids in little-endian wire encoding (8 bytes each).
-    payload: BytesMut,
+    /// Completed runs, in emission order.
+    segments: Vec<Segment>,
+    /// The open byte run taking piecewise emissions.
+    tail: BytesMut,
+    /// Ids accepted so far.
+    count: u64,
 }
 
 impl WireSink {
@@ -34,22 +56,65 @@ impl WireSink {
 
     /// Number of ids encoded so far.
     pub fn count(&self) -> u64 {
-        (self.payload.len() / 8) as u64
+        self.count
+    }
+
+    /// Closes the open byte run into the segment list.
+    fn flush_tail(&mut self) {
+        if !self.tail.is_empty() {
+            self.segments
+                .push(Segment::Bytes(std::mem::take(&mut self.tail)));
+        }
+    }
+
+    /// Appends encoded ids to the frame under construction, cutting a
+    /// `Results` frame into `out` each time it fills. `bytes.len()` and
+    /// the frame capacity are both multiples of 8, so ids never split
+    /// across frames.
+    fn fill(out: &mut BytesMut, frame: &mut BytesMut, mut bytes: &[u8]) {
+        let cap = RESULTS_PER_FRAME * 8;
+        while !bytes.is_empty() {
+            let take = (cap - frame.len()).min(bytes.len());
+            frame.put_slice(&bytes[..take]);
+            bytes = &bytes[take..];
+            if frame.len() == cap {
+                encode_results(out, frame.as_slice());
+                frame.clear();
+            }
+        }
     }
 
     /// Consumes the sink, appending its response — result chunks of at
     /// most [`RESULTS_PER_FRAME`] ids, then the `Ok` end trailer — to a
-    /// connection's outgoing byte buffer.
+    /// connection's outgoing byte buffer. Arena segments are encoded
+    /// here, straight from the sealed arena slice: the final consumer of
+    /// the zero-copy read path.
     pub fn into_frames(self, out: &mut BytesMut) {
-        let bytes = self.payload.as_slice();
-        for chunk in bytes.chunks(RESULTS_PER_FRAME * 8) {
-            encode_results(out, chunk);
+        let cap = RESULTS_PER_FRAME * 8;
+        let mut frame = BytesMut::with_capacity(cap.min(self.count as usize * 8));
+        for seg in &self.segments {
+            match seg {
+                Segment::Bytes(b) => Self::fill(out, &mut frame, b.as_slice()),
+                Segment::Arena(run) => {
+                    for &id in run.as_slice() {
+                        frame.put_u64_le(id);
+                        if frame.len() == cap {
+                            encode_results(out, frame.as_slice());
+                            frame.clear();
+                        }
+                    }
+                }
+            }
+        }
+        Self::fill(out, &mut frame, self.tail.as_slice());
+        if !frame.is_empty() {
+            encode_results(out, frame.as_slice());
         }
         encode_end(
             out,
             Reply {
                 status: Status::Ok,
-                count: (bytes.len() / 8) as u64,
+                count: self.count,
             },
         );
     }
@@ -58,14 +123,33 @@ impl WireSink {
 impl QuerySink for WireSink {
     #[inline]
     fn emit(&mut self, id: IntervalId) {
-        self.payload.put_u64_le(id);
+        self.tail.put_u64_le(id);
+        self.count += 1;
     }
 
     #[inline]
     fn emit_slice(&mut self, ids: &[IntervalId]) {
         for &id in ids {
-            self.payload.put_u64_le(id);
+            self.tail.put_u64_le(id);
         }
+        self.count += ids.len() as u64;
+    }
+
+    fn wants_arenas(&self) -> bool {
+        true
+    }
+
+    fn emit_arena(&mut self, run: &ArenaRun) {
+        if run.len() < hint_core::ARENA_HANDLE_MIN {
+            // short runs: the fixed handle bookkeeping (segment entry,
+            // refcount round-trip, flush of the open byte run) costs
+            // more than encoding the few ids inline
+            self.emit_slice(run.as_slice());
+            return;
+        }
+        self.flush_tail();
+        self.count += run.len() as u64;
+        self.segments.push(Segment::Arena(run.clone()));
     }
 }
 
@@ -74,15 +158,30 @@ impl MergeableSink for WireSink {
         WireSink::new()
     }
 
-    /// Byte-buffer concatenation: forks arrive in shard order, so the
-    /// merged payload equals what sequential emission would have
-    /// encoded.
-    fn merge(&mut self, other: Self) {
-        if self.payload.is_empty() {
-            self.payload = other.payload;
-        } else {
-            self.payload.unsplit(other.payload);
+    /// A fork pre-sized for `cap` expected ids (the serve scheduler's
+    /// histogram hint); arena runs bypass the buffer, so this only sizes
+    /// the piecewise-emission tail.
+    fn fork_sized(&self, cap: usize) -> Self {
+        Self {
+            segments: Vec::new(),
+            tail: BytesMut::with_capacity(cap * 8),
+            count: 0,
         }
+    }
+
+    /// Run-list concatenation: forks arrive in shard order, so the
+    /// merged segment sequence equals what sequential emission would
+    /// have produced — arena handles are adopted without touching their
+    /// bytes.
+    fn merge(&mut self, mut other: Self) {
+        self.flush_tail();
+        self.segments.append(&mut other.segments);
+        self.tail = other.tail;
+        self.count += other.count;
+    }
+
+    fn result_count(&self) -> Option<usize> {
+        Some(self.count as usize)
     }
 }
 
@@ -200,6 +299,80 @@ mod tests {
         f.emit_slice(&[9, 8]);
         sink.merge(f);
         assert_eq!(sink.count(), 2);
+    }
+
+    #[test]
+    fn arena_runs_encode_straight_from_the_handle() {
+        let hm = hint_core::ARENA_HANDLE_MIN as u64;
+        let arena = std::sync::Arc::new((0..4 * hm).collect::<Vec<_>>());
+        let mut sink = WireSink::new();
+        sink.emit(7);
+        // long run: carried as a handle, encoded straight from the arena
+        sink.emit_arena(&ArenaRun::new(
+            std::sync::Arc::clone(&arena),
+            10,
+            10 + hm as usize,
+        ));
+        sink.emit_slice(&[1, 2]);
+        // short run: inlined into the byte tail, no segment cut
+        sink.emit_arena(&ArenaRun::new(std::sync::Arc::clone(&arena), 30, 33));
+        sink.emit_arena(&ArenaRun::new(arena, 50, 50)); // empty: dropped
+        assert_eq!(sink.count(), 6 + hm);
+        let mut out = BytesMut::new();
+        sink.into_frames(&mut out);
+        let (ids, reply) = decode(out);
+        let want: Vec<IntervalId> = std::iter::once(7)
+            .chain(10..10 + hm)
+            .chain([1, 2])
+            .chain(30..33)
+            .collect();
+        assert_eq!(ids, want);
+        assert_eq!(reply.count, 6 + hm);
+    }
+
+    #[test]
+    fn arena_heavy_results_still_frame_at_the_bound() {
+        let n = RESULTS_PER_FRAME * 2 + 17;
+        let arena = std::sync::Arc::new((0..n as u64).collect::<Vec<_>>());
+        let mut sink = WireSink::new();
+        sink.emit(u64::MAX); // unaligned byte prefix before the arena run
+        sink.emit_arena(&ArenaRun::new(arena, 0, n));
+        let mut out = BytesMut::new();
+        sink.into_frames(&mut out);
+        let mut rd = FrameReader::new(std::io::Cursor::new(Vec::from(out.clone())));
+        let mut frames = 0;
+        while let Ok(Some(f)) = rd.read_frame() {
+            if f.kind == Kind::Results {
+                assert!(f.payload.len() <= RESULTS_PER_FRAME * 8);
+                assert_eq!(f.payload.len() % 8, 0, "ids must not split across frames");
+                frames += 1;
+            }
+        }
+        assert_eq!(frames, 3);
+        let (ids, reply) = decode(out);
+        let want: Vec<IntervalId> = std::iter::once(u64::MAX).chain(0..n as u64).collect();
+        assert_eq!(ids, want);
+        assert_eq!(reply.count, n as u64 + 1);
+    }
+
+    #[test]
+    fn merged_arena_forks_preserve_emission_order() {
+        let arena = std::sync::Arc::new(vec![100u64, 101, 102, 103]);
+        let mut sink = WireSink::new();
+        sink.emit_slice(&[1, 2]);
+        let mut f1 = sink.fork();
+        let mut f2 = sink.fork_sized(8);
+        f1.emit_arena(&ArenaRun::new(std::sync::Arc::clone(&arena), 0, 2));
+        f1.emit(3);
+        f2.emit(4);
+        f2.emit_arena(&ArenaRun::new(arena, 2, 4));
+        sink.merge(f1);
+        sink.merge(f2);
+        assert_eq!(sink.count(), 8);
+        let mut out = BytesMut::new();
+        sink.into_frames(&mut out);
+        let (ids, _) = decode(out);
+        assert_eq!(ids, vec![1, 2, 100, 101, 3, 4, 102, 103]);
     }
 
     #[test]

@@ -273,8 +273,9 @@ pub mod lifecycle {
 
     use super::{expect_same_results, fuzz, shard_counts};
     use hint_core::{
-        CountSink, Domain, ExistsSink, FirstK, HintMSubs, Interval, IntervalId, IntervalIndex,
-        QuerySink, RangeQuery, RetunePolicy, ScanOracle, Session, ShardedIndex, SubsConfig,
+        CountSink, Domain, ExistsSink, FirstK, HandleSink, HintMSubs, Interval, IntervalId,
+        IntervalIndex, QuerySink, RangeQuery, RetunePolicy, ScanOracle, Session, ShardedIndex,
+        SubsConfig,
     };
 
     /// Domain of the generated workloads.
@@ -311,7 +312,7 @@ pub mod lifecycle {
             let mut next_id = 500_000u64;
             for step in 0..60 {
                 let ctx = |what: &str| format!("seed {seed:#x} K={k} step {step}: {what}");
-                match rng.below(12) {
+                match rng.below(13) {
                     0..=2 => {
                         // insert (sometimes deliberately out of domain)
                         let st = rng.below(DOM + 64);
@@ -427,6 +428,44 @@ pub mod lifecycle {
                         let mut exists = vec![ExistsSink::new()];
                         session.query_batch_merge(&[q], &mut exists);
                         assert_eq!(exists[0].found(), !want.is_empty(), "{}", ctx("exists"));
+                    }
+                    11 => {
+                        // zero-copy handles across a reseal epoch:
+                        // slice handles acquired from the sealed arenas
+                        // must materialize the snapshot they were taken
+                        // from even after a write lands and the index
+                        // reseals underneath them (the Arc'd columns
+                        // outlive their superseding arena)
+                        let qs: Vec<RangeQuery> = (0..6)
+                            .map(|_| {
+                                let (a, b) = (rng.below(DOM), rng.below(DOM));
+                                RangeQuery::new(a.min(b), a.max(b))
+                            })
+                            .collect();
+                        let want: Vec<Vec<IntervalId>> =
+                            qs.iter().map(|&q| oracle.query_sorted(q)).collect();
+                        let mut handles: Vec<HandleSink> =
+                            qs.iter().map(|_| HandleSink::new()).collect();
+                        session.query_batch_merge(&qs, &mut handles);
+                        // next epoch: dirty the index, then reseal while
+                        // the handles are still unmaterialized
+                        let st = rng.below(DOM - 8);
+                        let s = Interval::new(next_id, st, st + 7);
+                        next_id += 1;
+                        session.try_insert(s).unwrap();
+                        oracle.insert(s);
+                        live.push(s);
+                        assert!(session.seal_if_dirty(), "{}", ctx("epoch reseal"));
+                        for (sink, want) in handles.into_iter().zip(&want) {
+                            let mut got = sink.into_vec();
+                            got.sort_unstable();
+                            assert_eq!(
+                                &got,
+                                want,
+                                "{}",
+                                ctx("handle diverged across the reseal epoch")
+                            );
+                        }
                     }
                     _ => {
                         // stab burst: skews the observed mix toward

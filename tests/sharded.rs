@@ -10,7 +10,7 @@
 
 use hint_suite::hint_core::{
     CountSink, Domain, ExistsSink, FirstK, Hint, HintMSubs, HintOptions, Interval, IntervalId,
-    IntervalIndex, QuerySink, RangeQuery, ScanOracle, ShardedIndex, SubsConfig,
+    IntervalIndex, QuerySink, RangeQuery, ResultRun, ScanOracle, ShardedIndex, SubsConfig,
 };
 use proptest::prelude::*;
 use test_support::{
@@ -213,6 +213,87 @@ fn first_k_never_over_emits_across_the_merge_boundary() {
                     "FirstK({k}) emitted fake id {id}"
                 );
             }
+        }
+    }
+}
+
+/// The zero-copy read path, end to end: a `HandleSink` receives
+/// comparison-free runs as slice handles into the sealed arenas, and the
+/// merged handles of a sharded(K) batch must materialize to exactly the
+/// solo (and unsharded) results — for K in {1, 2, 4, 8} and alongside
+/// the count / exists / first-k sinks on the same batch.
+#[test]
+fn zero_copy_handle_merge_matches_solo_for_k_1_2_4_8() {
+    let data: Vec<Interval> = (0..2_000)
+        .map(|i| {
+            let st = (i * 53) % (DOM - 96);
+            Interval::new(i, st, (st + (i % 13) * 40).min(DOM - 1))
+        })
+        .collect();
+    let qs: Vec<RangeQuery> = (0..48)
+        .map(|i| {
+            let st = (i * 157) % (DOM - 1);
+            RangeQuery::new(st, (st + 30 + (i % 7) * 250).min(DOM - 1))
+        })
+        .collect();
+    let mut unsharded =
+        HintMSubs::build_with_domain(&data, Domain::new(0, DOM - 1, 9), SubsConfig::full());
+    unsharded.seal();
+    for k in [1usize, 2, 4, 8] {
+        let mut idx = sharded_subs(&data, k, SubsConfig::full());
+        IntervalIndex::seal(&mut idx);
+
+        let mut handles: Vec<hint_suite::hint_core::HandleSink> = qs
+            .iter()
+            .map(|_| hint_suite::hint_core::HandleSink::new())
+            .collect();
+        idx.query_batch_merge(&qs, &mut handles);
+        if k == 1 {
+            // Guard against the test going vacuous: arena offers are
+            // length-gated (`ARENA_HANDLE_MIN`), so sparse data could
+            // silently stop exercising the zero-copy path. At K=1 no
+            // replica filter can suppress handles — at least one
+            // comparison-free run must cross the boundary un-copied.
+            assert!(
+                handles
+                    .iter_mut()
+                    .any(|s| s.runs().iter().any(|r| matches!(r, ResultRun::Arena(_)))),
+                "no arena handle crossed the merge boundary — densify the test data"
+            );
+        }
+        let mut counts = vec![CountSink::new(); qs.len()];
+        idx.query_batch_merge(&qs, &mut counts);
+        let mut exists = vec![ExistsSink::new(); qs.len()];
+        idx.query_batch_merge(&qs, &mut exists);
+        let mut firsts: Vec<FirstK> = qs.iter().map(|_| FirstK::new(5)).collect();
+        idx.query_batch_merge(&qs, &mut firsts);
+
+        for (i, (&q, sink)) in qs.iter().zip(handles).enumerate() {
+            let mut solo = Vec::new();
+            idx.query_sink(q, &mut solo);
+            assert_eq!(
+                sink.len(),
+                solo.len(),
+                "K={k}: handle count != solo on {q:?}"
+            );
+            let got = sink.into_vec();
+            assert_eq!(got, solo, "K={k}: handle merge != solo on {q:?}");
+            let mut reference = Vec::new();
+            unsharded.query_sink(q, &mut reference);
+            assert_eq!(
+                sorted(got),
+                sorted(reference),
+                "K={k}: handle merge != unsharded on {q:?}"
+            );
+            assert_eq!(counts[i].count(), solo.len(), "K={k}: count on {q:?}");
+            assert_eq!(
+                exists[i].found(),
+                !solo.is_empty(),
+                "K={k}: exists on {q:?}"
+            );
+            let mut solo_k = FirstK::new(5);
+            idx.query_sink(q, &mut solo_k);
+            assert_eq!(firsts[i].ids(), solo_k.ids(), "K={k}: first-k on {q:?}");
         }
     }
 }
