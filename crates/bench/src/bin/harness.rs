@@ -12,6 +12,7 @@
 //!   shardscale      extra: sharded parallel executor throughput vs K
 //!   serve           extra: batched serving latency/throughput vs batch window
 //!   retune          extra: persistent worker pool vs scoped fan-out + adaptive per-shard m
+//!   snapshot        extra: durable snapshot save bandwidth + restore vs rebuild
 //!   all             run everything (paper order)
 //!
 //! flags:
@@ -28,7 +29,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <fig10|fig11|fig12|fig13|fig14|table6|table7|table8|table9|table10|ablation|countmode|cachelayout|shardscale|serve|retune|all> \
+        "usage: harness <fig10|fig11|fig12|fig13|fig14|table6|table7|table8|table9|table10|ablation|countmode|cachelayout|shardscale|serve|retune|snapshot|all> \
          [--quick] [--scale N] [--queries N] [--max-m N] [--seed N]"
     );
     exit(2);
@@ -108,6 +109,7 @@ fn main() {
         "shardscale" => experiments::shardscale::run(&cfg),
         "serve" => experiments::serve::run(&cfg),
         "retune" => experiments::retune::run(&cfg),
+        "snapshot" => experiments::snapshot::run(&cfg),
         _ => usage(),
     };
     if experiment == "all" {
@@ -128,6 +130,7 @@ fn main() {
             "shardscale",
             "serve",
             "retune",
+            "snapshot",
         ] {
             run_one(name);
             println!();

@@ -15,6 +15,7 @@ pub mod fig14;
 pub mod retune;
 pub mod serve;
 pub mod shardscale;
+pub mod snapshot;
 pub mod table10;
 pub mod table6;
 pub mod table7;

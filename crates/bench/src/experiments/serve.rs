@@ -115,7 +115,7 @@ fn measure(
             .map(|chunk| {
                 let (client_end, server_end) = duplex();
                 server.attach(server_end);
-                let client = Client::new(client_end);
+                let client = Client::new(client_end).expect("split transport");
                 scope.spawn(move || run_client(client, chunk))
             })
             .collect();

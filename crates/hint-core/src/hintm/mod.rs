@@ -50,6 +50,7 @@ pub mod base;
 pub mod delta;
 pub mod opt;
 pub(crate) mod sealed;
+pub mod snapshot;
 pub mod subs;
 
 /// Largest `m` for which the dense per-partition builders run an exact

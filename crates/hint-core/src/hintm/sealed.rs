@@ -232,6 +232,115 @@ enum KeyCol {
     None,
 }
 
+/// Borrowed view of one category's raw CSR columns — what the snapshot
+/// writer serializes. Only the columns the category populates are
+/// non-empty (Table 3).
+pub(crate) struct CatColumns<'a> {
+    /// Partition-offset table (`2^level + 1` entries).
+    pub starts: &'a [u32],
+    /// Interval ids, one per stored entry.
+    pub ids: &'a [IntervalId],
+    /// Start column (`Oin`, `Oaft`); empty otherwise.
+    pub st: &'a [Time],
+    /// End column (`Oin`, `Rin`); empty otherwise.
+    pub end: &'a [Time],
+}
+
+/// Owned raw CSR columns of one category — what the snapshot reader
+/// hands back for validation and import.
+#[derive(Debug, Default)]
+pub(crate) struct CatColumnsOwned {
+    /// Partition-offset table (`2^level + 1` entries).
+    pub starts: Vec<u32>,
+    /// Interval ids, one per stored entry.
+    pub ids: Vec<IntervalId>,
+    /// Start column (`Oin`, `Oaft`); empty otherwise.
+    pub st: Vec<Time>,
+    /// End column (`Oin`, `Rin`); empty otherwise.
+    pub end: Vec<Time>,
+}
+
+fn into_cat(c: CatColumnsOwned) -> CsrCat {
+    CsrCat {
+        starts: c.starts,
+        ids: Arc::new(c.ids),
+        st: c.st,
+        end: c.end,
+    }
+}
+
+/// Checks one imported category's shape: offset-table length and
+/// monotonicity, final offset matching the column lengths, and the
+/// Table-3 column-presence rule.
+fn validate_cat(
+    level: u32,
+    name: &str,
+    c: &CatColumnsOwned,
+    parts: usize,
+    has_st: bool,
+    has_end: bool,
+) -> Result<(), String> {
+    if c.starts.len() != parts + 1 {
+        return Err(format!(
+            "level {level} {name}: offset table has {} entries, expected {}",
+            c.starts.len(),
+            parts + 1
+        ));
+    }
+    if c.starts[0] != 0 {
+        return Err(format!(
+            "level {level} {name}: offset table does not start at 0"
+        ));
+    }
+    if c.starts.windows(2).any(|w| w[0] > w[1]) {
+        return Err(format!("level {level} {name}: offset table not monotone"));
+    }
+    let n = *c.starts.last().unwrap() as usize;
+    if c.ids.len() != n {
+        return Err(format!(
+            "level {level} {name}: {} ids, offset table says {n}",
+            c.ids.len()
+        ));
+    }
+    let want_st = if has_st { n } else { 0 };
+    if c.st.len() != want_st {
+        return Err(format!(
+            "level {level} {name}: st column has {} entries, expected {want_st}",
+            c.st.len()
+        ));
+    }
+    let want_end = if has_end { n } else { 0 };
+    if c.end.len() != want_end {
+        return Err(format!(
+            "level {level} {name}: end column has {} entries, expected {want_end}",
+            c.end.len()
+        ));
+    }
+    if c.ids.contains(&TOMBSTONE) {
+        return Err(format!(
+            "level {level} {name}: tombstone id in a sealed snapshot"
+        ));
+    }
+    Ok(())
+}
+
+/// Checks the within-run sort invariant the sealed walk's binary
+/// searches rely on: `key` non-decreasing inside every partition run.
+fn check_run_order(level: u32, name: &str, starts: &[u32], key: &[Time]) -> Result<(), String> {
+    if key.is_empty() {
+        return Ok(());
+    }
+    for (off, w) in starts.windows(2).enumerate() {
+        let run = &key[w[0] as usize..w[1] as usize];
+        if run.windows(2).any(|p| p[0] > p[1]) {
+            return Err(format!(
+                "level {level} {name}: partition {off} comparison-key run not sorted"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[derive(Debug, Clone)]
 struct SealedLevel {
     oin: CsrCat,
@@ -364,6 +473,75 @@ fn build_starts(parts: usize, offsets: impl Iterator<Item = u64>) -> Vec<u32> {
 }
 
 impl SealedStore {
+    /// Hierarchy depth of the sealed arenas.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Borrowed raw columns of category `kind` at `level` — the
+    /// snapshot export path reads the arenas through this, byte for
+    /// byte, with no re-sort or re-assignment.
+    pub fn category_columns(&self, level: u32, kind: SubKind) -> CatColumns<'_> {
+        let lev = &self.levels[level as usize];
+        let cat = match kind {
+            SubKind::OriginalIn => &lev.oin,
+            SubKind::OriginalAft => &lev.oaft,
+            SubKind::ReplicaIn => &lev.rin,
+            SubKind::ReplicaAft => &lev.raft,
+        };
+        CatColumns {
+            starts: &cat.starts,
+            ids: &cat.ids,
+            st: &cat.st,
+            end: &cat.end,
+        }
+    }
+
+    /// Rebuilds a store from raw columns (the snapshot restore path),
+    /// validating every structural invariant the sealed walk relies on:
+    /// offset-table shape and monotonicity, final offsets matching the
+    /// column lengths, per-category column presence (Table 3), sorted
+    /// comparison keys within every partition run, and no tombstones.
+    /// Each level's categories arrive in `[oin, oaft, rin, raft]`
+    /// order. Returns a description of the first violation instead of
+    /// panicking — corrupted snapshot bytes must never crash a restore.
+    pub fn from_columns(m: u32, levels: Vec<[CatColumnsOwned; 4]>) -> Result<SealedStore, String> {
+        if m > 26 {
+            // the build path asserts the same bound; a decoded m beyond
+            // it is corruption, not a shape this store can represent
+            return Err(format!("m = {m} exceeds the supported depth (26)"));
+        }
+        if levels.len() != (m + 1) as usize {
+            return Err(format!(
+                "expected {} levels for m = {m}, got {}",
+                m + 1,
+                levels.len()
+            ));
+        }
+        let levels = levels
+            .into_iter()
+            .enumerate()
+            .map(|(l, [oin, oaft, rin, raft])| {
+                let parts = 1usize << l;
+                let l = l as u32;
+                validate_cat(l, "oin", &oin, parts, true, true)?;
+                validate_cat(l, "oaft", &oaft, parts, true, false)?;
+                validate_cat(l, "rin", &rin, parts, false, true)?;
+                validate_cat(l, "raft", &raft, parts, false, false)?;
+                check_run_order(l, "oin", &oin.starts, &oin.st)?;
+                check_run_order(l, "oaft", &oaft.starts, &oaft.st)?;
+                check_run_order(l, "rin", &rin.starts, &rin.end)?;
+                Ok(SealedLevel {
+                    oin: into_cat(oin),
+                    oaft: into_cat(oaft),
+                    rin: into_cat(rin),
+                    raft: into_cat(raft),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(SealedStore { m, levels })
+    }
+
     /// Total stored entries across all arenas.
     pub fn entries(&self) -> usize {
         self.levels

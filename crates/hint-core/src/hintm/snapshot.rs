@@ -1,0 +1,1010 @@
+//! Crash-safe durable snapshot/restore for the sharded, sealed HINT^m.
+//!
+//! A snapshot is the byte-exact image of a **sealed** engine: for every
+//! shard, the raw `starts`/`ids`/`st`/`end` CSR columns of every
+//! level/category arena ([`super::sealed`]), plus the shard metadata
+//! (bounds, domain, config, replica set) needed to rebuild the
+//! [`ShardedIndex`] around them. Restore is a bulk read straight back
+//! into the arenas — no re-sort, no re-assignment pass — so it beats
+//! rebuilding from scratch by the cost of the whole assignment + sort
+//! pipeline (`harness snapshot` measures the ratio).
+//!
+//! ## File format (version 1, all integers little-endian)
+//!
+//! ```text
+//! header    magic "HINTSNAP" | version u32 | flags u32
+//!           | shard_count u32 | section_count u32 | live u64
+//! shards    per shard: start u64 | end u64 | dom_min u64 | dom_max u64
+//!           | m u32 | cfg u32 (bit0 sort, bit1 sopt)
+//!           | replica_count u64 | replica ids (u64 each, ascending)
+//! sections  per section: name_len u8 | name | offset u64 (into the
+//!           payload region) | cardinality u64 | entity_size u32
+//!           | crc32 u32  — names are "s<shard>/L<level>/<cat>/<col>"
+//!           in canonical order (shard-major, level, then
+//!           oin/oaft/rin/raft, then starts/ids/st/end)
+//! payload   the raw columns, back to back, in section-table order
+//! footer    magic "SNAPDONE" | total_len u64 (bytes before the
+//!           footer) | crc32 u32 (over all bytes before the footer)
+//! ```
+//!
+//! Every section carries its own CRC32 (IEEE) and the footer carries
+//! one over the entire preceding byte range, so corruption anywhere —
+//! header, metadata, table, or columns — is detected before any value
+//! is trusted. Decoding is fully checked and returns a typed
+//! [`RestoreError`] on any violation; it never panics (this crate
+//! forbids `unsafe`, so even a hostile file can at worst be rejected).
+//!
+//! ## Durability discipline
+//!
+//! [`write_index`] serializes to `<path>.tmp`, fsyncs, then atomically
+//! renames over `path`: a crash at any byte leaves either the old
+//! snapshot or the new one, never garbage. All file operations go
+//! through the [`SnapshotIo`] trait; [`FaultIo`] is the deterministic
+//! fault-injecting implementation behind the crash-recovery test
+//! matrix (short writes, ENOSPC, fsync failure, torn rename, bit-flip
+//! read corruption).
+
+use crate::assign::SubKind;
+use crate::domain::Domain;
+use crate::hintm::sealed::{CatColumnsOwned, SealedStore};
+use crate::hintm::subs::{HintMSubs, SubsConfig};
+use crate::interval::IntervalId;
+use crate::shard::{Shard, ShardedIndex};
+use std::collections::HashSet;
+use std::fs;
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Leading file magic.
+const MAGIC: &[u8; 8] = b"HINTSNAP";
+/// Trailing commit-marker magic: a file without it was never finished.
+const FOOTER_MAGIC: &[u8; 8] = b"SNAPDONE";
+/// Snapshot format version written by this build.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// Fixed header length in bytes.
+const HEADER_LEN: usize = 32;
+/// Fixed footer length in bytes.
+const FOOTER_LEN: usize = 20;
+/// Default write chunk (bytes) — overridable via `HINT_SNAPSHOT_CHUNK`.
+const DEFAULT_CHUNK: usize = 64 * 1024;
+
+/// The four categories in canonical snapshot order, with their Table-3
+/// column presence (`has_st`, `has_end`).
+const CATS: [(SubKind, &str, bool, bool); 4] = [
+    (SubKind::OriginalIn, "oin", true, true),
+    (SubKind::OriginalAft, "oaft", true, false),
+    (SubKind::ReplicaIn, "rin", false, true),
+    (SubKind::ReplicaAft, "raft", false, false),
+];
+
+// ---- CRC32 (IEEE 802.3, table-driven) ------------------------------
+
+const fn crc_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        t[0][i] = c;
+        i += 1;
+    }
+    // tables 1..8 extend table 0 to one lookup per input byte at a
+    // stride of eight bytes per step (slicing-by-8)
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            t[j][i] = (t[j - 1][i] >> 8) ^ t[0][(t[j - 1][i] & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+}
+
+static CRC_TABLES: [[u32; 256]; 8] = crc_tables();
+
+/// IEEE CRC32 of `bytes` (the `cksum -o3`/zlib polynomial, reflected),
+/// slicing-by-8: checksums run over every column on both the save and
+/// the restore path, so the byte-at-a-time loop would dominate restore
+/// latency on large snapshots.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = &CRC_TABLES;
+    let mut c = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(8);
+    for ch in &mut chunks {
+        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
+        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---- errors ---------------------------------------------------------
+
+/// Why a snapshot could not be restored. Every decode failure is one of
+/// these — corruption is reported, never panicked on and never silently
+/// accepted.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// The underlying read failed.
+    Io(io::Error),
+    /// Not a snapshot file: bad magic or version, missing committed
+    /// footer, or a frame truncated mid-field.
+    Format(String),
+    /// A CRC32 check failed; names the section (or `footer`).
+    Checksum(String),
+    /// The file decoded cleanly but violates a structural invariant of
+    /// the sealed arenas or the shard layout.
+    Structure(String),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Io(e) => write!(f, "snapshot read failed: {e}"),
+            RestoreError::Format(s) => write!(f, "snapshot format error: {s}"),
+            RestoreError::Checksum(s) => write!(f, "snapshot checksum mismatch in {s}"),
+            RestoreError::Structure(s) => write!(f, "snapshot structure invalid: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<io::Error> for RestoreError {
+    fn from(e: io::Error) -> Self {
+        RestoreError::Io(e)
+    }
+}
+
+// ---- the I/O seam ---------------------------------------------------
+
+/// The file operations the snapshot path uses, as a seam for fault
+/// injection. The production implementation is [`StdSnapshotIo`]; the
+/// crash-recovery matrix drives the same code through [`FaultIo`].
+///
+/// The write half is stateful (`open_write` → `write_all`* →
+/// `sync_and_close`) so an injected fault can land at any chunk
+/// boundary of a real multi-write save.
+pub trait SnapshotIo {
+    /// Creates (or truncates) `path` for writing.
+    fn open_write(&mut self, path: &Path) -> io::Result<()>;
+    /// Appends bytes to the file opened by [`Self::open_write`].
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Flushes the file to stable storage and closes it.
+    fn sync_and_close(&mut self) -> io::Result<()>;
+    /// Atomically renames `from` onto `to` (the commit point).
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Reads the entire file at `path`.
+    fn read_file(&mut self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Removes `path`, treating absence as success (cleanup).
+    fn remove_file(&mut self, path: &Path) -> io::Result<()>;
+}
+
+/// The production [`SnapshotIo`]: plain `std::fs` with a real fsync
+/// before the rename.
+#[derive(Debug, Default)]
+pub struct StdSnapshotIo {
+    open: Option<fs::File>,
+}
+
+impl SnapshotIo for StdSnapshotIo {
+    fn open_write(&mut self, path: &Path) -> io::Result<()> {
+        self.open = Some(fs::File::create(path)?);
+        Ok(())
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        match &mut self.open {
+            Some(f) => f.write_all(bytes),
+            None => Err(io::Error::other("no snapshot file open")),
+        }
+    }
+
+    fn sync_and_close(&mut self) -> io::Result<()> {
+        match self.open.take() {
+            Some(f) => f.sync_all(),
+            None => Err(io::Error::other("no snapshot file open")),
+        }
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn read_file(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut f = fs::File::open(path)?;
+        let mut out = Vec::new();
+        f.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    fn remove_file(&mut self, path: &Path) -> io::Result<()> {
+        match fs::remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            r => r,
+        }
+    }
+}
+
+/// Which operation a [`FaultIo`] fault targets and how it fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The targeted `write_all` persists only the first half of its
+    /// bytes, then errors — a partial page landed on disk.
+    ShortWrite,
+    /// The targeted `write_all` fails with `ENOSPC`-style
+    /// `StorageFull` before writing anything.
+    NoSpace,
+    /// `sync_and_close` fails — the data may or may not have reached
+    /// stable storage.
+    FsyncFail,
+    /// `rename` moves the file into place but still reports failure —
+    /// the crash-straddling-the-commit-point shape: the caller cannot
+    /// know which snapshot is current, and both must restore cleanly.
+    TornRename,
+    /// `read_file` succeeds but one seeded bit of the returned bytes is
+    /// flipped — silent media corruption the checksums must catch.
+    BitFlip,
+}
+
+/// Deterministic fault-injecting [`SnapshotIo`]: wraps an inner
+/// implementation and makes the `at`-th occurrence of the targeted
+/// operation fail per [`FaultKind`]. With `kind = None` it is a pure
+/// pass-through that counts operations — the matrix uses one counting
+/// pass to learn how many fault points a save has, then replays the
+/// save once per point.
+#[derive(Debug)]
+pub struct FaultIo<I> {
+    inner: I,
+    kind: Option<FaultKind>,
+    at: usize,
+    seed: u64,
+    writes: usize,
+    syncs: usize,
+    renames: usize,
+    reads: usize,
+}
+
+impl<I: SnapshotIo> FaultIo<I> {
+    /// A pass-through that only counts operations.
+    pub fn counting(inner: I) -> Self {
+        Self {
+            inner,
+            kind: None,
+            at: 0,
+            seed: 0,
+            writes: 0,
+            syncs: 0,
+            renames: 0,
+            reads: 0,
+        }
+    }
+
+    /// Faults the `at`-th (0-based) occurrence of the operation `kind`
+    /// targets; `seed` drives the bit position of [`FaultKind::BitFlip`].
+    pub fn failing(inner: I, kind: FaultKind, at: usize, seed: u64) -> Self {
+        Self {
+            kind: Some(kind),
+            at,
+            seed,
+            ..Self::counting(inner)
+        }
+    }
+
+    /// `write_all` calls observed so far.
+    pub fn writes(&self) -> usize {
+        self.writes
+    }
+
+    /// The wrapped implementation.
+    pub fn into_inner(self) -> I {
+        self.inner
+    }
+
+    fn splitmix(&self, k: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl<I: SnapshotIo> SnapshotIo for FaultIo<I> {
+    fn open_write(&mut self, path: &Path) -> io::Result<()> {
+        self.inner.open_write(path)
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let n = self.writes;
+        self.writes += 1;
+        match self.kind {
+            Some(FaultKind::ShortWrite) if n == self.at => {
+                self.inner.write_all(&bytes[..bytes.len() / 2])?;
+                Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "injected short write",
+                ))
+            }
+            Some(FaultKind::NoSpace) if n == self.at => Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected ENOSPC",
+            )),
+            _ => self.inner.write_all(bytes),
+        }
+    }
+
+    fn sync_and_close(&mut self) -> io::Result<()> {
+        let n = self.syncs;
+        self.syncs += 1;
+        if self.kind == Some(FaultKind::FsyncFail) && n == self.at {
+            // close the file (drop) without a durable sync, then fail
+            let _ = self.inner.sync_and_close();
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        self.inner.sync_and_close()
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        let n = self.renames;
+        self.renames += 1;
+        if self.kind == Some(FaultKind::TornRename) && n == self.at {
+            // the rename itself commits, but the caller sees a failure:
+            // recovery must accept either the old or the new snapshot
+            self.inner.rename(from, to)?;
+            return Err(io::Error::other("injected torn rename"));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn read_file(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        let n = self.reads;
+        self.reads += 1;
+        let mut bytes = self.inner.read_file(path)?;
+        if self.kind == Some(FaultKind::BitFlip) && n == self.at && !bytes.is_empty() {
+            let bit = self.splitmix(n as u64) as usize % (bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+        }
+        Ok(bytes)
+    }
+
+    fn remove_file(&mut self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+}
+
+// ---- little-endian plumbing ----------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Checked forward cursor over untrusted bytes: every read is
+/// bounds-checked and reports what it was reading when it ran out.
+struct Cur<'a> {
+    b: &'a [u8],
+}
+
+impl<'a> Cur<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Self { b }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], RestoreError> {
+        if self.b.len() < n {
+            return Err(RestoreError::Format(format!("truncated reading {what}")));
+        }
+        let (h, t) = self.b.split_at(n);
+        self.b = t;
+        Ok(h)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, RestoreError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, RestoreError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, RestoreError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn rest(self) -> &'a [u8] {
+        self.b
+    }
+}
+
+// ---- encode ---------------------------------------------------------
+
+/// One section-table entry under construction.
+struct Section {
+    name: String,
+    offset: u64,
+    cardinality: u64,
+    entity_size: u32,
+    crc: u32,
+}
+
+fn push_column<T: Copy, F: Fn(T) -> Vec<u8>>(
+    sections: &mut Vec<Section>,
+    payload: &mut Vec<u8>,
+    name: String,
+    entity_size: u32,
+    col: &[T],
+    le: F,
+) {
+    let offset = payload.len() as u64;
+    for &v in col {
+        payload.extend_from_slice(&le(v));
+    }
+    let crc = crc32(&payload[offset as usize..]);
+    sections.push(Section {
+        name,
+        offset,
+        cardinality: col.len() as u64,
+        entity_size,
+        crc,
+    });
+}
+
+/// Serializes a sealed sharded index into the snapshot byte format.
+///
+/// Every shard must be sealed with an empty overlay and no tombstones —
+/// the state [`crate::Session::snapshot`] guarantees by resealing
+/// first. Returns an error (never panics) if a shard is not in that
+/// state.
+pub fn encode_index(index: &ShardedIndex<HintMSubs>) -> io::Result<Vec<u8>> {
+    let mut meta = Vec::new();
+    let mut sections: Vec<Section> = Vec::new();
+    let mut payload = Vec::new();
+    for (s, shard) in index.shards.iter().enumerate() {
+        let subs = &shard.index;
+        if subs.overlay_entries() != 0 || subs.tombstone_count() != 0 {
+            return Err(io::Error::other(format!(
+                "shard {s} has unsealed writes; seal before snapshotting"
+            )));
+        }
+        let sealed = subs
+            .sealed_store()
+            .ok_or_else(|| io::Error::other(format!("shard {s} is not sealed")))?;
+        let d = subs.domain();
+        put_u64(&mut meta, shard.start);
+        put_u64(&mut meta, shard.end);
+        put_u64(&mut meta, d.min());
+        put_u64(&mut meta, d.max());
+        put_u32(&mut meta, d.m());
+        let cfg = subs.config();
+        put_u32(&mut meta, u32::from(cfg.sort) | (u32::from(cfg.sopt) << 1));
+        let mut replicas: Vec<IntervalId> = shard.replicas.iter().copied().collect();
+        replicas.sort_unstable();
+        put_u64(&mut meta, replicas.len() as u64);
+        for id in replicas {
+            put_u64(&mut meta, id);
+        }
+        for l in 0..=d.m() {
+            for (kind, cat, has_st, has_end) in CATS {
+                let c = sealed.category_columns(l, kind);
+                let base = format!("s{s}/L{l}/{cat}");
+                push_column(
+                    &mut sections,
+                    &mut payload,
+                    format!("{base}/starts"),
+                    4,
+                    c.starts,
+                    |v: u32| v.to_le_bytes().to_vec(),
+                );
+                push_column(
+                    &mut sections,
+                    &mut payload,
+                    format!("{base}/ids"),
+                    8,
+                    c.ids,
+                    |v: u64| v.to_le_bytes().to_vec(),
+                );
+                if has_st {
+                    push_column(
+                        &mut sections,
+                        &mut payload,
+                        format!("{base}/st"),
+                        8,
+                        c.st,
+                        |v: u64| v.to_le_bytes().to_vec(),
+                    );
+                }
+                if has_end {
+                    push_column(
+                        &mut sections,
+                        &mut payload,
+                        format!("{base}/end"),
+                        8,
+                        c.end,
+                        |v: u64| v.to_le_bytes().to_vec(),
+                    );
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + meta.len() + payload.len() + FOOTER_LEN);
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, SNAPSHOT_VERSION);
+    put_u32(&mut out, 0); // flags, reserved
+    put_u32(&mut out, index.shards.len() as u32);
+    put_u32(&mut out, sections.len() as u32);
+    put_u64(&mut out, index.live as u64);
+    out.extend_from_slice(&meta);
+    for sec in &sections {
+        debug_assert!(sec.name.len() <= u8::MAX as usize);
+        out.push(sec.name.len() as u8);
+        out.extend_from_slice(sec.name.as_bytes());
+        put_u64(&mut out, sec.offset);
+        put_u64(&mut out, sec.cardinality);
+        put_u32(&mut out, sec.entity_size);
+        put_u32(&mut out, sec.crc);
+    }
+    out.extend_from_slice(&payload);
+    let total = out.len() as u64;
+    let crc = crc32(&out);
+    out.extend_from_slice(FOOTER_MAGIC);
+    put_u64(&mut out, total);
+    put_u32(&mut out, crc);
+    Ok(out)
+}
+
+/// The temp-file sibling a save writes before its atomic rename.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Durably writes `index` to `path` through `io`: serialize, write to
+/// `<path>.tmp` in chunks (`HINT_SNAPSHOT_CHUNK` bytes, default
+/// 64 KiB), fsync, then atomically rename into place. A crash or fault
+/// at any point leaves either the old snapshot or the new one at
+/// `path`, never a partial file. Returns the snapshot size in bytes;
+/// on failure the partial temp file is removed best-effort.
+pub fn write_index(
+    index: &ShardedIndex<HintMSubs>,
+    path: &Path,
+    io: &mut dyn SnapshotIo,
+) -> io::Result<u64> {
+    let bytes = encode_index(index)?;
+    let chunk: usize =
+        crate::env::var_or("HINT_SNAPSHOT_CHUNK", DEFAULT_CHUNK, "bytes >= 1", |&n| {
+            n >= 1
+        });
+    let tmp = tmp_path(path);
+    match write_tmp_and_commit(io, &tmp, path, &bytes, chunk) {
+        Ok(()) => Ok(bytes.len() as u64),
+        Err(e) => {
+            let _ = io.remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+fn write_tmp_and_commit(
+    io: &mut dyn SnapshotIo,
+    tmp: &Path,
+    path: &Path,
+    bytes: &[u8],
+    chunk: usize,
+) -> io::Result<()> {
+    io.open_write(tmp)?;
+    for c in bytes.chunks(chunk) {
+        io.write_all(c)?;
+    }
+    io.sync_and_close()?;
+    io.rename(tmp, path)
+}
+
+// ---- decode ---------------------------------------------------------
+
+/// Pops the next section-table entry, checks it is the expected named
+/// column with the expected entity size, bounds-checks its payload
+/// slice, and verifies its CRC32.
+fn take_column<'p>(
+    next: &mut std::slice::Iter<'_, Section>,
+    payload: &'p [u8],
+    name: String,
+    entity_size: u32,
+) -> Result<&'p [u8], RestoreError> {
+    let sec = next
+        .next()
+        .ok_or_else(|| RestoreError::Format(format!("section table ended before {name}")))?;
+    if sec.name != name {
+        return Err(RestoreError::Format(format!(
+            "expected section {name}, found {}",
+            sec.name
+        )));
+    }
+    if sec.entity_size != entity_size {
+        return Err(RestoreError::Format(format!(
+            "{name}: entity size {} (expected {entity_size})",
+            sec.entity_size
+        )));
+    }
+    let len = sec
+        .cardinality
+        .checked_mul(entity_size as u64)
+        .and_then(|n| usize::try_from(n).ok())
+        .ok_or_else(|| RestoreError::Format(format!("{name}: length overflow")))?;
+    let off = usize::try_from(sec.offset)
+        .map_err(|_| RestoreError::Format(format!("{name}: offset overflow")))?;
+    let slice = off
+        .checked_add(len)
+        .and_then(|end| payload.get(off..end))
+        .ok_or_else(|| RestoreError::Format(format!("{name}: offset beyond payload")))?;
+    if crc32(slice) != sec.crc {
+        return Err(RestoreError::Checksum(name));
+    }
+    Ok(slice)
+}
+
+/// Per-shard metadata decoded from the file.
+struct ShardMeta {
+    start: u64,
+    end: u64,
+    dom_min: u64,
+    dom_max: u64,
+    m: u32,
+    cfg: SubsConfig,
+    replicas: Vec<IntervalId>,
+}
+
+/// Reads and fully validates a snapshot from raw bytes, rebuilding the
+/// sharded index straight into its sealed arenas. Any corruption —
+/// framing, checksums, or structural invariants — yields a typed
+/// [`RestoreError`]; this function never panics on untrusted input.
+pub fn decode_index(bytes: &[u8]) -> Result<ShardedIndex<HintMSubs>, RestoreError> {
+    if bytes.len() < HEADER_LEN + FOOTER_LEN {
+        return Err(RestoreError::Format(format!(
+            "file is {} bytes, smaller than header + footer",
+            bytes.len()
+        )));
+    }
+    // footer first: an uncommitted file is rejected before anything in
+    // it is trusted
+    let (body, footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
+    if &footer[..8] != FOOTER_MAGIC {
+        return Err(RestoreError::Format(
+            "missing committed footer (save did not finish)".into(),
+        ));
+    }
+    let total = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+    if total != body.len() as u64 {
+        return Err(RestoreError::Format(format!(
+            "footer says {total} bytes, file has {}",
+            body.len()
+        )));
+    }
+    let want_crc = u32::from_le_bytes(footer[16..20].try_into().unwrap());
+    if want_crc != crc32(body) {
+        return Err(RestoreError::Checksum("footer".into()));
+    }
+    let mut cur = Cur::new(body);
+    if cur.take(8, "magic")? != MAGIC {
+        return Err(RestoreError::Format("bad magic".into()));
+    }
+    let version = cur.u32("version")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(RestoreError::Format(format!(
+            "unsupported snapshot version {version}"
+        )));
+    }
+    let flags = cur.u32("flags")?;
+    if flags != 0 {
+        return Err(RestoreError::Format(format!(
+            "unknown header flags {flags:#x}"
+        )));
+    }
+    let shard_count = cur.u32("shard count")? as usize;
+    let section_count = cur.u32("section count")? as usize;
+    let live = cur.u64("live count")? as usize;
+    if shard_count == 0 {
+        return Err(RestoreError::Structure("zero shards".into()));
+    }
+    // metadata
+    let mut metas = Vec::new();
+    for s in 0..shard_count {
+        let start = cur.u64("shard start")?;
+        let end = cur.u64("shard end")?;
+        let dom_min = cur.u64("domain min")?;
+        let dom_max = cur.u64("domain max")?;
+        let m = cur.u32("shard m")?;
+        let cfg_bits = cur.u32("shard config")?;
+        if cfg_bits & !3 != 0 {
+            return Err(RestoreError::Format(format!(
+                "shard {s}: unknown config bits {cfg_bits:#x}"
+            )));
+        }
+        let cfg = SubsConfig {
+            sort: cfg_bits & 1 != 0,
+            sopt: cfg_bits & 2 != 0,
+        };
+        let n_replicas = cur.u64("replica count")?;
+        let raw = cur.take((n_replicas as usize).saturating_mul(8), "shard replica ids")?;
+        let mut replicas = Vec::with_capacity(raw.len() / 8);
+        for c in raw.chunks_exact(8) {
+            replicas.push(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        if replicas.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(RestoreError::Structure(format!(
+                "shard {s}: replica ids not strictly ascending"
+            )));
+        }
+        if start > end || dom_min > dom_max {
+            return Err(RestoreError::Structure(format!(
+                "shard {s}: inverted bounds"
+            )));
+        }
+        if dom_min != start || dom_max != end {
+            return Err(RestoreError::Structure(format!(
+                "shard {s}: domain does not match the shard bounds"
+            )));
+        }
+        if m > 26 {
+            return Err(RestoreError::Structure(format!(
+                "shard {s}: m = {m} exceeds the supported depth"
+            )));
+        }
+        metas.push(ShardMeta {
+            start,
+            end,
+            dom_min,
+            dom_max,
+            m,
+            cfg,
+            replicas,
+        });
+    }
+    for (s, w) in metas.windows(2).enumerate() {
+        if w[1].start != w[0].end + 1 {
+            return Err(RestoreError::Structure(format!(
+                "shards {s} and {} are not contiguous",
+                s + 1
+            )));
+        }
+    }
+    // section table (entries are validated against the payload below)
+    let mut sections = Vec::new();
+    for i in 0..section_count {
+        let name_len = cur.u8("section name length")? as usize;
+        let name = std::str::from_utf8(cur.take(name_len, "section name")?)
+            .map_err(|_| RestoreError::Format(format!("section {i}: non-UTF-8 name")))?
+            .to_string();
+        let offset = cur.u64("section offset")?;
+        let cardinality = cur.u64("section cardinality")?;
+        let entity_size = cur.u32("section entity size")?;
+        let crc = cur.u32("section crc")?;
+        sections.push(Section {
+            name,
+            offset,
+            cardinality,
+            entity_size,
+            crc,
+        });
+    }
+    let payload = cur.rest();
+    // walk the canonical section order implied by the shard metadata,
+    // consuming table entries one by one
+    let mut next = sections.iter();
+    let mut shards = Vec::with_capacity(shard_count);
+    for (s, meta) in metas.iter().enumerate() {
+        let mut levels = Vec::with_capacity(meta.m as usize + 1);
+        for l in 0..=meta.m {
+            let mut cats: [CatColumnsOwned; 4] = Default::default();
+            for (slot, (_, cat, has_st, has_end)) in CATS.iter().enumerate() {
+                let base = format!("s{s}/L{l}/{cat}");
+                let starts = take_column(&mut next, payload, format!("{base}/starts"), 4)?;
+                let ids = take_column(&mut next, payload, format!("{base}/ids"), 8)?;
+                let st = if *has_st {
+                    take_column(&mut next, payload, format!("{base}/st"), 8)?
+                } else {
+                    &[]
+                };
+                let end = if *has_end {
+                    take_column(&mut next, payload, format!("{base}/end"), 8)?
+                } else {
+                    &[]
+                };
+                cats[slot] = CatColumnsOwned {
+                    starts: starts
+                        .chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                    ids: ids
+                        .chunks_exact(8)
+                        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                    st: st
+                        .chunks_exact(8)
+                        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                    end: end
+                        .chunks_exact(8)
+                        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                };
+            }
+            levels.push(cats);
+        }
+        let sealed = SealedStore::from_columns(meta.m, levels)
+            .map_err(|e| RestoreError::Structure(format!("shard {s}: {e}")))?;
+        let domain = Domain::new(meta.dom_min, meta.dom_max, meta.m);
+        if domain.m() != meta.m {
+            return Err(RestoreError::Structure(format!(
+                "shard {s}: m = {} is not representable over [{}, {}]",
+                meta.m, meta.dom_min, meta.dom_max
+            )));
+        }
+        let index = HintMSubs::from_sealed(domain, meta.cfg, sealed);
+        let replicas: HashSet<IntervalId> = meta.replicas.iter().copied().collect();
+        if replicas.len() > index.len() {
+            return Err(RestoreError::Structure(format!(
+                "shard {s}: more replicas than stored intervals"
+            )));
+        }
+        shards.push(Shard {
+            start: meta.start,
+            end: meta.end,
+            index,
+            replicas,
+        });
+    }
+    if next.next().is_some() {
+        return Err(RestoreError::Format(
+            "section table has entries beyond the declared shards".into(),
+        ));
+    }
+    let distinct: usize = shards
+        .iter()
+        .map(|s| s.index.len() - s.replicas.len())
+        .sum();
+    if distinct != live {
+        return Err(RestoreError::Structure(format!(
+            "header says {live} live intervals, shards hold {distinct}"
+        )));
+    }
+    Ok(ShardedIndex::from_parts(shards, live))
+}
+
+/// Reads and restores a snapshot file through `io`.
+pub fn read_index(
+    path: &Path,
+    io: &mut dyn SnapshotIo,
+) -> Result<ShardedIndex<HintMSubs>, RestoreError> {
+    let bytes = io.read_file(path)?;
+    decode_index(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{Interval, RangeQuery};
+    use crate::IntervalIndex as _;
+
+    fn sample_index(k: usize) -> ShardedIndex<HintMSubs> {
+        let data: Vec<Interval> = (0..400u64)
+            .map(|i| {
+                let st = (i * 19) % 2_000;
+                Interval::new(i, st, (st + i % 60).min(2_047))
+            })
+            .collect();
+        let mut idx = ShardedIndex::build_with_domain(&data, 0, 2_047, k, |s, lo, hi| {
+            HintMSubs::build_with_domain(s, Domain::new(lo, hi, 7), SubsConfig::full())
+        });
+        idx.seal();
+        idx
+    }
+
+    fn results(idx: &ShardedIndex<HintMSubs>) -> Vec<Vec<u64>> {
+        (0..24)
+            .map(|i| {
+                let mut out = Vec::new();
+                idx.query_sink(RangeQuery::new(i * 80, i * 80 + 150), &mut out);
+                out.sort_unstable();
+                out
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_bit_identically() {
+        for k in [1, 3, 4] {
+            let idx = sample_index(k);
+            let bytes = encode_index(&idx).unwrap();
+            let back = decode_index(&bytes).expect("clean decode");
+            assert_eq!(back.shard_count(), idx.shard_count());
+            assert_eq!(back.len(), idx.len());
+            assert_eq!(results(&back), results(&idx), "K={k}");
+            // a second encode of the restored index is byte-identical:
+            // restore truly is the arenas, not a re-derivation
+            assert_eq!(encode_index(&back).unwrap(), bytes, "K={k}");
+        }
+    }
+
+    #[test]
+    fn unsealed_index_is_refused() {
+        let data = vec![Interval::new(0, 5, 10)];
+        let idx = ShardedIndex::build_with_domain(&data, 0, 100, 1, |s, lo, hi| {
+            HintMSubs::build_with_domain(s, Domain::new(lo, hi, 4), SubsConfig::full())
+        });
+        assert!(encode_index(&idx).is_err());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let idx = sample_index(2);
+        let bytes = encode_index(&idx).unwrap();
+        // the footer CRC covers every pre-footer byte and the footer
+        // fields are checked directly, so no single-bit flip can decode
+        let step = (bytes.len() / 97).max(1);
+        for pos in (0..bytes.len()).step_by(step) {
+            for bit in [0u8, 3, 7] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= 1 << bit;
+                assert!(
+                    decode_index(&corrupt).is_err(),
+                    "flip at byte {pos} bit {bit} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let idx = sample_index(2);
+        let bytes = encode_index(&idx).unwrap();
+        let step = (bytes.len() / 61).max(1);
+        for n in (0..bytes.len()).step_by(step) {
+            assert!(decode_index(&bytes[..n]).is_err(), "prefix {n} decoded");
+        }
+        assert!(decode_index(&[]).is_err());
+    }
+
+    #[test]
+    fn tmp_path_is_a_sibling() {
+        assert_eq!(
+            tmp_path(Path::new("/a/b/snap.hint")),
+            Path::new("/a/b/snap.hint.tmp")
+        );
+    }
+}

@@ -465,6 +465,47 @@ impl HintMSubs {
         self.overlay_entries
     }
 
+    /// The frozen CSR arenas, if sealed — the snapshot writer reads the
+    /// raw columns through this.
+    pub(crate) fn sealed_store(&self) -> Option<&SealedStore> {
+        self.sealed.as_ref()
+    }
+
+    /// Number of logically deleted entries still buried in the sealed
+    /// arenas (0 on a freshly sealed index). The snapshot writer refuses
+    /// anything nonzero: snapshots capture only the clean post-seal
+    /// state.
+    pub(crate) fn tombstone_count(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Reconstructs an index directly from restored sealed arenas (the
+    /// snapshot restore path): empty overlay, no tombstones, live count
+    /// recomputed from the arenas themselves. The store must have been
+    /// validated (`SealedStore::from_columns`) and must carry exactly
+    /// one `Original*` assignment per live interval — true of every
+    /// freshly sealed index, which is the only state snapshots capture.
+    pub(crate) fn from_sealed(domain: Domain, cfg: SubsConfig, sealed: SealedStore) -> Self {
+        let m = domain.m();
+        debug_assert_eq!(m, sealed.m(), "sealed store depth mismatch");
+        // every live interval contributes exactly one Oin or Oaft entry
+        let live = (0..=m)
+            .map(|l| {
+                sealed.category_columns(l, SubKind::OriginalIn).ids.len()
+                    + sealed.category_columns(l, SubKind::OriginalAft).ids.len()
+            })
+            .sum();
+        Self {
+            domain,
+            cfg,
+            storage: Self::empty_storage(cfg, m),
+            sealed: Some(sealed),
+            overlay_entries: 0,
+            live,
+            tombstones: 0,
+        }
+    }
+
     /// Convenience: stabbing query.
     pub fn stab(&self, t: Time, out: &mut Vec<IntervalId>) {
         self.query(RangeQuery::stab(t), out)

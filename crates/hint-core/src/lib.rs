@@ -142,11 +142,14 @@ pub use hint_cf::{CfLayout, HintCf};
 pub use hintm::base::{Eval, HintMBase};
 pub use hintm::delta::HybridHint;
 pub use hintm::opt::{Hint, HintOptions};
+pub use hintm::snapshot::{
+    FaultIo, FaultKind, RestoreError, SnapshotIo, StdSnapshotIo, SNAPSHOT_VERSION,
+};
 pub use hintm::subs::{HintMSubs, SubsConfig};
 pub use interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
 pub use join::{index_join, index_join_count, sweep_join, sweep_join_count};
 pub use oracle::ScanOracle;
-pub use pool::{PoolStats, ShardPool};
+pub use pool::{PoolError, PoolStats, ShardPool};
 pub use session::{RetuneEvent, RetunePolicy, Session, WriteError};
 pub use shard::{MutableIndex, ShardedIndex};
 pub use sink::{

@@ -47,9 +47,40 @@ use crate::sink::{MergeableSink, QuerySink};
 use crate::stats::ExtentMix;
 use crate::IntervalIndex;
 use crossbeam::channel::{unbounded, Sender};
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// A recoverable worker-pool failure, surfaced as a value instead of
+/// crashing the process. A serving layer maps this to an error reply on
+/// one request; the pool itself stays up (panicking tasks are caught at
+/// the task boundary, so the worker keeps its shard and later requests
+/// proceed normally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// Shard `shard`'s worker did not complete the request: the task
+    /// panicked mid-reply, or the worker thread is gone. State touched
+    /// by the failing request (sink contents, a half-routed write) is
+    /// unspecified; the shard itself remains owned and serviceable.
+    WorkerDied {
+        /// Index of the failing shard.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerDied { shard } => {
+                write!(f, "shard {shard} worker failed to complete the request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
 
 /// A unit of work dispatched to a shard worker. The closure runs on the
 /// worker thread with exclusive access to the shard it owns.
@@ -134,6 +165,9 @@ pub struct ShardPool<I> {
     /// Live (deduplicated) interval count, maintained by the write path.
     live: usize,
     counters: PoolCounters,
+    /// Tasks that panicked on a worker (caught at the task boundary;
+    /// the workers survive them). Shared with the worker threads.
+    task_panics: Arc<AtomicU64>,
     /// Pooled per-shard routing buffers, reused across batches so steady
     /// dispatch allocates no plan `Vec`s at all. `try_lock` only: a
     /// concurrent batch that loses the race plans into a fresh local
@@ -148,11 +182,13 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
         let (shards, live) = index.into_parts();
         let pin = pinning_enabled();
         let bounds: Vec<(Time, Time)> = shards.iter().map(|s| (s.start, s.end)).collect();
+        let task_panics = Arc::new(AtomicU64::new(0));
         let workers = shards
             .into_iter()
             .enumerate()
             .map(|(j, mut shard)| {
                 let (tx, rx) = unbounded::<Task<I>>();
+                let panics = Arc::clone(&task_panics);
                 let handle = std::thread::Builder::new()
                     .name(format!("hint-shard-{j}"))
                     .spawn(move || {
@@ -160,7 +196,14 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
                             pin_current_thread(j);
                         }
                         while let Ok(task) = rx.recv() {
-                            task(&mut shard);
+                            // a panicking task must not kill the worker
+                            // (its shard would be lost with it): catch at
+                            // the task boundary, count, keep serving. The
+                            // caller sees the missing reply as a typed
+                            // `PoolError::WorkerDied`, never a crash.
+                            if catch_unwind(AssertUnwindSafe(|| task(&mut shard))).is_err() {
+                                panics.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                         shard
                     })
@@ -176,8 +219,25 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
             bounds,
             live,
             counters: PoolCounters::default(),
+            task_panics,
             scratch: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Number of dispatched tasks that panicked on a worker. The workers
+    /// catch these at the task boundary and keep serving; a nonzero
+    /// count means some request got a [`PoolError`] (or, for
+    /// fire-and-forget writes, may not have fully applied).
+    pub fn task_panics(&self) -> u64 {
+        self.task_panics.load(Ordering::Relaxed)
+    }
+
+    /// Test hook: dispatches a task that panics on shard `j`'s worker.
+    /// The worker must survive it (the shard stays owned and queryable);
+    /// only the poisoned task itself is lost.
+    #[doc(hidden)]
+    pub fn inject_poison(&self, j: usize) -> Result<(), PoolError> {
+        self.try_send(j, Box::new(|_| panic!("injected poisoned task")))
     }
 
     /// Shuts the workers down (draining any queued tasks) and
@@ -223,17 +283,50 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
         }
     }
 
-    /// Sends one task to worker `j`.
-    ///
-    /// # Panics
-    /// Panics if the worker thread died (a prior task panicked).
-    fn send(&self, j: usize, task: Task<I>) {
+    /// Sends one task to worker `j`, reporting a dead worker as a typed
+    /// error. With panicking tasks caught on the worker, this only fails
+    /// if the worker thread itself is gone (shut down, or killed outside
+    /// the task boundary).
+    fn try_send(&self, j: usize, task: Task<I>) -> Result<(), PoolError> {
         self.workers[j]
             .tasks
             .as_ref()
-            .expect("worker already shut down")
+            .ok_or(PoolError::WorkerDied { shard: j })?
             .send(task)
-            .expect("shard worker died (earlier task panicked?)");
+            .map_err(|_| PoolError::WorkerDied { shard: j })
+    }
+
+    /// Sends one task to worker `j`.
+    ///
+    /// # Panics
+    /// Panics if the worker thread died.
+    fn send(&self, j: usize, task: Task<I>) {
+        self.try_send(j, task).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Drains replies tagged with their shard index from `rx` until the
+    /// channel closes, returning them in ascending shard order — or, if
+    /// any of the `dispatched` shards never replied (its task panicked),
+    /// the first missing shard as a [`PoolError`].
+    fn collect_tagged<T>(
+        rx: &crossbeam::channel::Receiver<(usize, T)>,
+        dispatched: &[usize],
+    ) -> Result<Vec<(usize, T)>, PoolError> {
+        let mut done: Vec<(usize, T)> = Vec::with_capacity(dispatched.len());
+        while let Ok(pair) = rx.recv() {
+            done.push(pair);
+        }
+        if done.len() < dispatched.len() {
+            let got: HashSet<usize> = done.iter().map(|p| p.0).collect();
+            let shard = dispatched
+                .iter()
+                .copied()
+                .find(|j| !got.contains(j))
+                .unwrap_or(0);
+            return Err(PoolError::WorkerDied { shard });
+        }
+        done.sort_unstable_by_key(|&(j, _)| j);
+        Ok(done)
     }
 
     /// Drops every task sender and joins the worker threads, collecting
@@ -313,12 +406,32 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
     /// the module docs).
     ///
     /// # Panics
-    /// Panics if `queries` and `sinks` have different lengths.
+    /// Panics if `queries` and `sinks` have different lengths, or if a
+    /// worker fails (use [`try_query_batch_merge`](Self::try_query_batch_merge)
+    /// to handle that as a value).
     pub fn query_batch_merge<S>(&self, queries: &[RangeQuery], sinks: &mut [S])
     where
         S: MergeableSink + Send + 'static,
     {
         self.query_batch_merge_hinted(queries, sinks, None)
+    }
+
+    /// Fallible [`query_batch_merge`](Self::query_batch_merge): a worker
+    /// failure surfaces as [`PoolError`] instead of a panic. On `Err`,
+    /// the contents of `sinks` are unspecified (some forks may have
+    /// merged) — callers reply with an error and drop them.
+    ///
+    /// # Panics
+    /// Panics if `queries` and `sinks` have different lengths.
+    pub fn try_query_batch_merge<S>(
+        &self,
+        queries: &[RangeQuery],
+        sinks: &mut [S],
+    ) -> Result<(), PoolError>
+    where
+        S: MergeableSink + Send + 'static,
+    {
+        self.try_query_batch_merge_hinted(queries, sinks, None)
     }
 
     /// [`query_batch_merge`](Self::query_batch_merge) with optional
@@ -330,7 +443,7 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
     ///
     /// # Panics
     /// Panics if `queries`, `sinks` (and `hints`, when given) have
-    /// different lengths.
+    /// different lengths, or if a worker fails.
     pub fn query_batch_merge_hinted<S>(
         &self,
         queries: &[RangeQuery],
@@ -339,12 +452,32 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
     ) where
         S: MergeableSink + Send + 'static,
     {
+        self.try_query_batch_merge_hinted(queries, sinks, hints)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`query_batch_merge_hinted`](Self::query_batch_merge_hinted):
+    /// a worker failure surfaces as [`PoolError`] instead of a panic (on
+    /// `Err` the sink contents are unspecified).
+    ///
+    /// # Panics
+    /// Panics if `queries`, `sinks` (and `hints`, when given) have
+    /// different lengths.
+    pub fn try_query_batch_merge_hinted<S>(
+        &self,
+        queries: &[RangeQuery],
+        sinks: &mut [S],
+        hints: Option<&[usize]>,
+    ) -> Result<(), PoolError>
+    where
+        S: MergeableSink + Send + 'static,
+    {
         assert_eq!(queries.len(), sinks.len(), "one sink per query");
         if let Some(h) = hints {
             assert_eq!(h.len(), queries.len(), "one hint per query");
         }
         if queries.is_empty() {
-            return;
+            return Ok(());
         }
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
         let mut local: Vec<Vec<Routed>> = Vec::new();
@@ -359,9 +492,9 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
             .routed
             .fetch_add(routed as u64, Ordering::Relaxed);
         if sinks.iter().all(|s| s.is_bounded()) {
-            self.run_staged(bufs, sinks, hints, presorted);
+            self.run_staged(bufs, sinks, hints, presorted)
         } else {
-            self.run_fanned(bufs, sinks, hints, presorted);
+            self.run_fanned(bufs, sinks, hints, presorted)
         }
     }
 
@@ -385,11 +518,12 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
         sinks: &mut [S],
         hints: Option<&[usize]>,
         presorted: bool,
-    ) where
+    ) -> Result<(), PoolError>
+    where
         S: MergeableSink + Send + 'static,
     {
         let (tx, rx) = unbounded();
-        let mut active = 0usize;
+        let mut dispatched = Vec::new();
         for (j, sub) in plan.iter().enumerate() {
             if sub.is_empty() {
                 continue;
@@ -402,24 +536,21 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
                 .dispatched
                 .fetch_add(job.len() as u64, Ordering::Relaxed);
             let tx = tx.clone();
-            self.send(
+            self.try_send(
                 j,
                 Box::new(move |shard| {
                     let _ = tx.send((j, shard.run_forks(job, presorted)));
                 }),
-            );
-            active += 1;
+            )?;
+            dispatched.push(j);
         }
         drop(tx);
-        let mut done: Vec<(usize, Vec<(u32, S)>)> = (0..active)
-            .map(|_| rx.recv().expect("shard worker died mid-batch"))
-            .collect();
-        done.sort_unstable_by_key(|&(j, _)| j);
-        for (_, results) in done {
+        for (_, results) in Self::collect_tagged(&rx, &dispatched)? {
             for (qi, fork) in results {
                 sinks[qi as usize].merge(fork);
             }
         }
+        Ok(())
     }
 
     /// Staged dispatch for bounded sinks: shards are visited in
@@ -432,7 +563,8 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
         sinks: &mut [S],
         hints: Option<&[usize]>,
         presorted: bool,
-    ) where
+    ) -> Result<(), PoolError>
+    where
         S: MergeableSink + Send + 'static,
     {
         let (tx, rx) = unbounded();
@@ -455,16 +587,17 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
                 .dispatched
                 .fetch_add(job.len() as u64, Ordering::Relaxed);
             let tx = tx.clone();
-            self.send(
+            self.try_send(
                 j,
                 Box::new(move |shard| {
                     let _ = tx.send(shard.run_forks(job, presorted));
                 }),
-            );
-            for (qi, fork) in rx.recv().expect("shard worker died mid-batch") {
+            )?;
+            for (qi, fork) in rx.recv().map_err(|_| PoolError::WorkerDied { shard: j })? {
                 sinks[qi as usize].merge(fork);
             }
         }
+        Ok(())
     }
 
     /// Evaluates a batch through trait-level `dyn` sinks: workers
@@ -472,9 +605,25 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
     /// [`QuerySink::emit_slice`] (saturated sinks stop receiving at the
     /// merge, as in the scoped executor's dyn path).
     fn query_batch_dyn(&self, queries: &[RangeQuery], sinks: &mut [&mut dyn QuerySink]) {
+        self.try_query_batch_dyn(queries, sinks)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible `dyn`-sink batch evaluation (see
+    /// [`IntervalIndex::query_batch`]): a worker failure surfaces as
+    /// [`PoolError`] instead of a panic (on `Err` the sink contents are
+    /// unspecified).
+    ///
+    /// # Panics
+    /// Panics if `queries` and `sinks` have different lengths.
+    pub fn try_query_batch_dyn(
+        &self,
+        queries: &[RangeQuery],
+        sinks: &mut [&mut dyn QuerySink],
+    ) -> Result<(), PoolError> {
         assert_eq!(queries.len(), sinks.len(), "one sink per query");
         if queries.is_empty() {
-            return;
+            return Ok(());
         }
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
         let mut local: Vec<Vec<Routed>> = Vec::new();
@@ -485,7 +634,7 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
         };
         let presorted = self.plan_into(queries, bufs);
         let (tx, rx) = unbounded();
-        let mut active = 0usize;
+        let mut dispatched = Vec::new();
         for (j, sub) in bufs.iter().enumerate() {
             if sub.is_empty() {
                 continue;
@@ -498,19 +647,16 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
                 .fetch_add(sub.len() as u64, Ordering::Relaxed);
             let sub = sub.clone();
             let tx = tx.clone();
-            self.send(
+            self.try_send(
                 j,
                 Box::new(move |shard| {
                     let _ = tx.send((j, shard.run_collect(&sub, presorted)));
                 }),
-            );
-            active += 1;
+            )?;
+            dispatched.push(j);
         }
         drop(tx);
-        let mut done: Vec<(usize, CollectedSub)> = (0..active)
-            .map(|_| rx.recv().expect("shard worker died mid-batch"))
-            .collect();
-        done.sort_unstable_by_key(|&(j, _)| j);
+        let done: Vec<(usize, CollectedSub)> = Self::collect_tagged(&rx, &dispatched)?;
         for (_, results) in done {
             for (qi, ids) in results {
                 let sink = &mut *sinks[qi as usize];
@@ -519,6 +665,7 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Solo query: the routed shards are dispatched one at a time in
@@ -526,6 +673,18 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
     /// shard-granular early exit as [`ShardedIndex::query_sink`], with
     /// each shard's scan running on the worker that owns it.
     pub fn query_sink_pooled<S: QuerySink + ?Sized>(&self, q: RangeQuery, sink: &mut S) {
+        self.try_query_sink_pooled(q, sink)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`query_sink_pooled`](Self::query_sink_pooled): a worker
+    /// failure surfaces as [`PoolError`] instead of a panic (on `Err`
+    /// the sink may hold a prefix of the results).
+    pub fn try_query_sink_pooled<S: QuerySink + ?Sized>(
+        &self,
+        q: RangeQuery,
+        sink: &mut S,
+    ) -> Result<(), PoolError> {
         let (lo, hi) = self.route(q);
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
         self.counters
@@ -536,21 +695,22 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
                 self.counters
                     .skipped
                     .fetch_add((hi - j + 1) as u64, Ordering::Relaxed);
-                return;
+                return Ok(());
             }
             self.counters.dispatched.fetch_add(1, Ordering::Relaxed);
             let entry: Routed = (0, self.local_query(j, q, lo, hi), j == lo);
             let (tx, rx) = unbounded();
-            self.send(
+            self.try_send(
                 j,
                 Box::new(move |shard| {
                     let _ = tx.send(shard.run_collect(&[entry], false));
                 }),
-            );
-            for (_, ids) in rx.recv().expect("shard worker died mid-query") {
+            )?;
+            for (_, ids) in rx.recv().map_err(|_| PoolError::WorkerDied { shard: j })? {
                 sink.emit_slice(&ids);
             }
         }
+        Ok(())
     }
 
     /// Broadcasts a reseal to every worker and waits for all of them —
@@ -558,42 +718,82 @@ impl<I: IntervalIndex + Send + 'static> ShardPool<I> {
     /// sealed arenas before this returns. Clean shards reseal for free
     /// (the inner indexes' idempotent fast path).
     pub fn seal_all(&self) {
+        self.try_seal_all().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`seal_all`](Self::seal_all): a worker failure surfaces
+    /// as [`PoolError`] instead of a panic. On `Err`, shards that did
+    /// reply are sealed; the failing one may not be.
+    pub fn try_seal_all(&self) -> Result<(), PoolError> {
         let (tx, rx) = unbounded();
-        for j in 0..self.workers.len() {
+        let dispatched: Vec<usize> = (0..self.workers.len()).collect();
+        for &j in &dispatched {
             let tx = tx.clone();
-            self.send(
+            self.try_send(
                 j,
                 Box::new(move |shard| {
                     shard.index.seal();
-                    let _ = tx.send(());
+                    let _ = tx.send((j, ()));
                 }),
-            );
+            )?;
         }
         drop(tx);
-        for _ in 0..self.workers.len() {
-            rx.recv().expect("shard worker died during seal");
+        Self::collect_tagged(&rx, &dispatched)?;
+        Ok(())
+    }
+
+    /// Clones every shard out of its worker and reassembles a
+    /// standalone [`ShardedIndex`] — the snapshot path's view of a live
+    /// pool. Runs as a task on each owning worker, so per-worker FIFO
+    /// makes it a read barrier: every earlier queued write is applied
+    /// before its shard is cloned. Cheap for sealed shards: the big id
+    /// arenas are `Arc`-shared, not copied.
+    pub fn clone_index(&self) -> Result<ShardedIndex<I>, PoolError>
+    where
+        I: Clone,
+    {
+        let (tx, rx) = unbounded();
+        let dispatched: Vec<usize> = (0..self.workers.len()).collect();
+        for &j in &dispatched {
+            let tx = tx.clone();
+            self.try_send(
+                j,
+                Box::new(move |shard| {
+                    let _ = tx.send((j, shard.clone()));
+                }),
+            )?;
         }
+        drop(tx);
+        let shards = Self::collect_tagged(&rx, &dispatched)?
+            .into_iter()
+            .map(|(_, shard)| shard)
+            .collect();
+        Ok(ShardedIndex::from_parts(shards, self.live))
     }
 
     /// Approximate heap footprint: inner indexes plus replica
     /// bookkeeping (computed on the owning workers).
     pub fn size_bytes_pooled(&self) -> usize {
         let (tx, rx) = unbounded();
-        for j in 0..self.workers.len() {
+        let dispatched: Vec<usize> = (0..self.workers.len()).collect();
+        for &j in &dispatched {
             let tx = tx.clone();
             self.send(
                 j,
                 Box::new(move |shard| {
-                    let _ = tx.send(
+                    let _ = tx.send((
+                        j,
                         shard.index.size_bytes()
                             + shard.replicas.len() * std::mem::size_of::<IntervalId>() * 2,
-                    );
+                    ));
                 }),
             );
         }
         drop(tx);
-        (0..self.workers.len())
-            .map(|_| rx.recv().expect("shard worker died"))
+        Self::collect_tagged(&rx, &dispatched)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_iter()
+            .map(|(_, n)| n)
             .sum()
     }
 }
@@ -608,6 +808,19 @@ impl<I: MutableIndex + Send + 'static> ShardPool<I> {
     /// Panics if the interval falls outside the pooled domain — the same
     /// contract as [`ShardedIndex::insert`].
     pub fn insert(&mut self, s: Interval) {
+        self.try_insert(s).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`insert`](Self::insert): a dead worker surfaces as
+    /// [`PoolError`] instead of a panic. On `Err` the interval may be
+    /// stored in a prefix of its overlapping shards (queries routed to
+    /// a healthy prefix still behave sanely); the live count is only
+    /// bumped on success.
+    ///
+    /// # Panics
+    /// Panics if the interval falls outside the pooled domain — the same
+    /// contract as [`ShardedIndex::insert`].
+    pub fn try_insert(&mut self, s: Interval) -> Result<(), PoolError> {
         let (min, max) = self.domain();
         assert!(
             s.st >= min && s.end <= max,
@@ -617,7 +830,7 @@ impl<I: MutableIndex + Send + 'static> ShardPool<I> {
         );
         let (lo, hi) = (self.shard_of(s.st), self.shard_of(s.end));
         for j in lo..=hi {
-            self.send(
+            self.try_send(
                 j,
                 Box::new(move |shard| {
                     let clipped = shard.clip(&s);
@@ -626,9 +839,10 @@ impl<I: MutableIndex + Send + 'static> ShardPool<I> {
                         shard.replicas.insert(s.id);
                     }
                 }),
-            );
+            )?;
         }
         self.live += 1;
+        Ok(())
     }
 
     /// Deletes an interval from every shard holding a copy, returning
@@ -636,14 +850,22 @@ impl<I: MutableIndex + Send + 'static> ShardPool<I> {
     /// arbitrates presence (synchronously); replica copies are removed
     /// with fire-and-forget tasks that later operations queue behind.
     pub fn delete(&mut self, s: &Interval) -> bool {
+        self.try_delete(s).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`delete`](Self::delete): a worker failure surfaces as
+    /// [`PoolError`] instead of a panic. On `Err` it is unspecified
+    /// whether the delete applied (the owning shard arbitrates, and its
+    /// reply is what went missing); the live count is left untouched.
+    pub fn try_delete(&mut self, s: &Interval) -> Result<bool, PoolError> {
         let (min, max) = self.domain();
         if s.st < min || s.end > max {
-            return false; // out-of-domain intervals were never inserted
+            return Ok(false); // out-of-domain intervals were never inserted
         }
         let (lo, hi) = (self.shard_of(s.st), self.shard_of(s.end));
         let s = *s;
         let (tx, rx) = unbounded();
-        self.send(
+        self.try_send(
             lo,
             Box::new(move |shard| {
                 let clipped = shard.clip(&s);
@@ -653,12 +875,12 @@ impl<I: MutableIndex + Send + 'static> ShardPool<I> {
                 }
                 let _ = tx.send(found);
             }),
-        );
-        if !rx.recv().expect("shard worker died during delete") {
-            return false;
+        )?;
+        if !rx.recv().map_err(|_| PoolError::WorkerDied { shard: lo })? {
+            return Ok(false);
         }
         for j in lo + 1..=hi {
-            self.send(
+            self.try_send(
                 j,
                 Box::new(move |shard| {
                     let clipped = shard.clip(&s);
@@ -666,10 +888,10 @@ impl<I: MutableIndex + Send + 'static> ShardPool<I> {
                         shard.replicas.remove(&s.id);
                     }
                 }),
-            );
+            )?;
         }
         self.live -= 1;
-        true
+        Ok(true)
     }
 
     /// Reseals shard `j` at the `m` the cost model picks for the
@@ -679,8 +901,20 @@ impl<I: MutableIndex + Send + 'static> ShardPool<I> {
     /// `None` is returned (not re-tunable, empty, or already at the
     /// model's choice). Results are bit-identical either way.
     pub fn retune_shard(&self, j: usize, mix: ExtentMix) -> Option<(u32, u32)> {
+        self.try_retune_shard(j, mix)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`retune_shard`](Self::retune_shard): a worker failure
+    /// surfaces as [`PoolError`] instead of a panic (on `Err` the shard
+    /// may be resealed but not retuned — results stay exact either way).
+    pub fn try_retune_shard(
+        &self,
+        j: usize,
+        mix: ExtentMix,
+    ) -> Result<Option<(u32, u32)>, PoolError> {
         let (tx, rx) = unbounded();
-        self.send(
+        self.try_send(
             j,
             Box::new(move |shard| {
                 let outcome = shard.index.tuned_m().and_then(|from| {
@@ -697,8 +931,8 @@ impl<I: MutableIndex + Send + 'static> ShardPool<I> {
                 }
                 let _ = tx.send(outcome);
             }),
-        );
-        rx.recv().expect("shard worker died during retune")
+        )?;
+        rx.recv().map_err(|_| PoolError::WorkerDied { shard: j })
     }
 
     /// The hierarchy depth each shard currently runs at (`None` for
@@ -713,7 +947,10 @@ impl<I: MutableIndex + Send + 'static> ShardPool<I> {
                     let _ = tx.send(shard.index.tuned_m());
                 }),
             );
-            out.push(rx.recv().expect("shard worker died"));
+            out.push(
+                rx.recv()
+                    .unwrap_or_else(|_| panic!("{}", PoolError::WorkerDied { shard: j })),
+            );
         }
         out
     }
@@ -943,6 +1180,83 @@ mod tests {
         for (i, &q) in queries.iter().enumerate() {
             assert_eq!(sinks[i].found(), direct.exists(q), "{q:?}");
         }
+    }
+
+    #[test]
+    fn poisoned_task_does_not_kill_the_worker() {
+        let direct = sharded(4, true);
+        let mut pool = ShardPool::new(direct.clone());
+        assert_eq!(pool.task_panics(), 0);
+        // poison every worker once; the panics are caught at the task
+        // boundary, so the workers keep their shards and keep serving
+        for j in 0..pool.shard_count() {
+            pool.inject_poison(j).unwrap();
+        }
+        for &q in &batch() {
+            let mut want = Vec::new();
+            direct.query_sink(q, &mut want);
+            let mut got = Vec::new();
+            pool.try_query_sink_pooled(q, &mut got).unwrap();
+            assert_eq!(got, want, "{q:?}");
+        }
+        assert_eq!(pool.task_panics(), 4);
+        // writes and barriers still work after the poison
+        pool.try_insert(Interval::new(800_000, 10, 20)).unwrap();
+        pool.try_seal_all().unwrap();
+        let mut got = Vec::new();
+        pool.try_query_sink_pooled(RangeQuery::new(10, 20), &mut got)
+            .unwrap();
+        assert!(got.contains(&800_000));
+        // and the shards come back out intact
+        let back = pool.into_index();
+        assert_eq!(back.shard_count(), 4);
+        assert_eq!(back.len(), direct.len() + 1);
+    }
+
+    #[test]
+    fn task_panicking_mid_reply_yields_a_typed_error_not_a_panic() {
+        let pool = ShardPool::new(sharded(2, true));
+        // a task that panics *before* sending its reply: the fallible
+        // paths must report WorkerDied for the right shard
+        let (tx, rx) = unbounded::<(usize, ())>();
+        pool.try_send(
+            1,
+            Box::new(move |_| {
+                let _ = &tx; // the reply sender dies with the panic
+                panic!("injected mid-reply panic");
+            }),
+        )
+        .unwrap();
+        drop(rx);
+        // the pool is still fully serviceable afterwards
+        pool.try_seal_all().unwrap();
+        let mut count = CountSink::new();
+        pool.try_query_sink_pooled(RangeQuery::new(0, 16_383), &mut count)
+            .unwrap();
+        assert_eq!(count.count(), pool.len());
+        assert_eq!(pool.task_panics(), 1);
+    }
+
+    #[test]
+    fn clone_index_matches_the_live_pool() {
+        let mut pool = ShardPool::new(sharded(4, true));
+        pool.insert(Interval::new(650_000, 100, 9_000));
+        // clone_index is a read barrier: the queued insert lands first
+        let cloned = pool.clone_index().unwrap();
+        assert_eq!(cloned.shard_count(), 4);
+        assert_eq!(cloned.len(), pool.len());
+        for &q in &batch() {
+            let mut want = Vec::new();
+            IntervalIndex::query_sink(&pool, q, &mut want);
+            let mut got = Vec::new();
+            cloned.query_sink(q, &mut got);
+            assert_eq!(got, want, "{q:?}");
+        }
+        // the clone is independent: mutating it leaves the pool alone
+        let live = pool.len();
+        let mut cloned = cloned;
+        cloned.insert(Interval::new(650_001, 5, 6));
+        assert_eq!(pool.len(), live);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! [`crate::cost_model::retuned_m`] guarantees the chosen `m` never
 //! loses to the old one on the observed histogram.
 
+use crate::hintm::snapshot::{self, RestoreError, SnapshotIo, StdSnapshotIo};
 use crate::interval::{Interval, RangeQuery, Time, TOMBSTONE};
 use crate::pool::ShardPool;
 use crate::shard::{MutableIndex, ShardedIndex};
@@ -42,6 +43,8 @@ use crate::sink::{MergeableSink, QuerySink};
 use crate::stats::{ExtentHistogram, ExtentMix};
 use crate::IntervalIndex;
 use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
 use std::str::FromStr;
 
 /// Minimum local queries a shard must have observed before a reseal may
@@ -413,6 +416,62 @@ impl<I: MutableIndex + Send + Sync + 'static> Session<I> {
     }
 }
 
+/// Durable snapshot/restore (see [`crate::hintm::snapshot`] for the
+/// file format and crash-safety discipline). Implemented for the
+/// sealed-arena index the snapshot format serializes.
+impl Session<crate::HintMSubs> {
+    /// Durably writes the session's index to `path`: reseals first (a
+    /// write barrier folding every pending write in), clones the sealed
+    /// shards out of their workers, then writes temp-file + fsync +
+    /// atomic rename. A crash at any byte leaves either the old
+    /// snapshot or the new one at `path`, never garbage. Returns the
+    /// snapshot size in bytes.
+    pub fn snapshot(&mut self, path: impl AsRef<Path>) -> io::Result<u64> {
+        self.snapshot_with(path.as_ref(), &mut StdSnapshotIo::default())
+    }
+
+    /// [`snapshot`](Self::snapshot) through an explicit [`SnapshotIo`]
+    /// (the fault-injection seam).
+    pub fn snapshot_with(&mut self, path: &Path, io: &mut dyn SnapshotIo) -> io::Result<u64> {
+        let index = self.sealed_clone()?;
+        snapshot::write_index(&index, path, io)
+    }
+
+    /// The snapshot as in-memory bytes — what the wire `Snapshot` verb
+    /// streams to a bootstrapping peer. Same reseal barrier as
+    /// [`snapshot`](Self::snapshot), no file involved.
+    pub fn snapshot_bytes(&mut self) -> io::Result<Vec<u8>> {
+        let index = self.sealed_clone()?;
+        snapshot::encode_index(&index)
+    }
+
+    fn sealed_clone(&mut self) -> io::Result<ShardedIndex<crate::HintMSubs>> {
+        self.seal_if_dirty();
+        self.pool.clone_index().map_err(io::Error::other)
+    }
+
+    /// Restores a session from a snapshot file: a fully-validated bulk
+    /// read straight into the sealed arenas (no re-sort, no
+    /// re-assignment pass). Any corruption yields a typed
+    /// [`RestoreError`], never a panic. The re-tune policy comes from
+    /// `HINT_SERVE_RETUNE`, as in [`Session::new`].
+    pub fn restore(path: impl AsRef<Path>) -> Result<Self, RestoreError> {
+        Self::restore_with(path.as_ref(), &mut StdSnapshotIo::default())
+    }
+
+    /// [`restore`](Self::restore) through an explicit [`SnapshotIo`]
+    /// (the fault-injection seam).
+    pub fn restore_with(path: &Path, io: &mut dyn SnapshotIo) -> Result<Self, RestoreError> {
+        Ok(Self::new(snapshot::read_index(path, io)?))
+    }
+
+    /// Restores a session from snapshot bytes already in memory — the
+    /// receiving half of peer bootstrap over the wire.
+    pub fn restore_bytes(bytes: &[u8]) -> Result<Self, RestoreError> {
+        Ok(Self::new(snapshot::decode_index(bytes)?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -611,5 +670,70 @@ mod tests {
         assert!(s.reseal_idle());
         assert!(!s.is_dirty());
         assert!(!s.reseal_idle(), "clean session has nothing to fold");
+    }
+
+    fn drain(s: &Session<HintMSubs>) -> Vec<Vec<u64>> {
+        let probes = [
+            RangeQuery::new(0, 4_095),
+            RangeQuery::new(100, 900),
+            RangeQuery::stab(2_048),
+            RangeQuery::new(3_000, 3_001),
+        ];
+        probes
+            .iter()
+            .map(|&q| {
+                let mut out: Vec<u64> = Vec::new();
+                s.query_sink(q, &mut out);
+                out.sort_unstable();
+                out
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_bytes_roundtrips_a_dirty_session() {
+        let mut s = session();
+        // pending writes must be folded in by the snapshot barrier
+        s.try_insert(Interval::new(70_000, 5, 9)).unwrap();
+        let victim = Interval::new(3, 123, 213); // i=3 in build()
+        assert!(s.delete(&victim));
+        let bytes = s.snapshot_bytes().unwrap();
+        assert!(!s.is_dirty(), "snapshot must seal first");
+        let r = Session::restore_bytes(&bytes).unwrap();
+        assert_eq!(r.len(), s.len());
+        assert_eq!(r.domain(), s.domain());
+        assert_eq!(drain(&r), drain(&s));
+        // and the restored session accepts writes like a fresh one
+        let mut r = r;
+        r.try_insert(Interval::new(70_001, 5, 9)).unwrap();
+        assert!(r.seal_if_dirty());
+        assert_eq!(r.len(), s.len() + 1);
+    }
+
+    #[test]
+    fn snapshot_file_roundtrips_and_cleans_up_its_temp() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("hint-session-snap-{}.snap", std::process::id()));
+        let mut s = session();
+        s.snapshot(&path).unwrap();
+        assert!(
+            !snapshot::tmp_path(&path).exists(),
+            "temp must be renamed away"
+        );
+        let r = Session::restore(&path).unwrap();
+        assert_eq!(drain(&r), drain(&s));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restore_of_garbage_is_a_typed_error() {
+        let err = Session::restore_bytes(b"definitely not a snapshot")
+            .err()
+            .unwrap();
+        assert!(matches!(err, RestoreError::Format(_)));
+        let missing = Session::restore(Path::new("/nonexistent/dir/x.snap"))
+            .err()
+            .unwrap();
+        assert!(matches!(missing, RestoreError::Io(_)));
     }
 }

@@ -53,14 +53,15 @@ pub struct Client<T: Transport> {
 }
 
 impl<T: Transport> Client<T> {
-    /// Wraps a connected transport.
-    pub fn new(transport: T) -> Self {
-        let (reader, writer) = transport.split();
-        Self {
+    /// Wraps a connected transport. Fallible: splitting a TCP stream
+    /// `try_clone`s the socket, which can fail under fd exhaustion.
+    pub fn new(transport: T) -> io::Result<Self> {
+        let (reader, writer) = transport.split()?;
+        Ok(Self {
             frames: FrameReader::new(reader),
             writer,
             scratch: BytesMut::new(),
-        }
+        })
     }
 
     /// Sends one request without waiting for its reply (pipelining).
@@ -173,6 +174,68 @@ impl<T: Transport> Client<T> {
         let reply = self.recv_reply(|_| {})?;
         match reply.status {
             Status::Ok => Ok(reply.count == 1),
+            s => Err(ClientError::Server(s)),
+        }
+    }
+
+    /// Fetches the server's snapshot as bytes — the peer-bootstrap
+    /// path: feed the result to `Session::restore_bytes` and a fresh
+    /// server starts from this server's exact sealed state.
+    pub fn snapshot_fetch(&mut self) -> Result<Vec<u8>, ClientError> {
+        self.send(&Request::Snapshot(None))?;
+        let mut bytes = Vec::new();
+        loop {
+            let frame: Frame = match self.frames.read_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed before the end-of-results trailer",
+                    )))
+                }
+                Err(e) => return Err(ClientError::Decode(e)),
+            };
+            match frame.kind {
+                Kind::SnapChunk => bytes.extend_from_slice(frame.payload.as_ref()),
+                Kind::End => {
+                    let mut p = frame.payload;
+                    if p.remaining() != 9 {
+                        return Err(ClientError::Decode(DecodeError::Frame(Status::BadLength)));
+                    }
+                    let status = Status::from_u8(p.get_u8());
+                    let count = p.get_u64_le();
+                    if status != Status::Ok {
+                        return Err(ClientError::Server(status));
+                    }
+                    if count != bytes.len() as u64 {
+                        return Err(ClientError::Decode(DecodeError::Frame(Status::BadLength)));
+                    }
+                    return Ok(bytes);
+                }
+                _ => return Err(ClientError::Decode(DecodeError::Frame(Status::BadKind))),
+            }
+        }
+    }
+
+    /// Asks the server to durably save its snapshot to a server-side
+    /// path; returns the snapshot size in bytes.
+    pub fn snapshot_save(&mut self, path: &str) -> Result<u64, ClientError> {
+        self.send(&Request::Snapshot(Some(path.to_string())))?;
+        let reply = self.recv_reply(|_| {})?;
+        match reply.status {
+            Status::Ok => Ok(reply.count),
+            s => Err(ClientError::Server(s)),
+        }
+    }
+
+    /// Asks the server to replace its index from a server-side snapshot
+    /// file; returns the restored live count. A failed restore leaves
+    /// the server's index unchanged ([`Status::SnapshotFailed`]).
+    pub fn restore(&mut self, path: &str) -> Result<u64, ClientError> {
+        self.send(&Request::Restore(path.to_string()))?;
+        let reply = self.recv_reply(|_| {})?;
+        match reply.status {
+            Status::Ok => Ok(reply.count),
             s => Err(ClientError::Server(s)),
         }
     }

@@ -36,7 +36,7 @@
 //! // 2. connect a client over an in-memory duplex pipe
 //! let (client_end, server_end) = duplex();
 //! server.attach(server_end);
-//! let mut client = Client::new(client_end);
+//! let mut client = Client::new(client_end).unwrap();
 //!
 //! // 3. query, write, seal — replies stream back in request order
 //! let ids = client.query(RangeQuery::new(100, 220)).unwrap();
@@ -65,6 +65,6 @@ pub mod transport;
 
 pub use client::{Client, ClientError};
 pub use proto::{DecodeError, Frame, FrameReader, Kind, Reply, Request, Status};
-pub use server::{BatchStats, ServeConfig, Server};
+pub use server::{BatchStats, ServeConfig, Server, SnapshotVerbs};
 pub use sink::WireSink;
 pub use transport::{duplex, DuplexTransport, Transport};

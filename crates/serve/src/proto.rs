@@ -57,10 +57,20 @@ pub enum Kind {
     Delete = 0x03,
     /// Seal: fold overlay writes into the columnar arenas (payload 0 B).
     Seal = 0x04,
+    /// Snapshot: empty payload streams the snapshot bytes back in
+    /// [`Kind::SnapChunk`] frames; a non-empty payload is a UTF-8
+    /// server-side path to save durably instead.
+    Snapshot = 0x05,
+    /// Restore: replace the served index from the snapshot at the UTF-8
+    /// server-side path in the payload.
+    Restore = 0x06,
     /// Response: a chunk of result ids (payload 8·n B).
     Results = 0x81,
     /// Response: end-of-results trailer (payload 9 B: status, count).
     End = 0x82,
+    /// Response: a chunk of raw snapshot-file bytes (streamed reply to
+    /// an empty-payload [`Kind::Snapshot`]; trailer count = total bytes).
+    SnapChunk = 0x83,
 }
 
 impl Kind {
@@ -70,8 +80,11 @@ impl Kind {
             0x02 => Some(Kind::Insert),
             0x03 => Some(Kind::Delete),
             0x04 => Some(Kind::Seal),
+            0x05 => Some(Kind::Snapshot),
+            0x06 => Some(Kind::Restore),
             0x81 => Some(Kind::Results),
             0x82 => Some(Kind::End),
+            0x83 => Some(Kind::SnapChunk),
             _ => None,
         }
     }
@@ -101,6 +114,13 @@ pub enum Status {
     Truncated = 8,
     /// Insert used the reserved tombstone id (recoverable).
     ReservedId = 9,
+    /// A snapshot save or restore could not complete — bad path,
+    /// storage failure, or a corrupt/unsupported snapshot file. The
+    /// served index is unchanged (recoverable).
+    SnapshotFailed = 10,
+    /// The server could not bring the connection up (thread or resource
+    /// exhaustion); only this connection is rejected (fatal).
+    Overloaded = 11,
 }
 
 impl Status {
@@ -118,13 +138,15 @@ impl Status {
             7 => Status::Oversized,
             8 => Status::Truncated,
             9 => Status::ReservedId,
+            10 => Status::SnapshotFailed,
+            11 => Status::Overloaded,
             _ => Status::BadKind,
         }
     }
 }
 
 /// A decoded request frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Range query.
     Query(RangeQuery),
@@ -134,6 +156,11 @@ pub enum Request {
     Delete(Interval),
     /// Fold pending writes into the sealed arenas.
     Seal,
+    /// Snapshot the index: `None` streams the bytes to this client,
+    /// `Some(path)` saves durably to a server-side path.
+    Snapshot(Option<String>),
+    /// Replace the served index from a server-side snapshot file.
+    Restore(String),
 }
 
 /// The end-of-results trailer of one reply.
@@ -198,7 +225,31 @@ pub fn encode_request(out: &mut BytesMut, req: &Request) {
             out.put_u64_le(s.end);
         }
         Request::Seal => put_header(out, Kind::Seal, 0),
+        Request::Snapshot(path) => {
+            let p = path.as_deref().unwrap_or("").as_bytes();
+            put_header(out, Kind::Snapshot, p.len() as u32);
+            out.put_slice(p);
+        }
+        Request::Restore(path) => {
+            put_header(out, Kind::Restore, path.len() as u32);
+            out.put_slice(path.as_bytes());
+        }
     }
+}
+
+/// Encodes one streamed snapshot chunk (reply to an empty-payload
+/// [`Kind::Snapshot`] request).
+///
+/// # Panics
+/// Panics if the chunk overflows [`MAX_PAYLOAD`] — the scheduler slices
+/// snapshots into far smaller chunks, never wire-controlled.
+pub fn encode_snapshot_chunk(out: &mut BytesMut, bytes: &[u8]) {
+    assert!(
+        bytes.len() <= MAX_PAYLOAD as usize,
+        "snapshot chunk too large"
+    );
+    put_header(out, Kind::SnapChunk, bytes.len() as u32);
+    out.put_slice(bytes);
 }
 
 /// Encodes one results chunk. `ids_le` is the chunk's payload — result
@@ -273,7 +324,26 @@ impl Frame {
                 }
                 Ok(Request::Seal)
             }
-            Kind::Results | Kind::End => Err(Status::BadKind), // response kinds are not requests
+            Kind::Snapshot => {
+                if self.payload.is_empty() {
+                    return Ok(Request::Snapshot(None));
+                }
+                match std::str::from_utf8(self.payload.as_ref()) {
+                    Ok(path) => Ok(Request::Snapshot(Some(path.to_string()))),
+                    Err(_) => Err(Status::BadLength), // path must be UTF-8
+                }
+            }
+            Kind::Restore => {
+                if self.payload.is_empty() {
+                    return Err(Status::BadLength); // a restore needs a path
+                }
+                match std::str::from_utf8(self.payload.as_ref()) {
+                    Ok(path) => Ok(Request::Restore(path.to_string())),
+                    Err(_) => Err(Status::BadLength),
+                }
+            }
+            // response kinds are not requests
+            Kind::Results | Kind::End | Kind::SnapChunk => Err(Status::BadKind),
         }
     }
 }
@@ -375,6 +445,9 @@ mod tests {
             Request::Insert(Interval::new(7, 10, 20)),
             Request::Delete(Interval::new(7, 10, 20)),
             Request::Seal,
+            Request::Snapshot(None),
+            Request::Snapshot(Some("/var/lib/hint/a.snap".into())),
+            Request::Restore("/var/lib/hint/a.snap".into()),
         ];
         let mut out = BytesMut::new();
         for r in &reqs {
@@ -383,7 +456,7 @@ mod tests {
         let mut rd = reader(Vec::from(out));
         for want in &reqs {
             let frame = rd.read_frame().unwrap().unwrap();
-            assert_eq!(frame.to_request().unwrap(), *want);
+            assert_eq!(frame.to_request().as_ref(), Ok(want));
         }
         assert!(rd.read_frame().unwrap().is_none(), "clean EOF");
     }
@@ -504,8 +577,29 @@ mod tests {
             Status::Oversized,
             Status::Truncated,
             Status::ReservedId,
+            Status::SnapshotFailed,
+            Status::Overloaded,
         ] {
             assert_eq!(Status::from_u8(s as u8), s);
         }
+    }
+
+    #[test]
+    fn snapshot_and_restore_payloads_are_validated() {
+        // restore with no path
+        let bytes = vec![MAGIC, VERSION, 0x06, 0, 0, 0, 0, 0];
+        let f = reader(bytes).read_frame().unwrap().unwrap();
+        assert_eq!(f.to_request(), Err(Status::BadLength));
+        // non-UTF-8 path bytes
+        let bytes = vec![MAGIC, VERSION, 0x05, 0, 2, 0, 0, 0, 0xFF, 0xFE];
+        let f = reader(bytes).read_frame().unwrap().unwrap();
+        assert_eq!(f.to_request(), Err(Status::BadLength));
+        // snapshot-chunk frames are responses, never requests
+        let mut out = BytesMut::new();
+        encode_snapshot_chunk(&mut out, &[1, 2, 3]);
+        let f = reader(Vec::from(out)).read_frame().unwrap().unwrap();
+        assert_eq!(f.kind, Kind::SnapChunk);
+        assert_eq!(f.payload.as_ref(), &[1, 2, 3]);
+        assert_eq!(f.to_request(), Err(Status::BadKind));
     }
 }

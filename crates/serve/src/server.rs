@@ -33,20 +33,67 @@
 //! results are bit-identical to what a solo `query_sink` at the same
 //! point in the write sequence would produce.
 
-use crate::proto::{encode_end, DecodeError, FrameReader, Reply, Request, Status};
+use crate::proto::{
+    encode_end, encode_snapshot_chunk, DecodeError, FrameReader, Reply, Request, Status,
+};
 use crate::sink::WireSink;
 use crate::transport::Transport;
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use hint_core::{MutableIndex, RangeQuery, Session};
+use hint_core::{HintMSubs, MutableIndex, RangeQuery, Session};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::io::Write;
+use std::io::{self, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Payload bytes per streamed snapshot chunk (64 KiB: large enough to
+/// amortize frame headers, small enough to keep the writer thread's
+/// send granularity bounded).
+const SNAP_CHUNK: usize = 64 * 1024;
+
+/// Engine-side support for the wire `Snapshot`/`Restore` verbs.
+///
+/// The scheduler is generic over the engine it serves, but durable
+/// snapshots are a property of the sealed-arena index the snapshot
+/// format serializes — so the capability is a separate trait, and
+/// [`Server::start`] requires it. Implemented for
+/// [`Session<HintMSubs>`]; other engines can implement it (or answer
+/// every call with an error, which the scheduler surfaces as
+/// [`Status::SnapshotFailed`]).
+pub trait SnapshotVerbs {
+    /// Serializes the engine's index to snapshot bytes (the streaming
+    /// verb). Must act as a write barrier: every applied write is in
+    /// the bytes.
+    fn snapshot_bytes(&mut self) -> io::Result<Vec<u8>>;
+    /// Durably saves the engine's index to a server-side path,
+    /// returning the snapshot size in bytes.
+    fn snapshot_save(&mut self, path: &Path) -> io::Result<u64>;
+    /// Replaces the engine's index from a server-side snapshot file,
+    /// returning the restored live count. On error the served index
+    /// must be unchanged.
+    fn restore_from(&mut self, path: &Path) -> Result<u64, String>;
+}
+
+impl SnapshotVerbs for Session<HintMSubs> {
+    fn snapshot_bytes(&mut self) -> io::Result<Vec<u8>> {
+        Session::snapshot_bytes(self)
+    }
+
+    fn snapshot_save(&mut self, path: &Path) -> io::Result<u64> {
+        self.snapshot(path)
+    }
+
+    fn restore_from(&mut self, path: &Path) -> Result<u64, String> {
+        let fresh = Session::restore(path).map_err(|e| e.to_string())?;
+        *self = fresh;
+        Ok(self.len() as u64)
+    }
+}
 
 /// Scheduler tuning: how long and how wide query batches may grow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,21 +191,45 @@ enum Op {
     Stop,
 }
 
+/// How `spawn_connection` starts its threads — injectable so tests can
+/// induce spawn failure and assert the connection is rejected without
+/// taking the acceptor (or the server) down.
+type Spawner = fn(String, Box<dyn FnOnce() + Send + 'static>) -> io::Result<()>;
+
+/// The production spawner: a named OS thread per closure.
+fn os_spawn(name: String, f: Box<dyn FnOnce() + Send + 'static>) -> io::Result<()> {
+    std::thread::Builder::new().name(name).spawn(f).map(|_| ())
+}
+
 /// Registers `transport` with the scheduler as connection `id` and
 /// spawns its reader and writer threads. Both threads terminate on
 /// their own: the reader at transport EOF/error or scheduler exit, the
 /// writer when the scheduler drops the connection's response channel or
 /// the peer stops reading.
+///
+/// Connection bring-up is fallible (TCP `try_clone`, thread spawn under
+/// resource exhaustion); any failure rejects *this* connection — with a
+/// fatal [`Status::Overloaded`] trailer when the write half is still
+/// on hand — and never panics the caller, which may be the acceptor
+/// serving every other connection.
 fn spawn_connection<T: Transport>(ops: &Sender<Op>, id: ConnId, transport: T) {
-    let (reader, mut writer) = transport.split();
+    spawn_connection_with(ops, id, transport, os_spawn)
+}
+
+fn spawn_connection_with<T: Transport>(ops: &Sender<Op>, id: ConnId, transport: T, spawn: Spawner) {
+    let (reader, mut writer) = match transport.split() {
+        Ok(halves) => halves,
+        // no write half to carry a rejection: drop; the peer sees EOF
+        Err(_) => return,
+    };
     let (resp_tx, resp_rx) = unbounded::<Vec<u8>>();
     // register before the reader can produce the first request so the
     // scheduler always knows the connection
     let _ = ops.send(Op::Conn(id, resp_tx));
-    let ops = ops.clone();
-    std::thread::Builder::new()
-        .name(format!("serve-read-{id}"))
-        .spawn(move || {
+    let reader_ops = ops.clone();
+    let read = spawn(
+        format!("serve-read-{id}"),
+        Box::new(move || {
             let mut frames = FrameReader::new(reader);
             loop {
                 let op = match frames.read_frame() {
@@ -167,28 +238,45 @@ fn spawn_connection<T: Transport>(ops: &Sender<Op>, id: ConnId, transport: T) {
                         Err(status) => Op::Invalid(id, status),
                     },
                     Ok(None) => {
-                        let _ = ops.send(Op::Disconnect(id));
+                        let _ = reader_ops.send(Op::Disconnect(id));
                         return;
                     }
                     Err(DecodeError::Frame(status)) => Op::Invalid(id, status),
                     Err(DecodeError::Desync(status)) => {
-                        let _ = ops.send(Op::Fatal(id, status));
+                        let _ = reader_ops.send(Op::Fatal(id, status));
                         return;
                     }
                     Err(DecodeError::Io(_)) => {
-                        let _ = ops.send(Op::Fatal(id, Status::Truncated));
+                        let _ = reader_ops.send(Op::Fatal(id, Status::Truncated));
                         return;
                     }
                 };
-                if ops.send(op).is_err() {
+                if reader_ops.send(op).is_err() {
                     return; // scheduler gone: server shut down
                 }
             }
-        })
-        .expect("spawn connection reader");
-    std::thread::Builder::new()
-        .name(format!("serve-write-{id}"))
-        .spawn(move || {
+        }),
+    );
+    if read.is_err() {
+        // reject just this connection: unregister, tell the peer
+        // inline (the writer half is still ours), and keep serving
+        let _ = ops.send(Op::Disconnect(id));
+        let mut out = BytesMut::new();
+        encode_end(
+            &mut out,
+            Reply {
+                status: Status::Overloaded,
+                count: 0,
+            },
+        );
+        let _ = writer
+            .write_all(out.as_slice())
+            .and_then(|_| writer.flush());
+        return;
+    }
+    let write = spawn(
+        format!("serve-write-{id}"),
+        Box::new(move || {
             for chunk in resp_rx.iter() {
                 if writer
                     .write_all(&chunk)
@@ -198,8 +286,13 @@ fn spawn_connection<T: Transport>(ops: &Sender<Op>, id: ConnId, transport: T) {
                     return;
                 }
             }
-        })
-        .expect("spawn connection writer");
+        }),
+    );
+    if write.is_err() {
+        // the write half went down with the failed spawn; unregister
+        // and let the peer see EOF
+        let _ = ops.send(Op::Disconnect(id));
+    }
 }
 
 /// A running server over one [`Session`]. Connections attach via
@@ -221,6 +314,7 @@ impl Server {
     pub fn start<I>(session: Session<I>, config: ServeConfig) -> Server
     where
         I: MutableIndex + Send + Sync + 'static,
+        Session<I>: SnapshotVerbs,
     {
         let (ops_tx, ops_rx) = unbounded();
         let stats = Arc::new(RwLock::new(BatchStats::default()));
@@ -329,7 +423,10 @@ struct Scheduler<I: MutableIndex + Send + Sync + 'static> {
     stats: Arc<RwLock<BatchStats>>,
 }
 
-impl<I: MutableIndex + Send + Sync + 'static> Scheduler<I> {
+impl<I: MutableIndex + Send + Sync + 'static> Scheduler<I>
+where
+    Session<I>: SnapshotVerbs,
+{
     fn new(session: Session<I>, config: ServeConfig, stats: Arc<RwLock<BatchStats>>) -> Self {
         Self {
             session,
@@ -435,6 +532,53 @@ impl<I: MutableIndex + Send + Sync + 'static> Scheduler<I> {
                         },
                     );
                 }
+                Op::Request(id, Request::Snapshot(path)) => {
+                    // snapshots are write barriers too: the bytes must
+                    // reflect every request answered before this one
+                    self.flush();
+                    self.stats.write().writes += 1;
+                    match path {
+                        None => match self.session.snapshot_bytes() {
+                            Ok(bytes) => self.stream_snapshot(id, &bytes),
+                            Err(_) => self.send_end(
+                                id,
+                                Reply {
+                                    status: Status::SnapshotFailed,
+                                    count: 0,
+                                },
+                            ),
+                        },
+                        Some(p) => {
+                            let reply = match self.session.snapshot_save(Path::new(&p)) {
+                                Ok(bytes) => Reply {
+                                    status: Status::Ok,
+                                    count: bytes,
+                                },
+                                Err(_) => Reply {
+                                    status: Status::SnapshotFailed,
+                                    count: 0,
+                                },
+                            };
+                            self.send_end(id, reply);
+                        }
+                    }
+                }
+                Op::Request(id, Request::Restore(p)) => {
+                    self.flush();
+                    self.stats.write().writes += 1;
+                    let reply = match self.session.restore_from(Path::new(&p)) {
+                        Ok(live) => Reply {
+                            status: Status::Ok,
+                            count: live,
+                        },
+                        // the served index is unchanged on failure
+                        Err(_) => Reply {
+                            status: Status::SnapshotFailed,
+                            count: 0,
+                        },
+                    };
+                    self.send_end(id, reply);
+                }
                 Op::Invalid(id, status) => {
                     // flush first so the error trailer lands in this
                     // connection's FIFO position
@@ -500,11 +644,128 @@ impl<I: MutableIndex + Send + Sync + 'static> Scheduler<I> {
         self.stats.write().retunes = total;
     }
 
+    /// Streams snapshot bytes to one connection as [`SNAP_CHUNK`]-sized
+    /// chunk frames followed by an `Ok` trailer whose count is the
+    /// total byte length.
+    fn stream_snapshot(&self, conn: ConnId, bytes: &[u8]) {
+        let mut out = BytesMut::new();
+        for chunk in bytes.chunks(SNAP_CHUNK) {
+            encode_snapshot_chunk(&mut out, chunk);
+        }
+        encode_end(
+            &mut out,
+            Reply {
+                status: Status::Ok,
+                count: bytes.len() as u64,
+            },
+        );
+        if let Some(tx) = self.conns.get(&conn) {
+            let _ = tx.send(Vec::from(out));
+        }
+    }
+
     fn send_end(&self, conn: ConnId, reply: Reply) {
         let mut out = BytesMut::new();
         encode_end(&mut out, reply);
         if let Some(tx) = self.conns.get(&conn) {
             let _ = tx.send(Vec::from(out));
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::transport::duplex;
+    use crate::ClientError;
+    use bytes::Buf;
+    use hint_core::{Domain, Interval, ShardedIndex, SubsConfig};
+
+    fn session() -> Session<HintMSubs> {
+        let data: Vec<Interval> = (0..500)
+            .map(|i| {
+                let st = (i * 37) % 4_000;
+                Interval::new(i, st, (st + i % 50).min(4_095))
+            })
+            .collect();
+        let sharded = ShardedIndex::build_with_domain(&data, 0, 4_095, 4, |s, lo, hi| {
+            HintMSubs::build_with_domain(s, Domain::new(lo, hi, 8), SubsConfig::full())
+        });
+        Session::new(sharded)
+    }
+
+    fn failing_read_spawn(name: String, f: Box<dyn FnOnce() + Send + 'static>) -> io::Result<()> {
+        if name.starts_with("serve-read") {
+            return Err(io::Error::other("induced spawn failure"));
+        }
+        os_spawn(name, f)
+    }
+
+    #[test]
+    fn reader_spawn_failure_rejects_only_that_connection() {
+        let server = Server::start(session(), ServeConfig::default());
+        // a connection whose reader thread cannot start is rejected
+        // with a fatal trailer, not a panic in the acceptor path
+        let (client_end, server_end) = duplex();
+        let id = server.next_conn.fetch_add(1, Ordering::Relaxed);
+        spawn_connection_with(&server.ops, id, server_end, failing_read_spawn);
+        let (reader, _writer) = client_end.split().unwrap();
+        let mut frames = FrameReader::new(reader);
+        let f = frames.read_frame().unwrap().expect("a rejection frame");
+        assert_eq!(f.kind, crate::proto::Kind::End);
+        let mut p = f.payload;
+        assert_eq!(Status::from_u8(p.get_u8()), Status::Overloaded);
+        assert_eq!(p.get_u64_le(), 0);
+        assert!(frames.read_frame().unwrap().is_none(), "then EOF");
+        // the server still serves fresh connections
+        let (c2, s2) = duplex();
+        server.attach(s2);
+        let mut client = Client::new(c2).unwrap();
+        assert!(!client.query(RangeQuery::new(0, 4_095)).unwrap().is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn snapshot_and_restore_verbs_roundtrip_over_the_wire() {
+        let path =
+            std::env::temp_dir().join(format!("hint-serve-snap-{}.snap", std::process::id()));
+        let server = Server::start(session(), ServeConfig::default());
+        let (c, s) = duplex();
+        server.attach(s);
+        let mut client = Client::new(c).unwrap();
+        let mut before = client.query(RangeQuery::new(0, 4_095)).unwrap();
+        before.sort_unstable();
+        // save, mutate, restore: the mutation must be rolled back
+        let saved = client.snapshot_save(path.to_str().unwrap()).unwrap();
+        assert!(saved > 0);
+        client.insert(Interval::new(90_000, 1, 2)).unwrap();
+        client.seal().unwrap();
+        assert!(client
+            .query(RangeQuery::new(1, 2))
+            .unwrap()
+            .contains(&90_000));
+        let live = client.restore(path.to_str().unwrap()).unwrap();
+        assert_eq!(live, before.len() as u64);
+        let mut after = client.query(RangeQuery::new(0, 4_095)).unwrap();
+        after.sort_unstable();
+        assert_eq!(after, before);
+        // restoring from a bad path fails recoverably: error trailer,
+        // connection kept, index unchanged
+        let err = client.restore("/nonexistent/dir/x.snap").unwrap_err();
+        assert!(matches!(err, ClientError::Server(Status::SnapshotFailed)));
+        assert_eq!(
+            client.query(RangeQuery::new(0, 4_095)).unwrap().len(),
+            before.len()
+        );
+        // the streamed snapshot boots an identical twin
+        let bytes = client.snapshot_fetch().unwrap();
+        let twin = Session::restore_bytes(&bytes).unwrap();
+        let mut got: Vec<u64> = Vec::new();
+        twin.query_sink(RangeQuery::new(0, 4_095), &mut got);
+        got.sort_unstable();
+        assert_eq!(got, before);
+        server.shutdown();
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -24,18 +24,21 @@ pub trait Transport: Send + Sized + 'static {
     type Writer: Write + Send + 'static;
 
     /// Splits into independently-owned halves. Dropping the writer must
-    /// eventually surface as EOF on the peer's reader.
-    fn split(self) -> (Self::Reader, Self::Writer);
+    /// eventually surface as EOF on the peer's reader. Fallible: a TCP
+    /// stream splits via `try_clone`, which can fail under fd
+    /// exhaustion — the server rejects that one connection and keeps
+    /// serving the rest, so splitting must not panic.
+    fn split(self) -> io::Result<(Self::Reader, Self::Writer)>;
 }
 
 impl Transport for TcpStream {
     type Reader = TcpStream;
     type Writer = TcpStream;
 
-    fn split(self) -> (TcpStream, TcpStream) {
+    fn split(self) -> io::Result<(TcpStream, TcpStream)> {
         let _ = self.set_nodelay(true);
-        let writer = self.try_clone().expect("clone TCP stream for writing");
-        (self, writer)
+        let writer = self.try_clone()?;
+        Ok((self, writer))
     }
 }
 
@@ -102,8 +105,8 @@ impl Transport for DuplexTransport {
     type Reader = PipeReader;
     type Writer = PipeWriter;
 
-    fn split(self) -> (PipeReader, PipeWriter) {
-        (self.reader, self.writer)
+    fn split(self) -> io::Result<(PipeReader, PipeWriter)> {
+        Ok((self.reader, self.writer))
     }
 }
 
@@ -139,8 +142,8 @@ mod tests {
     #[test]
     fn duplex_roundtrips_both_directions() {
         let (a, b) = duplex();
-        let (mut ar, mut aw) = a.split();
-        let (mut br, mut bw) = b.split();
+        let (mut ar, mut aw) = a.split().unwrap();
+        let (mut br, mut bw) = b.split().unwrap();
         aw.write_all(b"ping").unwrap();
         let mut buf = [0u8; 4];
         br.read_exact(&mut buf).unwrap();
@@ -154,8 +157,8 @@ mod tests {
     #[test]
     fn short_reads_drain_large_chunks() {
         let (a, b) = duplex();
-        let (_ar, mut aw) = a.split();
-        let (mut br, _bw) = b.split();
+        let (_ar, mut aw) = a.split().unwrap();
+        let (mut br, _bw) = b.split().unwrap();
         aw.write_all(&[7u8; 100]).unwrap();
         let mut got = Vec::new();
         let mut buf = [0u8; 33];
@@ -169,8 +172,8 @@ mod tests {
     #[test]
     fn dropping_writer_is_eof() {
         let (a, b) = duplex();
-        let (_ar, aw) = a.split();
-        let (mut br, _bw) = b.split();
+        let (_ar, aw) = a.split().unwrap();
+        let (mut br, _bw) = b.split().unwrap();
         drop(aw);
         let mut buf = [0u8; 8];
         assert_eq!(br.read(&mut buf).unwrap(), 0);
@@ -179,7 +182,7 @@ mod tests {
     #[test]
     fn writing_to_a_dropped_reader_is_broken_pipe() {
         let (a, b) = duplex();
-        let (_ar, mut aw) = a.split();
+        let (_ar, mut aw) = a.split().unwrap();
         drop(b);
         let err = aw.write_all(b"x").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);

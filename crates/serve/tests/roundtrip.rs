@@ -31,7 +31,7 @@ fn start_server(data: &[Interval], k: usize, config: ServeConfig) -> Server {
 fn connect(server: &Server) -> Client<DuplexTransport> {
     let (client_end, server_end) = duplex();
     server.attach(server_end);
-    Client::new(client_end)
+    Client::new(client_end).unwrap()
 }
 
 /// `IntervalIndex` facade over a served connection, so the shared
@@ -206,7 +206,7 @@ fn raw_connect(server: &Server) -> (serve::transport::PipeReader, serve::transpo
     let (client_end, server_end) = duplex();
     server.attach(server_end);
     use serve::Transport;
-    client_end.split()
+    client_end.split().unwrap()
 }
 
 /// Reads frames back until EOF, returning the End statuses seen.
@@ -267,7 +267,7 @@ fn malformed_frames_error_per_connection_without_killing_the_server() {
         let (client_end, server_end) = duplex();
         server.attach(server_end);
         use serve::Transport;
-        let (r, mut wtr) = client_end.split();
+        let (r, mut wtr) = client_end.split().unwrap();
         wtr.write_all(&frame).unwrap();
         let mut rd = serve::FrameReader::new(r);
         // reply 1: BadKind trailer; reply 2: BadLength trailer
@@ -308,7 +308,7 @@ fn malformed_frames_error_per_connection_without_killing_the_server() {
     let (client_end, server_end) = duplex();
     server.attach(server_end);
     use serve::Transport;
-    let (r, mut wtr) = client_end.split();
+    let (r, mut wtr) = client_end.split().unwrap();
     wtr.write_all(raw.as_slice()).unwrap();
     let mut rd = serve::FrameReader::new(r);
     let f = rd.read_frame().unwrap().unwrap();

@@ -278,6 +278,10 @@ pub mod lifecycle {
         SubsConfig,
     };
 
+    /// A point-in-time pair: snapshot bytes and the live set they
+    /// captured, for rolling the oracle twin back on a Restore step.
+    type SnapPoint = (Vec<u8>, Vec<Interval>);
+
     /// Domain of the generated workloads.
     pub const DOM: u64 = 4_096;
 
@@ -301,7 +305,10 @@ pub mod lifecycle {
 
     /// Replays one lifecycle seed: 60 random steps, each differentially
     /// checked, with re-tuning enabled on every reseal, then a final
-    /// reseal and the full differential battery. Panics on divergence.
+    /// reseal and the full differential battery. Steps include in-memory
+    /// snapshot/restore, so save interleaves with insert / delete /
+    /// seal / re-tune and restore rolls both the engine and the oracle
+    /// twin back to the snapshot point. Panics on divergence.
     pub fn replay(seed: u64) {
         let w = fuzz::workload(seed, DOM, 140, 16, 0);
         for k in shard_counts() {
@@ -310,9 +317,10 @@ pub mod lifecycle {
             let mut live = w.data.clone();
             let mut rng = fuzz::Rng::new(seed ^ 0x11f3_c1c1);
             let mut next_id = 500_000u64;
+            let mut snap: Option<SnapPoint> = None;
             for step in 0..60 {
                 let ctx = |what: &str| format!("seed {seed:#x} K={k} step {step}: {what}");
-                match rng.below(13) {
+                match rng.below(15) {
                     0..=2 => {
                         // insert (sometimes deliberately out of domain)
                         let st = rng.below(DOM + 64);
@@ -467,7 +475,7 @@ pub mod lifecycle {
                             );
                         }
                     }
-                    _ => {
+                    12 => {
                         // stab burst: skews the observed mix toward
                         // extent 0 so later reseals exercise the re-tuner
                         for _ in 0..4 {
@@ -478,6 +486,33 @@ pub mod lifecycle {
                                 oracle.query_sorted(q),
                                 "{}",
                                 ctx("stab")
+                            );
+                        }
+                    }
+                    13 => {
+                        // snapshot: a write barrier — the bytes must
+                        // capture exactly the live set at this step
+                        let bytes = session
+                            .snapshot_bytes()
+                            .unwrap_or_else(|e| panic!("{}", ctx(&format!("snapshot: {e}"))));
+                        assert!(!session.is_dirty(), "{}", ctx("snapshot left dirt"));
+                        snap = Some((bytes, live.clone()));
+                    }
+                    _ => {
+                        // restore: roll the engine back to the last
+                        // snapshot point; the oracle twin rolls back too
+                        if let Some((bytes, at)) = &snap {
+                            session = Session::restore_bytes(bytes)
+                                .unwrap_or_else(|e| panic!("{}", ctx(&format!("restore: {e}"))));
+                            live = at.clone();
+                            oracle = ScanOracle::new(&live);
+                            assert!(!session.is_dirty(), "{}", ctx("restored dirty"));
+                            let q = RangeQuery::new(0, DOM - 1);
+                            assert_eq!(
+                                session_sorted(&session, q),
+                                oracle.query_sorted(q),
+                                "{}",
+                                ctx("post-restore sweep")
                             );
                         }
                     }

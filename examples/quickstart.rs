@@ -95,7 +95,7 @@ fn main() {
     let server = serve::Server::start(Session::new(sharded), serve::ServeConfig::default());
     let (client_end, server_end) = serve::duplex();
     server.attach(server_end);
-    let mut client = serve::Client::new(client_end);
+    let mut client = serve::Client::new(client_end).expect("split transport");
     let mut served = client.query(RangeQuery::new(22, 55)).unwrap();
     served.sort_unstable();
     println!("served [22, 55]:      {served:?}"); // same as step 3
@@ -149,6 +149,25 @@ fn main() {
     }
     assert!(session.pool().exists(RangeQuery::new(420, 430))); // results unchanged
     println!("pool dispatch stats:  {:?}", session.pool().stats());
+
+    // --- 11. durable snapshot + restore ---------------------------------
+    // `snapshot` seals if dirty, then writes the columnar arenas as a
+    // checksummed file via temp file + fsync + atomic rename — a crash
+    // at any byte leaves the old snapshot or the new one, never
+    // garbage. `restore` bulk-loads the file back (no re-sort, no
+    // re-assignment) and fails with a typed error on any corruption.
+    // Over the wire, `Client::snapshot_fetch` streams the same bytes so
+    // a fresh peer can bootstrap from a live server (docs/protocol.md).
+    let path = std::env::temp_dir().join(format!("hint-quickstart-{}.snap", std::process::id()));
+    let written = session.snapshot(&path).expect("snapshot save");
+    let restored = Session::restore(&path).expect("snapshot restore");
+    assert_eq!(restored.len(), session.len());
+    assert!(restored.pool().exists(RangeQuery::new(420, 430)));
+    println!(
+        "snapshot:             {written} bytes, restored {} intervals",
+        restored.len()
+    );
+    std::fs::remove_file(&path).ok();
 
     println!("quickstart OK");
 }

@@ -44,7 +44,7 @@ fn main() {
             let twin = &twin;
             scope.spawn(move || {
                 let stream = TcpStream::connect(addr).expect("connect");
-                let mut client = Client::new(stream);
+                let mut client = Client::new(stream).expect("split stream");
                 for i in 0..queries_per_client {
                     let st = (c * 17_000 + i * 997) % (dom - 2_000);
                     let q = RangeQuery::new(st, st + 1_500);
@@ -59,7 +59,7 @@ fn main() {
 
     // phase 2: one writer interleaves inserts/deletes/seal with queries
     let stream = TcpStream::connect(addr).expect("connect writer");
-    let mut client = Client::new(stream);
+    let mut client = Client::new(stream).expect("split stream");
     let mut twin = twin;
     for i in 0..200u64 {
         let st = (i * 313) % (dom - 100);

@@ -1,0 +1,121 @@
+//! Allocation gate for the hot query path: once sinks are warm, the
+//! sealed batch walk must allocate a *constant* number of times per
+//! batch — run-over-run growth means something on the read path (a
+//! snapshot hook, an instrumentation layer, a leaked scratch buffer)
+//! started allocating per query, which is exactly the regression the
+//! snapshot I/O trait is required not to introduce. The solo
+//! `query_sink` path into a pre-grown sink must allocate nothing at
+//! all.
+//!
+//! Runs the index single-threaded (one shard, inline execution) so the
+//! counter sees only the path under test, not worker-pool churn.
+
+use hint_suite::hint_core::{Domain, HintMSubs, Interval, IntervalId, RangeQuery, SubsConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation routed through the global
+/// allocator. Frees are not counted — the gate is about acquisition on
+/// the hot path, and `realloc` growth counts as an acquisition.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+const DOM: u64 = 1 << 14;
+
+fn build() -> HintMSubs {
+    let data: Vec<Interval> = (0..4_000u64)
+        .map(|i| {
+            let st = (i * 193) % (DOM - 512);
+            Interval::new(i, st, st + 1 + (i * 37) % 500)
+        })
+        .collect();
+    HintMSubs::build_with_domain(&data, Domain::new(0, DOM - 1, 10), SubsConfig::full())
+}
+
+fn batch() -> Vec<RangeQuery> {
+    (0..64u64)
+        .map(|i| {
+            let st = (i * 251) % (DOM - 600);
+            RangeQuery::new(st, st + 40 + (i * 17) % 500)
+        })
+        .collect()
+}
+
+/// Steady-state batched queries allocate a constant amount per batch:
+/// after one warm-up run (sinks grow to capacity), three consecutive
+/// identical batches must each cost *exactly* the same number of
+/// allocations — zero run-over-run growth.
+#[test]
+fn batch_query_allocations_are_flat_in_steady_state() {
+    let index = build();
+    let queries = batch();
+    let mut sinks: Vec<Vec<IntervalId>> = queries.iter().map(|_| Vec::new()).collect();
+    let run = |sinks: &mut Vec<Vec<IntervalId>>| {
+        for s in sinks.iter_mut() {
+            s.clear(); // keeps capacity: a warm sink never regrows
+        }
+        let before = allocs();
+        index.query_batch_sinks(&queries, &mut sinks.iter_mut().collect::<Vec<_>>(), false);
+        allocs() - before
+    };
+    let warmup = run(&mut sinks);
+    let deltas: Vec<u64> = (0..3).map(|_| run(&mut sinks)).collect();
+    assert!(
+        deltas.windows(2).all(|w| w[0] == w[1]),
+        "per-batch allocation count drifted in steady state: warmup={warmup}, runs={deltas:?}"
+    );
+    assert!(
+        deltas[0] <= warmup,
+        "steady-state batches allocate more than the cold run: warmup={warmup}, runs={deltas:?}"
+    );
+}
+
+/// The solo sealed read path is allocation-free once the sink is warm:
+/// `query_sink` into a cleared-but-capacitated `Vec` must not touch the
+/// allocator at all.
+#[test]
+fn warm_solo_query_sink_allocates_nothing() {
+    let index = build();
+    let queries = batch();
+    let mut out: Vec<IntervalId> = Vec::new();
+    for &q in &queries {
+        index.query_sink(q, &mut out); // warm-up grows `out` once
+    }
+    out.clear();
+    let before = allocs();
+    for &q in &queries {
+        out.clear();
+        index.query_sink(q, &mut out);
+    }
+    let delta = allocs() - before;
+    assert_eq!(
+        delta,
+        0,
+        "warm solo query_sink touched the allocator {delta} times over {} queries",
+        queries.len()
+    );
+}

@@ -154,7 +154,7 @@ fn server_shutdown_with_pipelined_queries_in_flight() {
     let server = Server::start(session, ServeConfig::default());
     let (client_end, server_end) = duplex();
     server.attach(server_end);
-    let mut client = Client::new(client_end);
+    let mut client = Client::new(client_end).unwrap();
     for i in 0..64u64 {
         let st = (i * 61) % DOM;
         client
@@ -188,7 +188,7 @@ fn reseal_behind_the_write_barrier_keeps_replies_exact() {
     let server = Server::start(session, ServeConfig::default());
     let (client_end, server_end) = duplex();
     server.attach(server_end);
-    let mut client = Client::new(client_end);
+    let mut client = Client::new(client_end).unwrap();
     // skew the mix so the mid-stream reseal has something to re-tune on
     for t in 0..24u64 {
         client
@@ -263,6 +263,153 @@ fn pool_respawn_via_into_index_preserves_the_index() {
             &w.queries,
         );
     }
+}
+
+// ---- crash-safe snapshot / restore ---------------------------------
+
+/// The crash-recovery matrix: a save of state B over a durable state A
+/// is killed at *every* fault point the save has (each chunk write, the
+/// fsync, the rename), and after each simulated crash the file at the
+/// snapshot path must restore to a bit-identical pre- (A) or post- (B)
+/// snapshot image — never garbage, never a panic. Read-side bit rot
+/// must surface as a typed `RestoreError`.
+#[test]
+fn crash_recovery_matrix_covers_every_fault_point() {
+    use hint_suite::hint_core::hintm::snapshot::tmp_path;
+    use hint_suite::hint_core::{FaultIo, FaultKind, StdSnapshotIo};
+    let dir = std::env::temp_dir().join(format!("hint-crash-matrix-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let w = fuzz::workload(0xFA01, DOM, 400, 12, 0);
+    for k in shard_counts() {
+        let path = dir.join(format!("k{k}.snap"));
+        // state A: sealed seed build, durably saved
+        let mut session = Session::with_retune(
+            build_sharded(&w.data, k, SubsConfig::update_friendly()),
+            RetunePolicy::Off,
+        );
+        session.snapshot(&path).unwrap();
+        let bytes_a = session.snapshot_bytes().unwrap();
+        // state B: mutate past A (inserts + a delete), sealed by the
+        // snapshot barrier
+        let mut oracle_b = ScanOracle::new(&w.data);
+        for i in 0..48u64 {
+            let st = (i * 97) % (DOM - 9);
+            let s = Interval::new(940_000 + i, st, st + 8);
+            session.try_insert(s).unwrap();
+            oracle_b.insert(s);
+        }
+        assert!(session.delete(&w.data[0]));
+        oracle_b.delete(w.data[0].id);
+        let bytes_b = session.snapshot_bytes().unwrap();
+        assert_ne!(bytes_a, bytes_b, "states A and B must differ");
+
+        // one counting pass learns how many write fault points the save
+        // has (and commits B — put A back before the matrix runs)
+        let mut counter = FaultIo::counting(StdSnapshotIo::default());
+        session.snapshot_with(&path, &mut counter).unwrap();
+        let write_points = counter.writes();
+        assert!(write_points >= 1, "K={k}: save issued no writes");
+        std::fs::write(&path, &bytes_a).unwrap();
+
+        // pre-commit faults: the save errors, the temp is cleaned up,
+        // and the previous snapshot restores bit-identically
+        let mut cases: Vec<(FaultKind, usize)> = vec![(FaultKind::FsyncFail, 0)];
+        for at in 0..write_points {
+            cases.push((FaultKind::ShortWrite, at));
+            cases.push((FaultKind::NoSpace, at));
+        }
+        for (kind, at) in cases {
+            let mut io = FaultIo::failing(StdSnapshotIo::default(), kind, at, 7);
+            assert!(
+                session.snapshot_with(&path, &mut io).is_err(),
+                "K={k} {kind:?}@{at}: save must report the fault"
+            );
+            assert!(
+                !tmp_path(&path).exists(),
+                "K={k} {kind:?}@{at}: temp file leaked"
+            );
+            let mut back = Session::restore(&path)
+                .unwrap_or_else(|e| panic!("K={k} {kind:?}@{at}: restore failed: {e}"));
+            assert_eq!(
+                back.snapshot_bytes().unwrap(),
+                bytes_a,
+                "K={k} {kind:?}@{at}: pre-crash snapshot not bit-identical"
+            );
+        }
+
+        // a torn rename: the commit landed but the save reports failure
+        // — recovery must find a valid snapshot either way (here: B)
+        let mut io = FaultIo::failing(StdSnapshotIo::default(), FaultKind::TornRename, 0, 7);
+        assert!(session.snapshot_with(&path, &mut io).is_err());
+        let mut back = Session::restore(&path)
+            .unwrap_or_else(|e| panic!("K={k}: post-torn-rename restore failed: {e}"));
+        assert_eq!(
+            back.snapshot_bytes().unwrap(),
+            bytes_b,
+            "K={k}: torn rename must leave the committed snapshot"
+        );
+        expect_same_results(
+            &format!("restored twin after torn rename K={k}"),
+            back.pool(),
+            &oracle_b,
+            &w.queries,
+        );
+
+        // read-side bit rot: every seeded flipped bit must surface as a
+        // typed RestoreError — zero panics, zero silent corruption
+        for seed in 0..16u64 {
+            let mut io = FaultIo::failing(StdSnapshotIo::default(), FaultKind::BitFlip, 0, seed);
+            assert!(
+                Session::restore_with(&path, &mut io).is_err(),
+                "K={k} seed={seed}: a flipped bit restored silently"
+            );
+        }
+    }
+}
+
+/// A fresh server bootstraps from a live peer's snapshot stream over
+/// real TCP: pull the snapshot bytes with `snapshot_fetch`, restore a
+/// twin session from them, serve the twin from a second server, and
+/// differential-check that both servers answer every seeded query
+/// identically.
+#[test]
+fn tcp_peer_bootstrap_from_a_snapshot_stream() {
+    use std::net::{TcpListener, TcpStream};
+    let w = fuzz::workload(0xFA02, DOM, 500, 24, 0);
+    let mut session = Session::with_retune(
+        build_sharded(&w.data, 4, SubsConfig::full()),
+        RetunePolicy::Off,
+    );
+    // post-build churn so the snapshot barrier has something to seal
+    session
+        .try_insert(Interval::new(950_000, 100, 900))
+        .unwrap();
+    assert!(session.delete(&w.data[1]));
+    let live = session.len();
+    let mut server_a = Server::start(session, ServeConfig::default());
+    let addr = server_a
+        .listen_tcp(TcpListener::bind("127.0.0.1:0").unwrap())
+        .unwrap();
+    // peer bootstrap: fetch the snapshot over the wire, restore a twin
+    let mut boot = Client::new(TcpStream::connect(addr).unwrap()).unwrap();
+    let bytes = boot.snapshot_fetch().unwrap();
+    let twin = Session::restore_bytes(&bytes).unwrap_or_else(|e| panic!("restore: {e}"));
+    assert_eq!(twin.len(), live, "twin lost or invented intervals");
+    let server_b = Server::start(twin, ServeConfig::default());
+    let (b_client_end, b_server_end) = duplex();
+    server_b.attach(b_server_end);
+    let mut client_b = Client::new(b_client_end).unwrap();
+    let mut client_a = Client::new(TcpStream::connect(addr).unwrap()).unwrap();
+    for &q in &w.queries {
+        let mut a = client_a.query(q).unwrap();
+        let mut b = client_b.query(q).unwrap();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "bootstrapped peer diverged on {q:?}");
+    }
+    drop((client_a, client_b, boot));
+    server_a.shutdown();
+    server_b.shutdown();
 }
 
 // ---- re-tune correctness properties --------------------------------

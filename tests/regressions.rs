@@ -152,7 +152,7 @@ fn replay_serve(seed: u64) {
         let (client_end, server_end) = duplex();
         server.attach(server_end);
         let remote = Remote(
-            std::cell::RefCell::new(Client::new(client_end)),
+            std::cell::RefCell::new(Client::new(client_end).unwrap()),
             w.data.len(),
         );
         expect_same_results("served", &remote, &oracle, &w.queries);
@@ -164,7 +164,7 @@ fn replay_serve(seed: u64) {
         let (raw_client, raw_server) = duplex();
         server.attach(raw_server);
         use serve::Transport;
-        let (_r, mut wtr) = raw_client.split();
+        let (_r, mut wtr) = raw_client.split().unwrap();
         let junk: Vec<u8> = (0..64 + rng.below(128))
             .map(|_| (rng.next_u64() & 0xFF) as u8)
             .collect();
@@ -172,7 +172,7 @@ fn replay_serve(seed: u64) {
         drop(wtr);
         let (client_end, server_end) = duplex();
         server.attach(server_end);
-        let mut clean = Client::new(client_end);
+        let mut clean = Client::new(client_end).unwrap();
         let got = clean
             .query(RangeQuery::new(0, w.dom - 1))
             .expect("server survived garbage");
