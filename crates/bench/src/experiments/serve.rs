@@ -106,7 +106,8 @@ fn measure(
             max_batch,
             max_delay,
         },
-    );
+    )
+    .expect("start server");
     let per_client = queries.len().div_ceil(CLIENTS);
     let t0 = Instant::now();
     let runs: Vec<ClientRun> = std::thread::scope(|scope| {

@@ -18,6 +18,16 @@ pub struct ConcurrentHint {
     inner: RwLock<HybridHint>,
 }
 
+impl Clone for ConcurrentHint {
+    /// Clones the underlying index under the read lock; the clone gets
+    /// its own fresh lock.
+    fn clone(&self) -> Self {
+        Self {
+            inner: RwLock::new(self.inner.read().clone()),
+        }
+    }
+}
+
 impl ConcurrentHint {
     /// Builds the index over `data` for raw domain `[min, max]` with
     /// `m + 1` levels (see [`HybridHint::new`]).

@@ -157,6 +157,18 @@ pub fn var_or<T: FromStr + Display>(
     }
 }
 
+/// `HINT_READ_REPLICAS`: logical read replicas per shard for
+/// [`crate::ShardPool`] (1–64; default 1 = unreplicated). Values ≥ 2
+/// enable epoch publication: reads run against published shard images
+/// instead of queueing on the owning worker. Reader *threads* are sized
+/// separately against the worker budget — see
+/// [`crate::ShardPool::with_read_replicas`].
+pub(crate) fn read_replicas() -> usize {
+    var_or("HINT_READ_REPLICAS", 1usize, "1..=64", |&v| {
+        (1..=64).contains(&v)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

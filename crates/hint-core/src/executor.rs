@@ -61,8 +61,9 @@ pub(crate) type Routed = (u32, RangeQuery, bool);
 /// `HINT_SHARD_THREADS` override if set, else the machine's available
 /// parallelism. `0` is clamped to `1` (the long-standing way to force
 /// the serial inline path); unparsable values warn once on stderr via
-/// [`crate::env`] and fall back to the machine default.
-fn worker_cap() -> usize {
+/// [`crate::env`] and fall back to the machine default. Also the budget
+/// [`crate::ShardPool`] sizes its reader-replica fleet against.
+pub(crate) fn worker_cap() -> usize {
     // `available_parallelism` is uncached by std and re-reads cgroup
     // state on Linux — far too expensive per batch; the machine default
     // cannot change mid-process, so resolve it once. The env override

@@ -36,9 +36,12 @@
 //!
 //! ## Durability discipline
 //!
-//! [`write_index`] serializes to `<path>.tmp`, fsyncs, then atomically
-//! renames over `path`: a crash at any byte leaves either the old
-//! snapshot or the new one, never garbage. All file operations go
+//! [`write_index`] serializes to a uniquely-named temp sibling
+//! (`<path>.<pid>-<seq>.tmp`), fsyncs, then atomically renames over
+//! `path`: a crash at any byte leaves either the old snapshot or the
+//! new one, never garbage — and concurrent saves to the same path
+//! never share a temp file. Stale temps from crashed saves are swept
+//! on the next save ([`tmp_siblings`] lists what is on disk). All file operations go
 //! through the [`SnapshotIo`] trait; [`FaultIo`] is the deterministic
 //! fault-injecting implementation behind the crash-recovery test
 //! matrix (short writes, ENOSPC, fsync failure, torn rename, bit-flip
@@ -581,19 +584,96 @@ pub fn encode_index(index: &ShardedIndex<HintMSubs>) -> io::Result<Vec<u8>> {
     Ok(out)
 }
 
-/// The temp-file sibling a save writes before its atomic rename.
+/// Distinguishes concurrent saves to the same destination within one
+/// process (the pid in the temp name distinguishes processes).
+static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The temp-file sibling a save writes before its atomic rename:
+/// `<name>.<pid>-<seq>.tmp`, unique per call, so two saves racing to
+/// the same destination never write through the same temp file (the
+/// loser's rename still wins the path, but neither commits a file
+/// interleaved from both writers).
 pub fn tmp_path(path: &Path) -> PathBuf {
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut name = path.file_name().unwrap_or_default().to_os_string();
-    name.push(".tmp");
+    name.push(format!(".{}-{seq}.tmp", std::process::id()));
     path.with_file_name(name)
 }
 
+/// Classifies `name` as a temp sibling of base name `base`:
+/// `Some(Some(pid))` for the `<base>.<pid>-<seq>.tmp` spelling,
+/// `Some(None)` for the legacy fixed `<base>.tmp`, `None` for
+/// unrelated files.
+fn tmp_sibling_pid(name: &str, base: &str) -> Option<Option<u32>> {
+    let rest = name.strip_prefix(base)?;
+    if rest == ".tmp" {
+        return Some(None);
+    }
+    let body = rest.strip_prefix('.')?.strip_suffix(".tmp")?;
+    let (pid, seq) = body.split_once('-')?;
+    if seq.is_empty() || !seq.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    pid.parse::<u32>().ok().map(Some)
+}
+
+/// Every temp sibling of `path` currently on disk — in-flight saves
+/// plus stale leftovers from crashed ones (both the pid-stamped
+/// spelling and the legacy fixed `<name>.tmp`). Best-effort: an
+/// unreadable directory lists as empty.
+pub fn tmp_siblings(path: &Path) -> Vec<PathBuf> {
+    tmp_siblings_with_pids(path)
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect()
+}
+
+fn tmp_siblings_with_pids(path: &Path) -> Vec<(PathBuf, Option<u32>)> {
+    let Some(base) = path.file_name().and_then(|n| n.to_str()) else {
+        return Vec::new();
+    };
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(pid) = tmp_sibling_pid(name, base) {
+            out.push((dir.join(name), pid));
+        }
+    }
+    out
+}
+
+/// Removes stale temp siblings of `path`: temps stamped with another
+/// process's pid (that save either committed — renaming its temp away —
+/// or died leaving the orphan) and the legacy fixed `<name>.tmp` from
+/// older builds. Temps stamped with the *current* pid are left alone:
+/// they belong to this process's concurrent in-flight saves. Runs on
+/// `std::fs` directly, not the injected [`SnapshotIo`], so
+/// fault-injection schedules keep their fault-point numbering.
+fn sweep_stale_tmps(path: &Path) {
+    let me = std::process::id();
+    for (tmp, pid) in tmp_siblings_with_pids(path) {
+        if pid != Some(me) {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
 /// Durably writes `index` to `path` through `io`: serialize, write to
-/// `<path>.tmp` in chunks (`HINT_SNAPSHOT_CHUNK` bytes, default
-/// 64 KiB), fsync, then atomically rename into place. A crash or fault
-/// at any point leaves either the old snapshot or the new one at
-/// `path`, never a partial file. Returns the snapshot size in bytes;
-/// on failure the partial temp file is removed best-effort.
+/// a unique temp sibling (see [`tmp_path`]) in chunks
+/// (`HINT_SNAPSHOT_CHUNK` bytes, default 64 KiB), fsync, then
+/// atomically rename into place. A crash or fault at any point leaves
+/// either the old snapshot or the new one at `path`, never a partial
+/// file. Stale temps left by other processes' crashed saves are swept
+/// best-effort first. Returns the snapshot size in bytes; on failure
+/// the partial temp file is removed best-effort.
 pub fn write_index(
     index: &ShardedIndex<HintMSubs>,
     path: &Path,
@@ -604,6 +684,7 @@ pub fn write_index(
         crate::env::var_or("HINT_SNAPSHOT_CHUNK", DEFAULT_CHUNK, "bytes >= 1", |&n| {
             n >= 1
         });
+    sweep_stale_tmps(path);
     let tmp = tmp_path(path);
     match write_tmp_and_commit(io, &tmp, path, &bytes, chunk) {
         Ok(()) => Ok(bytes.len() as u64),
@@ -1001,10 +1082,88 @@ mod tests {
     }
 
     #[test]
-    fn tmp_path_is_a_sibling() {
-        assert_eq!(
-            tmp_path(Path::new("/a/b/snap.hint")),
-            Path::new("/a/b/snap.hint.tmp")
+    fn tmp_path_is_a_unique_sibling() {
+        let a = tmp_path(Path::new("/a/b/snap.hint"));
+        let b = tmp_path(Path::new("/a/b/snap.hint"));
+        assert_ne!(a, b, "each save must get its own temp file");
+        for p in [&a, &b] {
+            assert_eq!(p.parent(), Some(Path::new("/a/b")));
+            let name = p.file_name().unwrap().to_str().unwrap();
+            assert_eq!(
+                tmp_sibling_pid(name, "snap.hint"),
+                Some(Some(std::process::id())),
+                "{name} must carry this process's pid"
+            );
+        }
+    }
+
+    #[test]
+    fn tmp_sibling_classifier_accepts_temps_and_rejects_bystanders() {
+        assert_eq!(tmp_sibling_pid("snap.tmp", "snap"), Some(None)); // legacy
+        assert_eq!(tmp_sibling_pid("snap.42-7.tmp", "snap"), Some(Some(42)));
+        for name in [
+            "snap",         // the snapshot itself
+            "snap.42.tmp",  // no seq
+            "snap.x-7.tmp", // non-numeric pid
+            "snap.42-.tmp", // empty seq
+            "snap.42-x.tmp",
+            "other.42-7.tmp", // different base
+            "snap2.42-7.tmp", // prefix but wrong base
+        ] {
+            assert_eq!(tmp_sibling_pid(name, "snap"), None, "{name}");
+        }
+    }
+
+    #[test]
+    fn save_sweeps_stale_temps_but_spares_this_process_in_flight_ones() {
+        let dir = std::env::temp_dir().join(format!("hint-tmp-sweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.hint");
+        // a dead process's orphan, the legacy fixed name, and one of our
+        // own in-flight temps
+        let foreign = dir.join("snap.hint.999999-0.tmp");
+        let legacy = dir.join("snap.hint.tmp");
+        let ours = tmp_path(&path);
+        for p in [&foreign, &legacy, &ours] {
+            std::fs::write(p, b"junk").unwrap();
+        }
+        let idx = sample_index(2);
+        write_index(&idx, &path, &mut StdSnapshotIo::default()).unwrap();
+        assert!(!foreign.exists(), "foreign orphan must be swept");
+        assert!(!legacy.exists(), "legacy temp must be swept");
+        assert!(ours.exists(), "own in-flight temp must survive");
+        assert_eq!(tmp_siblings(&path), vec![ours.clone()]);
+        std::fs::remove_file(&ours).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_saves_to_one_path_commit_a_coherent_snapshot() {
+        let dir = std::env::temp_dir().join(format!("hint-concurrent-save-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.hint");
+        let a = sample_index(1);
+        let b = sample_index(3);
+        std::thread::scope(|s| {
+            for idx in [&a, &b] {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        write_index(idx, &path, &mut StdSnapshotIo::default()).unwrap();
+                    }
+                });
+            }
+        });
+        // the survivor decodes to exactly one of the two saved states —
+        // interleaved temp writes would fail the CRC/footer checks
+        let got = read_index(&path, &mut StdSnapshotIo::default()).unwrap();
+        let want_a = encode_index(&a).unwrap();
+        let want_b = encode_index(&b).unwrap();
+        let got_bytes = encode_index(&got).unwrap();
+        assert!(
+            got_bytes == want_a || got_bytes == want_b,
+            "committed snapshot is neither writer's state"
         );
+        assert!(tmp_siblings(&path).is_empty(), "temps must not leak");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -151,12 +151,12 @@ pub use join::{index_join, index_join_count, sweep_join, sweep_join_count};
 pub use oracle::ScanOracle;
 pub use pool::{PoolError, PoolStats, ShardPool};
 pub use session::{RetuneEvent, RetunePolicy, Session, WriteError};
-pub use shard::{MutableIndex, ShardedIndex};
+pub use shard::{query_epoch_pins, EpochPin, MutableIndex, ShardedIndex};
 pub use sink::{
     ArenaRun, CollectSink, CountSink, ExistsSink, FirstK, FnSink, HandleSink, MergeableSink,
     QuerySink, ResultRun, SliceSink, ARENA_HANDLE_MIN,
 };
-pub use stats::{ExtentHistogram, ExtentMix, QueryStats, WorkloadStats};
+pub use stats::{ExtentHistogram, ExtentMix, InflightGauge, QueryStats, WorkloadStats};
 
 /// Common query interface implemented by every index in the workspace
 /// (HINT variants here, the four competitor indexes in their own crates),

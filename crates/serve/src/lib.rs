@@ -31,7 +31,7 @@
 //! let sharded = ShardedIndex::build_with_domain(&data, 0, 8_191, 4, |slice, lo, hi| {
 //!     HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 9), SubsConfig::full())
 //! });
-//! let server = Server::start(Session::new(sharded), ServeConfig::default());
+//! let server = Server::start(Session::new(sharded), ServeConfig::default()).unwrap();
 //!
 //! // 2. connect a client over an in-memory duplex pipe
 //! let (client_end, server_end) = duplex();
@@ -65,6 +65,6 @@ pub mod transport;
 
 pub use client::{Client, ClientError};
 pub use proto::{DecodeError, Frame, FrameReader, Kind, Reply, Request, Status};
-pub use server::{BatchStats, ServeConfig, Server, SnapshotVerbs};
+pub use server::{AcceptSource, BatchStats, ServeConfig, Server, SnapshotVerbs};
 pub use sink::WireSink;
 pub use transport::{duplex, DuplexTransport, Transport};

@@ -157,6 +157,17 @@ pub struct BatchStats {
     /// Reseals the scheduler triggered on its own between batches
     /// (`HINT_SERVE_RETUNE=idle`).
     pub idle_reseals: u64,
+    /// Accept-loop errors survived (transient failures like FD
+    /// exhaustion, retried with bounded backoff instead of killing the
+    /// acceptor thread).
+    pub accept_errors: u64,
+    /// Configured logical read replicas per shard in the served session
+    /// (the `HINT_READ_REPLICAS` knob; 1 = unreplicated).
+    pub read_replicas: u64,
+    /// Shard sub-batches answered from published epochs (replica reader
+    /// threads plus scheduler-inline epoch reads) rather than the
+    /// owning worker's queue. Zero when unreplicated.
+    pub replica_reads: u64,
 }
 
 impl BatchStats {
@@ -295,6 +306,86 @@ fn spawn_connection_with<T: Transport>(ops: &Sender<Op>, id: ConnId, transport: 
     }
 }
 
+/// A source of inbound connections for the server's generic accept
+/// loop — [`TcpListener`] in production, scriptable shims in tests (the
+/// loop's retry/backoff behavior is testable without sockets).
+pub trait AcceptSource: Send + 'static {
+    /// The transport produced per accepted connection.
+    type Conn: Transport;
+    /// Blocks until the next connection attempt resolves.
+    fn accept(&self) -> io::Result<Self::Conn>;
+}
+
+impl AcceptSource for TcpListener {
+    type Conn = TcpStream;
+    fn accept(&self) -> io::Result<TcpStream> {
+        TcpListener::accept(self).map(|(stream, _)| stream)
+    }
+}
+
+/// First delay after a failed `accept`; doubles per consecutive failure.
+const ACCEPT_BACKOFF_START: Duration = Duration::from_millis(1);
+/// Ceiling on the accept retry delay.
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(100);
+
+/// True for accept errors that retrying cannot fix (the listener itself
+/// is unusable). Everything else — notably FD exhaustion (`EMFILE`
+/// surfaces as an uncategorized kind) and aborted handshakes
+/// (`ECONNABORTED`) — is transient: the kernel keeps the listen queue,
+/// so backing off and re-accepting recovers.
+fn fatal_accept_error(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::InvalidInput
+            | io::ErrorKind::NotFound
+            | io::ErrorKind::PermissionDenied
+            | io::ErrorKind::Unsupported
+    )
+}
+
+/// The acceptor body: admit connections until the stop flag rises or a
+/// fatal accept error. Transient errors are counted
+/// ([`BatchStats::accept_errors`]) and retried under exponential
+/// backoff, sleeping in short slices so shutdown stays prompt.
+fn accept_loop<A: AcceptSource>(
+    source: A,
+    ops: Sender<Op>,
+    next_conn: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<RwLock<BatchStats>>,
+) {
+    let mut backoff = ACCEPT_BACKOFF_START;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match source.accept() {
+            Ok(conn) => {
+                if stop.load(Ordering::Acquire) {
+                    return; // the shutdown wake-up connection
+                }
+                backoff = ACCEPT_BACKOFF_START;
+                let id = next_conn.fetch_add(1, Ordering::Relaxed);
+                spawn_connection(&ops, id, conn);
+            }
+            Err(e) if fatal_accept_error(e.kind()) => return,
+            Err(_) => {
+                stats.write().accept_errors += 1;
+                let mut left = backoff;
+                while !left.is_zero() {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let slice = left.min(Duration::from_millis(5));
+                    std::thread::sleep(slice);
+                    left = left.saturating_sub(slice);
+                }
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_CAP);
+            }
+        }
+    }
+}
+
 /// A running server over one [`Session`]. Connections attach via
 /// [`attach`](Server::attach) (any [`Transport`]) or a TCP listener via
 /// [`listen_tcp`](Server::listen_tcp); [`shutdown`](Server::shutdown)
@@ -304,14 +395,17 @@ pub struct Server {
     scheduler: Option<JoinHandle<()>>,
     next_conn: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
-    acceptors: Vec<(std::net::SocketAddr, JoinHandle<()>)>,
+    /// Acceptor threads; the address is `Some` for TCP listeners so
+    /// shutdown can wake a blocking `accept` with a no-op connection.
+    acceptors: Vec<(Option<std::net::SocketAddr>, JoinHandle<()>)>,
     stats: Arc<RwLock<BatchStats>>,
 }
 
 impl Server {
     /// Starts the scheduler thread over `session` with the given
-    /// batching policy.
-    pub fn start<I>(session: Session<I>, config: ServeConfig) -> Server
+    /// batching policy. Errors (thread spawn under resource exhaustion)
+    /// surface to the caller instead of panicking server bring-up.
+    pub fn start<I>(session: Session<I>, config: ServeConfig) -> io::Result<Server>
     where
         I: MutableIndex + Send + Sync + 'static,
         Session<I>: SnapshotVerbs,
@@ -321,16 +415,15 @@ impl Server {
         let scheduler_stats = Arc::clone(&stats);
         let scheduler = std::thread::Builder::new()
             .name("serve-scheduler".into())
-            .spawn(move || Scheduler::new(session, config, scheduler_stats).run(ops_rx))
-            .expect("spawn scheduler thread");
-        Server {
+            .spawn(move || Scheduler::new(session, config, scheduler_stats).run(ops_rx))?;
+        Ok(Server {
             ops: ops_tx,
             scheduler: Some(scheduler),
             next_conn: Arc::new(AtomicU64::new(1)),
             stop: Arc::new(AtomicBool::new(false)),
             acceptors: Vec::new(),
             stats,
-        }
+        })
     }
 
     /// A snapshot of the scheduler's batching counters.
@@ -348,30 +441,39 @@ impl Server {
 
     /// Accepts TCP connections in a background thread until shutdown.
     /// Returns the bound address (useful with an OS-assigned port 0).
+    /// Transient accept failures are retried with bounded backoff (see
+    /// [`BatchStats::accept_errors`]); only a fatal error or shutdown
+    /// ends the acceptor.
     pub fn listen_tcp(&mut self, listener: TcpListener) -> std::io::Result<std::net::SocketAddr> {
         let addr = listener.local_addr()?;
+        self.listen(Some(addr), listener)?;
+        Ok(addr)
+    }
+
+    /// Accepts connections from an arbitrary [`AcceptSource`] in a
+    /// background thread — the seam the accept-loop regression tests
+    /// drive with scripted sources. Non-TCP sources cannot be woken by
+    /// shutdown; their `accept` must eventually return (the scripted
+    /// sources end with a fatal error).
+    #[doc(hidden)]
+    pub fn listen_source<A: AcceptSource>(&mut self, source: A) -> std::io::Result<()> {
+        self.listen(None, source)
+    }
+
+    fn listen<A: AcceptSource>(
+        &mut self,
+        addr: Option<std::net::SocketAddr>,
+        source: A,
+    ) -> std::io::Result<()> {
         let ops = self.ops.clone();
         let next_conn = Arc::clone(&self.next_conn);
         let stop = Arc::clone(&self.stop);
+        let stats = Arc::clone(&self.stats);
         let handle = std::thread::Builder::new()
             .name("serve-accept".into())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if stop.load(Ordering::Acquire) {
-                        return;
-                    }
-                    match conn {
-                        Ok(stream) => {
-                            let id = next_conn.fetch_add(1, Ordering::Relaxed);
-                            spawn_connection(&ops, id, stream);
-                        }
-                        Err(_) => return,
-                    }
-                }
-            })
-            .expect("spawn TCP acceptor");
+            .spawn(move || accept_loop(source, ops, next_conn, stop, stats))?;
         self.acceptors.push((addr, handle));
-        Ok(addr)
+        Ok(())
     }
 
     /// Flushes pending work, stops the scheduler and joins every
@@ -392,7 +494,9 @@ impl Server {
     fn stop_acceptors(&mut self) {
         self.stop.store(true, Ordering::Release);
         for (addr, handle) in self.acceptors.drain(..) {
-            let _ = TcpStream::connect(addr);
+            if let Some(addr) = addr {
+                let _ = TcpStream::connect(addr);
+            }
             let _ = handle.join();
         }
     }
@@ -428,6 +532,7 @@ where
     Session<I>: SnapshotVerbs,
 {
     fn new(session: Session<I>, config: ServeConfig, stats: Arc<RwLock<BatchStats>>) -> Self {
+        stats.write().read_replicas = session.read_replicas() as u64;
         Self {
             session,
             config: ServeConfig {
@@ -614,10 +719,14 @@ where
         let mut sinks: Vec<WireSink> = queries.iter().map(|_| WireSink::new()).collect();
         self.session.query_batch_merge(&queries, &mut sinks);
         {
+            let pool = self.session.pool().stats();
             let mut stats = self.stats.write();
             stats.batches += 1;
             stats.queries += queries.len() as u64;
             stats.largest_batch = stats.largest_batch.max(queries.len());
+            // mirror the pool's epoch-read counters (same pattern as
+            // `note_retunes`: the pool owns the running total)
+            stats.replica_reads = pool.epoch_reads + pool.replica_dispatched;
         }
         for ((conn, _), sink) in self.pending.drain(..).zip(sinks) {
             let mut out = BytesMut::new();
@@ -677,7 +786,7 @@ where
 mod tests {
     use super::*;
     use crate::client::Client;
-    use crate::transport::duplex;
+    use crate::transport::{duplex, DuplexTransport};
     use crate::ClientError;
     use bytes::Buf;
     use hint_core::{Domain, Interval, ShardedIndex, SubsConfig};
@@ -702,9 +811,94 @@ mod tests {
         os_spawn(name, f)
     }
 
+    /// An [`AcceptSource`] that replays a script of accept outcomes,
+    /// then reports a fatal error so the acceptor thread exits and
+    /// shutdown can join it.
+    struct ScriptedSource {
+        script: std::sync::Mutex<std::collections::VecDeque<io::Result<DuplexTransport>>>,
+    }
+
+    impl ScriptedSource {
+        fn new(script: Vec<io::Result<DuplexTransport>>) -> Self {
+            Self {
+                script: std::sync::Mutex::new(script.into_iter().collect()),
+            }
+        }
+    }
+
+    impl AcceptSource for ScriptedSource {
+        type Conn = DuplexTransport;
+        fn accept(&self) -> io::Result<DuplexTransport> {
+            self.script
+                .lock()
+                .unwrap()
+                .pop_front()
+                .unwrap_or_else(|| Err(io::Error::new(io::ErrorKind::Unsupported, "script over")))
+        }
+    }
+
+    #[test]
+    fn accept_loop_survives_transient_errors_and_keeps_admitting() {
+        let mut server = Server::start(session(), ServeConfig::default()).unwrap();
+        let (client_end, server_end) = duplex();
+        // EMFILE-shaped failures reach userland as an uncategorized
+        // kind; the loop must classify them transient, back off, and
+        // still admit the connection scripted after them
+        let emfile = || io::Error::other("Too many open files (os error 24)");
+        server
+            .listen_source(ScriptedSource::new(vec![
+                Err(emfile()),
+                Err(io::Error::from(io::ErrorKind::ConnectionAborted)),
+                Ok(server_end),
+            ]))
+            .unwrap();
+        let mut client = Client::new(client_end).unwrap();
+        assert!(!client.query(RangeQuery::new(0, 4_095)).unwrap().is_empty());
+        let stats = server.stats();
+        assert!(
+            stats.accept_errors >= 2,
+            "transient accept errors must be counted, got {stats:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn fatal_accept_errors_end_the_loop_without_retry_spin() {
+        let mut server = Server::start(session(), ServeConfig::default()).unwrap();
+        server
+            .listen_source(ScriptedSource::new(vec![Err(io::Error::from(
+                io::ErrorKind::PermissionDenied,
+            ))]))
+            .unwrap();
+        // a fatal error exits immediately: no accept_errors counted,
+        // and shutdown joins the acceptor without a wake-up address
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_stats_report_the_replica_configuration() {
+        // `Session::new` honors HINT_READ_REPLICAS (the CI sweep sets
+        // it), so assert against what the session actually configured
+        let sess = session();
+        let replicas = sess.read_replicas() as u64;
+        let server = Server::start(sess, ServeConfig::default()).unwrap();
+        let (c, s) = duplex();
+        server.attach(s);
+        let mut client = Client::new(c).unwrap();
+        client.query(RangeQuery::new(0, 100)).unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.read_replicas, replicas);
+        if replicas == 1 {
+            assert_eq!(stats.replica_reads, 0, "unreplicated reads use the pool");
+        } else {
+            assert!(stats.replica_reads > 0, "replicated reads skip the pool");
+        }
+        server.shutdown();
+    }
+
     #[test]
     fn reader_spawn_failure_rejects_only_that_connection() {
-        let server = Server::start(session(), ServeConfig::default());
+        let server = Server::start(session(), ServeConfig::default()).unwrap();
         // a connection whose reader thread cannot start is rejected
         // with a fatal trailer, not a panic in the acceptor path
         let (client_end, server_end) = duplex();
@@ -730,7 +924,7 @@ mod tests {
     fn snapshot_and_restore_verbs_roundtrip_over_the_wire() {
         let path =
             std::env::temp_dir().join(format!("hint-serve-snap-{}.snap", std::process::id()));
-        let server = Server::start(session(), ServeConfig::default());
+        let server = Server::start(session(), ServeConfig::default()).unwrap();
         let (c, s) = duplex();
         server.attach(s);
         let mut client = Client::new(c).unwrap();

@@ -25,7 +25,7 @@ fn build_session(data: &[Interval], k: usize) -> Session<HintMSubs> {
 }
 
 fn start_server(data: &[Interval], k: usize, config: ServeConfig) -> Server {
-    Server::start(build_session(data, k), config)
+    Server::start(build_session(data, k), config).expect("start server")
 }
 
 fn connect(server: &Server) -> Client<DuplexTransport> {

@@ -92,7 +92,8 @@ fn main() {
     let sharded = ShardedIndex::build_with_domain(&data, 0, 1_000, 2, |slice, lo, hi| {
         HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 6), SubsConfig::full())
     });
-    let server = serve::Server::start(Session::new(sharded), serve::ServeConfig::default());
+    let server = serve::Server::start(Session::new(sharded), serve::ServeConfig::default())
+        .expect("start server");
     let (client_end, server_end) = serve::duplex();
     server.attach(server_end);
     let mut client = serve::Client::new(client_end).expect("split transport");
@@ -168,6 +169,31 @@ fn main() {
         restored.len()
     );
     std::fs::remove_file(&path).ok();
+
+    // --- 12. epoch-published read replicas ------------------------------
+    // HINT_READ_REPLICAS=N (or `ShardPool::with_read_replicas`) gives
+    // every shard N epoch-published read replicas: each acknowledged
+    // write republishes the shard before the ack, and reads pin the
+    // current epoch and walk it without touching the worker's dispatch
+    // channel. With spare cores the replicas get dedicated reader
+    // threads; on a single core reads run caller-inline on the pinned
+    // epoch — zero channel hops either way. See docs/tuning.md.
+    use hint_suite::hint_core::ShardPool;
+    let sharded = ShardedIndex::build_with_domain(&data, 0, 1_000, 2, |slice, lo, hi| {
+        HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 6), SubsConfig::full())
+    });
+    let pool = ShardPool::with_read_replicas(sharded, 4);
+    let mut replicated = Vec::new();
+    pool.query_sink(RangeQuery::new(22, 55), &mut replicated);
+    replicated.sort_unstable();
+    assert_eq!(replicated, vec![1, 2, 3, 4]); // same as step 3, off an epoch pin
+    let stats = pool.stats();
+    assert_eq!(stats.replicas, 4);
+    assert!(stats.epoch_reads + stats.replica_dispatched > 0);
+    println!(
+        "replicated [22, 55]:  {replicated:?} ({} replicas/shard)",
+        stats.replicas
+    );
 
     println!("quickstart OK");
 }

@@ -30,7 +30,7 @@ fn main() {
     // batching knobs come from the environment when set
     // (HINT_SERVE_MAX_BATCH / HINT_SERVE_MAX_DELAY_US; garbled values
     // warn and fall back), else the defaults
-    let mut server = Server::start(Session::new(index), ServeConfig::from_env());
+    let mut server = Server::start(Session::new(index), ServeConfig::from_env()).expect("start");
 
     // TCP loopback on an OS-assigned port
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");

@@ -44,6 +44,11 @@ fn allocs() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
 }
 
+/// The two gates share one global counter; run them one at a time or
+/// either test's allocations show up in the other's deltas (a rare but
+/// real flake under the default parallel test runner).
+static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 const DOM: u64 = 1 << 14;
 
 fn build() -> HintMSubs {
@@ -66,11 +71,16 @@ fn batch() -> Vec<RangeQuery> {
 }
 
 /// Steady-state batched queries allocate a constant amount per batch:
-/// after one warm-up run (sinks grow to capacity), three consecutive
-/// identical batches must each cost *exactly* the same number of
-/// allocations — zero run-over-run growth.
+/// after one warm-up run (sinks grow to capacity), identical batches
+/// must keep costing the same number of allocations — zero
+/// run-over-run growth. The global counter also sees the test
+/// harness's own threads (progress I/O lands at arbitrary moments), so
+/// the gate compares the *minimum* over a few runs: sporadic harness
+/// noise inflates individual runs but not the floor, while a genuine
+/// per-batch leak inflates every run, floor included.
 #[test]
 fn batch_query_allocations_are_flat_in_steady_state() {
+    let _solo = GATE.lock().unwrap_or_else(|p| p.into_inner());
     let index = build();
     let queries = batch();
     let mut sinks: Vec<Vec<IntervalId>> = queries.iter().map(|_| Vec::new()).collect();
@@ -83,14 +93,16 @@ fn batch_query_allocations_are_flat_in_steady_state() {
         allocs() - before
     };
     let warmup = run(&mut sinks);
-    let deltas: Vec<u64> = (0..3).map(|_| run(&mut sinks)).collect();
-    assert!(
-        deltas.windows(2).all(|w| w[0] == w[1]),
-        "per-batch allocation count drifted in steady state: warmup={warmup}, runs={deltas:?}"
+    let floor = |sinks: &mut Vec<Vec<IntervalId>>| (0..5).map(|_| run(sinks)).min().unwrap();
+    let first = floor(&mut sinks);
+    let second = floor(&mut sinks);
+    assert_eq!(
+        first, second,
+        "per-batch allocation floor drifted in steady state: warmup={warmup}"
     );
     assert!(
-        deltas[0] <= warmup,
-        "steady-state batches allocate more than the cold run: warmup={warmup}, runs={deltas:?}"
+        first <= warmup,
+        "steady-state batches allocate more than the cold run: warmup={warmup}, floor={first}"
     );
 }
 
@@ -99,6 +111,7 @@ fn batch_query_allocations_are_flat_in_steady_state() {
 /// allocator at all.
 #[test]
 fn warm_solo_query_sink_allocates_nothing() {
+    let _solo = GATE.lock().unwrap_or_else(|p| p.into_inner());
     let index = build();
     let queries = batch();
     let mut out: Vec<IntervalId> = Vec::new();

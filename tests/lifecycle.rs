@@ -151,7 +151,7 @@ fn server_shutdown_with_pipelined_queries_in_flight() {
         build_sharded(&w.data, 4, SubsConfig::full()),
         RetunePolicy::Idle,
     );
-    let server = Server::start(session, ServeConfig::default());
+    let server = Server::start(session, ServeConfig::default()).unwrap();
     let (client_end, server_end) = duplex();
     server.attach(server_end);
     let mut client = Client::new(client_end).unwrap();
@@ -185,7 +185,7 @@ fn reseal_behind_the_write_barrier_keeps_replies_exact() {
         build_sharded(&w.data, 4, SubsConfig::update_friendly()),
         RetunePolicy::OnSeal,
     );
-    let server = Server::start(session, ServeConfig::default());
+    let server = Server::start(session, ServeConfig::default()).unwrap();
     let (client_end, server_end) = duplex();
     server.attach(server_end);
     let mut client = Client::new(client_end).unwrap();
@@ -275,7 +275,7 @@ fn pool_respawn_via_into_index_preserves_the_index() {
 /// must surface as a typed `RestoreError`.
 #[test]
 fn crash_recovery_matrix_covers_every_fault_point() {
-    use hint_suite::hint_core::hintm::snapshot::tmp_path;
+    use hint_suite::hint_core::hintm::snapshot::tmp_siblings;
     use hint_suite::hint_core::{FaultIo, FaultKind, StdSnapshotIo};
     let dir = std::env::temp_dir().join(format!("hint-crash-matrix-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -325,7 +325,7 @@ fn crash_recovery_matrix_covers_every_fault_point() {
                 "K={k} {kind:?}@{at}: save must report the fault"
             );
             assert!(
-                !tmp_path(&path).exists(),
+                tmp_siblings(&path).is_empty(),
                 "K={k} {kind:?}@{at}: temp file leaked"
             );
             let mut back = Session::restore(&path)
@@ -386,7 +386,7 @@ fn tcp_peer_bootstrap_from_a_snapshot_stream() {
         .unwrap();
     assert!(session.delete(&w.data[1]));
     let live = session.len();
-    let mut server_a = Server::start(session, ServeConfig::default());
+    let mut server_a = Server::start(session, ServeConfig::default()).unwrap();
     let addr = server_a
         .listen_tcp(TcpListener::bind("127.0.0.1:0").unwrap())
         .unwrap();
@@ -395,7 +395,7 @@ fn tcp_peer_bootstrap_from_a_snapshot_stream() {
     let bytes = boot.snapshot_fetch().unwrap();
     let twin = Session::restore_bytes(&bytes).unwrap_or_else(|e| panic!("restore: {e}"));
     assert_eq!(twin.len(), live, "twin lost or invented intervals");
-    let server_b = Server::start(twin, ServeConfig::default());
+    let server_b = Server::start(twin, ServeConfig::default()).unwrap();
     let (b_client_end, b_server_end) = duplex();
     server_b.attach(b_server_end);
     let mut client_b = Client::new(b_client_end).unwrap();
@@ -546,4 +546,97 @@ fn saturated_first_k_stops_dispatching_across_shards() {
         6 * 3,
         "the other three shards' sub-queries must be skipped, not scanned"
     );
+}
+
+/// The replicated pool end to end: a `with_read_replicas(4)` pool over
+/// a seeded workload answers bit-identically to its unreplicated direct
+/// twin on every read path — across writes, a reseal (which publishes
+/// fresh epochs), and a re-tune — and epochs pinned before the mutation
+/// keep answering from their point-in-time image (the drain property
+/// the serve scheduler relies on for torn-free reads).
+#[test]
+fn replicated_pool_differential_against_unreplicated_twin() {
+    use hint_suite::hint_core::{query_epoch_pins, ExtentMix};
+    let w = fuzz::workload(0xEF0C, DOM, 700, 16, 0);
+    for k in shard_counts() {
+        let mut direct = build_sharded(&w.data, k, SubsConfig::update_friendly());
+        direct.seal();
+        let mut pool = ShardPool::with_read_replicas(direct.clone(), 4);
+        assert_eq!(pool.read_replicas(), 4);
+        expect_same_results(
+            &format!("replicated K={k} sealed"),
+            &pool,
+            &ScanOracle::new(&w.data),
+            &w.queries,
+        );
+        // pin the published epochs, then mutate + reseal + re-tune
+        let pins = pool.pin_epochs().expect("replicated pool has epochs");
+        let pre: Vec<Vec<IntervalId>> = w
+            .queries
+            .iter()
+            .take(8)
+            .map(|&q| ScanOracle::new(&w.data).query_sorted(q))
+            .collect();
+        let mut oracle = ScanOracle::new(&w.data);
+        let extra = Interval::new(870_000, 100, DOM - 100);
+        pool.insert(extra);
+        oracle.insert(extra);
+        assert!(pool.delete(&w.data[3]));
+        oracle.delete(w.data[3].id);
+        pool.seal_all();
+        pool.retune_shard(k / 2, ExtentMix::from_extents(&[0; 32]));
+        expect_same_results(
+            &format!("replicated K={k} post-mutation"),
+            &pool,
+            &oracle,
+            &w.queries,
+        );
+        for (q, want) in w.queries.iter().take(8).zip(&pre) {
+            let mut got: Vec<IntervalId> = Vec::new();
+            query_epoch_pins(&pins, *q, &mut got);
+            got.sort_unstable();
+            assert_eq!(&got, want, "K={k}: drained epoch moved on {q:?}");
+        }
+    }
+}
+
+/// Two sessions racing saves to one path: with per-save unique temp
+/// files the committed snapshot is always exactly one racer's state
+/// (never bytes interleaved from both), it restores cleanly, and no
+/// temp siblings leak.
+#[test]
+fn concurrent_snapshot_saves_commit_a_coherent_file() {
+    use hint_suite::hint_core::hintm::snapshot::tmp_siblings;
+    let dir = std::env::temp_dir().join(format!("hint-save-race-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("race.snap");
+    let w = fuzz::workload(0x5A7E, DOM, 500, 8, 0);
+    let mut a = Session::with_retune(
+        build_sharded(&w.data, 2, SubsConfig::update_friendly()),
+        RetunePolicy::Off,
+    );
+    let mut b = Session::with_retune(
+        build_sharded(&w.data[..300], 3, SubsConfig::update_friendly()),
+        RetunePolicy::Off,
+    );
+    let bytes_a = a.snapshot_bytes().unwrap();
+    let bytes_b = b.snapshot_bytes().unwrap();
+    assert_ne!(bytes_a, bytes_b);
+    std::thread::scope(|s| {
+        for session in [&mut a, &mut b] {
+            s.spawn(|| {
+                for _ in 0..6 {
+                    session.snapshot(&path).unwrap();
+                }
+            });
+        }
+    });
+    let mut restored = Session::restore(&path).unwrap();
+    let got = restored.snapshot_bytes().unwrap();
+    assert!(
+        got == bytes_a || got == bytes_b,
+        "committed file is neither racer's snapshot"
+    );
+    assert!(tmp_siblings(&path).is_empty(), "temp files leaked");
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -130,7 +130,7 @@ fn replay_serve(seed: u64) {
         let sharded = ShardedIndex::build_with_domain(&w.data, 0, w.dom - 1, k, |s, lo, hi| {
             HintMSubs::build_with_domain(s, Domain::new(lo, hi, 9), SubsConfig::full())
         });
-        let server = Server::start(Session::new(sharded), ServeConfig::default());
+        let server = Server::start(Session::new(sharded), ServeConfig::default()).unwrap();
 
         // the served index must pass the same differential battery as a
         // direct one
