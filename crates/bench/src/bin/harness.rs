@@ -13,6 +13,7 @@
 //!   serve           extra: batched serving latency/throughput vs batch window
 //!   retune          extra: persistent worker pool vs scoped fan-out + adaptive per-shard m
 //!   snapshot        extra: durable snapshot save bandwidth + restore vs rebuild
+//!   scenarios       extra: multi-index catalog verbs (Allen/join/top-k) vs the direct library
 //!   all             run everything (paper order)
 //!
 //! flags:
@@ -29,7 +30,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <fig10|fig11|fig12|fig13|fig14|table6|table7|table8|table9|table10|ablation|countmode|cachelayout|shardscale|serve|retune|snapshot|all> \
+        "usage: harness <fig10|fig11|fig12|fig13|fig14|table6|table7|table8|table9|table10|ablation|countmode|cachelayout|shardscale|serve|retune|snapshot|scenarios|all> \
          [--quick] [--scale N] [--queries N] [--max-m N] [--seed N]"
     );
     exit(2);
@@ -110,6 +111,7 @@ fn main() {
         "serve" => experiments::serve::run(&cfg),
         "retune" => experiments::retune::run(&cfg),
         "snapshot" => experiments::snapshot::run(&cfg),
+        "scenarios" => experiments::scenarios::run(&cfg),
         _ => usage(),
     };
     if experiment == "all" {
@@ -131,6 +133,7 @@ fn main() {
             "serve",
             "retune",
             "snapshot",
+            "scenarios",
         ] {
             run_one(name);
             println!();

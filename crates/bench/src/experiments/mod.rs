@@ -13,6 +13,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod retune;
+pub mod scenarios;
 pub mod serve;
 pub mod shardscale;
 pub mod snapshot;

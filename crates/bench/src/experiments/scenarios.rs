@@ -1,0 +1,250 @@
+//! Multi-index serving scenarios (beyond the paper's figures): the
+//! catalog-era wire verbs measured against the direct library API.
+//!
+//! Three scenarios run over one server hosting two named indexes built
+//! from disjoint halves of TAXIS:
+//!
+//! * **allen** — the `Allen` wire verb (relation refined server-side at
+//!   the sink) vs `AllenIndex::select` in-process, for a left-overlap /
+//!   containment / equality mix;
+//! * **join** — the streamed `Join` verb (outer index probed into the
+//!   inner index server-side, pairs streamed back) vs the library's
+//!   `index_join` over the same windows;
+//! * **topk** — the `TopK` aggregation verb (bounded heap forked and
+//!   merged across shards) vs the collect-then-sort shape the verb
+//!   replaces: ship every overlapping id to the client, look up
+//!   durations, sort, truncate.
+//!
+//! Every scenario asserts the served answers bit-identical to the
+//! direct ones in-run before any rate is reported. Writes
+//! `BENCH_scenarios.json` with one row per scenario.
+
+use crate::datasets::{self};
+use crate::experiments::{model_m, rule, uniform_queries, DEFAULT_EXTENT};
+use crate::RunConfig;
+use hint_core::{index_join, AllenIndex, AllenRelation, Hint, Interval, RangeQuery};
+use serve::{duplex, Client, ServeConfig, Server};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+use workloads::realistic::RealDataset;
+
+/// Cap on the per-index ingest (the scenarios measure verb dispatch,
+/// not bulk-load; wire ingest is one frame per interval).
+const MAX_PER_INDEX: usize = 30_000;
+
+/// Windows driven through the join scenario (joins emit O(pairs), so a
+/// handful of windows already dominates the verb cost).
+const JOIN_WINDOWS: usize = 24;
+
+/// The relation mix the allen scenario sweeps.
+const RELATIONS: [AllenRelation; 3] = [
+    AllenRelation::Overlaps,
+    AllenRelation::During,
+    AllenRelation::FinishedBy,
+];
+
+/// `k` for the top-k scenario.
+const TOP_K: u32 = 16;
+
+/// Builds an empty-default server plus two named wire indexes holding
+/// `outer` and `inner`, sealed. Returns the admin client and the ids.
+fn bring_up(
+    domain: u64,
+    outer: &[Interval],
+    inner: &[Interval],
+) -> (Server, Client<serve::DuplexTransport>, u32, u32) {
+    use hint_core::{Domain, HintMSubs, Session, ShardedIndex, SubsConfig};
+    let sharded = ShardedIndex::build_with_domain(&[], 0, domain - 1, 1, |slice, lo, hi| {
+        HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 4), SubsConfig::update_friendly())
+    });
+    let server =
+        Server::start(Session::new(sharded), ServeConfig::default()).expect("start server");
+    let (client_end, server_end) = duplex();
+    server.attach(server_end);
+    let mut client = Client::new(client_end).expect("split transport");
+    let outer_id = client.create_index("outer", 0, domain - 1).expect("create");
+    let inner_id = client.create_index("inner", 0, domain - 1).expect("create");
+    for s in outer {
+        client.insert_on(Some(outer_id), *s).expect("ingest outer");
+    }
+    for s in inner {
+        client.insert_on(Some(inner_id), *s).expect("ingest inner");
+    }
+    client.seal_on(Some(outer_id)).expect("seal outer");
+    client.seal_on(Some(inner_id)).expect("seal inner");
+    (server, client, outer_id, inner_id)
+}
+
+/// Runs the experiment and writes `BENCH_scenarios.json`.
+pub fn run(cfg: &RunConfig) {
+    println!("== Multi-index serving scenarios: catalog verbs vs the direct library ==");
+    let ds = datasets::real(RealDataset::Taxis, cfg);
+    let m = model_m(&ds, DEFAULT_EXTENT, cfg.max_m);
+    let half = (ds.data.len() / 2).min(MAX_PER_INDEX);
+    let outer_data: Vec<Interval> = ds.data[..half].to_vec();
+    let inner_data: Vec<Interval> = ds.data[half..half * 2].to_vec();
+    let queries = uniform_queries(&ds, DEFAULT_EXTENT, cfg);
+    let qs = queries.queries();
+    // Allen selections need windows wide enough to *contain* intervals
+    // (During/FinishedBy are empty against stab-sized windows); 5% of
+    // the domain keeps every relation in the mix non-vacuous
+    let wide = uniform_queries(&ds, 0.05, cfg);
+    let wide_qs = wide.queries();
+    println!(
+        "\n[{} | {} per index, m={}, {} queries]",
+        ds.name,
+        half,
+        m,
+        qs.len()
+    );
+
+    let (server, mut client, outer_id, inner_id) = bring_up(ds.domain, &outer_data, &inner_data);
+    let direct_allen = AllenIndex::build(&outer_data, m);
+    let direct_inner = Hint::build(&inner_data, m);
+    let durations: HashMap<u64, u64> = outer_data.iter().map(|s| (s.id, s.end - s.st)).collect();
+
+    println!(
+        "{:>8} {:>14} {:>14} {:>10} {:>12}",
+        "scenario", "served/s", "direct/s", "ratio", "results"
+    );
+    rule(62);
+    let mut rows = String::new();
+    let mut emit = |name: &str, served_qps: f64, direct_qps: f64, results: u64, note: &str| {
+        let ratio = served_qps / direct_qps.max(1e-9);
+        println!("{name:>8} {served_qps:>14.0} {direct_qps:>14.0} {ratio:>9.3}x {results:>12}");
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        write!(
+            rows,
+            "\n    {{\"scenario\": \"{name}\", \"served_per_sec\": {served_qps:.1}, \
+             \"direct_per_sec\": {direct_qps:.1}, \"served_over_direct\": {ratio:.4}, \
+             \"results\": {results}, \"baseline\": \"{note}\"}}"
+        )
+        .unwrap();
+    };
+
+    // --- allen: wire verb vs AllenIndex::select ----------------------
+    {
+        let mut served: Vec<Vec<u64>> = Vec::new();
+        let t0 = Instant::now();
+        for rel in RELATIONS {
+            for q in wide_qs {
+                let mut ids = client.allen_on(Some(outer_id), rel, *q).expect("allen");
+                ids.sort_unstable();
+                served.push(ids);
+            }
+        }
+        let served_dt = t0.elapsed().as_secs_f64().max(1e-9);
+        let mut total = 0u64;
+        let t0 = Instant::now();
+        let mut i = 0usize;
+        for rel in RELATIONS {
+            for q in wide_qs {
+                let mut want = Vec::new();
+                direct_allen.select(rel, *q, &mut want);
+                want.sort_unstable();
+                assert_eq!(served[i], want, "allen {rel:?} diverged on {q:?}");
+                total += want.len() as u64;
+                i += 1;
+            }
+        }
+        let direct_dt = t0.elapsed().as_secs_f64().max(1e-9);
+        let n = (RELATIONS.len() * wide_qs.len()) as f64;
+        emit(
+            "allen",
+            n / served_dt,
+            n / direct_dt,
+            total,
+            "AllenIndex::select in-process",
+        );
+    }
+
+    // --- join: streamed wire join vs library index_join --------------
+    {
+        let windows: Vec<RangeQuery> = wide_qs.iter().take(JOIN_WINDOWS).copied().collect();
+        let mut served: Vec<Vec<(u64, u64)>> = Vec::new();
+        let t0 = Instant::now();
+        for q in &windows {
+            let mut pairs = client.join_on(Some(outer_id), inner_id, *q).expect("join");
+            pairs.sort_unstable();
+            served.push(pairs);
+        }
+        let served_dt = t0.elapsed().as_secs_f64().max(1e-9);
+        let mut total = 0u64;
+        let t0 = Instant::now();
+        for (i, q) in windows.iter().enumerate() {
+            let clipped: Vec<Interval> = outer_data
+                .iter()
+                .filter(|o| o.st <= q.end && o.end >= q.st)
+                .map(|o| Interval::new(o.id, o.st.max(q.st), o.end.min(q.end)))
+                .collect();
+            let mut want = Vec::new();
+            index_join(&direct_inner, &clipped, |o, n| want.push((o, n)));
+            want.sort_unstable();
+            assert_eq!(served[i], want, "join diverged on {q:?}");
+            total += want.len() as u64;
+        }
+        let direct_dt = t0.elapsed().as_secs_f64().max(1e-9);
+        let n = windows.len() as f64;
+        emit(
+            "join",
+            n / served_dt,
+            n / direct_dt,
+            total,
+            "index_join in-process",
+        );
+    }
+
+    // --- topk: aggregation verb vs collect-then-sort -----------------
+    {
+        let mut served: Vec<Vec<u64>> = Vec::new();
+        let t0 = Instant::now();
+        for q in qs {
+            served.push(client.top_k_on(Some(outer_id), TOP_K, *q).expect("topk"));
+        }
+        let served_dt = t0.elapsed().as_secs_f64().max(1e-9);
+        let mut total = 0u64;
+        let t0 = Instant::now();
+        for (i, q) in qs.iter().enumerate() {
+            // the shape the verb replaces: ship every id, then sort
+            let ids = client.query_on(Some(outer_id), *q).expect("collect");
+            let mut by_len: Vec<(u64, u64)> =
+                ids.into_iter().map(|id| (durations[&id], id)).collect();
+            by_len.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let want: Vec<u64> = by_len
+                .into_iter()
+                .take(TOP_K as usize)
+                .map(|(_, id)| id)
+                .collect();
+            assert_eq!(served[i], want, "top-k diverged on {q:?}");
+            total += want.len() as u64;
+        }
+        let baseline_dt = t0.elapsed().as_secs_f64().max(1e-9);
+        let n = qs.len() as f64;
+        emit(
+            "topk",
+            n / served_dt,
+            n / baseline_dt,
+            total,
+            "served collect-then-sort",
+        );
+    }
+
+    drop(client);
+    server.shutdown();
+
+    let json = format!(
+        "{{\n  \"experiment\": \"scenarios\",\n  \"workload\": \"two named wire indexes over \
+         disjoint TAXIS halves; Allen / streamed-join / top-k verbs vs the direct library \
+         API, asserted identical in-run\",\n  \"config\": {{\"scale_mul\": {}, \"queries\": {}, \
+         \"max_m\": {}, \"seed\": {}, \"per_index\": {}, \"join_windows\": {}, \"top_k\": {}}},\n  \
+         \"rows\": [{}\n  ]\n}}\n",
+        cfg.scale_mul, cfg.queries, cfg.max_m, cfg.seed, half, JOIN_WINDOWS, TOP_K, rows
+    );
+    match std::fs::write("BENCH_scenarios.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_scenarios.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_scenarios.json: {e}"),
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::hintm::opt::Hint;
 use crate::interval::{Interval, IntervalId, RangeQuery, Time};
+use crate::sink::{IntervalLookup, MergeableSink, QuerySink};
 
 /// Allen's thirteen relations, stated for a stored interval `s` relative
 /// to the query interval `q`.
@@ -61,6 +62,57 @@ impl AllenRelation {
         AllenRelation::Equals,
     ];
 
+    /// This relation's position in [`Self::ALL`] — the stable byte the
+    /// wire protocol uses to name a relation.
+    pub fn as_u8(self) -> u8 {
+        Self::ALL
+            .iter()
+            .position(|&r| r == self)
+            .expect("relation is in ALL") as u8
+    }
+
+    /// Inverse of [`Self::as_u8`]; `None` for bytes ≥ 13 (the wire layer
+    /// maps those to a recoverable bad-verb status).
+    pub fn from_u8(b: u8) -> Option<Self> {
+        Self::ALL.get(b as usize).copied()
+    }
+
+    /// The minimal-superset range probe for this relation over a store
+    /// whose intervals all lie within `[min, max]`: every `s` with
+    /// `rel(s, q)` is guaranteed to overlap the returned range, so an
+    /// exact refinement with [`Self::matches`] only filters, never
+    /// misses. Returns `None` when the relation is provably empty over
+    /// that domain (e.g. `Before` with `q.st` at the domain's left edge).
+    ///
+    /// Any `[min, max]` that bounds the stored intervals is sound —
+    /// tighter bounds only shrink the probe. [`AllenIndex`] passes the
+    /// built domain's bounds; the serving catalog passes each index's
+    /// domain.
+    pub fn probe(self, q: RangeQuery, min: Time, max: Time) -> Option<RangeQuery> {
+        Some(match self {
+            AllenRelation::Before => {
+                if q.st == 0 || q.st <= min {
+                    return None;
+                }
+                RangeQuery::new(min.min(q.st - 1), q.st - 1)
+            }
+            AllenRelation::After => {
+                if q.end >= max {
+                    return None;
+                }
+                RangeQuery::new(q.end + 1, max)
+            }
+            AllenRelation::Meets | AllenRelation::Overlaps => RangeQuery::stab(q.st),
+            AllenRelation::MetBy | AllenRelation::OverlappedBy => RangeQuery::stab(q.end),
+            AllenRelation::During => q,
+            AllenRelation::Contains
+            | AllenRelation::Starts
+            | AllenRelation::StartedBy
+            | AllenRelation::Equals => RangeQuery::stab(q.st),
+            AllenRelation::Finishes | AllenRelation::FinishedBy => RangeQuery::stab(q.end),
+        })
+    }
+
     /// The exact predicate of this relation for `s` against `q`.
     pub fn matches(self, s: &Interval, q: &RangeQuery) -> bool {
         match self {
@@ -78,6 +130,112 @@ impl AllenRelation {
             AllenRelation::FinishedBy => s.end == q.end && s.st < q.st,
             AllenRelation::Equals => s.st == q.st && s.end == q.end,
         }
+    }
+}
+
+/// An [`IntervalLookup`] view over an id-sorted record slice — the
+/// refinement table [`AllenIndex`] keeps, exposed so the probe/refine
+/// pattern composes with any [`QuerySink`] via [`RelationFilter`].
+#[derive(Debug, Clone, Copy)]
+pub struct SortedRecords<'a>(pub &'a [Interval]);
+
+impl IntervalLookup for SortedRecords<'_> {
+    #[inline]
+    fn get(&self, id: IntervalId) -> Option<Interval> {
+        self.0
+            .binary_search_by_key(&id, |s| s.id)
+            .ok()
+            .map(|i| self.0[i])
+    }
+}
+
+/// A [`QuerySink`] adapter that refines a minimal-superset probe into an
+/// exact Allen selection: each candidate id is resolved through the
+/// carried [`IntervalLookup`] and forwarded to the inner sink only if
+/// its stored interval satisfies `rel` against `q`.
+///
+/// Saturation is delegated, so a bounded inner sink (first-`k`, exists)
+/// still terminates the probe scan early — the sink discipline the rest
+/// of the workspace follows. When the inner sink is a [`MergeableSink`],
+/// the filter is one too (fork clones the predicate and lookup, merge
+/// folds the inner sinks), which is how the serving layer runs Allen
+/// selections through the sharded batch walk unchanged.
+#[derive(Debug, Clone)]
+pub struct RelationFilter<L, S> {
+    rel: AllenRelation,
+    q: RangeQuery,
+    lookup: L,
+    inner: S,
+}
+
+impl<L: IntervalLookup, S: QuerySink> RelationFilter<L, S> {
+    /// Wraps `inner`, forwarding only ids whose record satisfies
+    /// `rel(s, q)`.
+    pub fn new(rel: AllenRelation, q: RangeQuery, lookup: L, inner: S) -> Self {
+        Self {
+            rel,
+            q,
+            lookup,
+            inner,
+        }
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consumes the filter, returning the wrapped sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<L: IntervalLookup, S: QuerySink> QuerySink for RelationFilter<L, S> {
+    #[inline]
+    fn emit(&mut self, id: IntervalId) {
+        if let Some(s) = self.lookup.get(id) {
+            if self.rel.matches(&s, &self.q) {
+                self.inner.emit(id);
+            }
+        }
+    }
+
+    #[inline]
+    fn is_saturated(&self) -> bool {
+        self.inner.is_saturated()
+    }
+}
+
+impl<L: IntervalLookup, S: MergeableSink> MergeableSink for RelationFilter<L, S> {
+    fn fork(&self) -> Self {
+        Self {
+            rel: self.rel,
+            q: self.q,
+            lookup: self.lookup.clone(),
+            inner: self.inner.fork(),
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.inner.merge(other.inner);
+    }
+
+    fn is_bounded(&self) -> bool {
+        self.inner.is_bounded()
+    }
+
+    fn fork_sized(&self, cap: usize) -> Self {
+        Self {
+            rel: self.rel,
+            q: self.q,
+            lookup: self.lookup.clone(),
+            inner: self.inner.fork_sized(cap),
+        }
+    }
+
+    fn result_count(&self) -> Option<usize> {
+        self.inner.result_count()
     }
 }
 
@@ -139,37 +297,24 @@ impl AllenIndex {
 
     /// Selection by an Allen relation: ids of all `s` with `rel(s, q)`.
     pub fn select(&self, rel: AllenRelation, q: RangeQuery, out: &mut Vec<IntervalId>) {
-        let probe = match rel {
-            AllenRelation::Before => {
-                if q.st == 0 || q.st <= self.min {
-                    return;
-                }
-                RangeQuery::new(self.min.min(q.st - 1), q.st - 1)
-            }
-            AllenRelation::After => {
-                if q.end >= self.max {
-                    return;
-                }
-                RangeQuery::new(q.end + 1, self.max)
-            }
-            AllenRelation::Meets | AllenRelation::Overlaps => RangeQuery::stab(q.st),
-            AllenRelation::MetBy | AllenRelation::OverlappedBy => RangeQuery::stab(q.end),
-            AllenRelation::During => q,
-            AllenRelation::Contains
-            | AllenRelation::Starts
-            | AllenRelation::StartedBy
-            | AllenRelation::Equals => RangeQuery::stab(q.st),
-            AllenRelation::Finishes | AllenRelation::FinishedBy => RangeQuery::stab(q.end),
+        self.select_sink(rel, q, out);
+    }
+
+    /// Sink-threaded Allen selection: candidates from the minimal-
+    /// superset probe are refined and emitted one by one, so nothing is
+    /// materialized the caller didn't ask for and a bounded sink
+    /// (first-`k`, exists) terminates the probe scan early.
+    pub fn select_sink<S: QuerySink + ?Sized>(
+        &self,
+        rel: AllenRelation,
+        q: RangeQuery,
+        sink: &mut S,
+    ) {
+        let Some(probe) = rel.probe(q, self.min, self.max) else {
+            return;
         };
-        let mut candidates = Vec::new();
-        self.hint.query(probe, &mut candidates);
-        for id in candidates {
-            if let Some(s) = self.record(id) {
-                if rel.matches(s, &q) {
-                    out.push(id);
-                }
-            }
-        }
+        let mut filter = RelationFilter::new(rel, q, SortedRecords(&self.records), sink);
+        self.hint.query_sink(probe, &mut filter);
     }
 
     /// Range query with a duration predicate (§6: combined temporal +
@@ -183,16 +328,51 @@ impl AllenIndex {
         max_duration: Time,
         out: &mut Vec<IntervalId>,
     ) {
-        let mut candidates = Vec::new();
-        self.hint.query(q, &mut candidates);
-        for id in candidates {
-            if let Some(s) = self.record(id) {
-                let d = s.duration();
-                if d >= min_duration && d <= max_duration {
-                    out.push(id);
-                }
+        self.range_with_duration_sink(q, min_duration, max_duration, out);
+    }
+
+    /// Sink-threaded duration-constrained range query; same refinement
+    /// as [`Self::range_with_duration`], same early-exit discipline as
+    /// [`Self::select_sink`].
+    pub fn range_with_duration_sink<S: QuerySink + ?Sized>(
+        &self,
+        q: RangeQuery,
+        min_duration: Time,
+        max_duration: Time,
+        sink: &mut S,
+    ) {
+        let mut filter = DurationFilter {
+            records: SortedRecords(&self.records),
+            min_duration,
+            max_duration,
+            inner: sink,
+        };
+        self.hint.query_sink(q, &mut filter);
+    }
+}
+
+/// Internal refinement adapter for duration-constrained range queries.
+struct DurationFilter<'a, 'b, S: ?Sized> {
+    records: SortedRecords<'a>,
+    min_duration: Time,
+    max_duration: Time,
+    inner: &'b mut S,
+}
+
+impl<S: QuerySink + ?Sized> QuerySink for DurationFilter<'_, '_, S> {
+    #[inline]
+    fn emit(&mut self, id: IntervalId) {
+        if let Some(s) = self.records.get(id) {
+            let d = s.duration();
+            if d >= self.min_duration && d <= self.max_duration {
+                self.inner.emit(id);
             }
         }
+    }
+
+    #[inline]
+    fn is_saturated(&self) -> bool {
+        self.inner.is_saturated()
     }
 }
 
@@ -290,6 +470,163 @@ mod tests {
                     .collect();
                 want.sort_unstable();
                 assert_eq!(got, want, "{rel:?} {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn relation_bytes_roundtrip_and_reject_out_of_range() {
+        for (i, rel) in AllenRelation::ALL.into_iter().enumerate() {
+            assert_eq!(rel.as_u8(), i as u8);
+            assert_eq!(AllenRelation::from_u8(i as u8), Some(rel));
+        }
+        assert_eq!(AllenRelation::from_u8(13), None);
+        assert_eq!(AllenRelation::from_u8(255), None);
+    }
+
+    #[test]
+    fn select_sink_respects_saturation() {
+        let data = data();
+        let idx = AllenIndex::build(&data, 5);
+        let q = RangeQuery::new(5, 10);
+        let mut first = crate::FirstK::new(1);
+        idx.select_sink(AllenRelation::During, q, &mut first);
+        assert_eq!(first.ids(), &[7]);
+        let mut exists = crate::ExistsSink::new();
+        idx.select_sink(AllenRelation::After, q, &mut exists);
+        assert!(exists.found());
+    }
+
+    #[test]
+    fn relation_filter_merges_like_its_inner_sink() {
+        let data = data();
+        let q = RangeQuery::new(5, 10);
+        let lookup = SortedRecords(&data);
+        let mut filter =
+            RelationFilter::new(AllenRelation::During, q, lookup, Vec::<IntervalId>::new());
+        let mut fork = filter.fork();
+        for s in &data {
+            fork.emit(s.id);
+        }
+        filter.merge(fork);
+        assert_eq!(filter.inner(), &vec![7]);
+        assert_eq!(filter.result_count(), Some(1));
+        assert_eq!(filter.into_inner(), vec![7]);
+    }
+
+    /// Probes must be supersets for any sound `[min, max]` bound: every
+    /// matching record overlaps the probe range (or the probe is `None`
+    /// and no record matches).
+    #[test]
+    fn probes_are_minimal_supersets_on_the_witness_set() {
+        let data = data();
+        let (min, max) = (0, 20);
+        for qs in 0..=15u64 {
+            for qlen in 0..=6u64 {
+                let q = RangeQuery::new(qs, qs + qlen);
+                for rel in AllenRelation::ALL {
+                    let probe = rel.probe(q, min, max);
+                    for s in &data {
+                        if rel.matches(s, &q) {
+                            let p = probe.unwrap_or_else(|| {
+                                panic!("{rel:?} {q:?}: match {s:?} but empty probe")
+                            });
+                            assert!(
+                                s.st <= p.end && s.end >= p.st,
+                                "{rel:?} {q:?}: match {s:?} misses probe {p:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    mod boundary_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Endpoints drawn from a palette this tight make touching
+        /// endpoints (meets / starts / finishes / equals) the common
+        /// case rather than a rarity — exactly the boundary behaviour
+        /// the Allen refinement must get right.
+        fn tight_data(starts: &[u64], lens: &[u64]) -> Vec<Interval> {
+            starts
+                .iter()
+                .zip(lens)
+                .enumerate()
+                .map(|(i, (&st, &len))| Interval::new(i as IntervalId + 1, st, st + len))
+                .collect()
+        }
+
+        proptest! {
+            #[test]
+            fn every_relation_matches_brute_force_at_touching_endpoints(
+                starts in prop::collection::vec(0u64..12, 1..48),
+                lens in prop::collection::vec(0u64..5, 1..48),
+                qs in 0u64..12,
+                qlen in 0u64..5,
+            ) {
+                let data = tight_data(&starts, &lens);
+                let idx = AllenIndex::build(&data, 5);
+                let q = RangeQuery::new(qs, qs + qlen);
+                for rel in AllenRelation::ALL {
+                    let mut got = Vec::new();
+                    idx.select_sink(rel, q, &mut got);
+                    got.sort_unstable();
+                    let mut want: Vec<IntervalId> = data
+                        .iter()
+                        .filter(|s| rel.matches(s, &q))
+                        .map(|s| s.id)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(&got, &want, "{:?} {:?}", rel, q);
+                }
+            }
+
+            #[test]
+            // Allen's algebra partitions *proper* intervals only: a
+            // point record [5,5] against a point query satisfies two
+            // relations at once (e.g. Meets and FinishedBy), so this
+            // property draws lengths from 1.. while the brute-force
+            // property above still covers the degenerate points.
+            fn relations_partition_every_tight_workload(
+                starts in prop::collection::vec(0u64..10, 1..40),
+                lens in prop::collection::vec(1u64..4, 1..40),
+                qs in 0u64..10,
+                qlen in 1u64..4,
+            ) {
+                let data = tight_data(&starts, &lens);
+                let idx = AllenIndex::build(&data, 4);
+                let q = RangeQuery::new(qs, qs + qlen);
+                let mut seen = Vec::new();
+                for rel in AllenRelation::ALL {
+                    let before = seen.len();
+                    idx.select_sink(rel, q, &mut seen);
+                    // mutually exclusive: no id appears under two relations
+                    prop_assert!(seen[before..].iter().all(|id| !seen[..before].contains(id)));
+                }
+                // jointly exhaustive: every record relates to q somehow
+                prop_assert_eq!(seen.len(), data.len());
+            }
+
+            #[test]
+            fn first_k_select_is_a_prefix_of_the_full_selection(
+                starts in prop::collection::vec(0u64..12, 1..48),
+                lens in prop::collection::vec(0u64..5, 1..48),
+                qs in 0u64..12,
+                k in 0usize..4,
+            ) {
+                let data = tight_data(&starts, &lens);
+                let idx = AllenIndex::build(&data, 5);
+                let q = RangeQuery::new(qs, qs + 2);
+                for rel in AllenRelation::ALL {
+                    let mut full = Vec::new();
+                    idx.select_sink(rel, q, &mut full);
+                    let mut first = crate::FirstK::new(k);
+                    idx.select_sink(rel, q, &mut first);
+                    prop_assert_eq!(first.ids(), &full[..k.min(full.len())]);
+                }
             }
         }
     }

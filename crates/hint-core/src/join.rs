@@ -17,16 +17,158 @@
 
 use crate::hintm::opt::Hint;
 use crate::interval::{Interval, IntervalId};
-use crate::sink::{CountSink, FnSink};
+use crate::sink::{CountSink, QuerySink};
+
+/// A consumer of join result pairs — the pairwise counterpart of
+/// [`QuerySink`], giving joins the same sink discipline as selections:
+/// pairs stream into the sink as they are found (never buffered by the
+/// join), and the join polls [`is_saturated`](Self::is_saturated)
+/// between emissions so a bounded consumer (`LIMIT k`, a disconnected
+/// wire client) terminates both the inner probe scans and the outer
+/// loop early.
+pub trait PairSink {
+    /// Consumes one `(outer id, inner id)` pair.
+    fn emit_pair(&mut self, outer: IntervalId, inner: IntervalId);
+
+    /// True once the sink needs no further pairs; the join then stops.
+    /// The default never saturates.
+    fn is_saturated(&self) -> bool {
+        false
+    }
+}
+
+/// Collects every pair — the original `Vec`-building behaviour.
+impl PairSink for Vec<(IntervalId, IntervalId)> {
+    #[inline]
+    fn emit_pair(&mut self, outer: IntervalId, inner: IntervalId) {
+        self.push((outer, inner));
+    }
+}
+
+/// Streams every pair into a callback, allocation-free.
+#[derive(Debug)]
+pub struct FnPairSink<F: FnMut(IntervalId, IntervalId)> {
+    f: F,
+}
+
+impl<F: FnMut(IntervalId, IntervalId)> FnPairSink<F> {
+    /// Wraps a pair callback.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<F: FnMut(IntervalId, IntervalId)> PairSink for FnPairSink<F> {
+    #[inline]
+    fn emit_pair(&mut self, outer: IntervalId, inner: IntervalId) {
+        (self.f)(outer, inner);
+    }
+}
+
+/// Counts pairs without storing them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountPairs {
+    n: u64,
+}
+
+impl CountPairs {
+    /// A zeroed pair counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pairs counted so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+impl PairSink for CountPairs {
+    #[inline]
+    fn emit_pair(&mut self, _outer: IntervalId, _inner: IntervalId) {
+        self.n += 1;
+    }
+}
+
+/// Keeps the first `k` pairs (in join emission order) and saturates,
+/// terminating the join early — `LIMIT k` over a join result.
+#[derive(Debug, Clone)]
+pub struct FirstKPairs {
+    k: usize,
+    pairs: Vec<(IntervalId, IntervalId)>,
+}
+
+impl FirstKPairs {
+    /// A sink retaining at most `k` pairs.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            pairs: Vec::with_capacity(k.min(1024)),
+        }
+    }
+
+    /// The retained pairs (at most `k`).
+    pub fn pairs(&self) -> &[(IntervalId, IntervalId)] {
+        &self.pairs
+    }
+
+    /// Consumes the sink, returning the retained pairs.
+    pub fn into_vec(self) -> Vec<(IntervalId, IntervalId)> {
+        self.pairs
+    }
+}
+
+impl PairSink for FirstKPairs {
+    #[inline]
+    fn emit_pair(&mut self, outer: IntervalId, inner: IntervalId) {
+        if self.pairs.len() < self.k {
+            self.pairs.push((outer, inner));
+        }
+    }
+
+    #[inline]
+    fn is_saturated(&self) -> bool {
+        self.pairs.len() >= self.k
+    }
+}
+
+/// Adapts one outer probe's id stream into pair emissions, delegating
+/// saturation so a saturated pair sink aborts the probe scan itself.
+struct ProbeAdapter<'a, P: ?Sized> {
+    outer: IntervalId,
+    sink: &'a mut P,
+}
+
+impl<P: PairSink + ?Sized> QuerySink for ProbeAdapter<'_, P> {
+    #[inline]
+    fn emit(&mut self, id: IntervalId) {
+        self.sink.emit_pair(self.outer, id);
+    }
+
+    #[inline]
+    fn is_saturated(&self) -> bool {
+        self.sink.is_saturated()
+    }
+}
 
 /// Index-nested-loop join: for every interval in `outer`, reports all
 /// intervals of the indexed collection that overlap it. Pairs stream
 /// straight from the index scan into `emit` — no per-probe result
 /// buffering.
-pub fn index_join(inner: &Hint, outer: &[Interval], mut emit: impl FnMut(IntervalId, IntervalId)) {
+pub fn index_join(inner: &Hint, outer: &[Interval], emit: impl FnMut(IntervalId, IntervalId)) {
+    index_join_sink(inner, outer, &mut FnPairSink::new(emit));
+}
+
+/// Sink-threaded index-nested-loop join: each probe's emissions stream
+/// into `sink` as `(outer id, inner id)` pairs, and a saturated sink
+/// stops both the running probe and the outer loop.
+pub fn index_join_sink<P: PairSink + ?Sized>(inner: &Hint, outer: &[Interval], sink: &mut P) {
     for r in outer {
-        let mut sink = FnSink::new(|s| emit(r.id, s));
-        inner.query_sink((*r).into(), &mut sink);
+        if sink.is_saturated() {
+            return;
+        }
+        let mut probe = ProbeAdapter { outer: r.id, sink };
+        inner.query_sink((*r).into(), &mut probe);
     }
 }
 
@@ -48,7 +190,14 @@ pub fn index_join_count(inner: &Hint, outer: &[Interval]) -> u64 {
 ///
 /// `O(|R| log |R| + |S| log |S| + K)` with small constants; the canonical
 /// unindexed competitor for one-shot joins.
-pub fn sweep_join(r: &[Interval], s: &[Interval], mut emit: impl FnMut(IntervalId, IntervalId)) {
+pub fn sweep_join(r: &[Interval], s: &[Interval], emit: impl FnMut(IntervalId, IntervalId)) {
+    sweep_join_sink(r, s, &mut FnPairSink::new(emit));
+}
+
+/// Sink-threaded plane-sweep join; same emission order as
+/// [`sweep_join`], with the saturation discipline of
+/// [`index_join_sink`].
+pub fn sweep_join_sink<P: PairSink + ?Sized>(r: &[Interval], s: &[Interval], sink: &mut P) {
     let mut r_sorted: Vec<Interval> = r.to_vec();
     let mut s_sorted: Vec<Interval> = s.to_vec();
     r_sorted.sort_unstable_by_key(|x| x.st);
@@ -56,23 +205,26 @@ pub fn sweep_join(r: &[Interval], s: &[Interval], mut emit: impl FnMut(IntervalI
 
     let (mut i, mut j) = (0usize, 0usize);
     while i < r_sorted.len() && j < s_sorted.len() {
+        if sink.is_saturated() {
+            return;
+        }
         let rr = r_sorted[i];
         let ss = s_sorted[j];
         if rr.st <= ss.st {
             // forward scan S while it starts within rr
             for cand in &s_sorted[j..] {
-                if cand.st > rr.end {
+                if cand.st > rr.end || sink.is_saturated() {
                     break;
                 }
-                emit(rr.id, cand.id);
+                sink.emit_pair(rr.id, cand.id);
             }
             i += 1;
         } else {
             for cand in &r_sorted[i..] {
-                if cand.st > ss.end {
+                if cand.st > ss.end || sink.is_saturated() {
                     break;
                 }
-                emit(cand.id, ss.id);
+                sink.emit_pair(cand.id, ss.id);
             }
             j += 1;
         }
@@ -178,5 +330,42 @@ mod tests {
         let r = lcg_data(50, 1_000, 100, 29, 0);
         assert_eq!(sweep_join_count(&r, &[]), 0);
         assert_eq!(sweep_join_count(&[], &r), 0);
+    }
+
+    #[test]
+    fn sink_threaded_joins_match_the_callback_spelling() {
+        let r = lcg_data(200, 8_000, 400, 31, 0);
+        let s = lcg_data(250, 8_000, 700, 37, 100_000);
+        let idx = Hint::build(&s, 10);
+        let mut via_emit = Vec::new();
+        index_join(&idx, &r, |a, b| via_emit.push((a, b)));
+        let mut via_sink: Vec<(IntervalId, IntervalId)> = Vec::new();
+        index_join_sink(&idx, &r, &mut via_sink);
+        assert_eq!(via_sink, via_emit);
+        let mut count = CountPairs::new();
+        index_join_sink(&idx, &r, &mut count);
+        assert_eq!(count.count(), via_emit.len() as u64);
+    }
+
+    #[test]
+    fn saturated_pair_sinks_stop_both_joins_early() {
+        let r = lcg_data(300, 6_000, 500, 41, 0);
+        let s = lcg_data(300, 6_000, 500, 43, 100_000);
+        let idx = Hint::build(&s, 10);
+        let mut full: Vec<(IntervalId, IntervalId)> = Vec::new();
+        index_join_sink(&idx, &r, &mut full);
+        assert!(full.len() > 8, "workload too sparse to test saturation");
+
+        let mut first = FirstKPairs::new(8);
+        index_join_sink(&idx, &r, &mut first);
+        assert!(first.is_saturated());
+        // the retained pairs are a prefix of the full emission order
+        assert_eq!(first.pairs(), &full[..8]);
+
+        let mut sweep_full: Vec<(IntervalId, IntervalId)> = Vec::new();
+        sweep_join_sink(&r, &s, &mut sweep_full);
+        let mut sweep_first = FirstKPairs::new(8);
+        sweep_join_sink(&r, &s, &mut sweep_first);
+        assert_eq!(sweep_first.pairs(), &sweep_full[..8]);
     }
 }

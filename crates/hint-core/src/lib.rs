@@ -133,7 +133,7 @@ pub mod shard;
 pub mod sink;
 pub mod stats;
 
-pub use allen::{AllenIndex, AllenRelation};
+pub use allen::{AllenIndex, AllenRelation, RelationFilter, SortedRecords};
 pub use assign::{Assignment, SubKind};
 pub use concurrent::ConcurrentHint;
 pub use cost_model::{m_opt, measure_betas, mix_cost, retuned_m, Betas, ModelInput};
@@ -147,14 +147,18 @@ pub use hintm::snapshot::{
 };
 pub use hintm::subs::{HintMSubs, SubsConfig};
 pub use interval::{Interval, IntervalId, RangeQuery, Time, TOMBSTONE};
-pub use join::{index_join, index_join_count, sweep_join, sweep_join_count};
+pub use join::{
+    index_join, index_join_count, index_join_sink, sweep_join, sweep_join_count, sweep_join_sink,
+    CountPairs, FirstKPairs, FnPairSink, PairSink,
+};
 pub use oracle::ScanOracle;
 pub use pool::{PoolError, PoolStats, ShardPool};
 pub use session::{RetuneEvent, RetunePolicy, Session, WriteError};
 pub use shard::{query_epoch_pins, EpochPin, MutableIndex, ShardedIndex};
 pub use sink::{
-    ArenaRun, CollectSink, CountSink, ExistsSink, FirstK, FnSink, HandleSink, MergeableSink,
-    QuerySink, ResultRun, SliceSink, ARENA_HANDLE_MIN,
+    ArenaRun, BucketHistogram, CollectSink, CountSink, ExistsSink, FirstK, FnSink, HandleSink,
+    IntervalLookup, MergeableSink, QuerySink, ResultRun, SliceSink, TopKByDuration,
+    ARENA_HANDLE_MIN,
 };
 pub use stats::{ExtentHistogram, ExtentMix, InflightGauge, QueryStats, WorkloadStats};
 

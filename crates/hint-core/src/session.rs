@@ -457,6 +457,16 @@ impl Session<crate::HintMSubs> {
         self.pool.clone_index().map_err(io::Error::other)
     }
 
+    /// The live interval set `(id, st, end)`, sorted by id — a reseal
+    /// barrier followed by [`ShardedIndex::intervals`] on a clone of the
+    /// sealed shards. The serving catalog uses this to (re)build its
+    /// per-index record table when it adopts a session it didn't observe
+    /// every write of: at registration over a pre-loaded index, and
+    /// after a restore.
+    pub fn live_intervals(&mut self) -> io::Result<Vec<Interval>> {
+        Ok(self.sealed_clone()?.intervals())
+    }
+
     /// Restores a session from a snapshot file: a fully-validated bulk
     /// read straight into the sealed arenas (no re-sort, no
     /// re-assignment pass). Any corruption yields a typed

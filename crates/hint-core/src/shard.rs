@@ -44,7 +44,7 @@
 use crate::interval::{Interval, IntervalId, RangeQuery, Time};
 use crate::sink::QuerySink;
 use crate::IntervalIndex;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Write interface shared by the updatable indexes in the workspace
 /// ([`crate::Hint`], [`crate::HintMBase`], [`crate::HintMSubs`],
@@ -676,6 +676,40 @@ impl<I: MutableIndex> ShardedIndex<I> {
             s.st,
             s.end,
         );
+    }
+}
+
+impl ShardedIndex<crate::HintMSubs> {
+    /// Reconstructs the live interval set `(id, st, end)` from the
+    /// shards' own storage, sorted by id.
+    ///
+    /// Shards store boundary-crossing intervals as *clipped* pieces
+    /// (each piece covers the interval's extent within that shard's
+    /// range, see [`Self::build_with_domain`]), so the true interval is
+    /// re-stitched here: pieces of one id are contiguous across adjacent
+    /// shards, making `(min st, max end)` over its pieces exactly the
+    /// stored extent. This is the substrate for serving-layer record
+    /// tables (id → interval lookups for aggregation and Allen verbs)
+    /// after a restore or over an index built from pre-loaded data.
+    pub fn intervals(&self) -> Vec<Interval> {
+        let mut stitched: HashMap<IntervalId, (Time, Time)> = HashMap::with_capacity(self.live);
+        for shard in &self.shards {
+            for piece in shard.index.intervals() {
+                stitched
+                    .entry(piece.id)
+                    .and_modify(|(st, end)| {
+                        *st = (*st).min(piece.st);
+                        *end = (*end).max(piece.end);
+                    })
+                    .or_insert((piece.st, piece.end));
+            }
+        }
+        let mut out: Vec<Interval> = stitched
+            .into_iter()
+            .map(|(id, (st, end))| Interval { id, st, end })
+            .collect();
+        out.sort_unstable_by_key(|s| s.id);
+        out
     }
 }
 

@@ -31,7 +31,8 @@
 //! assert_eq!(count.count(), 2);
 //! ```
 
-use crate::interval::{IntervalId, TOMBSTONE};
+use crate::interval::{Interval, IntervalId, Time, TOMBSTONE};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// How many entries a reporting loop should emit between
@@ -227,6 +228,36 @@ pub trait MergeableSink: QuerySink {
     /// extent histograms that drive [`fork_sized`](Self::fork_sized).
     fn result_count(&self) -> Option<usize> {
         None
+    }
+}
+
+/// A mutable reference to a sink is itself a sink — lets adapters that
+/// *own* their inner sink (e.g. [`crate::RelationFilter`]) also wrap a
+/// borrowed one.
+impl<S: QuerySink + ?Sized> QuerySink for &mut S {
+    #[inline]
+    fn emit(&mut self, id: IntervalId) {
+        (**self).emit(id)
+    }
+
+    #[inline]
+    fn emit_slice(&mut self, ids: &[IntervalId]) {
+        (**self).emit_slice(ids)
+    }
+
+    #[inline]
+    fn is_saturated(&self) -> bool {
+        (**self).is_saturated()
+    }
+
+    #[inline]
+    fn wants_arenas(&self) -> bool {
+        (**self).wants_arenas()
+    }
+
+    #[inline]
+    fn emit_arena(&mut self, run: &ArenaRun) {
+        (**self).emit_arena(run)
     }
 }
 
@@ -757,6 +788,250 @@ impl<F: FnMut(&[IntervalId])> QuerySink for SliceSink<F> {
     }
 }
 
+/// Resolves an emitted result id back to the stored interval it names.
+///
+/// The aggregation sinks below ([`TopKByDuration`], [`BucketHistogram`])
+/// need the *endpoints* of each result, but the scan loops emit bare
+/// ids. Rather than widen every emit path, the sinks carry a lookup —
+/// typically an `Arc`-shared id → interval table owned by whoever also
+/// owns the index (the serving catalog keeps one per named index) — and
+/// resolve at emit time. Forks clone the lookup (an `Arc` bump), so the
+/// table is shared, not copied, across shard workers.
+///
+/// `get` returning `None` means the id is unknown to the table; the
+/// aggregation sinks skip such emissions. With a table maintained in
+/// lockstep with the index (insert/delete/restore), that never happens.
+pub trait IntervalLookup: Clone + Send {
+    /// The interval stored under `id`, if the table knows it.
+    fn get(&self, id: IntervalId) -> Option<Interval>;
+}
+
+impl IntervalLookup for Arc<HashMap<IntervalId, Interval>> {
+    #[inline]
+    fn get(&self, id: IntervalId) -> Option<Interval> {
+        HashMap::get(self, &id).copied()
+    }
+}
+
+impl IntervalLookup for Arc<BTreeMap<IntervalId, Interval>> {
+    #[inline]
+    fn get(&self, id: IntervalId) -> Option<Interval> {
+        BTreeMap::get(self, &id).copied()
+    }
+}
+
+/// Keeps the `k` results with the longest duration (`end - st`), ties
+/// broken toward the smaller id — "the k longest-running records
+/// overlapping this window" without materializing the full result.
+///
+/// Unlike [`FirstK`] this sink can never saturate: any not-yet-seen
+/// result might out-last the current worst retained one, so the scan
+/// must run to completion. What it shares with `FirstK` is the bounded
+/// merge: at most `k` entries ever cross the fork/merge boundary, and
+/// the merged ranking is independent of shard order (the key
+/// `(duration desc, id asc)` is a total order over duplicate-free ids).
+#[derive(Debug, Clone)]
+pub struct TopKByDuration<L> {
+    k: usize,
+    lookup: L,
+    /// Best-first: sorted by `(duration desc, id asc)`, at most `k` long.
+    top: Vec<(u64, IntervalId)>,
+}
+
+impl<L: IntervalLookup> TopKByDuration<L> {
+    /// A sink retaining the `k` longest intervals, resolving endpoints
+    /// through `lookup`.
+    pub fn new(k: usize, lookup: L) -> Self {
+        Self {
+            k,
+            lookup,
+            top: Vec::with_capacity(k.min(1024)),
+        }
+    }
+
+    /// The retained `(duration, id)` pairs, best first.
+    pub fn ranked(&self) -> &[(u64, IntervalId)] {
+        &self.top
+    }
+
+    /// Number of entries retained so far (at most `k`).
+    pub fn len(&self) -> usize {
+        self.top.len()
+    }
+
+    /// True when nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.top.is_empty()
+    }
+
+    /// Consumes the sink, returning the retained ids best-first.
+    pub fn into_ids(self) -> Vec<IntervalId> {
+        self.top.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Where `key` belongs in the best-first order.
+    fn rank_of(&self, dur: u64, id: IntervalId) -> usize {
+        self.top
+            .partition_point(|&(d, i)| d > dur || (d == dur && i < id))
+    }
+
+    fn offer(&mut self, dur: u64, id: IntervalId) {
+        if self.k == 0 {
+            return;
+        }
+        let pos = self.rank_of(dur, id);
+        if pos >= self.k {
+            return; // worse than the current k-th best
+        }
+        self.top.insert(pos, (dur, id));
+        self.top.truncate(self.k);
+    }
+}
+
+impl<L: IntervalLookup> QuerySink for TopKByDuration<L> {
+    #[inline]
+    fn emit(&mut self, id: IntervalId) {
+        if let Some(s) = self.lookup.get(id) {
+            self.offer(s.end - s.st, id);
+        }
+    }
+}
+
+impl<L: IntervalLookup> MergeableSink for TopKByDuration<L> {
+    fn fork(&self) -> Self {
+        TopKByDuration::new(self.k, self.lookup.clone())
+    }
+
+    /// Merge-sorts the two bounded rankings and re-truncates to `k`, so
+    /// the global top-k is re-established no matter how the results were
+    /// split across shards; at most `k` entries survive.
+    fn merge(&mut self, other: Self) {
+        if other.top.is_empty() {
+            return;
+        }
+        if self.top.is_empty() {
+            self.top = other.top;
+            return;
+        }
+        let mine = std::mem::take(&mut self.top);
+        let mut a = mine.into_iter().peekable();
+        let mut b = other.top.into_iter().peekable();
+        while self.top.len() < self.k {
+            let take_a = match (a.peek(), b.peek()) {
+                (Some(&(da, ia)), Some(&(db, ib))) => da > db || (da == db && ia < ib),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let next = if take_a { a.next() } else { b.next() };
+            self.top.push(next.expect("peeked entry"));
+        }
+    }
+}
+
+/// Counts results per fixed-width time bucket — the sink behind "how
+/// many records are active in each hour of this window" dashboards.
+///
+/// Bucket `b` spans `[origin + b·width, origin + (b+1)·width)` on the
+/// domain axis. Every emitted result contributes one count to **each**
+/// bucket its stored extent overlaps (endpoints resolved through the
+/// carried [`IntervalLookup`]), clipped to the histogram's covered
+/// range. Counts are pure order-independent aggregates, so the merge is
+/// an element-wise add and sharding cannot change the answer (the
+/// originals/replicas discipline already guarantees each result id is
+/// emitted exactly once across shards).
+#[derive(Debug, Clone)]
+pub struct BucketHistogram<L> {
+    origin: Time,
+    width: u64,
+    counts: Vec<u64>,
+    lookup: L,
+}
+
+impl<L: IntervalLookup> BucketHistogram<L> {
+    /// A histogram of `buckets` buckets of `width` domain units starting
+    /// at `origin`.
+    ///
+    /// # Panics
+    /// If `width == 0` or `buckets == 0`.
+    pub fn new(origin: Time, width: u64, buckets: usize, lookup: L) -> Self {
+        assert!(width > 0, "bucket width must be positive");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Self {
+            origin,
+            width,
+            counts: vec![0; buckets],
+            lookup,
+        }
+    }
+
+    /// A histogram covering exactly the query window `[q.st, q.end]`:
+    /// bucket 0 starts at `q.st` and the last (possibly partial) bucket
+    /// contains `q.end`.
+    ///
+    /// # Panics
+    /// If `width == 0` or `q` is inverted.
+    pub fn for_query(q: crate::RangeQuery, width: u64, lookup: L) -> Self {
+        assert!(q.st <= q.end, "inverted query range");
+        let span = (q.end - q.st) as u128 + 1;
+        let buckets = span.div_ceil(width as u128) as usize;
+        Self::new(q.st, width, buckets, lookup)
+    }
+
+    /// The per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Consumes the sink, returning the per-bucket counts.
+    pub fn into_counts(self) -> Vec<u64> {
+        self.counts
+    }
+
+    /// Last domain point the histogram covers.
+    fn covered_end(&self) -> Time {
+        self.origin
+            .saturating_add(self.width.saturating_mul(self.counts.len() as u64) - 1)
+    }
+}
+
+impl<L: IntervalLookup> QuerySink for BucketHistogram<L> {
+    #[inline]
+    fn emit(&mut self, id: IntervalId) {
+        let Some(s) = self.lookup.get(id) else {
+            return;
+        };
+        let lo = s.st.max(self.origin);
+        let hi = s.end.min(self.covered_end());
+        if lo > hi {
+            return;
+        }
+        let b0 = ((lo - self.origin) / self.width) as usize;
+        let b1 = ((hi - self.origin) / self.width) as usize;
+        for c in &mut self.counts[b0..=b1] {
+            *c += 1;
+        }
+    }
+}
+
+impl<L: IntervalLookup> MergeableSink for BucketHistogram<L> {
+    fn fork(&self) -> Self {
+        Self {
+            origin: self.origin,
+            width: self.width,
+            counts: vec![0; self.counts.len()],
+            lookup: self.lookup.clone(),
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts) {
+            *mine += theirs;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1071,5 +1346,114 @@ mod tests {
             s.emit_slice(&[5, 6]);
         }
         assert_eq!(runs, vec![vec![1, 2, 3], vec![4], vec![5, 6]]);
+    }
+
+    fn table(data: &[Interval]) -> Arc<HashMap<IntervalId, Interval>> {
+        Arc::new(data.iter().map(|s| (s.id, *s)).collect())
+    }
+
+    #[test]
+    fn top_k_by_duration_ranks_longest_first_with_id_tiebreak() {
+        let data = vec![
+            Interval::new(1, 0, 10),  // dur 10
+            Interval::new(2, 5, 25),  // dur 20
+            Interval::new(3, 40, 60), // dur 20 (tie with 2: smaller id wins)
+            Interval::new(4, 7, 9),   // dur 2
+        ];
+        let mut s = TopKByDuration::new(3, table(&data));
+        for id in [4, 3, 1, 2] {
+            s.emit(id);
+        }
+        assert_eq!(s.ranked(), &[(20, 2), (20, 3), (10, 1)]);
+        assert!(!s.is_saturated(), "top-k by duration can never stop early");
+        s.emit(99); // unknown id: skipped
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.into_ids(), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn top_k_by_duration_merge_reestablishes_the_global_ranking() {
+        let data: Vec<Interval> = (0..20).map(|i| Interval::new(i, 0, (i * 7) % 13)).collect();
+        let lookup = table(&data);
+        // solo reference
+        let mut solo = TopKByDuration::new(5, Arc::clone(&lookup));
+        for s in &data {
+            solo.emit(s.id);
+        }
+        // split across 3 "shards" in an arbitrary interleaving, merged in
+        // shard order
+        let mut merged = TopKByDuration::new(5, Arc::clone(&lookup));
+        let mut forks: Vec<_> = (0..3).map(|_| merged.fork()).collect();
+        for (i, s) in data.iter().enumerate() {
+            forks[i % 3].emit(s.id);
+        }
+        for f in forks {
+            assert!(f.len() <= 5);
+            merged.merge(f);
+        }
+        assert!(merged.len() <= 5, "merge must stay within the k bound");
+        assert_eq!(merged.ranked(), solo.ranked());
+    }
+
+    #[test]
+    fn top_zero_by_duration_retains_nothing() {
+        let data = vec![Interval::new(1, 0, 9)];
+        let mut s = TopKByDuration::new(0, table(&data));
+        s.emit(1);
+        let f = s.fork();
+        s.merge(f);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn bucket_histogram_counts_every_overlapped_bucket() {
+        let data = vec![
+            Interval::new(1, 0, 19),  // clipped to the window: bucket 0 only
+            Interval::new(2, 12, 37), // buckets 0..=2
+            Interval::new(3, 25, 26), // bucket 1
+            Interval::new(4, 90, 95), // outside the covered range
+        ];
+        // window [10, 39], width 10 -> buckets [10,19] [20,29] [30,39]
+        let mut h = BucketHistogram::for_query(crate::RangeQuery::new(10, 39), 10, table(&data));
+        for id in [1, 2, 3, 4] {
+            h.emit(id);
+        }
+        assert_eq!(h.counts(), &[2, 2, 1]);
+    }
+
+    #[test]
+    fn bucket_histogram_merge_is_elementwise_and_order_independent() {
+        let data: Vec<Interval> = (0..30).map(|i| Interval::new(i, i, i + 5)).collect();
+        let lookup = table(&data);
+        let q = crate::RangeQuery::new(0, 34);
+        let mut solo = BucketHistogram::for_query(q, 7, Arc::clone(&lookup));
+        for s in &data {
+            solo.emit(s.id);
+        }
+        let mut merged = BucketHistogram::for_query(q, 7, Arc::clone(&lookup));
+        let mut f1 = merged.fork();
+        let mut f2 = merged.fork();
+        for s in &data {
+            if s.id % 2 == 0 {
+                f1.emit(s.id);
+            } else {
+                f2.emit(s.id);
+            }
+        }
+        // merge in the "wrong" order on purpose: counts are commutative
+        merged.merge(f2);
+        merged.merge(f1);
+        assert_eq!(merged.counts(), solo.counts());
+    }
+
+    #[test]
+    fn bucket_histogram_covers_a_partial_last_bucket() {
+        let data = vec![Interval::new(1, 21, 21)];
+        // span 22 at width 10 -> 3 buckets, the last covering [20, 21]
+        let h0 = BucketHistogram::for_query(crate::RangeQuery::new(0, 21), 10, table(&data));
+        assert_eq!(h0.counts().len(), 3);
+        let mut h = h0;
+        h.emit(1);
+        assert_eq!(h.counts(), &[0, 0, 1]);
     }
 }

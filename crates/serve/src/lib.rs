@@ -11,8 +11,16 @@
 //! its connection through incremental [`WireSink`] encoding — no
 //! full-result `Vec` per query, ever.
 //!
-//! Writes (`Insert`/`Delete`/`Seal`) route through the engine handle
-//! ([`hint_core::Session`]) as batch barriers, so every connection
+//! The server hosts a **catalog** of named indexes: every connection
+//! starts addressed at the default index (id 0), can create/drop/list
+//! named indexes over the wire, pick a per-connection default with
+//! `UseIndex`, or address any verb at an explicit index id. Each
+//! catalog entry owns its own [`hint_core::Session`], so writes
+//! (`Insert`/`Delete`/`Seal`) barrier only their own index — queries
+//! queued against other indexes keep batching. Beyond range queries
+//! the wire speaks Allen-relation queries, server-side streamed
+//! interval joins between two indexes, and merged aggregation verbs
+//! (top-k by duration, per-bucket histograms). Every connection
 //! observes a serializable history and replies arrive strictly in
 //! request order (no correlation ids on the wire). Malformed input
 //! never panics the server: well-framed garbage earns an error trailer
@@ -64,7 +72,9 @@ pub mod sink;
 pub mod transport;
 
 pub use client::{Client, ClientError};
-pub use proto::{DecodeError, Frame, FrameReader, Kind, Reply, Request, Status};
+pub use proto::{
+    Command, DecodeError, Frame, FrameReader, IndexInfo, Kind, Reply, Request, Status, FLAG_INDEXED,
+};
 pub use server::{AcceptSource, BatchStats, ServeConfig, Server, SnapshotVerbs};
-pub use sink::WireSink;
+pub use sink::{Records, ServeSink, WireSink};
 pub use transport::{duplex, DuplexTransport, Transport};

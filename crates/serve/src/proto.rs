@@ -28,13 +28,22 @@
 //!   connection. Either way the server never panics on wire input.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use hint_core::{Interval, RangeQuery};
+use hint_core::{AllenRelation, Interval, RangeQuery, Time};
 use std::io::{self, Read};
 
 /// First byte of every frame ('i' for interval).
 pub const MAGIC: u8 = 0x69;
 /// Protocol version this build speaks.
 pub const VERSION: u8 = 1;
+/// Header flag bit: the payload starts with a `u32` LE index id
+/// addressing a named index in the server's catalog. Frames without the
+/// bit (every pre-catalog client) address the connection's default
+/// index — index `0` until a `UseIndex` says otherwise — so legacy
+/// traffic is untouched by the multi-index surface.
+pub const FLAG_INDEXED: u8 = 0x01;
+/// Longest index name the catalog verbs accept, in bytes (the `Info`
+/// encoding carries the length in one byte).
+pub const MAX_NAME: usize = 255;
 /// Frame header size in bytes.
 pub const HEADER_LEN: usize = 8;
 /// Upper bound on a frame payload; a larger announced length is treated
@@ -64,6 +73,30 @@ pub enum Kind {
     /// Restore: replace the served index from the snapshot at the UTF-8
     /// server-side path in the payload.
     Restore = 0x06,
+    /// Create a named index (payload 16 B + name: lo, hi, UTF-8 name).
+    /// The `End` trailer's count is the new index's id.
+    CreateIndex = 0x07,
+    /// Drop a named index (payload: UTF-8 name). Index 0 is undropable.
+    DropIndex = 0x08,
+    /// List the catalog (payload 0 B); answered with [`Kind::Info`]
+    /// frames, trailer count = number of entries.
+    ListIndexes = 0x09,
+    /// Set this connection's default index by name (payload: UTF-8
+    /// name). The trailer's count is the resolved index id.
+    UseIndex = 0x0A,
+    /// Allen-relation query (payload 17 B: relation byte, st, end).
+    AllenQuery = 0x0B,
+    /// Interval join against a second index (payload 20 B: inner index
+    /// id, window st, window end). The addressed index is the outer
+    /// side; results stream as (outer id, inner id) pairs.
+    Join = 0x0C,
+    /// Top-k longest intervals overlapping a window (payload 20 B: k,
+    /// st, end); result ids arrive best-first.
+    TopK = 0x0D,
+    /// Per-bucket overlap counts over a window (payload 24 B: bucket
+    /// width, st, end); the results stream is `u64` counts, one per
+    /// bucket from `st` upward.
+    Histogram = 0x0E,
     /// Response: a chunk of result ids (payload 8·n B).
     Results = 0x81,
     /// Response: end-of-results trailer (payload 9 B: status, count).
@@ -71,6 +104,9 @@ pub enum Kind {
     /// Response: a chunk of raw snapshot-file bytes (streamed reply to
     /// an empty-payload [`Kind::Snapshot`]; trailer count = total bytes).
     SnapChunk = 0x83,
+    /// Response: a chunk of catalog entries (reply to
+    /// [`Kind::ListIndexes`]; see [`IndexInfo`] for the entry layout).
+    Info = 0x84,
 }
 
 impl Kind {
@@ -82,9 +118,18 @@ impl Kind {
             0x04 => Some(Kind::Seal),
             0x05 => Some(Kind::Snapshot),
             0x06 => Some(Kind::Restore),
+            0x07 => Some(Kind::CreateIndex),
+            0x08 => Some(Kind::DropIndex),
+            0x09 => Some(Kind::ListIndexes),
+            0x0A => Some(Kind::UseIndex),
+            0x0B => Some(Kind::AllenQuery),
+            0x0C => Some(Kind::Join),
+            0x0D => Some(Kind::TopK),
+            0x0E => Some(Kind::Histogram),
             0x81 => Some(Kind::Results),
             0x82 => Some(Kind::End),
             0x83 => Some(Kind::SnapChunk),
+            0x84 => Some(Kind::Info),
             _ => None,
         }
     }
@@ -119,8 +164,18 @@ pub enum Status {
     /// served index is unchanged (recoverable).
     SnapshotFailed = 10,
     /// The server could not bring the connection up (thread or resource
-    /// exhaustion); only this connection is rejected (fatal).
+    /// exhaustion), or the catalog is at its configured capacity
+    /// (`HINT_MAX_INDEXES`). Fatal at connection bring-up, recoverable
+    /// as a `CreateIndex` answer.
     Overloaded = 11,
+    /// The request addressed an index id or name the catalog does not
+    /// hold (recoverable: only this request fails).
+    UnknownIndex = 12,
+    /// The request's verb fields are semantically invalid — an unknown
+    /// Allen relation byte, a zero or overflowing histogram width, a
+    /// duplicate or malformed index name, dropping index 0
+    /// (recoverable).
+    BadVerb = 13,
 }
 
 impl Status {
@@ -140,6 +195,8 @@ impl Status {
             9 => Status::ReservedId,
             10 => Status::SnapshotFailed,
             11 => Status::Overloaded,
+            12 => Status::UnknownIndex,
+            13 => Status::BadVerb,
             _ => Status::BadKind,
         }
     }
@@ -161,6 +218,112 @@ pub enum Request {
     Snapshot(Option<String>),
     /// Replace the served index from a server-side snapshot file.
     Restore(String),
+    /// Create a named index over the domain `[lo, hi]`.
+    CreateIndex {
+        /// Catalog name (non-empty UTF-8, at most [`MAX_NAME`] bytes).
+        name: String,
+        /// Inclusive domain lower bound.
+        lo: Time,
+        /// Inclusive domain upper bound.
+        hi: Time,
+    },
+    /// Drop a named index (index 0 is undropable).
+    DropIndex(String),
+    /// List the catalog.
+    ListIndexes,
+    /// Set this connection's default index by name.
+    UseIndex(String),
+    /// Select the stored intervals standing in one Allen relation to
+    /// the query interval.
+    Allen {
+        /// The relation to select.
+        rel: AllenRelation,
+        /// The query interval.
+        q: RangeQuery,
+    },
+    /// Join the addressed (outer) index against `inner` inside a
+    /// window: every (outer id, inner id) pair whose intervals overlap
+    /// each other within the window streams back.
+    Join {
+        /// Catalog id of the inner index.
+        inner: u32,
+        /// The join window.
+        q: RangeQuery,
+    },
+    /// The k longest intervals overlapping a window, best-first.
+    TopK {
+        /// How many ids to keep.
+        k: u32,
+        /// The window.
+        q: RangeQuery,
+    },
+    /// Per-bucket overlap counts across a window.
+    Histogram {
+        /// Bucket width (> 0), anchored at the window start.
+        width: u64,
+        /// The window.
+        q: RangeQuery,
+    },
+}
+
+/// A decoded request plus its catalog addressing: `index` is the
+/// explicit [`FLAG_INDEXED`] prefix when present, otherwise `None` and
+/// the connection's default index applies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    /// Explicit index id, if the frame carried the [`FLAG_INDEXED`] bit.
+    pub index: Option<u32>,
+    /// The verb itself.
+    pub verb: Request,
+}
+
+/// One catalog entry as listed by [`Kind::ListIndexes`]. Wire layout
+/// per entry: `[u32 id][u8 name_len][name][u64 lo][u64 hi][u64 len]`,
+/// entries packed back-to-back inside [`Kind::Info`] payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexInfo {
+    /// Catalog id (stable for the index's lifetime, never reused).
+    pub id: u32,
+    /// Catalog name.
+    pub name: String,
+    /// Inclusive domain lower bound.
+    pub lo: Time,
+    /// Inclusive domain upper bound.
+    pub hi: Time,
+    /// Live interval count at listing time.
+    pub len: u64,
+}
+
+impl IndexInfo {
+    /// Decodes the entries packed in one [`Kind::Info`] payload,
+    /// appending to `out`. Fails recoverably on any shape violation.
+    pub fn parse_payload(payload: &Bytes, out: &mut Vec<IndexInfo>) -> Result<(), Status> {
+        let mut p = payload.clone();
+        while p.has_remaining() {
+            if p.remaining() < 5 {
+                return Err(Status::BadLength);
+            }
+            let id = p.get_u32_le();
+            let name_len = p.get_u8() as usize;
+            if p.remaining() < name_len + 24 {
+                return Err(Status::BadLength);
+            }
+            let name = match std::str::from_utf8(&p.as_slice()[..name_len]) {
+                Ok(s) => s.to_string(),
+                Err(_) => return Err(Status::BadLength),
+            };
+            p.advance(name_len);
+            let (lo, hi, len) = (p.get_u64_le(), p.get_u64_le(), p.get_u64_le());
+            out.push(IndexInfo {
+                id,
+                name,
+                lo,
+                hi,
+                len,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// The end-of-results trailer of one reply.
@@ -198,43 +361,138 @@ impl std::error::Error for DecodeError {}
 
 /// Appends a frame header.
 fn put_header(out: &mut BytesMut, kind: Kind, len: u32) {
+    put_header_flags(out, kind, 0, len)
+}
+
+/// Appends a frame header carrying explicit flag bits.
+fn put_header_flags(out: &mut BytesMut, kind: Kind, flags: u8, len: u32) {
     out.put_u8(MAGIC);
     out.put_u8(VERSION);
     out.put_u8(kind as u8);
-    out.put_u8(0); // flags (reserved)
+    out.put_u8(flags);
     out.put_u32_le(len);
 }
 
-/// Encodes a request frame.
-pub fn encode_request(out: &mut BytesMut, req: &Request) {
-    match req {
+/// The verb's kind byte and payload (without any index prefix).
+fn encode_verb(req: &Request) -> (Kind, BytesMut) {
+    let mut body = BytesMut::new();
+    let kind = match req {
         Request::Query(q) => {
-            put_header(out, Kind::Query, 16);
-            out.put_u64_le(q.st);
-            out.put_u64_le(q.end);
+            body.put_u64_le(q.st);
+            body.put_u64_le(q.end);
+            Kind::Query
         }
         Request::Insert(s) | Request::Delete(s) => {
-            let kind = if matches!(req, Request::Insert(_)) {
+            body.put_u64_le(s.id);
+            body.put_u64_le(s.st);
+            body.put_u64_le(s.end);
+            if matches!(req, Request::Insert(_)) {
                 Kind::Insert
             } else {
                 Kind::Delete
-            };
-            put_header(out, kind, 24);
-            out.put_u64_le(s.id);
-            out.put_u64_le(s.st);
-            out.put_u64_le(s.end);
+            }
         }
-        Request::Seal => put_header(out, Kind::Seal, 0),
+        Request::Seal => Kind::Seal,
         Request::Snapshot(path) => {
-            let p = path.as_deref().unwrap_or("").as_bytes();
-            put_header(out, Kind::Snapshot, p.len() as u32);
-            out.put_slice(p);
+            body.put_slice(path.as_deref().unwrap_or("").as_bytes());
+            Kind::Snapshot
         }
         Request::Restore(path) => {
-            put_header(out, Kind::Restore, path.len() as u32);
-            out.put_slice(path.as_bytes());
+            body.put_slice(path.as_bytes());
+            Kind::Restore
+        }
+        Request::CreateIndex { name, lo, hi } => {
+            body.put_u64_le(*lo);
+            body.put_u64_le(*hi);
+            body.put_slice(name.as_bytes());
+            Kind::CreateIndex
+        }
+        Request::DropIndex(name) => {
+            body.put_slice(name.as_bytes());
+            Kind::DropIndex
+        }
+        Request::ListIndexes => Kind::ListIndexes,
+        Request::UseIndex(name) => {
+            body.put_slice(name.as_bytes());
+            Kind::UseIndex
+        }
+        Request::Allen { rel, q } => {
+            body.put_u8(rel.as_u8());
+            body.put_u64_le(q.st);
+            body.put_u64_le(q.end);
+            Kind::AllenQuery
+        }
+        Request::Join { inner, q } => {
+            body.put_u32_le(*inner);
+            body.put_u64_le(q.st);
+            body.put_u64_le(q.end);
+            Kind::Join
+        }
+        Request::TopK { k, q } => {
+            body.put_u32_le(*k);
+            body.put_u64_le(q.st);
+            body.put_u64_le(q.end);
+            Kind::TopK
+        }
+        Request::Histogram { width, q } => {
+            body.put_u64_le(*width);
+            body.put_u64_le(q.st);
+            body.put_u64_le(q.end);
+            Kind::Histogram
+        }
+    };
+    (kind, body)
+}
+
+/// Encodes a request frame addressed to the connection's default index
+/// (no [`FLAG_INDEXED`] bit — byte-identical to pre-catalog encodings).
+pub fn encode_request(out: &mut BytesMut, req: &Request) {
+    encode_request_on(out, None, req)
+}
+
+/// Encodes a request frame, optionally addressed to an explicit catalog
+/// index via the [`FLAG_INDEXED`] payload prefix.
+pub fn encode_request_on(out: &mut BytesMut, index: Option<u32>, req: &Request) {
+    let (kind, body) = encode_verb(req);
+    match index {
+        None => {
+            put_header(out, kind, body.len() as u32);
+        }
+        Some(ix) => {
+            put_header_flags(out, kind, FLAG_INDEXED, body.len() as u32 + 4);
+            out.put_u32_le(ix);
         }
     }
+    out.put_slice(body.as_slice());
+}
+
+/// Encodes the [`Kind::Info`] reply to a `ListIndexes`: the entries
+/// packed into chunked `Info` frames (many fit one frame at the default
+/// catalog capacity), followed by an `Ok` trailer counting them.
+pub fn encode_index_infos(out: &mut BytesMut, entries: &[IndexInfo]) {
+    // worst-case entry is 4 + 1 + MAX_NAME + 24 bytes; 512 per frame
+    // stays far under MAX_PAYLOAD
+    for chunk in entries.chunks(512) {
+        let mut body = BytesMut::new();
+        for e in chunk {
+            debug_assert!(e.name.len() <= MAX_NAME);
+            body.put_u32_le(e.id);
+            body.put_u8(e.name.len() as u8);
+            body.put_slice(e.name.as_bytes());
+            body.put_u64_le(e.lo);
+            body.put_u64_le(e.hi);
+            body.put_u64_le(e.len);
+        }
+        put_header(out, Kind::Info, body.len() as u32);
+        out.put_slice(body.as_slice());
+    }
+    encode_end(
+        out,
+        Reply {
+            status: Status::Ok,
+            count: entries.len() as u64,
+        },
+    );
 }
 
 /// Encodes one streamed snapshot chunk (reply to an empty-payload
@@ -277,11 +535,13 @@ pub fn encode_end(out: &mut BytesMut, reply: Reply) {
     out.put_u64_le(reply.count);
 }
 
-/// A decoded frame: its kind and (owned) payload bytes.
+/// A decoded frame: its kind, header flags and (owned) payload bytes.
 #[derive(Debug)]
 pub struct Frame {
     /// Frame kind.
     pub kind: Kind,
+    /// Header flag bits (see [`FLAG_INDEXED`]).
+    pub flags: u8,
     /// Payload (`len` bytes, already read off the stream).
     pub payload: Bytes,
 }
@@ -290,8 +550,51 @@ impl Frame {
     /// Interprets this frame as a request, validating payload shape and
     /// semantics (endpoint order). Returns the recoverable status on
     /// failure — by the time a `Frame` exists, framing is synchronized.
+    /// Any explicit index prefix is parsed and discarded; prefer
+    /// [`to_command`](Self::to_command) on the serving path.
     pub fn to_request(&self) -> Result<Request, Status> {
+        self.to_command().map(|c| c.verb)
+    }
+
+    /// Interprets this frame as a [`Command`]: the optional
+    /// [`FLAG_INDEXED`] index prefix plus the verb. Unknown flag bits
+    /// are rejected recoverably ([`Status::BadVerb`]) rather than
+    /// silently misread.
+    pub fn to_command(&self) -> Result<Command, Status> {
         let mut p = self.payload.clone();
+        if self.flags & !FLAG_INDEXED != 0 {
+            return Err(Status::BadVerb);
+        }
+        let index = if self.flags & FLAG_INDEXED != 0 {
+            if p.remaining() < 4 {
+                return Err(Status::BadLength);
+            }
+            Some(p.get_u32_le())
+        } else {
+            None
+        };
+        let verb = self.parse_verb(p)?;
+        Ok(Command { index, verb })
+    }
+
+    /// Decodes an index name payload: non-empty, bounded, UTF-8.
+    fn parse_name(mut p: Bytes) -> Result<String, Status> {
+        if p.remaining() == 0 || p.remaining() > MAX_NAME {
+            return Err(Status::BadVerb);
+        }
+        match std::str::from_utf8(p.as_slice()) {
+            Ok(name) => {
+                let name = name.to_string();
+                p.advance(p.remaining());
+                Ok(name)
+            }
+            Err(_) => Err(Status::BadLength),
+        }
+    }
+
+    /// Decodes the verb fields from `p` (the payload after any index
+    /// prefix was consumed).
+    fn parse_verb(&self, mut p: Bytes) -> Result<Request, Status> {
         match self.kind {
             Kind::Query => {
                 if p.remaining() != 16 {
@@ -319,31 +622,109 @@ impl Frame {
                 })
             }
             Kind::Seal => {
-                if !self.payload.is_empty() {
+                if p.has_remaining() {
                     return Err(Status::BadLength);
                 }
                 Ok(Request::Seal)
             }
             Kind::Snapshot => {
-                if self.payload.is_empty() {
+                if !p.has_remaining() {
                     return Ok(Request::Snapshot(None));
                 }
-                match std::str::from_utf8(self.payload.as_ref()) {
+                match std::str::from_utf8(p.as_slice()) {
                     Ok(path) => Ok(Request::Snapshot(Some(path.to_string()))),
                     Err(_) => Err(Status::BadLength), // path must be UTF-8
                 }
             }
             Kind::Restore => {
-                if self.payload.is_empty() {
+                if !p.has_remaining() {
                     return Err(Status::BadLength); // a restore needs a path
                 }
-                match std::str::from_utf8(self.payload.as_ref()) {
+                match std::str::from_utf8(p.as_slice()) {
                     Ok(path) => Ok(Request::Restore(path.to_string())),
                     Err(_) => Err(Status::BadLength),
                 }
             }
+            Kind::CreateIndex => {
+                if p.remaining() < 16 {
+                    return Err(Status::BadLength);
+                }
+                let (lo, hi) = (p.get_u64_le(), p.get_u64_le());
+                if lo > hi {
+                    return Err(Status::InvalidRange);
+                }
+                let name = Self::parse_name(p)?;
+                Ok(Request::CreateIndex { name, lo, hi })
+            }
+            Kind::DropIndex => Ok(Request::DropIndex(Self::parse_name(p)?)),
+            Kind::ListIndexes => {
+                if p.has_remaining() {
+                    return Err(Status::BadLength);
+                }
+                Ok(Request::ListIndexes)
+            }
+            Kind::UseIndex => Ok(Request::UseIndex(Self::parse_name(p)?)),
+            Kind::AllenQuery => {
+                if p.remaining() != 17 {
+                    return Err(Status::BadLength);
+                }
+                let rel = AllenRelation::from_u8(p.get_u8()).ok_or(Status::BadVerb)?;
+                let (st, end) = (p.get_u64_le(), p.get_u64_le());
+                if st > end {
+                    return Err(Status::InvalidRange);
+                }
+                Ok(Request::Allen {
+                    rel,
+                    q: RangeQuery { st, end },
+                })
+            }
+            Kind::Join => {
+                if p.remaining() != 20 {
+                    return Err(Status::BadLength);
+                }
+                let inner = p.get_u32_le();
+                let (st, end) = (p.get_u64_le(), p.get_u64_le());
+                if st > end {
+                    return Err(Status::InvalidRange);
+                }
+                Ok(Request::Join {
+                    inner,
+                    q: RangeQuery { st, end },
+                })
+            }
+            Kind::TopK => {
+                if p.remaining() != 20 {
+                    return Err(Status::BadLength);
+                }
+                let k = p.get_u32_le();
+                let (st, end) = (p.get_u64_le(), p.get_u64_le());
+                if st > end {
+                    return Err(Status::InvalidRange);
+                }
+                Ok(Request::TopK {
+                    k,
+                    q: RangeQuery { st, end },
+                })
+            }
+            Kind::Histogram => {
+                if p.remaining() != 24 {
+                    return Err(Status::BadLength);
+                }
+                let width = p.get_u64_le();
+                let (st, end) = (p.get_u64_le(), p.get_u64_le());
+                if width == 0 {
+                    return Err(Status::BadVerb);
+                }
+                if st > end {
+                    return Err(Status::InvalidRange);
+                }
+                Ok(Request::Histogram {
+                    width,
+                    q: RangeQuery { st, end },
+                })
+            }
             // response kinds are not requests
-            Kind::Results | Kind::End | Kind::SnapChunk => Err(Status::BadKind),
+            Kind::Results | Kind::End | Kind::SnapChunk | Kind::Info => Err(Status::BadKind),
         }
     }
 }
@@ -396,6 +777,7 @@ impl<R: Read> FrameReader<R> {
         };
         Ok(Some(Frame {
             kind,
+            flags: header[3],
             payload: Bytes::from(payload),
         }))
     }
@@ -448,6 +830,30 @@ mod tests {
             Request::Snapshot(None),
             Request::Snapshot(Some("/var/lib/hint/a.snap".into())),
             Request::Restore("/var/lib/hint/a.snap".into()),
+            Request::CreateIndex {
+                name: "audit".into(),
+                lo: 0,
+                hi: 4_095,
+            },
+            Request::DropIndex("audit".into()),
+            Request::ListIndexes,
+            Request::UseIndex("audit".into()),
+            Request::Allen {
+                rel: hint_core::AllenRelation::During,
+                q: RangeQuery::new(5, 95),
+            },
+            Request::Join {
+                inner: 2,
+                q: RangeQuery::new(0, 1_000),
+            },
+            Request::TopK {
+                k: 10,
+                q: RangeQuery::new(3, 77),
+            },
+            Request::Histogram {
+                width: 16,
+                q: RangeQuery::new(0, 255),
+            },
         ];
         let mut out = BytesMut::new();
         for r in &reqs {
@@ -457,8 +863,141 @@ mod tests {
         for want in &reqs {
             let frame = rd.read_frame().unwrap().unwrap();
             assert_eq!(frame.to_request().as_ref(), Ok(want));
+            // a legacy encoding carries no explicit index
+            assert_eq!(frame.to_command().unwrap().index, None);
         }
         assert!(rd.read_frame().unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn indexed_addressing_roundtrips_on_every_verb() {
+        let reqs = [
+            Request::Query(RangeQuery::new(3, 999)),
+            Request::Insert(Interval::new(7, 10, 20)),
+            Request::Delete(Interval::new(7, 10, 20)),
+            Request::Seal,
+            Request::Snapshot(Some("/tmp/x.snap".into())),
+            Request::Restore("/tmp/x.snap".into()),
+            Request::Allen {
+                rel: hint_core::AllenRelation::Meets,
+                q: RangeQuery::new(5, 9),
+            },
+            Request::Join {
+                inner: 1,
+                q: RangeQuery::new(0, 10),
+            },
+            Request::TopK {
+                k: 3,
+                q: RangeQuery::new(0, 10),
+            },
+            Request::Histogram {
+                width: 2,
+                q: RangeQuery::new(0, 10),
+            },
+        ];
+        let mut out = BytesMut::new();
+        for r in &reqs {
+            encode_request_on(&mut out, Some(42), r);
+        }
+        let mut rd = reader(Vec::from(out));
+        for want in &reqs {
+            let frame = rd.read_frame().unwrap().unwrap();
+            assert_eq!(frame.flags, FLAG_INDEXED);
+            let cmd = frame.to_command().unwrap();
+            assert_eq!(cmd.index, Some(42));
+            assert_eq!(&cmd.verb, want);
+        }
+    }
+
+    #[test]
+    fn new_verbs_validate_recoverably() {
+        // unknown Allen relation byte
+        let mut bytes = vec![MAGIC, VERSION, 0x0B, 0, 17, 0, 0, 0, 13];
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        let f = reader(bytes).read_frame().unwrap().unwrap();
+        assert_eq!(f.to_command(), Err(Status::BadVerb));
+        // zero-width histogram
+        let mut out = BytesMut::new();
+        encode_request(
+            &mut out,
+            &Request::Histogram {
+                width: 5,
+                q: RangeQuery::new(0, 9),
+            },
+        );
+        let mut bytes = Vec::from(out);
+        bytes[HEADER_LEN..HEADER_LEN + 8].fill(0);
+        let f = reader(bytes).read_frame().unwrap().unwrap();
+        assert_eq!(f.to_command(), Err(Status::BadVerb));
+        // empty index name
+        let bytes = vec![MAGIC, VERSION, 0x08, 0, 0, 0, 0, 0];
+        let f = reader(bytes).read_frame().unwrap().unwrap();
+        assert_eq!(f.to_command(), Err(Status::BadVerb));
+        // over-long index name
+        let mut out = BytesMut::new();
+        encode_request(&mut out, &Request::UseIndex("n".repeat(MAX_NAME + 1)));
+        let f = reader(Vec::from(out)).read_frame().unwrap().unwrap();
+        assert_eq!(f.to_command(), Err(Status::BadVerb));
+        // truncated CreateIndex (domain cut short)
+        let bytes = vec![MAGIC, VERSION, 0x07, 0, 8, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8];
+        let f = reader(bytes).read_frame().unwrap().unwrap();
+        assert_eq!(f.to_command(), Err(Status::BadLength));
+        // an unknown flag bit must not be silently misread
+        let mut out = BytesMut::new();
+        encode_request(&mut out, &Request::Seal);
+        let mut bytes = Vec::from(out);
+        bytes[3] = 0x02;
+        let f = reader(bytes).read_frame().unwrap().unwrap();
+        assert_eq!(f.to_command(), Err(Status::BadVerb));
+        // the INDEXED flag demands at least the 4-byte prefix
+        let bytes = vec![MAGIC, VERSION, 0x04, FLAG_INDEXED, 2, 0, 0, 0, 9, 9];
+        let f = reader(bytes).read_frame().unwrap().unwrap();
+        assert_eq!(f.to_command(), Err(Status::BadLength));
+    }
+
+    #[test]
+    fn index_infos_roundtrip_through_info_frames() {
+        let entries = vec![
+            IndexInfo {
+                id: 0,
+                name: "default".into(),
+                lo: 0,
+                hi: 4_095,
+                len: 500,
+            },
+            IndexInfo {
+                id: 3,
+                name: "audit".into(),
+                lo: 100,
+                hi: 200,
+                len: 0,
+            },
+        ];
+        let mut out = BytesMut::new();
+        encode_index_infos(&mut out, &entries);
+        let mut rd = reader(Vec::from(out));
+        let mut got = Vec::new();
+        loop {
+            let f = rd.read_frame().unwrap().unwrap();
+            match f.kind {
+                Kind::Info => IndexInfo::parse_payload(&f.payload, &mut got).unwrap(),
+                Kind::End => {
+                    let mut p = f.payload;
+                    assert_eq!(Status::from_u8(p.get_u8()), Status::Ok);
+                    assert_eq!(p.get_u64_le(), 2);
+                    break;
+                }
+                k => panic!("unexpected kind {k:?}"),
+            }
+        }
+        assert_eq!(got, entries);
+        // a truncated entry is a recoverable decode error
+        let mut bad = Vec::new();
+        assert_eq!(
+            IndexInfo::parse_payload(&Bytes::from(vec![1, 0, 0]), &mut bad),
+            Err(Status::BadLength)
+        );
     }
 
     #[test]
@@ -579,6 +1118,8 @@ mod tests {
             Status::ReservedId,
             Status::SnapshotFailed,
             Status::Overloaded,
+            Status::UnknownIndex,
+            Status::BadVerb,
         ] {
             assert_eq!(Status::from_u8(s as u8), s);
         }

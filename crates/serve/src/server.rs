@@ -34,13 +34,14 @@
 //! point in the write sequence would produce.
 
 use crate::proto::{
-    encode_end, encode_snapshot_chunk, DecodeError, FrameReader, Reply, Request, Status,
+    encode_end, encode_index_infos, encode_results, encode_snapshot_chunk, Command, DecodeError,
+    FrameReader, IndexInfo, Reply, Request, Status,
 };
-use crate::sink::WireSink;
+use crate::sink::{Records, ServeSink, WireSink};
 use crate::transport::Transport;
-use bytes::BytesMut;
+use bytes::{BufMut, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use hint_core::{HintMSubs, MutableIndex, RangeQuery, Session};
+use hint_core::{Domain, HintMSubs, Interval, RangeQuery, Session, ShardedIndex, SubsConfig};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::io::{self, Write};
@@ -55,6 +56,20 @@ use std::time::{Duration, Instant};
 /// amortize frame headers, small enough to keep the writer thread's
 /// send granularity bounded).
 const SNAP_CHUNK: usize = 64 * 1024;
+
+/// (outer, inner) id pairs per streamed join `Results` frame (8 KiB).
+const PAIRS_PER_FRAME: usize = 512;
+
+/// Hard ceiling on histogram buckets per request, so a wire-controlled
+/// width cannot make the server allocate unboundedly.
+const MAX_HIST_BUCKETS: u128 = 1 << 16;
+
+/// Shard fan-out for indexes created over the wire.
+const CREATED_SHARDS: usize = 4;
+
+/// Default for the `HINT_MAX_INDEXES` knob: catalog capacity, counting
+/// live entries (index 0 included).
+const DEFAULT_MAX_INDEXES: usize = 16;
 
 /// Engine-side support for the wire `Snapshot`/`Restore` verbs.
 ///
@@ -188,8 +203,8 @@ type ConnId = u64;
 enum Op {
     /// A connection came up; its response bytes go to this channel.
     Conn(ConnId, Sender<Vec<u8>>),
-    /// A well-formed request.
-    Request(ConnId, Request),
+    /// A well-formed request with its catalog addressing.
+    Request(ConnId, Command),
     /// A malformed-but-framed request: answer with an error trailer,
     /// keep the connection.
     Invalid(ConnId, Status),
@@ -244,8 +259,8 @@ fn spawn_connection_with<T: Transport>(ops: &Sender<Op>, id: ConnId, transport: 
             let mut frames = FrameReader::new(reader);
             loop {
                 let op = match frames.read_frame() {
-                    Ok(Some(frame)) => match frame.to_request() {
-                        Ok(req) => Op::Request(id, req),
+                    Ok(Some(frame)) => match frame.to_command() {
+                        Ok(cmd) => Op::Request(id, cmd),
                         Err(status) => Op::Invalid(id, status),
                     },
                     Ok(None) => {
@@ -402,20 +417,28 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts the scheduler thread over `session` with the given
-    /// batching policy. Errors (thread spawn under resource exhaustion)
-    /// surface to the caller instead of panicking server bring-up.
-    pub fn start<I>(session: Session<I>, config: ServeConfig) -> io::Result<Server>
-    where
-        I: MutableIndex + Send + Sync + 'static,
-        Session<I>: SnapshotVerbs,
-    {
+    /// Starts the scheduler thread over `session`, which becomes
+    /// catalog index 0 ("default") with the given batching policy.
+    /// Errors (thread spawn under resource exhaustion, or a session
+    /// whose live set cannot be enumerated for the entry's record
+    /// table) surface to the caller instead of panicking bring-up.
+    pub fn start(mut session: Session<HintMSubs>, config: ServeConfig) -> io::Result<Server> {
+        // the entry's id → interval table: what Allen refinement and
+        // the aggregation sinks resolve endpoints through, maintained
+        // incrementally by every write from here on
+        let records: Records = Arc::new(
+            session
+                .live_intervals()?
+                .into_iter()
+                .map(|s| (s.id, s))
+                .collect(),
+        );
         let (ops_tx, ops_rx) = unbounded();
         let stats = Arc::new(RwLock::new(BatchStats::default()));
         let scheduler_stats = Arc::clone(&stats);
         let scheduler = std::thread::Builder::new()
             .name("serve-scheduler".into())
-            .spawn(move || Scheduler::new(session, config, scheduler_stats).run(ops_rx))?;
+            .spawn(move || Scheduler::new(session, records, config, scheduler_stats).run(ops_rx))?;
         Ok(Server {
             ops: ops_tx,
             scheduler: Some(scheduler),
@@ -513,28 +536,227 @@ impl Drop for Server {
     }
 }
 
-/// The scheduler: owns the session and the pending batch.
-struct Scheduler<I: MutableIndex + Send + Sync + 'static> {
-    session: Session<I>,
+/// One named index in the catalog: its engine plus the record table
+/// the relation/aggregation sinks resolve endpoints through.
+struct CatalogEntry {
+    name: String,
+    session: Session<HintMSubs>,
+    records: Records,
+}
+
+/// The scheduler's catalog of named indexes. Slot position is the wire
+/// index id; dropped slots stay `None` forever so ids are never reused.
+struct Catalog {
+    entries: Vec<Option<CatalogEntry>>,
+    by_name: HashMap<String, u32>,
+    /// Live-entry capacity (the `HINT_MAX_INDEXES` knob).
+    max: usize,
+}
+
+impl Catalog {
+    fn new(default: CatalogEntry, max: usize) -> Self {
+        let by_name = HashMap::from([(default.name.clone(), 0u32)]);
+        Self {
+            entries: vec![Some(default)],
+            by_name,
+            max,
+        }
+    }
+
+    fn get(&self, id: u32) -> Option<&CatalogEntry> {
+        self.entries.get(id as usize)?.as_ref()
+    }
+
+    fn get_mut(&mut self, id: u32) -> Option<&mut CatalogEntry> {
+        self.entries.get_mut(id as usize)?.as_mut()
+    }
+
+    fn live(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
+    fn create(&mut self, name: String, lo: u64, hi: u64) -> Result<u32, Status> {
+        if self.by_name.contains_key(&name) {
+            return Err(Status::BadVerb); // duplicate name
+        }
+        if self.live() >= self.max {
+            return Err(Status::Overloaded);
+        }
+        // hierarchy depth from the domain's span, capped like the
+        // hand-built sessions in this workspace
+        let span = (hi - lo) as u128 + 1;
+        let mut m = 1u32;
+        while (1u128 << m) < span && m < 9 {
+            m += 1;
+        }
+        let sharded = ShardedIndex::build_with_domain(&[], lo, hi, CREATED_SHARDS, |s, l, h| {
+            HintMSubs::build_with_domain(s, Domain::new(l, h, m), SubsConfig::update_friendly())
+        });
+        let id = self.entries.len() as u32;
+        self.by_name.insert(name.clone(), id);
+        self.entries.push(Some(CatalogEntry {
+            name,
+            session: Session::new(sharded),
+            records: Arc::new(HashMap::new()),
+        }));
+        Ok(id)
+    }
+
+    /// Drops a named entry, returning its id. Index 0 is undropable.
+    fn drop_named(&mut self, name: &str) -> Result<u32, Status> {
+        let id = *self.by_name.get(name).ok_or(Status::UnknownIndex)?;
+        if id == 0 {
+            return Err(Status::BadVerb);
+        }
+        self.by_name.remove(name);
+        self.entries[id as usize] = None;
+        Ok(id)
+    }
+
+    fn infos(&self) -> Vec<IndexInfo> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| {
+                slot.as_ref().map(|e| {
+                    let (lo, hi) = e.session.domain();
+                    IndexInfo {
+                        id: id as u32,
+                        name: e.name.clone(),
+                        lo,
+                        hi,
+                        len: e.session.len() as u64,
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
+/// Per-connection scheduler state.
+struct ConnState {
+    tx: Sender<Vec<u8>>,
+    /// Where un-addressed verbs go; index 0 until a `UseIndex`.
+    default_index: u32,
+}
+
+/// One queued walk-driven request.
+struct Pending {
+    conn: ConnId,
+    entry: u32,
+    /// The range the level walk runs (`None`: the answer is already
+    /// known to be empty, the slot only holds FIFO position).
+    probe: Option<RangeQuery>,
+    sink: ServeSink,
+}
+
+/// Streams (outer, inner) join pairs to one connection as they are
+/// found, cutting a `Results` frame every [`PAIRS_PER_FRAME`] pairs.
+/// A send failure (the peer is gone) saturates the sink, aborting both
+/// the inner walks and the outer loop — backpressure by disconnect.
+struct JoinStream {
+    outer: u64,
+    buf: BytesMut,
+    pairs: u64,
+    tx: Option<Sender<Vec<u8>>>,
+    dead: bool,
+}
+
+impl JoinStream {
+    fn new(tx: Option<Sender<Vec<u8>>>) -> Self {
+        Self {
+            outer: 0,
+            buf: BytesMut::new(),
+            pairs: 0,
+            tx,
+            dead: false,
+        }
+    }
+
+    fn ship(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut out = BytesMut::new();
+        encode_results(&mut out, self.buf.as_slice());
+        self.buf.clear();
+        match &self.tx {
+            Some(tx) => {
+                if tx.send(Vec::from(out)).is_err() {
+                    self.dead = true;
+                }
+            }
+            None => self.dead = true,
+        }
+    }
+
+    /// Flushes the partial frame and sends the trailer.
+    fn finish(mut self) {
+        self.ship();
+        let mut out = BytesMut::new();
+        encode_end(
+            &mut out,
+            Reply {
+                status: Status::Ok,
+                count: self.pairs,
+            },
+        );
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(Vec::from(out));
+        }
+    }
+}
+
+impl hint_core::QuerySink for JoinStream {
+    fn emit(&mut self, inner: u64) {
+        self.buf.put_u64_le(self.outer);
+        self.buf.put_u64_le(inner);
+        self.pairs += 1;
+        if self.buf.len() >= PAIRS_PER_FRAME * 16 {
+            self.ship();
+        }
+    }
+
+    fn is_saturated(&self) -> bool {
+        self.dead
+    }
+}
+
+/// The scheduler: owns the catalog and the pending queue.
+struct Scheduler {
+    catalog: Catalog,
     config: ServeConfig,
-    conns: HashMap<ConnId, Sender<Vec<u8>>>,
-    /// The open batch, in arrival order (which is also per-connection
-    /// request order).
-    pending: Vec<(ConnId, RangeQuery)>,
+    conns: HashMap<ConnId, ConnState>,
+    /// Queued walk-driven requests in global arrival order (which
+    /// restricts to per-connection request order).
+    pending: Vec<Pending>,
     /// When the open batch must flush (set when its first query
     /// arrives).
     deadline: Instant,
     stats: Arc<RwLock<BatchStats>>,
 }
 
-impl<I: MutableIndex + Send + Sync + 'static> Scheduler<I>
-where
-    Session<I>: SnapshotVerbs,
-{
-    fn new(session: Session<I>, config: ServeConfig, stats: Arc<RwLock<BatchStats>>) -> Self {
+impl Scheduler {
+    fn new(
+        session: Session<HintMSubs>,
+        records: Records,
+        config: ServeConfig,
+        stats: Arc<RwLock<BatchStats>>,
+    ) -> Self {
         stats.write().read_replicas = session.read_replicas() as u64;
-        Self {
+        let max = hint_core::env::var_or(
+            "HINT_MAX_INDEXES",
+            DEFAULT_MAX_INDEXES,
+            "must be >= 1",
+            |&n: &usize| n >= 1,
+        );
+        let default = CatalogEntry {
+            name: "default".to_string(),
             session,
+            records,
+        };
+        Self {
+            catalog: Catalog::new(default, max),
             config: ServeConfig {
                 max_batch: config.max_batch.max(1),
                 ..config
@@ -569,187 +791,507 @@ where
                 match ops.recv_timeout(wait) {
                     Ok(op) => op,
                     Err(RecvTimeoutError::Timeout) => {
-                        self.flush();
+                        self.flush_all();
                         continue;
                     }
                     Err(RecvTimeoutError::Disconnected) => {
-                        self.flush();
+                        self.flush_all();
                         return;
                     }
                 }
             };
             match op {
                 Op::Conn(id, tx) => {
-                    self.conns.insert(id, tx);
-                }
-                Op::Request(id, Request::Query(q)) => {
-                    if self.pending.is_empty() {
-                        self.deadline = Instant::now() + self.config.max_delay;
-                    }
-                    self.pending.push((id, q));
-                    if self.pending.len() >= self.config.max_batch {
-                        self.flush();
-                    }
-                }
-                Op::Request(id, Request::Insert(s)) => {
-                    // writes are barriers: earlier queries see the
-                    // pre-write index, later ones the post-write index
-                    self.flush();
-                    self.stats.write().writes += 1;
-                    let reply = match self.session.try_insert(s) {
-                        Ok(()) => Reply {
-                            status: Status::Ok,
-                            count: 1,
-                        },
-                        Err(hint_core::WriteError::ReservedId) => Reply {
-                            status: Status::ReservedId,
-                            count: 0,
-                        },
-                        Err(hint_core::WriteError::OutOfDomain { .. }) => Reply {
-                            status: Status::OutOfDomain,
-                            count: 0,
-                        },
-                    };
-                    self.send_end(id, reply);
-                }
-                Op::Request(id, Request::Delete(s)) => {
-                    self.flush();
-                    self.stats.write().writes += 1;
-                    let found = self.session.delete(&s);
-                    self.send_end(
+                    self.conns.insert(
                         id,
-                        Reply {
-                            status: Status::Ok,
-                            count: u64::from(found),
+                        ConnState {
+                            tx,
+                            default_index: 0,
                         },
                     );
                 }
-                Op::Request(id, Request::Seal) => {
-                    self.flush();
-                    self.stats.write().writes += 1;
-                    let resealed = self.session.seal_if_dirty();
-                    self.note_retunes();
-                    self.send_end(
-                        id,
-                        Reply {
-                            status: Status::Ok,
-                            count: u64::from(resealed),
-                        },
-                    );
-                }
-                Op::Request(id, Request::Snapshot(path)) => {
-                    // snapshots are write barriers too: the bytes must
-                    // reflect every request answered before this one
-                    self.flush();
-                    self.stats.write().writes += 1;
-                    match path {
-                        None => match self.session.snapshot_bytes() {
-                            Ok(bytes) => self.stream_snapshot(id, &bytes),
-                            Err(_) => self.send_end(
-                                id,
-                                Reply {
-                                    status: Status::SnapshotFailed,
-                                    count: 0,
-                                },
-                            ),
-                        },
-                        Some(p) => {
-                            let reply = match self.session.snapshot_save(Path::new(&p)) {
-                                Ok(bytes) => Reply {
-                                    status: Status::Ok,
-                                    count: bytes,
-                                },
-                                Err(_) => Reply {
-                                    status: Status::SnapshotFailed,
-                                    count: 0,
-                                },
-                            };
-                            self.send_end(id, reply);
-                        }
-                    }
-                }
-                Op::Request(id, Request::Restore(p)) => {
-                    self.flush();
-                    self.stats.write().writes += 1;
-                    let reply = match self.session.restore_from(Path::new(&p)) {
-                        Ok(live) => Reply {
-                            status: Status::Ok,
-                            count: live,
-                        },
-                        // the served index is unchanged on failure
-                        Err(_) => Reply {
-                            status: Status::SnapshotFailed,
-                            count: 0,
-                        },
-                    };
-                    self.send_end(id, reply);
-                }
+                Op::Request(id, cmd) => self.handle(id, cmd),
                 Op::Invalid(id, status) => {
-                    // flush first so the error trailer lands in this
-                    // connection's FIFO position
-                    self.flush();
+                    // flush this connection first so the error trailer
+                    // lands in its FIFO position
+                    self.flush_conn(id);
                     self.send_end(id, Reply { status, count: 0 });
                 }
                 Op::Fatal(id, status) => {
-                    self.flush();
+                    self.flush_conn(id);
                     self.send_end(id, Reply { status, count: 0 });
                     self.conns.remove(&id); // writer drains, then exits
                 }
                 Op::Disconnect(id) => {
                     // the peer is gone but its queued queries may share
                     // a batch with live connections; execute, then drop
-                    self.flush();
+                    self.flush_all();
                     self.conns.remove(&id);
                 }
                 Op::Stop => {
-                    self.flush();
+                    self.flush_all();
                     return;
                 }
             }
         }
     }
 
-    /// Executes the pending batch through one merged walk and
-    /// demultiplexes each query's encoded results to its connection.
-    fn flush(&mut self) {
-        if self.pending.is_empty() {
-            return;
-        }
-        let queries: Vec<RangeQuery> = self.pending.iter().map(|&(_, q)| q).collect();
-        let mut sinks: Vec<WireSink> = queries.iter().map(|_| WireSink::new()).collect();
-        self.session.query_batch_merge(&queries, &mut sinks);
-        {
-            let pool = self.session.pool().stats();
-            let mut stats = self.stats.write();
-            stats.batches += 1;
-            stats.queries += queries.len() as u64;
-            stats.largest_batch = stats.largest_batch.max(queries.len());
-            // mirror the pool's epoch-read counters (same pattern as
-            // `note_retunes`: the pool owns the running total)
-            stats.replica_reads = pool.epoch_reads + pool.replica_dispatched;
-        }
-        for ((conn, _), sink) in self.pending.drain(..).zip(sinks) {
-            let mut out = BytesMut::new();
-            sink.into_frames(&mut out);
-            if let Some(tx) = self.conns.get(&conn) {
-                let _ = tx.send(Vec::from(out));
+    /// Dispatches one decoded request. Catalog verbs act immediately
+    /// (after flushing what per-connection FIFO demands); walk-driven
+    /// verbs enqueue; writes barrier their own index — and only it —
+    /// so writes to one index never stall reads on another.
+    fn handle(&mut self, conn: ConnId, cmd: Command) {
+        let eid = cmd
+            .index
+            .unwrap_or_else(|| self.conns.get(&conn).map_or(0, |c| c.default_index));
+        match cmd.verb {
+            // ---- catalog management -------------------------------
+            Request::CreateIndex { name, lo, hi } => {
+                self.flush_conn(conn);
+                let reply = match self.catalog.create(name, lo, hi) {
+                    Ok(id) => Reply {
+                        status: Status::Ok,
+                        count: id as u64,
+                    },
+                    Err(status) => Reply { status, count: 0 },
+                };
+                self.send_end(conn, reply);
+            }
+            Request::DropIndex(name) => {
+                // answer the dropped index's queued work before it goes
+                let target = self.catalog.by_name.get(&name).copied();
+                match target {
+                    Some(id) if id != 0 => self.flush_where(&[id], Some(conn)),
+                    _ => self.flush_conn(conn),
+                }
+                let reply = match self.catalog.drop_named(&name) {
+                    Ok(id) => Reply {
+                        status: Status::Ok,
+                        count: id as u64,
+                    },
+                    Err(status) => Reply { status, count: 0 },
+                };
+                self.send_end(conn, reply);
+            }
+            Request::ListIndexes => {
+                self.flush_conn(conn);
+                let mut out = BytesMut::new();
+                encode_index_infos(&mut out, &self.catalog.infos());
+                self.send_bytes(conn, out);
+            }
+            Request::UseIndex(name) => {
+                self.flush_conn(conn);
+                let reply = match self.catalog.by_name.get(&name).copied() {
+                    Some(id) => {
+                        if let Some(c) = self.conns.get_mut(&conn) {
+                            c.default_index = id;
+                        }
+                        Reply {
+                            status: Status::Ok,
+                            count: id as u64,
+                        }
+                    }
+                    None => Reply {
+                        status: Status::UnknownIndex,
+                        count: 0,
+                    },
+                };
+                self.send_end(conn, reply);
+            }
+            // ---- walk-driven reads --------------------------------
+            Request::Query(q) => match self.catalog.get(eid) {
+                Some(_) => self.enqueue(conn, eid, Some(q), ServeSink::range()),
+                None => self.reject(conn, Status::UnknownIndex),
+            },
+            Request::Allen { rel, q } => match self.catalog.get(eid) {
+                Some(entry) => {
+                    let (lo, hi) = entry.session.domain();
+                    // the probe is a minimal superset; the sink-level
+                    // relation filter refines it to the exact answer
+                    match rel.probe(q, lo, hi) {
+                        Some(p) => {
+                            let sink = ServeSink::allen(rel, q, Arc::clone(&entry.records));
+                            self.enqueue(conn, eid, Some(p), sink);
+                        }
+                        // provably empty, but the slot keeps FIFO order
+                        None => self.enqueue(conn, eid, None, ServeSink::Empty),
+                    }
+                }
+                None => self.reject(conn, Status::UnknownIndex),
+            },
+            Request::TopK { k, q } => match self.catalog.get(eid) {
+                Some(entry) => {
+                    let sink = ServeSink::top_k(k as usize, Arc::clone(&entry.records));
+                    self.enqueue(conn, eid, Some(q), sink);
+                }
+                None => self.reject(conn, Status::UnknownIndex),
+            },
+            Request::Histogram { width, q } => match self.catalog.get(eid) {
+                Some(entry) => {
+                    let buckets = ((q.end - q.st) as u128 + 1).div_ceil(width as u128);
+                    if buckets > MAX_HIST_BUCKETS {
+                        self.reject(conn, Status::BadVerb);
+                        return;
+                    }
+                    let sink = ServeSink::histogram(q, width, Arc::clone(&entry.records));
+                    self.enqueue(conn, eid, Some(q), sink);
+                }
+                None => self.reject(conn, Status::UnknownIndex),
+            },
+            Request::Join { inner, q } => self.join(conn, eid, inner, q),
+            // ---- writes (per-index barriers) ----------------------
+            Request::Insert(s) => {
+                if self.catalog.get(eid).is_none() {
+                    self.reject(conn, Status::UnknownIndex);
+                    return;
+                }
+                self.flush_where(&[eid], Some(conn));
+                self.stats.write().writes += 1;
+                let entry = self.catalog.get_mut(eid).expect("checked above");
+                let reply = match entry.session.try_insert(s) {
+                    Ok(()) => {
+                        Arc::make_mut(&mut entry.records).insert(s.id, s);
+                        Reply {
+                            status: Status::Ok,
+                            count: 1,
+                        }
+                    }
+                    Err(hint_core::WriteError::ReservedId) => Reply {
+                        status: Status::ReservedId,
+                        count: 0,
+                    },
+                    Err(hint_core::WriteError::OutOfDomain { .. }) => Reply {
+                        status: Status::OutOfDomain,
+                        count: 0,
+                    },
+                };
+                self.send_end(conn, reply);
+            }
+            Request::Delete(s) => {
+                if self.catalog.get(eid).is_none() {
+                    self.reject(conn, Status::UnknownIndex);
+                    return;
+                }
+                self.flush_where(&[eid], Some(conn));
+                self.stats.write().writes += 1;
+                let entry = self.catalog.get_mut(eid).expect("checked above");
+                let found = entry.session.delete(&s);
+                if found {
+                    Arc::make_mut(&mut entry.records).remove(&s.id);
+                }
+                self.send_end(
+                    conn,
+                    Reply {
+                        status: Status::Ok,
+                        count: u64::from(found),
+                    },
+                );
+            }
+            Request::Seal => {
+                if self.catalog.get(eid).is_none() {
+                    self.reject(conn, Status::UnknownIndex);
+                    return;
+                }
+                self.flush_where(&[eid], Some(conn));
+                self.stats.write().writes += 1;
+                let entry = self.catalog.get_mut(eid).expect("checked above");
+                let resealed = entry.session.seal_if_dirty();
+                self.note_retunes();
+                self.send_end(
+                    conn,
+                    Reply {
+                        status: Status::Ok,
+                        count: u64::from(resealed),
+                    },
+                );
+            }
+            Request::Snapshot(path) => {
+                if self.catalog.get(eid).is_none() {
+                    self.reject(conn, Status::UnknownIndex);
+                    return;
+                }
+                // snapshots are write barriers too: the bytes must
+                // reflect every request answered before this one
+                self.flush_where(&[eid], Some(conn));
+                self.stats.write().writes += 1;
+                let entry = self.catalog.get_mut(eid).expect("checked above");
+                match path {
+                    None => match entry.session.snapshot_bytes() {
+                        Ok(bytes) => self.stream_snapshot(conn, &bytes),
+                        Err(_) => self.send_end(
+                            conn,
+                            Reply {
+                                status: Status::SnapshotFailed,
+                                count: 0,
+                            },
+                        ),
+                    },
+                    Some(p) => {
+                        let reply = match entry.session.snapshot_save(Path::new(&p)) {
+                            Ok(bytes) => Reply {
+                                status: Status::Ok,
+                                count: bytes,
+                            },
+                            Err(_) => Reply {
+                                status: Status::SnapshotFailed,
+                                count: 0,
+                            },
+                        };
+                        self.send_end(conn, reply);
+                    }
+                }
+            }
+            Request::Restore(p) => {
+                if self.catalog.get(eid).is_none() {
+                    self.reject(conn, Status::UnknownIndex);
+                    return;
+                }
+                self.flush_where(&[eid], Some(conn));
+                self.stats.write().writes += 1;
+                // restore into a twin first: the served index (and its
+                // record table) only swap on full success
+                let reply = match Session::<HintMSubs>::restore(Path::new(&p))
+                    .map_err(|e| e.to_string())
+                    .and_then(|mut fresh| {
+                        let live = fresh.live_intervals().map_err(|e| e.to_string())?;
+                        Ok((fresh, live))
+                    }) {
+                    Ok((fresh, live)) => {
+                        let count = fresh.len() as u64;
+                        let entry = self.catalog.get_mut(eid).expect("checked above");
+                        entry.session = fresh;
+                        entry.records = Arc::new(live.into_iter().map(|s| (s.id, s)).collect());
+                        Reply {
+                            status: Status::Ok,
+                            count,
+                        }
+                    }
+                    // the served index is unchanged on failure
+                    Err(_) => Reply {
+                        status: Status::SnapshotFailed,
+                        count: 0,
+                    },
+                };
+                self.send_end(conn, reply);
             }
         }
     }
 
+    /// Queues a walk-driven request, flushing everything when the batch
+    /// bound is hit.
+    fn enqueue(&mut self, conn: ConnId, entry: u32, probe: Option<RangeQuery>, sink: ServeSink) {
+        if self.pending.is_empty() {
+            self.deadline = Instant::now() + self.config.max_delay;
+        }
+        self.pending.push(Pending {
+            conn,
+            entry,
+            probe,
+            sink,
+        });
+        if self.pending.len() >= self.config.max_batch {
+            self.flush_all();
+        }
+    }
+
+    /// Answers a request with an error trailer in FIFO position.
+    fn reject(&mut self, conn: ConnId, status: Status) {
+        self.flush_conn(conn);
+        self.send_end(conn, Reply { status, count: 0 });
+    }
+
+    /// Executes the streamed interval join: for every record of the
+    /// outer index overlapping the window (ascending id), the inner
+    /// index is probed with the record clipped to the window, and each
+    /// (outer, inner) pair streams to the requesting connection.
+    fn join(&mut self, conn: ConnId, outer: u32, inner: u32, q: RangeQuery) {
+        if self.catalog.get(outer).is_none() || self.catalog.get(inner).is_none() {
+            self.reject(conn, Status::UnknownIndex);
+            return;
+        }
+        // a join is a read barrier on both sides plus this connection
+        self.flush_where(&[outer, inner], Some(conn));
+        let outer_records = Arc::clone(&self.catalog.get(outer).expect("checked above").records);
+        let mut rows: Vec<Interval> = outer_records
+            .values()
+            .filter(|s| s.st <= q.end && s.end >= q.st)
+            .copied()
+            .collect();
+        rows.sort_unstable_by_key(|s| s.id);
+        let inner_session = &self.catalog.get(inner).expect("checked above").session;
+        let mut stream = JoinStream::new(self.conns.get(&conn).map(|c| c.tx.clone()));
+        for o in rows {
+            if stream.dead {
+                break;
+            }
+            stream.outer = o.id;
+            let clip = RangeQuery::new(o.st.max(q.st), o.end.min(q.end));
+            inner_session.query_sink(clip, &mut stream);
+        }
+        stream.finish();
+    }
+
+    /// Flushes every queued request.
+    fn flush_all(&mut self) {
+        let items = std::mem::take(&mut self.pending);
+        self.execute(items);
+    }
+
+    /// Flushes one connection's queued requests (all indexes).
+    fn flush_conn(&mut self, conn: ConnId) {
+        self.flush_where(&[], Some(conn));
+    }
+
+    /// Selective flush: executes every queued request on the given
+    /// indexes or from the given connection — plus, for each connection
+    /// that loses an item, every *earlier* item it has queued, so
+    /// per-connection reply order stays FIFO. Requests on untouched
+    /// indexes from untouched connections stay queued: this is what
+    /// lets a write barrier one index without stalling the others.
+    fn flush_where(&mut self, entries: &[u32], conn: Option<ConnId>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        // last selected position per connection (prefix closure)
+        let mut latest: HashMap<ConnId, usize> = HashMap::new();
+        for (i, p) in self.pending.iter().enumerate() {
+            if entries.contains(&p.entry) || conn == Some(p.conn) {
+                latest.insert(p.conn, i);
+            }
+        }
+        if latest.is_empty() {
+            return;
+        }
+        let mut selected = Vec::new();
+        let mut rest = Vec::new();
+        for (i, p) in std::mem::take(&mut self.pending).into_iter().enumerate() {
+            if latest.get(&p.conn).is_some_and(|&last| i <= last) {
+                selected.push(p);
+            } else {
+                rest.push(p);
+            }
+        }
+        self.pending = rest;
+        self.execute(selected);
+    }
+
+    /// Executes a flushed set: one merged walk per addressed index,
+    /// then every reply sent in arrival order.
+    fn execute(&mut self, mut items: Vec<Pending>) {
+        if items.is_empty() {
+            return;
+        }
+        // group walk work per entry, preserving arrival order within
+        let mut by_entry: Vec<(u32, Vec<usize>)> = Vec::new();
+        for (i, p) in items.iter().enumerate() {
+            if p.probe.is_none() {
+                continue;
+            }
+            match by_entry.iter_mut().find(|(e, _)| *e == p.entry) {
+                Some((_, v)) => v.push(i),
+                None => by_entry.push((p.entry, vec![i])),
+            }
+        }
+        let mut ran = 0u64;
+        let mut total = 0u64;
+        let mut largest = 0usize;
+        for (entry, idxs) in &by_entry {
+            // DropIndex flushes its entry before removal, so a queued
+            // item's entry is always live here; guard anyway — a
+            // missing entry just leaves its sinks empty
+            let Some(e) = self.catalog.get(*entry) else {
+                continue;
+            };
+            let queries: Vec<RangeQuery> = idxs
+                .iter()
+                .map(|&i| items[i].probe.expect("grouped on Some"))
+                .collect();
+            // plain range scans (every legacy verb) walk the merge
+            // path monomorphized over `WireSink` directly — the enum
+            // dispatch is measurable in the per-id emit loops, so only
+            // mixed batches (Allen/top-k/histogram present) pay for it
+            if idxs
+                .iter()
+                .all(|&i| matches!(items[i].sink, ServeSink::Range(_)))
+            {
+                let mut sinks: Vec<WireSink> = idxs
+                    .iter()
+                    .map(
+                        |&i| match std::mem::replace(&mut items[i].sink, ServeSink::Empty) {
+                            ServeSink::Range(w) => w,
+                            _ => unreachable!("filtered on Range"),
+                        },
+                    )
+                    .collect();
+                e.session.query_batch_merge(&queries, &mut sinks);
+                for (&i, sink) in idxs.iter().zip(sinks) {
+                    items[i].sink = ServeSink::Range(sink);
+                }
+            } else {
+                let mut sinks: Vec<ServeSink> = idxs
+                    .iter()
+                    .map(|&i| std::mem::replace(&mut items[i].sink, ServeSink::Empty))
+                    .collect();
+                e.session.query_batch_merge(&queries, &mut sinks);
+                for (&i, sink) in idxs.iter().zip(sinks) {
+                    items[i].sink = sink;
+                }
+            }
+            ran += 1;
+            total += queries.len() as u64;
+            largest = largest.max(queries.len());
+        }
+        if ran > 0 {
+            // mirror the pools' epoch-read counters (the pools own the
+            // running totals; sum across catalog entries)
+            let replica_reads: u64 = self
+                .catalog
+                .entries
+                .iter()
+                .flatten()
+                .map(|e| {
+                    let pool = e.session.pool().stats();
+                    pool.epoch_reads + pool.replica_dispatched
+                })
+                .sum();
+            let mut stats = self.stats.write();
+            stats.batches += ran;
+            stats.queries += total;
+            stats.largest_batch = stats.largest_batch.max(largest);
+            stats.replica_reads = replica_reads;
+        }
+        for p in items {
+            let mut out = BytesMut::new();
+            p.sink.into_reply(&mut out);
+            self.send_bytes(p.conn, out);
+        }
+    }
+
     /// The between-batches hook: reseal (and re-tune) dirty shards when
-    /// the request stream is idle and the session's policy allows it.
+    /// the request stream is idle and each session's policy allows it.
     fn maybe_reseal_idle(&mut self) {
-        if self.session.reseal_idle() {
-            self.stats.write().idle_reseals += 1;
+        let mut any = false;
+        for entry in self.catalog.entries.iter_mut().flatten() {
+            if entry.session.reseal_idle() {
+                self.stats.write().idle_reseals += 1;
+                any = true;
+            }
+        }
+        if any {
             self.note_retunes();
         }
     }
 
-    /// Mirrors the session's completed re-tune count into the served
+    /// Mirrors the sessions' completed re-tune counts into the served
     /// stats snapshot.
     fn note_retunes(&mut self) {
-        let total = self.session.retunes().len() as u64;
+        let total: u64 = self
+            .catalog
+            .entries
+            .iter()
+            .flatten()
+            .map(|e| e.session.retunes().len() as u64)
+            .sum();
         self.stats.write().retunes = total;
     }
 
@@ -768,16 +1310,18 @@ where
                 count: bytes.len() as u64,
             },
         );
-        if let Some(tx) = self.conns.get(&conn) {
-            let _ = tx.send(Vec::from(out));
-        }
+        self.send_bytes(conn, out);
     }
 
     fn send_end(&self, conn: ConnId, reply: Reply) {
         let mut out = BytesMut::new();
         encode_end(&mut out, reply);
-        if let Some(tx) = self.conns.get(&conn) {
-            let _ = tx.send(Vec::from(out));
+        self.send_bytes(conn, out);
+    }
+
+    fn send_bytes(&self, conn: ConnId, out: BytesMut) {
+        if let Some(c) = self.conns.get(&conn) {
+            let _ = c.tx.send(Vec::from(out));
         }
     }
 }

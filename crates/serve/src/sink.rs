@@ -17,7 +17,18 @@
 
 use crate::proto::{encode_end, encode_results, Reply, Status, RESULTS_PER_FRAME};
 use bytes::{BufMut, BytesMut};
-use hint_core::{ArenaRun, IntervalId, MergeableSink, QuerySink};
+use hint_core::{
+    ArenaRun, BucketHistogram, Interval, IntervalId, MergeableSink, QuerySink, RangeQuery,
+    RelationFilter, TopKByDuration,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The scheduler's shared id → interval table for one catalog entry:
+/// what lets relation filters and aggregation sinks resolve endpoints
+/// from the bare ids the walk emits. `Arc`-shared so every fork of a
+/// sink (one per shard) reads the same table without copying it.
+pub type Records = Arc<HashMap<IntervalId, Interval>>;
 
 /// One run of a query's results, in emission order.
 #[derive(Debug)]
@@ -182,6 +193,175 @@ impl MergeableSink for WireSink {
 
     fn result_count(&self) -> Option<usize> {
         Some(self.count as usize)
+    }
+}
+
+/// The scheduler's per-request sink: one value type covering every
+/// walk-driven verb so a single mixed batch per catalog entry flows
+/// through one [`query_batch_merge`](hint_core::Session::query_batch_merge)
+/// call — plain range queries next to Allen refinements next to top-k
+/// and histogram aggregations, each forked across shards and merged
+/// back by its own [`MergeableSink`] discipline.
+#[derive(Debug)]
+pub enum ServeSink {
+    /// A plain range query, encoding ids straight to wire form.
+    Range(WireSink),
+    /// An Allen-relation query: the minimal-superset probe's candidates
+    /// refined against the entry's record table before encoding.
+    Allen(RelationFilter<Records, WireSink>),
+    /// Top-k by duration over the window.
+    TopK(TopKByDuration<Records>),
+    /// Per-bucket overlap counts over the window.
+    Hist(BucketHistogram<Records>),
+    /// A request already known to have an empty answer (an Allen
+    /// relation whose probe is empty); holds the response slot so the
+    /// reply still lands in FIFO position.
+    Empty,
+}
+
+impl ServeSink {
+    /// A plain range-query sink.
+    pub fn range() -> Self {
+        ServeSink::Range(WireSink::new())
+    }
+
+    /// An Allen refinement sink over the entry's record table.
+    pub fn allen(rel: hint_core::AllenRelation, q: RangeQuery, records: Records) -> Self {
+        ServeSink::Allen(RelationFilter::new(rel, q, records, WireSink::new()))
+    }
+
+    /// A top-k-by-duration sink over the entry's record table.
+    pub fn top_k(k: usize, records: Records) -> Self {
+        ServeSink::TopK(TopKByDuration::new(k, records))
+    }
+
+    /// A bucket-histogram sink anchored at the window start.
+    pub fn histogram(q: RangeQuery, width: u64, records: Records) -> Self {
+        ServeSink::Hist(BucketHistogram::for_query(q, width, records))
+    }
+
+    /// Consumes the sink into its reply frames: result chunks (ids for
+    /// range/Allen/top-k, `u64` bucket counts for histograms) and the
+    /// `Ok` trailer.
+    pub fn into_reply(self, out: &mut BytesMut) {
+        match self {
+            ServeSink::Range(w) => w.into_frames(out),
+            ServeSink::Allen(f) => f.into_inner().into_frames(out),
+            ServeSink::TopK(t) => {
+                let mut w = WireSink::new();
+                w.emit_slice(&t.into_ids());
+                w.into_frames(out);
+            }
+            ServeSink::Hist(h) => {
+                let mut w = WireSink::new();
+                w.emit_slice(&h.into_counts());
+                w.into_frames(out);
+            }
+            ServeSink::Empty => encode_end(
+                out,
+                Reply {
+                    status: Status::Ok,
+                    count: 0,
+                },
+            ),
+        }
+    }
+}
+
+impl QuerySink for ServeSink {
+    #[inline]
+    fn emit(&mut self, id: IntervalId) {
+        match self {
+            ServeSink::Range(s) => s.emit(id),
+            ServeSink::Allen(s) => s.emit(id),
+            ServeSink::TopK(s) => s.emit(id),
+            ServeSink::Hist(s) => s.emit(id),
+            ServeSink::Empty => {}
+        }
+    }
+
+    #[inline]
+    fn emit_slice(&mut self, ids: &[IntervalId]) {
+        match self {
+            ServeSink::Range(s) => s.emit_slice(ids),
+            ServeSink::Allen(s) => s.emit_slice(ids),
+            ServeSink::TopK(s) => s.emit_slice(ids),
+            ServeSink::Hist(s) => s.emit_slice(ids),
+            ServeSink::Empty => {}
+        }
+    }
+
+    #[inline]
+    fn is_saturated(&self) -> bool {
+        match self {
+            ServeSink::Range(s) => s.is_saturated(),
+            ServeSink::Allen(s) => s.is_saturated(),
+            ServeSink::TopK(s) => s.is_saturated(),
+            ServeSink::Hist(s) => s.is_saturated(),
+            ServeSink::Empty => true,
+        }
+    }
+
+    fn wants_arenas(&self) -> bool {
+        // only the plain range path can adopt arena runs wholesale; the
+        // refining/aggregating variants inspect every id anyway
+        matches!(self, ServeSink::Range(_))
+    }
+
+    fn emit_arena(&mut self, run: &ArenaRun) {
+        match self {
+            ServeSink::Range(s) => s.emit_arena(run),
+            other => other.emit_slice(run.as_slice()),
+        }
+    }
+}
+
+impl MergeableSink for ServeSink {
+    fn fork(&self) -> Self {
+        match self {
+            ServeSink::Range(s) => ServeSink::Range(s.fork()),
+            ServeSink::Allen(s) => ServeSink::Allen(s.fork()),
+            ServeSink::TopK(s) => ServeSink::TopK(s.fork()),
+            ServeSink::Hist(s) => ServeSink::Hist(s.fork()),
+            ServeSink::Empty => ServeSink::Empty,
+        }
+    }
+
+    fn fork_sized(&self, cap: usize) -> Self {
+        match self {
+            ServeSink::Range(s) => ServeSink::Range(s.fork_sized(cap)),
+            other => other.fork(),
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        // forks always come back as the parent's variant
+        match (self, other) {
+            (ServeSink::Range(a), ServeSink::Range(b)) => a.merge(b),
+            (ServeSink::Allen(a), ServeSink::Allen(b)) => a.merge(b),
+            (ServeSink::TopK(a), ServeSink::TopK(b)) => a.merge(b),
+            (ServeSink::Hist(a), ServeSink::Hist(b)) => a.merge(b),
+            (ServeSink::Empty, ServeSink::Empty) => {}
+            _ => unreachable!("merge of mismatched ServeSink variants"),
+        }
+    }
+
+    fn is_bounded(&self) -> bool {
+        match self {
+            ServeSink::Range(s) => s.is_bounded(),
+            ServeSink::Allen(s) => s.is_bounded(),
+            ServeSink::TopK(s) => s.is_bounded(),
+            ServeSink::Hist(s) => s.is_bounded(),
+            ServeSink::Empty => true,
+        }
+    }
+
+    fn result_count(&self) -> Option<usize> {
+        match self {
+            ServeSink::Range(s) => s.result_count(),
+            ServeSink::Allen(s) => s.result_count(),
+            _ => None,
+        }
     }
 }
 

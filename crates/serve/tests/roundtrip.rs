@@ -372,6 +372,139 @@ fn garbage_streams_never_panic_the_server() {
     server.shutdown();
 }
 
+/// Catalog-era failure modes are all recoverable: bad relation bytes,
+/// unknown index ids, unknown flag bits, truncated catalog verbs, and
+/// semantic catalog misuse each earn an error trailer — and the very
+/// same connection keeps serving afterwards.
+#[test]
+fn unknown_verbs_and_indexes_error_recoverably() {
+    let w = fuzz::workload(0x5e4e_0007, DOM, 300, 4, 0);
+    let server = start_server(&w.data, 2, ServeConfig::default());
+
+    // raw frames: every case on ONE connection, then a real query
+    let mut raw = bytes::BytesMut::new();
+    {
+        use bytes::BufMut;
+        // 1. Allen with a relation byte past the 13 relations → BadVerb
+        raw.put_u8(0x69);
+        raw.put_u8(1);
+        raw.put_u8(0x0B); // Allen
+        raw.put_u8(0);
+        raw.put_u32_le(17);
+        raw.put_u8(13); // first invalid relation discriminant
+        raw.put_u64_le(10);
+        raw.put_u64_le(20);
+        // 2. query addressed at a never-created index id → UnknownIndex
+        raw.put_u8(0x69);
+        raw.put_u8(1);
+        raw.put_u8(0x01); // Query
+        raw.put_u8(serve::FLAG_INDEXED);
+        raw.put_u32_le(20);
+        raw.put_u32_le(999);
+        raw.put_u64_le(0);
+        raw.put_u64_le(50);
+        // 3. unknown flag bit → BadVerb (frame is well-formed, so the
+        //    connection survives)
+        raw.put_u8(0x69);
+        raw.put_u8(1);
+        raw.put_u8(0x01);
+        raw.put_u8(0x80);
+        raw.put_u32_le(16);
+        raw.put_u64_le(0);
+        raw.put_u64_le(50);
+        // 4. CreateIndex whose name length overruns the payload →
+        //    BadLength, still recoverable
+        raw.put_u8(0x69);
+        raw.put_u8(1);
+        raw.put_u8(0x07); // CreateIndex
+        raw.put_u8(0);
+        raw.put_u32_le(3);
+        raw.put_u8(200); // claims a 200-byte name, 2 bytes follow
+        raw.put_u8(b'h');
+        raw.put_u8(b'i');
+        // 5. histogram with width 0 → BadVerb
+        raw.put_u8(0x69);
+        raw.put_u8(1);
+        raw.put_u8(0x0E); // Histogram
+        raw.put_u8(0);
+        raw.put_u32_le(24);
+        raw.put_u64_le(0); // width 0
+        raw.put_u64_le(0);
+        raw.put_u64_le(100);
+        // then a well-formed query proving the connection is intact
+        serve::proto::encode_request(
+            &mut raw,
+            &serve::Request::Query(RangeQuery::new(0, DOM - 1)),
+        );
+    }
+    let (client_end, server_end) = duplex();
+    server.attach(server_end);
+    use serve::Transport;
+    let (r, mut wtr) = client_end.split().unwrap();
+    wtr.write_all(raw.as_slice()).unwrap();
+    let mut rd = serve::FrameReader::new(r);
+    for (i, want) in [
+        Status::BadVerb,
+        Status::UnknownIndex,
+        Status::BadVerb,
+        Status::BadLength,
+        Status::BadVerb,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let f = rd.read_frame().unwrap().unwrap();
+        assert_eq!(f.kind, serve::Kind::End, "trailer {i}");
+        use bytes::Buf;
+        assert_eq!(Status::from_u8(f.payload.clone().get_u8()), *want, "{i}");
+    }
+    let mut results = 0usize;
+    loop {
+        let f = rd.read_frame().unwrap().unwrap();
+        match f.kind {
+            serve::Kind::Results => results += f.payload.len() / 8,
+            serve::Kind::End => break,
+            k => panic!("unexpected {k:?}"),
+        }
+    }
+    assert_eq!(results, w.data.len(), "query after five rejected verbs");
+    drop(wtr);
+
+    // semantic catalog misuse through the typed client
+    let mut client = connect(&server);
+    match client.drop_index("default") {
+        Err(ClientError::Server(Status::BadVerb)) => {}
+        other => panic!("dropping the default index: {other:?}"),
+    }
+    match client.use_index("nope") {
+        Err(ClientError::Server(Status::UnknownIndex)) => {}
+        other => panic!("using an unknown index: {other:?}"),
+    }
+    match client.drop_index("nope") {
+        Err(ClientError::Server(Status::UnknownIndex)) => {}
+        other => panic!("dropping an unknown index: {other:?}"),
+    }
+    client.create_index("twice", 0, 99).unwrap();
+    match client.create_index("twice", 0, 99) {
+        Err(ClientError::Server(Status::BadVerb)) => {}
+        other => panic!("duplicate create: {other:?}"),
+    }
+    match client.join_on(None, 999, RangeQuery::new(0, 50)) {
+        Err(ClientError::Server(Status::UnknownIndex)) => {}
+        other => panic!("join against an unknown inner: {other:?}"),
+    }
+    // a histogram whose bucket count explodes is refused, not allocated
+    match client.histogram(1, RangeQuery::new(0, 100_000_000)) {
+        Err(ClientError::Server(Status::BadVerb)) => {}
+        other => panic!("oversized histogram: {other:?}"),
+    }
+    // the connection still answers real queries afterwards
+    let ids = client.query(RangeQuery::new(0, DOM - 1)).unwrap();
+    assert_eq!(ids.len(), w.data.len());
+    drop(client);
+    server.shutdown();
+}
+
 /// Pipelined queries across the batch boundary come back in send order
 /// with the same results as one-at-a-time calls.
 #[test]

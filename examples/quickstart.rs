@@ -195,5 +195,49 @@ fn main() {
         stats.replicas
     );
 
+    // --- 13. named indexes and a served join ----------------------------
+    // The server hosts a catalog of named indexes; every verb can
+    // address one explicitly (`*_on`), and `Join` runs server-side
+    // between two of them, streaming (outer, inner) id pairs. Writes
+    // barrier only their own index (see docs/protocol.md).
+    let sharded = ShardedIndex::build_with_domain(&data, 0, 1_000, 2, |slice, lo, hi| {
+        HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 6), SubsConfig::full())
+    });
+    let server = serve::Server::start(Session::new(sharded), serve::ServeConfig::default())
+        .expect("start server");
+    let (client_end, server_end) = serve::duplex();
+    server.attach(server_end);
+    let mut client = serve::Client::new(client_end).expect("split transport");
+    let trips = client.create_index("trips", 0, 1_000).unwrap();
+    let zones = client.create_index("zones", 0, 1_000).unwrap();
+    client
+        .insert_on(Some(trips), Interval::new(1, 10, 40))
+        .unwrap();
+    client
+        .insert_on(Some(trips), Interval::new(2, 35, 90))
+        .unwrap();
+    client
+        .insert_on(Some(zones), Interval::new(7, 30, 50))
+        .unwrap();
+    // Allen-relation query against a named index, evaluated server-side
+    use hint_suite::hint_core::AllenRelation;
+    let overlaps = client
+        .allen_on(
+            Some(trips),
+            AllenRelation::Overlaps,
+            RangeQuery::new(35, 95),
+        )
+        .unwrap();
+    assert_eq!(overlaps, vec![1]); // [10, 40] strictly overlaps [35, 95]
+                                   // server-side streamed join: trips ⋈ zones inside a window
+    let pairs = client
+        .join_on(Some(trips), zones, RangeQuery::new(0, 100))
+        .unwrap();
+    assert_eq!(pairs, vec![(1, 7), (2, 7)]); // both trips meet zone 7
+    for info in client.list_indexes().unwrap() {
+        println!("index {} {:?}: {} live", info.id, info.name, info.len);
+    }
+    server.shutdown();
+
     println!("quickstart OK");
 }

@@ -298,6 +298,66 @@ fn zero_copy_handle_merge_matches_solo_for_k_1_2_4_8() {
     }
 }
 
+/// The aggregation sinks behind the serving layer's top-k and histogram
+/// verbs: forks merged across a sharded(K) batch must reproduce the
+/// solo answers exactly — order included — for K in {1, 2, 4, 8}.
+#[test]
+fn top_k_and_histogram_merge_match_solo_for_k_1_2_4_8() {
+    use hint_suite::hint_core::{BucketHistogram, TopKByDuration};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    let data: Vec<Interval> = (0..1_500)
+        .map(|i| {
+            let st = (i * 97) % (DOM - 512);
+            Interval::new(i, st, (st + (i * 31) % 509).min(DOM - 1))
+        })
+        .collect();
+    let lookup: Arc<HashMap<u64, Interval>> = Arc::new(data.iter().map(|s| (s.id, *s)).collect());
+    let qs: Vec<RangeQuery> = (0..24)
+        .map(|i| {
+            let st = (i * 311) % (DOM - 700);
+            RangeQuery::new(st, st + 64 + (i % 5) * 160)
+        })
+        .collect();
+    for k in [1usize, 2, 4, 8] {
+        let mut idx = sharded_subs(&data, k, SubsConfig::full());
+        IntervalIndex::seal(&mut idx);
+
+        let mut tops: Vec<TopKByDuration<_>> = qs
+            .iter()
+            .map(|_| TopKByDuration::new(7, Arc::clone(&lookup)))
+            .collect();
+        idx.query_batch_merge(&qs, &mut tops);
+        let mut hists: Vec<BucketHistogram<_>> = qs
+            .iter()
+            .map(|q| {
+                let buckets = ((q.end - q.st) / 50 + 1) as usize;
+                BucketHistogram::new(q.st, 50, buckets, Arc::clone(&lookup))
+            })
+            .collect();
+        idx.query_batch_merge(&qs, &mut hists);
+
+        for ((&q, top), hist) in qs.iter().zip(tops).zip(hists) {
+            let mut solo_top = TopKByDuration::new(7, Arc::clone(&lookup));
+            idx.query_sink(q, &mut solo_top);
+            assert_eq!(
+                top.into_ids(),
+                solo_top.into_ids(),
+                "K={k}: top-k merge != solo on {q:?}"
+            );
+            let buckets = ((q.end - q.st) / 50 + 1) as usize;
+            let mut solo_hist = BucketHistogram::new(q.st, 50, buckets, Arc::clone(&lookup));
+            idx.query_sink(q, &mut solo_hist);
+            assert_eq!(
+                hist.into_counts(),
+                solo_hist.into_counts(),
+                "K={k}: histogram merge != solo on {q:?}"
+            );
+        }
+    }
+}
+
 /// Shard bookkeeping stays consistent through boundary-crossing writes.
 #[test]
 fn replica_accounting_survives_update_cycles() {
