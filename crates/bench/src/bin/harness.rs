@@ -11,6 +11,7 @@
 //!   cachelayout     extra: nested-Vec vs sealed-CSR storage + query_batch
 //!   shardscale      extra: sharded parallel executor throughput vs K
 //!   serve           extra: batched serving latency/throughput vs batch window
+//!   latency         extra: open-loop Poisson load vs the adaptive window, lanes, admission
 //!   retune          extra: persistent worker pool vs scoped fan-out + adaptive per-shard m
 //!   snapshot        extra: durable snapshot save bandwidth + restore vs rebuild
 //!   scenarios       extra: multi-index catalog verbs (Allen/join/top-k) vs the direct library
@@ -30,7 +31,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <fig10|fig11|fig12|fig13|fig14|table6|table7|table8|table9|table10|ablation|countmode|cachelayout|shardscale|serve|retune|snapshot|scenarios|all> \
+        "usage: harness <fig10|fig11|fig12|fig13|fig14|table6|table7|table8|table9|table10|ablation|countmode|cachelayout|shardscale|serve|latency|retune|snapshot|scenarios|all> \
          [--quick] [--scale N] [--queries N] [--max-m N] [--seed N]"
     );
     exit(2);
@@ -109,6 +110,7 @@ fn main() {
         "cachelayout" => experiments::cachelayout::run(&cfg),
         "shardscale" => experiments::shardscale::run(&cfg),
         "serve" => experiments::serve::run(&cfg),
+        "latency" => experiments::latency::run(&cfg),
         "retune" => experiments::retune::run(&cfg),
         "snapshot" => experiments::snapshot::run(&cfg),
         "scenarios" => experiments::scenarios::run(&cfg),
@@ -131,6 +133,7 @@ fn main() {
             "cachelayout",
             "shardscale",
             "serve",
+            "latency",
             "retune",
             "snapshot",
             "scenarios",

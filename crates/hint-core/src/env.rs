@@ -100,6 +100,45 @@ impl Display for Switch {
     }
 }
 
+/// How the serve scheduler sizes its batch window (`HINT_SERVE_WINDOW`):
+/// `fixed` keeps the configured `max_batch`/`max_delay` exactly as
+/// given (the pre-controller behavior, byte-identical on the wire);
+/// `adaptive` lets the scheduler's AIMD controller tune the window
+/// between the configured min/max from observed arrival rate and batch
+/// occupancy. Spelled like [`crate::RetunePolicy`]: the canonical
+/// lowercase word, case-insensitive on input, anything else
+/// [`EnvError::Unparsable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowMode {
+    /// Static window: use `max_batch`/`max_delay` verbatim.
+    Fixed,
+    /// AIMD-controlled window within `[min_window, max_window]`.
+    Adaptive,
+}
+
+impl FromStr for WindowMode {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, ()> {
+        if s.eq_ignore_ascii_case("fixed") {
+            Ok(WindowMode::Fixed)
+        } else if s.eq_ignore_ascii_case("adaptive") {
+            Ok(WindowMode::Adaptive)
+        } else {
+            Err(())
+        }
+    }
+}
+
+impl Display for WindowMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WindowMode::Fixed => "fixed",
+            WindowMode::Adaptive => "adaptive",
+        })
+    }
+}
+
 /// Parses `raw` as a `T` and checks it against `valid` (with its
 /// human-readable `constraint` for the error message). Pure: no
 /// environment access, no logging — this is the function the unit tests
@@ -260,6 +299,39 @@ mod tests {
     fn switch_renders_canonically() {
         assert_eq!(Switch::On.to_string(), "on");
         assert_eq!(Switch::Off.to_string(), "off");
+    }
+
+    fn window(raw: &str) -> Result<WindowMode, EnvError> {
+        parse("HINT_SERVE_WINDOW", raw, "fixed or adaptive", |_| true)
+    }
+
+    #[test]
+    fn window_mode_valid_values_parse() {
+        for raw in ["fixed", "Fixed", "FIXED", " fixed "] {
+            assert_eq!(window(raw), Ok(WindowMode::Fixed), "{raw:?}");
+        }
+        for raw in ["adaptive", "Adaptive", "ADAPTIVE", " adaptive "] {
+            assert_eq!(window(raw), Ok(WindowMode::Adaptive), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn window_mode_garbage_is_unparsable() {
+        for raw in ["", "auto", "aimd", "fixedd", "on", "1"] {
+            match window(raw) {
+                Err(EnvError::Unparsable { name, raw: got }) => {
+                    assert_eq!(name, "HINT_SERVE_WINDOW");
+                    assert_eq!(got, raw);
+                }
+                other => panic!("{raw:?} should be unparsable, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn window_mode_renders_canonically() {
+        assert_eq!(WindowMode::Fixed.to_string(), "fixed");
+        assert_eq!(WindowMode::Adaptive.to_string(), "adaptive");
     }
 
     #[test]

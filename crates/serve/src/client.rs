@@ -11,7 +11,8 @@
 //! connections.
 
 use crate::proto::{
-    encode_request_on, DecodeError, Frame, FrameReader, IndexInfo, Kind, Reply, Request, Status,
+    encode_request_flagged, DecodeError, Frame, FrameReader, IndexInfo, Kind, Reply, Request,
+    Status,
 };
 use crate::transport::Transport;
 use bytes::{Buf, BytesMut};
@@ -78,8 +79,23 @@ impl<T: Transport> Client<T> {
     /// Sends one request addressed at an explicit catalog index
     /// (pipelining). `None` falls back to the connection's default.
     pub fn send_on(&mut self, index: Option<u32>, req: &Request) -> io::Result<()> {
+        self.send_flagged(index, false, req)
+    }
+
+    /// Sends one request with full wire-flag control (pipelining).
+    /// `priority` sets the `FLAG_PRIORITY` bit: the scheduler routes
+    /// the request through the high-QoS lane, ahead of queued
+    /// enumeration traffic from other connections (replies on *this*
+    /// connection stay strictly in request order regardless). Bounded
+    /// verbs (top-k, histogram) ride the high lane even unflagged.
+    pub fn send_flagged(
+        &mut self,
+        index: Option<u32>,
+        priority: bool,
+        req: &Request,
+    ) -> io::Result<()> {
         self.scratch.clear();
-        encode_request_on(&mut self.scratch, index, req);
+        encode_request_flagged(&mut self.scratch, index, priority, req);
         self.writer.write_all(self.scratch.as_slice())?;
         self.writer.flush()
     }
@@ -172,6 +188,23 @@ impl<T: Transport> Client<T> {
         let mut out = Vec::new();
         self.query_sink_on(index, q, &mut out)?;
         Ok(out)
+    }
+
+    /// [`query`](Self::query) with the `FLAG_PRIORITY` bit set: the
+    /// scheduler answers it through the high-QoS lane instead of
+    /// queueing behind enumeration traffic (see `docs/protocol.md`).
+    pub fn query_priority(
+        &mut self,
+        index: Option<u32>,
+        q: RangeQuery,
+    ) -> Result<Vec<IntervalId>, ClientError> {
+        self.send_flagged(index, true, &Request::Query(q))?;
+        let mut out = Vec::new();
+        let reply = self.recv_reply(|ids| out.extend_from_slice(ids))?;
+        match reply.status {
+            Status::Ok => Ok(out),
+            s => Err(ClientError::Server(s)),
+        }
     }
 
     /// Inserts an interval. Errs with [`ClientError::Server`] if the

@@ -41,6 +41,14 @@ pub const VERSION: u8 = 1;
 /// index — index `0` until a `UseIndex` says otherwise — so legacy
 /// traffic is untouched by the multi-index surface.
 pub const FLAG_INDEXED: u8 = 0x01;
+/// Header flag bit: this request asks for the scheduler's
+/// high-priority QoS lane — it is answered ahead of queued unbounded
+/// enumerations (per-connection FIFO still holds; see
+/// `docs/protocol.md`). Intrinsically bounded verbs (`TopK`,
+/// `Histogram`) ride the high lane with or without the bit; servers
+/// that predate the lane (or run `HINT_SERVE_LANES=off`) ignore the
+/// hint, so the bit is always safe to set.
+pub const FLAG_PRIORITY: u8 = 0x02;
 /// Longest index name the catalog verbs accept, in bytes (the `Info`
 /// encoding carries the length in one byte).
 pub const MAX_NAME: usize = 255;
@@ -273,6 +281,9 @@ pub enum Request {
 pub struct Command {
     /// Explicit index id, if the frame carried the [`FLAG_INDEXED`] bit.
     pub index: Option<u32>,
+    /// True when the frame carried the [`FLAG_PRIORITY`] bit: the
+    /// client asked for the high-priority QoS lane.
+    pub priority: bool,
     /// The verb itself.
     pub verb: Request,
 }
@@ -453,13 +464,27 @@ pub fn encode_request(out: &mut BytesMut, req: &Request) {
 /// Encodes a request frame, optionally addressed to an explicit catalog
 /// index via the [`FLAG_INDEXED`] payload prefix.
 pub fn encode_request_on(out: &mut BytesMut, index: Option<u32>, req: &Request) {
+    encode_request_flagged(out, index, false, req)
+}
+
+/// Encodes a request frame with full flag control: optional explicit
+/// catalog index ([`FLAG_INDEXED`] payload prefix) and the
+/// [`FLAG_PRIORITY`] QoS-lane hint. With `index: None, priority: false`
+/// the encoding is byte-identical to [`encode_request`].
+pub fn encode_request_flagged(
+    out: &mut BytesMut,
+    index: Option<u32>,
+    priority: bool,
+    req: &Request,
+) {
     let (kind, body) = encode_verb(req);
+    let pri = if priority { FLAG_PRIORITY } else { 0 };
     match index {
         None => {
-            put_header(out, kind, body.len() as u32);
+            put_header_flags(out, kind, pri, body.len() as u32);
         }
         Some(ix) => {
-            put_header_flags(out, kind, FLAG_INDEXED, body.len() as u32 + 4);
+            put_header_flags(out, kind, FLAG_INDEXED | pri, body.len() as u32 + 4);
             out.put_u32_le(ix);
         }
     }
@@ -557,12 +582,12 @@ impl Frame {
     }
 
     /// Interprets this frame as a [`Command`]: the optional
-    /// [`FLAG_INDEXED`] index prefix plus the verb. Unknown flag bits
-    /// are rejected recoverably ([`Status::BadVerb`]) rather than
-    /// silently misread.
+    /// [`FLAG_INDEXED`] index prefix, the [`FLAG_PRIORITY`] lane hint,
+    /// plus the verb. Unknown flag bits are rejected recoverably
+    /// ([`Status::BadVerb`]) rather than silently misread.
     pub fn to_command(&self) -> Result<Command, Status> {
         let mut p = self.payload.clone();
-        if self.flags & !FLAG_INDEXED != 0 {
+        if self.flags & !(FLAG_INDEXED | FLAG_PRIORITY) != 0 {
             return Err(Status::BadVerb);
         }
         let index = if self.flags & FLAG_INDEXED != 0 {
@@ -573,8 +598,13 @@ impl Frame {
         } else {
             None
         };
+        let priority = self.flags & FLAG_PRIORITY != 0;
         let verb = self.parse_verb(p)?;
-        Ok(Command { index, verb })
+        Ok(Command {
+            index,
+            priority,
+            verb,
+        })
     }
 
     /// Decodes an index name payload: non-empty, bounded, UTF-8.
@@ -943,17 +973,54 @@ mod tests {
         let bytes = vec![MAGIC, VERSION, 0x07, 0, 8, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8];
         let f = reader(bytes).read_frame().unwrap().unwrap();
         assert_eq!(f.to_command(), Err(Status::BadLength));
-        // an unknown flag bit must not be silently misread
+        // an unknown flag bit must not be silently misread (0x01 and
+        // 0x02 are assigned; 0x04 is the lowest unassigned bit)
         let mut out = BytesMut::new();
         encode_request(&mut out, &Request::Seal);
         let mut bytes = Vec::from(out);
-        bytes[3] = 0x02;
+        bytes[3] = 0x04;
         let f = reader(bytes).read_frame().unwrap().unwrap();
         assert_eq!(f.to_command(), Err(Status::BadVerb));
         // the INDEXED flag demands at least the 4-byte prefix
         let bytes = vec![MAGIC, VERSION, 0x04, FLAG_INDEXED, 2, 0, 0, 0, 9, 9];
         let f = reader(bytes).read_frame().unwrap().unwrap();
         assert_eq!(f.to_command(), Err(Status::BadLength));
+    }
+
+    #[test]
+    fn priority_flag_roundtrips_alone_and_with_indexing() {
+        // priority without an index prefix: flags carry only 0x02 and
+        // the payload is byte-identical to the unflagged encoding
+        let q = Request::Query(RangeQuery::new(3, 999));
+        let mut plain = BytesMut::new();
+        encode_request(&mut plain, &q);
+        let mut pri = BytesMut::new();
+        encode_request_flagged(&mut pri, None, true, &q);
+        assert_eq!(plain.as_slice()[HEADER_LEN..], pri.as_slice()[HEADER_LEN..]);
+        let f = reader(Vec::from(pri)).read_frame().unwrap().unwrap();
+        assert_eq!(f.flags, FLAG_PRIORITY);
+        let cmd = f.to_command().unwrap();
+        assert!(cmd.priority);
+        assert_eq!(cmd.index, None);
+        assert_eq!(cmd.verb, q);
+        // priority + explicit index compose
+        let mut both = BytesMut::new();
+        encode_request_flagged(&mut both, Some(7), true, &q);
+        let f = reader(Vec::from(both)).read_frame().unwrap().unwrap();
+        assert_eq!(f.flags, FLAG_INDEXED | FLAG_PRIORITY);
+        let cmd = f.to_command().unwrap();
+        assert!(cmd.priority);
+        assert_eq!(cmd.index, Some(7));
+        assert_eq!(cmd.verb, q);
+        // the unflagged path reports priority: false
+        let f = reader(Vec::from(plain)).read_frame().unwrap().unwrap();
+        assert!(!f.to_command().unwrap().priority);
+        // encode_request_flagged(None, false) is encode_request
+        let mut flagless = BytesMut::new();
+        encode_request_flagged(&mut flagless, None, false, &q);
+        let mut want = BytesMut::new();
+        encode_request(&mut want, &q);
+        assert_eq!(flagless, want);
     }
 
     #[test]

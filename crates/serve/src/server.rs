@@ -21,18 +21,41 @@
 //!
 //! ## Batching policy
 //!
-//! Queries accumulate in arrival order until either `max_batch` are
-//! pending or `max_delay` has passed since the batch opened; the batch
-//! then executes as one `query_batch_merge` call — the level walks are
-//! shared across *all* connections' queries — and each query's
-//! [`WireSink`] demultiplexes into its connection's response stream.
-//! Writes (`Insert`/`Delete`/`Seal`) act as barriers: they flush the
-//! pending batch, apply, and ack, which keeps the global order
-//! serializable and every connection's replies in its request order.
-//! Because requests are answered strictly FIFO per connection, batched
-//! results are bit-identical to what a solo `query_sink` at the same
-//! point in the write sequence would produce.
+//! Queries accumulate in arrival order until either the batch window
+//! fills or the flush deadline passes; the batch then executes as one
+//! `query_batch_merge` call — the level walks are shared across *all*
+//! connections' queries — and each query's [`WireSink`] demultiplexes
+//! into its connection's response stream. By default the window and
+//! deadline are chosen live by a bounded AIMD controller
+//! ([`crate::WindowController`]) from observed arrival rate and batch
+//! occupancy; `HINT_SERVE_WINDOW=fixed` (or [`ServeConfig::fixed`])
+//! restores the static `max_batch`/`max_delay` policy verbatim. Writes
+//! (`Insert`/`Delete`/`Seal`) act as barriers: they flush the pending
+//! batch, apply, and ack, which keeps the global order serializable and
+//! every connection's replies in its request order. Because requests
+//! are answered strictly FIFO per connection, batched results are
+//! bit-identical to what a solo `query_sink` at the same point in the
+//! write sequence would produce — with lanes on, bounded verbs may
+//! *reply* ahead of other connections' enumerations, but never ahead of
+//! anything earlier on their own connection, so the invariant holds.
+//!
+//! ## Overload behavior
+//!
+//! Admission control bounds how much work may be *outstanding* — sent
+//! by a client but not yet answered. Each reader thread gates
+//! walk-driven requests as it decodes them, against a per-connection
+//! and a global budget ([`ServeConfig::conn_pending`],
+//! [`ServeConfig::max_pending`]); the scheduler returns the budget when
+//! the reply goes out. Gating at the reader is what makes the bound
+//! real under open-loop load: the backlog of an unbounded producer
+//! accumulates in the ops channel, *before* the scheduler's pending
+//! queue, and a scheduler-side count would never see it. Past a budget
+//! the request is shed with a recoverable `Overloaded` trailer in its
+//! FIFO position — the connection stays up and the client may simply
+//! retry. Writes and catalog verbs are synchronous barriers and need no
+//! budget: they backpressure naturally.
 
+use crate::controller::{ControllerConfig, WindowController};
 use crate::proto::{
     encode_end, encode_index_infos, encode_results, encode_snapshot_chunk, Command, DecodeError,
     FrameReader, IndexInfo, Reply, Request, Status,
@@ -41,13 +64,14 @@ use crate::sink::{Records, ServeSink, WireSink};
 use crate::transport::Transport;
 use bytes::{BufMut, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hint_core::env::{Switch, WindowMode};
 use hint_core::{Domain, HintMSubs, Interval, RangeQuery, Session, ShardedIndex, SubsConfig};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -110,14 +134,38 @@ impl SnapshotVerbs for Session<HintMSubs> {
     }
 }
 
-/// Scheduler tuning: how long and how wide query batches may grow.
+/// Scheduler tuning: how long and how wide query batches may grow, how
+/// the window is sized ([`WindowMode`]), and how much work a connection
+/// (or the whole server) may queue before the scheduler sheds load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Flush the pending batch at this many queries.
+    /// Flush the pending batch at this many queries. In adaptive mode
+    /// this is the controller's *upper bound* (`max_window`).
     pub max_batch: usize,
     /// Flush the pending batch this long after it opened, even if not
-    /// full — the latency bound a queued query pays for batching.
+    /// full — the latency bound a queued query pays for batching. In
+    /// adaptive mode this caps the controller's derived delay.
     pub max_delay: Duration,
+    /// Static window vs AIMD-controlled (see [`crate::WindowController`]).
+    pub mode: WindowMode,
+    /// Smallest window the adaptive controller may choose (>= 1).
+    /// Ignored in fixed mode.
+    pub min_window: usize,
+    /// Most admitted walk-driven requests one connection may have
+    /// *outstanding* (decoded by its reader, reply not yet sent) before
+    /// further requests on it are shed with a recoverable
+    /// [`Status::Overloaded`] trailer.
+    pub conn_pending: usize,
+    /// Most admitted walk-driven requests outstanding across all
+    /// connections before shedding — the global backstop against a
+    /// many-connection flood.
+    pub max_pending: usize,
+    /// QoS lanes: bounded requests (top-k, histograms, empty-stream
+    /// Allen probes, and anything sent with the wire priority flag)
+    /// flush ahead of enumeration traffic, with round-robin fairness
+    /// across connections inside each lane. Per-connection FIFO is
+    /// preserved either way.
+    pub lanes: bool,
 }
 
 impl Default for ServeConfig {
@@ -125,21 +173,48 @@ impl Default for ServeConfig {
         Self {
             max_batch: 64,
             max_delay: Duration::from_micros(200),
+            mode: WindowMode::Adaptive,
+            min_window: 1,
+            conn_pending: 256,
+            max_pending: 4096,
+            lanes: true,
         }
     }
 }
 
 impl ServeConfig {
-    /// Reads `HINT_SERVE_MAX_BATCH` (queries, >= 1) and
-    /// `HINT_SERVE_MAX_DELAY_US` (microseconds) over the defaults.
+    /// The pre-controller configuration: a static window of exactly
+    /// `max_batch`/`max_delay`, no lanes, effectively-unbounded
+    /// admission. Scheduling behavior is byte-identical to servers
+    /// built before the adaptive controller existed.
+    pub fn fixed(max_batch: usize, max_delay: Duration) -> Self {
+        Self {
+            max_batch,
+            max_delay,
+            mode: WindowMode::Fixed,
+            lanes: false,
+            ..Self::default()
+        }
+    }
+
+    /// Reads the `HINT_SERVE_*` scheduler knobs over the defaults:
+    /// `HINT_SERVE_WINDOW` (`fixed`/`adaptive`), `HINT_SERVE_MAX_BATCH`
+    /// and its alias `HINT_SERVE_WINDOW_MAX` (queries, >= 1),
+    /// `HINT_SERVE_WINDOW_MIN` (>= 1), `HINT_SERVE_MAX_DELAY_US`
+    /// (microseconds), `HINT_SERVE_CONN_PENDING` / `HINT_SERVE_MAX_PENDING`
+    /// (admission budgets, >= 1) and `HINT_SERVE_LANES` (`on`/`off`).
     /// Rejected values warn once on stderr and fall back (see
     /// [`hint_core::env`]).
     pub fn from_env() -> Self {
         let d = Self::default();
+        let max_batch =
+            hint_core::env::var_or("HINT_SERVE_MAX_BATCH", d.max_batch, "must be >= 1", |&n| {
+                n >= 1
+            });
         Self {
             max_batch: hint_core::env::var_or(
-                "HINT_SERVE_MAX_BATCH",
-                d.max_batch,
+                "HINT_SERVE_WINDOW_MAX",
+                max_batch,
                 "must be >= 1",
                 |&n| n >= 1,
             ),
@@ -149,6 +224,34 @@ impl ServeConfig {
                 "microseconds",
                 |_| true,
             )),
+            mode: hint_core::env::var_or("HINT_SERVE_WINDOW", d.mode, "fixed or adaptive", |_| {
+                true
+            }),
+            min_window: hint_core::env::var_or(
+                "HINT_SERVE_WINDOW_MIN",
+                d.min_window,
+                "must be >= 1",
+                |&n| n >= 1,
+            ),
+            conn_pending: hint_core::env::var_or(
+                "HINT_SERVE_CONN_PENDING",
+                d.conn_pending,
+                "must be >= 1",
+                |&n| n >= 1,
+            ),
+            max_pending: hint_core::env::var_or(
+                "HINT_SERVE_MAX_PENDING",
+                d.max_pending,
+                "must be >= 1",
+                |&n| n >= 1,
+            ),
+            lanes: hint_core::env::var_or(
+                "HINT_SERVE_LANES",
+                if d.lanes { Switch::On } else { Switch::Off },
+                "on or off",
+                |_| true,
+            )
+            .is_on(),
         }
     }
 }
@@ -183,6 +286,16 @@ pub struct BatchStats {
     /// threads plus scheduler-inline epoch reads) rather than the
     /// owning worker's queue. Zero when unreplicated.
     pub replica_reads: u64,
+    /// Requests refused by admission control: answered in FIFO position
+    /// with a recoverable [`Status::Overloaded`] trailer, never
+    /// executed.
+    pub shed: u64,
+    /// Requests that rode the high-priority lane (bounded verbs and
+    /// wire-flagged priority requests, when lanes are on).
+    pub lane_high: u64,
+    /// The batch window currently in force (the configured `max_batch`
+    /// in fixed mode, the controller's live choice in adaptive mode).
+    pub cur_window: usize,
 }
 
 impl BatchStats {
@@ -201,10 +314,15 @@ type ConnId = u64;
 
 /// What reader threads (and the server handle) feed the scheduler.
 enum Op {
-    /// A connection came up; its response bytes go to this channel.
-    Conn(ConnId, Sender<Vec<u8>>),
-    /// A well-formed request with its catalog addressing.
-    Request(ConnId, Command),
+    /// A connection came up; its response bytes go to this channel and
+    /// its outstanding-request counter is the shared handle the
+    /// scheduler decrements as replies go out.
+    Conn(ConnId, Sender<Vec<u8>>, Arc<AtomicUsize>),
+    /// A well-formed request with its catalog addressing. The flag is
+    /// the reader-side admission verdict: `true` means the request was
+    /// over budget at the gate and must be shed (FIFO-positioned
+    /// `Overloaded` trailer, no walk).
+    Request(ConnId, Command, bool),
     /// A malformed-but-framed request: answer with an error trailer,
     /// keep the connection.
     Invalid(ConnId, Status),
@@ -215,6 +333,52 @@ enum Op {
     Disconnect(ConnId),
     /// Stop serving (flush pending work first).
     Stop,
+}
+
+/// The admission gate every reader thread checks before forwarding a
+/// walk-driven request. The budgets bound *outstanding* requests — the
+/// counters rise at decode and fall when the scheduler sends the reply
+/// — so the bound covers the ops-channel backlog an open-loop flood
+/// builds up, not just the scheduler's own pending queue.
+#[derive(Clone)]
+struct AdmissionGate {
+    /// Admitted walk-driven requests outstanding across all
+    /// connections, bounded by `max_pending`.
+    inflight: Arc<AtomicUsize>,
+    conn_pending: usize,
+    max_pending: usize,
+}
+
+/// True for the verbs the admission gate meters: the batched reads,
+/// whose cost the scheduler cannot bound otherwise. Writes and catalog
+/// verbs are synchronous barriers and backpressure on their own.
+fn gated_verb(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Query(_)
+            | Request::Allen { .. }
+            | Request::TopK { .. }
+            | Request::Histogram { .. }
+    )
+}
+
+/// The gate check, run on the reader thread per decoded request.
+/// Returns `true` when the request must be shed. Admitted requests hold
+/// one slot on both counters until the scheduler replies; shed requests
+/// hold nothing (the increment is given straight back), so a flood past
+/// the budget cannot starve other connections' admission.
+fn shed_at_gate(gate: &AdmissionGate, conn_inflight: &AtomicUsize, cmd: &Command) -> bool {
+    if !gated_verb(&cmd.verb) {
+        return false;
+    }
+    let c = conn_inflight.fetch_add(1, Ordering::Relaxed);
+    let g = gate.inflight.fetch_add(1, Ordering::Relaxed);
+    if c < gate.conn_pending && g < gate.max_pending {
+        return false;
+    }
+    conn_inflight.fetch_sub(1, Ordering::Relaxed);
+    gate.inflight.fetch_sub(1, Ordering::Relaxed);
+    true
 }
 
 /// How `spawn_connection` starts its threads — injectable so tests can
@@ -238,20 +402,32 @@ fn os_spawn(name: String, f: Box<dyn FnOnce() + Send + 'static>) -> io::Result<(
 /// fatal [`Status::Overloaded`] trailer when the write half is still
 /// on hand — and never panics the caller, which may be the acceptor
 /// serving every other connection.
-fn spawn_connection<T: Transport>(ops: &Sender<Op>, id: ConnId, transport: T) {
-    spawn_connection_with(ops, id, transport, os_spawn)
+fn spawn_connection<T: Transport>(
+    ops: &Sender<Op>,
+    id: ConnId,
+    transport: T,
+    gate: &AdmissionGate,
+) {
+    spawn_connection_with(ops, id, transport, gate.clone(), os_spawn)
 }
 
-fn spawn_connection_with<T: Transport>(ops: &Sender<Op>, id: ConnId, transport: T, spawn: Spawner) {
+fn spawn_connection_with<T: Transport>(
+    ops: &Sender<Op>,
+    id: ConnId,
+    transport: T,
+    gate: AdmissionGate,
+    spawn: Spawner,
+) {
     let (reader, mut writer) = match transport.split() {
         Ok(halves) => halves,
         // no write half to carry a rejection: drop; the peer sees EOF
         Err(_) => return,
     };
     let (resp_tx, resp_rx) = unbounded::<Vec<u8>>();
+    let inflight = Arc::new(AtomicUsize::new(0));
     // register before the reader can produce the first request so the
     // scheduler always knows the connection
-    let _ = ops.send(Op::Conn(id, resp_tx));
+    let _ = ops.send(Op::Conn(id, resp_tx, Arc::clone(&inflight)));
     let reader_ops = ops.clone();
     let read = spawn(
         format!("serve-read-{id}"),
@@ -260,7 +436,10 @@ fn spawn_connection_with<T: Transport>(ops: &Sender<Op>, id: ConnId, transport: 
             loop {
                 let op = match frames.read_frame() {
                     Ok(Some(frame)) => match frame.to_command() {
-                        Ok(cmd) => Op::Request(id, cmd),
+                        Ok(cmd) => {
+                            let shed = shed_at_gate(&gate, &inflight, &cmd);
+                            Op::Request(id, cmd, shed)
+                        }
                         Err(status) => Op::Invalid(id, status),
                     },
                     Ok(None) => {
@@ -368,6 +547,7 @@ fn accept_loop<A: AcceptSource>(
     next_conn: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
     stats: Arc<RwLock<BatchStats>>,
+    gate: AdmissionGate,
 ) {
     let mut backoff = ACCEPT_BACKOFF_START;
     loop {
@@ -381,7 +561,7 @@ fn accept_loop<A: AcceptSource>(
                 }
                 backoff = ACCEPT_BACKOFF_START;
                 let id = next_conn.fetch_add(1, Ordering::Relaxed);
-                spawn_connection(&ops, id, conn);
+                spawn_connection(&ops, id, conn, &gate);
             }
             Err(e) if fatal_accept_error(e.kind()) => return,
             Err(_) => {
@@ -414,6 +594,8 @@ pub struct Server {
     /// shutdown can wake a blocking `accept` with a no-op connection.
     acceptors: Vec<(Option<std::net::SocketAddr>, JoinHandle<()>)>,
     stats: Arc<RwLock<BatchStats>>,
+    /// The admission gate shared by every connection's reader thread.
+    gate: AdmissionGate,
 }
 
 impl Server {
@@ -436,9 +618,18 @@ impl Server {
         let (ops_tx, ops_rx) = unbounded();
         let stats = Arc::new(RwLock::new(BatchStats::default()));
         let scheduler_stats = Arc::clone(&stats);
+        let gate = AdmissionGate {
+            inflight: Arc::new(AtomicUsize::new(0)),
+            conn_pending: config.conn_pending.max(1),
+            max_pending: config.max_pending.max(1),
+        };
+        let scheduler_gate = gate.clone();
         let scheduler = std::thread::Builder::new()
             .name("serve-scheduler".into())
-            .spawn(move || Scheduler::new(session, records, config, scheduler_stats).run(ops_rx))?;
+            .spawn(move || {
+                Scheduler::new(session, records, config, scheduler_stats, scheduler_gate)
+                    .run(ops_rx)
+            })?;
         Ok(Server {
             ops: ops_tx,
             scheduler: Some(scheduler),
@@ -446,6 +637,7 @@ impl Server {
             stop: Arc::new(AtomicBool::new(false)),
             acceptors: Vec::new(),
             stats,
+            gate,
         })
     }
 
@@ -459,7 +651,7 @@ impl Server {
     /// the server shuts down; the threads clean themselves up.
     pub fn attach<T: Transport>(&self, transport: T) {
         let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
-        spawn_connection(&self.ops, id, transport);
+        spawn_connection(&self.ops, id, transport, &self.gate);
     }
 
     /// Accepts TCP connections in a background thread until shutdown.
@@ -492,9 +684,10 @@ impl Server {
         let next_conn = Arc::clone(&self.next_conn);
         let stop = Arc::clone(&self.stop);
         let stats = Arc::clone(&self.stats);
+        let gate = self.gate.clone();
         let handle = std::thread::Builder::new()
             .name("serve-accept".into())
-            .spawn(move || accept_loop(source, ops, next_conn, stop, stats))?;
+            .spawn(move || accept_loop(source, ops, next_conn, stop, stats, gate))?;
         self.acceptors.push((addr, handle));
         Ok(())
     }
@@ -638,6 +831,10 @@ struct ConnState {
     tx: Sender<Vec<u8>>,
     /// Where un-addressed verbs go; index 0 until a `UseIndex`.
     default_index: u32,
+    /// The connection's outstanding-request counter, shared with its
+    /// reader thread's admission gate; the scheduler decrements it as
+    /// each admitted request's reply goes out.
+    inflight: Arc<AtomicUsize>,
 }
 
 /// One queued walk-driven request.
@@ -648,6 +845,8 @@ struct Pending {
     /// known to be empty, the slot only holds FIFO position).
     probe: Option<RangeQuery>,
     sink: ServeSink,
+    /// High-priority lane: bounded verbs and wire-flagged requests.
+    high: bool,
 }
 
 /// Streams (outer, inner) join pairs to one connection as they are
@@ -733,6 +932,16 @@ struct Scheduler {
     /// When the open batch must flush (set when its first query
     /// arrives).
     deadline: Instant,
+    /// The admission gate the reader threads meter against; the
+    /// scheduler's half of the contract is returning each admitted
+    /// request's budget when its reply is sent.
+    gate: AdmissionGate,
+    /// The AIMD window controller; `None` in fixed mode, which leaves
+    /// scheduling byte-identical to the pre-controller servers.
+    controller: Option<WindowController>,
+    /// Epoch for the synthetic microsecond timestamps the controller
+    /// consumes (it never reads the clock itself).
+    t0: Instant,
     stats: Arc<RwLock<BatchStats>>,
 }
 
@@ -742,6 +951,7 @@ impl Scheduler {
         records: Records,
         config: ServeConfig,
         stats: Arc<RwLock<BatchStats>>,
+        gate: AdmissionGate,
     ) -> Self {
         stats.write().read_replicas = session.read_replicas() as u64;
         let max = hint_core::env::var_or(
@@ -755,17 +965,55 @@ impl Scheduler {
             session,
             records,
         };
+        let config = ServeConfig {
+            max_batch: config.max_batch.max(1),
+            min_window: config.min_window.clamp(1, config.max_batch.max(1)),
+            conn_pending: config.conn_pending.max(1),
+            max_pending: config.max_pending.max(1),
+            ..config
+        };
+        let controller = match config.mode {
+            WindowMode::Fixed => None,
+            WindowMode::Adaptive => Some(WindowController::new(ControllerConfig {
+                min_window: config.min_window,
+                max_window: config.max_batch,
+                max_delay: config.max_delay,
+            })),
+        };
+        stats.write().cur_window = controller
+            .as_ref()
+            .map_or(config.max_batch, WindowController::window);
         Self {
             catalog: Catalog::new(default, max),
-            config: ServeConfig {
-                max_batch: config.max_batch.max(1),
-                ..config
-            },
+            config,
             conns: HashMap::new(),
             pending: Vec::new(),
             deadline: Instant::now(),
+            gate,
+            controller,
+            t0: Instant::now(),
             stats,
         }
+    }
+
+    /// Microseconds since scheduler start — the monotonic scale fed to
+    /// the controller.
+    fn now_us(&self) -> u64 {
+        self.t0.elapsed().as_micros() as u64
+    }
+
+    /// The batch window currently in force.
+    fn cur_window(&self) -> usize {
+        self.controller
+            .as_ref()
+            .map_or(self.config.max_batch, WindowController::window)
+    }
+
+    /// The flush delay the next batch should wait for.
+    fn cur_delay(&self) -> Duration {
+        self.controller
+            .as_ref()
+            .map_or(self.config.max_delay, WindowController::delay)
     }
 
     fn run(mut self, ops: Receiver<Op>) {
@@ -791,7 +1039,7 @@ impl Scheduler {
                 match ops.recv_timeout(wait) {
                     Ok(op) => op,
                     Err(RecvTimeoutError::Timeout) => {
-                        self.flush_all();
+                        self.flush_deadline();
                         continue;
                     }
                     Err(RecvTimeoutError::Disconnected) => {
@@ -801,16 +1049,17 @@ impl Scheduler {
                 }
             };
             match op {
-                Op::Conn(id, tx) => {
+                Op::Conn(id, tx, inflight) => {
                     self.conns.insert(
                         id,
                         ConnState {
                             tx,
                             default_index: 0,
+                            inflight,
                         },
                     );
                 }
-                Op::Request(id, cmd) => self.handle(id, cmd),
+                Op::Request(id, cmd, shed) => self.handle(id, cmd, shed),
                 Op::Invalid(id, status) => {
                     // flush this connection first so the error trailer
                     // lands in its FIFO position
@@ -840,10 +1089,19 @@ impl Scheduler {
     /// (after flushing what per-connection FIFO demands); walk-driven
     /// verbs enqueue; writes barrier their own index — and only it —
     /// so writes to one index never stall reads on another.
-    fn handle(&mut self, conn: ConnId, cmd: Command) {
+    fn handle(&mut self, conn: ConnId, cmd: Command, shed: bool) {
         let eid = cmd
             .index
             .unwrap_or_else(|| self.conns.get(&conn).map_or(0, |c| c.default_index));
+        if shed {
+            // the reader's admission gate refused this request: queue
+            // only its FIFO placeholder, which carries the recoverable
+            // `Overloaded` trailer and nothing else
+            let high = cmd.priority
+                || matches!(cmd.verb, Request::TopK { .. } | Request::Histogram { .. });
+            self.shed_slot(conn, eid, high);
+            return;
+        }
         match cmd.verb {
             // ---- catalog management -------------------------------
             Request::CreateIndex { name, lo, hi } => {
@@ -899,9 +1157,13 @@ impl Scheduler {
                 self.send_end(conn, reply);
             }
             // ---- walk-driven reads --------------------------------
+            // bounded verbs (top-k, histogram, provably-empty Allen)
+            // ride the high lane regardless of the wire flag: their
+            // reply cost is O(k)/O(buckets), so letting them jump
+            // enumeration traffic is what the lanes exist for
             Request::Query(q) => match self.catalog.get(eid) {
-                Some(_) => self.enqueue(conn, eid, Some(q), ServeSink::range()),
-                None => self.reject(conn, Status::UnknownIndex),
+                Some(_) => self.enqueue(conn, eid, Some(q), ServeSink::range(), cmd.priority),
+                None => self.reject_gated(conn, Status::UnknownIndex),
             },
             Request::Allen { rel, q } => match self.catalog.get(eid) {
                 Some(entry) => {
@@ -911,32 +1173,32 @@ impl Scheduler {
                     match rel.probe(q, lo, hi) {
                         Some(p) => {
                             let sink = ServeSink::allen(rel, q, Arc::clone(&entry.records));
-                            self.enqueue(conn, eid, Some(p), sink);
+                            self.enqueue(conn, eid, Some(p), sink, cmd.priority);
                         }
                         // provably empty, but the slot keeps FIFO order
-                        None => self.enqueue(conn, eid, None, ServeSink::Empty),
+                        None => self.enqueue(conn, eid, None, ServeSink::Empty, true),
                     }
                 }
-                None => self.reject(conn, Status::UnknownIndex),
+                None => self.reject_gated(conn, Status::UnknownIndex),
             },
             Request::TopK { k, q } => match self.catalog.get(eid) {
                 Some(entry) => {
                     let sink = ServeSink::top_k(k as usize, Arc::clone(&entry.records));
-                    self.enqueue(conn, eid, Some(q), sink);
+                    self.enqueue(conn, eid, Some(q), sink, true);
                 }
-                None => self.reject(conn, Status::UnknownIndex),
+                None => self.reject_gated(conn, Status::UnknownIndex),
             },
             Request::Histogram { width, q } => match self.catalog.get(eid) {
                 Some(entry) => {
                     let buckets = ((q.end - q.st) as u128 + 1).div_ceil(width as u128);
                     if buckets > MAX_HIST_BUCKETS {
-                        self.reject(conn, Status::BadVerb);
+                        self.reject_gated(conn, Status::BadVerb);
                         return;
                     }
                     let sink = ServeSink::histogram(q, width, Arc::clone(&entry.records));
-                    self.enqueue(conn, eid, Some(q), sink);
+                    self.enqueue(conn, eid, Some(q), sink, true);
                 }
-                None => self.reject(conn, Status::UnknownIndex),
+                None => self.reject_gated(conn, Status::UnknownIndex),
             },
             Request::Join { inner, q } => self.join(conn, eid, inner, q),
             // ---- writes (per-index barriers) ----------------------
@@ -1077,27 +1339,119 @@ impl Scheduler {
         }
     }
 
-    /// Queues a walk-driven request, flushing everything when the batch
-    /// bound is hit.
-    fn enqueue(&mut self, conn: ConnId, entry: u32, probe: Option<RangeQuery>, sink: ServeSink) {
+    /// Queues an admitted walk-driven request, flushing everything when
+    /// the batch window fills.
+    fn enqueue(
+        &mut self,
+        conn: ConnId,
+        entry: u32,
+        probe: Option<RangeQuery>,
+        sink: ServeSink,
+        high: bool,
+    ) {
+        self.push(conn, entry, probe, sink, high, true);
+    }
+
+    /// Queues the FIFO placeholder for a request the reader's admission
+    /// gate refused: no walk, no budget held, just the recoverable
+    /// [`Status::Overloaded`] trailer in its request-order position.
+    fn shed_slot(&mut self, conn: ConnId, entry: u32, high: bool) {
+        self.stats.write().shed += 1;
+        self.push(conn, entry, None, ServeSink::Shed, high, false);
+    }
+
+    fn push(
+        &mut self,
+        conn: ConnId,
+        entry: u32,
+        probe: Option<RangeQuery>,
+        sink: ServeSink,
+        high: bool,
+        admitted: bool,
+    ) {
+        let now = self.now_us();
+        if let Some(c) = &mut self.controller {
+            c.on_arrival(now);
+        }
+        if high && self.config.lanes {
+            self.stats.write().lane_high += 1;
+        }
         if self.pending.is_empty() {
-            self.deadline = Instant::now() + self.config.max_delay;
+            self.deadline = Instant::now() + self.cur_delay();
         }
         self.pending.push(Pending {
             conn,
             entry,
             probe,
             sink,
+            high,
         });
-        if self.pending.len() >= self.config.max_batch {
-            self.flush_all();
+        if self.pending.len() >= self.cur_window() {
+            self.flush_full();
+        } else if high
+            && admitted
+            && self.config.lanes
+            && self
+                .pending
+                .iter()
+                .filter(|p| p.conn == conn)
+                .all(|p| p.high)
+        {
+            // a high-priority request behind nothing but other high
+            // work on its own connection does not wait out the window:
+            // flush the connection now — the whole point of the lane is
+            // that a bounded query never queues behind the batch timer
+            self.flush_conn(conn);
         }
+    }
+
+    /// Returns one admitted request's budget to the gate: the global
+    /// counter always, the per-connection counter while the connection
+    /// is still known (a vanished connection's reader is gone too, so
+    /// its counter no longer gates anything).
+    fn release(&mut self, conn: ConnId) {
+        self.gate.inflight.fetch_sub(1, Ordering::Relaxed);
+        if let Some(c) = self.conns.get(&conn) {
+            c.inflight.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A window-full flush: feed the controller, then flush.
+    fn flush_full(&mut self) {
+        if let Some(c) = &mut self.controller {
+            c.on_flush(self.pending.len(), false);
+        }
+        self.note_window();
+        self.flush_all();
+    }
+
+    /// A deadline flush: the timer fired before the window filled.
+    fn flush_deadline(&mut self) {
+        if let Some(c) = &mut self.controller {
+            c.on_flush(self.pending.len(), true);
+        }
+        self.note_window();
+        self.flush_all();
+    }
+
+    /// Mirrors the controller's current window into the stats snapshot.
+    fn note_window(&mut self) {
+        let w = self.cur_window();
+        self.stats.write().cur_window = w;
     }
 
     /// Answers a request with an error trailer in FIFO position.
     fn reject(&mut self, conn: ConnId, status: Status) {
         self.flush_conn(conn);
         self.send_end(conn, Reply { status, count: 0 });
+    }
+
+    /// [`reject`](Self::reject) for an admitted gated verb: the reader
+    /// counted this request against the admission budgets, so the
+    /// error reply must give them back.
+    fn reject_gated(&mut self, conn: ConnId, status: Status) {
+        self.release(conn);
+        self.reject(conn, status);
     }
 
     /// Executes the streamed interval join: for every record of the
@@ -1131,10 +1485,60 @@ impl Scheduler {
         stream.finish();
     }
 
-    /// Flushes every queued request.
+    /// Flushes every queued request. With lanes on, each connection's
+    /// maximal all-high *prefix* executes (and replies) ahead of the
+    /// low lane — a prefix split, so per-connection FIFO survives —
+    /// and each lane is round-robin reordered across connections so no
+    /// single flooder monopolizes the front of a batch.
     fn flush_all(&mut self) {
         let items = std::mem::take(&mut self.pending);
-        self.execute(items);
+        if items.is_empty() {
+            return;
+        }
+        if !self.config.lanes {
+            self.execute(items);
+            return;
+        }
+        let mut still_high: HashMap<ConnId, bool> = HashMap::new();
+        let mut high = Vec::new();
+        let mut low = Vec::new();
+        for p in items {
+            let eligible = still_high.entry(p.conn).or_insert(true);
+            if *eligible && p.high {
+                high.push(p);
+            } else {
+                *eligible = false;
+                low.push(p);
+            }
+        }
+        self.execute(Self::round_robin(high));
+        self.execute(Self::round_robin(low));
+    }
+
+    /// Round-robin fairness within a lane: items are dealt out one per
+    /// connection per round (connections ordered by first appearance),
+    /// preserving each connection's own order.
+    fn round_robin(items: Vec<Pending>) -> Vec<Pending> {
+        if items.len() <= 1 {
+            return items;
+        }
+        let mut queues: Vec<(ConnId, VecDeque<Pending>)> = Vec::new();
+        for p in items {
+            match queues.iter_mut().find(|(c, _)| *c == p.conn) {
+                Some((_, q)) => q.push_back(p),
+                None => queues.push((p.conn, VecDeque::from([p]))),
+            }
+        }
+        let mut out = Vec::with_capacity(queues.iter().map(|(_, q)| q.len()).sum());
+        while !queues.is_empty() {
+            queues.retain_mut(|(_, q)| {
+                if let Some(p) = q.pop_front() {
+                    out.push(p);
+                }
+                !q.is_empty()
+            });
+        }
+        out
     }
 
     /// Flushes one connection's queued requests (all indexes).
@@ -1180,6 +1584,13 @@ impl Scheduler {
     fn execute(&mut self, mut items: Vec<Pending>) {
         if items.is_empty() {
             return;
+        }
+        // these are answered now: release their admission budget back
+        // to the reader-side gate (shed slots never held any)
+        for p in &items {
+            if !matches!(p.sink, ServeSink::Shed) {
+                self.release(p.conn);
+            }
         }
         // group walk work per entry, preserving arrival order within
         let mut by_entry: Vec<(u32, Vec<usize>)> = Vec::new();
@@ -1447,7 +1858,13 @@ mod tests {
         // with a fatal trailer, not a panic in the acceptor path
         let (client_end, server_end) = duplex();
         let id = server.next_conn.fetch_add(1, Ordering::Relaxed);
-        spawn_connection_with(&server.ops, id, server_end, failing_read_spawn);
+        spawn_connection_with(
+            &server.ops,
+            id,
+            server_end,
+            server.gate.clone(),
+            failing_read_spawn,
+        );
         let (reader, _writer) = client_end.split().unwrap();
         let mut frames = FrameReader::new(reader);
         let f = frames.read_frame().unwrap().expect("a rejection frame");

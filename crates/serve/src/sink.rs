@@ -217,6 +217,13 @@ pub enum ServeSink {
     /// relation whose probe is empty); holds the response slot so the
     /// reply still lands in FIFO position.
     Empty,
+    /// A request refused by admission control: the reply is a
+    /// recoverable [`Status::Overloaded`] trailer, but it must still
+    /// ship *in this request's FIFO position* — replies carry no
+    /// correlation ids, so shedding out of order would desynchronize
+    /// every later reply on the connection. The slot costs no walk and
+    /// no buffers; it only holds the position.
+    Shed,
 }
 
 impl ServeSink {
@@ -264,6 +271,13 @@ impl ServeSink {
                     count: 0,
                 },
             ),
+            ServeSink::Shed => encode_end(
+                out,
+                Reply {
+                    status: Status::Overloaded,
+                    count: 0,
+                },
+            ),
         }
     }
 }
@@ -276,7 +290,7 @@ impl QuerySink for ServeSink {
             ServeSink::Allen(s) => s.emit(id),
             ServeSink::TopK(s) => s.emit(id),
             ServeSink::Hist(s) => s.emit(id),
-            ServeSink::Empty => {}
+            ServeSink::Empty | ServeSink::Shed => {}
         }
     }
 
@@ -287,7 +301,7 @@ impl QuerySink for ServeSink {
             ServeSink::Allen(s) => s.emit_slice(ids),
             ServeSink::TopK(s) => s.emit_slice(ids),
             ServeSink::Hist(s) => s.emit_slice(ids),
-            ServeSink::Empty => {}
+            ServeSink::Empty | ServeSink::Shed => {}
         }
     }
 
@@ -298,7 +312,7 @@ impl QuerySink for ServeSink {
             ServeSink::Allen(s) => s.is_saturated(),
             ServeSink::TopK(s) => s.is_saturated(),
             ServeSink::Hist(s) => s.is_saturated(),
-            ServeSink::Empty => true,
+            ServeSink::Empty | ServeSink::Shed => true,
         }
     }
 
@@ -324,6 +338,7 @@ impl MergeableSink for ServeSink {
             ServeSink::TopK(s) => ServeSink::TopK(s.fork()),
             ServeSink::Hist(s) => ServeSink::Hist(s.fork()),
             ServeSink::Empty => ServeSink::Empty,
+            ServeSink::Shed => ServeSink::Shed,
         }
     }
 
@@ -342,6 +357,7 @@ impl MergeableSink for ServeSink {
             (ServeSink::TopK(a), ServeSink::TopK(b)) => a.merge(b),
             (ServeSink::Hist(a), ServeSink::Hist(b)) => a.merge(b),
             (ServeSink::Empty, ServeSink::Empty) => {}
+            (ServeSink::Shed, ServeSink::Shed) => {}
             _ => unreachable!("merge of mismatched ServeSink variants"),
         }
     }
@@ -352,7 +368,7 @@ impl MergeableSink for ServeSink {
             ServeSink::Allen(s) => s.is_bounded(),
             ServeSink::TopK(s) => s.is_bounded(),
             ServeSink::Hist(s) => s.is_bounded(),
-            ServeSink::Empty => true,
+            ServeSink::Empty | ServeSink::Shed => true,
         }
     }
 

@@ -61,10 +61,7 @@ fn two_named_indexes_match_direct_library() {
         let server = start_server(
             &w.data,
             k,
-            ServeConfig {
-                max_batch: 16,
-                max_delay: Duration::from_micros(200),
-            },
+            ServeConfig::fixed(16, Duration::from_micros(200)),
         );
         let mut admin = connect(&server);
         let left = admin.create_index("left", 0, DOM - 1).unwrap();

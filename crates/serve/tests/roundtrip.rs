@@ -71,10 +71,7 @@ fn roundtrip_matches_direct_query_sink() {
         let server = start_server(
             &w.data,
             4,
-            ServeConfig {
-                max_batch,
-                max_delay: Duration::from_micros(delay_us),
-            },
+            ServeConfig::fixed(max_batch, Duration::from_micros(delay_us)),
         );
         let remote = RemoteIndex {
             client: RefCell::new(connect(&server)),
@@ -143,10 +140,7 @@ fn concurrent_connections_interleaving_queries_and_writes() {
     let server = start_server(
         &w.data,
         4,
-        ServeConfig {
-            max_batch: 32,
-            max_delay: Duration::from_micros(300),
-        },
+        ServeConfig::fixed(32, Duration::from_micros(300)),
     );
     // the twin: every connection's writes applied (order across
     // connections is irrelevant — ids and endpoints are disjoint)
@@ -513,10 +507,7 @@ fn pipelined_replies_preserve_request_order() {
     let server = start_server(
         &w.data,
         4,
-        ServeConfig {
-            max_batch: 8,
-            max_delay: Duration::from_micros(100),
-        },
+        ServeConfig::fixed(8, Duration::from_micros(100)),
     );
     let mut client = connect(&server);
     for q in &w.queries {

@@ -239,5 +239,37 @@ fn main() {
     }
     server.shutdown();
 
+    // --- 14. latency engineering: adaptive window, QoS lanes, admission -
+    // By default the scheduler's batch window is adaptive (a bounded
+    // AIMD controller replaces the static HINT_SERVE_MAX_BATCH /
+    // HINT_SERVE_MAX_DELAY_US dial), bounded verbs and FLAG_PRIORITY
+    // requests ride a high-QoS lane, and per-connection + global
+    // admission budgets shed overload with a recoverable `Overloaded`
+    // instead of queueing without bound — see docs/tuning.md and
+    // docs/protocol.md. `Client::query_priority` sets the bit; results
+    // are bit-identical to plain `query`, only the scheduling differs.
+    let sharded = ShardedIndex::build_with_domain(&data, 0, 1_000, 2, |slice, lo, hi| {
+        HintMSubs::build_with_domain(slice, Domain::new(lo, hi, 6), SubsConfig::full())
+    });
+    let server = serve::Server::start(Session::new(sharded), serve::ServeConfig::default())
+        .expect("start server");
+    let (client_end, server_end) = serve::duplex();
+    server.attach(server_end);
+    let mut client = serve::Client::new(client_end).expect("split transport");
+    let mut urgent = client
+        .query_priority(None, RangeQuery::new(22, 55))
+        .unwrap();
+    urgent.sort_unstable();
+    assert_eq!(urgent, vec![1, 2, 3, 4]); // same answer, high lane
+    println!("priority [22, 55]:    {urgent:?}");
+    server.shutdown();
+    // measure it: the open-loop load harness sweeps offered load at
+    // 0.25x/0.6x/1.5x of measured capacity across static windows and
+    // the adaptive controller, reporting p50/p99/p999 and shed rate:
+    //
+    //   cargo run -p bench --release --bin harness -- latency --quick
+    //
+    // (full mode drops --quick; results land in BENCH_latency.json)
+
     println!("quickstart OK");
 }

@@ -212,6 +212,127 @@ fn regress_lifecycle_seed_0xl33t_a5() {
     test_support::lifecycle::replay(0x1337_00a5);
 }
 
+/// Replays one seed through the serve scheduler's AIMD batch-window
+/// controller (`serve::WindowController` — pure and clock-free, so the
+/// replay is bit-exact). The seed picks the controller bounds and then
+/// drives three arrival regimes (steady trickle, bursty, bimodal)
+/// through the same feed discipline the scheduler uses — `on_arrival`
+/// per request, a full flush when the round fills the window, a
+/// deadline flush otherwise — asserting after every step that the
+/// window stays inside `[min_window, max_window]` and the derived delay
+/// never exceeds `max_delay`. The tail then holds occupancy constant
+/// and requires convergence to a tight band: a controller that
+/// sawtooths or drifts re-creates the window-64 collapse the AIMD
+/// design exists to prevent.
+fn replay_controller(seed: u64) {
+    use serve::{ControllerConfig, WindowController};
+    let mut rng = fuzz::Rng::new(seed);
+    let cfg = ControllerConfig {
+        min_window: 1 + rng.below(4) as usize,
+        max_window: 8 + rng.below(120) as usize,
+        max_delay: std::time::Duration::from_micros(100 + rng.below(900)),
+    };
+    let mut c = WindowController::new(cfg);
+    let cfg = c.config(); // post-repair bounds are the contract
+    let mut now = 0u64;
+    for regime in 0..3u32 {
+        let base_gap = 1 + rng.below(50);
+        for _ in 0..300 {
+            let arrivals = match regime {
+                0 => 1 + rng.below(3), // steady trickle
+                1 => {
+                    // bursty: long quiet runs, then a pile-up
+                    if rng.below(8) == 0 {
+                        32 + rng.below(64)
+                    } else {
+                        1
+                    }
+                }
+                _ => {
+                    // bimodal: alternating light and heavy rounds
+                    if rng.below(2) == 0 {
+                        1
+                    } else {
+                        16
+                    }
+                }
+            } as usize;
+            for _ in 0..arrivals {
+                now += rng.below(base_gap * 2);
+                c.on_arrival(now);
+            }
+            let w = c.window();
+            assert!(
+                (cfg.min_window..=cfg.max_window).contains(&w),
+                "seed {seed:#x} regime {regime}: window {w} escaped [{}, {}]",
+                cfg.min_window,
+                cfg.max_window,
+            );
+            assert!(
+                c.delay() <= cfg.max_delay,
+                "seed {seed:#x} regime {regime}: delay {:?} above the {:?} cap",
+                c.delay(),
+                cfg.max_delay,
+            );
+            if arrivals >= w {
+                c.on_flush(w, false);
+            } else {
+                c.on_flush(arrivals, true);
+            }
+        }
+    }
+    // convergence tail: constant occupancy must settle near itself
+    let g = 4 + rng.below(40) as usize;
+    let goal = g.min(cfg.max_window);
+    let step = |c: &mut WindowController| {
+        let w = c.window();
+        if g >= w {
+            c.on_flush(w, false);
+        } else {
+            c.on_flush(g, true);
+        }
+    };
+    for _ in 0..400 {
+        step(&mut c);
+    }
+    let (mut lo, mut hi) = (usize::MAX, 0usize);
+    for _ in 0..32 {
+        step(&mut c);
+        lo = lo.min(c.window());
+        hi = hi.max(c.window());
+    }
+    assert!(
+        hi - lo <= 2 && lo + 1 >= goal && hi <= (goal + 2).min(cfg.max_window),
+        "seed {seed:#x}: steady occupancy {g} did not converge \
+         (tail band [{lo}, {hi}], goal {goal})",
+    );
+}
+
+// Controller seeds. None have failed yet; every seeded controller
+// property failure (from this battery or any future proptest over the
+// AIMD policy) is shrunk and added here by its seed, forever.
+
+#[test]
+fn regress_controller_seed_0x41ad_0001() {
+    replay_controller(0x41ad_0001);
+}
+
+#[test]
+fn regress_controller_seed_0x41ad_0002() {
+    replay_controller(0x41ad_0002);
+}
+
+#[test]
+fn regress_controller_seed_0xb1b0_0003() {
+    replay_controller(0xb1b0_0003);
+}
+
+#[test]
+fn regress_controller_seed_0x7e11_7a1e() {
+    // extreme-ish seed: drives the burst regime into the window cap
+    replay_controller(0x7e11_7a1e);
+}
+
 /// Degenerate-workload replay: tiny domains, point intervals, and a
 /// single-interval dataset — shapes that historically break routing and
 /// boundary math first.
